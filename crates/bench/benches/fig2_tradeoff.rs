@@ -1,0 +1,35 @@
+//! Figure 2 — accuracy-vs-size tradeoff curves (denser budget sweep than
+//! Table 1), one series per algorithm per model.
+//!
+//! ```text
+//! cargo bench -p clado-bench --bench fig2_tradeoff
+//! ```
+
+use clado_bench::context_for;
+use clado_core::Algorithm;
+use clado_models::ModelKind;
+use clado_quant::bits_to_mb;
+
+fn main() {
+    println!("=== Figure 2: accuracy vs model size (PTQ) ===");
+    for kind in [ModelKind::ResNet34, ModelKind::ResNet50, ModelKind::ViT] {
+        let (mut ctx, fp32) = context_for(kind, 0);
+        println!("\n{} (FP32 {:.2}%)", kind.display_name(), fp32 * 100.0);
+        println!(
+            "  {:>8} {:>10} {:>8} {:>8} {:>8} {:>8}",
+            "avg bits", "size (MB)", "HAWQ", "MPQCO", "CLADO*", "CLADO"
+        );
+        for step in 0..8 {
+            let avg = 2.25 + 0.25 * step as f64;
+            let budget = ctx.sizes.budget_from_avg_bits(avg);
+            print!("  {avg:>8.2} {:>10.4}", bits_to_mb(budget));
+            for alg in Algorithm::table1() {
+                match ctx.run(alg, budget) {
+                    Ok((_, acc)) => print!(" {:>7.2}%", acc * 100.0),
+                    Err(_) => print!(" {:>8}", "infeas"),
+                }
+            }
+            println!();
+        }
+    }
+}

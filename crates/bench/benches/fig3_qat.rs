@@ -1,0 +1,52 @@
+//! Figure 3 — MPQ results with QAT fine-tuning: QAT on top of CLADO's
+//! assignments outperforms QAT on top of the baselines' assignments, in the
+//! aggressive-compression regime near 3-bit UPQ.
+//!
+//! ```text
+//! cargo bench -p clado-bench --bench fig3_qat
+//! ```
+
+use clado_bench::context_for;
+use clado_core::{qat_finetune, Algorithm, QatConfig};
+use clado_models::{pretrained, ModelKind};
+
+fn main() {
+    println!("=== Figure 3: QAT fine-tuning on top of each algorithm's assignment ===");
+    for kind in [ModelKind::ResNet34, ModelKind::ResNet50] {
+        // Training split comes from a fresh pretrained handle (the context
+        // keeps only sensitivity/val splits).
+        let p = pretrained(kind);
+        let train_split = p.data.train.clone();
+        let val_split = p.data.val.clone();
+        drop(p);
+        let (mut ctx, fp32) = context_for(kind, 0);
+        println!("\n{} (FP32 {:.2}%)", kind.display_name(), fp32 * 100.0);
+        println!(
+            "  {:>8}  {:>22} {:>22} {:>22}",
+            "avg bits", "HAWQ  (PTQ → QAT)", "MPQCO (PTQ → QAT)", "CLADO (PTQ → QAT)"
+        );
+        for avg in [2.6f64, 2.8, 3.0] {
+            let budget = ctx.sizes.budget_from_avg_bits(avg);
+            print!("  {avg:>8.1} ");
+            for alg in [Algorithm::Hawq, Algorithm::Mpqco, Algorithm::Clado] {
+                let (assignment, ptq) = ctx.run(alg, budget).expect("feasible budget");
+                let master = ctx.network.snapshot_all();
+                let report = qat_finetune(
+                    &mut ctx.network,
+                    &assignment.bits,
+                    ctx.scheme,
+                    &train_split,
+                    &val_split,
+                    &QatConfig::default(),
+                );
+                ctx.network.restore_all(&master);
+                print!(
+                    "   {:>7.2}% → {:>7.2}%",
+                    ptq * 100.0,
+                    report.accuracy_after * 100.0
+                );
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 6 — leaving out inter-block dependencies worsens MPQ: full CLADO
+//! (all-layer interactions) vs the BRECQ-style variant that keeps only
+//! intra-block interactions, median over random sensitivity sets.
+//!
+//! ```text
+//! cargo bench -p clado-bench --bench fig6_block_ablation
+//! ```
+
+use clado_bench::{num_sets, sens_size, table1_config};
+use clado_core::{quartiles, Algorithm, ExperimentContext};
+use clado_models::{pretrained, ModelKind};
+
+fn main() {
+    let sets = num_sets().min(4);
+    let budgets = [2.6f64, 3.0, 3.4];
+    println!("=== Figure 6: intra-block-only vs all-layer interactions ({sets} sets) ===");
+    for kind in [ModelKind::ResNet34, ModelKind::ResNet50] {
+        let (bits, scheme) = table1_config(kind);
+        // accs[budget][algorithm] over sets; sensitivities are measured once
+        // per set and reused across budgets, the sensitivity-based methods'
+        // signature property.
+        let mut block_accs = vec![Vec::new(); budgets.len()];
+        let mut full_accs = vec![Vec::new(); budgets.len()];
+        for set_id in 0..sets {
+            let p = pretrained(kind);
+            let sens = p
+                .data
+                .train
+                .sample_subset(sens_size() / 2, set_id as u64 + 10);
+            let mut ctx =
+                ExperimentContext::new(p.network, sens, p.data.val.clone(), bits.clone(), scheme);
+            for (bi, &avg) in budgets.iter().enumerate() {
+                let budget = ctx.sizes.budget_from_avg_bits(avg);
+                let (_, b) = ctx.run(Algorithm::BlockClado, budget).expect("feasible");
+                let (_, f) = ctx.run(Algorithm::Clado, budget).expect("feasible");
+                block_accs[bi].push(b * 100.0);
+                full_accs[bi].push(f * 100.0);
+            }
+        }
+        println!("\n{}", kind.display_name());
+        println!(
+            "  {:>8} {:>30} {:>30}",
+            "avg bits", "block-only (q25/med/q75)", "full CLADO (q25/med/q75)"
+        );
+        for (bi, &avg) in budgets.iter().enumerate() {
+            let qb = quartiles(&block_accs[bi]);
+            let qf = quartiles(&full_accs[bi]);
+            println!(
+                "  {avg:>8.1}       {:>6.2} / {:>6.2} / {:>6.2}        {:>6.2} / {:>6.2} / {:>6.2}",
+                qb.q25, qb.median, qb.q75, qf.q25, qf.median, qf.q75
+            );
+        }
+    }
+    println!("\n(expected shape: full CLADO's median ≥ block-only's — ignoring");
+    println!(" inter-block dependencies is suboptimal for MPQ, Fig. 6.)");
+}

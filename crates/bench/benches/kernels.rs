@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the computational kernels behind the
+//! experiments: conv/GEMM forward, a full sensitivity probe evaluation,
+//! Jacobi eigendecomposition + PSD projection, and the IQP solve (the
+//! "solved within seconds" claim of §7).
+
+use clado_core::eval_loss;
+use clado_models::{pretrained, ModelKind};
+use clado_quant::{BitWidthSet, LayerSizes};
+use clado_solver::{IqpProblem, SolverConfig, SymMatrix};
+use clado_tensor::{conv2d_forward, init, matmul, Conv2dSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = init::normal([64, 128], 0.0, 1.0, &mut rng);
+    let b = init::normal([128, 64], 0.0, 1.0, &mut rng);
+    c.bench_function("gemm_64x128x64", |bench| bench.iter(|| matmul(&a, &b)));
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let spec = Conv2dSpec::new(8, 12, 3, 1, 1);
+    let x = init::normal([8, 8, 16, 16], 0.0, 1.0, &mut rng);
+    let w = init::normal(spec.weight_shape(), 0.0, 0.5, &mut rng);
+    c.bench_function("conv2d_8x8x16x16_to_12", |bench| {
+        bench.iter(|| conv2d_forward(&x, &w, None, &spec))
+    });
+}
+
+fn bench_sensitivity_probe(c: &mut Criterion) {
+    let p = pretrained(ModelKind::ResNet20);
+    let set = p.data.train.sample_subset(32, 0);
+    let mut network = p.network;
+    c.bench_function("sensitivity_probe_resnet20_32samples", |bench| {
+        bench.iter(|| eval_loss(&mut network, &set, 32))
+    });
+}
+
+fn bench_eigen_psd(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let n = 57; // |B|·I for the ResNet-34 analogue
+    let mut g = SymMatrix::zeros(n);
+    for i in 0..n {
+        for j in i..n {
+            g.set(i, j, rng.gen_range(-0.01..0.01));
+        }
+    }
+    c.bench_function("psd_project_57x57", |bench| {
+        bench.iter_batched(|| g.clone(), |m| m.psd_project(), BatchSize::SmallInput)
+    });
+}
+
+fn bench_iqp_solve(c: &mut Criterion) {
+    // A PSD instance shaped like a 19-layer, |B|=3 MPQ problem.
+    let mut rng = StdRng::seed_from_u64(3);
+    let layers = 19usize;
+    let n = 3 * layers;
+    let cols = 10;
+    let m: Vec<f64> = (0..n * cols).map(|_| rng.gen_range(-0.05..0.05)).collect();
+    let mut g = SymMatrix::zeros(n);
+    for i in 0..n {
+        for j in i..n {
+            let dot: f64 = (0..cols).map(|k| m[i * cols + k] * m[j * cols + k]).sum();
+            g.set(i, j, dot);
+        }
+    }
+    let params: Vec<usize> = (0..layers).map(|i| 200 + 37 * i).collect();
+    let sizes = LayerSizes::new(params);
+    let bits = BitWidthSet::standard();
+    let mut costs = Vec::new();
+    for i in 0..layers {
+        for b in bits.iter() {
+            costs.push(sizes.params(i) as u64 * b.bits() as u64);
+        }
+    }
+    let budget = sizes.budget_from_avg_bits(3.0);
+    let problem = IqpProblem::new(g, &vec![3; layers], costs, budget).expect("valid");
+    c.bench_function("iqp_solve_19layers_psd", |bench| {
+        bench.iter(|| problem.solve(&SolverConfig::default()).expect("feasible"))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm, bench_conv, bench_sensitivity_probe, bench_eigen_psd, bench_iqp_solve
+}
+criterion_main!(kernels);

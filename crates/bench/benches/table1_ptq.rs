@@ -1,0 +1,49 @@
+//! Table 1 — MPQ results (PTQ): averaged top-1 accuracy of HAWQ / MPQCO /
+//! CLADO\* / CLADO at three size budgets for all five model families.
+//!
+//! ```text
+//! cargo bench -p clado-bench --bench table1_ptq
+//! ```
+
+use clado_bench::{context_for, table1_budgets};
+use clado_core::Algorithm;
+use clado_models::ModelKind;
+use clado_quant::bits_to_mb;
+use std::time::Instant;
+
+fn main() {
+    println!("=== Table 1: MPQ results (PTQ), top-1 accuracy (%) ===\n");
+    for kind in ModelKind::table1_models() {
+        let start = Instant::now();
+        let (mut ctx, fp32) = context_for(kind, 0);
+        println!(
+            "{}  (FP32 acc {:.2}%, 𝔹 = {}, {})",
+            kind.display_name(),
+            fp32 * 100.0,
+            ctx.bits,
+            ctx.scheme
+        );
+        println!(
+            "  {:<12} {:>9} {:>9} {:>9} {:>9}",
+            "size (MB)", "HAWQ", "MPQCO", "CLADO*", "CLADO"
+        );
+        for avg in table1_budgets(kind) {
+            let budget = ctx.sizes.budget_from_avg_bits(avg);
+            print!("  {:<12.4}", bits_to_mb(budget));
+            for alg in Algorithm::table1() {
+                match ctx.run(alg, budget) {
+                    Ok((_, acc)) => print!(" {:>8.2}%", acc * 100.0),
+                    Err(e) => print!(" {e:>9}"),
+                }
+            }
+            println!();
+        }
+        let sens = ctx.clado_matrix();
+        println!(
+            "  [sensitivities: {} evals in {:.1}s; total model time {:.1}s]\n",
+            sens.stats.evaluations,
+            sens.stats.seconds,
+            start.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Appendix A (Fig. 8) — layer index ↔ name tables for every zoo model.
+//!
+//! ```text
+//! cargo run --release -p clado-bench --bin layer_tables
+//! ```
+
+use clado_models::ModelKind;
+
+fn main() {
+    for kind in [
+        ModelKind::ResNet20,
+        ModelKind::ResNet34,
+        ModelKind::ResNet50,
+        ModelKind::MobileNet,
+        ModelKind::RegNet,
+        ModelKind::ViT,
+    ] {
+        let net = kind.build(10, 0);
+        println!("\n{} — {} quantizable layers", kind.display_name(), net.quantizable_layers().len());
+        println!("{:>5}  {:<40} {:>8} {:>6}", "index", "layer", "params", "block");
+        for l in net.quantizable_layers() {
+            println!("{:>5}  {:<40} {:>8} {:>6}", l.index, l.name, l.numel, l.block);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Diagnostic: HVP epsilon stability and secant-vs-tangent decomposition.
+use clado_core::{eval_loss, exact_vhv_direction, quantizable_gradients};
+use clado_models::{pretrained, ModelKind};
+use clado_quant::{quant_error, BitWidth, QuantScheme};
+
+fn main() {
+    let mut p = pretrained(ModelKind::ResNet20);
+    let set = p.data.train.sample_subset(128, 0);
+    for (layer, bits) in [(0usize, 2u8), (6, 2), (14, 2)] {
+        let w = p.network.weight(layer);
+        let v = quant_error(&w, BitWidth::of(bits), QuantScheme::PerTensorSymmetric);
+        println!(
+            "layer {layer} {bits}b  ||v||={:.4} ||w||={:.4}",
+            v.norm(),
+            w.norm()
+        );
+        // exact vhv (our fd)
+        let e = exact_vhv_direction(&mut p.network, &set, layer, &v, 64);
+        println!("  exact_vhv (fd hvp)        = {e:.5}");
+        // secant parts
+        let base = eval_loss(&mut p.network, &set, 64);
+        let g = quantizable_gradients(&mut p.network, &set, 64);
+        let gv = g[layer].dot(&v);
+        p.network.perturb_weight(layer, &v);
+        let lp = eval_loss(&mut p.network, &set, 64);
+        p.network.set_weight(layer, &w);
+        let mut neg = v.clone();
+        neg.scale(-1.0);
+        p.network.perturb_weight(layer, &neg);
+        let lm = eval_loss(&mut p.network, &set, 64);
+        p.network.set_weight(layer, &w);
+        println!(
+            "  g·v = {gv:.5}   L+ - L = {:.5}   L- - L = {:.5}",
+            lp - base,
+            lm - base
+        );
+        println!("  fast = 2(L+ - L) = {:.5}", 2.0 * (lp - base));
+        println!(
+            "  symmetric secant vhv = (L+ + L- - 2L) = {:.5}",
+            lp + lm - 2.0 * base
+        );
+        // fd-hvp at scaled directions to check quadratic scaling region
+        for scale in [0.25f32, 0.5, 1.0] {
+            let mut vs = v.clone();
+            vs.scale(scale);
+            p.network.perturb_weight(layer, &vs);
+            let l1 = eval_loss(&mut p.network, &set, 64);
+            p.network.set_weight(layer, &w);
+            let mut vneg = vs.clone();
+            vneg.scale(-1.0);
+            p.network.perturb_weight(layer, &vneg);
+            let l2 = eval_loss(&mut p.network, &set, 64);
+            p.network.set_weight(layer, &w);
+            let sec = (l1 + l2 - 2.0 * base) / (scale as f64 * scale as f64);
+            println!("  secant@{scale} (rescaled) = {sec:.5}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # clado-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation. Each bench target (`cargo bench -p clado-bench --bench
+//! <name>`) prints the same rows/series the paper reports, scaled to the
+//! mini models (see DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results).
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `CLADO_SENS_SIZE` — sensitivity-set size (default 128)
+//! * `CLADO_SETS` — number of random sensitivity sets for the
+//!   variance studies (default 8; the paper uses 24)
+
+use clado_core::ExperimentContext;
+use clado_models::{pretrained, ModelKind, Pretrained};
+use clado_quant::{BitWidthSet, QuantScheme};
+
+/// Sensitivity-set size used by the experiment benches.
+pub fn sens_size() -> usize {
+    std::env::var("CLADO_SENS_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128)
+}
+
+/// Number of random sensitivity sets for variance studies.
+pub fn num_sets() -> usize {
+    std::env::var("CLADO_SETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// The per-model quantization configuration of Table 1: candidate set 𝔹
+/// and scheme (`+` columns use per-channel affine; MobileNet uses the
+/// conservative 𝔹 = {4,6,8}).
+pub fn table1_config(kind: ModelKind) -> (BitWidthSet, QuantScheme) {
+    match kind {
+        // The paper uses the conservative 𝔹 = {4,6,8} for MobileNetV3
+        // because full-scale MobileNet degrades sharply below 4 bits. The
+        // mini analogue's robustness knee sits lower (4-bit per-channel
+        // affine is already lossless), so the candidate set shifts down to
+        // keep the experiment in the regime the paper studies.
+        ModelKind::MobileNet => (BitWidthSet::standard(), QuantScheme::PerChannelAffine),
+        ModelKind::ViT => (BitWidthSet::standard(), QuantScheme::PerChannelAffine),
+        _ => (BitWidthSet::standard(), QuantScheme::PerTensorSymmetric),
+    }
+}
+
+/// Budgets (average bits per weight) per model for Table 1. MobileNet's
+/// candidate floor is 4 bits, so its budgets sit between 4 and 8.
+pub fn table1_budgets(_kind: ModelKind) -> [f64; 3] {
+    [2.5, 3.0, 3.5]
+}
+
+/// Builds an [`ExperimentContext`] for a pretrained model with a seeded
+/// sensitivity set.
+pub fn context_for(kind: ModelKind, sens_seed: u64) -> (ExperimentContext, f64) {
+    let p: Pretrained = pretrained(kind);
+    let (bits, scheme) = table1_config(kind);
+    let sens = p.data.train.sample_subset(sens_size(), sens_seed);
+    let fp32 = p.val_accuracy;
+    (
+        ExperimentContext::new(p.network, sens, p.data.val.clone(), bits, scheme),
+        fp32,
+    )
+}

@@ -1,0 +1,180 @@
+//! A small `--flag value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced while parsing or reading arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Parsed command line: one subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    subcommand: Option<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// Grammar: `[subcommand] (--key value | --switch)*`. A `--key` that is
+    /// followed by another `--…` token (or nothing) is a boolean switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] on a stray positional argument after options
+    /// began, or a duplicated key.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgsError> {
+        let mut args = Args::default();
+        let mut it = raw.into_iter().peekable();
+        if let Some(first) = it.peek() {
+            if !first.starts_with("--") {
+                args.subcommand = it.next();
+            }
+        }
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(ArgsError(format!("unexpected positional argument `{tok}`")));
+            };
+            if key.is_empty() {
+                return Err(ArgsError("empty option name `--`".into()));
+            }
+            let takes_value = it.peek().is_some_and(|next| !next.starts_with("--"));
+            if takes_value {
+                let value = it.next().expect("peeked");
+                if args.options.insert(key.to_string(), value).is_some() {
+                    return Err(ArgsError(format!("option `--{key}` given twice")));
+                }
+            } else {
+                if args.flags.contains(&key.to_string()) {
+                    return Err(ArgsError(format!("switch `--{key}` given twice")));
+                }
+                args.flags.push(key.to_string());
+            }
+        }
+        Ok(args)
+    }
+
+    /// The subcommand, if any.
+    pub fn subcommand(&self) -> Option<&str> {
+        self.subcommand.as_deref()
+    }
+
+    /// Raw string value of `--key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// `true` if the boolean switch `--key` was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Typed value with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if the value does not parse as `T`.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgsError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgsError(format!("invalid value `{v}` for --{key}"))),
+        }
+    }
+
+    /// Required typed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if the key is missing or does not parse.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, ArgsError> {
+        let v = self
+            .get(key)
+            .ok_or_else(|| ArgsError(format!("missing required --{key}")))?;
+        v.parse()
+            .map_err(|_| ArgsError(format!("invalid value `{v}` for --{key}")))
+    }
+
+    /// Comma-separated `u8` list (e.g. `--bits 2,4,8`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] on parse failure.
+    pub fn u8_list_or(&self, key: &str, default: &[u8]) -> Result<Vec<u8>, ArgsError> {
+        match self.get(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|p| {
+                    p.trim()
+                        .parse::<u8>()
+                        .map_err(|_| ArgsError(format!("invalid entry `{p}` in --{key}")))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Result<Args, ArgsError> {
+        Args::parse(parts.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse(&["assign", "--model", "resnet34", "--avg-bits", "3.0"]).unwrap();
+        assert_eq!(a.subcommand(), Some("assign"));
+        assert_eq!(a.get("model"), Some("resnet34"));
+        assert_eq!(a.get_or::<f64>("avg-bits", 0.0).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn switches_and_defaults() {
+        let a = parse(&["sweep", "--verbose", "--step", "0.5"]).unwrap();
+        assert!(a.switch("verbose"));
+        assert!(!a.switch("quiet"));
+        assert_eq!(a.get_or::<f64>("step", 0.25).unwrap(), 0.5);
+        assert_eq!(a.get_or::<f64>("from", 2.5).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn bit_lists() {
+        let a = parse(&["x", "--bits", "2,4,8"]).unwrap();
+        assert_eq!(a.u8_list_or("bits", &[8]).unwrap(), vec![2, 4, 8]);
+        assert_eq!(a.u8_list_or("other", &[8]).unwrap(), vec![8]);
+        let bad = parse(&["x", "--bits", "2,nope"]).unwrap();
+        assert!(bad.u8_list_or("bits", &[8]).is_err());
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(parse(&["x", "stray"]).is_err());
+        assert!(parse(&["x", "--k", "1", "--k", "2"]).is_err());
+        assert!(parse(&["x", "--"]).is_err());
+        let a = parse(&["x"]).unwrap();
+        assert!(a.require::<u64>("seed").is_err());
+        let b = parse(&["x", "--seed", "abc"]).unwrap();
+        assert!(b.require::<u64>("seed").is_err());
+    }
+
+    #[test]
+    fn no_subcommand() {
+        let a = parse(&["--help"]).unwrap();
+        assert_eq!(a.subcommand(), None);
+        assert!(a.switch("help"));
+    }
+}

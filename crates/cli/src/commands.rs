@@ -1,0 +1,333 @@
+//! CLI subcommand implementations.
+//!
+//! Each command is a thin, testable wrapper over the library crates; I/O is
+//! restricted to printing tables and reading/writing the `.clsm`
+//! sensitivity files.
+
+use crate::args::{Args, ArgsError};
+use clado_core::{
+    assign_bits, load_sensitivities, measure_sensitivities, quantized_accuracy, save_sensitivities,
+    Algorithm, AssignOptions, CladoVariant, ExperimentContext, SensitivityOptions,
+};
+use clado_models::{pretrained, ModelKind};
+use clado_quant::{bits_to_mb, BitWidth, BitWidthSet, LayerSizes, QuantScheme};
+use std::error::Error;
+use std::path::PathBuf;
+
+/// Usage text for `clado --help` / unknown commands.
+pub const USAGE: &str = "\
+clado — mixed-precision quantization with cross-layer dependencies (CLADO)
+
+USAGE:
+  clado <command> [--options]
+
+COMMANDS:
+  models                          list the model zoo
+  train        --model <id>       pretrain (or load cached) and report accuracy
+  sensitivity  --model <id> --out <file.clsm>
+                                  run Algorithm 1 and persist Ĝ
+               [--set-size 128] [--set-seed 0] [--bits 2,4,8] [--scheme symmetric|affine]
+  assign       --model <id> --avg-bits <f>
+                                  solve eq. (11) and report the bit map + PTQ accuracy
+               [--sens <file.clsm>] [--algorithm clado|clado-star|block|hawq|mpqco]
+               [--bits 2,4,8] [--scheme symmetric|affine] [--no-psd]
+  sweep        --model <id>       tradeoff table over a budget range
+               [--from 2.5] [--to 4.0] [--step 0.5] [--algorithm clado]
+  eval         --model <id> --map 8,4,4,2,...
+                                  PTQ accuracy of an explicit bit map
+
+Set CLADO_CACHE_DIR to relocate the trained-weight cache.";
+
+fn model_kind(id: &str) -> Result<ModelKind, ArgsError> {
+    match id {
+        "resnet20" => Ok(ModelKind::ResNet20),
+        "resnet34" => Ok(ModelKind::ResNet34),
+        "resnet50" => Ok(ModelKind::ResNet50),
+        "mobilenetv3" | "mobilenet" => Ok(ModelKind::MobileNet),
+        "regnet" => Ok(ModelKind::RegNet),
+        "vit" => Ok(ModelKind::ViT),
+        other => Err(ArgsError(format!(
+            "unknown model `{other}` (see `clado models` for the zoo)"
+        ))),
+    }
+}
+
+fn scheme_of(args: &Args) -> Result<QuantScheme, ArgsError> {
+    match args.get("scheme").unwrap_or("symmetric") {
+        "symmetric" => Ok(QuantScheme::PerTensorSymmetric),
+        "affine" => Ok(QuantScheme::PerChannelAffine),
+        other => Err(ArgsError(format!(
+            "unknown scheme `{other}` (symmetric|affine)"
+        ))),
+    }
+}
+
+fn algorithm_of(args: &Args) -> Result<Algorithm, ArgsError> {
+    match args.get("algorithm").unwrap_or("clado") {
+        "clado" => Ok(Algorithm::Clado),
+        "clado-star" => Ok(Algorithm::CladoStar),
+        "block" => Ok(Algorithm::BlockClado),
+        "hawq" => Ok(Algorithm::Hawq),
+        "mpqco" => Ok(Algorithm::Mpqco),
+        other => Err(ArgsError(format!(
+            "unknown algorithm `{other}` (clado|clado-star|block|hawq|mpqco)"
+        ))),
+    }
+}
+
+/// `clado models`
+pub fn cmd_models() {
+    println!("{:<14} {:<28} role", "id", "name");
+    for (kind, role) in [
+        (ModelKind::ResNet20, "Table 2 (vHv validation)"),
+        (ModelKind::ResNet34, "Table 1 / Figs. 1-3, 6, 7"),
+        (ModelKind::ResNet50, "Table 1 / Figs. 2, 3, 5, 6"),
+        (ModelKind::MobileNet, "Table 1"),
+        (ModelKind::RegNet, "Table 1"),
+        (ModelKind::ViT, "Table 1 / Fig. 2"),
+    ] {
+        println!("{:<14} {:<28} {}", kind.id(), kind.display_name(), role);
+    }
+}
+
+/// `clado train --model <id>`
+pub fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
+    let kind = model_kind(args.require::<String>("model")?.as_str())?;
+    let start = std::time::Instant::now();
+    let p = pretrained(kind);
+    println!(
+        "{}: FP32 val accuracy {:.2}% ({} quantizable layers, {:.1}s incl. cache)",
+        kind.display_name(),
+        p.val_accuracy * 100.0,
+        p.network.quantizable_layers().len(),
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// `clado sensitivity --model <id> --out <file>`
+pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
+    let kind = model_kind(args.require::<String>("model")?.as_str())?;
+    let out: PathBuf = PathBuf::from(args.require::<String>("out")?);
+    let set_size: usize = args.get_or("set-size", 128)?;
+    let set_seed: u64 = args.get_or("set-seed", 0)?;
+    let bits = BitWidthSet::new(&args.u8_list_or("bits", &[2, 4, 8])?);
+    let scheme = scheme_of(args)?;
+
+    let mut p = pretrained(kind);
+    let sens_set = p
+        .data
+        .train
+        .sample_subset(set_size.min(p.data.train.len()), set_seed);
+    let sm = measure_sensitivities(
+        &mut p.network,
+        &sens_set,
+        &bits,
+        &SensitivityOptions {
+            scheme,
+            verbose: args.switch("verbose"),
+            ..Default::default()
+        },
+    );
+    save_sensitivities(&sm, &out)?;
+    println!(
+        "measured Ĝ for {} (𝔹 = {bits}, {} samples): {} evaluations in {:.1}s → {}",
+        kind.display_name(),
+        set_size,
+        sm.stats.evaluations,
+        sm.stats.seconds,
+        out.display()
+    );
+    Ok(())
+}
+
+/// `clado assign --model <id> --avg-bits <f> [--sens <file>]`
+pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
+    let kind = model_kind(args.require::<String>("model")?.as_str())?;
+    let avg_bits: f64 = args.require("avg-bits")?;
+    let scheme = scheme_of(args)?;
+    let algorithm = algorithm_of(args)?;
+
+    let mut p = pretrained(kind);
+    let sizes = LayerSizes::new(p.network.layer_param_counts());
+    let budget = sizes.budget_from_avg_bits(avg_bits);
+
+    let assignment = if let Some(sens_path) = args.get("sens") {
+        // Reuse persisted sensitivities (CLADO variants only).
+        let sm = load_sensitivities(std::path::Path::new(sens_path))?;
+        let variant = match algorithm {
+            Algorithm::CladoStar => CladoVariant::DiagonalOnly,
+            Algorithm::BlockClado => CladoVariant::BlockOnly(
+                p.network
+                    .quantizable_layers()
+                    .iter()
+                    .map(|l| l.block)
+                    .collect(),
+            ),
+            Algorithm::Clado | Algorithm::CladoNoPsd => CladoVariant::Full,
+            other => {
+                return Err(Box::new(ArgsError(format!(
+                    "--sens files apply to CLADO variants, not {other:?}"
+                ))))
+            }
+        };
+        assign_bits(
+            &sm,
+            &sizes,
+            budget,
+            &AssignOptions {
+                variant,
+                skip_psd: args.switch("no-psd"),
+                ..Default::default()
+            },
+        )?
+    } else {
+        let bits = BitWidthSet::new(&args.u8_list_or("bits", &[2, 4, 8])?);
+        let set_size: usize = args.get_or("set-size", 128)?;
+        let sens_set = p
+            .data
+            .train
+            .sample_subset(set_size.min(p.data.train.len()), 0);
+        let mut ctx = ExperimentContext::new(p.network, sens_set, p.data.val.clone(), bits, scheme);
+        let (assignment, acc) = ctx.run(algorithm, budget)?;
+        println!(
+            "{:<10} {:>7.4} MB  acc {:>6.2}%  {}",
+            algorithm.label(),
+            bits_to_mb(assignment.cost_bits),
+            acc * 100.0,
+            assignment.bitmap()
+        );
+        return Ok(());
+    };
+    let acc = quantized_accuracy(&mut p.network, &assignment.bits, scheme, &p.data.val);
+    println!(
+        "{:<10} {:>7.4} MB  acc {:>6.2}%  {}",
+        algorithm.label(),
+        bits_to_mb(assignment.cost_bits),
+        acc * 100.0,
+        assignment.bitmap()
+    );
+    Ok(())
+}
+
+/// `clado sweep --model <id> [--from --to --step]`
+pub fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
+    let kind = model_kind(args.require::<String>("model")?.as_str())?;
+    let from: f64 = args.get_or("from", 2.5)?;
+    let to: f64 = args.get_or("to", 4.0)?;
+    let step: f64 = args.get_or("step", 0.5)?;
+    if !(from > 0.0 && to >= from && step > 0.0) {
+        return Err(Box::new(ArgsError("invalid sweep range".into())));
+    }
+    let algorithm = algorithm_of(args)?;
+    let scheme = scheme_of(args)?;
+    let bits = BitWidthSet::new(&args.u8_list_or("bits", &[2, 4, 8])?);
+    let set_size: usize = args.get_or("set-size", 128)?;
+
+    let p = pretrained(kind);
+    println!(
+        "{} (FP32 {:.2}%), {}",
+        kind.display_name(),
+        p.val_accuracy * 100.0,
+        algorithm.label()
+    );
+    let sens_set = p
+        .data
+        .train
+        .sample_subset(set_size.min(p.data.train.len()), 0);
+    let mut ctx = ExperimentContext::new(p.network, sens_set, p.data.val.clone(), bits, scheme);
+    println!("{:>9} {:>11} {:>9}", "avg bits", "size (MB)", "accuracy");
+    let mut avg = from;
+    while avg <= to + 1e-9 {
+        let budget = ctx.sizes.budget_from_avg_bits(avg);
+        match ctx.run(algorithm, budget) {
+            Ok((a, acc)) => println!(
+                "{avg:>9.2} {:>11.4} {:>8.2}%",
+                bits_to_mb(a.cost_bits),
+                acc * 100.0
+            ),
+            Err(e) => println!("{avg:>9.2} {e:>20}"),
+        }
+        avg += step;
+    }
+    Ok(())
+}
+
+/// `clado eval --model <id> --map 8,4,...`
+pub fn cmd_eval(args: &Args) -> Result<(), Box<dyn Error>> {
+    let kind = model_kind(args.require::<String>("model")?.as_str())?;
+    let map = args.u8_list_or("map", &[])?;
+    let scheme = scheme_of(args)?;
+    let mut p = pretrained(kind);
+    let layers = p.network.quantizable_layers().len();
+    if map.len() != layers {
+        return Err(Box::new(ArgsError(format!(
+            "--map has {} entries but {} has {layers} quantizable layers",
+            map.len(),
+            kind.display_name()
+        ))));
+    }
+    let assignment: Vec<BitWidth> = map.iter().map(|&b| BitWidth::of(b)).collect();
+    let sizes = LayerSizes::new(p.network.layer_param_counts());
+    let cost = sizes.assignment_bits(&assignment);
+    let acc = quantized_accuracy(&mut p.network, &assignment, scheme, &p.data.val);
+    println!(
+        "{}: {:.4} MB ({:.2} bits/weight avg), PTQ accuracy {:.2}%",
+        kind.display_name(),
+        bits_to_mb(cost),
+        clado_quant::avg_bits(cost, sizes.total_params()),
+        acc * 100.0
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string())).expect("valid test args")
+    }
+
+    #[test]
+    fn model_ids_resolve() {
+        assert_eq!(model_kind("resnet34").unwrap(), ModelKind::ResNet34);
+        assert_eq!(model_kind("mobilenet").unwrap(), ModelKind::MobileNet);
+        assert!(model_kind("alexnet").is_err());
+    }
+
+    #[test]
+    fn scheme_and_algorithm_parsing() {
+        assert_eq!(
+            scheme_of(&args(&["x"])).unwrap(),
+            QuantScheme::PerTensorSymmetric
+        );
+        assert_eq!(
+            scheme_of(&args(&["x", "--scheme", "affine"])).unwrap(),
+            QuantScheme::PerChannelAffine
+        );
+        assert!(scheme_of(&args(&["x", "--scheme", "nope"])).is_err());
+        assert_eq!(algorithm_of(&args(&["x"])).unwrap(), Algorithm::Clado);
+        assert_eq!(
+            algorithm_of(&args(&["x", "--algorithm", "hawq"])).unwrap(),
+            Algorithm::Hawq
+        );
+        assert!(algorithm_of(&args(&["x", "--algorithm", "nas"])).is_err());
+    }
+
+    #[test]
+    fn eval_rejects_wrong_map_length() {
+        // Use the cached resnet20 if present; otherwise this trains once
+        // (~15 s) and caches for every other test/bench on the machine.
+        let a = args(&["eval", "--model", "resnet20", "--map", "8,8"]);
+        let err = cmd_eval(&a).unwrap_err();
+        assert!(err.to_string().contains("quantizable layers"), "{err}");
+    }
+
+    #[test]
+    fn usage_covers_every_command() {
+        for cmd in ["models", "train", "sensitivity", "assign", "sweep", "eval"] {
+            assert!(USAGE.contains(cmd), "usage missing `{cmd}`");
+        }
+    }
+}

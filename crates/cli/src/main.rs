@@ -1,0 +1,47 @@
+//! `clado` — the command-line interface of the CLADO reproduction.
+//!
+//! Run `clado --help` (or any unknown command) for usage.
+
+mod args;
+mod commands;
+
+use args::Args;
+use commands::USAGE;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.switch("help") || parsed.subcommand().is_none() {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = match parsed.subcommand().expect("checked above") {
+        "models" => {
+            commands::cmd_models();
+            Ok(())
+        }
+        "train" => commands::cmd_train(&parsed),
+        "sensitivity" => commands::cmd_sensitivity(&parsed),
+        "assign" => commands::cmd_assign(&parsed),
+        "sweep" => commands::cmd_sweep(&parsed),
+        "eval" => commands::cmd_eval(&parsed),
+        other => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

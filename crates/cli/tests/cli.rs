@@ -1,0 +1,59 @@
+//! End-to-end tests of the `clado` binary via subprocess.
+
+use std::process::Command;
+
+fn clado() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_clado"))
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = clado().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("sensitivity"));
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let out = clado().output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("COMMANDS"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = clado().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn models_lists_the_zoo() {
+    let out = clado().arg("models").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in ["resnet20", "resnet34", "resnet50", "mobilenetv3", "regnet", "vit"] {
+        assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn missing_required_option_is_reported() {
+    let out = clado().arg("train").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--model"));
+}
+
+#[test]
+fn invalid_model_is_reported() {
+    let out = clado()
+        .args(["train", "--model", "alexnet"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown model"));
+}

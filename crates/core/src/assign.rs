@@ -1,0 +1,309 @@
+//! Bit-width assignment: from a sensitivity matrix to the IQP of eq. (11)
+//! and back to per-layer bit-widths.
+
+use crate::sensitivity::SensitivityMatrix;
+use clado_quant::{BitWidth, BitWidthSet, LayerSizes};
+use clado_solver::{IqpError, IqpProblem, Solution, SolverConfig, SymMatrix};
+use std::fmt;
+
+/// Which sensitivity structure to optimize over — the paper's method and
+/// its two structural ablations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CladoVariant {
+    /// Full CLADO: all pairwise cross-layer terms.
+    #[default]
+    Full,
+    /// CLADO\*: cross-layer terms removed (Table 1 ablation).
+    DiagonalOnly,
+    /// BRECQ-style: intra-block interactions only (Fig. 6 ablation);
+    /// carries the per-layer block ids.
+    BlockOnly(Vec<usize>),
+}
+
+/// Options for [`assign_bits`].
+#[derive(Debug, Clone, Default)]
+pub struct AssignOptions {
+    /// Structural variant.
+    pub variant: CladoVariant,
+    /// Apply the PSD approximation to Ĝ before solving (the paper's
+    /// default; disabling reproduces the Fig. 7 ablation).
+    pub skip_psd: bool,
+    /// IQP solver configuration.
+    pub solver: SolverConfig,
+}
+
+/// A solved per-layer bit-width assignment.
+#[derive(Debug, Clone)]
+pub struct BitAssignment {
+    /// Chosen bit-width per layer, in layer order.
+    pub bits: Vec<BitWidth>,
+    /// Predicted loss increase `αᵀĜα` under the (possibly projected)
+    /// objective matrix used by the solver.
+    pub predicted_delta_loss: f64,
+    /// Total weight cost in bits.
+    pub cost_bits: u64,
+    /// Raw solver solution (node counts, optimality proof).
+    pub solution: Solution,
+}
+
+impl BitAssignment {
+    /// Mean bits per weight of the assignment.
+    pub fn avg_bits(&self, sizes: &LayerSizes) -> f64 {
+        clado_quant::avg_bits(self.cost_bits, sizes.total_params())
+    }
+
+    /// Compact bit map like `[8 4 4 2 …]`.
+    pub fn bitmap(&self) -> String {
+        let parts: Vec<String> = self.bits.iter().map(|b| b.bits().to_string()).collect();
+        format!("[{}]", parts.join(" "))
+    }
+}
+
+impl fmt::Display for BitAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (cost {} bits, predicted ΔL {:.4})",
+            self.bitmap(),
+            self.cost_bits,
+            self.predicted_delta_loss
+        )
+    }
+}
+
+/// Builds the eq. (11) IQP from a sensitivity matrix and solves it.
+///
+/// `budget_bits` is `C_target` in bits (`Σ |w⁽ⁱ⁾| · b⁽ⁱ⁾ ≤ C_target`).
+///
+/// # Errors
+///
+/// Returns [`IqpError`] if the instance is inconsistent or infeasible.
+pub fn assign_bits(
+    sens: &SensitivityMatrix,
+    sizes: &LayerSizes,
+    budget_bits: u64,
+    options: &AssignOptions,
+) -> Result<BitAssignment, IqpError> {
+    let matrix = match &options.variant {
+        CladoVariant::Full => sens.matrix().clone(),
+        CladoVariant::DiagonalOnly => sens.diagonal_only(),
+        CladoVariant::BlockOnly(blocks) => sens.block_masked(blocks),
+    };
+    let matrix = if options.skip_psd {
+        matrix
+    } else {
+        matrix.psd_project()
+    };
+    solve_with_matrix(&matrix, sens.bits(), sizes, budget_bits, &options.solver)
+}
+
+/// Solves eq. (11) for an explicit objective matrix (used by the separable
+/// baselines, which build their own diagonal Ĝ).
+///
+/// # Errors
+///
+/// Returns [`IqpError`] if the instance is inconsistent or infeasible.
+pub fn solve_with_matrix(
+    matrix: &SymMatrix,
+    bits: &BitWidthSet,
+    sizes: &LayerSizes,
+    budget_bits: u64,
+    solver: &SolverConfig,
+) -> Result<BitAssignment, IqpError> {
+    let num_layers = sizes.num_layers();
+    let k = bits.len();
+    let group_sizes = vec![k; num_layers];
+    let mut costs = Vec::with_capacity(num_layers * k);
+    for i in 0..num_layers {
+        for b in bits.iter() {
+            costs.push(sizes.params(i) as u64 * b.bits() as u64);
+        }
+    }
+    let problem = IqpProblem::new(matrix.clone(), &group_sizes, costs, budget_bits)?;
+    // Separable (diagonal) objectives — the HAWQ/MPQCO/CLADO* path — admit
+    // the exact multiple-choice-knapsack DP; fall back to the configured
+    // solver for quadratic instances.
+    let solution = match problem.solve(&SolverConfig {
+        method: clado_solver::SolveMethod::DynamicProgramming,
+        ..solver.clone()
+    }) {
+        Ok(sol) => sol,
+        Err(IqpError::NotSeparable { .. }) => problem.solve(solver)?,
+        Err(e) => return Err(e),
+    };
+    let chosen: Vec<BitWidth> = solution.choices.iter().map(|&m| bits.get(m)).collect();
+    Ok(BitAssignment {
+        cost_bits: solution.cost,
+        predicted_delta_loss: solution.objective,
+        bits: chosen,
+        solution,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::eval_loss;
+    use crate::sensitivity::{measure_sensitivities, SensitivityOptions};
+    use clado_models::{SynthVision, SynthVisionConfig};
+    use clado_nn::{Conv2d, GlobalAvgPool, Linear, Network, Sequential};
+    use clado_tensor::Conv2dSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Network, SynthVision) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = Network::new(
+            Sequential::new()
+                .push(
+                    "conv1",
+                    Conv2d::new(Conv2dSpec::new(3, 6, 3, 1, 1), true, &mut rng),
+                )
+                .push("relu1", clado_nn::Activation::new(clado_nn::ActKind::Relu))
+                .push(
+                    "conv2",
+                    Conv2d::new(Conv2dSpec::new(6, 8, 3, 2, 1), true, &mut rng),
+                )
+                .push("relu2", clado_nn::Activation::new(clado_nn::ActKind::Relu))
+                .push("pool", GlobalAvgPool::new())
+                .push("fc", Linear::new(8, 4, &mut rng)),
+            4,
+        );
+        let data = SynthVision::generate(SynthVisionConfig {
+            classes: 4,
+            img: 8,
+            train: 64,
+            val: 32,
+            seed: 31,
+            noise: 0.2,
+            label_noise: 0.0,
+        });
+        (net, data)
+    }
+
+    #[test]
+    fn assignment_respects_budget_and_prefers_more_bits_with_slack() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..24).collect::<Vec<_>>());
+        let bits = BitWidthSet::standard();
+        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let sizes = LayerSizes::new(net.layer_param_counts());
+
+        // Generous budget: the solution must fit and be at least as good as
+        // the all-8-bit reference under the solver's own objective. (It need
+        // not BE all-8-bit: measured sensitivities can be slightly negative,
+        // so quantizing a robust layer may genuinely reduce the objective.)
+        let budget = sizes.uniform_bits(BitWidth::of(8));
+        let a = assign_bits(&sm, &sizes, budget, &AssignOptions::default()).unwrap();
+        assert!(a.cost_bits <= budget);
+        let all8 = vec![bits.len() - 1; sizes.num_layers()];
+        let psd = sm.psd_projected();
+        let reference =
+            solve_with_matrix(&psd, &bits, &sizes, budget, &Default::default()).unwrap();
+        let mut alpha = vec![0.0f64; psd.dim()];
+        for (i, &m) in all8.iter().enumerate() {
+            alpha[i * bits.len() + m] = 1.0;
+        }
+        let all8_obj = psd.quadratic_form(&alpha);
+        assert!(
+            reference.predicted_delta_loss <= all8_obj + 1e-9,
+            "solver objective {} worse than all-8 {all8_obj}",
+            reference.predicted_delta_loss
+        );
+
+        // Tight budget: must fit.
+        let tight = sizes.budget_from_avg_bits(3.0);
+        let a = assign_bits(&sm, &sizes, tight, &AssignOptions::default()).unwrap();
+        assert!(a.cost_bits <= tight);
+        assert!(a.bits.iter().any(|b| b.bits() < 8));
+    }
+
+    #[test]
+    fn predicted_delta_loss_tracks_measured_loss_increase() {
+        // The IQP objective (pre-PSD, full matrix) on an assignment should
+        // approximate 2·(L(quantized) − L(base)) reasonably for moderate
+        // perturbations.
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..32).collect::<Vec<_>>());
+        let bits = BitWidthSet::standard();
+        let opts = SensitivityOptions::default();
+        let sm = measure_sensitivities(&mut net, &set, &bits, &opts);
+        let sizes = LayerSizes::new(net.layer_param_counts());
+        let budget = sizes.budget_from_avg_bits(5.0);
+        let a = assign_bits(
+            &sm,
+            &sizes,
+            budget,
+            &AssignOptions {
+                skip_psd: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        // Measure the true loss increase at that assignment.
+        let base = eval_loss(&mut net, &set, 32);
+        let snapshot = crate::probe::apply_quantization(&mut net, &a.bits, opts.scheme);
+        let l = eval_loss(&mut net, &set, 32);
+        net.restore_weights(&snapshot);
+        let measured = 2.0 * (l - base);
+        // Same sign and same order of magnitude.
+        assert!(
+            (a.predicted_delta_loss - measured).abs() < 0.5 * measured.abs().max(0.05),
+            "predicted {} vs measured {measured}",
+            a.predicted_delta_loss
+        );
+    }
+
+    #[test]
+    fn diagonal_variant_ignores_cross_terms() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let bits = BitWidthSet::standard();
+        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let sizes = LayerSizes::new(net.layer_param_counts());
+        let budget = sizes.budget_from_avg_bits(4.0);
+        let full = assign_bits(&sm, &sizes, budget, &AssignOptions::default()).unwrap();
+        let diag = assign_bits(
+            &sm,
+            &sizes,
+            budget,
+            &AssignOptions {
+                variant: CladoVariant::DiagonalOnly,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Both feasible; objectives may differ.
+        assert!(full.cost_bits <= budget && diag.cost_bits <= budget);
+    }
+
+    #[test]
+    fn infeasible_budget_errors() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..8).collect::<Vec<_>>());
+        let bits = BitWidthSet::standard();
+        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let sizes = LayerSizes::new(net.layer_param_counts());
+        let impossible = sizes.budget_from_avg_bits(1.0); // below 2-bit minimum
+        let err = assign_bits(&sm, &sizes, impossible, &AssignOptions::default()).unwrap_err();
+        assert!(matches!(err, IqpError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn bitmap_format() {
+        let a = BitAssignment {
+            bits: vec![BitWidth::of(8), BitWidth::of(2)],
+            predicted_delta_loss: 0.0,
+            cost_bits: 10,
+            solution: Solution {
+                choices: vec![2, 0],
+                objective: 0.0,
+                cost: 10,
+                proved_optimal: true,
+                nodes_explored: 0,
+            },
+        };
+        assert_eq!(a.bitmap(), "[8 2]");
+    }
+}

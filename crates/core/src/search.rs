@@ -1,0 +1,351 @@
+//! Search-based MPQ baselines (the paper's *other* method class, §2).
+//!
+//! HAQ/AutoQ-style methods explore bit assignments by directly evaluating
+//! the quantized model, paying hundreds of evaluations per constraint
+//! instead of a reusable sensitivity precomputation. This module provides
+//! two such searchers — pure random search and simulated annealing — so the
+//! sensitivity-vs-search comparison (quality per evaluation, and the
+//! "new constraints need a new search" property) can be reproduced.
+
+use crate::assign::BitAssignment;
+use crate::probe::{apply_quantization, eval_loss};
+use clado_models::DataSplit;
+use clado_nn::Network;
+use clado_quant::{BitWidth, BitWidthSet, LayerSizes, QuantScheme};
+use clado_solver::Solution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for the search-based baselines.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Number of candidate evaluations (each is a full quantized forward
+    /// pass over the evaluation set — the expensive part).
+    pub evaluations: usize,
+    /// Quantization scheme.
+    pub scheme: QuantScheme,
+    /// Probe batch size.
+    pub batch_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Initial Metropolis temperature (annealing only), in loss units.
+    pub init_temp: f64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        Self {
+            evaluations: 200,
+            scheme: QuantScheme::PerTensorSymmetric,
+            batch_size: crate::probe::PROBE_BATCH,
+            seed: 0x5EA4C,
+            init_temp: 0.5,
+        }
+    }
+}
+
+/// Outcome of a search run.
+#[derive(Debug, Clone)]
+pub struct SearchReport {
+    /// The best assignment found.
+    pub assignment: BitAssignment,
+    /// Loss of the best assignment on the evaluation set.
+    pub best_loss: f64,
+    /// Number of quantized-model evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Draws a random feasible assignment by sampling uniformly and repairing
+/// to the budget by downgrading random layers.
+fn random_feasible(
+    rng: &mut StdRng,
+    bits: &BitWidthSet,
+    sizes: &LayerSizes,
+    budget: u64,
+) -> Vec<BitWidth> {
+    let mut assignment: Vec<BitWidth> = (0..sizes.num_layers())
+        .map(|_| bits.get(rng.gen_range(0..bits.len())))
+        .collect();
+    let mut guard = 0usize;
+    while sizes.assignment_bits(&assignment) > budget {
+        let i = rng.gen_range(0..sizes.num_layers());
+        let idx = bits
+            .index_of(assignment[i])
+            .expect("assignment uses set members");
+        if idx > 0 {
+            assignment[i] = bits.get(idx - 1);
+        }
+        guard += 1;
+        assert!(
+            guard < 100_000,
+            "budget {budget} infeasible even at minimum bits — validate before searching"
+        );
+    }
+    assignment
+}
+
+fn loss_of(
+    network: &mut Network,
+    assignment: &[BitWidth],
+    scheme: QuantScheme,
+    eval_set: &DataSplit,
+    batch_size: usize,
+) -> f64 {
+    let snapshot = apply_quantization(network, assignment, scheme);
+    let loss = eval_loss(network, eval_set, batch_size);
+    network.restore_weights(&snapshot);
+    loss
+}
+
+fn into_report(
+    assignment: Vec<BitWidth>,
+    best_loss: f64,
+    sizes: &LayerSizes,
+    evaluations: usize,
+) -> SearchReport {
+    let cost_bits = sizes.assignment_bits(&assignment);
+    SearchReport {
+        assignment: BitAssignment {
+            cost_bits,
+            predicted_delta_loss: best_loss,
+            solution: Solution {
+                choices: Vec::new(),
+                objective: best_loss,
+                cost: cost_bits,
+                proved_optimal: false,
+                nodes_explored: 0,
+            },
+            bits: assignment,
+        },
+        best_loss,
+        evaluations,
+    }
+}
+
+/// Pure random search: sample feasible assignments, keep the best.
+///
+/// # Panics
+///
+/// Panics if even the all-minimum-bits assignment exceeds `budget`.
+pub fn random_search(
+    network: &mut Network,
+    eval_set: &DataSplit,
+    bits: &BitWidthSet,
+    sizes: &LayerSizes,
+    budget: u64,
+    options: &SearchOptions,
+) -> SearchReport {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut best: Option<(Vec<BitWidth>, f64)> = None;
+    for _ in 0..options.evaluations {
+        let candidate = random_feasible(&mut rng, bits, sizes, budget);
+        let loss = loss_of(
+            network,
+            &candidate,
+            options.scheme,
+            eval_set,
+            options.batch_size,
+        );
+        if best.as_ref().is_none_or(|(_, b)| loss < *b) {
+            best = Some((candidate, loss));
+        }
+    }
+    let (assignment, best_loss) = best.expect("evaluations > 0");
+    into_report(assignment, best_loss, sizes, options.evaluations)
+}
+
+/// Simulated annealing over single-layer bit moves with budget repair.
+///
+/// # Panics
+///
+/// Panics if even the all-minimum-bits assignment exceeds `budget`.
+pub fn annealing_search(
+    network: &mut Network,
+    eval_set: &DataSplit,
+    bits: &BitWidthSet,
+    sizes: &LayerSizes,
+    budget: u64,
+    options: &SearchOptions,
+) -> SearchReport {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut current = random_feasible(&mut rng, bits, sizes, budget);
+    let mut current_loss = loss_of(
+        network,
+        &current,
+        options.scheme,
+        eval_set,
+        options.batch_size,
+    );
+    let mut best = (current.clone(), current_loss);
+    let total = options.evaluations.max(2);
+    for step in 1..total {
+        // Geometric cooling to ~1% of the initial temperature.
+        let progress = step as f64 / total as f64;
+        let temp = options.init_temp * (0.01f64).powf(progress);
+        // Propose: change one layer's bits; repair if over budget.
+        let mut proposal = current.clone();
+        let i = rng.gen_range(0..sizes.num_layers());
+        proposal[i] = bits.get(rng.gen_range(0..bits.len()));
+        let mut guard = 0usize;
+        while sizes.assignment_bits(&proposal) > budget {
+            let j = rng.gen_range(0..sizes.num_layers());
+            let idx = bits.index_of(proposal[j]).expect("set member");
+            if idx > 0 {
+                proposal[j] = bits.get(idx - 1);
+            }
+            guard += 1;
+            assert!(guard < 100_000, "budget repair failed");
+        }
+        let loss = loss_of(
+            network,
+            &proposal,
+            options.scheme,
+            eval_set,
+            options.batch_size,
+        );
+        let accept = loss < current_loss
+            || rng.gen_range(0.0..1.0f64) < ((current_loss - loss) / temp.max(1e-12)).exp();
+        if accept {
+            current = proposal;
+            current_loss = loss;
+            if current_loss < best.1 {
+                best = (current.clone(), current_loss);
+            }
+        }
+    }
+    into_report(best.0, best.1, sizes, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clado_models::{SynthVision, SynthVisionConfig};
+    use clado_nn::{Conv2d, GlobalAvgPool, Linear, Sequential};
+    use clado_tensor::Conv2dSpec;
+    use rand::rngs::StdRng as TestRng;
+
+    fn setup() -> (Network, SynthVision, LayerSizes) {
+        let mut rng = TestRng::seed_from_u64(31);
+        let net = Network::new(
+            Sequential::new()
+                .push(
+                    "conv1",
+                    Conv2d::new(Conv2dSpec::new(3, 6, 3, 1, 1), true, &mut rng),
+                )
+                .push("relu", clado_nn::Activation::new(clado_nn::ActKind::Relu))
+                .push("pool", GlobalAvgPool::new())
+                .push("fc", Linear::new(6, 4, &mut rng)),
+            4,
+        );
+        let data = SynthVision::generate(SynthVisionConfig {
+            classes: 4,
+            img: 8,
+            train: 64,
+            val: 32,
+            seed: 3,
+            noise: 0.2,
+            label_noise: 0.0,
+        });
+        let sizes = LayerSizes::new(net.layer_param_counts());
+        (net, data, sizes)
+    }
+
+    #[test]
+    fn random_search_respects_budget_and_improves_over_first_draw() {
+        let (mut net, data, sizes) = setup();
+        let bits = BitWidthSet::standard();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let budget = sizes.budget_from_avg_bits(4.0);
+        let few = random_search(
+            &mut net,
+            &set,
+            &bits,
+            &sizes,
+            budget,
+            &SearchOptions {
+                evaluations: 1,
+                ..Default::default()
+            },
+        );
+        let many = random_search(
+            &mut net,
+            &set,
+            &bits,
+            &sizes,
+            budget,
+            &SearchOptions {
+                evaluations: 40,
+                ..Default::default()
+            },
+        );
+        assert!(many.assignment.cost_bits <= budget);
+        assert!(
+            many.best_loss <= few.best_loss + 1e-12,
+            "more samples can't be worse"
+        );
+        assert_eq!(many.evaluations, 40);
+    }
+
+    #[test]
+    fn annealing_matches_or_beats_random_at_equal_budget() {
+        let (mut net, data, sizes) = setup();
+        let bits = BitWidthSet::standard();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let budget = sizes.budget_from_avg_bits(3.0);
+        let opts = SearchOptions {
+            evaluations: 60,
+            ..Default::default()
+        };
+        let rs = random_search(&mut net, &set, &bits, &sizes, budget, &opts);
+        let sa = annealing_search(&mut net, &set, &bits, &sizes, budget, &opts);
+        assert!(sa.assignment.cost_bits <= budget);
+        // Annealing exploits locality; allow a small slack for stochasticity.
+        assert!(
+            sa.best_loss <= rs.best_loss * 1.25 + 0.05,
+            "sa {} vs rs {}",
+            sa.best_loss,
+            rs.best_loss
+        );
+    }
+
+    #[test]
+    fn search_restores_the_network_weights() {
+        let (mut net, data, sizes) = setup();
+        let before = net.snapshot_weights();
+        let set = data.train.subset(&(0..8).collect::<Vec<_>>());
+        let budget = sizes.budget_from_avg_bits(4.0);
+        let _ = annealing_search(
+            &mut net,
+            &set,
+            &BitWidthSet::standard(),
+            &sizes,
+            budget,
+            &SearchOptions {
+                evaluations: 10,
+                ..Default::default()
+            },
+        );
+        let after = net.snapshot_weights();
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn impossible_budget_panics() {
+        let (mut net, data, sizes) = setup();
+        let set = data.train.subset(&(0..8).collect::<Vec<_>>());
+        random_search(
+            &mut net,
+            &set,
+            &BitWidthSet::standard(),
+            &sizes,
+            1, // one bit total: impossible
+            &SearchOptions {
+                evaluations: 2,
+                ..Default::default()
+            },
+        );
+    }
+}

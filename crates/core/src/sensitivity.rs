@@ -1,0 +1,414 @@
+//! Algorithm 1: backpropagation-free measurement of the sensitivity matrix Ĝ.
+//!
+//! Layer-specific entries use eq. (12): `Ω_ii(m) ≈ 2(L(w+Δw_m⁽ⁱ⁾) − L(w))`.
+//! Cross-layer entries use eq. (13):
+//! `Ω_ij(m,n) ≈ L(w+Δw_m⁽ⁱ⁾+Δw_n⁽ʲ⁾) + L(w) − L(w+Δw_m⁽ⁱ⁾) − L(w+Δw_n⁽ʲ⁾)`.
+//!
+//! (The paper's Algorithm 1 pseudocode subtracts `0.5·Ĝ_diag` terms, which
+//! expands to an extra `+2L(w)`; we implement eq. (13), the mathematically
+//! consistent form the derivation produces.)
+//!
+//! The paper budgets `½·|𝔹|I(|𝔹|I+1)` forward evaluations. This
+//! implementation is slightly cheaper: same-layer pairs with different
+//! bit-widths `(i,m)–(i,n)` are never co-active under the one-hot
+//! constraint, so their `I·C(|𝔹|,2)` measurements are skipped —
+//! `1 + |𝔹|I + ½|𝔹|²I(I−1)` evaluations in total.
+
+use crate::probe::{eval_loss, quant_error_table, PROBE_BATCH};
+use clado_models::DataSplit;
+use clado_nn::Network;
+use clado_quant::{BitWidthSet, QuantScheme};
+use clado_solver::SymMatrix;
+use std::time::Instant;
+
+/// Options controlling sensitivity measurement.
+#[derive(Debug, Clone)]
+pub struct SensitivityOptions {
+    /// Quantization scheme used to produce the Δw perturbations.
+    pub scheme: QuantScheme,
+    /// Probe batch size.
+    pub batch_size: usize,
+    /// Print coarse progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for SensitivityOptions {
+    fn default() -> Self {
+        Self {
+            scheme: QuantScheme::PerTensorSymmetric,
+            batch_size: PROBE_BATCH,
+            verbose: false,
+        }
+    }
+}
+
+/// Measurement statistics (the paper's runtime discussion, §5.2).
+#[derive(Debug, Clone, Copy)]
+pub struct SensitivityStats {
+    /// Number of network evaluations on the sensitivity set.
+    pub evaluations: usize,
+    /// Wall-clock measurement time in seconds.
+    pub seconds: f64,
+}
+
+/// The measured sensitivity matrix Ĝ plus its provenance.
+#[derive(Debug, Clone)]
+pub struct SensitivityMatrix {
+    g: SymMatrix,
+    num_layers: usize,
+    bits: BitWidthSet,
+    /// Loss of the unperturbed model on the sensitivity set, `L(w)`.
+    pub base_loss: f64,
+    /// Measurement statistics.
+    pub stats: SensitivityStats,
+}
+
+impl SensitivityMatrix {
+    /// Reassembles a matrix from its serialized parts (see
+    /// [`crate::load_sensitivities`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s dimension is not `num_layers · |bits|`.
+    pub fn from_parts(
+        g: SymMatrix,
+        num_layers: usize,
+        bits: BitWidthSet,
+        base_loss: f64,
+        stats: SensitivityStats,
+    ) -> Self {
+        assert_eq!(
+            g.dim(),
+            num_layers * bits.len(),
+            "matrix dimension mismatch"
+        );
+        Self {
+            g,
+            num_layers,
+            bits,
+            base_loss,
+            stats,
+        }
+    }
+
+    /// The raw (pre-PSD) matrix.
+    pub fn matrix(&self) -> &SymMatrix {
+        &self.g
+    }
+
+    /// Number of layers `I`.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// The bit-width candidate set 𝔹.
+    pub fn bits(&self) -> &BitWidthSet {
+        &self.bits
+    }
+
+    /// Flat variable index of `(layer, bit_index)`: `|𝔹|·i + m`.
+    pub fn var(&self, layer: usize, bit_index: usize) -> usize {
+        layer * self.bits.len() + bit_index
+    }
+
+    /// The layer-specific sensitivity `Ω_ii(m, m)`.
+    pub fn layer_sensitivity(&self, layer: usize, bit_index: usize) -> f64 {
+        let v = self.var(layer, bit_index);
+        self.g.get(v, v)
+    }
+
+    /// The cross-layer sensitivity `Ω_ij(m, n)`.
+    pub fn cross_sensitivity(
+        &self,
+        layer_i: usize,
+        bit_m: usize,
+        layer_j: usize,
+        bit_n: usize,
+    ) -> f64 {
+        self.g
+            .get(self.var(layer_i, bit_m), self.var(layer_j, bit_n))
+    }
+
+    /// PSD projection of Ĝ (the paper's preprocessing before the IQP).
+    pub fn psd_projected(&self) -> SymMatrix {
+        self.g.psd_project()
+    }
+
+    /// A copy of Ĝ with all cross-layer blocks zeroed — the CLADO\*
+    /// ablation (Table 1).
+    pub fn diagonal_only(&self) -> SymMatrix {
+        let mut out = SymMatrix::zeros(self.g.dim());
+        let k = self.bits.len();
+        for i in 0..self.num_layers {
+            for m in 0..k {
+                for n in 0..k {
+                    let (u, v) = (i * k + m, i * k + n);
+                    out.set(u, v, self.g.get(u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// A copy of Ĝ keeping intra-block interactions only — the BRECQ-style
+    /// ablation (Fig. 6). `blocks[i]` is the block id of layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` length differs from the layer count.
+    pub fn block_masked(&self, blocks: &[usize]) -> SymMatrix {
+        assert_eq!(blocks.len(), self.num_layers, "block id per layer required");
+        let mut out = SymMatrix::zeros(self.g.dim());
+        let k = self.bits.len();
+        for i in 0..self.num_layers {
+            for j in 0..self.num_layers {
+                if blocks[i] != blocks[j] && i != j {
+                    continue;
+                }
+                for m in 0..k {
+                    for n in 0..k {
+                        let (u, v) = (i * k + m, j * k + n);
+                        out.set(u, v, self.g.get(u, v));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs Algorithm 1 on `network` over the sensitivity set.
+///
+/// The network's weights are restored to their original values before
+/// returning.
+pub fn measure_sensitivities(
+    network: &mut Network,
+    sens_set: &DataSplit,
+    bits: &BitWidthSet,
+    options: &SensitivityOptions,
+) -> SensitivityMatrix {
+    let start = Instant::now();
+    let num_layers = network.quantizable_layers().len();
+    let k = bits.len();
+    let dim = num_layers * k;
+    let mut g = SymMatrix::zeros(dim);
+    let deltas = quant_error_table(network, bits, options.scheme);
+
+    let mut evals = 0usize;
+    let base_loss = eval_loss(network, sens_set, options.batch_size);
+    evals += 1;
+
+    // Layer-specific sensitivities: Ω_ii(m) = 2(L(w + Δ) − L(w)).
+    // Cache the single-perturbation losses for the pairwise pass.
+    let mut single_loss = vec![vec![0.0f64; k]; num_layers];
+    for i in 0..num_layers {
+        for m in 0..k {
+            network.perturb_weight(i, &deltas[i][m]);
+            let loss = eval_loss(network, sens_set, options.batch_size);
+            evals += 1;
+            // Restore by subtracting the same delta (cheaper than a full
+            // snapshot restore and exact in f32 because the quantized value
+            // was computed from the unperturbed weight).
+            let mut neg = deltas[i][m].clone();
+            neg.scale(-1.0);
+            network.perturb_weight(i, &neg);
+            single_loss[i][m] = loss;
+            g.set(i * k + m, i * k + m, 2.0 * (loss - base_loss));
+        }
+        if options.verbose {
+            eprintln!("sensitivity: diagonal layer {}/{num_layers}", i + 1);
+        }
+    }
+    // Drift guard: additive perturb/unperturb in f32 can accumulate error;
+    // re-pin the exact original weights once before the pairwise pass.
+    let originals = network.snapshot_weights();
+
+    // Cross-layer sensitivities, eq. (13).
+    for i in 0..num_layers {
+        for j in (i + 1)..num_layers {
+            for m in 0..k {
+                network.perturb_weight(i, &deltas[i][m]);
+                for n in 0..k {
+                    network.perturb_weight(j, &deltas[j][n]);
+                    let loss = eval_loss(network, sens_set, options.batch_size);
+                    evals += 1;
+                    let omega = loss + base_loss - single_loss[i][m] - single_loss[j][n];
+                    g.set(i * k + m, j * k + n, omega);
+                    network.set_weight(j, &originals[j]);
+                }
+                network.set_weight(i, &originals[i]);
+            }
+        }
+        if options.verbose {
+            eprintln!("sensitivity: pairwise layer {}/{num_layers}", i + 1);
+        }
+    }
+    network.restore_weights(&originals);
+
+    SensitivityMatrix {
+        g,
+        num_layers,
+        bits: bits.clone(),
+        base_loss,
+        stats: SensitivityStats {
+            evaluations: evals,
+            seconds: start.elapsed().as_secs_f64(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clado_models::{SynthVision, SynthVisionConfig};
+    use clado_nn::{Conv2d, GlobalAvgPool, Linear, Network, Sequential};
+    use clado_tensor::Conv2dSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Network, SynthVision) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Network::new(
+            Sequential::new()
+                .push(
+                    "conv1",
+                    Conv2d::new(Conv2dSpec::new(3, 6, 3, 1, 1), true, &mut rng),
+                )
+                .push("relu1", clado_nn::Activation::new(clado_nn::ActKind::Relu))
+                .push(
+                    "conv2",
+                    Conv2d::new(Conv2dSpec::new(6, 6, 3, 1, 1), true, &mut rng),
+                )
+                .push("relu2", clado_nn::Activation::new(clado_nn::ActKind::Relu))
+                .push("pool", GlobalAvgPool::new())
+                .push("fc", Linear::new(6, 4, &mut rng)),
+            4,
+        );
+        let data = SynthVision::generate(SynthVisionConfig {
+            classes: 4,
+            img: 8,
+            train: 48,
+            val: 32,
+            seed: 9,
+            noise: 0.2,
+            label_noise: 0.0,
+        });
+        (net, data)
+    }
+
+    #[test]
+    fn measurement_count_matches_paper_formula() {
+        let (mut net, data) = setup();
+        let bits = BitWidthSet::new(&[2, 8]);
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        // 1 base + |B|I diagonal + ½|B|²I(I−1) cross-pair evaluations
+        // (same-layer bit pairs are skipped; see the module docs).
+        let (b, i) = (2usize, 3usize); // |B| = 2, I = 3 (conv1, conv2, fc)
+        assert_eq!(sm.stats.evaluations, 1 + b * i + b * b * i * (i - 1) / 2);
+        assert_eq!(sm.num_layers(), 3);
+    }
+
+    #[test]
+    fn weights_are_restored_after_measurement() {
+        let (mut net, data) = setup();
+        let before = net.snapshot_weights();
+        let set = data.train.subset(&(0..8).collect::<Vec<_>>());
+        let _ = measure_sensitivities(
+            &mut net,
+            &set,
+            &BitWidthSet::new(&[2, 8]),
+            &SensitivityOptions::default(),
+        );
+        let after = net.snapshot_weights();
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn diagonal_is_twice_single_layer_loss_increase() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let bits = BitWidthSet::new(&[2, 8]);
+        let opts = SensitivityOptions::default();
+        let sm = measure_sensitivities(&mut net, &set, &bits, &opts);
+        // Manually recompute layer 0 @ 2 bits.
+        let base = eval_loss(&mut net, &set, opts.batch_size);
+        let dw = clado_quant::quant_error(&net.weight(0), bits.get(0), opts.scheme);
+        net.perturb_weight(0, &dw);
+        let l = eval_loss(&mut net, &set, opts.batch_size);
+        let expect = 2.0 * (l - base);
+        assert!((sm.layer_sensitivity(0, 0) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eight_bit_sensitivities_are_tiny_relative_to_two_bit() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let bits = BitWidthSet::new(&[2, 8]);
+        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        for i in 0..sm.num_layers() {
+            let two = sm.layer_sensitivity(i, 0).abs();
+            let eight = sm.layer_sensitivity(i, 1).abs();
+            assert!(
+                eight <= two + 1e-9,
+                "layer {i}: 8-bit {eight} vs 2-bit {two}"
+            );
+        }
+    }
+
+    #[test]
+    fn masks_zero_the_right_blocks() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..8).collect::<Vec<_>>());
+        let bits = BitWidthSet::new(&[2, 8]);
+        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let diag = sm.diagonal_only();
+        // Off-diagonal block between layers 0 and 1 must vanish.
+        assert_eq!(diag.get(sm.var(0, 0), sm.var(1, 0)), 0.0);
+        // Diagonal block survives.
+        assert_eq!(
+            diag.get(sm.var(0, 0), sm.var(0, 0)),
+            sm.layer_sensitivity(0, 0)
+        );
+
+        // Block mask keeping layers 0 and 1 together, layer 2 separate.
+        let masked = sm.block_masked(&[0, 0, 1]);
+        assert_eq!(
+            masked.get(sm.var(0, 0), sm.var(1, 1)),
+            sm.cross_sensitivity(0, 0, 1, 1)
+        );
+        assert_eq!(masked.get(sm.var(0, 0), sm.var(2, 0)), 0.0);
+    }
+
+    #[test]
+    fn pairwise_entries_match_eq13_manual_recomputation() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let bits = BitWidthSet::new(&[2, 8]);
+        let opts = SensitivityOptions::default();
+        let sm = measure_sensitivities(&mut net, &set, &bits, &opts);
+
+        let base = eval_loss(&mut net, &set, opts.batch_size);
+        let w0 = net.weight(0);
+        let w1 = net.weight(1);
+        let d0 = clado_quant::quant_error(&w0, bits.get(0), opts.scheme);
+        let d1 = clado_quant::quant_error(&w1, bits.get(0), opts.scheme);
+        net.perturb_weight(0, &d0);
+        let l0 = eval_loss(&mut net, &set, opts.batch_size);
+        net.set_weight(0, &w0);
+        net.perturb_weight(1, &d1);
+        let l1 = eval_loss(&mut net, &set, opts.batch_size);
+        net.set_weight(1, &w1);
+        net.perturb_weight(0, &d0);
+        net.perturb_weight(1, &d1);
+        let l01 = eval_loss(&mut net, &set, opts.batch_size);
+        let expect = l01 + base - l0 - l1;
+        assert!(
+            (sm.cross_sensitivity(0, 0, 1, 0) - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            sm.cross_sensitivity(0, 0, 1, 0)
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Sensitivity-matrix serialization.
+//!
+//! Sensitivity-based MPQ's selling point is that the expensive measurement
+//! is *reusable*: when the size constraint changes, only the cheap IQP is
+//! re-solved. Persisting Ĝ makes that reuse survive process boundaries —
+//! measure once per (model, sensitivity-set), sweep budgets forever.
+//!
+//! Format: `CLSM` magic, version, `I`, |𝔹|, the bit-widths, base loss,
+//! measurement stats, then the `|𝔹|I × |𝔹|I` matrix as little-endian `f64`.
+
+use crate::sensitivity::{SensitivityMatrix, SensitivityStats};
+use clado_quant::BitWidthSet;
+use clado_solver::SymMatrix;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"CLSM";
+const VERSION: u32 = 1;
+
+/// Errors produced by sensitivity-matrix (de)serialization.
+#[derive(Debug)]
+pub enum SensitivityIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a CLSM file, unsupported version, or truncated payload.
+    BadFormat(String),
+}
+
+impl fmt::Display for SensitivityIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::BadFormat(m) => write!(f, "bad sensitivity file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SensitivityIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SensitivityIoError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Serializes a measured sensitivity matrix to `path`.
+///
+/// # Errors
+///
+/// Returns [`SensitivityIoError::Io`] on filesystem failures.
+pub fn save_sensitivities(sens: &SensitivityMatrix, path: &Path) -> Result<(), SensitivityIoError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(sens.num_layers() as u32).to_le_bytes());
+    buf.extend_from_slice(&(sens.bits().len() as u32).to_le_bytes());
+    for b in sens.bits().iter() {
+        buf.push(b.bits());
+    }
+    buf.extend_from_slice(&sens.base_loss.to_le_bytes());
+    buf.extend_from_slice(&(sens.stats.evaluations as u64).to_le_bytes());
+    buf.extend_from_slice(&sens.stats.seconds.to_le_bytes());
+    let n = sens.matrix().dim();
+    for i in 0..n {
+        for j in 0..n {
+            buf.extend_from_slice(&sens.matrix().get(i, j).to_le_bytes());
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    fs::File::create(&tmp)?.write_all(&buf)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a sensitivity matrix saved by [`save_sensitivities`].
+///
+/// # Errors
+///
+/// Returns an error for malformed or truncated files.
+pub fn load_sensitivities(path: &Path) -> Result<SensitivityMatrix, SensitivityIoError> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let mut cur = 0usize;
+    let take = |cur: &mut usize, n: usize| -> Result<&[u8], SensitivityIoError> {
+        if *cur + n > bytes.len() {
+            return Err(SensitivityIoError::BadFormat("truncated file".into()));
+        }
+        let s = &bytes[*cur..*cur + n];
+        *cur += n;
+        Ok(s)
+    };
+    if take(&mut cur, 4)? != MAGIC {
+        return Err(SensitivityIoError::BadFormat("missing CLSM magic".into()));
+    }
+    let version = u32::from_le_bytes(take(&mut cur, 4)?.try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(SensitivityIoError::BadFormat(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let num_layers = u32::from_le_bytes(take(&mut cur, 4)?.try_into().expect("4 bytes")) as usize;
+    let k = u32::from_le_bytes(take(&mut cur, 4)?.try_into().expect("4 bytes")) as usize;
+    if num_layers == 0 || k == 0 {
+        return Err(SensitivityIoError::BadFormat(
+            "degenerate dimensions".into(),
+        ));
+    }
+    let raw_bits = take(&mut cur, k)?.to_vec();
+    let bits = BitWidthSet::new(&raw_bits);
+    if bits.len() != k {
+        return Err(SensitivityIoError::BadFormat(
+            "duplicate bit-widths in file".into(),
+        ));
+    }
+    let base_loss = f64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes"));
+    let evaluations = u64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes")) as usize;
+    let seconds = f64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes"));
+    let n = num_layers * k;
+    let mut g = SymMatrix::zeros(n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = f64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes"));
+            if j >= i {
+                g.set(i, j, v);
+            }
+        }
+    }
+    if cur != bytes.len() {
+        return Err(SensitivityIoError::BadFormat("trailing bytes".into()));
+    }
+    Ok(SensitivityMatrix::from_parts(
+        g,
+        num_layers,
+        bits,
+        base_loss,
+        SensitivityStats {
+            evaluations,
+            seconds,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensitivity::{measure_sensitivities, SensitivityOptions};
+    use clado_models::{SynthVision, SynthVisionConfig};
+    use clado_nn::{Conv2d, GlobalAvgPool, Linear, Network, Sequential};
+    use clado_tensor::Conv2dSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("clado-sens-{}-{name}.clsm", std::process::id()))
+    }
+
+    fn measured() -> SensitivityMatrix {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Network::new(
+            Sequential::new()
+                .push(
+                    "conv",
+                    Conv2d::new(Conv2dSpec::new(3, 4, 3, 1, 1), true, &mut rng),
+                )
+                .push("relu", clado_nn::Activation::new(clado_nn::ActKind::Relu))
+                .push("pool", GlobalAvgPool::new())
+                .push("fc", Linear::new(4, 3, &mut rng)),
+            3,
+        );
+        let data = SynthVision::generate(SynthVisionConfig {
+            classes: 3,
+            img: 8,
+            train: 24,
+            val: 8,
+            seed: 6,
+            noise: 0.2,
+            label_noise: 0.0,
+        });
+        let set = data.train.subset(&(0..12).collect::<Vec<_>>());
+        measure_sensitivities(
+            &mut net,
+            &set,
+            &BitWidthSet::standard(),
+            &SensitivityOptions::default(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let sens = measured();
+        let path = temp("roundtrip");
+        save_sensitivities(&sens, &path).unwrap();
+        let loaded = load_sensitivities(&path).unwrap();
+        assert_eq!(loaded.num_layers(), sens.num_layers());
+        assert_eq!(loaded.bits(), sens.bits());
+        assert_eq!(loaded.base_loss, sens.base_loss);
+        assert_eq!(loaded.stats.evaluations, sens.stats.evaluations);
+        let n = sens.matrix().dim();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(loaded.matrix().get(i, j), sens.matrix().get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn loaded_matrix_produces_identical_assignments() {
+        use crate::assign::{assign_bits, AssignOptions};
+        use clado_quant::LayerSizes;
+        let sens = measured();
+        let path = temp("assign");
+        save_sensitivities(&sens, &path).unwrap();
+        let loaded = load_sensitivities(&path).unwrap();
+        let sizes = LayerSizes::new(vec![108, 12]); // conv 4·3·9, fc 3·4
+        let budget = sizes.budget_from_avg_bits(4.0);
+        let a = assign_bits(&sens, &sizes, budget, &AssignOptions::default()).unwrap();
+        let b = assign_bits(&loaded, &sizes, budget, &AssignOptions::default()).unwrap();
+        assert_eq!(a.bits, b.bits);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let path = temp("garbage");
+        std::fs::write(&path, b"CLSMxxxx").unwrap();
+        assert!(matches!(
+            load_sensitivities(&path),
+            Err(SensitivityIoError::BadFormat(_))
+        ));
+        std::fs::write(&path, b"NOPE").unwrap();
+        assert!(matches!(
+            load_sensitivities(&path),
+            Err(SensitivityIoError::BadFormat(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            load_sensitivities(Path::new("/nonexistent/x.clsm")),
+            Err(SensitivityIoError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,367 @@
+//! The [`Layer`] trait, activation/structural layers, and [`Sequential`].
+
+use crate::param::ParamVisitor;
+use clado_tensor::{ops, Shape, Tensor};
+
+/// A differentiable network module.
+///
+/// `forward` caches whatever `backward` needs; `backward` consumes the
+/// cache, accumulates parameter gradients internally, and returns the
+/// gradient with respect to its input. Layers are stateful and not
+/// re-entrant: call `forward` then `backward` in strict alternation.
+pub trait Layer {
+    /// Forward pass. `training` selects batch statistics (BatchNorm) and
+    /// enables gradient caching.
+    fn forward(&mut self, x: Tensor, training: bool) -> Tensor;
+
+    /// Backward pass: consumes the cached activations from the most recent
+    /// `forward`, accumulates parameter gradients, returns `∂L/∂input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding training-mode `forward`.
+    fn backward(&mut self, d_out: Tensor) -> Tensor;
+
+    /// Visits every parameter with its dotted path prefixed by `prefix`.
+    fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor);
+}
+
+/// Joins a prefix and a name with a dot, eliding empty prefixes.
+pub(crate) fn join(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActKind {
+    /// Rectified linear unit.
+    Relu,
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// MobileNetV3 hard-swish.
+    HardSwish,
+}
+
+/// A stateless activation layer.
+#[derive(Debug)]
+pub struct Activation {
+    kind: ActKind,
+    cached_input: Option<Tensor>,
+}
+
+impl Activation {
+    /// Creates an activation layer.
+    pub fn new(kind: ActKind) -> Self {
+        Self {
+            kind,
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, x: Tensor, training: bool) -> Tensor {
+        let y = match self.kind {
+            ActKind::Relu => ops::relu_forward(&x),
+            ActKind::Gelu => ops::gelu_forward(&x),
+            ActKind::HardSwish => ops::hardswish_forward(&x),
+        };
+        let _ = training;
+        self.cached_input = Some(x);
+        y
+    }
+
+    fn backward(&mut self, d_out: Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .take()
+            .expect("backward requires a training forward");
+        match self.kind {
+            ActKind::Relu => ops::relu_backward(&x, &d_out),
+            ActKind::Gelu => ops::gelu_backward(&x, &d_out),
+            ActKind::HardSwish => ops::hardswish_backward(&x, &d_out),
+        }
+    }
+
+    fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor) {}
+}
+
+/// Flattens `[N, C, H, W]` to `[N, C·H·W]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: Tensor, training: bool) -> Tensor {
+        let shape = x.shape();
+        let n = shape.dim(0);
+        let rest = shape.numel() / n;
+        let _ = training;
+        self.cached_shape = Some(shape);
+        x.reshape([n, rest]).expect("element count preserved")
+    }
+
+    fn backward(&mut self, d_out: Tensor) -> Tensor {
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("backward requires a training forward");
+        d_out.reshape(shape).expect("element count preserved")
+    }
+
+    fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor) {}
+}
+
+/// Max pooling layer.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Shape)>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with a square window.
+    pub fn new(window: usize, stride: usize) -> Self {
+        Self {
+            window,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: Tensor, training: bool) -> Tensor {
+        let out = clado_tensor::max_pool2d_forward(&x, self.window, self.stride);
+        let _ = training;
+        self.cache = Some((out.argmax, x.shape()));
+        out.output
+    }
+
+    fn backward(&mut self, d_out: Tensor) -> Tensor {
+        let (argmax, shape) = self
+            .cache
+            .take()
+            .expect("backward requires a training forward");
+        clado_tensor::max_pool2d_backward(&d_out, &argmax, shape)
+    }
+
+    fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor) {}
+}
+
+/// Average pooling layer.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    window: usize,
+    stride: usize,
+    cached_shape: Option<Shape>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with a square window.
+    pub fn new(window: usize, stride: usize) -> Self {
+        Self {
+            window,
+            stride,
+            cached_shape: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: Tensor, training: bool) -> Tensor {
+        let out = clado_tensor::avg_pool2d_forward(&x, self.window, self.stride);
+        let _ = training;
+        self.cached_shape = Some(x.shape());
+        out
+    }
+
+    fn backward(&mut self, d_out: Tensor) -> Tensor {
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("backward requires a training forward");
+        clado_tensor::avg_pool2d_backward(&d_out, self.window, self.stride, shape)
+    }
+
+    fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor) {}
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    cached_shape: Option<Shape>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: Tensor, training: bool) -> Tensor {
+        let out = clado_tensor::global_avg_pool_forward(&x);
+        let _ = training;
+        self.cached_shape = Some(x.shape());
+        out
+    }
+
+    fn backward(&mut self, d_out: Tensor) -> Tensor {
+        let shape = self
+            .cached_shape
+            .take()
+            .expect("backward requires a training forward");
+        clado_tensor::global_avg_pool_backward(&d_out, shape)
+    }
+
+    fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor) {}
+}
+
+/// An ordered container of named sub-layers executed front to back.
+pub struct Sequential {
+    children: Vec<(String, Box<dyn Layer>)>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Self {
+            children: Vec::new(),
+        }
+    }
+
+    /// Appends a named child, builder style.
+    pub fn push(mut self, name: impl Into<String>, layer: impl Layer + 'static) -> Self {
+        self.children.push((name.into(), Box::new(layer)));
+        self
+    }
+
+    /// Appends a named boxed child.
+    pub fn push_boxed(mut self, name: impl Into<String>, layer: Box<dyn Layer>) -> Self {
+        self.children.push((name.into(), layer));
+        self
+    }
+
+    /// Number of direct children.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// `true` if there are no children.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: Tensor, training: bool) -> Tensor {
+        self.children
+            .iter_mut()
+            .fold(x, |acc, (_, l)| l.forward(acc, training))
+    }
+
+    fn backward(&mut self, d_out: Tensor) -> Tensor {
+        self.children
+            .iter_mut()
+            .rev()
+            .fold(d_out, |acc, (_, l)| l.backward(acc))
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor) {
+        for (name, layer) in &mut self.children {
+            layer.visit_params(&join(prefix, name), f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{Param, ParamRole};
+
+    #[test]
+    fn activation_roundtrip() {
+        let mut relu = Activation::new(ActKind::Relu);
+        let x = Tensor::from_vec([3], vec![-1.0, 0.5, 2.0]).unwrap();
+        let y = relu.forward(x, true);
+        assert_eq!(y.data(), &[0.0, 0.5, 2.0]);
+        let dx = relu.backward(Tensor::full([3], 1.0));
+        assert_eq!(dx.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "training forward")]
+    fn backward_without_forward_panics() {
+        let mut relu = Activation::new(ActKind::Relu);
+        relu.backward(Tensor::zeros([1]));
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::zeros([2, 3, 4, 4]);
+        let y = fl.forward(x, true);
+        assert_eq!(y.shape().dims(), &[2, 48]);
+        let dx = fl.backward(Tensor::zeros([2, 48]));
+        assert_eq!(dx.shape().dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn sequential_composes_and_names_params() {
+        struct Probe;
+        impl Layer for Probe {
+            fn forward(&mut self, x: Tensor, _t: bool) -> Tensor {
+                x.map(|v| v + 1.0)
+            }
+            fn backward(&mut self, d: Tensor) -> Tensor {
+                d
+            }
+            fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor) {
+                let mut p = Param::new(Tensor::zeros([1]), ParamRole::Weight);
+                f(&join(prefix, "w"), &mut p);
+            }
+        }
+        let mut seq = Sequential::new().push("a", Probe).push("b", Probe);
+        let y = seq.forward(Tensor::zeros([2]), false);
+        assert_eq!(y.data(), &[2.0, 2.0]);
+        let mut names = Vec::new();
+        seq.visit_params("net", &mut |n, _| names.push(n.to_string()));
+        assert_eq!(names, vec!["net.a.w", "net.b.w"]);
+    }
+
+    #[test]
+    fn pooling_layers_delegate() {
+        let mut mp = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let y = mp.forward(x, true);
+        assert_eq!(y.data(), &[4.0]);
+        let dx = mp.backward(Tensor::full([1, 1, 1, 1], 1.0));
+        assert_eq!(dx.data(), &[0., 0., 0., 1.]);
+
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let y = gap.forward(x, true);
+        assert_eq!(y.data(), &[2.5]);
+    }
+}

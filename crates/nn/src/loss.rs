@@ -1,0 +1,127 @@
+//! Cross-entropy loss and accuracy metrics.
+
+use clado_tensor::{ops, Tensor};
+
+/// Mean cross-entropy loss over a batch, with the logit gradient.
+///
+/// `logits` is `[N, K]`; `labels` holds `N` class indices.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or a label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+    let sh = logits.shape();
+    assert_eq!(sh.ndim(), 2, "logits must be [N, K], got {sh}");
+    let (n, k) = (sh.dim(0), sh.dim(1));
+    assert_eq!(
+        labels.len(),
+        n,
+        "label count {} != batch size {n}",
+        labels.len()
+    );
+    let log_probs = ops::log_softmax_rows(logits);
+    let mut loss = 0.0f64;
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < k, "label {y} out of range for {k} classes");
+        loss -= log_probs.data()[r * k + y] as f64;
+    }
+    loss /= n as f64;
+    // d/dlogits of mean CE = (softmax − one_hot)/N.
+    let mut grad = ops::softmax_rows(logits);
+    let inv_n = 1.0 / n as f32;
+    for (r, &y) in labels.iter().enumerate() {
+        grad.data_mut()[r * k + y] -= 1.0;
+    }
+    grad.scale(inv_n);
+    (loss, grad)
+}
+
+/// Mean cross-entropy loss only (no gradient) — the cheap path used by the
+/// forward-only sensitivity probes.
+pub fn cross_entropy_loss(logits: &Tensor, labels: &[usize]) -> f64 {
+    let sh = logits.shape();
+    let (n, k) = (sh.dim(0), sh.dim(1));
+    let log_probs = ops::log_softmax_rows(logits);
+    let mut loss = 0.0f64;
+    for (r, &y) in labels.iter().enumerate() {
+        loss -= log_probs.data()[r * k + y] as f64;
+    }
+    loss / n as f64
+}
+
+/// Top-1 accuracy in `[0, 1]`.
+pub fn top1_accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let sh = logits.shape();
+    let (n, k) = (sh.dim(0), sh.dim(1));
+    let mut correct = 0usize;
+    for (r, &y) in labels.iter().enumerate() {
+        let row = &logits.data()[r * k..(r + 1) * k];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("non-empty row");
+        if pred == y {
+            correct += 1;
+        }
+    }
+    correct as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = Tensor::from_vec([2, 3], vec![10., 0., 0., 0., 10., 0.]).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-3);
+        assert_eq!(top1_accuracy(&logits, &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros([4, 10]);
+        let (loss, _) = cross_entropy(&logits, &[0, 3, 5, 9]);
+        assert!((loss - (10.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loss_only_matches_loss_with_grad() {
+        let logits = Tensor::from_vec([2, 2], vec![0.3, -0.4, 1.2, 0.1]).unwrap();
+        let (l1, _) = cross_entropy(&logits, &[1, 0]);
+        let l2 = cross_entropy_loss(&logits, &[1, 0]);
+        assert!((l1 - l2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec([2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..logits.numel() {
+            let mut p = logits.clone();
+            p.data_mut()[i] += eps;
+            let mut m = logits.clone();
+            m.data_mut()[i] -= eps;
+            let fd = (cross_entropy_loss(&p, &labels) - cross_entropy_loss(&m, &labels))
+                / (2.0 * eps as f64);
+            assert!((fd as f32 - grad.data()[i]).abs() < 1e-3, "i={i}");
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits = Tensor::from_vec([2, 2], vec![1., 0., 0., 1.]).unwrap();
+        assert_eq!(top1_accuracy(&logits, &[0, 0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        cross_entropy(&Tensor::zeros([1, 2]), &[5]);
+    }
+}

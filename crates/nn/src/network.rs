@@ -1,0 +1,368 @@
+//! The [`Network`] container: a named-layer model with the weight access
+//! the MPQ machinery needs (enumerate / read / substitute quantizable
+//! weights).
+
+use crate::layer::{Layer, Sequential};
+use crate::param::{Param, ParamRole};
+use clado_tensor::Tensor;
+use std::fmt;
+
+/// Metadata describing one quantizable layer of a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantizableLayer {
+    /// Index in the paper's layer numbering (0-based, definition order).
+    pub index: usize,
+    /// Dotted parameter path, e.g. `layer1.0.conv1.weight`.
+    pub name: String,
+    /// Parameter count `|w⁽ⁱ⁾|`.
+    pub numel: usize,
+    /// Block identifier for BRECQ-style intra-block ablations: layers with
+    /// the same `block` id belong to the same residual block / encoder
+    /// block.
+    pub block: usize,
+}
+
+/// A complete model: a root layer stack plus the bookkeeping CLADO needs.
+pub struct Network {
+    root: Sequential,
+    num_classes: usize,
+    quantizable: Vec<QuantizableLayer>,
+}
+
+impl Network {
+    /// Wraps a root layer stack.
+    ///
+    /// Quantizable layers are discovered by walking the parameters; block
+    /// ids are derived from the second path component (e.g. everything
+    /// under `layer2.1` shares a block), which matches how the paper
+    /// groups layers for the BRECQ-style ablation.
+    pub fn new(root: Sequential, num_classes: usize) -> Self {
+        let mut net = Self {
+            root,
+            num_classes,
+            quantizable: Vec::new(),
+        };
+        net.reindex();
+        net
+    }
+
+    fn reindex(&mut self) {
+        let mut layers = Vec::new();
+        let mut block_names: Vec<String> = Vec::new();
+        self.root.visit_params("", &mut |name, p| {
+            if p.role == ParamRole::Weight && p.quantizable {
+                let block_key = block_key_of(name);
+                let block = match block_names.iter().position(|b| *b == block_key) {
+                    Some(i) => i,
+                    None => {
+                        block_names.push(block_key);
+                        block_names.len() - 1
+                    }
+                };
+                layers.push(QuantizableLayer {
+                    index: layers.len(),
+                    name: name.trim_end_matches(".weight").to_string(),
+                    numel: p.numel(),
+                    block,
+                });
+            }
+        });
+        self.quantizable = layers;
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The quantizable layers in paper order.
+    pub fn quantizable_layers(&self) -> &[QuantizableLayer] {
+        &self.quantizable
+    }
+
+    /// Parameter counts of the quantizable layers, in order.
+    pub fn layer_param_counts(&self) -> Vec<usize> {
+        self.quantizable.iter().map(|l| l.numel).collect()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_params(&mut self) -> usize {
+        let mut total = 0;
+        self.root.visit_params("", &mut |_, p| total += p.numel());
+        total
+    }
+
+    /// Forward pass to logits `[N, num_classes]`.
+    pub fn forward(&mut self, x: Tensor, training: bool) -> Tensor {
+        self.root.forward(x, training)
+    }
+
+    /// Backward pass from logit gradients (after a training forward).
+    pub fn backward(&mut self, d_logits: Tensor) {
+        let _ = self.root.backward(d_logits);
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        self.root.visit_params("", &mut |_, p| p.zero_grad());
+    }
+
+    /// Visits every parameter (training, serialization).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.root.visit_params("", f);
+    }
+
+    /// Returns a copy of the weight tensor of quantizable layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn weight(&mut self, index: usize) -> Tensor {
+        let name = format!("{}.weight", self.quantizable[index].name);
+        let mut out = None;
+        self.root.visit_params("", &mut |n, p| {
+            if n == name {
+                out = Some(p.value.clone());
+            }
+        });
+        out.expect("indexed layer exists")
+    }
+
+    /// Replaces the weight tensor of quantizable layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the shape differs.
+    pub fn set_weight(&mut self, index: usize, value: &Tensor) {
+        let name = format!("{}.weight", self.quantizable[index].name);
+        let mut found = false;
+        self.root.visit_params("", &mut |n, p| {
+            if n == name {
+                assert_eq!(
+                    p.value.shape(),
+                    value.shape(),
+                    "weight shape mismatch for layer {name}"
+                );
+                p.value = value.clone();
+                found = true;
+            }
+        });
+        assert!(found, "quantizable layer {name} not found");
+    }
+
+    /// Adds `delta` to the weight tensor of quantizable layer `index`
+    /// (the Δw perturbations of Algorithm 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the shape differs.
+    pub fn perturb_weight(&mut self, index: usize, delta: &Tensor) {
+        let name = format!("{}.weight", self.quantizable[index].name);
+        let mut found = false;
+        self.root.visit_params("", &mut |n, p| {
+            if n == name {
+                p.value.axpy(1.0, delta);
+                found = true;
+            }
+        });
+        assert!(found, "quantizable layer {name} not found");
+    }
+
+    /// Snapshots all quantizable weights (cheap undo for perturbations).
+    pub fn snapshot_weights(&mut self) -> Vec<Tensor> {
+        (0..self.quantizable.len())
+            .map(|i| self.weight(i))
+            .collect()
+    }
+
+    /// Snapshots *every* parameter and buffer (including BatchNorm running
+    /// statistics). Use around procedures that mutate non-weight state,
+    /// e.g. QAT fine-tuning.
+    pub fn snapshot_all(&mut self) -> Vec<Tensor> {
+        let mut out = Vec::new();
+        self.root
+            .visit_params("", &mut |_, p| out.push(p.value.clone()));
+        out
+    }
+
+    /// Restores a snapshot taken by [`Network::snapshot_all`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match the parameter walk.
+    pub fn restore_all(&mut self, snapshot: &[Tensor]) {
+        let mut idx = 0usize;
+        self.root.visit_params("", &mut |name, p| {
+            let src = snapshot
+                .get(idx)
+                .unwrap_or_else(|| panic!("snapshot too short at {name}"));
+            assert_eq!(
+                p.value.shape(),
+                src.shape(),
+                "snapshot shape mismatch at {name}"
+            );
+            p.value = src.clone();
+            idx += 1;
+        });
+        assert_eq!(idx, snapshot.len(), "snapshot has extra entries");
+    }
+
+    /// Restores a snapshot taken by [`Network::snapshot_weights`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length differs from the layer count.
+    pub fn restore_weights(&mut self, snapshot: &[Tensor]) {
+        assert_eq!(
+            snapshot.len(),
+            self.quantizable.len(),
+            "snapshot length mismatch"
+        );
+        for (i, w) in snapshot.iter().enumerate() {
+            self.set_weight(i, w);
+        }
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Network({} quantizable layers, {} classes)",
+            self.quantizable.len(),
+            self.num_classes
+        )
+    }
+}
+
+/// Derives the BRECQ block key from a dotted layer path: the first two path
+/// components (e.g. `layer2.1.conv1.weight` → `layer2.1`).
+fn block_key_of(name: &str) -> String {
+    let parts: Vec<&str> = name.split('.').collect();
+    if parts.len() >= 3 {
+        format!("{}.{}", parts[0], parts[1])
+    } else {
+        parts[0].to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv_layer::Conv2d;
+    use crate::dense::Linear;
+    use crate::layer::{ActKind, Activation, Flatten, GlobalAvgPool};
+    use clado_tensor::Conv2dSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net() -> Network {
+        let mut rng = StdRng::seed_from_u64(0);
+        let root = Sequential::new()
+            .push(
+                "stem",
+                Conv2d::new(Conv2dSpec::new(1, 4, 3, 1, 1), false, &mut rng).unquantized(),
+            )
+            .push(
+                "layer1",
+                Sequential::new()
+                    .push(
+                        "0",
+                        Conv2d::new(Conv2dSpec::new(4, 4, 3, 1, 1), false, &mut rng),
+                    )
+                    .push("relu", Activation::new(ActKind::Relu)),
+            )
+            .push("pool", GlobalAvgPool::new())
+            .push("fc", Linear::new(4, 3, &mut rng));
+        Network::new(root, 3)
+    }
+
+    #[test]
+    fn discovers_quantizable_layers_in_order() {
+        let net = tiny_net();
+        let names: Vec<&str> = net
+            .quantizable_layers()
+            .iter()
+            .map(|l| l.name.as_str())
+            .collect();
+        // Stem is excluded (unquantized); conv + fc remain.
+        assert_eq!(names, vec!["layer1.0", "fc"]);
+        assert_eq!(net.quantizable_layers()[0].numel, 4 * 4 * 9);
+    }
+
+    #[test]
+    fn weight_get_set_roundtrip() {
+        let mut net = tiny_net();
+        let w = net.weight(0);
+        let mut w2 = w.clone();
+        w2.data_mut()[0] += 1.0;
+        net.set_weight(0, &w2);
+        assert_eq!(net.weight(0).data()[0], w.data()[0] + 1.0);
+    }
+
+    #[test]
+    fn perturb_and_restore() {
+        let mut net = tiny_net();
+        let snap = net.snapshot_weights();
+        let delta = Tensor::full(net.weight(1).shape(), 0.5);
+        net.perturb_weight(1, &delta);
+        assert!((net.weight(1).data()[0] - (snap[1].data()[0] + 0.5)).abs() < 1e-6);
+        net.restore_weights(&snap);
+        assert_eq!(net.weight(1).data(), snap[1].data());
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let mut net = tiny_net();
+        let x = Tensor::zeros([2, 1, 6, 6]);
+        let y = net.forward(x, false);
+        assert_eq!(y.shape().dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn flatten_is_reexported_and_usable() {
+        // Ensure Flatten composes in networks (compile-time sanity).
+        let mut rng = StdRng::seed_from_u64(1);
+        let root = Sequential::new()
+            .push(
+                "conv",
+                Conv2d::new(Conv2dSpec::new(1, 2, 3, 1, 1), false, &mut rng),
+            )
+            .push("flat", Flatten::new())
+            .push("fc", Linear::new(2 * 4 * 4, 2, &mut rng));
+        let mut net = Network::new(root, 2);
+        let y = net.forward(Tensor::zeros([1, 1, 4, 4]), false);
+        assert_eq!(y.shape().dims(), &[1, 2]);
+    }
+
+    #[test]
+    fn block_ids_group_by_prefix() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let root = Sequential::new().push(
+            "layer1",
+            Sequential::new()
+                .push(
+                    "0",
+                    Sequential::new()
+                        .push(
+                            "conv1",
+                            Conv2d::new(Conv2dSpec::new(1, 1, 1, 1, 0), false, &mut rng),
+                        )
+                        .push(
+                            "conv2",
+                            Conv2d::new(Conv2dSpec::new(1, 1, 1, 1, 0), false, &mut rng),
+                        ),
+                )
+                .push(
+                    "1",
+                    Sequential::new().push(
+                        "conv1",
+                        Conv2d::new(Conv2dSpec::new(1, 1, 1, 1, 0), false, &mut rng),
+                    ),
+                ),
+        );
+        let net = Network::new(root, 2);
+        let blocks: Vec<usize> = net.quantizable_layers().iter().map(|l| l.block).collect();
+        assert_eq!(blocks, vec![0, 0, 1]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Bit-width newtype and candidate sets.
+
+use std::fmt;
+
+/// Error returned when constructing an invalid [`BitWidth`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitWidthError(u8);
+
+impl fmt::Display for ParseBitWidthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bit-width must be between 1 and 16, got {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseBitWidthError {}
+
+/// A validated quantization bit-width in `1..=16`.
+///
+/// # Examples
+///
+/// ```
+/// use clado_quant::BitWidth;
+///
+/// let b = BitWidth::new(4)?;
+/// assert_eq!(b.bits(), 4);
+/// assert_eq!(b.signed_levels(), (-8, 7));
+/// # Ok::<(), clado_quant::ParseBitWidthError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitWidth(u8);
+
+impl BitWidth {
+    /// Creates a bit-width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseBitWidthError`] unless `1 <= bits <= 16`.
+    pub fn new(bits: u8) -> Result<Self, ParseBitWidthError> {
+        if (1..=16).contains(&bits) {
+            Ok(Self(bits))
+        } else {
+            Err(ParseBitWidthError(bits))
+        }
+    }
+
+    /// Creates a bit-width, panicking on invalid input. Convenient for
+    /// constants in experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 16`.
+    pub fn of(bits: u8) -> Self {
+        Self::new(bits).expect("valid bit-width")
+    }
+
+    /// The raw number of bits.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// `(min, max)` representable signed integer levels: `[-2^{b-1}, 2^{b-1}-1]`.
+    pub fn signed_levels(self) -> (i32, i32) {
+        let half = 1i32 << (self.0 - 1);
+        (-half, half - 1)
+    }
+
+    /// `(min, max)` representable unsigned integer levels: `[0, 2^b - 1]`.
+    pub fn unsigned_levels(self) -> (i32, i32) {
+        (0, (1i32 << self.0) - 1)
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.0)
+    }
+}
+
+impl From<BitWidth> for u8 {
+    fn from(b: BitWidth) -> u8 {
+        b.0
+    }
+}
+
+/// An ordered set of candidate bit-widths 𝔹 for mixed-precision search.
+///
+/// The paper uses 𝔹 = {2, 4, 8} for most models and {4, 6, 8} for
+/// MobileNetV3.
+///
+/// # Examples
+///
+/// ```
+/// use clado_quant::BitWidthSet;
+///
+/// let b = BitWidthSet::standard(); // {2, 4, 8}
+/// assert_eq!(b.len(), 3);
+/// assert_eq!(b.get(1).bits(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitWidthSet {
+    widths: Vec<BitWidth>,
+}
+
+impl BitWidthSet {
+    /// Creates a candidate set from raw bit counts, sorted ascending and
+    /// deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty or contains an invalid width.
+    pub fn new(bits: &[u8]) -> Self {
+        assert!(!bits.is_empty(), "bit-width set must not be empty");
+        let mut widths: Vec<BitWidth> = bits.iter().map(|&b| BitWidth::of(b)).collect();
+        widths.sort();
+        widths.dedup();
+        Self { widths }
+    }
+
+    /// The paper's default candidate set 𝔹 = {2, 4, 8}.
+    pub fn standard() -> Self {
+        Self::new(&[2, 4, 8])
+    }
+
+    /// The conservative candidate set used for MobileNetV3: 𝔹 = {4, 6, 8}.
+    pub fn conservative() -> Self {
+        Self::new(&[4, 6, 8])
+    }
+
+    /// Number of candidates |𝔹|.
+    pub fn len(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// `true` if the set is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.widths.is_empty()
+    }
+
+    /// Candidate at index `m` (ascending order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= self.len()`.
+    pub fn get(&self, m: usize) -> BitWidth {
+        self.widths[m]
+    }
+
+    /// The largest candidate (used for "UPQ at max precision" references).
+    pub fn max(&self) -> BitWidth {
+        *self.widths.last().expect("non-empty by construction")
+    }
+
+    /// The smallest candidate.
+    pub fn min(&self) -> BitWidth {
+        self.widths[0]
+    }
+
+    /// Iterates over the candidates in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = BitWidth> + '_ {
+        self.widths.iter().copied()
+    }
+
+    /// Index of `b` in the set, if present.
+    pub fn index_of(&self, b: BitWidth) -> Option<usize> {
+        self.widths.iter().position(|&x| x == b)
+    }
+}
+
+impl fmt::Display for BitWidthSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.widths.iter().map(|b| b.bits().to_string()).collect();
+        write!(f, "{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwidth_levels() {
+        assert_eq!(BitWidth::of(2).signed_levels(), (-2, 1));
+        assert_eq!(BitWidth::of(8).signed_levels(), (-128, 127));
+        assert_eq!(BitWidth::of(4).unsigned_levels(), (0, 15));
+    }
+
+    #[test]
+    fn bitwidth_validation() {
+        assert!(BitWidth::new(0).is_err());
+        assert!(BitWidth::new(17).is_err());
+        assert!(BitWidth::new(1).is_ok());
+        assert!(BitWidth::new(16).is_ok());
+        let err = BitWidth::new(0).unwrap_err();
+        assert!(err.to_string().contains("between 1 and 16"));
+    }
+
+    #[test]
+    fn set_sorts_and_dedups() {
+        let s = BitWidthSet::new(&[8, 2, 4, 2]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(0).bits(), 2);
+        assert_eq!(s.max().bits(), 8);
+        assert_eq!(s.min().bits(), 2);
+        assert_eq!(s.index_of(BitWidth::of(4)), Some(1));
+        assert_eq!(s.index_of(BitWidth::of(6)), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", BitWidth::of(4)), "4b");
+        assert_eq!(format!("{}", BitWidthSet::standard()), "{2,4,8}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_set_panics() {
+        BitWidthSet::new(&[]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # clado-quant
+//!
+//! Uniform weight quantization for the CLADO mixed-precision-quantization
+//! reproduction: per-tensor symmetric and per-channel affine fake
+//! quantization, MSE-minimizing scale calibration (the MPQCO/MQBench recipe
+//! the paper adopts), bit-width candidate sets, and model-size accounting
+//! for the MPQ knapsack constraint.
+//!
+//! ## Example
+//!
+//! ```
+//! use clado_quant::{quant_error, BitWidth, BitWidthSet, QuantScheme};
+//! use clado_tensor::Tensor;
+//!
+//! let w = Tensor::from_vec([8], (0..8).map(|i| i as f32 * 0.1 - 0.35).collect())?;
+//! // Δw = Q(w, 2) − w is what CLADO perturbs the network with.
+//! let dw = quant_error(&w, BitWidth::of(2), QuantScheme::PerTensorSymmetric);
+//! assert!(dw.norm() > 0.0);
+//! assert_eq!(BitWidthSet::standard().len(), 3);
+//! # Ok::<(), clado_tensor::ShapeMismatchError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod bitwidth;
+mod cost;
+mod quantize;
+mod scheme;
+
+pub use bitwidth::{BitWidth, BitWidthSet, ParseBitWidthError};
+pub use cost::{avg_bits, bits_to_mb, LayerSizes};
+pub use quantize::{
+    calibrate_affine, calibrate_symmetric, fake_quant_affine, fake_quant_symmetric, mse,
+    AffineParams, SymmetricParams,
+};
+pub use scheme::{quant_error, quantize_weights, QuantScheme};

@@ -1,0 +1,173 @@
+//! Admissible lower bounds for branch and bound.
+//!
+//! The workhorse is the Dantzig LP relaxation of the multiple-choice
+//! knapsack problem (MCKP): given per-candidate linearized objective
+//! coefficients and costs, it returns a value no larger than any feasible
+//! integer completion.
+
+/// One candidate inside an MCKP class.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct McKpItem {
+    /// Linearized objective coefficient (to be minimized).
+    pub value: f64,
+    /// Cost in budget units.
+    pub cost: u64,
+}
+
+/// Dantzig LP lower bound for the multiple-choice knapsack (minimization).
+///
+/// Each class in `classes` must contribute exactly one item; total cost must
+/// not exceed `budget`. Returns `f64::INFINITY` when even the cheapest
+/// selection exceeds the budget (the caller prunes).
+pub(crate) fn mckp_lp_bound(classes: &[Vec<McKpItem>], budget: u64) -> f64 {
+    // Step 1: per class, keep only LP-efficient items: sort by cost, drop
+    // items not on the lower-left convex hull of (cost, value).
+    let mut start_value = 0.0f64;
+    let mut start_cost = 0u64;
+    // Incremental swaps: (slope, value_delta, cost_delta).
+    let mut swaps: Vec<(f64, f64, u64)> = Vec::new();
+    for class in classes {
+        debug_assert!(!class.is_empty());
+        let mut items: Vec<McKpItem> = class.clone();
+        items.sort_by(|a, b| {
+            a.cost
+                .cmp(&b.cost)
+                .then(a.value.partial_cmp(&b.value).expect("finite"))
+        });
+        // Remove dominated: value must strictly decrease as cost increases.
+        let mut frontier: Vec<McKpItem> = Vec::with_capacity(items.len());
+        for it in items {
+            if let Some(last) = frontier.last() {
+                if it.cost == last.cost || it.value >= last.value {
+                    continue;
+                }
+            }
+            frontier.push(it);
+        }
+        // Convex-hull filter: slopes (Δvalue/Δcost) must be increasing.
+        let mut hull: Vec<McKpItem> = Vec::with_capacity(frontier.len());
+        for it in frontier {
+            while hull.len() >= 2 {
+                let a = hull[hull.len() - 2];
+                let b = hull[hull.len() - 1];
+                let s1 = (b.value - a.value) / (b.cost - a.cost) as f64;
+                let s2 = (it.value - b.value) / (it.cost - b.cost) as f64;
+                if s2 <= s1 {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            hull.push(it);
+        }
+        start_value += hull[0].value;
+        start_cost += hull[0].cost;
+        for pair in hull.windows(2) {
+            let dv = pair[1].value - pair[0].value;
+            let dc = pair[1].cost - pair[0].cost;
+            debug_assert!(dc > 0);
+            let slope = dv / dc as f64;
+            if slope < 0.0 {
+                swaps.push((slope, dv, dc));
+            }
+        }
+    }
+    if start_cost > budget {
+        return f64::INFINITY;
+    }
+    // Step 2: apply the most profitable swaps (most negative slope first)
+    // while the budget allows; the first partial swap is taken fractionally.
+    swaps.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite slopes"));
+    let mut remaining = budget - start_cost;
+    let mut value = start_value;
+    for (slope, dv, dc) in swaps {
+        if dc <= remaining {
+            value += dv;
+            remaining -= dc;
+        } else {
+            value += slope * remaining as f64;
+            break;
+        }
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(value: f64, cost: u64) -> McKpItem {
+        McKpItem { value, cost }
+    }
+
+    #[test]
+    fn single_class_picks_best_affordable() {
+        let classes = vec![vec![item(1.0, 10), item(0.2, 20), item(0.0, 40)]];
+        // Budget 40: integer optimum 0.0; LP bound must be ≤ that and ≥ ...
+        assert!(mckp_lp_bound(&classes, 40) <= 0.0 + 1e-12);
+        // Budget 10: only the first fits.
+        assert!((mckp_lp_bound(&classes, 10) - 1.0).abs() < 1e-12);
+        // Budget 15: fractional between items 1 and 2.
+        let b = mckp_lp_bound(&classes, 15);
+        assert!(b < 1.0 && b > 0.2, "{b}");
+    }
+
+    #[test]
+    fn infeasible_returns_infinity() {
+        let classes = vec![vec![item(0.0, 50)], vec![item(0.0, 60)]];
+        assert!(mckp_lp_bound(&classes, 100).is_infinite());
+    }
+
+    #[test]
+    fn bound_is_admissible_vs_bruteforce() {
+        // Random-ish small instance; check bound ≤ best integer solution
+        // for a sweep of budgets.
+        let classes = vec![
+            vec![item(0.9, 2), item(0.4, 4), item(0.05, 8)],
+            vec![item(0.5, 3), item(0.3, 6), item(0.0, 12)],
+            vec![item(1.5, 2), item(0.2, 4), item(0.1, 8)],
+        ];
+        for budget in [7u64, 9, 12, 16, 20, 28] {
+            let mut best = f64::INFINITY;
+            for a in 0..3 {
+                for b in 0..3 {
+                    for c in 0..3 {
+                        let cost = classes[0][a].cost + classes[1][b].cost + classes[2][c].cost;
+                        if cost <= budget {
+                            best = best.min(
+                                classes[0][a].value + classes[1][b].value + classes[2][c].value,
+                            );
+                        }
+                    }
+                }
+            }
+            let bound = mckp_lp_bound(&classes, budget);
+            if best.is_finite() {
+                assert!(
+                    bound <= best + 1e-9,
+                    "budget {budget}: bound {bound} > best {best}"
+                );
+            } else {
+                assert!(bound.is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn dominated_items_are_ignored() {
+        // Item (0.9, 5) is dominated by (0.4, 4); the bound with and
+        // without it must be identical.
+        let with = vec![vec![
+            item(1.0, 2),
+            item(0.9, 5),
+            item(0.4, 4),
+            item(0.05, 8),
+        ]];
+        let without = vec![vec![item(1.0, 2), item(0.4, 4), item(0.05, 8)]];
+        for budget in [2u64, 4, 6, 8] {
+            let a = mckp_lp_bound(&with, budget);
+            let b = mckp_lp_bound(&without, budget);
+            assert!((a - b).abs() < 1e-12 || (a.is_infinite() && b.is_infinite()));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Exact dynamic programming for *separable* instances (diagonal G).
+//!
+//! The multiple-choice knapsack DP is the classic solver behind
+//! HAWQ-style ILP bit allocation: when no cross-layer terms exist, the
+//! objective decomposes per layer and `dp[c] = min objective within cost c`
+//! solves the problem exactly in `O(I · |𝔹| · C/gcd)` time.
+
+// Index loops mirror the DP recurrences directly.
+#![allow(clippy::needless_range_loop)]
+
+use super::{IqpError, IqpProblem, Solution};
+
+/// Maximum DP table width (budget units after gcd scaling); larger
+/// instances should use branch and bound instead.
+const MAX_CAPACITY: u64 = 4_000_000;
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Returns the largest absolute off-diagonal-block entry (the separability
+/// defect). Zero means the instance is exactly separable.
+pub(super) fn separability_defect(problem: &IqpProblem) -> f64 {
+    let g = problem.matrix();
+    let mut defect = 0.0f64;
+    for i in 0..problem.num_groups() {
+        for j in 0..problem.num_groups() {
+            if i == j {
+                continue;
+            }
+            for m in 0..problem.group_size(i) {
+                for n in 0..problem.group_size(j) {
+                    defect = defect.max(g.get(problem.var(i, m), problem.var(j, n)).abs());
+                }
+            }
+        }
+    }
+    defect
+}
+
+/// Solves a separable instance exactly by multiple-choice knapsack DP.
+///
+/// # Errors
+///
+/// [`IqpError::NotSeparable`] if the instance has cross-layer terms, or
+/// [`IqpError::Infeasible`] if no assignment fits (checked at problem
+/// construction, so not expected in practice). Instances whose scaled
+/// budget exceeds an internal capacity limit also report `NotSeparable`
+/// semantics via branch-and-bound being the right tool; they return an
+/// error describing the limit.
+pub(super) fn solve(problem: &IqpProblem) -> Result<Solution, IqpError> {
+    let defect = separability_defect(problem);
+    if defect > 0.0 {
+        return Err(IqpError::NotSeparable { defect });
+    }
+    let k = problem.num_groups();
+    // Scale costs by their gcd to shrink the table.
+    let mut g = problem.budget();
+    for i in 0..k {
+        for m in 0..problem.group_size(i) {
+            g = gcd(g, problem.cost(i, m));
+        }
+    }
+    let g = g.max(1);
+    let capacity = problem.budget() / g;
+    if capacity > MAX_CAPACITY {
+        return Err(IqpError::NotSeparable {
+            defect: -1.0, // sentinel: table too large; documented in Display
+        });
+    }
+    let cap = capacity as usize;
+
+    const UNREACHED: f64 = f64::INFINITY;
+    let mut dp = vec![UNREACHED; cap + 1];
+    dp[0] = 0.0;
+    // choice[i][c]: candidate chosen for layer i at cost c (u8 fits |𝔹|≤255).
+    let mut choice = vec![vec![u8::MAX; cap + 1]; k];
+    let mut reached_cost = 0usize; // max populated cost so far (prefix sums)
+
+    for i in 0..k {
+        let mut next = vec![UNREACHED; cap + 1];
+        let mut next_reached = 0usize;
+        for m in 0..problem.group_size(i) {
+            let v = problem.var(i, m);
+            let val = problem.matrix().get(v, v);
+            let cost = (problem.cost(i, m) / g) as usize;
+            if cost > cap {
+                continue;
+            }
+            for c in 0..=reached_cost.min(cap - cost) {
+                if dp[c] == UNREACHED {
+                    continue;
+                }
+                let nc = c + cost;
+                let nv = dp[c] + val;
+                if nv < next[nc] {
+                    next[nc] = nv;
+                    choice[i][nc] = m as u8;
+                    next_reached = next_reached.max(nc);
+                }
+            }
+        }
+        dp = next;
+        reached_cost = next_reached;
+    }
+
+    // Best objective over all affordable costs.
+    let (best_cost, best_val) = dp
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v != UNREACHED)
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .ok_or(IqpError::Infeasible {
+            min_cost: problem.min_total_cost(),
+            budget: problem.budget(),
+        })?;
+
+    // Reconstruct choices backwards.
+    let mut choices = vec![0usize; k];
+    let mut c = best_cost;
+    for i in (0..k).rev() {
+        let m = choice[i][c];
+        assert_ne!(m, u8::MAX, "reconstruction hit an unreached cell");
+        choices[i] = m as usize;
+        c -= (problem.cost(i, m as usize) / g) as usize;
+    }
+    debug_assert_eq!(c, 0);
+
+    Ok(Solution {
+        objective: *best_val,
+        cost: problem.assignment_cost(&choices),
+        choices,
+        proved_optimal: true,
+        nodes_explored: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{IqpProblem, SolveMethod, SolverConfig};
+    use super::*;
+    use crate::SymMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_separable(seed: u64, k: usize) -> IqpProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 3 * k;
+        let mut g = SymMatrix::zeros(n);
+        for v in 0..n {
+            g.set(v, v, rng.gen_range(-0.2..1.0));
+        }
+        let costs: Vec<u64> = (0..n)
+            .map(|v| ((v % 3) as u64 * 2 + 2) * rng.gen_range(5..40))
+            .collect();
+        let min_cost: u64 = (0..k)
+            .map(|i| (0..3).map(|m| costs[3 * i + m]).min().unwrap())
+            .sum();
+        let max_cost: u64 = (0..k)
+            .map(|i| (0..3).map(|m| costs[3 * i + m]).max().unwrap())
+            .sum();
+        let budget = min_cost + (max_cost - min_cost) * 3 / 5;
+        IqpProblem::new(g, &vec![3; k], costs, budget).expect("feasible")
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_random_separable_instances() {
+        for seed in 0..15 {
+            let p = random_separable(seed, 5);
+            let dp = solve(&p).unwrap();
+            let ex = p
+                .solve(&SolverConfig {
+                    method: SolveMethod::Exhaustive,
+                    ..Default::default()
+                })
+                .unwrap();
+            assert!(
+                (dp.objective - ex.objective).abs() < 1e-9,
+                "seed {seed}: dp {} vs exhaustive {}",
+                dp.objective,
+                ex.objective
+            );
+            assert!(dp.cost <= p.budget());
+            assert!(dp.proved_optimal);
+            assert!((p.assignment_objective(&dp.choices) - dp.objective).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dp_rejects_cross_terms() {
+        let mut g = SymMatrix::zeros(4);
+        g.set(0, 0, 1.0);
+        g.set(2, 2, 1.0);
+        g.set(0, 2, -0.5); // cross-layer entry
+        let p = IqpProblem::new(g, &[2, 2], vec![2, 4, 2, 4], 8).unwrap();
+        match solve(&p) {
+            Err(IqpError::NotSeparable { defect }) => assert!((defect - 0.5).abs() < 1e-12),
+            other => panic!("expected NotSeparable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dp_via_public_method_selector() {
+        let p = random_separable(99, 6);
+        let sol = p
+            .solve(&SolverConfig {
+                method: SolveMethod::DynamicProgramming,
+                ..Default::default()
+            })
+            .unwrap();
+        let bb = p
+            .solve(&SolverConfig {
+                method: SolveMethod::BranchAndBound,
+                ..Default::default()
+            })
+            .unwrap();
+        assert!((sol.objective - bb.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_sensitivities_still_fit_the_budget() {
+        // All-negative diagonal wants maximum cost everywhere; DP must still
+        // respect the knapsack.
+        let mut g = SymMatrix::zeros(4);
+        for v in 0..4 {
+            g.set(v, v, -1.0 - v as f64);
+        }
+        let p = IqpProblem::new(g, &[2, 2], vec![2, 10, 2, 10], 12).unwrap();
+        let sol = solve(&p).unwrap();
+        assert!(sol.cost <= 12);
+        // Best affordable: exactly one expensive choice. Two optima tie at
+        // objective −5 ([1,0] and [0,1]); accept either.
+        assert!((sol.objective - (-5.0)).abs() < 1e-12, "{}", sol.objective);
+        assert_eq!(sol.cost, 12);
+    }
+}

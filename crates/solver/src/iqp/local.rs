@@ -1,0 +1,238 @@
+//! Multi-start local search: greedy construction plus coordinate descent.
+
+use super::{IqpError, IqpProblem, Solution, SolverConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Incremental objective/cost state for a full assignment.
+struct State<'p> {
+    problem: &'p IqpProblem,
+    choices: Vec<usize>,
+    /// `t[v] = Σ_{u ∈ selected} g[v][u]` for every variable `v`.
+    t: Vec<f64>,
+    objective: f64,
+    cost: u64,
+}
+
+impl<'p> State<'p> {
+    fn new(problem: &'p IqpProblem, choices: Vec<usize>) -> Self {
+        let n = problem.matrix().dim();
+        let vars: Vec<usize> = choices
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| problem.var(i, m))
+            .collect();
+        let mut t = vec![0.0f64; n];
+        for (v, tv) in t.iter_mut().enumerate() {
+            *tv = vars.iter().map(|&u| problem.matrix().get(v, u)).sum();
+        }
+        let objective = vars.iter().map(|&u| t[u]).sum();
+        let cost = problem.assignment_cost(&choices);
+        Self {
+            problem,
+            choices,
+            t,
+            objective,
+            cost,
+        }
+    }
+
+    /// Objective change if group `i` switches to candidate `m`.
+    fn delta(&self, i: usize, m: usize) -> f64 {
+        let a = self.problem.var(i, self.choices[i]);
+        let b = self.problem.var(i, m);
+        if a == b {
+            return 0.0;
+        }
+        let g = self.problem.matrix();
+        2.0 * self.t[b] - 2.0 * g.get(b, a) + g.get(b, b) - 2.0 * self.t[a] + g.get(a, a)
+    }
+
+    /// Cost change if group `i` switches to candidate `m`.
+    fn cost_delta(&self, i: usize, m: usize) -> i64 {
+        self.problem.cost(i, m) as i64 - self.problem.cost(i, self.choices[i]) as i64
+    }
+
+    /// Applies the switch of group `i` to candidate `m`.
+    fn apply(&mut self, i: usize, m: usize) {
+        let a = self.problem.var(i, self.choices[i]);
+        let b = self.problem.var(i, m);
+        if a == b {
+            return;
+        }
+        self.objective += self.delta(i, m);
+        self.cost = (self.cost as i64 + self.cost_delta(i, m)) as u64;
+        let g = self.problem.matrix();
+        for v in 0..self.t.len() {
+            self.t[v] += g.get(v, b) - g.get(v, a);
+        }
+        self.choices[i] = m;
+    }
+
+    /// One pass of steepest coordinate descent; returns `true` if improved.
+    fn descend_once(&mut self) -> bool {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..self.problem.num_groups() {
+            for m in 0..self.problem.group_size(i) {
+                if m == self.choices[i] {
+                    continue;
+                }
+                let dc = self.cost_delta(i, m);
+                if self.cost as i64 + dc > self.problem.budget() as i64 {
+                    continue;
+                }
+                let d = self.delta(i, m);
+                if d < -1e-15 && best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, m, d));
+                }
+            }
+        }
+        if let Some((i, m, _)) = best {
+            self.apply(i, m);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs coordinate descent to a local minimum.
+    fn descend(&mut self) {
+        // Each accepted move strictly decreases the objective, so this
+        // terminates; cap defensively anyway.
+        let cap = 64 * self.choices.len().max(1) * 8;
+        for _ in 0..cap {
+            if !self.descend_once() {
+                break;
+            }
+        }
+    }
+}
+
+/// Cheapest-choice starting assignment (always feasible for problems that
+/// passed construction).
+fn cheapest_assignment(problem: &IqpProblem) -> Vec<usize> {
+    (0..problem.num_groups())
+        .map(|i| {
+            (0..problem.group_size(i))
+                .min_by_key(|&m| problem.cost(i, m))
+                .expect("groups are non-empty")
+        })
+        .collect()
+}
+
+/// Greedy budget-filling start: begin at the cheapest assignment, then take
+/// the best objective-per-cost upgrades while the budget allows.
+fn greedy_assignment(problem: &IqpProblem) -> Vec<usize> {
+    let mut state = State::new(problem, cheapest_assignment(problem));
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..problem.num_groups() {
+            for m in 0..problem.group_size(i) {
+                if m == state.choices[i] {
+                    continue;
+                }
+                let dc = state.cost_delta(i, m);
+                if state.cost as i64 + dc > problem.budget() as i64 {
+                    continue;
+                }
+                let d = state.delta(i, m);
+                if d >= 0.0 {
+                    continue;
+                }
+                // Rate: objective gain per extra bit (upgrades cost more).
+                let rate = if dc > 0 {
+                    d / dc as f64
+                } else {
+                    f64::NEG_INFINITY
+                };
+                if best.is_none_or(|(_, _, br)| rate < br) {
+                    best = Some((i, m, rate));
+                }
+            }
+        }
+        match best {
+            Some((i, m, _)) => state.apply(i, m),
+            None => break,
+        }
+    }
+    state.choices
+}
+
+/// Multi-start local search.
+pub(super) fn solve(problem: &IqpProblem, config: &SolverConfig) -> Result<Solution, IqpError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best_state = State::new(problem, greedy_assignment(problem));
+    best_state.descend();
+    let mut best = (
+        best_state.choices.clone(),
+        best_state.objective,
+        best_state.cost,
+    );
+
+    for _ in 0..config.restarts {
+        // Perturb the incumbent: re-randomize a handful of groups, repair
+        // feasibility by downgrading to cheapest where needed, then descend.
+        let mut choices = best.0.clone();
+        let kicks = (problem.num_groups() / 4).max(2);
+        for _ in 0..kicks {
+            let i = rng.gen_range(0..problem.num_groups());
+            choices[i] = rng.gen_range(0..problem.group_size(i));
+        }
+        // Repair: while infeasible, downgrade the most expensive group.
+        let mut state = State::new(problem, choices);
+        while state.cost > problem.budget() {
+            let (i, m) = (0..problem.num_groups())
+                .flat_map(|i| (0..problem.group_size(i)).map(move |m| (i, m)))
+                .filter(|&(i, m)| state.cost_delta(i, m) < 0)
+                .min_by_key(|&(i, m)| state.cost as i64 + state.cost_delta(i, m))
+                .expect("problem is feasible, so a downgrade exists");
+            state.apply(i, m);
+        }
+        state.descend();
+        if state.objective < best.1 - 1e-15 {
+            best = (state.choices.clone(), state.objective, state.cost);
+        }
+    }
+
+    Ok(Solution {
+        choices: best.0,
+        objective: best.1,
+        cost: best.2,
+        proved_optimal: false,
+        nodes_explored: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tests::cross_term_instance;
+    use super::*;
+
+    #[test]
+    fn greedy_start_is_feasible() {
+        let p = cross_term_instance();
+        let g = greedy_assignment(&p);
+        assert!(p.is_feasible(&g));
+    }
+
+    #[test]
+    fn local_search_finds_the_planted_optimum() {
+        let p = cross_term_instance();
+        let sol = solve(&p, &SolverConfig::default()).unwrap();
+        assert!(p.is_feasible(&sol.choices));
+        // Known optimum: groups 0 and 2 cheap together (negative coupling).
+        assert!((sol.objective - p.assignment_objective(&sol.choices)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_state_matches_direct_evaluation() {
+        let p = cross_term_instance();
+        let mut st = State::new(&p, vec![0, 0, 0]);
+        assert!((st.objective - p.assignment_objective(&[0, 0, 0])).abs() < 1e-12);
+        st.apply(1, 1);
+        assert!((st.objective - p.assignment_objective(&[0, 1, 0])).abs() < 1e-12);
+        assert_eq!(st.cost, p.assignment_cost(&[0, 1, 0]));
+        st.apply(0, 1);
+        assert!((st.objective - p.assignment_objective(&[1, 1, 0])).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,466 @@
+//! Integer Quadratic Programming for mixed-precision bit-width assignment.
+//!
+//! The problem solved here is the paper's equation (11):
+//!
+//! ```text
+//! min  αᵀ Ĝ α
+//! s.t. one choice per group (layer): Σ_m α_m⁽ⁱ⁾ = 1, α binary
+//!      Σ cost(chosen) ≤ budget
+//! ```
+//!
+//! where group `i` holds the |𝔹| candidate bit-widths of layer `i` and
+//! `cost` is `|w⁽ⁱ⁾|·b_m` in bits. Three solvers are provided:
+//!
+//! * [`SolveMethod::BranchAndBound`] — exact (within a node budget), with an
+//!   admissible bound combining the quadratic structure and a Dantzig-style
+//!   LP relaxation of the multiple-choice knapsack;
+//! * [`SolveMethod::LocalSearch`] — multi-start greedy descent, used
+//!   standalone for large instances and as the B&B incumbent;
+//! * [`SolveMethod::Exhaustive`] — brute force, for small instances and
+//!   testing.
+
+mod bnb;
+mod bounds;
+mod dp;
+mod exhaustive;
+mod local;
+
+use crate::SymMatrix;
+use std::fmt;
+
+/// Errors produced when building or solving an [`IqpProblem`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum IqpError {
+    /// Matrix dimension does not match the total number of variables.
+    DimensionMismatch {
+        /// Matrix dimension.
+        matrix: usize,
+        /// Total variable count implied by the groups.
+        variables: usize,
+    },
+    /// `costs` length does not match the variable count.
+    CostLengthMismatch {
+        /// Cost vector length.
+        costs: usize,
+        /// Total variable count.
+        variables: usize,
+    },
+    /// A group is empty.
+    EmptyGroup {
+        /// Index of the offending group.
+        group: usize,
+    },
+    /// No assignment satisfies the budget (even all-minimum-cost).
+    Infeasible {
+        /// Cheapest achievable cost.
+        min_cost: u64,
+        /// The requested budget.
+        budget: u64,
+    },
+    /// The dynamic-programming solver was asked to solve an instance with
+    /// cross-layer terms (or one whose scaled budget exceeds the DP table
+    /// limit, signalled by a negative `defect`).
+    NotSeparable {
+        /// Largest absolute off-diagonal-block entry; `-1.0` means the
+        /// instance is separable but too large for the DP table.
+        defect: f64,
+    },
+}
+
+impl fmt::Display for IqpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { matrix, variables } => write!(
+                f,
+                "sensitivity matrix is {matrix}×{matrix} but groups imply {variables} variables"
+            ),
+            Self::CostLengthMismatch { costs, variables } => {
+                write!(
+                    f,
+                    "cost vector has {costs} entries for {variables} variables"
+                )
+            }
+            Self::EmptyGroup { group } => write!(f, "group {group} has no candidates"),
+            Self::Infeasible { min_cost, budget } => write!(
+                f,
+                "infeasible: cheapest assignment costs {min_cost} bits, budget is {budget}"
+            ),
+            Self::NotSeparable { defect } if *defect < 0.0 => {
+                write!(
+                    f,
+                    "instance too large for the DP table; use branch and bound"
+                )
+            }
+            Self::NotSeparable { defect } => write!(
+                f,
+                "instance has cross-layer terms (max |off-diagonal| = {defect:.3e}); \
+                 the DP solver handles separable objectives only"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IqpError {}
+
+/// Solver strategy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMethod {
+    /// Local-search warm start, then branch-and-bound within the node cap.
+    #[default]
+    Auto,
+    /// Branch and bound only (still warm-started by one greedy descent).
+    BranchAndBound,
+    /// Multi-start local search only.
+    LocalSearch,
+    /// Exact multiple-choice-knapsack dynamic programming; separable
+    /// (diagonal) objectives only — the classic HAWQ-style ILP path.
+    DynamicProgramming,
+    /// Full enumeration (exponential; small instances only).
+    Exhaustive,
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Strategy to use.
+    pub method: SolveMethod,
+    /// Maximum number of branch-and-bound nodes before returning the best
+    /// incumbent with `proved_optimal = false`.
+    pub max_nodes: u64,
+    /// Number of local-search restarts.
+    pub restarts: usize,
+    /// RNG seed for local-search perturbations.
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            method: SolveMethod::Auto,
+            max_nodes: 2_000_000,
+            restarts: 24,
+            seed: 0x51AD0,
+        }
+    }
+}
+
+/// A solved bit-width assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Chosen candidate index within each group (layer), in group order.
+    pub choices: Vec<usize>,
+    /// Objective value `αᵀĜα` of the assignment.
+    pub objective: f64,
+    /// Total cost (bits) of the assignment.
+    pub cost: u64,
+    /// Whether optimality was proved (B&B completed / exhaustive).
+    pub proved_optimal: bool,
+    /// Branch-and-bound nodes explored (0 for other methods).
+    pub nodes_explored: u64,
+}
+
+/// The integer quadratic program of equation (11).
+///
+/// # Examples
+///
+/// ```
+/// use clado_solver::{IqpProblem, SolverConfig, SymMatrix};
+///
+/// // Two layers, two bit choices each. Diagonal = layer sensitivities.
+/// let mut g = SymMatrix::zeros(4);
+/// g.set(0, 0, 1.0); // layer 0, cheap choice: high error
+/// g.set(1, 1, 0.1); // layer 0, expensive choice: low error
+/// g.set(2, 2, 0.5);
+/// g.set(3, 3, 0.05);
+/// let problem = IqpProblem::new(g, &[2, 2], vec![10, 20, 10, 20], 30)?;
+/// let sol = problem.solve(&SolverConfig::default())?;
+/// // Budget 30 permits exactly one expensive choice; layer 0 gains more.
+/// assert_eq!(sol.choices, vec![1, 0]);
+/// # Ok::<(), clado_solver::IqpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IqpProblem {
+    g: SymMatrix,
+    /// Start offset of each group in variable space; one extra final entry.
+    offsets: Vec<usize>,
+    costs: Vec<u64>,
+    budget: u64,
+}
+
+impl IqpProblem {
+    /// Builds a problem instance.
+    ///
+    /// `group_sizes[i]` is the number of candidates for layer `i`; variables
+    /// are laid out group-contiguously, matching the paper's `Ĝ` indexing
+    /// `(|𝔹|·i + m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IqpError`] describing any dimensional inconsistency or
+    /// an unconditionally infeasible budget.
+    pub fn new(
+        g: SymMatrix,
+        group_sizes: &[usize],
+        costs: Vec<u64>,
+        budget: u64,
+    ) -> Result<Self, IqpError> {
+        let mut offsets = Vec::with_capacity(group_sizes.len() + 1);
+        let mut total = 0usize;
+        for (i, &s) in group_sizes.iter().enumerate() {
+            if s == 0 {
+                return Err(IqpError::EmptyGroup { group: i });
+            }
+            offsets.push(total);
+            total += s;
+        }
+        offsets.push(total);
+        if g.dim() != total {
+            return Err(IqpError::DimensionMismatch {
+                matrix: g.dim(),
+                variables: total,
+            });
+        }
+        if costs.len() != total {
+            return Err(IqpError::CostLengthMismatch {
+                costs: costs.len(),
+                variables: total,
+            });
+        }
+        let problem = Self {
+            g,
+            offsets,
+            costs,
+            budget,
+        };
+        let min_cost = problem.min_total_cost();
+        if min_cost > budget {
+            return Err(IqpError::Infeasible { min_cost, budget });
+        }
+        Ok(problem)
+    }
+
+    /// Number of groups (layers).
+    pub fn num_groups(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of candidates in group `i`.
+    pub fn group_size(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Global variable index of candidate `m` in group `i`.
+    pub fn var(&self, i: usize, m: usize) -> usize {
+        debug_assert!(m < self.group_size(i));
+        self.offsets[i] + m
+    }
+
+    /// The budget (bits).
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// The sensitivity matrix.
+    pub fn matrix(&self) -> &SymMatrix {
+        &self.g
+    }
+
+    /// Cost of candidate `m` in group `i`.
+    pub fn cost(&self, i: usize, m: usize) -> u64 {
+        self.costs[self.var(i, m)]
+    }
+
+    /// Cheapest possible total cost.
+    pub fn min_total_cost(&self) -> u64 {
+        (0..self.num_groups())
+            .map(|i| {
+                (0..self.group_size(i))
+                    .map(|m| self.cost(i, m))
+                    .min()
+                    .expect("non-empty")
+            })
+            .sum()
+    }
+
+    /// Total cost of a full assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` has the wrong length or an out-of-range choice.
+    pub fn assignment_cost(&self, choices: &[usize]) -> u64 {
+        assert_eq!(
+            choices.len(),
+            self.num_groups(),
+            "choice vector length mismatch"
+        );
+        choices
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| self.cost(i, m))
+            .sum()
+    }
+
+    /// Objective `αᵀĜα` of a full assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` has the wrong length or an out-of-range choice.
+    pub fn assignment_objective(&self, choices: &[usize]) -> f64 {
+        assert_eq!(
+            choices.len(),
+            self.num_groups(),
+            "choice vector length mismatch"
+        );
+        let vars: Vec<usize> = choices
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| self.var(i, m))
+            .collect();
+        let mut acc = 0.0;
+        for &u in &vars {
+            for &v in &vars {
+                acc += self.g.get(u, v);
+            }
+        }
+        acc
+    }
+
+    /// `true` if the assignment satisfies the budget.
+    pub fn is_feasible(&self, choices: &[usize]) -> bool {
+        self.assignment_cost(choices) <= self.budget
+    }
+
+    /// Solves the program with the configured strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IqpError::Infeasible`] if no assignment fits the budget
+    /// (already checked at construction, so in practice this does not
+    /// occur for problems built through [`IqpProblem::new`]).
+    pub fn solve(&self, config: &SolverConfig) -> Result<Solution, IqpError> {
+        match config.method {
+            SolveMethod::Exhaustive => exhaustive::solve(self),
+            SolveMethod::DynamicProgramming => dp::solve(self),
+            SolveMethod::LocalSearch => local::solve(self, config),
+            SolveMethod::BranchAndBound | SolveMethod::Auto => {
+                let warm = local::solve(self, config)?;
+                bnb::solve(self, config, warm)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 groups × 2 candidates with planted negative cross terms that make
+    /// the separable optimum suboptimal.
+    pub(crate) fn cross_term_instance() -> IqpProblem {
+        let mut g = SymMatrix::zeros(6);
+        // Diagonals (cheap, expensive) per group.
+        let diag = [0.115, 0.0, 0.140, 0.0, 0.246, 0.0];
+        for (i, &d) in diag.iter().enumerate() {
+            g.set(i, i, d);
+        }
+        // Cross term between group 0 cheap and group 2 cheap is strongly
+        // negative — mirroring the paper's Fig. 1 example where the jointly
+        // best pair is not the individually best pair.
+        g.set(0, 4, -0.12);
+        g.set(0, 2, 0.02);
+        g.set(2, 4, 0.009);
+        // Costs: cheap = 2 bits/unit, expensive = 8 bits/unit, 100 units per
+        // layer. Budget forces exactly one... actually allows two cheap.
+        let costs = vec![200, 800, 200, 800, 200, 800];
+        IqpProblem::new(g, &[2, 2, 2], costs, 1200).expect("valid instance")
+    }
+
+    #[test]
+    fn construction_validations() {
+        let g = SymMatrix::zeros(4);
+        assert!(matches!(
+            IqpProblem::new(g.clone(), &[2, 3], vec![0; 4], 10),
+            Err(IqpError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            IqpProblem::new(g.clone(), &[2, 2], vec![0; 3], 10),
+            Err(IqpError::CostLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            IqpProblem::new(g.clone(), &[2, 0, 2], vec![0; 4], 10),
+            Err(IqpError::EmptyGroup { group: 1 })
+        ));
+        assert!(matches!(
+            IqpProblem::new(g, &[2, 2], vec![5, 9, 7, 9], 10),
+            Err(IqpError::Infeasible {
+                min_cost: 12,
+                budget: 10
+            })
+        ));
+    }
+
+    #[test]
+    fn objective_counts_cross_terms_twice() {
+        let p = cross_term_instance();
+        // choices (0, _, 0): groups 0 and 2 at cheap → diag + 2·cross.
+        let obj = p.assignment_objective(&[0, 1, 0]);
+        let expect = 0.115 + 0.246 + 2.0 * (-0.12);
+        assert!((obj - expect).abs() < 1e-12, "{obj} vs {expect}");
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let p = cross_term_instance();
+        assert_eq!(p.assignment_cost(&[0, 0, 0]), 600);
+        assert_eq!(p.assignment_cost(&[1, 0, 0]), 1200);
+        assert!(p.is_feasible(&[1, 0, 0]));
+        assert!(!p.is_feasible(&[1, 1, 0]));
+        assert_eq!(p.min_total_cost(), 600);
+    }
+
+    #[test]
+    fn all_methods_agree_on_small_instance() {
+        let p = cross_term_instance();
+        let exhaustive = p
+            .solve(&SolverConfig {
+                method: SolveMethod::Exhaustive,
+                ..Default::default()
+            })
+            .unwrap();
+        for method in [
+            SolveMethod::Auto,
+            SolveMethod::BranchAndBound,
+            SolveMethod::LocalSearch,
+        ] {
+            let sol = p
+                .solve(&SolverConfig {
+                    method,
+                    ..Default::default()
+                })
+                .unwrap();
+            assert!(
+                (sol.objective - exhaustive.objective).abs() < 1e-9,
+                "{method:?}: {} vs exhaustive {}",
+                sol.objective,
+                exhaustive.objective
+            );
+            assert!(sol.cost <= p.budget());
+        }
+        assert!(exhaustive.proved_optimal);
+    }
+
+    #[test]
+    fn cross_terms_change_the_optimum() {
+        // With the planted negative interaction, the optimum must pair
+        // groups 0 and 2 at their cheap setting.
+        let p = cross_term_instance();
+        let sol = p
+            .solve(&SolverConfig {
+                method: SolveMethod::Exhaustive,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(sol.choices[0], 0);
+        assert_eq!(sol.choices[2], 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Dense matrix multiplication kernels.
+//!
+//! A single cache-friendly `ikj`-ordered GEMM backs the linear layers, the
+//! im2col convolution path, and attention. Matrices are the first two
+//! dimensions of row-major [`Tensor`]s.
+
+use crate::Tensor;
+
+/// Computes `C = A · B` for row-major 2-D tensors.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use clado_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.])?;
+/// let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.])?;
+/// let c = matmul(&a, &b);
+/// assert_eq!(c.data(), &[58., 64., 139., 154.]);
+/// # Ok::<(), clado_tensor::ShapeMismatchError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "lhs");
+    let (kb, n) = mat_dims(b, "rhs");
+    assert_eq!(k, kb, "matmul inner dimensions disagree: {k} vs {kb}");
+    let mut c = Tensor::zeros([m, n]);
+    gemm_into(a.data(), b.data(), c.data_mut(), m, k, n, false, false);
+    c
+}
+
+/// Computes `C = Aᵀ · B` without materializing the transpose.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the shared dimension disagrees.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = mat_dims(a, "lhs");
+    let (kb, n) = mat_dims(b, "rhs");
+    assert_eq!(k, kb, "matmul_at_b shared dimension disagrees: {k} vs {kb}");
+    let mut c = Tensor::zeros([m, n]);
+    gemm_into(a.data(), b.data(), c.data_mut(), m, k, n, true, false);
+    c
+}
+
+/// Computes `C = A · Bᵀ` without materializing the transpose.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the shared dimension disagrees.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "lhs");
+    let (n, kb) = mat_dims(b, "rhs");
+    assert_eq!(k, kb, "matmul_a_bt shared dimension disagrees: {k} vs {kb}");
+    let mut c = Tensor::zeros([m, n]);
+    gemm_into(a.data(), b.data(), c.data_mut(), m, k, n, false, true);
+    c
+}
+
+/// Transposes a 2-D tensor.
+///
+/// # Panics
+///
+/// Panics if the input is not 2-D.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = mat_dims(a, "input");
+    let src = a.data();
+    let mut out = vec![0.0; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = src[i * n + j];
+        }
+    }
+    Tensor::from_vec([n, m], out).expect("size preserved")
+}
+
+fn mat_dims(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(
+        t.shape().ndim(),
+        2,
+        "{what} of a matrix op must be 2-D, got {}",
+        t.shape()
+    );
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+/// Raw GEMM on slices: `c[m×n] = op(a) · op(b)` with optional transposes.
+/// `a` is `m×k` (or `k×m` when `ta`), `b` is `k×n` (or `n×k` when `tb`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_into(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ta: bool,
+    tb: bool,
+) {
+    debug_assert_eq!(c.len(), m * n);
+    match (ta, tb) {
+        (false, false) => {
+            // ikj order: streams through rows of B, accumulating into rows of C.
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (p, &aip) in a_row.iter().enumerate() {
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..(p + 1) * n];
+                    for (cij, &bpj) in c_row.iter_mut().zip(b_row) {
+                        *cij += aip * bpj;
+                    }
+                }
+            }
+        }
+        (true, false) => {
+            // a is k×m: c[i][j] += a[p][i] * b[p][j]
+            for p in 0..k {
+                let a_row = &a[p * m..(p + 1) * m];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (i, &api) in a_row.iter().enumerate() {
+                    if api == 0.0 {
+                        continue;
+                    }
+                    let c_row = &mut c[i * n..(i + 1) * n];
+                    for (cij, &bpj) in c_row.iter_mut().zip(b_row) {
+                        *cij += api * bpj;
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            // b is n×k: c[i][j] = dot(a_row_i, b_row_j)
+            for i in 0..m {
+                let a_row = &a[i * k..(i + 1) * k];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (j, cij) in c_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&x, &y) in a_row.iter().zip(b_row) {
+                        acc += x * y;
+                    }
+                    *cij += acc;
+                }
+            }
+        }
+        (true, true) => {
+            // Rarely needed; fall back to two-step via explicit loops.
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += a[p * m + i] * b[j * k + p];
+                    }
+                    c[i * n + j] += acc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: [usize; 2], v: &[f32]) -> Tensor {
+        Tensor::from_vec(shape, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn basic_matmul() {
+        let a = t([2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = t([3, 2], &[7., 8., 9., 10., 11., 12.]);
+        assert_eq!(matmul(&a, &b).data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = t([2, 2], &[1., 2., 3., 4.]);
+        let id = t([2, 2], &[1., 0., 0., 1.]);
+        assert_eq!(matmul(&a, &id).data(), a.data());
+        assert_eq!(matmul(&id, &a).data(), a.data());
+    }
+
+    #[test]
+    fn at_b_matches_reference() {
+        let a = t([3, 2], &[1., 2., 3., 4., 5., 6.]);
+        let b = t(
+            [3, 4],
+            &[0.5, 1., -1., 2., 3., -0.5, 1., 0., 2., 2., 1., -3.],
+        );
+        let expect = matmul(&transpose(&a), &b);
+        let got = matmul_at_b(&a, &b);
+        assert_eq!(got.shape(), expect.shape());
+        for (x, y) in got.data().iter().zip(expect.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_reference() {
+        let a = t([2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let b = t([4, 3], &[1., 0., 1., 2., 1., 0., 0., 1., 2., 1., 1., 1.]);
+        let reference = matmul(&a, &transpose(&b));
+        let got = matmul_a_bt(&a, &b);
+        assert_eq!(got.data(), reference.data());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = t([2, 3], &[1., 2., 3., 4., 5., 6.]);
+        let tt = transpose(&transpose(&a));
+        assert_eq!(tt.data(), a.data());
+        assert_eq!(tt.shape(), a.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn mismatched_inner_dims_panic() {
+        let a = t([2, 3], &[0.; 6]);
+        let b = t([2, 2], &[0.; 4]);
+        matmul(&a, &b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 2-D")]
+    fn non_matrix_input_panics() {
+        let a = Tensor::zeros([2, 2, 2]);
+        let b = Tensor::zeros([2, 2]);
+        matmul(&a, &b);
+    }
+}

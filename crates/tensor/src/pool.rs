@@ -1,0 +1,259 @@
+//! Spatial pooling kernels (forward and backward).
+
+use crate::Tensor;
+
+fn nchw(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(
+        t.shape().ndim(),
+        4,
+        "expected NCHW tensor, got {}",
+        t.shape()
+    );
+    let sh = t.shape();
+    let d = sh.dims();
+    (d[0], d[1], d[2], d[3])
+}
+
+/// Output of [`max_pool2d_forward`]: pooled values plus argmax indices
+/// (flat offsets into the input) needed by the backward pass.
+#[derive(Debug)]
+pub struct MaxPoolOutput {
+    /// Pooled activations, `[N, C, Ho, Wo]`.
+    pub output: Tensor,
+    /// For each output element, the flat index of the winning input element.
+    pub argmax: Vec<usize>,
+}
+
+/// Max pooling with a square window and stride (no padding).
+///
+/// # Panics
+///
+/// Panics if the window does not fit the input.
+pub fn max_pool2d_forward(input: &Tensor, window: usize, stride: usize) -> MaxPoolOutput {
+    let (n, c, h, w) = nchw(input);
+    assert!(
+        window <= h && window <= w,
+        "pool window {window} exceeds input {h}×{w}"
+    );
+    let ho = (h - window) / stride + 1;
+    let wo = (w - window) / stride + 1;
+    let mut output = Tensor::zeros([n, c, ho, wo]);
+    let mut argmax = vec![0usize; n * c * ho * wo];
+    let src = input.data();
+    let dst = output.data_mut();
+    for s in 0..n {
+        for ch in 0..c {
+            let plane = (s * c + ch) * h * w;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            let idx = plane + (oy * stride + ky) * w + (ox * stride + kx);
+                            if src[idx] > best {
+                                best = src[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ((s * c + ch) * ho + oy) * wo + ox;
+                    dst[o] = best;
+                    argmax[o] = best_idx;
+                }
+            }
+        }
+    }
+    MaxPoolOutput { output, argmax }
+}
+
+/// Backward pass of max pooling: routes each output gradient to its argmax.
+pub fn max_pool2d_backward(d_out: &Tensor, argmax: &[usize], input_shape: crate::Shape) -> Tensor {
+    assert_eq!(d_out.numel(), argmax.len(), "argmax length mismatch");
+    let mut d_in = Tensor::zeros(input_shape);
+    let dd = d_in.data_mut();
+    for (g, &idx) in d_out.data().iter().zip(argmax) {
+        dd[idx] += g;
+    }
+    d_in
+}
+
+/// Average pooling with a square window and stride (no padding).
+///
+/// # Panics
+///
+/// Panics if the window does not fit the input.
+pub fn avg_pool2d_forward(input: &Tensor, window: usize, stride: usize) -> Tensor {
+    let (n, c, h, w) = nchw(input);
+    assert!(
+        window <= h && window <= w,
+        "pool window {window} exceeds input {h}×{w}"
+    );
+    let ho = (h - window) / stride + 1;
+    let wo = (w - window) / stride + 1;
+    let inv = 1.0 / (window * window) as f32;
+    let mut output = Tensor::zeros([n, c, ho, wo]);
+    let src = input.data();
+    let dst = output.data_mut();
+    for s in 0..n {
+        for ch in 0..c {
+            let plane = (s * c + ch) * h * w;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let mut acc = 0.0f32;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            acc += src[plane + (oy * stride + ky) * w + (ox * stride + kx)];
+                        }
+                    }
+                    dst[((s * c + ch) * ho + oy) * wo + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    output
+}
+
+/// Backward pass of average pooling.
+pub fn avg_pool2d_backward(
+    d_out: &Tensor,
+    window: usize,
+    stride: usize,
+    input_shape: crate::Shape,
+) -> Tensor {
+    let d = input_shape.dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let (_, _, ho, wo) = nchw(d_out);
+    let inv = 1.0 / (window * window) as f32;
+    let mut d_in = Tensor::zeros(input_shape);
+    let dd = d_in.data_mut();
+    for s in 0..n {
+        for ch in 0..c {
+            let plane = (s * c + ch) * h * w;
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let g = d_out.data()[((s * c + ch) * ho + oy) * wo + ox] * inv;
+                    for ky in 0..window {
+                        for kx in 0..window {
+                            dd[plane + (oy * stride + ky) * w + (ox * stride + kx)] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    d_in
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
+    let (n, c, h, w) = nchw(input);
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = Tensor::zeros([n, c]);
+    for s in 0..n {
+        for ch in 0..c {
+            let plane = (s * c + ch) * h * w;
+            let sum: f32 = input.data()[plane..plane + h * w].iter().sum();
+            out.data_mut()[s * c + ch] = sum * inv;
+        }
+    }
+    out
+}
+
+/// Backward pass of global average pooling.
+pub fn global_avg_pool_backward(d_out: &Tensor, input_shape: crate::Shape) -> Tensor {
+    let d = input_shape.dims();
+    let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+    assert_eq!(d_out.shape().dims(), &[n, c], "d_out shape mismatch");
+    let inv = 1.0 / (h * w) as f32;
+    let mut d_in = Tensor::zeros(input_shape);
+    for s in 0..n {
+        for ch in 0..c {
+            let g = d_out.data()[s * c + ch] * inv;
+            let plane = (s * c + ch) * h * w;
+            d_in.data_mut()[plane..plane + h * w].fill(g);
+        }
+    }
+    d_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_basic() {
+        let input = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1., 2., 3., 4., //
+                5., 6., 7., 8., //
+                9., 10., 11., 12., //
+                13., 14., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let MaxPoolOutput { output, argmax } = max_pool2d_forward(&input, 2, 2);
+        assert_eq!(output.data(), &[6., 8., 14., 16.]);
+        assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_gradient() {
+        let input = Tensor::from_vec([1, 1, 2, 2], vec![1., 9., 3., 4.]).unwrap();
+        let fwd = max_pool2d_forward(&input, 2, 1);
+        let d_out = Tensor::full([1, 1, 1, 1], 2.5);
+        let d_in = max_pool2d_backward(&d_out, &fwd.argmax, input.shape());
+        assert_eq!(d_in.data(), &[0., 2.5, 0., 0.]);
+    }
+
+    #[test]
+    fn avg_pool_roundtrip() {
+        let input = Tensor::from_vec([1, 1, 2, 2], vec![1., 3., 5., 7.]).unwrap();
+        let out = avg_pool2d_forward(&input, 2, 2);
+        assert_eq!(out.data(), &[4.0]);
+        let d_in = avg_pool2d_backward(&Tensor::full([1, 1, 1, 1], 4.0), 2, 2, input.shape());
+        assert_eq!(d_in.data(), &[1., 1., 1., 1.]);
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let input = Tensor::from_vec([1, 2, 1, 2], vec![2., 4., 10., 30.]).unwrap();
+        let out = global_avg_pool_forward(&input);
+        assert_eq!(out.data(), &[3., 20.]);
+        let d_in = global_avg_pool_backward(
+            &Tensor::from_vec([1, 2], vec![2., 4.]).unwrap(),
+            input.shape(),
+        );
+        assert_eq!(d_in.data(), &[1., 1., 2., 2.]);
+    }
+
+    #[test]
+    fn avg_pool_gradient_matches_finite_difference() {
+        use crate::init;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let input = init::normal([1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let out = avg_pool2d_forward(&input, 2, 2);
+        let seed = init::normal(out.shape(), 0.0, 1.0, &mut rng);
+        let d_in = avg_pool2d_backward(&seed, 2, 2, input.shape());
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 21, 31] {
+            let mut p = input.clone();
+            p.data_mut()[idx] += eps;
+            let mut m = input.clone();
+            m.data_mut()[idx] -= eps;
+            let lp = avg_pool2d_forward(&p, 2, 2).dot(&seed);
+            let lm = avg_pool2d_forward(&m, 2, 2).dot(&seed);
+            let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
+            assert!((fd - d_in.data()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds input")]
+    fn oversized_window_panics() {
+        max_pool2d_forward(&Tensor::zeros([1, 1, 2, 2]), 3, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Tensor shapes.
+//!
+//! A [`Shape`] describes the extent of a dense, row-major tensor with up to
+//! four dimensions. Vision workloads use the NCHW convention: batch,
+//! channels, height, width.
+
+use std::fmt;
+
+/// Maximum number of dimensions supported by [`Shape`].
+pub const MAX_DIMS: usize = 4;
+
+/// The extents of a dense, row-major tensor (up to four dimensions).
+///
+/// # Examples
+///
+/// ```
+/// use clado_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4, 4]);
+/// assert_eq!(s.ndim(), 4);
+/// assert_eq!(s.numel(), 96);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: [usize; MAX_DIMS],
+    ndim: usize,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty, has more than [`MAX_DIMS`] entries, or
+    /// contains a zero extent.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            !dims.is_empty() && dims.len() <= MAX_DIMS,
+            "shape must have between 1 and {MAX_DIMS} dimensions, got {}",
+            dims.len()
+        );
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape extents must be positive, got {dims:?}"
+        );
+        let mut out = [1; MAX_DIMS];
+        out[..dims.len()].copy_from_slice(dims);
+        Self {
+            dims: out,
+            ndim: dims.len(),
+        }
+    }
+
+    /// A one-dimensional shape of length `n`.
+    pub fn vector(n: usize) -> Self {
+        Self::new(&[n])
+    }
+
+    /// A two-dimensional `rows × cols` shape.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Self::new(&[rows, cols])
+    }
+
+    /// A four-dimensional NCHW shape.
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self::new(&[n, c, h, w])
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.ndim()`.
+    pub fn dim(&self, i: usize) -> usize {
+        assert!(
+            i < self.ndim,
+            "dimension index {i} out of range (ndim={})",
+            self.ndim
+        );
+        self.dims[i]
+    }
+
+    /// The dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims[..self.ndim]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims().iter().product()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.dims().iter().map(|d| d.to_string()).collect();
+        write!(f, "[{}]", parts.join("×"))
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let s = Shape::nchw(2, 3, 8, 8);
+        assert_eq!(s.ndim(), 4);
+        assert_eq!(s.dims(), &[2, 3, 8, 8]);
+        assert_eq!(s.numel(), 384);
+        assert_eq!(Shape::vector(5).dims(), &[5]);
+        assert_eq!(Shape::matrix(2, 7).numel(), 14);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(format!("{s}"), "[2×3]");
+        assert_eq!(format!("{s:?}"), "Shape[2, 3]");
+    }
+
+    #[test]
+    fn from_array() {
+        let s: Shape = [4, 5].into();
+        assert_eq!(s.dims(), &[4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and")]
+    fn rejects_empty() {
+        Shape::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_extent() {
+        Shape::new(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dim_out_of_range_panics() {
+        Shape::new(&[2, 3]).dim(2);
+    }
+}

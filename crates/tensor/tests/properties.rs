@@ -1,0 +1,92 @@
+//! Property-based tests for the tensor kernels.
+
+use clado_tensor::{matmul, matmul_a_bt, matmul_at_b, transpose, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(max_elems: usize) -> impl Strategy<Value = Tensor> {
+    (1usize..=4, 1usize..=4)
+        .prop_flat_map(move |(r, c)| {
+            let n = (r * c).min(max_elems);
+            (Just((r, c)), prop::collection::vec(-10.0f32..10.0, n..=n))
+        })
+        .prop_map(|((r, c), v)| Tensor::from_vec([r, c], v).expect("sized"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_is_commutative(a in tensor_strategy(16)) {
+        let b = a.map(|v| v * 0.5 - 1.0);
+        let ab = &a + &b;
+        let ba = &b + &a;
+        prop_assert_eq!(ab.data(), ba.data());
+    }
+
+    #[test]
+    fn axpy_matches_definition(a in tensor_strategy(16), alpha in -5.0f32..5.0) {
+        let b = a.map(|v| v + 1.0);
+        let mut c = a.clone();
+        c.axpy(alpha, &b);
+        for i in 0..a.numel() {
+            let expect = a.data()[i] + alpha * b.data()[i];
+            prop_assert!((c.data()[i] - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data(a in tensor_strategy(16)) {
+        let n = a.numel();
+        let r = a.reshape([n]).expect("same element count");
+        prop_assert_eq!(r.data(), a.data());
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in tensor_strategy(16)) {
+        let tt = transpose(&transpose(&a));
+        prop_assert_eq!(tt.data(), a.data());
+        prop_assert_eq!(tt.shape(), a.shape());
+    }
+
+    #[test]
+    fn matmul_transpose_identities(
+        rows in 1usize..4, inner in 1usize..4, cols in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic pseudo-random fill from the seed.
+        let fill = |n: usize, s: u64| -> Vec<f32> {
+            (0..n).map(|i| {
+                let x = (s.wrapping_mul(6364136223846793005).wrapping_add(i as u64 * 1442695040888963407)) >> 33;
+                (x % 2000) as f32 / 100.0 - 10.0
+            }).collect()
+        };
+        let a = Tensor::from_vec([rows, inner], fill(rows * inner, seed)).expect("sized");
+        let b = Tensor::from_vec([inner, cols], fill(inner * cols, seed + 1)).expect("sized");
+        let c = matmul(&a, &b);
+        // (AB)ᵀ = Bᵀ Aᵀ
+        let lhs = transpose(&c);
+        let rhs = matmul(&transpose(&b), &transpose(&a));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+        // matmul_at_b(Aᵀ-stored, B) == matmul(A, B)
+        let at = transpose(&a);
+        let via_at = matmul_at_b(&at, &b);
+        for (x, y) in via_at.data().iter().zip(c.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        // matmul_a_bt(A, Bᵀ-stored) == matmul(A, B)
+        let bt = transpose(&b);
+        let via_bt = matmul_a_bt(&a, &bt);
+        for (x, y) in via_bt.data().iter().zip(c.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_norm_consistent(a in tensor_strategy(16)) {
+        let b = a.map(|v| 2.0 - v);
+        prop_assert!((a.dot(&b) - b.dot(&a)).abs() < 1e-6);
+        prop_assert!((a.dot(&a) - a.norm_sq()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,99 @@
+//! Quickstart: CLADO end-to-end on a small CNN in under a minute.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a small CNN, trains it on the synthetic vision dataset, measures
+//! the full cross-layer sensitivity matrix (Algorithm 1), solves the IQP of
+//! eq. (11) at a 3-bit-average budget, and reports the quantized accuracy
+//! against uniform-precision quantization.
+
+use clado_core::{
+    assign_bits, measure_sensitivities, quantized_accuracy, AssignOptions, SensitivityOptions,
+};
+use clado_models::{train, SynthVision, SynthVisionConfig, TrainConfig};
+use clado_nn::{ActKind, Activation, Conv2d, GlobalAvgPool, Linear, Network, Sequential};
+use clado_quant::{BitWidth, BitWidthSet, LayerSizes, QuantScheme};
+use clado_tensor::Conv2dSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small CNN: three quantizable conv layers + classifier.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut net = Network::new(
+        Sequential::new()
+            .push(
+                "conv1",
+                Conv2d::new(Conv2dSpec::new(3, 8, 3, 1, 1), true, &mut rng),
+            )
+            .push("relu1", Activation::new(ActKind::Relu))
+            .push(
+                "conv2",
+                Conv2d::new(Conv2dSpec::new(8, 12, 3, 2, 1), true, &mut rng),
+            )
+            .push("relu2", Activation::new(ActKind::Relu))
+            .push(
+                "conv3",
+                Conv2d::new(Conv2dSpec::new(12, 16, 3, 2, 1), true, &mut rng),
+            )
+            .push("relu3", Activation::new(ActKind::Relu))
+            .push("pool", GlobalAvgPool::new())
+            .push("fc", Linear::new(16, 10, &mut rng)),
+        10,
+    );
+
+    // 2. Train to convergence on the synthetic dataset (the ImageNet
+    //    stand-in; see DESIGN.md for the substitution rationale).
+    let data = SynthVision::generate(SynthVisionConfig::default());
+    let report = train(&mut net, &data.train, &data.val, &TrainConfig::default());
+    println!(
+        "FP32 validation accuracy: {:.2}%",
+        report.val_accuracy * 100.0
+    );
+
+    // 3. Measure the sensitivity matrix on a small sensitivity set.
+    let sens_set = data.train.sample_subset(64, 0);
+    let bits = BitWidthSet::standard(); // 𝔹 = {2, 4, 8}
+    let scheme = QuantScheme::PerTensorSymmetric;
+    let sm = measure_sensitivities(
+        &mut net,
+        &sens_set,
+        &bits,
+        &SensitivityOptions {
+            scheme,
+            ..Default::default()
+        },
+    );
+    println!(
+        "sensitivities measured: {} network evaluations in {:.1}s",
+        sm.stats.evaluations, sm.stats.seconds
+    );
+
+    // 4. Solve the IQP at a 3-bit-average budget.
+    let sizes = LayerSizes::new(net.layer_param_counts());
+    let budget = sizes.budget_from_avg_bits(3.0);
+    let assignment = assign_bits(&sm, &sizes, budget, &AssignOptions::default())?;
+    println!(
+        "CLADO bit map: {}  (avg {:.2} bits/weight)",
+        assignment.bitmap(),
+        assignment.avg_bits(&sizes)
+    );
+
+    // 5. Compare against uniform quantization at the same average width.
+    let clado_acc = quantized_accuracy(&mut net, &assignment.bits, scheme, &data.val);
+    let upq3: Vec<BitWidth> = (0..sizes.num_layers())
+        .map(|i| {
+            if i % 2 == 0 {
+                BitWidth::of(2)
+            } else {
+                BitWidth::of(4)
+            }
+        })
+        .collect();
+    let upq_acc = quantized_accuracy(&mut net, &upq3, scheme, &data.val);
+    println!("CLADO  accuracy @3b avg: {:.2}%", clado_acc * 100.0);
+    println!("naive  accuracy @3b avg: {:.2}%", upq_acc * 100.0);
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Fig.-1-style sensitivity exploration: print a sensitivity submatrix and
+//! demonstrate the pair-selection suboptimality caused by ignoring
+//! cross-layer terms.
+//!
+//! ```text
+//! cargo run --release --example sensitivity_explorer
+//! ```
+
+// Index-based loops are kept where they mirror the math directly.
+#![allow(clippy::needless_range_loop)]
+use clado_core::{measure_sensitivities, SensitivityOptions};
+use clado_models::{pretrained, ModelKind};
+use clado_quant::BitWidthSet;
+
+fn main() {
+    let mut p = pretrained(ModelKind::ResNet20);
+    let sens_set = p.data.train.sample_subset(64, 0);
+    // Single bit-width 𝔹 = {2}: the Fig. 1 setting (which two layers should
+    // be quantized to 2 bits?).
+    let bits = BitWidthSet::new(&[2]);
+    let sm = measure_sensitivities(
+        &mut p.network,
+        &sens_set,
+        &bits,
+        &SensitivityOptions::default(),
+    );
+
+    let names: Vec<String> = p
+        .network
+        .quantizable_layers()
+        .iter()
+        .map(|l| l.name.clone())
+        .collect();
+    let n = names.len();
+
+    println!("2-bit sensitivity matrix (Ω·1000), {} layers:", n);
+    print!("{:>24}", "");
+    for j in 0..n.min(8) {
+        print!(" {:>8}", j);
+    }
+    println!();
+    for i in 0..n.min(8) {
+        print!("{:>24}", names[i]);
+        for j in 0..n.min(8) {
+            let v = if i == j {
+                sm.layer_sensitivity(i, 0)
+            } else {
+                sm.cross_sensitivity(i, 0, j, 0)
+            };
+            print!(" {:>8.2}", v * 1000.0);
+        }
+        println!();
+    }
+
+    // The Fig. 1 story: pick the best PAIR of layers to quantize.
+    let mut best_diag = (0, 1, f64::INFINITY);
+    let mut best_full = (0, 1, f64::INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let diag = sm.layer_sensitivity(i, 0) + sm.layer_sensitivity(j, 0);
+            let full = diag + 2.0 * sm.cross_sensitivity(i, 0, j, 0);
+            if diag < best_diag.2 {
+                best_diag = (i, j, diag);
+            }
+            if full < best_full.2 {
+                best_full = (i, j, full);
+            }
+        }
+    }
+    println!(
+        "\nbest pair ignoring cross terms : ({}, {}) predicted ΔΩ {:.4}",
+        names[best_diag.0], names[best_diag.1], best_diag.2
+    );
+    let diag_pair_true = sm.layer_sensitivity(best_diag.0, 0)
+        + sm.layer_sensitivity(best_diag.1, 0)
+        + 2.0 * sm.cross_sensitivity(best_diag.0, 0, best_diag.1, 0);
+    println!("  … its TRUE ΔΩ with cross terms: {diag_pair_true:.4}");
+    println!(
+        "best pair with cross terms     : ({}, {}) true ΔΩ {:.4}",
+        names[best_full.0], names[best_full.1], best_full.2
+    );
+    if (best_full.0, best_full.1) != (best_diag.0, best_diag.1) {
+        println!(
+            "→ ignoring cross-layer dependencies picks a suboptimal pair (the Fig. 1 effect)."
+        );
+    } else {
+        println!("→ on this seed the diagonal choice happens to coincide with the full optimum.");
+    }
+}

@@ -1,0 +1,42 @@
+//! # clado
+//!
+//! Facade crate of the CLADO reproduction — re-exports every sub-crate so
+//! downstream users can depend on one package:
+//!
+//! * [`core`] — the paper's algorithm: sensitivity measurement, PSD
+//!   approximation, IQP bit assignment, baselines, QAT, vᵀHv validation.
+//! * [`models`] — synthetic dataset + mini model zoo + trainer.
+//! * [`nn`] — layers, backprop, networks, SGD.
+//! * [`quant`] — quantizers, calibration, size accounting.
+//! * [`solver`] — eigen/PSD and the IQP solver suite.
+//! * [`tensor`] — dense tensors and numeric kernels.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use clado::core::{assign_bits, measure_sensitivities, AssignOptions, SensitivityOptions};
+//! use clado::models::{pretrained, ModelKind};
+//! use clado::quant::{BitWidthSet, LayerSizes};
+//!
+//! let mut p = pretrained(ModelKind::ResNet34);
+//! let sens_set = p.data.train.sample_subset(128, 0);
+//! let sm = measure_sensitivities(
+//!     &mut p.network,
+//!     &sens_set,
+//!     &BitWidthSet::standard(),
+//!     &SensitivityOptions::default(),
+//! );
+//! let sizes = LayerSizes::new(p.network.layer_param_counts());
+//! let a = assign_bits(&sm, &sizes, sizes.budget_from_avg_bits(3.0), &AssignOptions::default())?;
+//! println!("{}", a.bitmap());
+//! # Ok::<(), clado::solver::IqpError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use clado_core as core;
+pub use clado_models as models;
+pub use clado_nn as nn;
+pub use clado_quant as quant;
+pub use clado_solver as solver;
+pub use clado_tensor as tensor;

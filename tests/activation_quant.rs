@@ -1,0 +1,86 @@
+//! Activation quantization integration: the paper quantizes activations to
+//! 8 bits alongside the mixed-precision weights; verify that the 8-bit
+//! activation path is accuracy-transparent and trains.
+
+use clado_models::{
+    build_resnet, train, ResNetConfig, SynthVision, SynthVisionConfig, TrainConfig,
+};
+
+#[test]
+fn eight_bit_activations_are_accuracy_transparent() {
+    let data = SynthVision::generate(SynthVisionConfig {
+        classes: 5,
+        img: 16,
+        train: 320,
+        val: 160,
+        seed: 909,
+        noise: 0.3,
+        label_noise: 0.05,
+    });
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        lr: 0.08,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+    };
+
+    let mut fp = build_resnet(&ResNetConfig::resnet20_mini(5, 3));
+    let fp_report = train(&mut fp, &data.train, &data.val, &cfg);
+
+    let mut aq = build_resnet(&ResNetConfig::resnet20_mini(5, 3).with_act_bits(8));
+    let aq_report = train(&mut aq, &data.train, &data.val, &cfg);
+
+    assert!(fp_report.val_accuracy > 0.5, "fp32 model failed to train");
+    assert!(
+        (aq_report.val_accuracy - fp_report.val_accuracy).abs() < 0.06,
+        "8-bit activations should be ~transparent: fp32 {} vs act-quant {}",
+        fp_report.val_accuracy,
+        aq_report.val_accuracy
+    );
+}
+
+#[test]
+fn act_quant_layers_do_not_change_the_quantizable_inventory() {
+    use clado_models::{
+        build_mobilenet, build_regnet, build_vit, MobileNetConfig, RegNetConfig, ViTConfig,
+    };
+    let pairs = [
+        (
+            build_resnet(&ResNetConfig::resnet34_mini(10, 0)).quantizable_layers().len(),
+            build_resnet(&ResNetConfig::resnet34_mini(10, 0).with_act_bits(8))
+                .quantizable_layers()
+                .len(),
+        ),
+        (
+            build_mobilenet(&MobileNetConfig::mobilenet_mini(10, 0)).quantizable_layers().len(),
+            build_mobilenet(&MobileNetConfig::mobilenet_mini(10, 0).with_act_bits(8))
+                .quantizable_layers()
+                .len(),
+        ),
+        (
+            build_regnet(&RegNetConfig::regnet_mini(10, 0)).quantizable_layers().len(),
+            build_regnet(&RegNetConfig::regnet_mini(10, 0).with_act_bits(8))
+                .quantizable_layers()
+                .len(),
+        ),
+        (
+            build_vit(&ViTConfig::vit_mini(10, 0)).quantizable_layers().len(),
+            build_vit(&ViTConfig::vit_mini(10, 0).with_act_bits(8)).quantizable_layers().len(),
+        ),
+    ];
+    for (plain, quant) in pairs {
+        assert_eq!(plain, quant, "activation quantizers must not add weight targets");
+    }
+}
+
+#[test]
+fn act_quant_models_forward_and_backward() {
+    use clado_models::{build_vit, ViTConfig};
+    use clado_tensor::Tensor;
+    let mut net = build_vit(&ViTConfig::vit_mini(4, 1).with_act_bits(8));
+    let y = net.forward(Tensor::zeros([2, 3, 16, 16]), true);
+    assert_eq!(y.shape().dims(), &[2, 4]);
+    let (_, grad) = clado_nn::cross_entropy(&y, &[0, 3]);
+    net.backward(grad);
+}

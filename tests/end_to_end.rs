@@ -1,0 +1,221 @@
+//! Cross-crate integration: the full CLADO pipeline from training through
+//! sensitivity measurement, IQP solve, and quantized evaluation.
+
+use clado_core::{
+    assign_bits, measure_sensitivities, quantized_accuracy, Algorithm, AssignOptions, CladoVariant,
+    ExperimentContext, SensitivityOptions,
+};
+use clado_models::{train, SynthVision, SynthVisionConfig, TrainConfig};
+use clado_nn::{ActKind, Activation, Conv2d, GlobalAvgPool, Linear, Network, Sequential};
+use clado_quant::{BitWidthSet, LayerSizes, QuantScheme};
+use clado_tensor::Conv2dSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn trained_cnn() -> (Network, SynthVision) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut net = Network::new(
+        Sequential::new()
+            .push(
+                "conv1",
+                Conv2d::new(Conv2dSpec::new(3, 8, 3, 1, 1), true, &mut rng),
+            )
+            .push("relu1", Activation::new(ActKind::Relu))
+            .push(
+                "conv2",
+                Conv2d::new(Conv2dSpec::new(8, 10, 3, 2, 1), true, &mut rng),
+            )
+            .push("relu2", Activation::new(ActKind::Relu))
+            .push(
+                "conv3",
+                Conv2d::new(Conv2dSpec::new(10, 12, 3, 2, 1), true, &mut rng),
+            )
+            .push("relu3", Activation::new(ActKind::Relu))
+            .push("pool", GlobalAvgPool::new())
+            .push("fc", Linear::new(12, 6, &mut rng)),
+        6,
+    );
+    let data = SynthVision::generate(SynthVisionConfig {
+        classes: 6,
+        img: 12,
+        train: 384,
+        val: 192,
+        seed: 1234,
+        noise: 0.3,
+        label_noise: 0.05,
+    });
+    let report = train(
+        &mut net,
+        &data.train,
+        &data.val,
+        &TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr: 0.08,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        },
+    );
+    assert!(
+        report.val_accuracy > 0.6,
+        "training failed: {}",
+        report.val_accuracy
+    );
+    (net, data)
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let run = || {
+        let (mut net, data) = trained_cnn();
+        let sens = data.train.sample_subset(32, 7);
+        let bits = BitWidthSet::standard();
+        let sm = measure_sensitivities(&mut net, &sens, &bits, &SensitivityOptions::default());
+        let sizes = LayerSizes::new(net.layer_param_counts());
+        let budget = sizes.budget_from_avg_bits(3.0);
+        let a = assign_bits(&sm, &sizes, budget, &AssignOptions::default()).expect("feasible");
+        let acc = quantized_accuracy(
+            &mut net,
+            &a.bits,
+            QuantScheme::PerTensorSymmetric,
+            &data.val,
+        );
+        (a.bits.iter().map(|b| b.bits()).collect::<Vec<_>>(), acc)
+    };
+    let (bits1, acc1) = run();
+    let (bits2, acc2) = run();
+    assert_eq!(bits1, bits2, "bit assignments differ across identical runs");
+    assert!(
+        (acc1 - acc2).abs() < 1e-12,
+        "accuracies differ: {acc1} vs {acc2}"
+    );
+}
+
+#[test]
+fn clado_beats_worst_case_assignment_and_respects_budget() {
+    let (mut net, data) = trained_cnn();
+    let sens = data.train.sample_subset(48, 3);
+    let bits = BitWidthSet::standard();
+    let sm = measure_sensitivities(&mut net, &sens, &bits, &SensitivityOptions::default());
+    let sizes = LayerSizes::new(net.layer_param_counts());
+    let budget = sizes.budget_from_avg_bits(3.0);
+    let a = assign_bits(&sm, &sizes, budget, &AssignOptions::default()).expect("feasible");
+    assert!(a.cost_bits <= budget, "budget violated");
+
+    let clado_acc = quantized_accuracy(
+        &mut net,
+        &a.bits,
+        QuantScheme::PerTensorSymmetric,
+        &data.val,
+    );
+    // Same cost, inverted priorities: give 2 bits wherever CLADO gave 8
+    // and vice versa, then repair to the budget. That adversarial flip
+    // should be clearly worse.
+    let flipped: Vec<clado_quant::BitWidth> = a
+        .bits
+        .iter()
+        .map(|b| match b.bits() {
+            2 => clado_quant::BitWidth::of(8),
+            8 => clado_quant::BitWidth::of(2),
+            other => clado_quant::BitWidth::of(other),
+        })
+        .collect();
+    if sizes.assignment_bits(&flipped) <= budget {
+        let flipped_acc = quantized_accuracy(
+            &mut net,
+            &flipped,
+            QuantScheme::PerTensorSymmetric,
+            &data.val,
+        );
+        assert!(
+            clado_acc >= flipped_acc - 0.02,
+            "CLADO ({clado_acc}) should not lose to its own inversion ({flipped_acc})"
+        );
+    }
+}
+
+#[test]
+fn experiment_context_runs_every_algorithm_on_a_real_model() {
+    let (net, data) = trained_cnn();
+    let sens = data.train.sample_subset(32, 5);
+    let mut ctx = ExperimentContext::new(
+        net,
+        sens,
+        data.val.clone(),
+        BitWidthSet::standard(),
+        QuantScheme::PerTensorSymmetric,
+    );
+    let budget = ctx.sizes.budget_from_avg_bits(3.5);
+    let mut results = Vec::new();
+    for alg in [
+        Algorithm::Hawq,
+        Algorithm::Mpqco,
+        Algorithm::CladoStar,
+        Algorithm::BlockClado,
+        Algorithm::Clado,
+    ] {
+        let (a, acc) = ctx.run(alg, budget).expect("feasible");
+        assert!(a.cost_bits <= budget, "{alg:?} violated the budget");
+        results.push((alg, acc));
+    }
+    // All algorithms should produce usable (above-chance) models at a
+    // moderate 3.5-bit budget on this easy task.
+    for (alg, acc) in results {
+        assert!(acc > 1.0 / 6.0, "{alg:?} below chance: {acc}");
+    }
+}
+
+#[test]
+fn variant_masks_change_only_off_diagonal_structure() {
+    let (mut net, data) = trained_cnn();
+    let sens = data.train.sample_subset(24, 11);
+    let bits = BitWidthSet::standard();
+    let sm = measure_sensitivities(&mut net, &sens, &bits, &SensitivityOptions::default());
+    let sizes = LayerSizes::new(net.layer_param_counts());
+    let budget = sizes.budget_from_avg_bits(4.0);
+
+    // DiagonalOnly must equal BlockOnly when every layer is its own block.
+    let singleton_blocks: Vec<usize> = (0..sizes.num_layers()).collect();
+    let diag = assign_bits(
+        &sm,
+        &sizes,
+        budget,
+        &AssignOptions {
+            variant: CladoVariant::DiagonalOnly,
+            ..Default::default()
+        },
+    )
+    .expect("feasible");
+    let blocks = assign_bits(
+        &sm,
+        &sizes,
+        budget,
+        &AssignOptions {
+            variant: CladoVariant::BlockOnly(singleton_blocks),
+            ..Default::default()
+        },
+    )
+    .expect("feasible");
+    assert!(
+        (diag.predicted_delta_loss - blocks.predicted_delta_loss).abs() < 1e-9,
+        "singleton-block mask must reduce to the diagonal variant"
+    );
+
+    // All-in-one-block must equal the full variant.
+    let one_block = vec![0usize; sizes.num_layers()];
+    let full = assign_bits(&sm, &sizes, budget, &AssignOptions::default()).expect("feasible");
+    let merged = assign_bits(
+        &sm,
+        &sizes,
+        budget,
+        &AssignOptions {
+            variant: CladoVariant::BlockOnly(one_block),
+            ..Default::default()
+        },
+    )
+    .expect("feasible");
+    assert!(
+        (full.predicted_delta_loss - merged.predicted_delta_loss).abs() < 1e-9,
+        "single-block mask must reduce to full CLADO"
+    );
+}

@@ -1,0 +1,210 @@
+//! Paper-shape properties: lighter-weight statements of the evaluation
+//! section's qualitative claims, checked on a planted-structure instance
+//! and on quantization monotonicity.
+
+use clado_core::{qat_finetune, solve_with_matrix, QatConfig};
+use clado_models::{train, SynthVision, SynthVisionConfig, TrainConfig};
+use clado_nn::{ActKind, Activation, Conv2d, GlobalAvgPool, Linear, Network, Sequential};
+use clado_quant::{BitWidth, BitWidthSet, LayerSizes, QuantScheme};
+use clado_solver::{SolverConfig, SymMatrix};
+use clado_tensor::Conv2dSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Planted instance reproducing the Fig. 1 story at IQP level: the
+/// cross-aware solve must find the negatively-coupled pair while the
+/// diagonal-only solve picks the individually-best (jointly worse) pair.
+#[test]
+fn cross_layer_solve_finds_the_planted_coupling() {
+    let bits = BitWidthSet::new(&[2, 8]);
+    let layers = 4usize;
+    let n = layers * 2;
+    let mut g = SymMatrix::zeros(n);
+    // Diagonals: cost of quantizing each layer to 2 bits (index 0 of each
+    // group); 8-bit entries are ~0.
+    let diag2 = [0.115, 0.140, 0.246, 0.148];
+    for (i, &d) in diag2.iter().enumerate() {
+        g.set(2 * i, 2 * i, d);
+    }
+    // Strong negative coupling between layers 2 and 3 at 2 bits.
+    g.set(4, 6, -0.070);
+    // Mild positive coupling between layers 0 and 1 at 2 bits.
+    g.set(0, 2, 0.009);
+
+    let sizes = LayerSizes::new(vec![100; layers]);
+    // Budget forces exactly two layers to 2 bits: 2·2b + 2·8b = 2000 bits.
+    let budget = 2 * 100 * 2 + 2 * 100 * 8;
+
+    let full =
+        solve_with_matrix(&g, &bits, &sizes, budget as u64, &SolverConfig::default()).unwrap();
+    let two_bit_layers: Vec<usize> = full
+        .bits
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.bits() == 2)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        two_bit_layers,
+        vec![2, 3],
+        "full solve must exploit the negative coupling"
+    );
+
+    // Diagonal-only: same instance with the off-diagonals removed.
+    let mut diag_only = SymMatrix::zeros(n);
+    for v in 0..n {
+        diag_only.set(v, v, g.get(v, v));
+    }
+    let diag = solve_with_matrix(
+        &diag_only,
+        &bits,
+        &sizes,
+        budget as u64,
+        &SolverConfig::default(),
+    )
+    .unwrap();
+    let diag_pick: Vec<usize> = diag
+        .bits
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| b.bits() == 2)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        diag_pick,
+        vec![0, 1],
+        "diagonal solve picks the individually-best pair"
+    );
+
+    // And the full objective of the diagonal pick is indeed worse.
+    let eval = |choice: &[usize]| {
+        let mut alpha = vec![0.0f64; n];
+        for (i, &m) in choice.iter().enumerate() {
+            alpha[2 * i + m] = 1.0;
+        }
+        g.quadratic_form(&alpha)
+    };
+    assert!(
+        eval(&[0, 0, 1, 1]) > eval(&[1, 1, 0, 0]),
+        "planted structure must matter"
+    );
+}
+
+/// More budget never hurts: accuracy at a looser budget is ≥ accuracy at a
+/// tighter one minus noise (Fig. 2's monotone tradeoff curves).
+#[test]
+fn accuracy_is_monotone_in_budget_for_clado() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut net = Network::new(
+        Sequential::new()
+            .push(
+                "conv1",
+                Conv2d::new(Conv2dSpec::new(3, 8, 3, 1, 1), true, &mut rng),
+            )
+            .push("relu1", Activation::new(ActKind::Relu))
+            .push(
+                "conv2",
+                Conv2d::new(Conv2dSpec::new(8, 12, 3, 2, 1), true, &mut rng),
+            )
+            .push("relu2", Activation::new(ActKind::Relu))
+            .push("pool", GlobalAvgPool::new())
+            .push("fc", Linear::new(12, 5, &mut rng)),
+        5,
+    );
+    let data = SynthVision::generate(SynthVisionConfig {
+        classes: 5,
+        img: 12,
+        train: 320,
+        val: 160,
+        seed: 4321,
+        noise: 0.3,
+        label_noise: 0.05,
+    });
+    train(
+        &mut net,
+        &data.train,
+        &data.val,
+        &TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr: 0.08,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        },
+    );
+    let sens = data.train.sample_subset(48, 9);
+    let mut ctx = clado_core::ExperimentContext::new(
+        net,
+        sens,
+        data.val.clone(),
+        BitWidthSet::standard(),
+        QuantScheme::PerTensorSymmetric,
+    );
+    let mut prev = 0.0f64;
+    for avg in [2.5f64, 3.5, 5.0, 8.0] {
+        let budget = ctx.sizes.budget_from_avg_bits(avg);
+        let (_, acc) = ctx
+            .run(clado_core::Algorithm::Clado, budget)
+            .expect("feasible");
+        assert!(
+            acc >= prev - 0.08,
+            "accuracy dropped sharply with more budget: {prev} → {acc} at {avg} bits"
+        );
+        prev = prev.max(acc);
+    }
+}
+
+/// QAT on a CLADO assignment recovers accuracy (Fig. 3's premise).
+#[test]
+fn qat_recovers_ptq_degradation_on_trained_model() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut net = Network::new(
+        Sequential::new()
+            .push(
+                "conv1",
+                Conv2d::new(Conv2dSpec::new(3, 8, 3, 1, 1), true, &mut rng),
+            )
+            .push("relu1", Activation::new(ActKind::Relu))
+            .push("pool", GlobalAvgPool::new())
+            .push("fc", Linear::new(8, 4, &mut rng)),
+        4,
+    );
+    let data = SynthVision::generate(SynthVisionConfig {
+        classes: 4,
+        img: 12,
+        train: 256,
+        val: 128,
+        seed: 2222,
+        noise: 0.25,
+        label_noise: 0.0,
+    });
+    train(
+        &mut net,
+        &data.train,
+        &data.val,
+        &TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        },
+    );
+    let assignment = vec![BitWidth::of(2), BitWidth::of(4)];
+    let report = qat_finetune(
+        &mut net,
+        &assignment,
+        QuantScheme::PerTensorSymmetric,
+        &data.train,
+        &data.val,
+        &QatConfig {
+            epochs: 5,
+            lr: 0.01,
+            ..Default::default()
+        },
+    );
+    assert!(
+        report.accuracy_after + 1e-9 >= report.accuracy_before,
+        "QAT regressed: {report:?}"
+    );
+}
