@@ -1,0 +1,91 @@
+//! Measurement-engine benchmark — serial/full-forward vs parallel/
+//! prefix-cached sensitivity measurement on a ResNet-style model.
+//!
+//! Runs Algorithm 1 three times on the same (untrained) ResNet-20 analogue
+//! and sensitivity set — (a) one thread with the prefix cache disabled
+//! (the pre-engine baseline), (b) one thread with the cache, (c) all cores
+//! with the cache — checks the three matrices are bitwise identical, and
+//! records the timings to `BENCH_sensitivity.json` at the repo root.
+//!
+//! ```text
+//! cargo bench -p clado-bench --bench sensitivity_engine
+//! ```
+
+use clado_core::{measure_sensitivities, SensitivityMatrix, SensitivityOptions};
+use clado_models::{build_resnet, ResNetConfig, SynthVision, SynthVisionConfig};
+use clado_quant::BitWidthSet;
+use std::path::Path;
+
+fn measure(label: &str, threads: usize, use_prefix_cache: bool) -> SensitivityMatrix {
+    let mut network = build_resnet(&ResNetConfig::resnet20_mini(10, 41));
+    let data = SynthVision::generate(SynthVisionConfig {
+        train: 128,
+        val: 32,
+        ..Default::default()
+    });
+    let set = data.train.subset(&(0..96).collect::<Vec<_>>());
+    let sm = measure_sensitivities(
+        &mut network,
+        &set,
+        &BitWidthSet::new(&[2, 8]),
+        &SensitivityOptions {
+            threads,
+            use_prefix_cache,
+            ..Default::default()
+        },
+    );
+    println!(
+        "  {label:<22} {:>7.2}s   {} threads, {} full + {} suffix evals",
+        sm.stats.seconds, sm.stats.threads_used, sm.stats.full_evals, sm.stats.prefix_cache_hits
+    );
+    sm
+}
+
+fn assert_bitwise_equal(a: &SensitivityMatrix, b: &SensitivityMatrix, label: &str) {
+    assert_eq!(a.base_loss.to_bits(), b.base_loss.to_bits(), "{label}");
+    let dim = a.matrix().dim();
+    for u in 0..dim {
+        for v in u..dim {
+            assert_eq!(
+                a.matrix().get(u, v).to_bits(),
+                b.matrix().get(u, v).to_bits(),
+                "{label}: entry ({u},{v})"
+            );
+        }
+    }
+}
+
+fn main() {
+    println!("=== Sensitivity-measurement engine: serial/full vs parallel/prefix ===");
+    let naive = measure("serial, full forward", 1, false);
+    let cached = measure("serial, prefix cache", 1, true);
+    let parallel = measure("all cores, prefix cache", 0, true);
+    assert_bitwise_equal(&naive, &cached, "prefix cache changed the matrix");
+    assert_bitwise_equal(&naive, &parallel, "parallelism changed the matrix");
+
+    let cache_speedup = naive.stats.seconds / cached.stats.seconds;
+    let total_speedup = naive.stats.seconds / parallel.stats.seconds;
+    println!("  prefix-cache speedup  {cache_speedup:>6.2}×");
+    println!("  combined speedup      {total_speedup:>6.2}×   (matrices bitwise identical)");
+
+    let json = format!(
+        "{{\n  \"model\": \"resnet20-mini\",\n  \"evaluations\": {},\n  \
+         \"serial_full_seconds\": {:.3},\n  \"serial_prefix_seconds\": {:.3},\n  \
+         \"parallel_prefix_seconds\": {:.3},\n  \"threads_used\": {},\n  \
+         \"prefix_cache_hits\": {},\n  \"full_evals\": {},\n  \
+         \"prefix_cache_speedup\": {:.2},\n  \"combined_speedup\": {:.2},\n  \
+         \"bitwise_identical\": true\n}}\n",
+        naive.stats.evaluations,
+        naive.stats.seconds,
+        cached.stats.seconds,
+        parallel.stats.seconds,
+        parallel.stats.threads_used,
+        parallel.stats.prefix_cache_hits,
+        parallel.stats.full_evals,
+        cache_speedup,
+        total_speedup,
+    );
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sensitivity.json");
+    std::fs::write(&out, json).expect("write BENCH_sensitivity.json");
+    println!("  recorded → {}", out.display());
+}

@@ -16,10 +16,20 @@ fn main() {
         ModelKind::ViT,
     ] {
         let net = kind.build(10, 0);
-        println!("\n{} — {} quantizable layers", kind.display_name(), net.quantizable_layers().len());
-        println!("{:>5}  {:<40} {:>8} {:>6}", "index", "layer", "params", "block");
+        println!(
+            "\n{} — {} quantizable layers",
+            kind.display_name(),
+            net.quantizable_layers().len()
+        );
+        println!(
+            "{:>5}  {:<40} {:>8} {:>6}",
+            "index", "layer", "params", "block"
+        );
         for l in net.quantizable_layers() {
-            println!("{:>5}  {:<40} {:>8} {:>6}", l.index, l.name, l.numel, l.block);
+            println!(
+                "{:>5}  {:<40} {:>8} {:>6}",
+                l.index, l.name, l.numel, l.block
+            );
         }
     }
 }

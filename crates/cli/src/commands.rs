@@ -27,6 +27,7 @@ COMMANDS:
   sensitivity  --model <id> --out <file.clsm>
                                   run Algorithm 1 and persist Ĝ
                [--set-size 128] [--set-seed 0] [--bits 2,4,8] [--scheme symmetric|affine]
+               [--threads N (0 = all cores)] [--no-prefix-cache] [--verbose]
   assign       --model <id> --avg-bits <f>
                                   solve eq. (11) and report the bit map + PTQ accuracy
                [--sens <file.clsm>] [--algorithm clado|clado-star|block|hawq|mpqco]
@@ -126,6 +127,8 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
         &SensitivityOptions {
             scheme,
             verbose: args.switch("verbose"),
+            threads: args.get_or("threads", 0)?,
+            use_prefix_cache: !args.switch("no-prefix-cache"),
             ..Default::default()
         },
     );
@@ -137,6 +140,13 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
         sm.stats.evaluations,
         sm.stats.seconds,
         out.display()
+    );
+    println!(
+        "  engine: {} threads, {} full evals + {} suffix evals on {} prefix caches",
+        sm.stats.threads_used,
+        sm.stats.full_evals,
+        sm.stats.prefix_cache_hits,
+        sm.stats.prefix_cache_builds
     );
     Ok(())
 }

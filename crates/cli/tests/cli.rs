@@ -36,7 +36,14 @@ fn models_lists_the_zoo() {
     let out = clado().arg("models").output().expect("binary runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for id in ["resnet20", "resnet34", "resnet50", "mobilenetv3", "regnet", "vit"] {
+    for id in [
+        "resnet20",
+        "resnet34",
+        "resnet50",
+        "mobilenetv3",
+        "regnet",
+        "vit",
+    ] {
         assert!(stdout.contains(id), "missing {id} in:\n{stdout}");
     }
 }

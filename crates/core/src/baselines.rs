@@ -18,6 +18,7 @@
 
 // Index-based loops are kept where they mirror the math directly.
 #![allow(clippy::needless_range_loop)]
+use crate::engine::{replica_map, resolve_threads};
 use crate::probe::{quant_error_table, quantizable_gradients};
 use clado_models::DataSplit;
 use clado_nn::{cross_entropy, Network};
@@ -40,6 +41,9 @@ pub struct BaselineOptions {
     pub fd_epsilon: f32,
     /// RNG seed for the Rademacher probes.
     pub seed: u64,
+    /// Worker threads for the Hutchinson probe fan-out; `0` means all
+    /// available cores. The estimate is bitwise identical for any value.
+    pub threads: usize,
 }
 
 impl Default for BaselineOptions {
@@ -50,6 +54,7 @@ impl Default for BaselineOptions {
             hutchinson_probes: 4,
             fd_epsilon: 5e-3,
             seed: 0xBA5E,
+            threads: 0,
         }
     }
 }
@@ -90,40 +95,54 @@ pub fn hessian_traces(
 ) -> Vec<f64> {
     let num_layers = network.quantizable_layers().len();
     let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut traces = vec![0.0f64; num_layers];
     let originals = network.snapshot_weights();
-    for _ in 0..options.hutchinson_probes {
-        // Rademacher direction per layer, applied jointly (the cross-layer
-        // Hessian blocks contribute zero in expectation because the z_i are
-        // independent and zero-mean).
-        let zs: Vec<Tensor> = (0..num_layers)
-            .map(|i| {
-                let mut z = Tensor::zeros(originals[i].shape());
-                for v in z.data_mut() {
-                    *v = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-                }
-                z
-            })
-            .collect();
-        let eps = options.fd_epsilon;
+    // Draw every probe's Rademacher directions up front from the single
+    // seeded stream, so the estimate does not depend on which worker runs
+    // which probe. Cross-layer Hessian blocks contribute zero in
+    // expectation because the z_i are independent and zero-mean.
+    let all_zs: Vec<Vec<Tensor>> = (0..options.hutchinson_probes)
+        .map(|_| {
+            (0..num_layers)
+                .map(|i| {
+                    let mut z = Tensor::zeros(originals[i].shape());
+                    for v in z.data_mut() {
+                        *v = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                    }
+                    z
+                })
+                .collect()
+        })
+        .collect();
+    let eps = options.fd_epsilon;
+    let batch_size = options.batch_size;
+    let threads = resolve_threads(options.threads);
+    let per_probe: Vec<Vec<f64>> = replica_map(network, threads, &all_zs, |net, zs| {
         for (i, z) in zs.iter().enumerate() {
             let mut step = z.clone();
             step.scale(eps);
-            network.perturb_weight(i, &step);
+            net.perturb_weight(i, &step);
         }
-        let g_plus = quantizable_gradients(network, sens_set, options.batch_size);
-        network.restore_weights(&originals);
+        let g_plus = quantizable_gradients(net, sens_set, batch_size);
+        net.restore_weights(&originals);
         for (i, z) in zs.iter().enumerate() {
             let mut step = z.clone();
             step.scale(-eps);
-            network.perturb_weight(i, &step);
+            net.perturb_weight(i, &step);
         }
-        let g_minus = quantizable_gradients(network, sens_set, options.batch_size);
-        network.restore_weights(&originals);
-        for i in 0..num_layers {
+        let g_minus = quantizable_gradients(net, sens_set, batch_size);
+        net.restore_weights(&originals);
+        zs.iter()
+            .enumerate()
             // zᵀ H z ≈ zᵀ (g₊ − g₋) / (2ε)
-            let hz = (&g_plus[i] - &g_minus[i]).dot(&zs[i]) / (2.0 * eps as f64);
-            traces[i] += hz / options.hutchinson_probes as f64;
+            .map(|(i, z)| (&g_plus[i] - &g_minus[i]).dot(z) / (2.0 * eps as f64))
+            .collect()
+    });
+    // Accumulate in probe order — the same addition order as a serial run,
+    // so the result is bitwise independent of the thread count.
+    let mut traces = vec![0.0f64; num_layers];
+    for hz in &per_probe {
+        for (trace, &v) in traces.iter_mut().zip(hz) {
+            *trace += v / options.hutchinson_probes as f64;
         }
     }
     traces
@@ -167,11 +186,6 @@ pub fn empirical_fisher(
     batch_size: usize,
 ) -> Vec<Tensor> {
     let num_layers = network.quantizable_layers().len();
-    let names: Vec<String> = network
-        .quantizable_layers()
-        .iter()
-        .map(|l| format!("{}.weight", l.name))
-        .collect();
     let mut fisher: Vec<Tensor> = (0..num_layers)
         .map(|i| Tensor::zeros(network.weight(i).shape()))
         .collect();
@@ -183,11 +197,9 @@ pub fn empirical_fisher(
         let logits = network.forward(x, true);
         let (_, grad) = cross_entropy(&logits, &labels);
         network.backward(grad);
-        network.visit_params(&mut |name, p| {
-            if let Some(pos) = names.iter().position(|n| n == name) {
-                for (f, &g) in fisher[pos].data_mut().iter_mut().zip(p.grad.data()) {
-                    *f += g * g;
-                }
+        network.visit_quantizable_weights(&mut |i, p| {
+            for (f, &g) in fisher[i].data_mut().iter_mut().zip(p.grad.data()) {
+                *f += g * g;
             }
         });
         batches += 1;

@@ -1,0 +1,132 @@
+//! Scoped-thread fan-out over replicated networks.
+//!
+//! The sensitivity measurement, Hutchinson probing, and random search all
+//! reduce to the same shape: a list of independent work items, each needing
+//! a network it can perturb freely. [`replica_map`] shards the items
+//! round-robin across worker threads, hands every worker its own clone of
+//! the template network, and merges the per-item results back in item
+//! order. Because each item's computation depends only on the item and on
+//! shared read-only state — workers restore their replica to the template's
+//! exact weights between items — the output is bitwise identical regardless
+//! of thread count.
+
+use clado_nn::Network;
+
+/// Resolves a requested worker count: `0` means "all available cores".
+pub(crate) fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads, each owning a
+/// private clone of `template`. Results are returned in item order.
+///
+/// `f` must leave the replica's weights exactly as it found them (restore
+/// from a shared snapshot, not by subtracting deltas), so that an item's
+/// result does not depend on which items ran before it on the same
+/// replica. Under that contract the result is independent of `threads`.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (a panicking worker aborts the whole map).
+pub(crate) fn replica_map<T, R, F>(template: &Network, threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut Network, &T) -> R + Sync,
+{
+    let workers = threads.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        let mut replica = template.clone();
+        return items.iter().map(|item| f(&mut replica, item)).collect();
+    }
+    let mut replicas: Vec<Network> = (0..workers).map(|_| template.clone()).collect();
+    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for (w, replica) in replicas.iter_mut().enumerate() {
+            let f = &f;
+            handles.push(s.spawn(move || {
+                let mut out = Vec::new();
+                let mut i = w;
+                while i < items.len() {
+                    out.push((i, f(&mut *replica, &items[i])));
+                    i += workers;
+                }
+                out
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("measurement worker panicked") {
+                results[i] = Some(r);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every item is processed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clado_nn::{Linear, Network, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Network {
+        let mut rng = StdRng::seed_from_u64(7);
+        Network::new(Sequential::new().push("fc", Linear::new(4, 2, &mut rng)), 2)
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_at_least_one() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn results_preserve_item_order_across_thread_counts() {
+        let net = tiny();
+        let items: Vec<usize> = (0..17).collect();
+        let serial = replica_map(&net, 1, &items, |_, &i| i * i);
+        for threads in [2, 3, 8, 32] {
+            let parallel = replica_map(&net, threads, &items, |_, &i| i * i);
+            assert_eq!(parallel, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn workers_own_independent_replicas() {
+        let net = tiny();
+        let items: Vec<usize> = (0..8).collect();
+        // Each item perturbs its replica and reports the weight it read
+        // back; with per-item restore the reads are identical everywhere.
+        let originals = net.snapshot_weights();
+        let reads = replica_map(&net, 4, &items, |replica, _| {
+            let delta = clado_tensor::Tensor::full(originals[0].shape(), 1.0);
+            replica.perturb_weight(0, &delta);
+            let seen = replica.weight(0).data()[0];
+            replica.set_weight(0, &originals[0]);
+            seen
+        });
+        let expect = originals[0].data()[0] + 1.0;
+        for (i, &r) in reads.iter().enumerate() {
+            assert_eq!(r, expect, "item {i} saw a dirty replica");
+        }
+    }
+
+    #[test]
+    fn empty_items_yield_empty_results() {
+        let net = tiny();
+        let items: Vec<usize> = Vec::new();
+        let out = replica_map(&net, 4, &items, |_, &i| i);
+        assert!(out.is_empty());
+    }
+}

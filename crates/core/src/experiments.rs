@@ -108,7 +108,7 @@ impl ExperimentContext {
             let opts = SensitivityOptions {
                 scheme: self.scheme,
                 batch_size: self.batch_size,
-                verbose: false,
+                ..Default::default()
             };
             self.clado = Some(measure_sensitivities(
                 &mut self.network,

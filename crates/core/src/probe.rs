@@ -19,6 +19,68 @@ pub fn eval_loss(network: &mut Network, set: &DataSplit, batch_size: usize) -> f
     clado_models::mean_loss(network, set, batch_size)
 }
 
+/// Cached boundary activations at a stage boundary of the root stack.
+///
+/// Holds, for every probe batch, the activation entering stage `stage`
+/// (along with its labels) so that perturbations confined to stages
+/// `stage..` can be evaluated with [`eval_loss_from`] without re-running
+/// the unperturbed prefix. Evaluation-mode forward is pure — no running
+/// statistics are updated — so the cached prefix is *exact*: prefix +
+/// suffix executes the identical op sequence as a full forward and the
+/// resulting loss is bitwise equal.
+#[derive(Debug, Clone)]
+pub struct PrefixCache {
+    stage: usize,
+    batches: Vec<(Tensor, Vec<usize>)>,
+    total: usize,
+}
+
+impl PrefixCache {
+    /// The stage boundary the activations were captured at.
+    pub fn stage(&self) -> usize {
+        self.stage
+    }
+
+    /// Number of cached probe batches.
+    pub fn num_batches(&self) -> usize {
+        self.batches.len()
+    }
+}
+
+/// Runs the unperturbed prefix `0..stage` once over `set` and caches the
+/// boundary activations for repeated suffix evaluations.
+pub fn build_prefix_cache(
+    network: &mut Network,
+    set: &DataSplit,
+    batch_size: usize,
+    stage: usize,
+) -> PrefixCache {
+    let batches = set
+        .batches(batch_size)
+        .map(|(x, labels)| (network.forward_prefix(stage, x, false), labels))
+        .collect();
+    PrefixCache {
+        stage,
+        batches,
+        total: set.len(),
+    }
+}
+
+/// Evaluation-mode mean cross-entropy loss computed by running only the
+/// suffix `cache.stage()..` on the cached boundary activations.
+///
+/// Bitwise equal to [`eval_loss`] on the same set as long as all weight
+/// perturbations since the cache was built are confined to the suffix.
+pub fn eval_loss_from(network: &mut Network, cache: &PrefixCache) -> f64 {
+    let mut loss_weighted = 0.0f64;
+    for (x, labels) in &cache.batches {
+        let n = labels.len() as f64;
+        let logits = network.forward_from(cache.stage, x.clone(), false);
+        loss_weighted += clado_nn::cross_entropy_loss(&logits, labels) * n;
+    }
+    loss_weighted / cache.total as f64
+}
+
 /// Training-mode mean loss (batch-statistics BatchNorm); used by QAT-style
 /// probes. Note [`quantizable_gradients`] differentiates the evaluation-mode
 /// loss instead, matching Algorithm 1's `L(·)`.
@@ -52,22 +114,9 @@ pub fn quantizable_gradients(
         grad.scale((n / total) as f32);
         network.backward(grad);
     }
-    let names: Vec<String> = network
-        .quantizable_layers()
-        .iter()
-        .map(|l| format!("{}.weight", l.name))
-        .collect();
-    let mut grads: Vec<Option<Tensor>> = vec![None; names.len()];
-    network.visit_params(&mut |name, p| {
-        if let Some(pos) = names.iter().position(|n| n == name) {
-            grads[pos] = Some(p.grad.clone());
-        }
-    });
+    let grads = network.quantizable_weight_grads();
     network.zero_grad();
     grads
-        .into_iter()
-        .map(|g| g.expect("every quantizable layer has a gradient"))
-        .collect()
 }
 
 /// Precomputes the quantization-error tensors `Δw_m⁽ⁱ⁾ = Q(w⁽ⁱ⁾, b_m) − w⁽ⁱ⁾`
@@ -75,7 +124,7 @@ pub fn quantizable_gradients(
 ///
 /// Indexed as `deltas[layer][bit_index]`.
 pub fn quant_error_table(
-    network: &mut Network,
+    network: &Network,
     bits: &BitWidthSet,
     scheme: QuantScheme,
 ) -> Vec<Vec<Tensor>> {
@@ -227,6 +276,38 @@ mod tests {
         for (a, b) in before.iter().zip(&after) {
             assert_eq!(a.data(), b.data());
         }
+    }
+
+    #[test]
+    fn suffix_eval_is_bitwise_equal_to_full_eval() {
+        let (mut net, data) = net_and_data();
+        let set = data.val.subset(&(0..24).collect::<Vec<_>>());
+        let full = eval_loss(&mut net, &set, 8);
+        for stage in 0..=net.num_stages() {
+            let cache = build_prefix_cache(&mut net, &set, 8, stage);
+            assert_eq!(cache.stage(), stage);
+            assert_eq!(cache.num_batches(), 3);
+            let suffix = eval_loss_from(&mut net, &cache);
+            assert_eq!(
+                suffix.to_bits(),
+                full.to_bits(),
+                "stage {stage}: {suffix} vs {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn suffix_eval_stays_exact_under_suffix_perturbations() {
+        let (mut net, data) = net_and_data();
+        let set = data.val.subset(&(0..16).collect::<Vec<_>>());
+        // Perturbation target: the fc layer (quantizable layer 1).
+        let stage = net.stage_of(1);
+        let cache = build_prefix_cache(&mut net, &set, 8, stage);
+        let delta = Tensor::full(net.weight(1).shape(), 0.05);
+        net.perturb_weight(1, &delta);
+        let full = eval_loss(&mut net, &set, 8);
+        let suffix = eval_loss_from(&mut net, &cache);
+        assert_eq!(suffix.to_bits(), full.to_bits(), "{suffix} vs {full}");
     }
 
     #[test]

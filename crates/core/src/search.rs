@@ -30,6 +30,10 @@ pub struct SearchOptions {
     pub seed: u64,
     /// Initial Metropolis temperature (annealing only), in loss units.
     pub init_temp: f64,
+    /// Worker threads for candidate evaluation (random search only —
+    /// annealing is a sequential Markov chain); `0` means all available
+    /// cores. The search result is bitwise identical for any value.
+    pub threads: usize,
 }
 
 impl Default for SearchOptions {
@@ -40,6 +44,7 @@ impl Default for SearchOptions {
             batch_size: crate::probe::PROBE_BATCH,
             seed: 0x5EA4C,
             init_temp: 0.5,
+            threads: 0,
         }
     }
 }
@@ -136,21 +141,27 @@ pub fn random_search(
     options: &SearchOptions,
 ) -> SearchReport {
     let mut rng = StdRng::seed_from_u64(options.seed);
-    let mut best: Option<(Vec<BitWidth>, f64)> = None;
-    for _ in 0..options.evaluations {
-        let candidate = random_feasible(&mut rng, bits, sizes, budget);
-        let loss = loss_of(
-            network,
-            &candidate,
-            options.scheme,
-            eval_set,
-            options.batch_size,
-        );
-        if best.as_ref().is_none_or(|(_, b)| loss < *b) {
-            best = Some((candidate, loss));
+    // Draw every candidate up front from the single seeded stream, then
+    // fan the (independent) evaluations out across worker replicas. The
+    // winner is the first strict minimum in draw order, exactly as the
+    // serial loop selected it.
+    let mut candidates: Vec<Vec<BitWidth>> = (0..options.evaluations)
+        .map(|_| random_feasible(&mut rng, bits, sizes, budget))
+        .collect();
+    let scheme = options.scheme;
+    let batch_size = options.batch_size;
+    let threads = crate::engine::resolve_threads(options.threads);
+    let losses = crate::engine::replica_map(network, threads, &candidates, |net, candidate| {
+        loss_of(net, candidate, scheme, eval_set, batch_size)
+    });
+    let mut best: Option<(usize, f64)> = None;
+    for (idx, &loss) in losses.iter().enumerate() {
+        if best.is_none_or(|(_, b)| loss < b) {
+            best = Some((idx, loss));
         }
     }
-    let (assignment, best_loss) = best.expect("evaluations > 0");
+    let (best_idx, best_loss) = best.expect("evaluations > 0");
+    let assignment = candidates.swap_remove(best_idx);
     into_report(assignment, best_loss, sizes, options.evaluations)
 }
 

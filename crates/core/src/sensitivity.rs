@@ -14,7 +14,8 @@
 //! constraint, so their `I·C(|𝔹|,2)` measurements are skipped —
 //! `1 + |𝔹|I + ½|𝔹|²I(I−1)` evaluations in total.
 
-use crate::probe::{eval_loss, quant_error_table, PROBE_BATCH};
+use crate::engine::{replica_map, resolve_threads};
+use crate::probe::{build_prefix_cache, eval_loss, eval_loss_from, quant_error_table, PROBE_BATCH};
 use clado_models::DataSplit;
 use clado_nn::Network;
 use clado_quant::{BitWidthSet, QuantScheme};
@@ -30,6 +31,12 @@ pub struct SensitivityOptions {
     pub batch_size: usize,
     /// Print coarse progress to stderr.
     pub verbose: bool,
+    /// Worker threads for the measurement fan-out; `0` means all
+    /// available cores. The result is bitwise identical for any value.
+    pub threads: usize,
+    /// Reuse cached prefix activations for probes sharing an outer
+    /// perturbation (exact; disable only for measurement A/B testing).
+    pub use_prefix_cache: bool,
 }
 
 impl Default for SensitivityOptions {
@@ -38,6 +45,8 @@ impl Default for SensitivityOptions {
             scheme: QuantScheme::PerTensorSymmetric,
             batch_size: PROBE_BATCH,
             verbose: false,
+            threads: 0,
+            use_prefix_cache: true,
         }
     }
 }
@@ -45,10 +54,19 @@ impl Default for SensitivityOptions {
 /// Measurement statistics (the paper's runtime discussion, §5.2).
 #[derive(Debug, Clone, Copy)]
 pub struct SensitivityStats {
-    /// Number of network evaluations on the sensitivity set.
+    /// Number of network evaluations on the sensitivity set (full or
+    /// suffix-only; always `prefix_cache_hits + full_evals`).
     pub evaluations: usize,
     /// Wall-clock measurement time in seconds.
     pub seconds: f64,
+    /// Worker threads the measurement actually ran on.
+    pub threads_used: usize,
+    /// Prefix-activation caches built (one prefix forward per build).
+    pub prefix_cache_builds: usize,
+    /// Evaluations that ran only the suffix on cached activations.
+    pub prefix_cache_hits: usize,
+    /// Evaluations that ran the full forward pass.
+    pub full_evals: usize,
 }
 
 /// The measured sensitivity matrix Ĝ plus its provenance.
@@ -179,8 +197,14 @@ impl SensitivityMatrix {
 
 /// Runs Algorithm 1 on `network` over the sensitivity set.
 ///
-/// The network's weights are restored to their original values before
-/// returning.
+/// All perturbations are applied to per-worker replicas, so the caller's
+/// network is never modified. The `(i, m)`-outer / `(j, n)`-inner probe
+/// order lets every worker cache the unperturbed prefix activations up to
+/// the stage holding layer `i` and re-run only the suffix for each inner
+/// probe; evaluation-mode forward is pure, so the cached path is bitwise
+/// equal to a full forward. Work is sharded per outer layer `i` across
+/// [`SensitivityOptions::threads`] workers and merged in deterministic
+/// order, so the result is bitwise identical for any thread count.
 pub fn measure_sensitivities(
     network: &mut Network,
     sens_set: &DataSplit,
@@ -193,57 +217,105 @@ pub fn measure_sensitivities(
     let dim = num_layers * k;
     let mut g = SymMatrix::zeros(dim);
     let deltas = quant_error_table(network, bits, options.scheme);
+    let stages: Vec<usize> = (0..num_layers).map(|i| network.stage_of(i)).collect();
+    let originals = network.snapshot_weights();
+    let threads = resolve_threads(options.threads);
+    let use_cache = options.use_prefix_cache;
+    let batch_size = options.batch_size;
 
-    let mut evals = 0usize;
-    let base_loss = eval_loss(network, sens_set, options.batch_size);
-    evals += 1;
+    let base_loss = eval_loss(network, sens_set, batch_size);
+    if options.verbose {
+        eprintln!("sensitivity: {num_layers} layers × {k} bit-widths on {threads} threads");
+    }
 
     // Layer-specific sensitivities: Ω_ii(m) = 2(L(w + Δ) − L(w)).
-    // Cache the single-perturbation losses for the pairwise pass.
-    let mut single_loss = vec![vec![0.0f64; k]; num_layers];
+    // One work item per layer i; each worker probes all bit-widths of its
+    // layer against its own replica, restoring from the shared snapshot
+    // between probes. A prefix cache at layer i's stage is valid for all
+    // of them because the perturbation never touches stages before it.
+    let layer_ids: Vec<usize> = (0..num_layers).collect();
+    let single_loss: Vec<Vec<f64>> = replica_map(network, threads, &layer_ids, |net, &i| {
+        let cache = (use_cache && stages[i] > 0)
+            .then(|| build_prefix_cache(net, sens_set, batch_size, stages[i]));
+        let mut losses = Vec::with_capacity(k);
+        for delta in &deltas[i] {
+            net.perturb_weight(i, delta);
+            losses.push(match &cache {
+                Some(c) => eval_loss_from(net, c),
+                None => eval_loss(net, sens_set, batch_size),
+            });
+            net.set_weight(i, &originals[i]);
+        }
+        losses
+    });
     for i in 0..num_layers {
         for m in 0..k {
-            network.perturb_weight(i, &deltas[i][m]);
-            let loss = eval_loss(network, sens_set, options.batch_size);
-            evals += 1;
-            // Restore by subtracting the same delta (cheaper than a full
-            // snapshot restore and exact in f32 because the quantized value
-            // was computed from the unperturbed weight).
-            let mut neg = deltas[i][m].clone();
-            neg.scale(-1.0);
-            network.perturb_weight(i, &neg);
-            single_loss[i][m] = loss;
-            g.set(i * k + m, i * k + m, 2.0 * (loss - base_loss));
-        }
-        if options.verbose {
-            eprintln!("sensitivity: diagonal layer {}/{num_layers}", i + 1);
+            g.set(i * k + m, i * k + m, 2.0 * (single_loss[i][m] - base_loss));
         }
     }
-    // Drift guard: additive perturb/unperturb in f32 can accumulate error;
-    // re-pin the exact original weights once before the pairwise pass.
-    let originals = network.snapshot_weights();
+    if options.verbose {
+        eprintln!("sensitivity: diagonal pass done ({num_layers} layers)");
+    }
 
-    // Cross-layer sensitivities, eq. (13).
-    for i in 0..num_layers {
-        for j in (i + 1)..num_layers {
-            for m in 0..k {
-                network.perturb_weight(i, &deltas[i][m]);
+    // Cross-layer sensitivities, eq. (13). One work item per outer layer
+    // i < I−1; workers emit the probe losses in (m, j, n) order and the
+    // merge below re-walks that order, so entries land at fixed indices
+    // regardless of which worker produced them. Layer indices follow
+    // stage order, so j > i keeps the prefix below layer i unperturbed
+    // and the same cache serves every inner probe.
+    let outer_ids: Vec<usize> = (0..num_layers.saturating_sub(1)).collect();
+    let pair_losses: Vec<Vec<f64>> = replica_map(network, threads, &outer_ids, |net, &i| {
+        let cache = (use_cache && stages[i] > 0)
+            .then(|| build_prefix_cache(net, sens_set, batch_size, stages[i]));
+        let mut losses = Vec::with_capacity(k * k * (num_layers - 1 - i));
+        for delta_i in &deltas[i] {
+            net.perturb_weight(i, delta_i);
+            for j in (i + 1)..num_layers {
+                for delta_j in &deltas[j] {
+                    net.perturb_weight(j, delta_j);
+                    losses.push(match &cache {
+                        Some(c) => eval_loss_from(net, c),
+                        None => eval_loss(net, sens_set, batch_size),
+                    });
+                    net.set_weight(j, &originals[j]);
+                }
+            }
+            net.set_weight(i, &originals[i]);
+        }
+        losses
+    });
+    for (&i, losses) in outer_ids.iter().zip(&pair_losses) {
+        let mut stream = losses.iter();
+        for m in 0..k {
+            for j in (i + 1)..num_layers {
                 for n in 0..k {
-                    network.perturb_weight(j, &deltas[j][n]);
-                    let loss = eval_loss(network, sens_set, options.batch_size);
-                    evals += 1;
+                    let loss = *stream.next().expect("pairwise probe stream aligned");
                     let omega = loss + base_loss - single_loss[i][m] - single_loss[j][n];
                     g.set(i * k + m, j * k + n, omega);
-                    network.set_weight(j, &originals[j]);
                 }
-                network.set_weight(i, &originals[i]);
             }
         }
-        if options.verbose {
-            eprintln!("sensitivity: pairwise layer {}/{num_layers}", i + 1);
+    }
+    if options.verbose {
+        eprintln!("sensitivity: pairwise pass done");
+    }
+
+    // Evaluation accounting: the base loss always runs the full network;
+    // each probed layer contributes k diagonal probes plus k²(I−1−i)
+    // pairwise probes, all suffix-only when its prefix cache exists.
+    let mut full_evals = 1usize;
+    let mut prefix_cache_hits = 0usize;
+    let mut prefix_cache_builds = 0usize;
+    for i in 0..num_layers {
+        let diag_probes = k;
+        let pair_probes = k * k * (num_layers - 1 - i);
+        if use_cache && stages[i] > 0 {
+            prefix_cache_builds += 1 + usize::from(pair_probes > 0);
+            prefix_cache_hits += diag_probes + pair_probes;
+        } else {
+            full_evals += diag_probes + pair_probes;
         }
     }
-    network.restore_weights(&originals);
 
     SensitivityMatrix {
         g,
@@ -251,8 +323,12 @@ pub fn measure_sensitivities(
         bits: bits.clone(),
         base_loss,
         stats: SensitivityStats {
-            evaluations: evals,
+            evaluations: full_evals + prefix_cache_hits,
             seconds: start.elapsed().as_secs_f64(),
+            threads_used: threads,
+            prefix_cache_builds,
+            prefix_cache_hits,
+            full_evals,
         },
     }
 }
@@ -380,6 +456,70 @@ mod tests {
             sm.cross_sensitivity(0, 0, 1, 1)
         );
         assert_eq!(masked.get(sm.var(0, 0), sm.var(2, 0)), 0.0);
+    }
+
+    #[test]
+    fn parallel_and_prefix_paths_are_bitwise_identical() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let bits = BitWidthSet::new(&[2, 8]);
+        let naive = SensitivityOptions {
+            threads: 1,
+            use_prefix_cache: false,
+            ..Default::default()
+        };
+        let reference = measure_sensitivities(&mut net, &set, &bits, &naive);
+        for threads in [1, 2, 4] {
+            let opts = SensitivityOptions {
+                threads,
+                use_prefix_cache: true,
+                ..Default::default()
+            };
+            let sm = measure_sensitivities(&mut net, &set, &bits, &opts);
+            assert_eq!(
+                sm.base_loss.to_bits(),
+                reference.base_loss.to_bits(),
+                "{threads} threads: base loss drifted"
+            );
+            assert_eq!(sm.stats.evaluations, reference.stats.evaluations);
+            assert_eq!(sm.stats.threads_used, threads);
+            let dim = sm.matrix().dim();
+            for u in 0..dim {
+                for v in u..dim {
+                    assert_eq!(
+                        sm.matrix().get(u, v).to_bits(),
+                        reference.matrix().get(u, v).to_bits(),
+                        "{threads} threads: entry ({u},{v}) differs"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_partition_evaluations_between_suffix_and_full() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let bits = BitWidthSet::new(&[2, 8]);
+        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let s = sm.stats;
+        assert_eq!(s.evaluations, s.prefix_cache_hits + s.full_evals);
+        // Layers sit at stages 0 (conv1), 2 (conv2), 5 (fc): conv1 has no
+        // cacheable prefix, so its 2 diagonal + 8 pairwise probes plus the
+        // base eval run in full; the remaining 8 probes are suffix-only.
+        assert_eq!(s.full_evals, 11);
+        assert_eq!(s.prefix_cache_hits, 8);
+        assert_eq!(s.prefix_cache_builds, 3);
+        assert!(s.threads_used >= 1);
+
+        let naive = SensitivityOptions {
+            use_prefix_cache: false,
+            ..Default::default()
+        };
+        let sm = measure_sensitivities(&mut net, &set, &bits, &naive);
+        assert_eq!(sm.stats.prefix_cache_hits, 0);
+        assert_eq!(sm.stats.prefix_cache_builds, 0);
+        assert_eq!(sm.stats.full_evals, sm.stats.evaluations);
     }
 
     #[test]

@@ -17,7 +17,12 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"CLSM";
-const VERSION: u32 = 1;
+/// Version 2 appends the measurement-engine counters (threads, prefix-cache
+/// builds/hits, full evaluations) after the wall-clock seconds. Version-1
+/// files still load; their counters are reported as zero, except
+/// `full_evals` which inherits `evaluations` (v1 measurements always ran
+/// the full forward pass).
+const VERSION: u32 = 2;
 
 /// Errors produced by sensitivity-matrix (de)serialization.
 #[derive(Debug)]
@@ -72,6 +77,10 @@ pub fn save_sensitivities(sens: &SensitivityMatrix, path: &Path) -> Result<(), S
     buf.extend_from_slice(&sens.base_loss.to_le_bytes());
     buf.extend_from_slice(&(sens.stats.evaluations as u64).to_le_bytes());
     buf.extend_from_slice(&sens.stats.seconds.to_le_bytes());
+    buf.extend_from_slice(&(sens.stats.threads_used as u64).to_le_bytes());
+    buf.extend_from_slice(&(sens.stats.prefix_cache_builds as u64).to_le_bytes());
+    buf.extend_from_slice(&(sens.stats.prefix_cache_hits as u64).to_le_bytes());
+    buf.extend_from_slice(&(sens.stats.full_evals as u64).to_le_bytes());
     let n = sens.matrix().dim();
     for i in 0..n {
         for j in 0..n {
@@ -105,7 +114,7 @@ pub fn load_sensitivities(path: &Path) -> Result<SensitivityMatrix, SensitivityI
         return Err(SensitivityIoError::BadFormat("missing CLSM magic".into()));
     }
     let version = u32::from_le_bytes(take(&mut cur, 4)?.try_into().expect("4 bytes"));
-    if version != VERSION {
+    if !(1..=VERSION).contains(&version) {
         return Err(SensitivityIoError::BadFormat(format!(
             "unsupported version {version}"
         )));
@@ -127,6 +136,14 @@ pub fn load_sensitivities(path: &Path) -> Result<SensitivityMatrix, SensitivityI
     let base_loss = f64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes"));
     let evaluations = u64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes")) as usize;
     let seconds = f64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes"));
+    let (threads_used, prefix_cache_builds, prefix_cache_hits, full_evals) = if version >= 2 {
+        let mut counter = || -> Result<usize, SensitivityIoError> {
+            Ok(u64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes")) as usize)
+        };
+        (counter()?, counter()?, counter()?, counter()?)
+    } else {
+        (0, 0, 0, evaluations)
+    };
     let n = num_layers * k;
     let mut g = SymMatrix::zeros(n);
     for i in 0..n {
@@ -148,6 +165,10 @@ pub fn load_sensitivities(path: &Path) -> Result<SensitivityMatrix, SensitivityI
         SensitivityStats {
             evaluations,
             seconds,
+            threads_used,
+            prefix_cache_builds,
+            prefix_cache_hits,
+            full_evals,
         },
     ))
 }
@@ -208,6 +229,13 @@ mod tests {
         assert_eq!(loaded.bits(), sens.bits());
         assert_eq!(loaded.base_loss, sens.base_loss);
         assert_eq!(loaded.stats.evaluations, sens.stats.evaluations);
+        assert_eq!(loaded.stats.threads_used, sens.stats.threads_used);
+        assert_eq!(
+            loaded.stats.prefix_cache_builds,
+            sens.stats.prefix_cache_builds
+        );
+        assert_eq!(loaded.stats.prefix_cache_hits, sens.stats.prefix_cache_hits);
+        assert_eq!(loaded.stats.full_evals, sens.stats.full_evals);
         let n = sens.matrix().dim();
         for i in 0..n {
             for j in 0..n {
@@ -229,6 +257,35 @@ mod tests {
         let a = assign_bits(&sens, &sizes, budget, &AssignOptions::default()).unwrap();
         let b = assign_bits(&loaded, &sizes, budget, &AssignOptions::default()).unwrap();
         assert_eq!(a.bits, b.bits);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn version1_files_still_load() {
+        // A minimal hand-built v1 file: one layer, one bit-width, no
+        // engine counters after the seconds field.
+        let mut bytes: Vec<u8> = Vec::new();
+        bytes.extend_from_slice(b"CLSM");
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // version
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // I
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // |B|
+        bytes.push(8u8); // the bit-width
+        bytes.extend_from_slice(&0.5f64.to_le_bytes()); // base loss
+        bytes.extend_from_slice(&7u64.to_le_bytes()); // evaluations
+        bytes.extend_from_slice(&0.25f64.to_le_bytes()); // seconds
+        bytes.extend_from_slice(&1.5f64.to_le_bytes()); // the 1×1 matrix
+        let path = temp("v1");
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = load_sensitivities(&path).unwrap();
+        assert_eq!(loaded.num_layers(), 1);
+        assert_eq!(loaded.base_loss, 0.5);
+        assert_eq!(loaded.stats.evaluations, 7);
+        assert_eq!(loaded.stats.seconds, 0.25);
+        assert_eq!(loaded.stats.threads_used, 0);
+        assert_eq!(loaded.stats.prefix_cache_builds, 0);
+        assert_eq!(loaded.stats.prefix_cache_hits, 0);
+        assert_eq!(loaded.stats.full_evals, 7, "v1 evals were all full");
+        assert_eq!(loaded.matrix().get(0, 0), 1.5);
         std::fs::remove_file(path).ok();
     }
 

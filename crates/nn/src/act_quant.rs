@@ -7,7 +7,7 @@
 //! activation was inside the clip range).
 
 use crate::layer::{join, Layer};
-use crate::param::{Param, ParamRole, ParamVisitor};
+use crate::param::{Param, ParamRole, ParamVisitor, ParamVisitorRef};
 use clado_tensor::Tensor;
 
 /// Momentum of the running absmax estimate during calibration.
@@ -19,6 +19,7 @@ const CALIB_MOMENTUM: f32 = 0.1;
 /// activation absmax and quantizes with the current estimate. In evaluation
 /// mode it applies the frozen estimate. The scale is stored as a buffer, so
 /// it serializes with the model.
+#[derive(Clone)]
 pub struct ActQuant {
     bits: u8,
     absmax: Param,                // 1-element buffer
@@ -98,6 +99,14 @@ impl Layer for ActQuant {
 
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor) {
         f(&join(prefix, "absmax"), &mut self.absmax);
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef) {
+        f(&join(prefix, "absmax"), &self.absmax);
+    }
+
+    fn visit_params_fast(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.absmax);
     }
 }
 

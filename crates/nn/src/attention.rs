@@ -3,7 +3,7 @@
 use crate::dense::Linear;
 use crate::layer::{join, ActKind, Activation, Layer};
 use crate::norm::LayerNorm;
-use crate::param::ParamVisitor;
+use crate::param::{Param, ParamVisitor, ParamVisitorRef};
 use clado_tensor::{ops, Tensor};
 use rand::Rng;
 
@@ -11,6 +11,7 @@ use rand::Rng;
 ///
 /// The four projection layers are named `query`, `key`, `value`, and
 /// `output.dense`, mirroring the paper's ViT layer list (Appendix A).
+#[derive(Clone)]
 pub struct MultiHeadAttention {
     wq: Linear,
     wk: Linear,
@@ -21,6 +22,7 @@ pub struct MultiHeadAttention {
     cache: Option<AttnCache>,
 }
 
+#[derive(Clone)]
 struct AttnCache {
     q: Tensor,
     k: Tensor,
@@ -164,10 +166,27 @@ impl Layer for MultiHeadAttention {
         self.wv.visit_params(&join(prefix, "attention.value"), f);
         self.wo.visit_params(&join(prefix, "output.dense"), f);
     }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef) {
+        self.wq
+            .visit_params_ref(&join(prefix, "attention.query"), f);
+        self.wk.visit_params_ref(&join(prefix, "attention.key"), f);
+        self.wv
+            .visit_params_ref(&join(prefix, "attention.value"), f);
+        self.wo.visit_params_ref(&join(prefix, "output.dense"), f);
+    }
+
+    fn visit_params_fast(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit_params_fast(f);
+        self.wk.visit_params_fast(f);
+        self.wv.visit_params_fast(f);
+        self.wo.visit_params_fast(f);
+    }
 }
 
 /// A pre-norm transformer encoder block: `x + MHA(LN(x))`, then
 /// `y + MLP(LN(y))` with a GELU MLP, matching the ViT encoder.
+#[derive(Clone)]
 pub struct TransformerBlock {
     ln1: LayerNorm,
     attn: MultiHeadAttention,
@@ -225,6 +244,25 @@ impl Layer for TransformerBlock {
         self.fc1
             .visit_params(&join(prefix, "intermediate.dense"), f);
         self.fc2.visit_params(&join(prefix, "output.dense"), f);
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef) {
+        self.ln1
+            .visit_params_ref(&join(prefix, "layernorm_before"), f);
+        self.attn.visit_params_ref(&join(prefix, "attention"), f);
+        self.ln2
+            .visit_params_ref(&join(prefix, "layernorm_after"), f);
+        self.fc1
+            .visit_params_ref(&join(prefix, "intermediate.dense"), f);
+        self.fc2.visit_params_ref(&join(prefix, "output.dense"), f);
+    }
+
+    fn visit_params_fast(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.ln1.visit_params_fast(f);
+        self.attn.visit_params_fast(f);
+        self.ln2.visit_params_fast(f);
+        self.fc1.visit_params_fast(f);
+        self.fc2.visit_params_fast(f);
     }
 }
 

@@ -3,7 +3,7 @@
 use crate::conv_layer::Conv2d;
 use crate::dense::Linear;
 use crate::layer::{join, ActKind, Layer, Sequential};
-use crate::param::ParamVisitor;
+use crate::param::{Param, ParamVisitor, ParamVisitorRef};
 use clado_tensor::{ops, Shape, Tensor};
 use rand::Rng;
 
@@ -12,6 +12,7 @@ use rand::Rng;
 /// `shortcut = None` denotes the identity connection; `post_act = None`
 /// skips the post-addition activation (used by MobileNet inverted
 /// residuals, which are linear at the block output).
+#[derive(Clone)]
 pub struct ResidualBlock {
     main: Sequential,
     shortcut: Option<Sequential>,
@@ -75,10 +76,25 @@ impl Layer for ResidualBlock {
             s.visit_params(&join(prefix, "downsample"), f);
         }
     }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef) {
+        self.main.visit_params_ref(prefix, f);
+        if let Some(s) = &self.shortcut {
+            s.visit_params_ref(&join(prefix, "downsample"), f);
+        }
+    }
+
+    fn visit_params_fast(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.main.visit_params_fast(f);
+        if let Some(s) = &mut self.shortcut {
+            s.visit_params_fast(f);
+        }
+    }
 }
 
 /// Squeeze-and-excitation: channel gating via two small FC layers
 /// (MobileNetV3's `block.2.fc1`/`fc2` in the paper's layer list).
+#[derive(Clone)]
 pub struct SqueezeExcite {
     fc1: Linear,
     fc2: Linear,
@@ -87,6 +103,7 @@ pub struct SqueezeExcite {
     relu_input: Option<Tensor>,
 }
 
+#[derive(Clone)]
 struct SeCache {
     input: Tensor,
     gates: Tensor, // [N, C] after sigmoid
@@ -178,11 +195,22 @@ impl Layer for SqueezeExcite {
         self.fc1.visit_params(&join(prefix, "fc1"), f);
         self.fc2.visit_params(&join(prefix, "fc2"), f);
     }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef) {
+        self.fc1.visit_params_ref(&join(prefix, "fc1"), f);
+        self.fc2.visit_params_ref(&join(prefix, "fc2"), f);
+    }
+
+    fn visit_params_fast(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.fc1.visit_params_fast(f);
+        self.fc2.visit_params_fast(f);
+    }
 }
 
 /// Patch embedding: a stride-`p` convolution followed by flattening the
 /// spatial grid into tokens `[N, T, D]`, plus a learned positional
 /// embedding.
+#[derive(Clone)]
 pub struct PatchEmbed {
     conv: Conv2d,
     pos: crate::param::Param,
@@ -293,11 +321,21 @@ impl Layer for PatchEmbed {
         self.conv.visit_params(&join(prefix, "projection"), f);
         f(&join(prefix, "position_embeddings"), &mut self.pos);
     }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef) {
+        self.conv.visit_params_ref(&join(prefix, "projection"), f);
+        f(&join(prefix, "position_embeddings"), &self.pos);
+    }
+
+    fn visit_params_fast(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv.visit_params_fast(f);
+        f(&mut self.pos);
+    }
 }
 
 /// Mean pooling over tokens: `[N, T, D] → [N, D]` (classifier head input;
 /// replaces the class token for simplicity).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TokenMeanPool {
     cache: Option<Shape>,
 }
@@ -349,6 +387,8 @@ impl Layer for TokenMeanPool {
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor) {}
+
+    fn visit_params_ref(&self, _prefix: &str, _f: &mut ParamVisitorRef) {}
 }
 
 #[cfg(test)]

@@ -1,11 +1,12 @@
 //! Convolution layer wrapping the `clado-tensor` conv kernels.
 
 use crate::layer::{join, Layer};
-use crate::param::{Param, ParamRole, ParamVisitor};
+use crate::param::{Param, ParamRole, ParamVisitor, ParamVisitorRef};
 use clado_tensor::{conv2d_backward, conv2d_forward, init, Conv2dSpec, Tensor};
 use rand::Rng;
 
 /// A 2-D convolution layer (dense, grouped, or depthwise).
+#[derive(Clone)]
 pub struct Conv2d {
     spec: Conv2dSpec,
     weight: Param,
@@ -71,6 +72,20 @@ impl Layer for Conv2d {
         f(&join(prefix, "weight"), &mut self.weight);
         if let Some(b) = &mut self.bias {
             f(&join(prefix, "bias"), b);
+        }
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef) {
+        f(&join(prefix, "weight"), &self.weight);
+        if let Some(b) = &self.bias {
+            f(&join(prefix, "bias"), b);
+        }
+    }
+
+    fn visit_params_fast(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
         }
     }
 }

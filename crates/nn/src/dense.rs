@@ -1,7 +1,7 @@
 //! Fully-connected (linear) layer.
 
 use crate::layer::{join, Layer};
-use crate::param::{Param, ParamRole, ParamVisitor};
+use crate::param::{Param, ParamRole, ParamVisitor, ParamVisitorRef};
 use clado_tensor::{init, matmul, matmul_a_bt, matmul_at_b, Shape, Tensor};
 use rand::Rng;
 
@@ -9,6 +9,7 @@ use rand::Rng;
 ///
 /// Accepts `[N, in]` inputs, or `[N, T, in]` token inputs (ViT), which are
 /// processed as `[N·T, in]` and reshaped back.
+#[derive(Clone)]
 pub struct Linear {
     weight: Param,
     bias: Param,
@@ -112,6 +113,16 @@ impl Layer for Linear {
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor) {
         f(&join(prefix, "weight"), &mut self.weight);
         f(&join(prefix, "bias"), &mut self.bias);
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef) {
+        f(&join(prefix, "weight"), &self.weight);
+        f(&join(prefix, "bias"), &self.bias);
+    }
+
+    fn visit_params_fast(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 }
 

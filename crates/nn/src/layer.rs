@@ -1,7 +1,30 @@
 //! The [`Layer`] trait, activation/structural layers, and [`Sequential`].
 
-use crate::param::ParamVisitor;
+use crate::param::{Param, ParamVisitor, ParamVisitorRef};
 use clado_tensor::{ops, Shape, Tensor};
+
+/// Object-safe cloning for boxed layers.
+///
+/// Implemented automatically for every `Layer + Clone` type; lets
+/// `Box<dyn Layer>` (and therefore [`Sequential`] and whole networks) be
+/// cloned so the measurement engine can hand each worker thread its own
+/// replica.
+pub trait LayerClone {
+    /// Clones `self` into a fresh boxed trait object.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl<T: Layer + Clone + 'static> LayerClone for T {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
 
 /// A differentiable network module.
 ///
@@ -9,7 +32,10 @@ use clado_tensor::{ops, Shape, Tensor};
 /// cache, accumulates parameter gradients internally, and returns the
 /// gradient with respect to its input. Layers are stateful and not
 /// re-entrant: call `forward` then `backward` in strict alternation.
-pub trait Layer {
+///
+/// `Send` is a supertrait so replicated networks can move across the
+/// scoped worker threads of the sensitivity engine.
+pub trait Layer: LayerClone + Send {
     /// Forward pass. `training` selects batch statistics (BatchNorm) and
     /// enables gradient caching.
     fn forward(&mut self, x: Tensor, training: bool) -> Tensor;
@@ -24,6 +50,18 @@ pub trait Layer {
 
     /// Visits every parameter with its dotted path prefixed by `prefix`.
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor);
+
+    /// Read-only counterpart of [`Layer::visit_params`]: same parameters,
+    /// same order, same dotted paths, but through `&self`.
+    fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef);
+
+    /// Name-free parameter walk for hot paths: visits the same parameters
+    /// in the same order as [`Layer::visit_params`] but builds no path
+    /// strings. Layers with parameters should override this; the default
+    /// delegates to `visit_params` (correct, just slower).
+    fn visit_params_fast(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.visit_params("", &mut |_, p| f(p));
+    }
 }
 
 /// Joins a prefix and a name with a dot, eliding empty prefixes.
@@ -47,7 +85,7 @@ pub enum ActKind {
 }
 
 /// A stateless activation layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Activation {
     kind: ActKind,
     cached_input: Option<Tensor>,
@@ -88,10 +126,12 @@ impl Layer for Activation {
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor) {}
+
+    fn visit_params_ref(&self, _prefix: &str, _f: &mut ParamVisitorRef) {}
 }
 
 /// Flattens `[N, C, H, W]` to `[N, C·H·W]`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Flatten {
     cached_shape: Option<Shape>,
 }
@@ -122,10 +162,12 @@ impl Layer for Flatten {
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor) {}
+
+    fn visit_params_ref(&self, _prefix: &str, _f: &mut ParamVisitorRef) {}
 }
 
 /// Max pooling layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     window: usize,
     stride: usize,
@@ -160,10 +202,12 @@ impl Layer for MaxPool2d {
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor) {}
+
+    fn visit_params_ref(&self, _prefix: &str, _f: &mut ParamVisitorRef) {}
 }
 
 /// Average pooling layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AvgPool2d {
     window: usize,
     stride: usize,
@@ -198,10 +242,12 @@ impl Layer for AvgPool2d {
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor) {}
+
+    fn visit_params_ref(&self, _prefix: &str, _f: &mut ParamVisitorRef) {}
 }
 
 /// Global average pooling: `[N, C, H, W] → [N, C]`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct GlobalAvgPool {
     cached_shape: Option<Shape>,
 }
@@ -230,9 +276,16 @@ impl Layer for GlobalAvgPool {
     }
 
     fn visit_params(&mut self, _prefix: &str, _f: &mut ParamVisitor) {}
+
+    fn visit_params_ref(&self, _prefix: &str, _f: &mut ParamVisitorRef) {}
 }
 
 /// An ordered container of named sub-layers executed front to back.
+///
+/// The direct children are the network's *stages*: the sensitivity engine's
+/// prefix-activation cache splits execution at stage boundaries via
+/// [`Sequential::forward_prefix`] / [`Sequential::forward_from`].
+#[derive(Clone)]
 pub struct Sequential {
     children: Vec<(String, Box<dyn Layer>)>,
 }
@@ -266,6 +319,43 @@ impl Sequential {
     pub fn is_empty(&self) -> bool {
         self.children.is_empty()
     }
+
+    /// Runs only the children at positions `..stage` (prefix execution) and
+    /// returns the boundary activation that feeds stage `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage > self.len()`.
+    pub fn forward_prefix(&mut self, stage: usize, x: Tensor, training: bool) -> Tensor {
+        self.children[..stage]
+            .iter_mut()
+            .fold(x, |acc, (_, l)| l.forward(acc, training))
+    }
+
+    /// Resumes execution at stage `stage` (suffix execution). `x` must be
+    /// the boundary activation a prefix run produced at the same split; the
+    /// full pass `forward_prefix(s, ..)` + `forward_from(s, ..)` performs
+    /// exactly the same operation sequence as a plain `forward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage > self.len()`.
+    pub fn forward_from(&mut self, stage: usize, x: Tensor, training: bool) -> Tensor {
+        self.children[stage..]
+            .iter_mut()
+            .fold(x, |acc, (_, l)| l.forward(acc, training))
+    }
+
+    /// Visits the parameters of the single child at position `stage`,
+    /// producing the same dotted paths as the full walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= self.len()`.
+    pub fn visit_stage_params(&mut self, stage: usize, f: &mut ParamVisitor) {
+        let (name, layer) = &mut self.children[stage];
+        layer.visit_params(name, f);
+    }
 }
 
 impl Default for Sequential {
@@ -291,6 +381,18 @@ impl Layer for Sequential {
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor) {
         for (name, layer) in &mut self.children {
             layer.visit_params(&join(prefix, name), f);
+        }
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef) {
+        for (name, layer) in &self.children {
+            layer.visit_params_ref(&join(prefix, name), f);
+        }
+    }
+
+    fn visit_params_fast(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for (_, layer) in &mut self.children {
+            layer.visit_params_fast(f);
         }
     }
 }
@@ -327,27 +429,62 @@ mod tests {
         assert_eq!(dx.shape().dims(), &[2, 3, 4, 4]);
     }
 
+    #[derive(Clone)]
+    struct Probe;
+
+    impl Layer for Probe {
+        fn forward(&mut self, x: Tensor, _t: bool) -> Tensor {
+            x.map(|v| v + 1.0)
+        }
+        fn backward(&mut self, d: Tensor) -> Tensor {
+            d
+        }
+        fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor) {
+            let mut p = Param::new(Tensor::zeros([1]), ParamRole::Weight);
+            f(&join(prefix, "w"), &mut p);
+        }
+        fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef) {
+            let p = Param::new(Tensor::zeros([1]), ParamRole::Weight);
+            f(&join(prefix, "w"), &p);
+        }
+    }
+
     #[test]
     fn sequential_composes_and_names_params() {
-        struct Probe;
-        impl Layer for Probe {
-            fn forward(&mut self, x: Tensor, _t: bool) -> Tensor {
-                x.map(|v| v + 1.0)
-            }
-            fn backward(&mut self, d: Tensor) -> Tensor {
-                d
-            }
-            fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor) {
-                let mut p = Param::new(Tensor::zeros([1]), ParamRole::Weight);
-                f(&join(prefix, "w"), &mut p);
-            }
-        }
         let mut seq = Sequential::new().push("a", Probe).push("b", Probe);
         let y = seq.forward(Tensor::zeros([2]), false);
         assert_eq!(y.data(), &[2.0, 2.0]);
         let mut names = Vec::new();
         seq.visit_params("net", &mut |n, _| names.push(n.to_string()));
         assert_eq!(names, vec!["net.a.w", "net.b.w"]);
+        let mut ref_names = Vec::new();
+        seq.visit_params_ref("net", &mut |n, _| ref_names.push(n.to_string()));
+        assert_eq!(ref_names, names, "ref walk mirrors the mutable walk");
+    }
+
+    #[test]
+    fn prefix_plus_suffix_equals_full_forward() {
+        let x = Tensor::from_vec([2], vec![0.0, 1.0]).unwrap();
+        for stage in 0..=3 {
+            let mut seq = Sequential::new()
+                .push("a", Probe)
+                .push("b", Probe)
+                .push("c", Probe);
+            let boundary = seq.forward_prefix(stage, x.clone(), false);
+            assert_eq!(boundary.data()[0], stage as f32);
+            let y = seq.forward_from(stage, boundary, false);
+            assert_eq!(y.data(), &[3.0, 4.0], "split at stage {stage}");
+        }
+    }
+
+    #[test]
+    fn cloned_sequential_is_independent() {
+        let mut seq = Sequential::new().push("a", Probe).push("b", Probe);
+        let mut copy = seq.clone();
+        assert_eq!(copy.len(), seq.len());
+        let y1 = seq.forward(Tensor::zeros([1]), false);
+        let y2 = copy.forward(Tensor::zeros([1]), false);
+        assert_eq!(y1.data(), y2.data());
     }
 
     #[test]

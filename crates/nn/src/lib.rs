@@ -50,10 +50,11 @@ pub use blocks::{PatchEmbed, ResidualBlock, SqueezeExcite, TokenMeanPool};
 pub use conv_layer::Conv2d;
 pub use dense::Linear;
 pub use layer::{
-    ActKind, Activation, AvgPool2d, Flatten, GlobalAvgPool, Layer, MaxPool2d, Sequential,
+    ActKind, Activation, AvgPool2d, Flatten, GlobalAvgPool, Layer, LayerClone, MaxPool2d,
+    Sequential,
 };
 pub use loss::{cross_entropy, cross_entropy_loss, top1_accuracy};
 pub use network::{Network, QuantizableLayer};
 pub use norm::{BatchNorm2d, LayerNorm};
-pub use param::{Param, ParamRole, ParamVisitor};
+pub use param::{Param, ParamRole, ParamVisitor, ParamVisitorRef};
 pub use sgd::Sgd;

@@ -20,13 +20,27 @@ pub struct QuantizableLayer {
     /// the same `block` id belong to the same residual block / encoder
     /// block.
     pub block: usize,
+    /// Index of the top-level root-stack child (the *stage*) containing
+    /// this layer. Activations before this stage are unaffected by
+    /// perturbing the layer, which is what the sensitivity engine's
+    /// prefix-activation cache exploits.
+    pub stage: usize,
 }
 
 /// A complete model: a root layer stack plus the bookkeeping CLADO needs.
+///
+/// `Clone` produces a fully independent replica (weights, gradients,
+/// forward caches), which is how the parallel sensitivity engine gives
+/// each worker thread its own network.
+#[derive(Clone)]
 pub struct Network {
     root: Sequential,
     num_classes: usize,
     quantizable: Vec<QuantizableLayer>,
+    /// Walk-order parameter slot of each quantizable layer's weight,
+    /// resolved once at [`Network::reindex`] so the hot accessors need no
+    /// string formatting or name comparisons.
+    slots: Vec<usize>,
 }
 
 impl Network {
@@ -41,6 +55,7 @@ impl Network {
             root,
             num_classes,
             quantizable: Vec::new(),
+            slots: Vec::new(),
         };
         net.reindex();
         net
@@ -48,26 +63,37 @@ impl Network {
 
     fn reindex(&mut self) {
         let mut layers = Vec::new();
+        let mut slots = Vec::new();
         let mut block_names: Vec<String> = Vec::new();
-        self.root.visit_params("", &mut |name, p| {
-            if p.role == ParamRole::Weight && p.quantizable {
-                let block_key = block_key_of(name);
-                let block = match block_names.iter().position(|b| *b == block_key) {
-                    Some(i) => i,
-                    None => {
-                        block_names.push(block_key);
-                        block_names.len() - 1
-                    }
-                };
-                layers.push(QuantizableLayer {
-                    index: layers.len(),
-                    name: name.trim_end_matches(".weight").to_string(),
-                    numel: p.numel(),
-                    block,
-                });
-            }
-        });
+        // Walk stage by stage so each quantizable layer learns which
+        // top-level child contains it; `slot` counts *every* parameter in
+        // walk order, giving the string-free handles the accessors use.
+        let mut slot = 0usize;
+        for stage in 0..self.root.len() {
+            self.root.visit_stage_params(stage, &mut |name, p| {
+                if p.role == ParamRole::Weight && p.quantizable {
+                    let block_key = block_key_of(name);
+                    let block = match block_names.iter().position(|b| *b == block_key) {
+                        Some(i) => i,
+                        None => {
+                            block_names.push(block_key);
+                            block_names.len() - 1
+                        }
+                    };
+                    layers.push(QuantizableLayer {
+                        index: layers.len(),
+                        name: name.trim_end_matches(".weight").to_string(),
+                        numel: p.numel(),
+                        block,
+                        stage,
+                    });
+                    slots.push(slot);
+                }
+                slot += 1;
+            });
+        }
         self.quantizable = layers;
+        self.slots = slots;
     }
 
     /// Number of output classes.
@@ -86,15 +112,43 @@ impl Network {
     }
 
     /// Total number of trainable parameters.
-    pub fn num_params(&mut self) -> usize {
+    pub fn num_params(&self) -> usize {
         let mut total = 0;
-        self.root.visit_params("", &mut |_, p| total += p.numel());
+        self.root
+            .visit_params_ref("", &mut |_, p| total += p.numel());
         total
+    }
+
+    /// Number of stages (top-level children of the root stack).
+    pub fn num_stages(&self) -> usize {
+        self.root.len()
+    }
+
+    /// The stage containing quantizable layer `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn stage_of(&self, index: usize) -> usize {
+        self.quantizable[index].stage
     }
 
     /// Forward pass to logits `[N, num_classes]`.
     pub fn forward(&mut self, x: Tensor, training: bool) -> Tensor {
         self.root.forward(x, training)
+    }
+
+    /// Runs only the stages before `stage` and returns the boundary
+    /// activation (see [`Sequential::forward_prefix`]).
+    pub fn forward_prefix(&mut self, stage: usize, x: Tensor, training: bool) -> Tensor {
+        self.root.forward_prefix(stage, x, training)
+    }
+
+    /// Resumes a forward pass at `stage` from a boundary activation
+    /// produced by [`Network::forward_prefix`] at the same split (see
+    /// [`Sequential::forward_from`]).
+    pub fn forward_from(&mut self, stage: usize, x: Tensor, training: bool) -> Tensor {
+        self.root.forward_from(stage, x, training)
     }
 
     /// Backward pass from logit gradients (after a training forward).
@@ -112,42 +166,86 @@ impl Network {
         self.root.visit_params("", f);
     }
 
+    /// Read-only walk over every parameter (inspection, snapshots).
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&str, &Param)) {
+        self.root.visit_params_ref("", f);
+    }
+
+    /// Visits each quantizable layer's weight parameter as
+    /// `(layer_index, param)`, in layer order, without building any path
+    /// strings.
+    pub fn visit_quantizable_weights(&mut self, f: &mut dyn FnMut(usize, &mut Param)) {
+        let slots = std::mem::take(&mut self.slots);
+        let mut cursor = 0usize;
+        let mut qi = 0usize;
+        self.root.visit_params_fast(&mut |p| {
+            if qi < slots.len() && cursor == slots[qi] {
+                f(qi, p);
+                qi += 1;
+            }
+            cursor += 1;
+        });
+        self.slots = slots;
+    }
+
     /// Returns a copy of the weight tensor of quantizable layer `index`.
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range.
-    pub fn weight(&mut self, index: usize) -> Tensor {
-        let name = format!("{}.weight", self.quantizable[index].name);
+    pub fn weight(&self, index: usize) -> Tensor {
+        let slot = self.slots[index];
+        let mut cursor = 0usize;
         let mut out = None;
-        self.root.visit_params("", &mut |n, p| {
-            if n == name {
+        self.root.visit_params_ref("", &mut |_, p| {
+            if cursor == slot {
                 out = Some(p.value.clone());
             }
+            cursor += 1;
         });
         out.expect("indexed layer exists")
     }
 
-    /// Replaces the weight tensor of quantizable layer `index`.
+    /// Clones the gradient tensor of each quantizable layer's weight, in
+    /// layer order.
+    pub fn quantizable_weight_grads(&self) -> Vec<Tensor> {
+        let mut out = Vec::with_capacity(self.quantizable.len());
+        let mut cursor = 0usize;
+        let mut qi = 0usize;
+        self.root.visit_params_ref("", &mut |_, p| {
+            if qi < self.slots.len() && cursor == self.slots[qi] {
+                out.push(p.grad.clone());
+                qi += 1;
+            }
+            cursor += 1;
+        });
+        assert_eq!(out.len(), self.quantizable.len(), "walk covers every slot");
+        out
+    }
+
+    /// Replaces the weight tensor of quantizable layer `index`, copying
+    /// into the existing buffer (no allocation).
     ///
     /// # Panics
     ///
     /// Panics if `index` is out of range or the shape differs.
     pub fn set_weight(&mut self, index: usize, value: &Tensor) {
-        let name = format!("{}.weight", self.quantizable[index].name);
+        let slot = self.slots[index];
+        let mut cursor = 0usize;
         let mut found = false;
-        self.root.visit_params("", &mut |n, p| {
-            if n == name {
+        self.root.visit_params_fast(&mut |p| {
+            if cursor == slot {
                 assert_eq!(
                     p.value.shape(),
                     value.shape(),
-                    "weight shape mismatch for layer {name}"
+                    "weight shape mismatch for layer {index}"
                 );
-                p.value = value.clone();
+                p.value.data_mut().copy_from_slice(value.data());
                 found = true;
             }
+            cursor += 1;
         });
-        assert!(found, "quantizable layer {name} not found");
+        assert!(found, "quantizable layer {index} not found");
     }
 
     /// Adds `delta` to the weight tensor of quantizable layer `index`
@@ -157,31 +255,42 @@ impl Network {
     ///
     /// Panics if `index` is out of range or the shape differs.
     pub fn perturb_weight(&mut self, index: usize, delta: &Tensor) {
-        let name = format!("{}.weight", self.quantizable[index].name);
+        let slot = self.slots[index];
+        let mut cursor = 0usize;
         let mut found = false;
-        self.root.visit_params("", &mut |n, p| {
-            if n == name {
+        self.root.visit_params_fast(&mut |p| {
+            if cursor == slot {
                 p.value.axpy(1.0, delta);
                 found = true;
             }
+            cursor += 1;
         });
-        assert!(found, "quantizable layer {name} not found");
+        assert!(found, "quantizable layer {index} not found");
     }
 
     /// Snapshots all quantizable weights (cheap undo for perturbations).
-    pub fn snapshot_weights(&mut self) -> Vec<Tensor> {
-        (0..self.quantizable.len())
-            .map(|i| self.weight(i))
-            .collect()
+    pub fn snapshot_weights(&self) -> Vec<Tensor> {
+        let mut out = Vec::with_capacity(self.quantizable.len());
+        let mut cursor = 0usize;
+        let mut qi = 0usize;
+        self.root.visit_params_ref("", &mut |_, p| {
+            if qi < self.slots.len() && cursor == self.slots[qi] {
+                out.push(p.value.clone());
+                qi += 1;
+            }
+            cursor += 1;
+        });
+        assert_eq!(out.len(), self.quantizable.len(), "walk covers every slot");
+        out
     }
 
     /// Snapshots *every* parameter and buffer (including BatchNorm running
     /// statistics). Use around procedures that mutate non-weight state,
     /// e.g. QAT fine-tuning.
-    pub fn snapshot_all(&mut self) -> Vec<Tensor> {
+    pub fn snapshot_all(&self) -> Vec<Tensor> {
         let mut out = Vec::new();
         self.root
-            .visit_params("", &mut |_, p| out.push(p.value.clone()));
+            .visit_params_ref("", &mut |_, p| out.push(p.value.clone()));
         out
     }
 
@@ -333,6 +442,64 @@ mod tests {
         let mut net = Network::new(root, 2);
         let y = net.forward(Tensor::zeros([1, 1, 4, 4]), false);
         assert_eq!(y.shape().dims(), &[1, 2]);
+    }
+
+    #[test]
+    fn stages_resolve_to_root_children() {
+        let net = tiny_net();
+        // Root children: stem, layer1, pool, fc.
+        assert_eq!(net.num_stages(), 4);
+        assert_eq!(net.stage_of(0), 1, "layer1.0 lives in stage 1");
+        assert_eq!(net.stage_of(1), 3, "fc lives in stage 3");
+    }
+
+    #[test]
+    fn ref_walk_mirrors_mut_walk() {
+        let mut net = tiny_net();
+        let mut mut_walk = Vec::new();
+        net.visit_params(&mut |n, p| mut_walk.push((n.to_string(), p.numel())));
+        let mut ref_walk = Vec::new();
+        net.visit_params_ref(&mut |n, p| ref_walk.push((n.to_string(), p.numel())));
+        assert_eq!(ref_walk, mut_walk);
+    }
+
+    #[test]
+    fn visit_quantizable_weights_matches_layer_metadata() {
+        let mut net = tiny_net();
+        let mut seen = Vec::new();
+        net.visit_quantizable_weights(&mut |i, p| seen.push((i, p.numel())));
+        let expect: Vec<(usize, usize)> = net
+            .quantizable_layers()
+            .iter()
+            .map(|l| (l.index, l.numel))
+            .collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn prefix_suffix_split_matches_full_forward() {
+        let mut net = tiny_net();
+        let x = Tensor::full([2, 1, 6, 6], 0.3);
+        let full = net.forward(x.clone(), false);
+        for stage in 0..=net.num_stages() {
+            let boundary = net.forward_prefix(stage, x.clone(), false);
+            let y = net.forward_from(stage, boundary, false);
+            assert_eq!(y.data(), full.data(), "split at stage {stage}");
+        }
+    }
+
+    #[test]
+    fn cloned_network_is_an_independent_replica() {
+        let mut net = tiny_net();
+        let mut replica = net.clone();
+        let x = Tensor::full([1, 1, 6, 6], 0.5);
+        assert_eq!(
+            net.forward(x.clone(), false).data(),
+            replica.forward(x.clone(), false).data()
+        );
+        let delta = Tensor::full(replica.weight(0).shape(), 1.0);
+        replica.perturb_weight(0, &delta);
+        assert_ne!(replica.weight(0).data(), net.weight(0).data());
     }
 
     #[test]

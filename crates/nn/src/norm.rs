@@ -3,7 +3,7 @@
 // Index-based loops are kept where they mirror the math directly.
 #![allow(clippy::needless_range_loop)]
 use crate::layer::{join, Layer};
-use crate::param::{Param, ParamRole, ParamVisitor};
+use crate::param::{Param, ParamRole, ParamVisitor, ParamVisitorRef};
 use clado_tensor::Tensor;
 
 const BN_EPS: f32 = 1e-5;
@@ -15,6 +15,7 @@ const LN_EPS: f32 = 1e-5;
 /// Training mode normalizes with batch statistics and updates running
 /// estimates; evaluation mode uses the running estimates (a fixed per-channel
 /// affine map, which is what the CLADO sensitivity probes see).
+#[derive(Clone)]
 pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,
@@ -24,6 +25,7 @@ pub struct BatchNorm2d {
     cache: Option<BnCache>,
 }
 
+#[derive(Clone)]
 struct BnCache {
     x_hat: Tensor,
     inv_std: Vec<f32>,
@@ -221,9 +223,24 @@ impl Layer for BatchNorm2d {
         f(&join(prefix, "running_mean"), &mut self.running_mean);
         f(&join(prefix, "running_var"), &mut self.running_var);
     }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef) {
+        f(&join(prefix, "gamma"), &self.gamma);
+        f(&join(prefix, "beta"), &self.beta);
+        f(&join(prefix, "running_mean"), &self.running_mean);
+        f(&join(prefix, "running_var"), &self.running_var);
+    }
+
+    fn visit_params_fast(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
 }
 
 /// Layer normalization over the last dimension (ViT-style).
+#[derive(Clone)]
 pub struct LayerNorm {
     gamma: Param,
     beta: Param,
@@ -317,6 +334,16 @@ impl Layer for LayerNorm {
     fn visit_params(&mut self, prefix: &str, f: &mut ParamVisitor) {
         f(&join(prefix, "gamma"), &mut self.gamma);
         f(&join(prefix, "beta"), &mut self.beta);
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut ParamVisitorRef) {
+        f(&join(prefix, "gamma"), &self.gamma);
+        f(&join(prefix, "beta"), &self.beta);
+    }
+
+    fn visit_params_fast(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
     }
 }
 

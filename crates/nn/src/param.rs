@@ -71,6 +71,11 @@ impl Param {
 /// `layer1.0.conv1.weight`.
 pub type ParamVisitor<'a> = dyn FnMut(&str, &mut Param) + 'a;
 
+/// Read-only visitor callback: identical walk order and paths to
+/// [`ParamVisitor`], but through shared references, so inspection
+/// (snapshots, statistics, serialization) needs no `&mut` access.
+pub type ParamVisitorRef<'a> = dyn FnMut(&str, &Param) + 'a;
+
 #[cfg(test)]
 mod tests {
     use super::*;

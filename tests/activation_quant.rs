@@ -47,30 +47,43 @@ fn act_quant_layers_do_not_change_the_quantizable_inventory() {
     };
     let pairs = [
         (
-            build_resnet(&ResNetConfig::resnet34_mini(10, 0)).quantizable_layers().len(),
+            build_resnet(&ResNetConfig::resnet34_mini(10, 0))
+                .quantizable_layers()
+                .len(),
             build_resnet(&ResNetConfig::resnet34_mini(10, 0).with_act_bits(8))
                 .quantizable_layers()
                 .len(),
         ),
         (
-            build_mobilenet(&MobileNetConfig::mobilenet_mini(10, 0)).quantizable_layers().len(),
+            build_mobilenet(&MobileNetConfig::mobilenet_mini(10, 0))
+                .quantizable_layers()
+                .len(),
             build_mobilenet(&MobileNetConfig::mobilenet_mini(10, 0).with_act_bits(8))
                 .quantizable_layers()
                 .len(),
         ),
         (
-            build_regnet(&RegNetConfig::regnet_mini(10, 0)).quantizable_layers().len(),
+            build_regnet(&RegNetConfig::regnet_mini(10, 0))
+                .quantizable_layers()
+                .len(),
             build_regnet(&RegNetConfig::regnet_mini(10, 0).with_act_bits(8))
                 .quantizable_layers()
                 .len(),
         ),
         (
-            build_vit(&ViTConfig::vit_mini(10, 0)).quantizable_layers().len(),
-            build_vit(&ViTConfig::vit_mini(10, 0).with_act_bits(8)).quantizable_layers().len(),
+            build_vit(&ViTConfig::vit_mini(10, 0))
+                .quantizable_layers()
+                .len(),
+            build_vit(&ViTConfig::vit_mini(10, 0).with_act_bits(8))
+                .quantizable_layers()
+                .len(),
         ),
     ];
     for (plain, quant) in pairs {
-        assert_eq!(plain, quant, "activation quantizers must not add weight targets");
+        assert_eq!(
+            plain, quant,
+            "activation quantizers must not add weight targets"
+        );
     }
 }
 
