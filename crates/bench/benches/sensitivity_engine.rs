@@ -1,11 +1,14 @@
 //! Measurement-engine benchmark — serial/full-forward vs parallel/
 //! prefix-cached sensitivity measurement on a ResNet-style model.
 //!
-//! Runs Algorithm 1 three times on the same (untrained) ResNet-20 analogue
+//! Runs Algorithm 1 four times on the same (untrained) ResNet-20 analogue
 //! and sensitivity set — (a) one thread with the prefix cache disabled
 //! (the pre-engine baseline), (b) one thread with the cache, (c) all cores
-//! with the cache — checks the three matrices are bitwise identical, and
-//! records the timings to `BENCH_sensitivity.json` at the repo root.
+//! with the cache, (d) configuration (b) again with telemetry enabled —
+//! checks all four matrices are bitwise identical, and records the
+//! timings (including the telemetry overhead ratio (d)/(b)) to
+//! `BENCH_sensitivity.json` at the repo root, as a
+//! `clado-telemetry-manifest/v1` document.
 //!
 //! ```text
 //! cargo bench -p clado-bench --bench sensitivity_engine
@@ -14,9 +17,15 @@
 use clado_core::{measure_sensitivities, SensitivityMatrix, SensitivityOptions};
 use clado_models::{build_resnet, ResNetConfig, SynthVision, SynthVisionConfig};
 use clado_quant::BitWidthSet;
+use clado_telemetry::Telemetry;
 use std::path::Path;
 
-fn measure(label: &str, threads: usize, use_prefix_cache: bool) -> SensitivityMatrix {
+fn measure(
+    label: &str,
+    threads: usize,
+    use_prefix_cache: bool,
+    telemetry: Telemetry,
+) -> SensitivityMatrix {
     let mut network = build_resnet(&ResNetConfig::resnet20_mini(10, 41));
     let data = SynthVision::generate(SynthVisionConfig {
         train: 128,
@@ -31,11 +40,12 @@ fn measure(label: &str, threads: usize, use_prefix_cache: bool) -> SensitivityMa
         &SensitivityOptions {
             threads,
             use_prefix_cache,
+            telemetry,
             ..Default::default()
         },
     );
     println!(
-        "  {label:<22} {:>7.2}s   {} threads, {} full + {} suffix evals",
+        "  {label:<28} {:>7.2}s   {} threads, {} full + {} suffix evals",
         sm.stats.seconds, sm.stats.threads_used, sm.stats.full_evals, sm.stats.prefix_cache_hits
     );
     sm
@@ -57,33 +67,38 @@ fn assert_bitwise_equal(a: &SensitivityMatrix, b: &SensitivityMatrix, label: &st
 
 fn main() {
     println!("=== Sensitivity-measurement engine: serial/full vs parallel/prefix ===");
-    let naive = measure("serial, full forward", 1, false);
-    let cached = measure("serial, prefix cache", 1, true);
-    let parallel = measure("all cores, prefix cache", 0, true);
+    let naive = measure("serial, full forward", 1, false, Telemetry::disabled());
+    let cached = measure("serial, prefix cache", 1, true, Telemetry::disabled());
+    let parallel = measure("all cores, prefix cache", 0, true, Telemetry::disabled());
+    let registry = Telemetry::new();
+    let timed = measure("serial, prefix + telemetry", 1, true, registry.clone());
     assert_bitwise_equal(&naive, &cached, "prefix cache changed the matrix");
     assert_bitwise_equal(&naive, &parallel, "parallelism changed the matrix");
+    assert_bitwise_equal(&naive, &timed, "telemetry changed the matrix");
 
     let cache_speedup = naive.stats.seconds / cached.stats.seconds;
     let total_speedup = naive.stats.seconds / parallel.stats.seconds;
+    let overhead_ratio = timed.stats.seconds / cached.stats.seconds;
     println!("  prefix-cache speedup  {cache_speedup:>6.2}×");
     println!("  combined speedup      {total_speedup:>6.2}×   (matrices bitwise identical)");
+    println!("  telemetry overhead    {overhead_ratio:>6.3}×   (enabled / disabled wall time)");
 
-    let json = format!(
-        "{{\n  \"model\": \"resnet20-mini\",\n  \"evaluations\": {},\n  \
-         \"serial_full_seconds\": {:.3},\n  \"serial_prefix_seconds\": {:.3},\n  \
-         \"parallel_prefix_seconds\": {:.3},\n  \"threads_used\": {},\n  \
-         \"prefix_cache_hits\": {},\n  \"full_evals\": {},\n  \
-         \"prefix_cache_speedup\": {:.2},\n  \"combined_speedup\": {:.2},\n  \
-         \"bitwise_identical\": true\n}}\n",
-        naive.stats.evaluations,
-        naive.stats.seconds,
-        cached.stats.seconds,
-        parallel.stats.seconds,
-        parallel.stats.threads_used,
-        parallel.stats.prefix_cache_hits,
-        parallel.stats.full_evals,
-        cache_speedup,
-        total_speedup,
+    // The bench record *is* a telemetry manifest: timings land in gauges,
+    // the instrumented run's counters and span tree come along for free.
+    registry.set_gauge("bench.serial_full_seconds", naive.stats.seconds);
+    registry.set_gauge("bench.serial_prefix_seconds", cached.stats.seconds);
+    registry.set_gauge("bench.parallel_prefix_seconds", parallel.stats.seconds);
+    registry.set_gauge("bench.prefix_cache_speedup", cache_speedup);
+    registry.set_gauge("bench.combined_speedup", total_speedup);
+    registry.set_gauge("telemetry.overhead_ratio", overhead_ratio);
+    let json = registry.manifest(
+        "bench.sensitivity_engine",
+        &[
+            ("model", "resnet20-mini".into()),
+            ("threads", parallel.stats.threads_used.into()),
+            ("evaluations", naive.stats.evaluations.into()),
+            ("bitwise_identical", true.into()),
+        ],
     );
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sensitivity.json");
     std::fs::write(&out, json).expect("write BENCH_sensitivity.json");

@@ -11,6 +11,8 @@ use clado_core::{
 };
 use clado_models::{pretrained, ModelKind};
 use clado_quant::{bits_to_mb, BitWidth, BitWidthSet, LayerSizes, QuantScheme};
+use clado_solver::SolverConfig;
+use clado_telemetry::{ManifestValue, Telemetry};
 use std::error::Error;
 use std::path::PathBuf;
 
@@ -24,7 +26,7 @@ USAGE:
 COMMANDS:
   models                          list the model zoo
   train        --model <id>       pretrain (or load cached) and report accuracy
-  sensitivity  --model <id> --out <file.clsm>
+  sensitivity  --model <id> --out <file.clsm>      (alias: measure)
                                   run Algorithm 1 and persist Ĝ
                [--set-size 128] [--set-seed 0] [--bits 2,4,8] [--scheme symmetric|affine]
                [--threads N (0 = all cores)] [--no-prefix-cache] [--verbose]
@@ -36,8 +38,68 @@ COMMANDS:
                [--from 2.5] [--to 4.0] [--step 0.5] [--algorithm clado]
   eval         --model <id> --map 8,4,4,2,...
                                   PTQ accuracy of an explicit bit map
+               [--layer-times     record per-stage forward spans]
+
+TELEMETRY (any command):
+  --metrics-out <file.json>       write a machine-readable run manifest
+                                  (schema clado-telemetry-manifest/v1)
+  --progress | --no-progress      rate-limited stderr progress lines (default: on)
+  --quiet                         only the final result line; implies --no-progress
 
 Set CLADO_CACHE_DIR to relocate the trained-weight cache.";
+
+/// Per-invocation telemetry wiring shared by every command: one enabled
+/// registry, the `--metrics-out` / `--progress` / `--quiet` flags, and the
+/// end-of-run rendering (human summary table + manifest file).
+struct RunContext {
+    telemetry: Telemetry,
+    metrics_out: Option<PathBuf>,
+    quiet: bool,
+}
+
+impl RunContext {
+    fn from_args(args: &Args) -> Result<Self, ArgsError> {
+        if args.switch("progress") && args.switch("no-progress") {
+            return Err(ArgsError(
+                "--progress and --no-progress are mutually exclusive".into(),
+            ));
+        }
+        let quiet = args.switch("quiet");
+        let telemetry = Telemetry::new();
+        telemetry.set_progress_enabled(!quiet && !args.switch("no-progress"));
+        Ok(Self {
+            telemetry,
+            metrics_out: args.get("metrics-out").map(PathBuf::from),
+            quiet,
+        })
+    }
+
+    /// Prints `line` unless `--quiet` was given.
+    fn info(&self, line: &str) {
+        if !self.quiet {
+            println!("{line}");
+        }
+    }
+
+    /// Renders the registry summary (unless quiet) and writes the manifest
+    /// if `--metrics-out` was given. Call after the final result line.
+    fn finish(
+        &self,
+        command: &str,
+        config: &[(&str, ManifestValue)],
+    ) -> Result<(), Box<dyn Error>> {
+        if !self.quiet {
+            let summary = self.telemetry.render_summary();
+            if !summary.is_empty() {
+                print!("{summary}");
+            }
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, self.telemetry.manifest(command, config))?;
+        }
+        Ok(())
+    }
+}
 
 fn model_kind(id: &str) -> Result<ModelKind, ArgsError> {
     match id {
@@ -77,7 +139,8 @@ fn algorithm_of(args: &Args) -> Result<Algorithm, ArgsError> {
 }
 
 /// `clado models`
-pub fn cmd_models() {
+pub fn cmd_models(args: &Args) -> Result<(), Box<dyn Error>> {
+    let run = RunContext::from_args(args)?;
     println!("{:<14} {:<28} role", "id", "name");
     for (kind, role) in [
         (ModelKind::ResNet20, "Table 2 (vHv validation)"),
@@ -89,25 +152,30 @@ pub fn cmd_models() {
     ] {
         println!("{:<14} {:<28} {}", kind.id(), kind.display_name(), role);
     }
+    run.finish("models", &[])
 }
 
 /// `clado train --model <id>`
 pub fn cmd_train(args: &Args) -> Result<(), Box<dyn Error>> {
+    let run = RunContext::from_args(args)?;
     let kind = model_kind(args.require::<String>("model")?.as_str())?;
-    let start = std::time::Instant::now();
-    let p = pretrained(kind);
+    let p = {
+        let _s = run.telemetry.span("load");
+        pretrained(kind)
+    };
     println!(
         "{}: FP32 val accuracy {:.2}% ({} quantizable layers, {:.1}s incl. cache)",
         kind.display_name(),
         p.val_accuracy * 100.0,
         p.network.quantizable_layers().len(),
-        start.elapsed().as_secs_f64()
+        run.telemetry.elapsed().as_secs_f64()
     );
-    Ok(())
+    run.finish("train", &[("model", kind.id().into())])
 }
 
-/// `clado sensitivity --model <id> --out <file>`
+/// `clado sensitivity --model <id> --out <file>` (alias: `measure`)
 pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
+    let run = RunContext::from_args(args)?;
     let kind = model_kind(args.require::<String>("model")?.as_str())?;
     let out: PathBuf = PathBuf::from(args.require::<String>("out")?);
     let set_size: usize = args.get_or("set-size", 128)?;
@@ -115,11 +183,15 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
     let bits = BitWidthSet::new(&args.u8_list_or("bits", &[2, 4, 8])?);
     let scheme = scheme_of(args)?;
 
-    let mut p = pretrained(kind);
-    let sens_set = p
-        .data
-        .train
-        .sample_subset(set_size.min(p.data.train.len()), set_seed);
+    let (mut p, sens_set) = {
+        let _s = run.telemetry.span("load");
+        let p = pretrained(kind);
+        let sens_set = p
+            .data
+            .train
+            .sample_subset(set_size.min(p.data.train.len()), set_seed);
+        (p, sens_set)
+    };
     let sm = measure_sensitivities(
         &mut p.network,
         &sens_set,
@@ -129,10 +201,14 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
             verbose: args.switch("verbose"),
             threads: args.get_or("threads", 0)?,
             use_prefix_cache: !args.switch("no-prefix-cache"),
+            telemetry: run.telemetry.clone(),
             ..Default::default()
         },
     );
-    save_sensitivities(&sm, &out)?;
+    {
+        let _s = run.telemetry.span("save");
+        save_sensitivities(&sm, &out)?;
+    }
     println!(
         "measured Ĝ for {} (𝔹 = {bits}, {} samples): {} evaluations in {:.1}s → {}",
         kind.display_name(),
@@ -141,24 +217,37 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
         sm.stats.seconds,
         out.display()
     );
-    println!(
-        "  engine: {} threads, {} full evals + {} suffix evals on {} prefix caches",
-        sm.stats.threads_used,
-        sm.stats.full_evals,
-        sm.stats.prefix_cache_hits,
-        sm.stats.prefix_cache_builds
-    );
-    Ok(())
+    run.finish(
+        "sensitivity",
+        &[
+            ("model", kind.id().into()),
+            ("threads", sm.stats.threads_used.into()),
+            ("bits", bits.to_string().into()),
+            ("scheme", format!("{scheme:?}").into()),
+            ("set_size", set_size.into()),
+            ("seed", set_seed.into()),
+        ],
+    )
 }
 
 /// `clado assign --model <id> --avg-bits <f> [--sens <file>]`
 pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
+    let run = RunContext::from_args(args)?;
     let kind = model_kind(args.require::<String>("model")?.as_str())?;
     let avg_bits: f64 = args.require("avg-bits")?;
     let scheme = scheme_of(args)?;
     let algorithm = algorithm_of(args)?;
+    let config = [
+        ("model", ManifestValue::from(kind.id())),
+        ("algorithm", algorithm.label().into()),
+        ("avg_bits", avg_bits.into()),
+        ("scheme", format!("{scheme:?}").into()),
+    ];
 
-    let mut p = pretrained(kind);
+    let mut p = {
+        let _s = run.telemetry.span("load");
+        pretrained(kind)
+    };
     let sizes = LayerSizes::new(p.network.layer_param_counts());
     let budget = sizes.budget_from_avg_bits(avg_bits);
 
@@ -181,6 +270,10 @@ pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
                 ))))
             }
         };
+        let solver = SolverConfig {
+            telemetry: run.telemetry.clone(),
+            ..Default::default()
+        };
         assign_bits(
             &sm,
             &sizes,
@@ -188,7 +281,8 @@ pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
             &AssignOptions {
                 variant,
                 skip_psd: args.switch("no-psd"),
-                ..Default::default()
+                solver,
+                telemetry: run.telemetry.clone(),
             },
         )?
     } else {
@@ -199,6 +293,7 @@ pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
             .train
             .sample_subset(set_size.min(p.data.train.len()), 0);
         let mut ctx = ExperimentContext::new(p.network, sens_set, p.data.val.clone(), bits, scheme);
+        ctx.telemetry = run.telemetry.clone();
         let (assignment, acc) = ctx.run(algorithm, budget)?;
         println!(
             "{:<10} {:>7.4} MB  acc {:>6.2}%  {}",
@@ -207,9 +302,12 @@ pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
             acc * 100.0,
             assignment.bitmap()
         );
-        return Ok(());
+        return run.finish("assign", &config);
     };
-    let acc = quantized_accuracy(&mut p.network, &assignment.bits, scheme, &p.data.val);
+    let acc = {
+        let _s = run.telemetry.span("eval");
+        quantized_accuracy(&mut p.network, &assignment.bits, scheme, &p.data.val)
+    };
     println!(
         "{:<10} {:>7.4} MB  acc {:>6.2}%  {}",
         algorithm.label(),
@@ -217,11 +315,12 @@ pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
         acc * 100.0,
         assignment.bitmap()
     );
-    Ok(())
+    run.finish("assign", &config)
 }
 
 /// `clado sweep --model <id> [--from --to --step]`
 pub fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
+    let run = RunContext::from_args(args)?;
     let kind = model_kind(args.require::<String>("model")?.as_str())?;
     let from: f64 = args.get_or("from", 2.5)?;
     let to: f64 = args.get_or("to", 4.0)?;
@@ -234,19 +333,26 @@ pub fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
     let bits = BitWidthSet::new(&args.u8_list_or("bits", &[2, 4, 8])?);
     let set_size: usize = args.get_or("set-size", 128)?;
 
-    let p = pretrained(kind);
-    println!(
+    let p = {
+        let _s = run.telemetry.span("load");
+        pretrained(kind)
+    };
+    run.info(&format!(
         "{} (FP32 {:.2}%), {}",
         kind.display_name(),
         p.val_accuracy * 100.0,
         algorithm.label()
-    );
+    ));
     let sens_set = p
         .data
         .train
         .sample_subset(set_size.min(p.data.train.len()), 0);
     let mut ctx = ExperimentContext::new(p.network, sens_set, p.data.val.clone(), bits, scheme);
-    println!("{:>9} {:>11} {:>9}", "avg bits", "size (MB)", "accuracy");
+    ctx.telemetry = run.telemetry.clone();
+    run.info(&format!(
+        "{:>9} {:>11} {:>9}",
+        "avg bits", "size (MB)", "accuracy"
+    ));
     let mut avg = from;
     while avg <= to + 1e-9 {
         let budget = ctx.sizes.budget_from_avg_bits(avg);
@@ -260,15 +366,28 @@ pub fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
         }
         avg += step;
     }
-    Ok(())
+    run.finish(
+        "sweep",
+        &[
+            ("model", kind.id().into()),
+            ("algorithm", algorithm.label().into()),
+            ("from", from.into()),
+            ("to", to.into()),
+            ("step", step.into()),
+        ],
+    )
 }
 
 /// `clado eval --model <id> --map 8,4,...`
 pub fn cmd_eval(args: &Args) -> Result<(), Box<dyn Error>> {
+    let run = RunContext::from_args(args)?;
     let kind = model_kind(args.require::<String>("model")?.as_str())?;
     let map = args.u8_list_or("map", &[])?;
     let scheme = scheme_of(args)?;
-    let mut p = pretrained(kind);
+    let mut p = {
+        let _s = run.telemetry.span("load");
+        pretrained(kind)
+    };
     let layers = p.network.quantizable_layers().len();
     if map.len() != layers {
         return Err(Box::new(ArgsError(format!(
@@ -277,10 +396,17 @@ pub fn cmd_eval(args: &Args) -> Result<(), Box<dyn Error>> {
             kind.display_name()
         ))));
     }
+    if args.switch("layer-times") {
+        // Per-stage `forward.<stage>` spans land in the same manifest.
+        p.network.set_telemetry(run.telemetry.clone());
+    }
     let assignment: Vec<BitWidth> = map.iter().map(|&b| BitWidth::of(b)).collect();
     let sizes = LayerSizes::new(p.network.layer_param_counts());
     let cost = sizes.assignment_bits(&assignment);
-    let acc = quantized_accuracy(&mut p.network, &assignment, scheme, &p.data.val);
+    let acc = {
+        let _s = run.telemetry.span("eval");
+        quantized_accuracy(&mut p.network, &assignment, scheme, &p.data.val)
+    };
     println!(
         "{}: {:.4} MB ({:.2} bits/weight avg), PTQ accuracy {:.2}%",
         kind.display_name(),
@@ -288,7 +414,17 @@ pub fn cmd_eval(args: &Args) -> Result<(), Box<dyn Error>> {
         clado_quant::avg_bits(cost, sizes.total_params()),
         acc * 100.0
     );
-    Ok(())
+    run.finish(
+        "eval",
+        &[
+            ("model", kind.id().into()),
+            ("scheme", format!("{scheme:?}").into()),
+            (
+                "avg_bits",
+                clado_quant::avg_bits(cost, sizes.total_params()).into(),
+            ),
+        ],
+    )
 }
 
 #[cfg(test)]

@@ -23,12 +23,9 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let result = match parsed.subcommand().expect("checked above") {
-        "models" => {
-            commands::cmd_models();
-            Ok(())
-        }
+        "models" => commands::cmd_models(&parsed),
         "train" => commands::cmd_train(&parsed),
-        "sensitivity" => commands::cmd_sensitivity(&parsed),
+        "sensitivity" | "measure" => commands::cmd_sensitivity(&parsed),
         "assign" => commands::cmd_assign(&parsed),
         "sweep" => commands::cmd_sweep(&parsed),
         "eval" => commands::cmd_eval(&parsed),

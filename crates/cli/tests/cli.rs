@@ -1,5 +1,6 @@
 //! End-to-end tests of the `clado` binary via subprocess.
 
+use clado_telemetry::{parse_json, Json};
 use std::process::Command;
 
 fn clado() -> Command {
@@ -53,6 +54,88 @@ fn missing_required_option_is_reported() {
     let out = clado().arg("train").output().expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--model"));
+}
+
+#[test]
+fn conflicting_progress_switches_are_rejected() {
+    let out = clado()
+        .args(["models", "--progress", "--no-progress"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mutually exclusive"));
+}
+
+#[test]
+fn measure_alias_is_quiet_and_writes_a_valid_manifest() {
+    let dir = std::env::temp_dir().join(format!("clado-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let clsm = dir.join("sens.clsm");
+    let manifest = dir.join("manifest.json");
+    let out = clado()
+        .args([
+            "measure",
+            "--model",
+            "resnet20",
+            "--out",
+            clsm.to_str().expect("utf8 path"),
+            "--set-size",
+            "8",
+            "--bits",
+            "4,8",
+            "--metrics-out",
+            manifest.to_str().expect("utf8 path"),
+            "--quiet",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // --quiet leaves exactly the final result line on stdout.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.trim_end().lines().count(), 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("measured Ĝ"), "stdout:\n{stdout}");
+
+    let doc = std::fs::read_to_string(&manifest).expect("manifest written");
+    let j = parse_json(&doc).expect("manifest parses as JSON");
+    assert_eq!(
+        j.get("schema").and_then(Json::as_str),
+        Some("clado-telemetry-manifest/v1")
+    );
+    assert_eq!(j.get("command").and_then(Json::as_str), Some("sensitivity"));
+    assert!(
+        j.get("config")
+            .and_then(|c| c.get("threads"))
+            .and_then(Json::as_num)
+            .is_some_and(|t| t >= 1.0),
+        "config.threads missing"
+    );
+    let counter = |name: &str| {
+        j.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_num)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+    };
+    assert_eq!(
+        counter("measure.evaluations"),
+        counter("measure.full_evals") + counter("measure.prefix_cache_hits"),
+        "every evaluation is either a full eval or a cache hit"
+    );
+    let spans = j.get("spans").and_then(Json::as_arr).expect("span forest");
+    assert!(
+        spans
+            .iter()
+            .any(|n| n.get("name").and_then(Json::as_str) == Some("measure")),
+        "span tree has a `measure` root"
+    );
+    let coverage = j
+        .get("span_coverage")
+        .and_then(Json::as_num)
+        .expect("span_coverage");
+    assert!(coverage >= 0.95, "span coverage {coverage} below 95%");
 }
 
 #[test]

@@ -1,0 +1,161 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace uses: `Criterion::bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal implementation instead (see the workspace
+//! `Cargo.toml`). It performs a simple warmup + timed-sample loop and
+//! prints mean/min wall times per benchmark — no statistical analysis,
+//! HTML reports, or command-line filtering.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted for API parity; the
+/// stub always runs setup once per timed iteration, outside the timer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver: times closures handed to [`Criterion::bench_function`].
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bench = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget: self.sample_size,
+        };
+        f(&mut bench);
+        let n = bench.samples.len().max(1);
+        let total: Duration = bench.samples.iter().sum();
+        let mean = total / n as u32;
+        let min = bench.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "bench {name:<40} mean {:>12.3?}  min {:>12.3?}  ({n} samples)",
+            mean, min
+        );
+        self
+    }
+}
+
+/// Passed to benchmark closures; records timed samples of the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: usize,
+}
+
+impl Bencher {
+    /// Times `routine` for the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.budget {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.budget {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` invoking each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_add(c: &mut Criterion) {
+        c.bench_function("add", |b| b.iter(|| 1u64 + 1));
+    }
+
+    fn bench_batched(c: &mut Criterion) {
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    criterion_group! {
+        name = group;
+        config = Criterion::default().sample_size(3);
+        targets = bench_add, bench_batched
+    }
+
+    #[test]
+    fn group_runs_all_targets() {
+        group();
+    }
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: 4,
+        };
+        b.iter(|| 2 * 2);
+        assert_eq!(b.samples.len(), 4);
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses: a seedable deterministic generator (`rngs::StdRng`), the `Rng`
+//! extension trait (`gen_range`, `gen_bool`), `SeedableRng::seed_from_u64`,
+//! and the `distributions::Distribution` trait.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal implementation instead (see the workspace
+//! `Cargo.toml`, which points the `rand` dependency here). The generator is
+//! xoshiro256++ seeded through SplitMix64 — not stream-compatible with the
+//! real `rand::rngs::StdRng`, but every consumer in this repository only
+//! relies on *determinism for a fixed seed*, which this provides on every
+//! platform.
+
+/// Low-level source of randomness: 64 random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniformly distributed value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Scalar types with a uniform sampler over `[lo, hi)` / `[lo, hi]`.
+///
+/// `SampleRange` is a single blanket impl over this trait (mirroring real
+/// `rand`) so that integer-literal ranges like `5..40` stay unified with
+/// the surrounding expression's type during inference.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws from `[lo, hi)` when `inclusive` is false, `[lo, hi]` otherwise.
+    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        T::sample_uniform(lo, hi, true, rng)
+    }
+}
+
+/// Maps 64 random bits to a `f64` in `[0, 1)` (53-bit mantissa).
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Maps 64 random bits to a `f32` in `[0, 1)` (24-bit mantissa).
+fn unit_f32(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        let v = lo + unit_f64(rng.next_u64()) * (hi - lo);
+        // Guard against rounding up to the (usually excluded) endpoint.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(lo: f32, hi: f32, _inclusive: bool, rng: &mut R) -> f32 {
+        let v = lo + unit_f32(rng.next_u64()) * (hi - lo);
+        if v < hi {
+            v
+        } else {
+            lo
+        }
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: $t, hi: $t, inclusive: bool, rng: &mut R,
+            ) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Seeded via SplitMix64 so that every `u64` seed yields a
+    /// well-mixed, platform-independent stream.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// The `Distribution` trait, for samplers layered over any [`Rng`].
+pub mod distributions {
+    use super::Rng;
+
+    /// Types that can produce values of `T` given a source of randomness.
+    pub trait Distribution<T> {
+        /// Draws one value from the distribution.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-0.5f32..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let d = rng.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&d));
+            let i = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&i));
+            let u = rng.gen_range(5u64..40);
+            assert!((5..40).contains(&u));
+            let n = rng.gen_range(0usize..7);
+            assert!(n < 7);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let draws: Vec<i32> = (0..200).map(|_| rng.gen_range(-1i32..=1)).collect();
+        assert!(draws.contains(&-1));
+        assert!(draws.contains(&1));
+    }
+}

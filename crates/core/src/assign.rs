@@ -4,6 +4,7 @@
 use crate::sensitivity::SensitivityMatrix;
 use clado_quant::{BitWidth, BitWidthSet, LayerSizes};
 use clado_solver::{IqpError, IqpProblem, Solution, SolverConfig, SymMatrix};
+use clado_telemetry::Telemetry;
 use std::fmt;
 
 /// Which sensitivity structure to optimize over — the paper's method and
@@ -28,8 +29,12 @@ pub struct AssignOptions {
     /// Apply the PSD approximation to Ĝ before solving (the paper's
     /// default; disabling reproduces the Fig. 7 ablation).
     pub skip_psd: bool,
-    /// IQP solver configuration.
+    /// IQP solver configuration. Set its `telemetry` field too to record
+    /// solver node/prune counters.
     pub solver: SolverConfig,
+    /// Telemetry sink for the assignment phase (PSD projection span and
+    /// eigenvalue-clip counters).
+    pub telemetry: Telemetry,
 }
 
 /// A solved per-layer bit-width assignment.
@@ -84,6 +89,7 @@ pub fn assign_bits(
     budget_bits: u64,
     options: &AssignOptions,
 ) -> Result<BitAssignment, IqpError> {
+    let _span = options.telemetry.span("assign");
     let matrix = match &options.variant {
         CladoVariant::Full => sens.matrix().clone(),
         CladoVariant::DiagonalOnly => sens.diagonal_only(),
@@ -92,7 +98,15 @@ pub fn assign_bits(
     let matrix = if options.skip_psd {
         matrix
     } else {
-        matrix.psd_project()
+        let _s = options.telemetry.span("assign.psd_project");
+        let proj = matrix.psd_project_stats();
+        options
+            .telemetry
+            .add("assign.psd_clipped_eigenvalues", proj.clipped as u64);
+        options
+            .telemetry
+            .add("assign.eigen_sweeps", proj.sweeps as u64);
+        proj.matrix
     };
     solve_with_matrix(&matrix, sens.bits(), sizes, budget_bits, &options.solver)
 }
@@ -110,6 +124,7 @@ pub fn solve_with_matrix(
     budget_bits: u64,
     solver: &SolverConfig,
 ) -> Result<BitAssignment, IqpError> {
+    let _span = solver.telemetry.span("assign.solve");
     let num_layers = sizes.num_layers();
     let k = bits.len();
     let group_sizes = vec![k; num_layers];

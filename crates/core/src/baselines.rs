@@ -24,6 +24,7 @@ use clado_models::DataSplit;
 use clado_nn::{cross_entropy, Network};
 use clado_quant::{BitWidthSet, QuantScheme};
 use clado_solver::SymMatrix;
+use clado_telemetry::Telemetry;
 use clado_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +45,9 @@ pub struct BaselineOptions {
     /// Worker threads for the Hutchinson probe fan-out; `0` means all
     /// available cores. The estimate is bitwise identical for any value.
     pub threads: usize,
+    /// Telemetry sink for spans, counters, and progress (never affects
+    /// the estimates).
+    pub telemetry: Telemetry,
 }
 
 impl Default for BaselineOptions {
@@ -55,6 +59,7 @@ impl Default for BaselineOptions {
             fd_epsilon: 5e-3,
             seed: 0xBA5E,
             threads: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -67,6 +72,7 @@ pub fn hawq_sensitivities(
     bits: &BitWidthSet,
     options: &BaselineOptions,
 ) -> SymMatrix {
+    let _span = options.telemetry.span("baselines.hawq");
     let num_layers = network.quantizable_layers().len();
     let k = bits.len();
     let deltas = quant_error_table(network, bits, options.scheme);
@@ -93,6 +99,8 @@ pub fn hessian_traces(
     sens_set: &DataSplit,
     options: &BaselineOptions,
 ) -> Vec<f64> {
+    let _span = options.telemetry.span("baselines.hutchinson");
+    let c_probes = options.telemetry.counter("baselines.hutchinson.probes");
     let num_layers = network.quantizable_layers().len();
     let mut rng = StdRng::seed_from_u64(options.seed);
     let originals = network.snapshot_weights();
@@ -116,7 +124,11 @@ pub fn hessian_traces(
     let eps = options.fd_epsilon;
     let batch_size = options.batch_size;
     let threads = resolve_threads(options.threads);
+    let progress = options
+        .telemetry
+        .progress("hutchinson probes", options.hutchinson_probes as u64);
     let per_probe: Vec<Vec<f64>> = replica_map(network, threads, &all_zs, |net, zs| {
+        let _s = options.telemetry.span("baselines.hutchinson.probe");
         for (i, z) in zs.iter().enumerate() {
             let mut step = z.clone();
             step.scale(eps);
@@ -131,12 +143,19 @@ pub fn hessian_traces(
         }
         let g_minus = quantizable_gradients(net, sens_set, batch_size);
         net.restore_weights(&originals);
-        zs.iter()
+        let hz: Vec<f64> = zs
+            .iter()
             .enumerate()
             // zᵀ H z ≈ zᵀ (g₊ − g₋) / (2ε)
             .map(|(i, z)| (&g_plus[i] - &g_minus[i]).dot(z) / (2.0 * eps as f64))
-            .collect()
+            .collect();
+        c_probes.incr();
+        progress.tick();
+        hz
     });
+    if options.hutchinson_probes > 0 {
+        progress.finish();
+    }
     // Accumulate in probe order — the same addition order as a serial run,
     // so the result is bitwise independent of the thread count.
     let mut traces = vec![0.0f64; num_layers];
@@ -156,10 +175,14 @@ pub fn mpqco_sensitivities(
     bits: &BitWidthSet,
     options: &BaselineOptions,
 ) -> SymMatrix {
+    let _span = options.telemetry.span("baselines.mpqco");
     let num_layers = network.quantizable_layers().len();
     let k = bits.len();
     let deltas = quant_error_table(network, bits, options.scheme);
-    let fisher = empirical_fisher(network, sens_set, options.batch_size);
+    let fisher = {
+        let _s = options.telemetry.span("baselines.mpqco.fisher");
+        empirical_fisher(network, sens_set, options.batch_size)
+    };
     let mut g = SymMatrix::zeros(num_layers * k);
     for i in 0..num_layers {
         for m in 0..k {
@@ -308,6 +331,34 @@ mod tests {
         // The fc layer feeds the loss directly; its curvature should be
         // clearly nonzero.
         assert!(traces[1].abs() > 1e-6, "{traces:?}");
+    }
+
+    #[test]
+    fn telemetry_counts_probes_without_changing_traces() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let reference = hessian_traces(&mut net, &set, &BaselineOptions::default());
+        let telemetry = Telemetry::new();
+        let traced = hessian_traces(
+            &mut net,
+            &set,
+            &BaselineOptions {
+                telemetry: telemetry.clone(),
+                ..Default::default()
+            },
+        );
+        for (a, b) in reference.iter().zip(&traced) {
+            assert_eq!(a.to_bits(), b.to_bits(), "telemetry changed the estimate");
+        }
+        assert_eq!(telemetry.counter_value("baselines.hutchinson.probes"), 4);
+        assert!(telemetry.span_stats("baselines.hutchinson").is_some());
+        assert_eq!(
+            telemetry
+                .span_stats("baselines.hutchinson.probe")
+                .expect("probe span recorded")
+                .count,
+            4
+        );
     }
 
     #[test]

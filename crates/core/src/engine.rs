@@ -11,6 +11,8 @@
 //! of thread count.
 
 use clado_nn::Network;
+use clado_telemetry::panic_message;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Resolves a requested worker count: `0` means "all available cores".
 pub(crate) fn resolve_threads(requested: usize) -> usize {
@@ -33,7 +35,10 @@ pub(crate) fn resolve_threads(requested: usize) -> usize {
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (a panicking worker aborts the whole map).
+/// Propagates panics from `f` from the calling thread, prefixed with the
+/// index of the item whose closure panicked (so a failing probe can be
+/// reproduced directly). When several workers panic, the lowest item
+/// index is reported.
 pub(crate) fn replica_map<T, R, F>(template: &Network, threads: usize, items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -43,10 +48,18 @@ where
     let workers = threads.clamp(1, items.len().max(1));
     if workers <= 1 {
         let mut replica = template.clone();
-        return items.iter().map(|item| f(&mut replica, item)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                catch_unwind(AssertUnwindSafe(|| f(&mut replica, item)))
+                    .unwrap_or_else(|payload| item_panic(i, &*payload))
+            })
+            .collect();
     }
     let mut replicas: Vec<Network> = (0..workers).map(|_| template.clone()).collect();
     let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let mut failures: Vec<(usize, String)> = Vec::new();
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(workers);
         for (w, replica) in replicas.iter_mut().enumerate() {
@@ -55,22 +68,42 @@ where
                 let mut out = Vec::new();
                 let mut i = w;
                 while i < items.len() {
-                    out.push((i, f(&mut *replica, &items[i])));
+                    // Catch per item so the panic can be re-raised on the
+                    // main thread tagged with the offending item's index.
+                    match catch_unwind(AssertUnwindSafe(|| f(&mut *replica, &items[i]))) {
+                        Ok(r) => out.push((i, r)),
+                        Err(payload) => return Err((i, panic_message(&*payload))),
+                    }
                     i += workers;
                 }
-                out
+                Ok(out)
             }));
         }
         for handle in handles {
-            for (i, r) in handle.join().expect("measurement worker panicked") {
-                results[i] = Some(r);
+            match handle.join().expect("worker thread result intact") {
+                Ok(rows) => {
+                    for (i, r) in rows {
+                        results[i] = Some(r);
+                    }
+                }
+                Err(failure) => failures.push(failure),
             }
         }
     });
+    if let Some((i, msg)) = failures.into_iter().min_by_key(|&(i, _)| i) {
+        panic!("measurement worker panicked on item {i}: {msg}");
+    }
     results
         .into_iter()
         .map(|r| r.expect("every item is processed exactly once"))
         .collect()
+}
+
+fn item_panic(i: usize, payload: &(dyn std::any::Any + Send)) -> ! {
+    panic!(
+        "measurement worker panicked on item {i}: {}",
+        panic_message(payload)
+    );
 }
 
 #[cfg(test)]
@@ -119,6 +152,23 @@ mod tests {
         let expect = originals[0].data()[0] + 1.0;
         for (i, &r) in reads.iter().enumerate() {
             assert_eq!(r, expect, "item {i} saw a dirty replica");
+        }
+    }
+
+    #[test]
+    fn worker_panics_are_tagged_with_the_item_index() {
+        let net = tiny();
+        let items: Vec<usize> = (0..9).collect();
+        for threads in [1, 3] {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                replica_map(&net, threads, &items, |_, &i| {
+                    assert_ne!(i, 5, "bad probe");
+                    i
+                })
+            }));
+            let msg = panic_message(&*caught.expect_err("item 5 must panic"));
+            assert!(msg.contains("item 5"), "{threads} threads: {msg}");
+            assert!(msg.contains("bad probe"), "{threads} threads: {msg}");
         }
     }
 

@@ -10,6 +10,7 @@ use clado_models::DataSplit;
 use clado_nn::Network;
 use clado_quant::{BitWidthSet, LayerSizes, QuantScheme};
 use clado_solver::{IqpError, SolverConfig, SymMatrix};
+use clado_telemetry::Telemetry;
 
 /// The MPQ algorithms compared in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,6 +70,9 @@ pub struct ExperimentContext {
     pub solver: SolverConfig,
     /// Probe batch size.
     pub batch_size: usize,
+    /// Telemetry registry shared by every measurement and solve in this
+    /// context. Disabled by default.
+    pub telemetry: Telemetry,
 }
 
 impl ExperimentContext {
@@ -99,6 +103,7 @@ impl ExperimentContext {
             mpqco: None,
             solver: SolverConfig::default(),
             batch_size: crate::probe::PROBE_BATCH,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -108,6 +113,7 @@ impl ExperimentContext {
             let opts = SensitivityOptions {
                 scheme: self.scheme,
                 batch_size: self.batch_size,
+                telemetry: self.telemetry.clone(),
                 ..Default::default()
             };
             self.clado = Some(measure_sensitivities(
@@ -124,6 +130,7 @@ impl ExperimentContext {
         BaselineOptions {
             scheme: self.scheme,
             batch_size: self.batch_size,
+            telemetry: self.telemetry.clone(),
             ..Default::default()
         }
     }
@@ -164,7 +171,10 @@ impl ExperimentContext {
         algorithm: Algorithm,
         budget_bits: u64,
     ) -> Result<BitAssignment, IqpError> {
-        let solver = self.solver.clone();
+        let mut solver = self.solver.clone();
+        if !solver.telemetry.is_enabled() {
+            solver.telemetry = self.telemetry.clone();
+        }
         match algorithm {
             Algorithm::Clado
             | Algorithm::CladoStar
@@ -187,6 +197,7 @@ impl ExperimentContext {
                         variant,
                         skip_psd,
                         solver,
+                        telemetry: self.telemetry.clone(),
                     },
                 )
             }

@@ -251,9 +251,9 @@ mod tests {
 
     #[test]
     fn quant_error_table_shapes() {
-        let (mut net, _) = net_and_data();
+        let (net, _) = net_and_data();
         let bits = BitWidthSet::standard();
-        let table = quant_error_table(&mut net, &bits, QuantScheme::PerTensorSymmetric);
+        let table = quant_error_table(&net, &bits, QuantScheme::PerTensorSymmetric);
         assert_eq!(table.len(), 2);
         assert_eq!(table[0].len(), 3);
         assert_eq!(table[0][0].shape(), net.weight(0).shape());

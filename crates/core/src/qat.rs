@@ -4,9 +4,12 @@
 use clado_models::DataSplit;
 use clado_nn::{cross_entropy, Network, Sgd};
 use clado_quant::{quantize_weights, BitWidth, QuantScheme};
+use clado_telemetry::Telemetry;
 
 /// QAT hyper-parameters.
-#[derive(Debug, Clone, Copy)]
+///
+/// (`Clone` rather than `Copy`: the telemetry handle carries an `Arc`.)
+#[derive(Debug, Clone)]
 pub struct QatConfig {
     /// Fine-tuning epochs.
     pub epochs: usize,
@@ -18,6 +21,8 @@ pub struct QatConfig {
     pub momentum: f32,
     /// L2 weight decay.
     pub weight_decay: f32,
+    /// Telemetry sink for spans, counters, and per-epoch progress.
+    pub telemetry: Telemetry,
 }
 
 impl Default for QatConfig {
@@ -28,6 +33,7 @@ impl Default for QatConfig {
             lr: 0.004,
             momentum: 0.9,
             weight_decay: 1e-4,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -62,11 +68,19 @@ pub fn qat_finetune(
     val: &DataSplit,
     config: &QatConfig,
 ) -> QatReport {
+    let telemetry = &config.telemetry;
+    let _span = telemetry.span("qat");
     let num_layers = network.quantizable_layers().len();
     assert_eq!(assignment.len(), num_layers, "assignment length mismatch");
-    let accuracy_before = crate::probe::quantized_accuracy(network, assignment, scheme, val);
+    let accuracy_before = {
+        let _s = telemetry.span("qat.eval_before");
+        crate::probe::quantized_accuracy(network, assignment, scheme, val)
+    };
+    let c_steps = telemetry.counter("qat.steps");
+    let progress = telemetry.progress("qat epochs", config.epochs as u64);
     let mut sgd = Sgd::new(config.lr, config.momentum, config.weight_decay);
     for _ in 0..config.epochs {
+        let _e = telemetry.span("qat.epoch");
         for (x, labels) in train.batches(config.batch_size) {
             // Quantize on forward.
             let master = network.snapshot_weights();
@@ -74,16 +88,30 @@ pub fn qat_finetune(
                 let q = quantize_weights(&master[i], b, scheme);
                 network.set_weight(i, &q);
             }
-            let logits = network.forward(x, true);
+            let logits = {
+                let _f = telemetry.span("qat.epoch.forward");
+                network.forward(x, true)
+            };
             let (_, grad) = cross_entropy(&logits, &labels);
-            network.backward(grad);
+            {
+                let _b = telemetry.span("qat.epoch.backward");
+                network.backward(grad);
+            }
             // STE: restore the master weights, then step with the gradients
             // measured at the quantized point.
             network.restore_weights(&master);
             sgd.step(network);
+            c_steps.incr();
         }
+        progress.tick();
     }
-    let accuracy_after = crate::probe::quantized_accuracy(network, assignment, scheme, val);
+    if config.epochs > 0 {
+        progress.finish();
+    }
+    let accuracy_after = {
+        let _s = telemetry.span("qat.eval_after");
+        crate::probe::quantized_accuracy(network, assignment, scheme, val)
+    };
     QatReport {
         accuracy_before,
         accuracy_after,

@@ -13,6 +13,7 @@ use clado_models::DataSplit;
 use clado_nn::Network;
 use clado_quant::{BitWidth, BitWidthSet, LayerSizes, QuantScheme};
 use clado_solver::Solution;
+use clado_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,6 +35,9 @@ pub struct SearchOptions {
     /// annealing is a sequential Markov chain); `0` means all available
     /// cores. The search result is bitwise identical for any value.
     pub threads: usize,
+    /// Telemetry sink for spans, counters, and progress (never affects
+    /// the search trajectory).
+    pub telemetry: Telemetry,
 }
 
 impl Default for SearchOptions {
@@ -45,6 +49,7 @@ impl Default for SearchOptions {
             seed: 0x5EA4C,
             init_temp: 0.5,
             threads: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -140,6 +145,10 @@ pub fn random_search(
     budget: u64,
     options: &SearchOptions,
 ) -> SearchReport {
+    let telemetry = &options.telemetry;
+    let _span = telemetry.span("search.random");
+    let c_evals = telemetry.counter("search.evaluations");
+    let progress = telemetry.progress("random search evaluations", options.evaluations as u64);
     let mut rng = StdRng::seed_from_u64(options.seed);
     // Draw every candidate up front from the single seeded stream, then
     // fan the (independent) evaluations out across worker replicas. The
@@ -152,8 +161,15 @@ pub fn random_search(
     let batch_size = options.batch_size;
     let threads = crate::engine::resolve_threads(options.threads);
     let losses = crate::engine::replica_map(network, threads, &candidates, |net, candidate| {
-        loss_of(net, candidate, scheme, eval_set, batch_size)
+        let _s = telemetry.span("search.random.eval");
+        let loss = loss_of(net, candidate, scheme, eval_set, batch_size);
+        c_evals.incr();
+        progress.tick();
+        loss
     });
+    if options.evaluations > 0 {
+        progress.finish();
+    }
     let mut best: Option<(usize, f64)> = None;
     for (idx, &loss) in losses.iter().enumerate() {
         if best.is_none_or(|(_, b)| loss < b) {
@@ -178,6 +194,9 @@ pub fn annealing_search(
     budget: u64,
     options: &SearchOptions,
 ) -> SearchReport {
+    let telemetry = &options.telemetry;
+    let _span = telemetry.span("search.annealing");
+    let c_evals = telemetry.counter("search.evaluations");
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut current = random_feasible(&mut rng, bits, sizes, budget);
     let mut current_loss = loss_of(
@@ -187,8 +206,11 @@ pub fn annealing_search(
         eval_set,
         options.batch_size,
     );
-    let mut best = (current.clone(), current_loss);
+    c_evals.incr();
     let total = options.evaluations.max(2);
+    let ticker = telemetry.progress("annealing steps", total as u64);
+    ticker.tick();
+    let mut best = (current.clone(), current_loss);
     for step in 1..total {
         // Geometric cooling to ~1% of the initial temperature.
         let progress = step as f64 / total as f64;
@@ -207,13 +229,18 @@ pub fn annealing_search(
             guard += 1;
             assert!(guard < 100_000, "budget repair failed");
         }
-        let loss = loss_of(
-            network,
-            &proposal,
-            options.scheme,
-            eval_set,
-            options.batch_size,
-        );
+        let loss = {
+            let _s = telemetry.span("search.annealing.eval");
+            loss_of(
+                network,
+                &proposal,
+                options.scheme,
+                eval_set,
+                options.batch_size,
+            )
+        };
+        c_evals.incr();
+        ticker.tick();
         let accept = loss < current_loss
             || rng.gen_range(0.0..1.0f64) < ((current_loss - loss) / temp.max(1e-12)).exp();
         if accept {
@@ -224,6 +251,7 @@ pub fn annealing_search(
             }
         }
     }
+    ticker.finish();
     into_report(best.0, best.1, sizes, total)
 }
 

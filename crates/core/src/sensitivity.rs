@@ -20,6 +20,7 @@ use clado_models::DataSplit;
 use clado_nn::Network;
 use clado_quant::{BitWidthSet, QuantScheme};
 use clado_solver::SymMatrix;
+use clado_telemetry::{with_panic_context, Telemetry};
 use std::time::Instant;
 
 /// Options controlling sensitivity measurement.
@@ -37,6 +38,10 @@ pub struct SensitivityOptions {
     /// Reuse cached prefix activations for probes sharing an outer
     /// perturbation (exact; disable only for measurement A/B testing).
     pub use_prefix_cache: bool,
+    /// Telemetry sink for spans, counters, and progress. The default
+    /// (disabled) handle records nothing; measured values are bitwise
+    /// identical either way (test-enforced).
+    pub telemetry: Telemetry,
 }
 
 impl Default for SensitivityOptions {
@@ -47,6 +52,7 @@ impl Default for SensitivityOptions {
             verbose: false,
             threads: 0,
             use_prefix_cache: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -212,6 +218,8 @@ pub fn measure_sensitivities(
     options: &SensitivityOptions,
 ) -> SensitivityMatrix {
     let start = Instant::now();
+    let telemetry = &options.telemetry;
+    let _span_measure = telemetry.span("measure");
     let num_layers = network.quantizable_layers().len();
     let k = bits.len();
     let dim = num_layers * k;
@@ -223,7 +231,27 @@ pub fn measure_sensitivities(
     let use_cache = options.use_prefix_cache;
     let batch_size = options.batch_size;
 
-    let base_loss = eval_loss(network, sens_set, batch_size);
+    // Counter handles are fetched once and bumped live from worker
+    // threads; initial values are snapshotted so a registry reused across
+    // several measurements still yields per-run stats (deltas).
+    let c_evals = telemetry.counter("measure.evaluations");
+    let c_full = telemetry.counter("measure.full_evals");
+    let c_hits = telemetry.counter("measure.prefix_cache_hits");
+    let c_builds = telemetry.counter("measure.prefix_cache_builds");
+    let at_start = [
+        c_evals.value(),
+        c_full.value(),
+        c_hits.value(),
+        c_builds.value(),
+    ];
+
+    let base_loss = {
+        let _s = telemetry.span("measure.base");
+        let loss = eval_loss(network, sens_set, batch_size);
+        c_evals.incr();
+        c_full.incr();
+        loss
+    };
     if options.verbose {
         eprintln!("sensitivity: {num_layers} layers × {k} bit-widths on {threads} threads");
     }
@@ -233,26 +261,45 @@ pub fn measure_sensitivities(
     // layer against its own replica, restoring from the shared snapshot
     // between probes. A prefix cache at layer i's stage is valid for all
     // of them because the perturbation never touches stages before it.
+    let span_diagonal = telemetry.span("measure.diagonal");
     let layer_ids: Vec<usize> = (0..num_layers).collect();
     let single_loss: Vec<Vec<f64>> = replica_map(network, threads, &layer_ids, |net, &i| {
-        let cache = (use_cache && stages[i] > 0)
-            .then(|| build_prefix_cache(net, sens_set, batch_size, stages[i]));
+        let cache = (use_cache && stages[i] > 0).then(|| {
+            let _s = telemetry.span("measure.diagonal.prefix_build");
+            c_builds.incr();
+            build_prefix_cache(net, sens_set, batch_size, stages[i])
+        });
         let mut losses = Vec::with_capacity(k);
-        for delta in &deltas[i] {
+        for (m, delta) in deltas[i].iter().enumerate() {
             net.perturb_weight(i, delta);
-            losses.push(match &cache {
-                Some(c) => eval_loss_from(net, c),
-                None => eval_loss(net, sens_set, batch_size),
-            });
+            losses.push(with_panic_context(
+                || format!("diagonal probe (layer {i}, {} bits)", bits.get(m)),
+                || {
+                    c_evals.incr();
+                    match &cache {
+                        Some(c) => {
+                            let _s = telemetry.span("measure.diagonal.suffix_eval");
+                            c_hits.incr();
+                            eval_loss_from(net, c)
+                        }
+                        None => {
+                            let _s = telemetry.span("measure.diagonal.full_eval");
+                            c_full.incr();
+                            eval_loss(net, sens_set, batch_size)
+                        }
+                    }
+                },
+            ));
             net.set_weight(i, &originals[i]);
         }
         losses
     });
-    for i in 0..num_layers {
-        for m in 0..k {
-            g.set(i * k + m, i * k + m, 2.0 * (single_loss[i][m] - base_loss));
+    for (i, row) in single_loss.iter().enumerate() {
+        for (m, &loss) in row.iter().enumerate() {
+            g.set(i * k + m, i * k + m, 2.0 * (loss - base_loss));
         }
     }
+    drop(span_diagonal);
     if options.verbose {
         eprintln!("sensitivity: diagonal pass done ({num_layers} layers)");
     }
@@ -263,20 +310,48 @@ pub fn measure_sensitivities(
     // regardless of which worker produced them. Layer indices follow
     // stage order, so j > i keeps the prefix below layer i unperturbed
     // and the same cache serves every inner probe.
+    let span_pairwise = telemetry.span("measure.pairwise");
+    let pair_probe_total: usize = (0..num_layers).map(|i| k * k * (num_layers - 1 - i)).sum();
+    let progress = telemetry.progress("sensitivity pairwise probes", pair_probe_total as u64);
     let outer_ids: Vec<usize> = (0..num_layers.saturating_sub(1)).collect();
     let pair_losses: Vec<Vec<f64>> = replica_map(network, threads, &outer_ids, |net, &i| {
-        let cache = (use_cache && stages[i] > 0)
-            .then(|| build_prefix_cache(net, sens_set, batch_size, stages[i]));
+        let cache = (use_cache && stages[i] > 0).then(|| {
+            let _s = telemetry.span("measure.pairwise.prefix_build");
+            c_builds.incr();
+            build_prefix_cache(net, sens_set, batch_size, stages[i])
+        });
         let mut losses = Vec::with_capacity(k * k * (num_layers - 1 - i));
-        for delta_i in &deltas[i] {
+        for (m, delta_i) in deltas[i].iter().enumerate() {
             net.perturb_weight(i, delta_i);
             for j in (i + 1)..num_layers {
-                for delta_j in &deltas[j] {
+                for (n, delta_j) in deltas[j].iter().enumerate() {
                     net.perturb_weight(j, delta_j);
-                    losses.push(match &cache {
-                        Some(c) => eval_loss_from(net, c),
-                        None => eval_loss(net, sens_set, batch_size),
-                    });
+                    losses.push(with_panic_context(
+                        || {
+                            format!(
+                                "pairwise probe (layer {i} @ {} bits, layer {j} @ {} bits)",
+                                bits.get(m),
+                                bits.get(n)
+                            )
+                        },
+                        || {
+                            c_evals.incr();
+                            let loss = match &cache {
+                                Some(c) => {
+                                    let _s = telemetry.span("measure.pairwise.suffix_eval");
+                                    c_hits.incr();
+                                    eval_loss_from(net, c)
+                                }
+                                None => {
+                                    let _s = telemetry.span("measure.pairwise.full_eval");
+                                    c_full.incr();
+                                    eval_loss(net, sens_set, batch_size)
+                                }
+                            };
+                            progress.tick();
+                            loss
+                        },
+                    ));
                     net.set_weight(j, &originals[j]);
                 }
             }
@@ -284,6 +359,9 @@ pub fn measure_sensitivities(
         }
         losses
     });
+    if pair_probe_total > 0 {
+        progress.finish();
+    }
     for (&i, losses) in outer_ids.iter().zip(&pair_losses) {
         let mut stream = losses.iter();
         for m in 0..k {
@@ -296,26 +374,46 @@ pub fn measure_sensitivities(
             }
         }
     }
+    drop(span_pairwise);
     if options.verbose {
         eprintln!("sensitivity: pairwise pass done");
     }
 
-    // Evaluation accounting: the base loss always runs the full network;
-    // each probed layer contributes k diagonal probes plus k²(I−1−i)
-    // pairwise probes, all suffix-only when its prefix cache exists.
-    let mut full_evals = 1usize;
-    let mut prefix_cache_hits = 0usize;
-    let mut prefix_cache_builds = 0usize;
-    for i in 0..num_layers {
-        let diag_probes = k;
-        let pair_probes = k * k * (num_layers - 1 - i);
-        if use_cache && stages[i] > 0 {
-            prefix_cache_builds += 1 + usize::from(pair_probes > 0);
-            prefix_cache_hits += diag_probes + pair_probes;
-        } else {
-            full_evals += diag_probes + pair_probes;
+    let (full_evals, prefix_cache_hits, prefix_cache_builds) = if telemetry.is_enabled() {
+        // The workers counted live; the deltas against the snapshot taken
+        // above are this run's share even on a reused registry.
+        let counted = (
+            (c_full.value() - at_start[1]) as usize,
+            (c_hits.value() - at_start[2]) as usize,
+            (c_builds.value() - at_start[3]) as usize,
+        );
+        debug_assert_eq!(
+            (c_evals.value() - at_start[0]) as usize,
+            counted.0 + counted.1,
+            "every evaluation is exactly one of full or suffix-only"
+        );
+        counted
+    } else {
+        // Telemetry off: derive the same numbers analytically. The base
+        // loss always runs the full network; each probed layer contributes
+        // k diagonal probes plus k²(I−1−i) pairwise probes, all
+        // suffix-only when its prefix cache exists. A test pins this
+        // against the counted path.
+        let mut full_evals = 1usize;
+        let mut prefix_cache_hits = 0usize;
+        let mut prefix_cache_builds = 0usize;
+        for (i, &stage) in stages.iter().enumerate() {
+            let diag_probes = k;
+            let pair_probes = k * k * (num_layers - 1 - i);
+            if use_cache && stage > 0 {
+                prefix_cache_builds += 1 + usize::from(pair_probes > 0);
+                prefix_cache_hits += diag_probes + pair_probes;
+            } else {
+                full_evals += diag_probes + pair_probes;
+            }
         }
-    }
+        (full_evals, prefix_cache_hits, prefix_cache_builds)
+    };
 
     SensitivityMatrix {
         g,
@@ -494,6 +592,98 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn telemetry_never_changes_the_measured_matrix_bitwise() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let bits = BitWidthSet::new(&[2, 8]);
+        let reference =
+            measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        for threads in [1, 2, 4] {
+            let telemetry = Telemetry::new();
+            let opts = SensitivityOptions {
+                threads,
+                telemetry: telemetry.clone(),
+                ..Default::default()
+            };
+            let sm = measure_sensitivities(&mut net, &set, &bits, &opts);
+            assert_eq!(
+                sm.base_loss.to_bits(),
+                reference.base_loss.to_bits(),
+                "{threads} threads: base loss drifted under telemetry"
+            );
+            let dim = sm.matrix().dim();
+            for u in 0..dim {
+                for v in u..dim {
+                    assert_eq!(
+                        sm.matrix().get(u, v).to_bits(),
+                        reference.matrix().get(u, v).to_bits(),
+                        "{threads} threads: entry ({u},{v}) differs under telemetry"
+                    );
+                }
+            }
+            // The counted stats must agree with the analytic (disabled)
+            // accounting exactly.
+            assert_eq!(sm.stats.evaluations, reference.stats.evaluations);
+            assert_eq!(sm.stats.full_evals, reference.stats.full_evals);
+            assert_eq!(
+                sm.stats.prefix_cache_hits,
+                reference.stats.prefix_cache_hits
+            );
+            assert_eq!(
+                sm.stats.prefix_cache_builds,
+                reference.stats.prefix_cache_builds
+            );
+            // And with the registry's own counters.
+            assert_eq!(
+                telemetry.counter_value("measure.evaluations") as usize,
+                sm.stats.evaluations
+            );
+            assert_eq!(
+                telemetry.counter_value("measure.evaluations"),
+                telemetry.counter_value("measure.full_evals")
+                    + telemetry.counter_value("measure.prefix_cache_hits")
+            );
+            // The span tree covers every phase of the measurement.
+            for path in [
+                "measure",
+                "measure.base",
+                "measure.diagonal",
+                "measure.pairwise",
+            ] {
+                assert!(
+                    telemetry.span_stats(path).is_some(),
+                    "{threads} threads: span {path} missing"
+                );
+            }
+            assert!(telemetry
+                .span_stats("measure.pairwise.suffix_eval")
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn reused_registry_still_yields_per_run_stats() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let bits = BitWidthSet::new(&[2, 8]);
+        let telemetry = Telemetry::new();
+        let opts = SensitivityOptions {
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        };
+        let first = measure_sensitivities(&mut net, &set, &bits, &opts);
+        let second = measure_sensitivities(&mut net, &set, &bits, &opts);
+        // Stats are per-run deltas, not cumulative registry totals.
+        assert_eq!(second.stats.evaluations, first.stats.evaluations);
+        assert_eq!(second.stats.full_evals, first.stats.full_evals);
+        // The registry itself accumulated both runs.
+        assert_eq!(
+            telemetry.counter_value("measure.evaluations") as usize,
+            2 * first.stats.evaluations
+        );
     }
 
     #[test]

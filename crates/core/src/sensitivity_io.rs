@@ -289,6 +289,76 @@ mod tests {
         std::fs::remove_file(path).ok();
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(24))]
+
+        /// Every `SensitivityStats` field and every matrix entry must
+        /// survive a v2 save→load round trip *bit-exactly* — including
+        /// pathological payloads (NaN, ±0.0, subnormals) drawn straight
+        /// from the f64 bit space.
+        #[test]
+        fn v2_roundtrip_is_bit_exact(
+            layers in 1usize..=3,
+            raw in proptest::collection::vec((0u32..=u32::MAX, 0u32..=u32::MAX), 0..=45),
+            base in (0u32..=u32::MAX, 0u32..=u32::MAX),
+            (evaluations, full_evals) in (0usize..10_000, 0usize..10_000),
+            (threads_used, prefix_cache_builds) in (0usize..64, 0usize..10_000),
+            prefix_cache_hits in 0usize..10_000,
+            seconds in 0.0f64..1.0e6,
+        ) {
+            let f64_of = |(hi, lo): (u32, u32)| f64::from_bits(((hi as u64) << 32) | lo as u64);
+            let bits = BitWidthSet::standard();
+            let n = layers * bits.len();
+            let mut g = SymMatrix::zeros(n);
+            let mut entries = raw.iter().copied().map(f64_of).chain(std::iter::repeat(0.25));
+            for i in 0..n {
+                for j in i..n {
+                    g.set(i, j, entries.next().expect("infinite"));
+                }
+            }
+            let sens = SensitivityMatrix::from_parts(
+                g,
+                layers,
+                bits,
+                f64_of(base),
+                SensitivityStats {
+                    evaluations,
+                    seconds,
+                    threads_used,
+                    prefix_cache_builds,
+                    prefix_cache_hits,
+                    full_evals,
+                },
+            );
+            let path = temp("proptest");
+            save_sensitivities(&sens, &path).expect("save");
+            let loaded = load_sensitivities(&path).expect("load");
+            std::fs::remove_file(&path).ok();
+
+            proptest::prop_assert_eq!(loaded.num_layers(), sens.num_layers());
+            proptest::prop_assert_eq!(loaded.bits(), sens.bits());
+            proptest::prop_assert_eq!(loaded.base_loss.to_bits(), sens.base_loss.to_bits());
+            proptest::prop_assert_eq!(loaded.stats.evaluations, sens.stats.evaluations);
+            proptest::prop_assert_eq!(loaded.stats.seconds.to_bits(), sens.stats.seconds.to_bits());
+            proptest::prop_assert_eq!(loaded.stats.threads_used, sens.stats.threads_used);
+            proptest::prop_assert_eq!(
+                loaded.stats.prefix_cache_builds,
+                sens.stats.prefix_cache_builds
+            );
+            proptest::prop_assert_eq!(loaded.stats.prefix_cache_hits, sens.stats.prefix_cache_hits);
+            proptest::prop_assert_eq!(loaded.stats.full_evals, sens.stats.full_evals);
+            for i in 0..n {
+                for j in 0..n {
+                    proptest::prop_assert_eq!(
+                        loaded.matrix().get(i, j).to_bits(),
+                        sens.matrix().get(i, j).to_bits(),
+                        "matrix entry ({}, {}) changed bits", i, j
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn garbage_is_rejected() {
         let path = temp("garbage");

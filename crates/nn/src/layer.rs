@@ -346,6 +346,26 @@ impl Sequential {
             .fold(x, |acc, (_, l)| l.forward(acc, training))
     }
 
+    /// Name of the child at position `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= self.len()`.
+    pub fn stage_name(&self, stage: usize) -> &str {
+        &self.children[stage].0
+    }
+
+    /// Runs only the single child at position `stage` (one step of the
+    /// fold that [`Layer::forward`] performs over all children).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= self.len()`.
+    pub fn forward_stage(&mut self, stage: usize, x: Tensor, training: bool) -> Tensor {
+        let (_, layer) = &mut self.children[stage];
+        layer.forward(x, training)
+    }
+
     /// Visits the parameters of the single child at position `stage`,
     /// producing the same dotted paths as the full walk.
     ///

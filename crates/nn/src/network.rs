@@ -4,6 +4,7 @@
 
 use crate::layer::{Layer, Sequential};
 use crate::param::{Param, ParamRole};
+use clado_telemetry::Telemetry;
 use clado_tensor::Tensor;
 use std::fmt;
 
@@ -41,6 +42,11 @@ pub struct Network {
     /// resolved once at [`Network::reindex`] so the hot accessors need no
     /// string formatting or name comparisons.
     slots: Vec<usize>,
+    /// Optional telemetry handle. When enabled, [`Network::forward`] records
+    /// a per-stage span under `forward.<stage-name>`; when disabled (the
+    /// default) the forward path is exactly the plain fold with no timing
+    /// code in the loop.
+    telemetry: Telemetry,
 }
 
 impl Network {
@@ -56,6 +62,7 @@ impl Network {
             num_classes,
             quantizable: Vec::new(),
             slots: Vec::new(),
+            telemetry: Telemetry::disabled(),
         };
         net.reindex();
         net
@@ -133,9 +140,34 @@ impl Network {
         self.quantizable[index].stage
     }
 
+    /// Attaches a telemetry handle. With an enabled handle every
+    /// [`Network::forward`] records one span per root stage
+    /// (`forward.<stage-name>`); pass [`Telemetry::disabled`] to detach.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The currently attached telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Forward pass to logits `[N, num_classes]`.
     pub fn forward(&mut self, x: Tensor, training: bool) -> Tensor {
-        self.root.forward(x, training)
+        if !self.telemetry.is_enabled() {
+            return self.root.forward(x, training);
+        }
+        // Stage-by-stage execution performs the identical fold as
+        // `Sequential::forward`, so timed and untimed passes produce
+        // bitwise-equal activations.
+        let _span = self.telemetry.span("forward");
+        let mut acc = x;
+        for stage in 0..self.root.len() {
+            let path = format!("forward.{}", self.root.stage_name(stage));
+            let _s = self.telemetry.span(&path);
+            acc = self.root.forward_stage(stage, acc, training);
+        }
+        acc
     }
 
     /// Runs only the stages before `stage` and returns the boundary
@@ -500,6 +532,23 @@ mod tests {
         let delta = Tensor::full(replica.weight(0).shape(), 1.0);
         replica.perturb_weight(0, &delta);
         assert_ne!(replica.weight(0).data(), net.weight(0).data());
+    }
+
+    #[test]
+    fn forward_with_telemetry_matches_plain_forward_bitwise() {
+        let mut plain = tiny_net();
+        let mut timed = plain.clone();
+        let telemetry = Telemetry::new();
+        timed.set_telemetry(telemetry.clone());
+        let x = Tensor::full([2, 1, 6, 6], 0.25);
+        let a = plain.forward(x.clone(), false);
+        let b = timed.forward(x, false);
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+        let spans = telemetry.spans();
+        assert!(spans.iter().any(|(p, _)| p == "forward"));
+        assert!(spans.iter().any(|(p, _)| p == "forward.layer1"));
+        assert!(spans.iter().any(|(p, _)| p == "forward.fc"));
     }
 
     #[test]

@@ -41,6 +41,10 @@ struct Search<'p> {
     best_choices: Vec<usize>,
     best_obj: f64,
     nodes: u64,
+    /// Nodes cut by the LP-knapsack lower bound.
+    bound_prunes: u64,
+    /// Nodes (and children) cut by budget infeasibility.
+    feasibility_prunes: u64,
     max_nodes: u64,
     aborted: bool,
 }
@@ -98,6 +102,8 @@ impl<'p> Search<'p> {
             best_choices: warm.choices.clone(),
             best_obj: warm.objective,
             nodes: 0,
+            bound_prunes: 0,
+            feasibility_prunes: 0,
             max_nodes,
             aborted: false,
         }
@@ -135,6 +141,7 @@ impl<'p> Search<'p> {
         }
         // Budget feasibility prune.
         if self.assigned_cost + self.suffix_min_cost[depth] > self.problem.budget() {
+            self.feasibility_prunes += 1;
             return;
         }
         // LP-knapsack bound over the linearized remainder.
@@ -152,6 +159,7 @@ impl<'p> Search<'p> {
             .collect();
         let bound = self.assigned_obj + mckp_lp_bound(&classes, remaining_budget);
         if bound >= self.best_obj - 1e-12 {
+            self.bound_prunes += 1;
             return;
         }
         // Expand children, most promising linearized coefficient first.
@@ -164,6 +172,7 @@ impl<'p> Search<'p> {
             let v = self.problem.var(gi, m);
             let cost = self.problem.cost(gi, m);
             if self.assigned_cost + cost + self.suffix_min_cost[depth + 1] > self.problem.budget() {
+                self.feasibility_prunes += 1;
                 continue;
             }
             // Push.
@@ -201,6 +210,10 @@ pub(super) fn solve(
 ) -> Result<Solution, IqpError> {
     let mut search = Search::new(problem, &warm, config.max_nodes);
     search.dfs(0);
+    let telemetry = &config.telemetry;
+    telemetry.add("solver.iqp.nodes", search.nodes);
+    telemetry.add("solver.iqp.bound_prunes", search.bound_prunes);
+    telemetry.add("solver.iqp.feasibility_prunes", search.feasibility_prunes);
     let choices = search.best_choices;
     let objective = problem.assignment_objective(&choices);
     let cost = problem.assignment_cost(&choices);

@@ -26,6 +26,7 @@ mod exhaustive;
 mod local;
 
 use crate::SymMatrix;
+use clado_telemetry::Telemetry;
 use std::fmt;
 
 /// Errors produced when building or solving an [`IqpProblem`].
@@ -131,6 +132,9 @@ pub struct SolverConfig {
     pub restarts: usize,
     /// RNG seed for local-search perturbations.
     pub seed: u64,
+    /// Telemetry sink for solve spans and node/prune counters; never
+    /// affects the solution.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SolverConfig {
@@ -140,6 +144,7 @@ impl Default for SolverConfig {
             max_nodes: 2_000_000,
             restarts: 24,
             seed: 0x51AD0,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -338,12 +343,27 @@ impl IqpProblem {
     /// (already checked at construction, so in practice this does not
     /// occur for problems built through [`IqpProblem::new`]).
     pub fn solve(&self, config: &SolverConfig) -> Result<Solution, IqpError> {
+        let telemetry = &config.telemetry;
+        let _span = telemetry.span("solver.iqp");
         match config.method {
-            SolveMethod::Exhaustive => exhaustive::solve(self),
-            SolveMethod::DynamicProgramming => dp::solve(self),
-            SolveMethod::LocalSearch => local::solve(self, config),
+            SolveMethod::Exhaustive => {
+                let _s = telemetry.span("solver.iqp.exhaustive");
+                exhaustive::solve(self)
+            }
+            SolveMethod::DynamicProgramming => {
+                let _s = telemetry.span("solver.iqp.dp");
+                dp::solve(self)
+            }
+            SolveMethod::LocalSearch => {
+                let _s = telemetry.span("solver.iqp.local");
+                local::solve(self, config)
+            }
             SolveMethod::BranchAndBound | SolveMethod::Auto => {
-                let warm = local::solve(self, config)?;
+                let warm = {
+                    let _s = telemetry.span("solver.iqp.local");
+                    local::solve(self, config)?
+                };
+                let _s = telemetry.span("solver.iqp.branch");
                 bnb::solve(self, config, warm)
             }
         }
@@ -447,6 +467,30 @@ mod tests {
             assert!(sol.cost <= p.budget());
         }
         assert!(exhaustive.proved_optimal);
+    }
+
+    #[test]
+    fn telemetry_records_solve_spans_and_node_counters() {
+        let p = cross_term_instance();
+        let telemetry = Telemetry::new();
+        let sol = p
+            .solve(&SolverConfig {
+                method: SolveMethod::BranchAndBound,
+                telemetry: telemetry.clone(),
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(
+            telemetry.counter_value("solver.iqp.nodes"),
+            sol.nodes_explored
+        );
+        assert!(telemetry.span_stats("solver.iqp").is_some());
+        assert!(telemetry.span_stats("solver.iqp.local").is_some());
+        assert!(telemetry.span_stats("solver.iqp.branch").is_some());
+        // At least one of the prune counters fires on this instance.
+        let prunes = telemetry.counter_value("solver.iqp.bound_prunes")
+            + telemetry.counter_value("solver.iqp.feasibility_prunes");
+        assert!(prunes > 0, "no prunes recorded");
     }
 
     #[test]

@@ -29,4 +29,4 @@ mod iqp;
 mod linalg;
 
 pub use iqp::{IqpError, IqpProblem, Solution, SolveMethod, SolverConfig};
-pub use linalg::{EigenDecomposition, SymMatrix};
+pub use linalg::{EigenDecomposition, PsdProjection, SymMatrix};

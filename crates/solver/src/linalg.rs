@@ -150,6 +150,7 @@ impl SymMatrix {
             v[i * n + i] = 1.0;
         }
         let norm = self.frobenius_norm().max(f64::MIN_POSITIVE);
+        let mut sweeps = 0usize;
         for _sweep in 0..JACOBI_MAX_SWEEPS {
             let mut off = 0.0;
             for i in 0..n {
@@ -160,6 +161,7 @@ impl SymMatrix {
             if off.sqrt() <= JACOBI_TOL * norm {
                 break;
             }
+            sweeps += 1;
             for p in 0..n {
                 for q in (p + 1)..n {
                     let apq = a[p * n + q];
@@ -204,15 +206,32 @@ impl SymMatrix {
                 vectors[k * n + new_col] = v[k * n + old_col];
             }
         }
-        EigenDecomposition { n, values, vectors }
+        EigenDecomposition {
+            n,
+            values,
+            vectors,
+            sweeps,
+        }
     }
 
     /// Projects the matrix onto the PSD cone: eigendecompose, clamp negative
     /// eigenvalues to zero, reassemble (Algorithm 1's final preprocessing
     /// step before the IQP solve).
     pub fn psd_project(&self) -> Self {
+        self.psd_project_stats().matrix
+    }
+
+    /// [`SymMatrix::psd_project`] plus observability: how many eigenvalues
+    /// were clamped to zero and how many Jacobi sweeps the decomposition
+    /// took (surfaced as telemetry counters by `clado-core`).
+    pub fn psd_project_stats(&self) -> PsdProjection {
         let eig = self.eigen();
-        eig.reassemble_with(|e| e.max(0.0))
+        let clipped = eig.values.iter().filter(|&&e| e < 0.0).count();
+        PsdProjection {
+            matrix: eig.reassemble_with(|e| e.max(0.0)),
+            clipped,
+            sweeps: eig.sweeps,
+        }
     }
 
     /// Smallest eigenvalue (convexity diagnostic).
@@ -243,6 +262,19 @@ pub struct EigenDecomposition {
     pub values: Vec<f64>,
     /// Row-major `n×n` matrix whose columns are eigenvectors.
     pub vectors: Vec<f64>,
+    /// Jacobi sweeps performed before the off-diagonal norm converged.
+    pub sweeps: usize,
+}
+
+/// Result of [`SymMatrix::psd_project_stats`].
+#[derive(Debug, Clone)]
+pub struct PsdProjection {
+    /// The projected (PSD) matrix.
+    pub matrix: SymMatrix,
+    /// Number of negative eigenvalues clamped to zero.
+    pub clipped: usize,
+    /// Jacobi sweeps the eigendecomposition took.
+    pub sweeps: usize,
 }
 
 impl EigenDecomposition {
@@ -401,6 +433,24 @@ mod tests {
         for x in [[1.0, 0.0, 0.0], [1.0, -2.0, 0.5], [-0.3, 0.7, 1.1]] {
             assert!(p.quadratic_form(&x) >= -1e-9);
         }
+    }
+
+    #[test]
+    fn psd_project_stats_reports_clip_and_sweep_counts() {
+        let mut a = SymMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, 1.0);
+        a.set(0, 1, 2.0); // eigenvalues -1 and 3
+        let proj = a.psd_project_stats();
+        assert_eq!(proj.clipped, 1);
+        assert!(proj.sweeps >= 1);
+        assert_eq!(proj.matrix, a.psd_project());
+        // An already-diagonal matrix converges without any sweep and clips
+        // nothing.
+        let d = SymMatrix::identity(3);
+        let proj = d.psd_project_stats();
+        assert_eq!(proj.sweeps, 0);
+        assert_eq!(proj.clipped, 0);
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! Embeds the current git revision into the crate so run manifests can
+//! record which commit produced them. Falls back to "unknown" outside a
+//! git checkout (e.g. from a source tarball).
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .filter(|h| !h.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=CLADO_GIT_HASH={hash}");
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

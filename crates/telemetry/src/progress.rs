@@ -1,0 +1,148 @@
+//! Rate-limited stderr progress reporting, safe under multi-threaded
+//! fan-out: any number of workers may tick the same reporter; at most
+//! two lines per second are printed (plus a final line on `finish`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const MIN_INTERVAL_MS: u64 = 500;
+
+struct Inner {
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    start: Instant,
+    /// Milliseconds since `start` of the last printed line.
+    last_print: AtomicU64,
+}
+
+/// Progress reporter handed out by `Telemetry::progress`. Cloneable;
+/// clones share the same item count. Silent when created disabled.
+#[derive(Clone, Default)]
+pub struct Progress {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Progress {
+    pub(crate) fn new(label: &str, total: u64, enabled: bool) -> Self {
+        Progress {
+            inner: enabled.then(|| {
+                Arc::new(Inner {
+                    label: label.to_string(),
+                    total,
+                    done: AtomicU64::new(0),
+                    start: Instant::now(),
+                    last_print: AtomicU64::new(0),
+                })
+            }),
+        }
+    }
+
+    /// Marks one item complete.
+    pub fn tick(&self) {
+        self.add(1);
+    }
+
+    /// Marks `n` items complete, printing a line if the rate limit
+    /// allows. Exactly one of any set of racing workers wins the
+    /// compare-exchange and prints.
+    pub fn add(&self, n: u64) {
+        let Some(inner) = &self.inner else {
+            return;
+        };
+        let done = inner.done.fetch_add(n, Ordering::Relaxed) + n;
+        let now_ms = inner.start.elapsed().as_millis() as u64;
+        let last = inner.last_print.load(Ordering::Relaxed);
+        if now_ms.saturating_sub(last) < MIN_INTERVAL_MS {
+            return;
+        }
+        if inner
+            .last_print
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            eprintln!("{}", render(inner, done, now_ms));
+        }
+    }
+
+    /// Prints a final line (regardless of the rate limit) and disables
+    /// further output from this handle's clones.
+    pub fn finish(&self) {
+        if let Some(inner) = &self.inner {
+            let done = inner.done.load(Ordering::Relaxed);
+            let now_ms = inner.start.elapsed().as_millis() as u64;
+            eprintln!("{}", render(inner, done, now_ms));
+        }
+    }
+
+    /// Items completed so far.
+    pub fn done(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.done.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+fn render(inner: &Inner, done: u64, now_ms: u64) -> String {
+    let secs = (now_ms as f64 / 1000.0).max(1e-3);
+    let rate = done as f64 / secs;
+    let eta = if rate > 0.0 && done < inner.total {
+        format!(", ETA {:.0}s", (inner.total - done) as f64 / rate)
+    } else {
+        String::new()
+    };
+    format!(
+        "  {}: {}/{} ({:.1}/s{})",
+        inner.label, done, inner.total, rate, eta
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_progress_is_silent_and_counts_nothing() {
+        let p = Progress::new("x", 10, false);
+        p.tick();
+        p.add(5);
+        p.finish();
+        assert_eq!(p.done(), 0);
+    }
+
+    #[test]
+    fn ticks_accumulate_across_clones_and_threads() {
+        let p = Progress::new("probes", 4000, true);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = p.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        p.tick();
+                    }
+                });
+            }
+        });
+        assert_eq!(p.done(), 4000);
+    }
+
+    #[test]
+    fn render_reports_counts_rate_and_eta() {
+        let inner = Inner {
+            label: "pairwise".to_string(),
+            total: 100,
+            done: AtomicU64::new(50),
+            start: Instant::now(),
+            last_print: AtomicU64::new(0),
+        };
+        let line = render(&inner, 50, 5000);
+        assert!(line.contains("pairwise: 50/100"), "{line}");
+        assert!(line.contains("10.0/s"), "{line}");
+        assert!(line.contains("ETA 5s"), "{line}");
+        // Completed: no ETA.
+        let done_line = render(&inner, 100, 5000);
+        assert!(!done_line.contains("ETA"), "{done_line}");
+    }
+}

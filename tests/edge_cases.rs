@@ -88,8 +88,8 @@ fn zoo_builders_are_deterministic() {
 /// Different seeds give different weights (no accidental seed pinning).
 #[test]
 fn zoo_builders_respect_the_seed() {
-    let mut a = build_vit(&ViTConfig::vit_mini(10, 1));
-    let mut b = build_vit(&ViTConfig::vit_mini(10, 2));
+    let a = build_vit(&ViTConfig::vit_mini(10, 1));
+    let b = build_vit(&ViTConfig::vit_mini(10, 2));
     assert_ne!(a.weight(0).data(), b.weight(0).data());
 }
 
