@@ -24,7 +24,8 @@ fn run(kind: ModelKind, bit: u8) {
         &sens_set,
         &bits,
         &SensitivityOptions::default(),
-    );
+    )
+    .expect("sensitivity measurement");
     let names: Vec<String> = p
         .network
         .quantizable_layers()

@@ -1,14 +1,21 @@
 //! Measurement-engine benchmark — serial/full-forward vs parallel/
 //! prefix-cached sensitivity measurement on a ResNet-style model.
 //!
-//! Runs Algorithm 1 four times on the same (untrained) ResNet-20 analogue
+//! Runs Algorithm 1 five times on the same (untrained) ResNet-20 analogue
 //! and sensitivity set — (a) one thread with the prefix cache disabled
 //! (the pre-engine baseline), (b) one thread with the cache, (c) all cores
-//! with the cache, (d) configuration (b) again with telemetry enabled —
-//! checks all four matrices are bitwise identical, and records the
-//! timings (including the telemetry overhead ratio (d)/(b)) to
+//! with the cache, (d) configuration (b) again with telemetry enabled,
+//! (e) configuration (b) with probe journaling to a checkpoint directory —
+//! checks all five matrices are bitwise identical, and records the
+//! timings (including the telemetry overhead ratio (d)/(b) and the
+//! fault-free checkpointing overhead ratio (e)/(b)) to
 //! `BENCH_sensitivity.json` at the repo root, as a
 //! `clado-telemetry-manifest/v1` document.
+//!
+//! The overhead ratios compare configurations whose true difference is a
+//! few percent, far below single-shot wall-time noise on a busy machine,
+//! so configurations (b), (d), and (e) each run `REPS` times and the
+//! ratios use the minimum wall time of each.
 //!
 //! ```text
 //! cargo bench -p clado-bench --bench sensitivity_engine
@@ -20,11 +27,28 @@ use clado_quant::BitWidthSet;
 use clado_telemetry::Telemetry;
 use std::path::Path;
 
+/// Repetitions for the noise-sensitive overhead configurations.
+const REPS: usize = 3;
+
+/// Runs a configuration `REPS` times; returns the first matrix (they are
+/// all bitwise identical) and the minimum wall time across repetitions.
+fn best_of(mut run: impl FnMut() -> SensitivityMatrix) -> (SensitivityMatrix, f64) {
+    let mut first: Option<SensitivityMatrix> = None;
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let sm = run();
+        best = best.min(sm.stats.seconds);
+        first.get_or_insert(sm);
+    }
+    (first.expect("REPS >= 1"), best)
+}
+
 fn measure(
     label: &str,
     threads: usize,
     use_prefix_cache: bool,
     telemetry: Telemetry,
+    checkpoint_dir: Option<std::path::PathBuf>,
 ) -> SensitivityMatrix {
     let mut network = build_resnet(&ResNetConfig::resnet20_mini(10, 41));
     let data = SynthVision::generate(SynthVisionConfig {
@@ -41,9 +65,11 @@ fn measure(
             threads,
             use_prefix_cache,
             telemetry,
+            checkpoint_dir,
             ..Default::default()
         },
-    );
+    )
+    .expect("sensitivity measurement");
     println!(
         "  {label:<28} {:>7.2}s   {} threads, {} full + {} suffix evals",
         sm.stats.seconds, sm.stats.threads_used, sm.stats.full_evals, sm.stats.prefix_cache_hits
@@ -67,30 +93,73 @@ fn assert_bitwise_equal(a: &SensitivityMatrix, b: &SensitivityMatrix, label: &st
 
 fn main() {
     println!("=== Sensitivity-measurement engine: serial/full vs parallel/prefix ===");
-    let naive = measure("serial, full forward", 1, false, Telemetry::disabled());
-    let cached = measure("serial, prefix cache", 1, true, Telemetry::disabled());
-    let parallel = measure("all cores, prefix cache", 0, true, Telemetry::disabled());
+    let naive = measure(
+        "serial, full forward",
+        1,
+        false,
+        Telemetry::disabled(),
+        None,
+    );
+    let (cached, cached_secs) =
+        best_of(|| measure("serial, prefix cache", 1, true, Telemetry::disabled(), None));
+    let parallel = measure(
+        "all cores, prefix cache",
+        0,
+        true,
+        Telemetry::disabled(),
+        None,
+    );
     let registry = Telemetry::new();
-    let timed = measure("serial, prefix + telemetry", 1, true, registry.clone());
+    let (timed, timed_secs) = best_of(|| {
+        measure(
+            "serial, prefix + telemetry",
+            1,
+            true,
+            registry.clone(),
+            None,
+        )
+    });
+    let ckpt_dir = std::env::temp_dir().join(format!("clado-bench-ckpt-{}", std::process::id()));
+    let (journaled, journaled_secs) = best_of(|| {
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+        measure(
+            "serial, prefix + journal",
+            1,
+            true,
+            Telemetry::disabled(),
+            Some(ckpt_dir.clone()),
+        )
+    });
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
     assert_bitwise_equal(&naive, &cached, "prefix cache changed the matrix");
     assert_bitwise_equal(&naive, &parallel, "parallelism changed the matrix");
     assert_bitwise_equal(&naive, &timed, "telemetry changed the matrix");
+    assert_bitwise_equal(&naive, &journaled, "journaling changed the matrix");
+    assert_eq!(
+        journaled.stats.resumed + journaled.stats.retried + journaled.stats.quarantined,
+        0,
+        "a fault-free checkpointed run must not report recovery activity"
+    );
 
-    let cache_speedup = naive.stats.seconds / cached.stats.seconds;
+    let cache_speedup = naive.stats.seconds / cached_secs;
     let total_speedup = naive.stats.seconds / parallel.stats.seconds;
-    let overhead_ratio = timed.stats.seconds / cached.stats.seconds;
+    let overhead_ratio = timed_secs / cached_secs;
+    let checkpoint_overhead = journaled_secs / cached_secs;
     println!("  prefix-cache speedup  {cache_speedup:>6.2}×");
     println!("  combined speedup      {total_speedup:>6.2}×   (matrices bitwise identical)");
     println!("  telemetry overhead    {overhead_ratio:>6.3}×   (enabled / disabled wall time)");
+    println!("  checkpoint overhead   {checkpoint_overhead:>6.3}×   (journaled / plain wall time)");
 
     // The bench record *is* a telemetry manifest: timings land in gauges,
     // the instrumented run's counters and span tree come along for free.
     registry.set_gauge("bench.serial_full_seconds", naive.stats.seconds);
-    registry.set_gauge("bench.serial_prefix_seconds", cached.stats.seconds);
+    registry.set_gauge("bench.serial_prefix_seconds", cached_secs);
     registry.set_gauge("bench.parallel_prefix_seconds", parallel.stats.seconds);
     registry.set_gauge("bench.prefix_cache_speedup", cache_speedup);
     registry.set_gauge("bench.combined_speedup", total_speedup);
     registry.set_gauge("telemetry.overhead_ratio", overhead_ratio);
+    registry.set_gauge("bench.serial_journal_seconds", journaled_secs);
+    registry.set_gauge("bench.checkpoint_overhead_ratio", checkpoint_overhead);
     let json = registry.manifest(
         "bench.sensitivity_engine",
         &[
@@ -98,6 +167,9 @@ fn main() {
             ("threads", parallel.stats.threads_used.into()),
             ("evaluations", naive.stats.evaluations.into()),
             ("bitwise_identical", true.into()),
+            ("resumed", journaled.stats.resumed.into()),
+            ("retried", journaled.stats.retried.into()),
+            ("quarantined", journaled.stats.quarantined.into()),
         ],
     );
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sensitivity.json");

@@ -30,6 +30,9 @@ COMMANDS:
                                   run Algorithm 1 and persist Ĝ
                [--set-size 128] [--set-seed 0] [--bits 2,4,8] [--scheme symmetric|affine]
                [--threads N (0 = all cores)] [--no-prefix-cache] [--verbose]
+               [--checkpoint-dir <dir>   journal each probe for crash-safe resume]
+               [--resume                 restore completed probes from the journal]
+               [--retries N (default 1)  per-probe retry budget on worker panics]
   assign       --model <id> --avg-bits <f>
                                   solve eq. (11) and report the bit map + PTQ accuracy
                [--sens <file.clsm>] [--algorithm clado|clado-star|block|hawq|mpqco]
@@ -182,6 +185,13 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
     let set_seed: u64 = args.get_or("set-seed", 0)?;
     let bits = BitWidthSet::new(&args.u8_list_or("bits", &[2, 4, 8])?);
     let scheme = scheme_of(args)?;
+    let checkpoint_dir = args.get("checkpoint-dir").map(PathBuf::from);
+    let resume = args.switch("resume");
+    if resume && checkpoint_dir.is_none() {
+        return Err(Box::new(ArgsError(
+            "--resume requires --checkpoint-dir".into(),
+        )));
+    }
 
     let (mut p, sens_set) = {
         let _s = run.telemetry.span("load");
@@ -202,9 +212,12 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
             threads: args.get_or("threads", 0)?,
             use_prefix_cache: !args.switch("no-prefix-cache"),
             telemetry: run.telemetry.clone(),
+            checkpoint_dir,
+            resume,
+            retries: args.get_or("retries", 1)?,
             ..Default::default()
         },
-    );
+    )?;
     {
         let _s = run.telemetry.span("save");
         save_sensitivities(&sm, &out)?;
@@ -217,6 +230,12 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
         sm.stats.seconds,
         out.display()
     );
+    if sm.stats.resumed + sm.stats.retried + sm.stats.quarantined > 0 {
+        run.info(&format!(
+            "fault recovery: {} probes resumed from journal, {} retried, {} quarantined",
+            sm.stats.resumed, sm.stats.retried, sm.stats.quarantined
+        ));
+    }
     run.finish(
         "sensitivity",
         &[
@@ -226,6 +245,10 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
             ("scheme", format!("{scheme:?}").into()),
             ("set_size", set_size.into()),
             ("seed", set_seed.into()),
+            ("resume", resume.into()),
+            ("resumed", sm.stats.resumed.into()),
+            ("retried", sm.stats.retried.into()),
+            ("quarantined", sm.stats.quarantined.into()),
         ],
     )
 }

@@ -138,6 +138,148 @@ fn measure_alias_is_quiet_and_writes_a_valid_manifest() {
     assert!(coverage >= 0.95, "span coverage {coverage} below 95%");
 }
 
+/// The headline fault-injection scenario: a `sensitivity` sweep is
+/// SIGKILL-style aborted mid-run (no unwinding, no flushing) via the
+/// `journal.commit` fail point, then resumed with `--resume`. The resumed
+/// run must produce a bitwise-identical `.clsm` file to an uninterrupted
+/// reference run, and its manifest must report the recovery counters.
+///
+/// Fail points only exist in debug builds, so this test is compiled out
+/// under `--release` (where the same run would simply never crash).
+#[cfg(debug_assertions)]
+#[test]
+fn sensitivity_killed_mid_sweep_resumes_bitwise_identical() {
+    use clado_core::load_sensitivities;
+
+    let dir = std::env::temp_dir().join(format!("clado-cli-faultinj-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt = dir.join("ckpt");
+    let recovered = dir.join("recovered.clsm");
+    let reference = dir.join("reference.clsm");
+    let manifest = dir.join("recovered-manifest.json");
+    let base_args = |out: &std::path::Path| {
+        vec![
+            "sensitivity".to_string(),
+            "--model".into(),
+            "resnet20".into(),
+            "--out".into(),
+            out.to_str().expect("utf8 path").into(),
+            "--set-size".into(),
+            "8".into(),
+            "--bits".into(),
+            "4,8".into(),
+            "--quiet".into(),
+        ]
+    };
+
+    // Uninterrupted reference run (no checkpointing, no fail points).
+    let out = clado()
+        .args(base_args(&reference))
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Kill the checkpointed sweep at its 15th journal commit — roughly
+    // 50% through the 30 work items (1 base + 15 diagonal + 14 pairwise).
+    let mut args = base_args(&recovered);
+    args.push("--checkpoint-dir".into());
+    args.push(ckpt.to_str().expect("utf8 path").into());
+    let out = clado()
+        .args(&args)
+        .env("CLADO_FAULTPOINTS", "journal.commit=abort,skip=14")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "the armed abort must kill the sweep");
+    assert!(!recovered.exists(), "no .clsm may appear from a dead sweep");
+    let shards = std::fs::read_dir(&ckpt)
+        .expect("checkpoint dir exists")
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "clsj")
+        })
+        .count();
+    assert_eq!(shards, 14, "commits before the abort are durable");
+
+    // Resume: journaled probes restore, the rest re-measure.
+    args.push("--resume".into());
+    args.push("--metrics-out".into());
+    args.push(manifest.to_str().expect("utf8 path").into());
+    let out = clado().args(&args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Bitwise-identical matrix, base loss, and dimensions.
+    let a = load_sensitivities(&reference).expect("reference .clsm loads");
+    let b = load_sensitivities(&recovered).expect("recovered .clsm loads");
+    assert_eq!(a.base_loss.to_bits(), b.base_loss.to_bits(), "base loss");
+    let dim = a.matrix().dim();
+    assert_eq!(dim, b.matrix().dim());
+    for u in 0..dim {
+        for v in u..dim {
+            assert_eq!(
+                a.matrix().get(u, v).to_bits(),
+                b.matrix().get(u, v).to_bits(),
+                "entry ({u},{v}) differs after resume"
+            );
+        }
+    }
+    assert!(b.stats.resumed > 0, "recovered run restored probes");
+    assert_eq!(
+        b.stats.resumed + b.stats.evaluations,
+        a.stats.evaluations,
+        "every probe was either resumed or re-measured exactly once"
+    );
+
+    // The manifest records the recovery.
+    let doc = std::fs::read_to_string(&manifest).expect("manifest written");
+    let j = parse_json(&doc).expect("manifest parses as JSON");
+    let config_num = |name: &str| {
+        j.get("config")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_num)
+            .unwrap_or_else(|| panic!("config.{name} missing"))
+    };
+    assert!(
+        config_num("resumed") > 0.0,
+        "manifest reports resumed probes"
+    );
+    assert_eq!(config_num("resumed"), b.stats.resumed as f64);
+    assert_eq!(config_num("retried"), b.stats.retried as f64);
+    assert_eq!(config_num("quarantined"), b.stats.quarantined as f64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sensitivity_resume_requires_checkpoint_dir() {
+    let out = clado()
+        .args([
+            "sensitivity",
+            "--model",
+            "resnet20",
+            "--out",
+            "unused.clsm",
+            "--resume",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--checkpoint-dir"),
+        "error names the missing flag"
+    );
+}
+
 #[test]
 fn invalid_model_is_reported() {
     let out = clado()

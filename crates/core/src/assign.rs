@@ -95,6 +95,12 @@ pub fn assign_bits(
         CladoVariant::DiagonalOnly => sens.diagonal_only(),
         CladoVariant::BlockOnly(blocks) => sens.block_masked(blocks),
     };
+    // Validate before the eigendecomposition: a NaN that slipped past the
+    // measurement-time quarantine would otherwise corrupt every eigenvalue
+    // sweep instead of being reported at its source entry.
+    if let Some((row, col, value)) = matrix.first_non_finite() {
+        return Err(IqpError::NonFiniteObjective { row, col, value });
+    }
     let matrix = if options.skip_psd {
         matrix
     } else {
@@ -106,6 +112,9 @@ pub fn assign_bits(
         options
             .telemetry
             .add("assign.eigen_sweeps", proj.sweeps as u64);
+        options
+            .telemetry
+            .set_gauge("assign.psd_clip_mass", proj.clipped_mass);
         proj.matrix
     };
     solve_with_matrix(&matrix, sens.bits(), sizes, budget_bits, &options.solver)
@@ -201,7 +210,8 @@ mod tests {
         let (mut net, data) = setup();
         let set = data.train.subset(&(0..24).collect::<Vec<_>>());
         let bits = BitWidthSet::standard();
-        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default())
+            .expect("measure");
         let sizes = LayerSizes::new(net.layer_param_counts());
 
         // Generous budget: the solution must fit and be at least as good as
@@ -242,7 +252,7 @@ mod tests {
         let set = data.train.subset(&(0..32).collect::<Vec<_>>());
         let bits = BitWidthSet::standard();
         let opts = SensitivityOptions::default();
-        let sm = measure_sensitivities(&mut net, &set, &bits, &opts);
+        let sm = measure_sensitivities(&mut net, &set, &bits, &opts).expect("measure");
         let sizes = LayerSizes::new(net.layer_param_counts());
         let budget = sizes.budget_from_avg_bits(5.0);
         let a = assign_bits(
@@ -275,7 +285,8 @@ mod tests {
         let (mut net, data) = setup();
         let set = data.train.subset(&(0..16).collect::<Vec<_>>());
         let bits = BitWidthSet::standard();
-        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default())
+            .expect("measure");
         let sizes = LayerSizes::new(net.layer_param_counts());
         let budget = sizes.budget_from_avg_bits(4.0);
         let full = assign_bits(&sm, &sizes, budget, &AssignOptions::default()).unwrap();
@@ -298,11 +309,57 @@ mod tests {
         let (mut net, data) = setup();
         let set = data.train.subset(&(0..8).collect::<Vec<_>>());
         let bits = BitWidthSet::standard();
-        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default())
+            .expect("measure");
         let sizes = LayerSizes::new(net.layer_param_counts());
         let impossible = sizes.budget_from_avg_bits(1.0); // below 2-bit minimum
         let err = assign_bits(&sm, &sizes, impossible, &AssignOptions::default()).unwrap_err();
         assert!(matches!(err, IqpError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn poisoned_matrix_is_rejected_before_the_eigensolver() {
+        let bits = BitWidthSet::standard();
+        let n = 2 * bits.len();
+        let mut g = SymMatrix::zeros(n);
+        for i in 0..n {
+            g.set(i, i, 0.1);
+        }
+        g.set(1, 4, f64::NAN);
+        let sm =
+            crate::sensitivity::SensitivityMatrix::from_parts(g, 2, bits, 0.5, Default::default());
+        let sizes = LayerSizes::new(vec![10, 10]);
+        let err = assign_bits(&sm, &sizes, u64::MAX, &AssignOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, IqpError::NonFiniteObjective { row: 1, col: 4, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn psd_projection_records_clip_mass_gauge() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let bits = BitWidthSet::standard();
+        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default())
+            .expect("measure");
+        let sizes = LayerSizes::new(net.layer_param_counts());
+        let telemetry = Telemetry::new();
+        let budget = sizes.budget_from_avg_bits(4.0);
+        assign_bits(
+            &sm,
+            &sizes,
+            budget,
+            &AssignOptions {
+                telemetry: telemetry.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mass = telemetry
+            .gauge_value("assign.psd_clip_mass")
+            .expect("gauge recorded");
+        assert!(mass >= 0.0 && mass.is_finite(), "clip mass {mass}");
     }
 
     #[test]

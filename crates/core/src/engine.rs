@@ -9,10 +9,22 @@
 //! shared read-only state — workers restore their replica to the template's
 //! exact weights between items — the output is bitwise identical regardless
 //! of thread count.
+//!
+//! [`replica_map_checked`] is the fault-tolerant core: per-item panics are
+//! caught, the replica is restored from the template snapshot, the item is
+//! retried up to a bounded budget, and only then is the failure surfaced
+//! as a typed [`MeasureError`] — after every already-completed result has
+//! been streamed through the caller's `sink` (which the sensitivity layer
+//! uses to journal probes as they finish). A worker thread that dies
+//! without reporting (a panic outside the per-item guard, or an abort
+//! that somehow unwinds) maps to [`MeasureError::WorkerLost`] instead of
+//! the old useless `expect` abort.
 
+use crate::errors::MeasureError;
 use clado_nn::Network;
-use clado_telemetry::panic_message;
+use clado_telemetry::{faultpoint, panic_message};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
 
 /// Resolves a requested worker count: `0` means "all available cores".
 pub(crate) fn resolve_threads(requested: usize) -> usize {
@@ -25,13 +37,197 @@ pub(crate) fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// Per-item outcome streamed out of the workers.
+type ItemResult<R> = (usize, Result<(usize, R), (usize, String)>);
+
 /// Maps `f` over `items` on up to `threads` worker threads, each owning a
-/// private clone of `template`. Results are returned in item order.
+/// private clone of `template`. Results are returned in item order,
+/// together with the total number of per-item retries that were needed.
 ///
 /// `f` must leave the replica's weights exactly as it found them (restore
 /// from a shared snapshot, not by subtracting deltas), so that an item's
 /// result does not depend on which items ran before it on the same
 /// replica. Under that contract the result is independent of `threads`.
+///
+/// A panic inside `f` is caught per item; the replica is restored to the
+/// template's weights and the item retried up to `retry_budget` times
+/// before the failure is recorded. Failed items do not stop the sweep —
+/// the remaining items still run (and still reach `sink`), so a journaling
+/// caller salvages every completed probe before the error is returned.
+///
+/// `sink` observes each completed `(item, result)` from the calling
+/// thread, in arrival order (item order when `threads <= 1`). A sink
+/// error stops further sink calls and takes precedence over worker
+/// failures in the returned error.
+///
+/// # Errors
+///
+/// - The first `sink` error, if any.
+/// - [`MeasureError::WorkerPanic`] for the lowest-indexed item whose
+///   retries were exhausted.
+/// - [`MeasureError::WorkerLost`] if a worker thread died without
+///   reporting a result.
+pub(crate) fn replica_map_checked<T, R, F, S>(
+    template: &Network,
+    threads: usize,
+    items: &[T],
+    retry_budget: usize,
+    f: F,
+    mut sink: S,
+) -> Result<(Vec<R>, u64), MeasureError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut Network, &T) -> R + Sync,
+    S: FnMut(usize, &R) -> Result<(), MeasureError>,
+{
+    let pristine = template.snapshot_weights();
+    let run_item = |replica: &mut Network, i: usize| -> Result<(usize, R), (usize, String)> {
+        let mut attempt = 0usize;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| f(&mut *replica, &items[i]))) {
+                Ok(r) => return Ok((attempt, r)),
+                Err(payload) => {
+                    // The closure died mid-probe; its replica may hold a
+                    // half-applied perturbation, so rebuild pristine
+                    // weights before retrying (or moving on).
+                    replica.restore_weights(&pristine);
+                    let message = panic_message(&*payload);
+                    if attempt >= retry_budget {
+                        return Err((attempt, message));
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    };
+
+    let workers = threads.clamp(1, items.len().max(1));
+    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let mut retries = 0u64;
+    let mut failures: Vec<(usize, usize, String)> = Vec::new();
+    let mut sink_error: Option<MeasureError> = None;
+    let mut apply = |i: usize,
+                     outcome: Result<(usize, R), (usize, String)>,
+                     results: &mut Vec<Option<R>>,
+                     sink_error: &mut Option<MeasureError>,
+                     retries: &mut u64,
+                     failures: &mut Vec<(usize, usize, String)>| {
+        match outcome {
+            Ok((attempts, r)) => {
+                *retries += attempts as u64;
+                if sink_error.is_none() {
+                    if let Err(e) = sink(i, &r) {
+                        *sink_error = Some(e);
+                    }
+                }
+                results[i] = Some(r);
+            }
+            Err((attempts, message)) => {
+                *retries += attempts as u64;
+                failures.push((i, attempts, message));
+            }
+        }
+    };
+
+    let mut lost: Vec<usize> = Vec::new();
+    if workers <= 1 {
+        let mut replica = template.clone();
+        for i in 0..items.len() {
+            // Fail point: simulate the worker thread being killed between
+            // items (outside the per-item panic guard). In the serial
+            // path this unwinds the caller directly, which is exactly a
+            // "lost worker" for a one-thread sweep.
+            faultpoint!("engine.worker_kill");
+            let outcome = run_item(&mut replica, i);
+            apply(
+                i,
+                outcome,
+                &mut results,
+                &mut sink_error,
+                &mut retries,
+                &mut failures,
+            );
+        }
+    } else {
+        let mut replicas: Vec<Network> = (0..workers).map(|_| template.clone()).collect();
+        let (tx, rx) = mpsc::channel::<ItemResult<R>>();
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(workers);
+            for (w, replica) in replicas.iter_mut().enumerate() {
+                let run_item = &run_item;
+                let tx = tx.clone();
+                handles.push(s.spawn(move || {
+                    let mut i = w;
+                    while i < items.len() {
+                        // Fail point: a panic here is OUTSIDE the per-item
+                        // guard, so the thread dies without reporting —
+                        // the join below sees `Err` and maps it to
+                        // `WorkerLost`.
+                        faultpoint!("engine.worker_kill");
+                        let outcome = run_item(&mut *replica, i);
+                        if tx.send((i, outcome)).is_err() {
+                            // Receiver is gone (sink failed hard); stop.
+                            return;
+                        }
+                        i += workers;
+                    }
+                }));
+            }
+            drop(tx);
+            // Stream results as they arrive so the sink (journal) sees
+            // completed probes even if a later worker fails.
+            for (i, outcome) in rx {
+                apply(
+                    i,
+                    outcome,
+                    &mut results,
+                    &mut sink_error,
+                    &mut retries,
+                    &mut failures,
+                );
+            }
+            for (w, handle) in handles.into_iter().enumerate() {
+                if handle.join().is_err() {
+                    lost.push(w);
+                }
+            }
+        });
+    }
+
+    if let Some(e) = sink_error {
+        return Err(e);
+    }
+    if let Some((item, attempts, message)) = failures.into_iter().min_by_key(|&(i, _, _)| i) {
+        return Err(MeasureError::WorkerPanic {
+            item,
+            retries: attempts,
+            message,
+        });
+    }
+    if let Some(&thread) = lost.first() {
+        return Err(MeasureError::WorkerLost { thread });
+    }
+    // A worker can also vanish without its join erroring (e.g. it
+    // returned early because the channel closed); any hole in the
+    // results is still a lost item, never a silent zero.
+    let mut out = Vec::with_capacity(items.len());
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Some(r) => out.push(r),
+            None => {
+                return Err(MeasureError::WorkerLost {
+                    thread: i % workers,
+                })
+            }
+        }
+    }
+    Ok((out, retries))
+}
+
+/// Infallible wrapper over [`replica_map_checked`]: no retries, no sink,
+/// panics on failure. Kept for callers (Hutchinson probing, random
+/// search) whose probes cannot legitimately fail.
 ///
 /// # Panics
 ///
@@ -45,65 +241,13 @@ where
     R: Send,
     F: Fn(&mut Network, &T) -> R + Sync,
 {
-    let workers = threads.clamp(1, items.len().max(1));
-    if workers <= 1 {
-        let mut replica = template.clone();
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| {
-                catch_unwind(AssertUnwindSafe(|| f(&mut replica, item)))
-                    .unwrap_or_else(|payload| item_panic(i, &*payload))
-            })
-            .collect();
-    }
-    let mut replicas: Vec<Network> = (0..workers).map(|_| template.clone()).collect();
-    let mut results: Vec<Option<R>> = items.iter().map(|_| None).collect();
-    let mut failures: Vec<(usize, String)> = Vec::new();
-    std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(workers);
-        for (w, replica) in replicas.iter_mut().enumerate() {
-            let f = &f;
-            handles.push(s.spawn(move || {
-                let mut out = Vec::new();
-                let mut i = w;
-                while i < items.len() {
-                    // Catch per item so the panic can be re-raised on the
-                    // main thread tagged with the offending item's index.
-                    match catch_unwind(AssertUnwindSafe(|| f(&mut *replica, &items[i]))) {
-                        Ok(r) => out.push((i, r)),
-                        Err(payload) => return Err((i, panic_message(&*payload))),
-                    }
-                    i += workers;
-                }
-                Ok(out)
-            }));
+    match replica_map_checked(template, threads, items, 0, f, |_, _| Ok(())) {
+        Ok((results, _)) => results,
+        Err(MeasureError::WorkerPanic { item, message, .. }) => {
+            panic!("measurement worker panicked on item {item}: {message}")
         }
-        for handle in handles {
-            match handle.join().expect("worker thread result intact") {
-                Ok(rows) => {
-                    for (i, r) in rows {
-                        results[i] = Some(r);
-                    }
-                }
-                Err(failure) => failures.push(failure),
-            }
-        }
-    });
-    if let Some((i, msg)) = failures.into_iter().min_by_key(|&(i, _)| i) {
-        panic!("measurement worker panicked on item {i}: {msg}");
+        Err(e) => panic!("measurement fan-out failed: {e}"),
     }
-    results
-        .into_iter()
-        .map(|r| r.expect("every item is processed exactly once"))
-        .collect()
-}
-
-fn item_panic(i: usize, payload: &(dyn std::any::Any + Send)) -> ! {
-    panic!(
-        "measurement worker panicked on item {i}: {}",
-        panic_message(payload)
-    );
 }
 
 #[cfg(test)]
@@ -112,6 +256,7 @@ mod tests {
     use clado_nn::{Linear, Network, Sequential};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn tiny() -> Network {
         let mut rng = StdRng::seed_from_u64(7);
@@ -178,5 +323,146 @@ mod tests {
         let items: Vec<usize> = Vec::new();
         let out = replica_map(&net, 4, &items, |_, &i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn checked_map_retries_flaky_items_and_counts_them() {
+        let net = tiny();
+        let items: Vec<usize> = (0..6).collect();
+        let attempts = AtomicUsize::new(0);
+        for threads in [1, 3] {
+            attempts.store(0, Ordering::SeqCst);
+            let (out, retries) = replica_map_checked(
+                &net,
+                threads,
+                &items,
+                2,
+                |_, &i| {
+                    // Item 4 fails on its first attempt only.
+                    if i == 4 && attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                        panic!("transient probe failure");
+                    }
+                    i * 10
+                },
+                |_, _| Ok(()),
+            )
+            .expect("retry rescues the sweep");
+            assert_eq!(out, vec![0, 10, 20, 30, 40, 50], "{threads} threads");
+            assert_eq!(retries, 1, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_lowest_failing_item() {
+        let net = tiny();
+        let items: Vec<usize> = (0..9).collect();
+        for threads in [1, 4] {
+            let err = replica_map_checked(
+                &net,
+                threads,
+                &items,
+                1,
+                |_, &i| {
+                    assert!(i != 3 && i != 6, "permanent failure");
+                    i
+                },
+                |_, _| Ok(()),
+            )
+            .expect_err("items 3 and 6 always panic");
+            match err {
+                MeasureError::WorkerPanic {
+                    item,
+                    retries,
+                    message,
+                } => {
+                    assert_eq!(item, 3, "{threads} threads");
+                    assert_eq!(retries, 1, "{threads} threads");
+                    assert!(message.contains("permanent failure"), "{message}");
+                }
+                other => panic!("{threads} threads: unexpected error {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sink_sees_completed_items_even_when_some_fail() {
+        let net = tiny();
+        let items: Vec<usize> = (0..8).collect();
+        let mut seen: Vec<usize> = Vec::new();
+        let err = replica_map_checked(
+            &net,
+            1,
+            &items,
+            0,
+            |_, &i| {
+                assert_ne!(i, 2, "bad item");
+                i
+            },
+            |i, _| {
+                seen.push(i);
+                Ok(())
+            },
+        )
+        .expect_err("item 2 fails");
+        assert!(matches!(err, MeasureError::WorkerPanic { item: 2, .. }));
+        // Every good item — including those after the failure — reached
+        // the sink, so a journaling caller loses nothing.
+        assert_eq!(seen, vec![0, 1, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn panicking_item_leaves_replica_pristine_for_later_items() {
+        let net = tiny();
+        let originals = net.snapshot_weights();
+        let items: Vec<usize> = (0..4).collect();
+        let (reads, _) = replica_map_checked(
+            &net,
+            1,
+            &items,
+            1,
+            |replica, &i| {
+                // Dirty the replica, then die on the first attempt of
+                // item 1; the engine must restore before retrying.
+                let delta = clado_tensor::Tensor::full(originals[0].shape(), 3.0);
+                replica.perturb_weight(0, &delta);
+                let seen = replica.weight(0).data()[0];
+                if i == 1 && seen > originals[0].data()[0] + 4.0 {
+                    panic!("dirty replica reached item {i}");
+                }
+                replica.set_weight(0, &originals[0]);
+                seen
+            },
+            |_, _| Ok(()),
+        )
+        .expect("restore-on-panic keeps items independent");
+        let expect = originals[0].data()[0] + 3.0;
+        for (i, &r) in reads.iter().enumerate() {
+            assert_eq!(r, expect, "item {i} saw a dirty replica");
+        }
+    }
+
+    #[test]
+    fn sink_errors_take_precedence_and_stop_sink_calls() {
+        let net = tiny();
+        let items: Vec<usize> = (0..5).collect();
+        let mut calls = 0usize;
+        let err = replica_map_checked(
+            &net,
+            1,
+            &items,
+            0,
+            |_, &i| i,
+            |i, _| {
+                calls += 1;
+                if i >= 1 {
+                    Err(MeasureError::WorkerLost { thread: 99 })
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .expect_err("sink fails on the second item");
+        assert!(matches!(err, MeasureError::WorkerLost { thread: 99 }));
+        assert_eq!(calls, 2, "sink is not called after its first error");
     }
 }

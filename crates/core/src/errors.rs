@@ -1,0 +1,81 @@
+//! Typed errors for the sensitivity-measurement pipeline.
+//!
+//! Before this module, every failure mode of the measurement fan-out was a
+//! panic: a probe closure that panicked aborted the whole sweep, a worker
+//! thread dying without reporting hit an `expect`, and a non-finite loss
+//! silently poisoned the Ω matrix. [`MeasureError`] replaces all of those
+//! with structured errors that the journal layer can flush before
+//! surfacing, so completed probes survive any failure.
+
+use crate::journal::JournalError;
+use std::fmt;
+
+/// A failure of [`crate::measure_sensitivities`] or the replica fan-out.
+#[derive(Debug)]
+pub enum MeasureError {
+    /// A probe closure panicked on `item` and every retry also panicked.
+    WorkerPanic {
+        /// Index of the work item whose closure panicked.
+        item: usize,
+        /// Retries already spent on this item before giving up.
+        retries: usize,
+        /// The panic payload rendered as text.
+        message: String,
+    },
+    /// A worker thread died without reporting a result (e.g. killed by a
+    /// double panic or `process::abort` inside the closure).
+    WorkerLost {
+        /// Round-robin index of the lost worker thread.
+        thread: usize,
+    },
+    /// The checkpoint journal failed (I/O, config mismatch, non-empty
+    /// directory without resume).
+    Journal(JournalError),
+    /// The unperturbed base loss `L(w)` was non-finite even after a
+    /// retry; no sensitivity entry can be formed without it.
+    NonFiniteBaseLoss {
+        /// The offending value (NaN or ±Inf).
+        loss: f64,
+    },
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WorkerPanic {
+                item,
+                retries,
+                message,
+            } => write!(
+                f,
+                "measurement worker panicked on item {item} \
+                 (after {retries} retries): {message}"
+            ),
+            Self::WorkerLost { thread } => write!(
+                f,
+                "measurement worker thread {thread} died without reporting a result"
+            ),
+            Self::Journal(e) => write!(f, "{e}"),
+            Self::NonFiniteBaseLoss { loss } => write!(
+                f,
+                "base loss L(w) is non-finite ({loss}) after retry; \
+                 the sensitivity set or model is unusable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Journal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JournalError> for MeasureError {
+    fn from(e: JournalError) -> Self {
+        Self::Journal(e)
+    }
+}

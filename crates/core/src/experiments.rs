@@ -116,12 +116,10 @@ impl ExperimentContext {
                 telemetry: self.telemetry.clone(),
                 ..Default::default()
             };
-            self.clado = Some(measure_sensitivities(
-                &mut self.network,
-                &self.sens_set,
-                &self.bits,
-                &opts,
-            ));
+            self.clado = Some(
+                measure_sensitivities(&mut self.network, &self.sens_set, &self.bits, &opts)
+                    .expect("sensitivity measurement"),
+            );
         }
         self.clado.as_ref().expect("just measured")
     }

@@ -32,7 +32,8 @@
 //! let sens_set = p.data.train.sample_subset(64, 0);
 //! let bits = BitWidthSet::standard();
 //! let sm = measure_sensitivities(
-//!     &mut p.network, &sens_set, &bits, &SensitivityOptions::default());
+//!     &mut p.network, &sens_set, &bits, &SensitivityOptions::default())
+//!     .expect("sensitivity measurement");
 //! let sizes = LayerSizes::new(p.network.layer_param_counts());
 //! let budget = sizes.budget_from_avg_bits(3.0);
 //! let assignment = assign_bits(&sm, &sizes, budget, &AssignOptions::default())?;
@@ -45,8 +46,10 @@
 mod assign;
 mod baselines;
 mod engine;
+mod errors;
 mod experiments;
 mod hessian;
+pub mod journal;
 mod probe;
 mod qat;
 mod search;
@@ -57,8 +60,10 @@ pub use assign::{assign_bits, solve_with_matrix, AssignOptions, BitAssignment, C
 pub use baselines::{
     empirical_fisher, hawq_sensitivities, hessian_traces, mpqco_sensitivities, BaselineOptions,
 };
+pub use errors::MeasureError;
 pub use experiments::{quartiles, Algorithm, ExperimentContext, Quartiles};
 pub use hessian::{exact_cross_vhv, exact_vhv, exact_vhv_direction, fast_cross_vhv, fast_vhv};
+pub use journal::{JournalError, JournalState, JournalWriter, ProbeId, ProbeRecord};
 pub use probe::{
     apply_quantization, build_prefix_cache, eval_loss, eval_loss_from, quant_error_table,
     quantizable_gradients, quantized_accuracy, train_mode_loss, PrefixCache, PROBE_BATCH,

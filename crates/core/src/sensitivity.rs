@@ -13,14 +13,35 @@
 //! bit-widths `(i,m)–(i,n)` are never co-active under the one-hot
 //! constraint, so their `I·C(|𝔹|,2)` measurements are skipped —
 //! `1 + |𝔹|I + ½|𝔹|²I(I−1)` evaluations in total.
+//!
+//! # Fault tolerance
+//!
+//! Each probe is an independent, idempotent work unit identified by a
+//! [`ProbeId`]. With [`SensitivityOptions::checkpoint_dir`] set, every
+//! completed probe is journaled (atomically-committed CLSJ shards, one per
+//! work item; see [`crate::journal`]); a later run with
+//! [`SensitivityOptions::resume`] reloads the journal, skips completed
+//! probes, and — because losses are stored bit-exactly — produces the
+//! bitwise-identical matrix an uninterrupted run would have. Probe panics
+//! are caught per item and retried up to [`SensitivityOptions::retries`]
+//! times; non-finite losses are retried once, then quarantined (the
+//! affected cross-term degrades to the diagonal-only estimate, i.e. the
+//! Ω entry is zeroed) instead of poisoning the IQP objective.
 
-use crate::engine::{replica_map, resolve_threads};
-use crate::probe::{build_prefix_cache, eval_loss, eval_loss_from, quant_error_table, PROBE_BATCH};
+use crate::engine::{replica_map_checked, resolve_threads};
+use crate::errors::MeasureError;
+use crate::journal::{self, fingerprint, JournalError, JournalWriter, ProbeId, ProbeRecord};
+use crate::probe::{
+    build_prefix_cache, eval_loss, eval_loss_from, quant_error_table, PrefixCache, PROBE_BATCH,
+};
 use clado_models::DataSplit;
 use clado_nn::Network;
 use clado_quant::{BitWidthSet, QuantScheme};
 use clado_solver::SymMatrix;
-use clado_telemetry::{with_panic_context, Telemetry};
+use clado_telemetry::{faultpoint, with_panic_context, Counter, Telemetry};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Options controlling sensitivity measurement.
@@ -42,6 +63,18 @@ pub struct SensitivityOptions {
     /// (disabled) handle records nothing; measured values are bitwise
     /// identical either way (test-enforced).
     pub telemetry: Telemetry,
+    /// Directory for the crash-safe probe journal. `None` (the default)
+    /// disables checkpointing entirely.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from an existing journal in
+    /// [`SensitivityOptions::checkpoint_dir`], skipping completed probes.
+    /// Without this flag a non-empty checkpoint directory is an error
+    /// (so two runs cannot silently interleave journals).
+    pub resume: bool,
+    /// Per-item retry budget for probe panics (a panicking probe is
+    /// retried on a restored replica this many times before the sweep
+    /// fails with [`MeasureError::WorkerPanic`]).
+    pub retries: usize,
 }
 
 impl Default for SensitivityOptions {
@@ -53,12 +86,15 @@ impl Default for SensitivityOptions {
             threads: 0,
             use_prefix_cache: true,
             telemetry: Telemetry::disabled(),
+            checkpoint_dir: None,
+            resume: false,
+            retries: 1,
         }
     }
 }
 
 /// Measurement statistics (the paper's runtime discussion, §5.2).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SensitivityStats {
     /// Number of network evaluations on the sensitivity set (full or
     /// suffix-only; always `prefix_cache_hits + full_evals`).
@@ -73,6 +109,15 @@ pub struct SensitivityStats {
     pub prefix_cache_hits: usize,
     /// Evaluations that ran the full forward pass.
     pub full_evals: usize,
+    /// Probes restored from the checkpoint journal instead of being
+    /// re-evaluated.
+    pub resumed: usize,
+    /// Probe retries: panicking probes re-run on a restored replica plus
+    /// non-finite losses re-evaluated once.
+    pub retried: usize,
+    /// Probes whose loss stayed non-finite after retry; their Ω entries
+    /// degrade to zero instead of poisoning the IQP objective.
+    pub quarantined: usize,
 }
 
 /// The measured sensitivity matrix Ĝ plus its provenance.
@@ -201,6 +246,188 @@ impl SensitivityMatrix {
     }
 }
 
+/// One probe's outcome as it leaves a worker: the journal record plus
+/// whether it was restored from the journal rather than evaluated.
+#[derive(Clone, Copy)]
+struct ProbeOut {
+    rec: ProbeRecord,
+    resumed: bool,
+}
+
+/// Span names for one measurement pass (diagonal or pairwise).
+struct PassSpans {
+    build: &'static str,
+    suffix: &'static str,
+    full: &'static str,
+}
+
+const DIAG_SPANS: PassSpans = PassSpans {
+    build: "measure.diagonal.prefix_build",
+    suffix: "measure.diagonal.suffix_eval",
+    full: "measure.diagonal.full_eval",
+};
+const PAIR_SPANS: PassSpans = PassSpans {
+    build: "measure.pairwise.prefix_build",
+    suffix: "measure.pairwise.suffix_eval",
+    full: "measure.pairwise.full_eval",
+};
+
+/// Shared probe accounting: telemetry counter handles (fetched once,
+/// bumped live from worker threads) plus local atomics that stay
+/// authoritative for per-run [`SensitivityStats`] even on a reused or
+/// disabled registry.
+struct ProbeCounters {
+    evals: Counter,
+    full: Counter,
+    hits: Counter,
+    builds: Counter,
+    resumed: Counter,
+    retries: Counter,
+    quarantined: Counter,
+    l_full: AtomicU64,
+    l_hits: AtomicU64,
+    l_builds: AtomicU64,
+    l_resumed: AtomicU64,
+    l_retried: AtomicU64,
+    l_quarantined: AtomicU64,
+}
+
+impl ProbeCounters {
+    fn new(telemetry: &Telemetry) -> Self {
+        Self {
+            evals: telemetry.counter("measure.evaluations"),
+            full: telemetry.counter("measure.full_evals"),
+            hits: telemetry.counter("measure.prefix_cache_hits"),
+            builds: telemetry.counter("measure.prefix_cache_builds"),
+            resumed: telemetry.counter("measure.resumed"),
+            retries: telemetry.counter("measure.retries"),
+            quarantined: telemetry.counter("measure.quarantined"),
+            l_full: AtomicU64::new(0),
+            l_hits: AtomicU64::new(0),
+            l_builds: AtomicU64::new(0),
+            l_resumed: AtomicU64::new(0),
+            l_retried: AtomicU64::new(0),
+            l_quarantined: AtomicU64::new(0),
+        }
+    }
+
+    fn count_resumed(&self) {
+        self.resumed.incr();
+        self.l_resumed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_retry(&self) {
+        self.retries.incr();
+        self.l_retried.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs one forward evaluation for a probe, building the prefix cache
+/// lazily on first use. The `measure.probe_panic` fail point simulates a
+/// probe crash (exercised by the engine's retry path); the
+/// `measure.probe_nan` fail point poisons the returned loss.
+#[allow(clippy::too_many_arguments)]
+fn probe_loss(
+    net: &mut Network,
+    cache: &mut Option<PrefixCache>,
+    cache_stage: Option<usize>,
+    sens_set: &DataSplit,
+    batch_size: usize,
+    telemetry: &Telemetry,
+    spans: &PassSpans,
+    c: &ProbeCounters,
+) -> f64 {
+    faultpoint!("measure.probe_panic", {
+        panic!("fault injected: probe panic")
+    });
+    c.evals.incr();
+    let mut loss = match cache_stage {
+        Some(stage) => {
+            if cache.is_none() {
+                let _s = telemetry.span(spans.build);
+                c.builds.incr();
+                c.l_builds.fetch_add(1, Ordering::Relaxed);
+                *cache = Some(build_prefix_cache(net, sens_set, batch_size, stage));
+            }
+            let _s = telemetry.span(spans.suffix);
+            c.hits.incr();
+            c.l_hits.fetch_add(1, Ordering::Relaxed);
+            eval_loss_from(net, cache.as_ref().expect("cache built above"))
+        }
+        None => {
+            let _s = telemetry.span(spans.full);
+            c.full.incr();
+            c.l_full.fetch_add(1, Ordering::Relaxed);
+            eval_loss(net, sens_set, batch_size)
+        }
+    };
+    faultpoint!("measure.probe_nan", {
+        loss = f64::NAN;
+    });
+    loss
+}
+
+/// Evaluates a probe with the non-finite quarantine policy: a NaN/Inf
+/// loss is re-evaluated once; if still non-finite the probe is
+/// quarantined (canonical NaN is stored and the Ω assembly degrades the
+/// affected entries to zero).
+#[allow(clippy::too_many_arguments)]
+fn measure_probe(
+    net: &mut Network,
+    cache: &mut Option<PrefixCache>,
+    cache_stage: Option<usize>,
+    sens_set: &DataSplit,
+    batch_size: usize,
+    telemetry: &Telemetry,
+    spans: &PassSpans,
+    c: &ProbeCounters,
+) -> (f64, bool) {
+    let mut loss = probe_loss(
+        net,
+        cache,
+        cache_stage,
+        sens_set,
+        batch_size,
+        telemetry,
+        spans,
+        c,
+    );
+    if !loss.is_finite() {
+        c.count_retry();
+        loss = probe_loss(
+            net,
+            cache,
+            cache_stage,
+            sens_set,
+            batch_size,
+            telemetry,
+            spans,
+            c,
+        );
+    }
+    if loss.is_finite() {
+        (loss, false)
+    } else {
+        c.quarantined.incr();
+        c.l_quarantined.fetch_add(1, Ordering::Relaxed);
+        (f64::NAN, true)
+    }
+}
+
+/// Journals one completed work item's fresh probes as a single
+/// atomically-committed shard. A no-op without a checkpoint directory.
+fn journal_item(writer: &mut Option<JournalWriter>, outs: &[ProbeOut]) -> Result<(), MeasureError> {
+    let Some(w) = writer.as_mut() else {
+        return Ok(());
+    };
+    for o in outs {
+        if !o.resumed {
+            w.append(o.rec);
+        }
+    }
+    w.commit().map_err(MeasureError::from)
+}
+
 /// Runs Algorithm 1 on `network` over the sensitivity set.
 ///
 /// All perturbations are applied to per-worker replicas, so the caller's
@@ -210,13 +437,29 @@ impl SensitivityMatrix {
 /// probe; evaluation-mode forward is pure, so the cached path is bitwise
 /// equal to a full forward. Work is sharded per outer layer `i` across
 /// [`SensitivityOptions::threads`] workers and merged in deterministic
-/// order, so the result is bitwise identical for any thread count.
+/// order, so the result is bitwise identical for any thread count — and,
+/// because the journal stores losses bit-exactly, identical whether the
+/// run completed in one pass or was resumed any number of times.
+///
+/// # Errors
+///
+/// - [`MeasureError::Journal`] when the checkpoint journal cannot be
+///   read or written, its fingerprint does not match this measurement
+///   configuration, or the directory is non-empty without
+///   [`SensitivityOptions::resume`]. Probes journaled before the failure
+///   stay on disk.
+/// - [`MeasureError::WorkerPanic`] when a probe panics beyond the retry
+///   budget; [`MeasureError::WorkerLost`] when a worker thread dies
+///   without reporting. In both cases every *other* completed item has
+///   already been journaled.
+/// - [`MeasureError::NonFiniteBaseLoss`] when `L(w)` is NaN/Inf even
+///   after a retry (no sensitivity entry can be formed without it).
 pub fn measure_sensitivities(
     network: &mut Network,
     sens_set: &DataSplit,
     bits: &BitWidthSet,
     options: &SensitivityOptions,
-) -> SensitivityMatrix {
+) -> Result<SensitivityMatrix, MeasureError> {
     let start = Instant::now();
     let telemetry = &options.telemetry;
     let _span_measure = telemetry.span("measure");
@@ -231,25 +474,78 @@ pub fn measure_sensitivities(
     let use_cache = options.use_prefix_cache;
     let batch_size = options.batch_size;
 
-    // Counter handles are fetched once and bumped live from worker
-    // threads; initial values are snapshotted so a registry reused across
-    // several measurements still yields per-run stats (deltas).
-    let c_evals = telemetry.counter("measure.evaluations");
-    let c_full = telemetry.counter("measure.full_evals");
-    let c_hits = telemetry.counter("measure.prefix_cache_hits");
-    let c_builds = telemetry.counter("measure.prefix_cache_builds");
-    let at_start = [
-        c_evals.value(),
-        c_full.value(),
-        c_hits.value(),
-        c_builds.value(),
-    ];
+    let counters = ProbeCounters::new(telemetry);
+    let evals_at_start = counters.evals.value();
 
-    let base_loss = {
+    // The journal fingerprint binds a checkpoint directory to one
+    // measurement configuration; resuming under different bits, scheme,
+    // data, or batch size is a hard error rather than a silent mix.
+    let mut fp_fields: Vec<u64> = vec![
+        num_layers as u64,
+        k as u64,
+        options.scheme as u64,
+        sens_set.len() as u64,
+        batch_size as u64,
+    ];
+    fp_fields.extend((0..k).map(|m| u64::from(bits.get(m).bits())));
+    let fp = fingerprint(&fp_fields);
+
+    let mut resume_records: HashMap<ProbeId, ProbeRecord> = HashMap::new();
+    let mut writer: Option<JournalWriter> = None;
+    if let Some(dir) = &options.checkpoint_dir {
+        let state = journal::load_journal(dir, fp)?;
+        if !options.resume && (state.shards + state.corrupt_shards) > 0 {
+            return Err(JournalError::NotEmpty { dir: dir.clone() }.into());
+        }
+        if options.resume {
+            if options.verbose {
+                eprintln!(
+                    "sensitivity: resuming from {} journaled probes ({} shards, {} corrupt)",
+                    state.records.len(),
+                    state.shards,
+                    state.corrupt_shards
+                );
+            }
+            resume_records = state.records;
+        }
+        writer = Some(JournalWriter::open(dir, fp, state.next_seq)?);
+    }
+    let resume = &resume_records;
+
+    let base_loss = if let Some(rec) = resume.get(&ProbeId::Base) {
+        counters.count_resumed();
+        rec.loss
+    } else {
         let _s = telemetry.span("measure.base");
-        let loss = eval_loss(network, sens_set, batch_size);
-        c_evals.incr();
-        c_full.incr();
+        let eval_base = |net: &mut Network| {
+            counters.evals.incr();
+            counters.full.incr();
+            counters.l_full.fetch_add(1, Ordering::Relaxed);
+            let mut loss = eval_loss(net, sens_set, batch_size);
+            faultpoint!("measure.probe_nan", {
+                loss = f64::NAN;
+            });
+            loss
+        };
+        let mut loss = eval_base(network);
+        if !loss.is_finite() {
+            counters.count_retry();
+            loss = eval_base(network);
+        }
+        if !loss.is_finite() {
+            return Err(MeasureError::NonFiniteBaseLoss { loss });
+        }
+        journal_item(
+            &mut writer,
+            &[ProbeOut {
+                rec: ProbeRecord {
+                    id: ProbeId::Base,
+                    loss,
+                    quarantined: false,
+                },
+                resumed: false,
+            }],
+        )?;
         loss
     };
     if options.verbose {
@@ -260,43 +556,79 @@ pub fn measure_sensitivities(
     // One work item per layer i; each worker probes all bit-widths of its
     // layer against its own replica, restoring from the shared snapshot
     // between probes. A prefix cache at layer i's stage is valid for all
-    // of them because the perturbation never touches stages before it.
+    // of them because the perturbation never touches stages before it;
+    // it is built lazily so a fully-resumed item costs nothing.
     let span_diagonal = telemetry.span("measure.diagonal");
     let layer_ids: Vec<usize> = (0..num_layers).collect();
-    let single_loss: Vec<Vec<f64>> = replica_map(network, threads, &layer_ids, |net, &i| {
-        let cache = (use_cache && stages[i] > 0).then(|| {
-            let _s = telemetry.span("measure.diagonal.prefix_build");
-            c_builds.incr();
-            build_prefix_cache(net, sens_set, batch_size, stages[i])
-        });
-        let mut losses = Vec::with_capacity(k);
-        for (m, delta) in deltas[i].iter().enumerate() {
-            net.perturb_weight(i, delta);
-            losses.push(with_panic_context(
-                || format!("diagonal probe (layer {i}, {} bits)", bits.get(m)),
-                || {
-                    c_evals.incr();
-                    match &cache {
-                        Some(c) => {
-                            let _s = telemetry.span("measure.diagonal.suffix_eval");
-                            c_hits.incr();
-                            eval_loss_from(net, c)
-                        }
-                        None => {
-                            let _s = telemetry.span("measure.diagonal.full_eval");
-                            c_full.incr();
-                            eval_loss(net, sens_set, batch_size)
-                        }
-                    }
-                },
-            ));
-            net.set_weight(i, &originals[i]);
+    let (single_out, diag_retries): (Vec<Vec<ProbeOut>>, u64) = replica_map_checked(
+        network,
+        threads,
+        &layer_ids,
+        options.retries,
+        |net, &i| {
+            let mut cache: Option<PrefixCache> = None;
+            let cache_stage = (use_cache && stages[i] > 0).then_some(stages[i]);
+            let mut outs = Vec::with_capacity(k);
+            for (m, delta) in deltas[i].iter().enumerate() {
+                let id = ProbeId::Diag {
+                    layer: i as u32,
+                    bit: m as u32,
+                };
+                if let Some(rec) = resume.get(&id) {
+                    counters.count_resumed();
+                    outs.push(ProbeOut {
+                        rec: *rec,
+                        resumed: true,
+                    });
+                    continue;
+                }
+                net.perturb_weight(i, delta);
+                let (loss, quarantined) = with_panic_context(
+                    || format!("diagonal probe (layer {i}, {} bits)", bits.get(m)),
+                    || {
+                        measure_probe(
+                            net,
+                            &mut cache,
+                            cache_stage,
+                            sens_set,
+                            batch_size,
+                            telemetry,
+                            &DIAG_SPANS,
+                            &counters,
+                        )
+                    },
+                );
+                net.set_weight(i, &originals[i]);
+                outs.push(ProbeOut {
+                    rec: ProbeRecord {
+                        id,
+                        loss,
+                        quarantined,
+                    },
+                    resumed: false,
+                });
+            }
+            outs
+        },
+        |_, outs| journal_item(&mut writer, outs),
+    )?;
+    // Losses indexed [layer][bit]; NaN marks a quarantined probe whose
+    // dependent Ω entries degrade to zero below.
+    let mut single_loss = vec![vec![f64::NAN; k]; num_layers];
+    for o in single_out.iter().flatten() {
+        if let ProbeId::Diag { layer, bit } = o.rec.id {
+            single_loss[layer as usize][bit as usize] = o.rec.loss;
         }
-        losses
-    });
+    }
     for (i, row) in single_loss.iter().enumerate() {
         for (m, &loss) in row.iter().enumerate() {
-            g.set(i * k + m, i * k + m, 2.0 * (loss - base_loss));
+            let v = i * k + m;
+            let omega = if loss.is_finite() {
+                2.0 * (loss - base_loss)
+            } else {
+                0.0
+            };
+            g.set(v, v, omega);
         }
     }
     drop(span_diagonal);
@@ -305,73 +637,119 @@ pub fn measure_sensitivities(
     }
 
     // Cross-layer sensitivities, eq. (13). One work item per outer layer
-    // i < I−1; workers emit the probe losses in (m, j, n) order and the
-    // merge below re-walks that order, so entries land at fixed indices
-    // regardless of which worker produced them. Layer indices follow
-    // stage order, so j > i keeps the prefix below layer i unperturbed
-    // and the same cache serves every inner probe.
+    // i < I−1; each probe carries its (i,m,j,n) identity, so assembly is
+    // keyed rather than positional and a resumed run slots journaled
+    // losses into exactly the right entries. Layer indices follow stage
+    // order, so j > i keeps the prefix below layer i unperturbed and the
+    // same cache serves every inner probe.
     let span_pairwise = telemetry.span("measure.pairwise");
     let pair_probe_total: usize = (0..num_layers).map(|i| k * k * (num_layers - 1 - i)).sum();
     let progress = telemetry.progress("sensitivity pairwise probes", pair_probe_total as u64);
     let outer_ids: Vec<usize> = (0..num_layers.saturating_sub(1)).collect();
-    let pair_losses: Vec<Vec<f64>> = replica_map(network, threads, &outer_ids, |net, &i| {
-        let cache = (use_cache && stages[i] > 0).then(|| {
-            let _s = telemetry.span("measure.pairwise.prefix_build");
-            c_builds.incr();
-            build_prefix_cache(net, sens_set, batch_size, stages[i])
-        });
-        let mut losses = Vec::with_capacity(k * k * (num_layers - 1 - i));
-        for (m, delta_i) in deltas[i].iter().enumerate() {
-            net.perturb_weight(i, delta_i);
-            for j in (i + 1)..num_layers {
-                for (n, delta_j) in deltas[j].iter().enumerate() {
-                    net.perturb_weight(j, delta_j);
-                    losses.push(with_panic_context(
-                        || {
-                            format!(
-                                "pairwise probe (layer {i} @ {} bits, layer {j} @ {} bits)",
-                                bits.get(m),
-                                bits.get(n)
-                            )
-                        },
-                        || {
-                            c_evals.incr();
-                            let loss = match &cache {
-                                Some(c) => {
-                                    let _s = telemetry.span("measure.pairwise.suffix_eval");
-                                    c_hits.incr();
-                                    eval_loss_from(net, c)
-                                }
-                                None => {
-                                    let _s = telemetry.span("measure.pairwise.full_eval");
-                                    c_full.incr();
-                                    eval_loss(net, sens_set, batch_size)
-                                }
-                            };
+    let (pair_out, pair_retries): (Vec<Vec<ProbeOut>>, u64) = replica_map_checked(
+        network,
+        threads,
+        &outer_ids,
+        options.retries,
+        |net, &i| {
+            let mut cache: Option<PrefixCache> = None;
+            let cache_stage = (use_cache && stages[i] > 0).then_some(stages[i]);
+            let mut outs = Vec::with_capacity(k * k * (num_layers - 1 - i));
+            for (m, delta_i) in deltas[i].iter().enumerate() {
+                // The outer perturbation is applied lazily: an m-block
+                // whose probes were all resumed never touches the replica.
+                let mut outer_applied = false;
+                for j in (i + 1)..num_layers {
+                    for (n, delta_j) in deltas[j].iter().enumerate() {
+                        let id = ProbeId::Pair {
+                            layer_i: i as u32,
+                            bit_m: m as u32,
+                            layer_j: j as u32,
+                            bit_n: n as u32,
+                        };
+                        if let Some(rec) = resume.get(&id) {
+                            counters.count_resumed();
+                            outs.push(ProbeOut {
+                                rec: *rec,
+                                resumed: true,
+                            });
                             progress.tick();
-                            loss
-                        },
-                    ));
-                    net.set_weight(j, &originals[j]);
+                            continue;
+                        }
+                        if !outer_applied {
+                            net.perturb_weight(i, delta_i);
+                            outer_applied = true;
+                        }
+                        net.perturb_weight(j, delta_j);
+                        let (loss, quarantined) = with_panic_context(
+                            || {
+                                format!(
+                                    "pairwise probe (layer {i} @ {} bits, layer {j} @ {} bits)",
+                                    bits.get(m),
+                                    bits.get(n)
+                                )
+                            },
+                            || {
+                                let out = measure_probe(
+                                    net,
+                                    &mut cache,
+                                    cache_stage,
+                                    sens_set,
+                                    batch_size,
+                                    telemetry,
+                                    &PAIR_SPANS,
+                                    &counters,
+                                );
+                                progress.tick();
+                                out
+                            },
+                        );
+                        net.set_weight(j, &originals[j]);
+                        outs.push(ProbeOut {
+                            rec: ProbeRecord {
+                                id,
+                                loss,
+                                quarantined,
+                            },
+                            resumed: false,
+                        });
+                    }
+                }
+                if outer_applied {
+                    net.set_weight(i, &originals[i]);
                 }
             }
-            net.set_weight(i, &originals[i]);
-        }
-        losses
-    });
+            outs
+        },
+        |_, outs| journal_item(&mut writer, outs),
+    )?;
     if pair_probe_total > 0 {
         progress.finish();
     }
-    for (&i, losses) in outer_ids.iter().zip(&pair_losses) {
-        let mut stream = losses.iter();
-        for m in 0..k {
-            for j in (i + 1)..num_layers {
-                for n in 0..k {
-                    let loss = *stream.next().expect("pairwise probe stream aligned");
-                    let omega = loss + base_loss - single_loss[i][m] - single_loss[j][n];
-                    g.set(i * k + m, j * k + n, omega);
-                }
-            }
+    for o in pair_out.iter().flatten() {
+        if let ProbeId::Pair {
+            layer_i,
+            bit_m,
+            layer_j,
+            bit_n,
+        } = o.rec.id
+        {
+            let (i, m, j, n) = (
+                layer_i as usize,
+                bit_m as usize,
+                layer_j as usize,
+                bit_n as usize,
+            );
+            let (si, sj) = (single_loss[i][m], single_loss[j][n]);
+            // Quarantined probes (own or either single-loss input)
+            // degrade the cross-term to zero — the diagonal-only
+            // estimate for this pair — instead of spreading NaN into Q.
+            let omega = if o.rec.quarantined || !si.is_finite() || !sj.is_finite() {
+                0.0
+            } else {
+                o.rec.loss + base_loss - si - sj
+            };
+            g.set(i * k + m, j * k + n, omega);
         }
     }
     drop(span_pairwise);
@@ -379,43 +757,36 @@ pub fn measure_sensitivities(
         eprintln!("sensitivity: pairwise pass done");
     }
 
-    let (full_evals, prefix_cache_hits, prefix_cache_builds) = if telemetry.is_enabled() {
-        // The workers counted live; the deltas against the snapshot taken
-        // above are this run's share even on a reused registry.
-        let counted = (
-            (c_full.value() - at_start[1]) as usize,
-            (c_hits.value() - at_start[2]) as usize,
-            (c_builds.value() - at_start[3]) as usize,
-        );
+    let engine_retries = diag_retries + pair_retries;
+    counters.retries.add(engine_retries);
+    counters
+        .l_retried
+        .fetch_add(engine_retries, Ordering::Relaxed);
+
+    let full_evals = counters.l_full.load(Ordering::Relaxed) as usize;
+    let prefix_cache_hits = counters.l_hits.load(Ordering::Relaxed) as usize;
+    let prefix_cache_builds = counters.l_builds.load(Ordering::Relaxed) as usize;
+    let resumed = counters.l_resumed.load(Ordering::Relaxed) as usize;
+    let retried = counters.l_retried.load(Ordering::Relaxed) as usize;
+    let quarantined = counters.l_quarantined.load(Ordering::Relaxed) as usize;
+    if telemetry.is_enabled() {
+        // The registry counters (deltas against the pre-run snapshot, so
+        // a reused registry still reconciles) must agree with the local
+        // accounting exactly.
         debug_assert_eq!(
-            (c_evals.value() - at_start[0]) as usize,
-            counted.0 + counted.1,
+            (counters.evals.value() - evals_at_start) as usize,
+            full_evals + prefix_cache_hits,
             "every evaluation is exactly one of full or suffix-only"
         );
-        counted
-    } else {
-        // Telemetry off: derive the same numbers analytically. The base
-        // loss always runs the full network; each probed layer contributes
-        // k diagonal probes plus k²(I−1−i) pairwise probes, all
-        // suffix-only when its prefix cache exists. A test pins this
-        // against the counted path.
-        let mut full_evals = 1usize;
-        let mut prefix_cache_hits = 0usize;
-        let mut prefix_cache_builds = 0usize;
-        for (i, &stage) in stages.iter().enumerate() {
-            let diag_probes = k;
-            let pair_probes = k * k * (num_layers - 1 - i);
-            if use_cache && stage > 0 {
-                prefix_cache_builds += 1 + usize::from(pair_probes > 0);
-                prefix_cache_hits += diag_probes + pair_probes;
-            } else {
-                full_evals += diag_probes + pair_probes;
-            }
-        }
-        (full_evals, prefix_cache_hits, prefix_cache_builds)
-    };
+    }
+    if options.verbose && quarantined > 0 {
+        eprintln!(
+            "sensitivity: WARNING {quarantined} probe(s) quarantined (non-finite loss); \
+             affected Ω entries degraded to the diagonal-only estimate"
+        );
+    }
 
-    SensitivityMatrix {
+    Ok(SensitivityMatrix {
         g,
         num_layers,
         bits: bits.clone(),
@@ -427,8 +798,11 @@ pub fn measure_sensitivities(
             prefix_cache_builds,
             prefix_cache_hits,
             full_evals,
+            resumed,
+            retried,
+            quarantined,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -470,12 +844,28 @@ mod tests {
         (net, data)
     }
 
+    fn measure(
+        net: &mut Network,
+        set: &DataSplit,
+        bits: &BitWidthSet,
+        opts: &SensitivityOptions,
+    ) -> SensitivityMatrix {
+        measure_sensitivities(net, set, bits, opts).expect("measurement succeeds")
+    }
+
+    fn temp_ckpt(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("clado-sens-ckpt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn measurement_count_matches_paper_formula() {
         let (mut net, data) = setup();
         let bits = BitWidthSet::new(&[2, 8]);
         let set = data.train.subset(&(0..16).collect::<Vec<_>>());
-        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let sm = measure(&mut net, &set, &bits, &SensitivityOptions::default());
         // 1 base + |B|I diagonal + ½|B|²I(I−1) cross-pair evaluations
         // (same-layer bit pairs are skipped; see the module docs).
         let (b, i) = (2usize, 3usize); // |B| = 2, I = 3 (conv1, conv2, fc)
@@ -488,7 +878,7 @@ mod tests {
         let (mut net, data) = setup();
         let before = net.snapshot_weights();
         let set = data.train.subset(&(0..8).collect::<Vec<_>>());
-        let _ = measure_sensitivities(
+        let _ = measure(
             &mut net,
             &set,
             &BitWidthSet::new(&[2, 8]),
@@ -506,7 +896,7 @@ mod tests {
         let set = data.train.subset(&(0..16).collect::<Vec<_>>());
         let bits = BitWidthSet::new(&[2, 8]);
         let opts = SensitivityOptions::default();
-        let sm = measure_sensitivities(&mut net, &set, &bits, &opts);
+        let sm = measure(&mut net, &set, &bits, &opts);
         // Manually recompute layer 0 @ 2 bits.
         let base = eval_loss(&mut net, &set, opts.batch_size);
         let dw = clado_quant::quant_error(&net.weight(0), bits.get(0), opts.scheme);
@@ -521,7 +911,7 @@ mod tests {
         let (mut net, data) = setup();
         let set = data.train.subset(&(0..16).collect::<Vec<_>>());
         let bits = BitWidthSet::new(&[2, 8]);
-        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let sm = measure(&mut net, &set, &bits, &SensitivityOptions::default());
         for i in 0..sm.num_layers() {
             let two = sm.layer_sensitivity(i, 0).abs();
             let eight = sm.layer_sensitivity(i, 1).abs();
@@ -537,7 +927,7 @@ mod tests {
         let (mut net, data) = setup();
         let set = data.train.subset(&(0..8).collect::<Vec<_>>());
         let bits = BitWidthSet::new(&[2, 8]);
-        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let sm = measure(&mut net, &set, &bits, &SensitivityOptions::default());
         let diag = sm.diagonal_only();
         // Off-diagonal block between layers 0 and 1 must vanish.
         assert_eq!(diag.get(sm.var(0, 0), sm.var(1, 0)), 0.0);
@@ -566,14 +956,14 @@ mod tests {
             use_prefix_cache: false,
             ..Default::default()
         };
-        let reference = measure_sensitivities(&mut net, &set, &bits, &naive);
+        let reference = measure(&mut net, &set, &bits, &naive);
         for threads in [1, 2, 4] {
             let opts = SensitivityOptions {
                 threads,
                 use_prefix_cache: true,
                 ..Default::default()
             };
-            let sm = measure_sensitivities(&mut net, &set, &bits, &opts);
+            let sm = measure(&mut net, &set, &bits, &opts);
             assert_eq!(
                 sm.base_loss.to_bits(),
                 reference.base_loss.to_bits(),
@@ -599,8 +989,7 @@ mod tests {
         let (mut net, data) = setup();
         let set = data.train.subset(&(0..16).collect::<Vec<_>>());
         let bits = BitWidthSet::new(&[2, 8]);
-        let reference =
-            measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let reference = measure(&mut net, &set, &bits, &SensitivityOptions::default());
         for threads in [1, 2, 4] {
             let telemetry = Telemetry::new();
             let opts = SensitivityOptions {
@@ -608,7 +997,7 @@ mod tests {
                 telemetry: telemetry.clone(),
                 ..Default::default()
             };
-            let sm = measure_sensitivities(&mut net, &set, &bits, &opts);
+            let sm = measure(&mut net, &set, &bits, &opts);
             assert_eq!(
                 sm.base_loss.to_bits(),
                 reference.base_loss.to_bits(),
@@ -624,7 +1013,7 @@ mod tests {
                     );
                 }
             }
-            // The counted stats must agree with the analytic (disabled)
+            // The counted stats must agree with the telemetry-disabled
             // accounting exactly.
             assert_eq!(sm.stats.evaluations, reference.stats.evaluations);
             assert_eq!(sm.stats.full_evals, reference.stats.full_evals);
@@ -646,6 +1035,10 @@ mod tests {
                 telemetry.counter_value("measure.full_evals")
                     + telemetry.counter_value("measure.prefix_cache_hits")
             );
+            // No faults fired, so the fault-tolerance counters are zero.
+            assert_eq!(telemetry.counter_value("measure.resumed"), 0);
+            assert_eq!(telemetry.counter_value("measure.retries"), 0);
+            assert_eq!(telemetry.counter_value("measure.quarantined"), 0);
             // The span tree covers every phase of the measurement.
             for path in [
                 "measure",
@@ -674,8 +1067,8 @@ mod tests {
             telemetry: telemetry.clone(),
             ..Default::default()
         };
-        let first = measure_sensitivities(&mut net, &set, &bits, &opts);
-        let second = measure_sensitivities(&mut net, &set, &bits, &opts);
+        let first = measure(&mut net, &set, &bits, &opts);
+        let second = measure(&mut net, &set, &bits, &opts);
         // Stats are per-run deltas, not cumulative registry totals.
         assert_eq!(second.stats.evaluations, first.stats.evaluations);
         assert_eq!(second.stats.full_evals, first.stats.full_evals);
@@ -691,7 +1084,7 @@ mod tests {
         let (mut net, data) = setup();
         let set = data.train.subset(&(0..16).collect::<Vec<_>>());
         let bits = BitWidthSet::new(&[2, 8]);
-        let sm = measure_sensitivities(&mut net, &set, &bits, &SensitivityOptions::default());
+        let sm = measure(&mut net, &set, &bits, &SensitivityOptions::default());
         let s = sm.stats;
         assert_eq!(s.evaluations, s.prefix_cache_hits + s.full_evals);
         // Layers sit at stages 0 (conv1), 2 (conv2), 5 (fc): conv1 has no
@@ -701,12 +1094,16 @@ mod tests {
         assert_eq!(s.prefix_cache_hits, 8);
         assert_eq!(s.prefix_cache_builds, 3);
         assert!(s.threads_used >= 1);
+        // No checkpoint, no faults: fault-tolerance stats stay zero.
+        assert_eq!(s.resumed, 0);
+        assert_eq!(s.retried, 0);
+        assert_eq!(s.quarantined, 0);
 
         let naive = SensitivityOptions {
             use_prefix_cache: false,
             ..Default::default()
         };
-        let sm = measure_sensitivities(&mut net, &set, &bits, &naive);
+        let sm = measure(&mut net, &set, &bits, &naive);
         assert_eq!(sm.stats.prefix_cache_hits, 0);
         assert_eq!(sm.stats.prefix_cache_builds, 0);
         assert_eq!(sm.stats.full_evals, sm.stats.evaluations);
@@ -718,7 +1115,7 @@ mod tests {
         let set = data.train.subset(&(0..16).collect::<Vec<_>>());
         let bits = BitWidthSet::new(&[2, 8]);
         let opts = SensitivityOptions::default();
-        let sm = measure_sensitivities(&mut net, &set, &bits, &opts);
+        let sm = measure(&mut net, &set, &bits, &opts);
 
         let base = eval_loss(&mut net, &set, opts.batch_size);
         let w0 = net.weight(0);
@@ -740,5 +1137,113 @@ mod tests {
             "{} vs {expect}",
             sm.cross_sensitivity(0, 0, 1, 0)
         );
+    }
+
+    #[test]
+    fn checkpointed_run_matches_uncheckpointed_bitwise() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let bits = BitWidthSet::new(&[2, 8]);
+        let reference = measure(&mut net, &set, &bits, &SensitivityOptions::default());
+
+        let dir = temp_ckpt("clean");
+        let opts = SensitivityOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let sm = measure(&mut net, &set, &bits, &opts);
+        assert_eq!(sm.base_loss.to_bits(), reference.base_loss.to_bits());
+        assert_eq!(sm.stats.evaluations, reference.stats.evaluations);
+        assert_eq!(sm.stats.resumed, 0);
+        let dim = sm.matrix().dim();
+        for u in 0..dim {
+            for v in u..dim {
+                assert_eq!(
+                    sm.matrix().get(u, v).to_bits(),
+                    reference.matrix().get(u, v).to_bits(),
+                    "entry ({u},{v}) differs under checkpointing"
+                );
+            }
+        }
+
+        // Resuming a *complete* journal re-evaluates nothing and still
+        // reproduces the matrix bit for bit.
+        let resumed = measure(
+            &mut net,
+            &set,
+            &bits,
+            &SensitivityOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(resumed.stats.evaluations, 0, "all probes came from disk");
+        assert_eq!(
+            resumed.stats.resumed, reference.stats.evaluations,
+            "every probe (incl. base) was resumed"
+        );
+        assert_eq!(resumed.base_loss.to_bits(), reference.base_loss.to_bits());
+        for u in 0..dim {
+            for v in u..dim {
+                assert_eq!(
+                    resumed.matrix().get(u, v).to_bits(),
+                    reference.matrix().get(u, v).to_bits(),
+                    "entry ({u},{v}) differs after resume"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_empty_checkpoint_dir_without_resume_is_rejected() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..8).collect::<Vec<_>>());
+        let bits = BitWidthSet::new(&[2, 8]);
+        let dir = temp_ckpt("notempty");
+        let opts = SensitivityOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let _ = measure(&mut net, &set, &bits, &opts);
+        let err = measure_sensitivities(&mut net, &set, &bits, &opts)
+            .expect_err("a populated checkpoint dir without --resume must be rejected");
+        assert!(
+            matches!(err, MeasureError::Journal(JournalError::NotEmpty { .. })),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_under_a_different_configuration_is_rejected() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..8).collect::<Vec<_>>());
+        let dir = temp_ckpt("configmismatch");
+        let opts = SensitivityOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let _ = measure(&mut net, &set, &BitWidthSet::new(&[2, 8]), &opts);
+        let err = measure_sensitivities(
+            &mut net,
+            &set,
+            &BitWidthSet::new(&[4, 8]),
+            &SensitivityOptions {
+                checkpoint_dir: Some(dir.clone()),
+                resume: true,
+                ..Default::default()
+            },
+        )
+        .expect_err("resuming with different bit-widths must be rejected");
+        assert!(
+            matches!(
+                err,
+                MeasureError::Journal(JournalError::ConfigMismatch { .. })
+            ),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

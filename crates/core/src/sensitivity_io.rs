@@ -7,6 +7,13 @@
 //!
 //! Format: `CLSM` magic, version, `I`, |𝔹|, the bit-widths, base loss,
 //! measurement stats, then the `|𝔹|I × |𝔹|I` matrix as little-endian `f64`.
+//!
+//! The loader validates with a *bounded* header read: the fixed prelude is
+//! read first, the dimensions are sanity-capped, and the file's total
+//! length is checked against the exact size those dimensions imply —
+//! before any payload-sized allocation happens. Truncation at any byte,
+//! flipped magic/version bytes, and length mismatches all surface as
+//! [`SensitivityIoError::BadFormat`], never as a panic or an OOM.
 
 use crate::sensitivity::{SensitivityMatrix, SensitivityStats};
 use clado_quant::BitWidthSet;
@@ -17,17 +24,25 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"CLSM";
-/// Version 2 appends the measurement-engine counters (threads, prefix-cache
-/// builds/hits, full evaluations) after the wall-clock seconds. Version-1
-/// files still load; their counters are reported as zero, except
-/// `full_evals` which inherits `evaluations` (v1 measurements always ran
-/// the full forward pass).
-const VERSION: u32 = 2;
+/// Version 3 appends the fault-tolerance counters (resumed, retried,
+/// quarantined) after the engine counters version 2 introduced (threads,
+/// prefix-cache builds/hits, full evaluations). Older files still load:
+/// missing counters are reported as zero, except v1's `full_evals` which
+/// inherits `evaluations` (v1 measurements always ran the full forward
+/// pass).
+const VERSION: u32 = 3;
+
+/// Size of the fixed prelude: magic, version, `I`, |𝔹|.
+const PRELUDE_BYTES: usize = 4 + 4 + 4 + 4;
+/// Sanity cap on the layer count a file may claim; real models are
+/// hundreds of layers, so anything near this is corruption, and the cap
+/// keeps a corrupt header from provoking a huge allocation.
+const MAX_LAYERS: usize = 1 << 20;
 
 /// Errors produced by sensitivity-matrix (de)serialization.
 #[derive(Debug)]
 pub enum SensitivityIoError {
-    /// Underlying I/O failure.
+    /// Underlying I/O failure (the message names the offending path).
     Io(io::Error),
     /// Not a CLSM file, unsupported version, or truncated payload.
     BadFormat(String),
@@ -57,6 +72,10 @@ impl From<io::Error> for SensitivityIoError {
     }
 }
 
+fn io_at(path: &Path, e: io::Error) -> SensitivityIoError {
+    SensitivityIoError::Io(io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+}
+
 /// Serializes a measured sensitivity matrix to `path`.
 ///
 /// # Errors
@@ -81,6 +100,9 @@ pub fn save_sensitivities(sens: &SensitivityMatrix, path: &Path) -> Result<(), S
     buf.extend_from_slice(&(sens.stats.prefix_cache_builds as u64).to_le_bytes());
     buf.extend_from_slice(&(sens.stats.prefix_cache_hits as u64).to_le_bytes());
     buf.extend_from_slice(&(sens.stats.full_evals as u64).to_le_bytes());
+    buf.extend_from_slice(&(sens.stats.resumed as u64).to_le_bytes());
+    buf.extend_from_slice(&(sens.stats.retried as u64).to_le_bytes());
+    buf.extend_from_slice(&(sens.stats.quarantined as u64).to_le_bytes());
     let n = sens.matrix().dim();
     for i in 0..n {
         for j in 0..n {
@@ -93,70 +115,130 @@ pub fn save_sensitivities(sens: &SensitivityMatrix, path: &Path) -> Result<(), S
     Ok(())
 }
 
+/// Number of trailing `u64` stat counters each format version stores
+/// after the (base loss, evaluations, seconds) triple.
+fn stat_counters(version: u32) -> u64 {
+    match version {
+        1 => 0,
+        2 => 4,
+        _ => 7,
+    }
+}
+
+fn read_section(file: &mut fs::File, buf: &mut [u8], what: &str) -> Result<(), SensitivityIoError> {
+    file.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            SensitivityIoError::BadFormat(format!("truncated file (while reading {what})"))
+        } else {
+            SensitivityIoError::Io(e)
+        }
+    })
+}
+
 /// Loads a sensitivity matrix saved by [`save_sensitivities`].
+///
+/// The header is read and validated with bounded reads before the matrix
+/// payload is touched, so a corrupt dimension field cannot trigger a
+/// large allocation and a zero-length or permission-denied file yields a
+/// targeted error instead of a generic one.
 ///
 /// # Errors
 ///
-/// Returns an error for malformed or truncated files.
+/// Returns [`SensitivityIoError::BadFormat`] for malformed, truncated, or
+/// length-mismatched files and [`SensitivityIoError::Io`] (with the path
+/// in the message) for filesystem failures such as permission denial.
 pub fn load_sensitivities(path: &Path) -> Result<SensitivityMatrix, SensitivityIoError> {
-    let mut bytes = Vec::new();
-    fs::File::open(path)?.read_to_end(&mut bytes)?;
-    let mut cur = 0usize;
-    let take = |cur: &mut usize, n: usize| -> Result<&[u8], SensitivityIoError> {
-        if *cur + n > bytes.len() {
-            return Err(SensitivityIoError::BadFormat("truncated file".into()));
-        }
-        let s = &bytes[*cur..*cur + n];
-        *cur += n;
-        Ok(s)
-    };
-    if take(&mut cur, 4)? != MAGIC {
+    let mut file = fs::File::open(path).map_err(|e| io_at(path, e))?;
+    let file_len = file.metadata().map_err(|e| io_at(path, e))?.len();
+    if file_len == 0 {
+        return Err(SensitivityIoError::BadFormat(format!(
+            "{}: file is empty (zero bytes — not a CLSM file; was the save interrupted?)",
+            path.display()
+        )));
+    }
+
+    let mut prelude = [0u8; PRELUDE_BYTES];
+    read_section(&mut file, &mut prelude, "header prelude")?;
+    if &prelude[0..4] != MAGIC {
         return Err(SensitivityIoError::BadFormat("missing CLSM magic".into()));
     }
-    let version = u32::from_le_bytes(take(&mut cur, 4)?.try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(prelude[4..8].try_into().expect("4 bytes"));
     if !(1..=VERSION).contains(&version) {
         return Err(SensitivityIoError::BadFormat(format!(
             "unsupported version {version}"
         )));
     }
-    let num_layers = u32::from_le_bytes(take(&mut cur, 4)?.try_into().expect("4 bytes")) as usize;
-    let k = u32::from_le_bytes(take(&mut cur, 4)?.try_into().expect("4 bytes")) as usize;
+    let num_layers = u32::from_le_bytes(prelude[8..12].try_into().expect("4 bytes")) as usize;
+    let k = u32::from_le_bytes(prelude[12..16].try_into().expect("4 bytes")) as usize;
     if num_layers == 0 || k == 0 {
         return Err(SensitivityIoError::BadFormat(
             "degenerate dimensions".into(),
         ));
     }
-    let raw_bits = take(&mut cur, k)?.to_vec();
+    if num_layers > MAX_LAYERS || k > u8::MAX as usize {
+        return Err(SensitivityIoError::BadFormat(format!(
+            "implausible dimensions (I={num_layers}, |B|={k}) — corrupt header"
+        )));
+    }
+
+    // With the dimensions known, the exact file size is implied; check it
+    // *before* allocating or reading the payload. This catches truncation
+    // anywhere after the prelude as well as trailing garbage.
+    let n = num_layers * k;
+    let expected_len = PRELUDE_BYTES as u64
+        + k as u64
+        + 8 * 3 // base loss, evaluations, seconds
+        + 8 * stat_counters(version)
+        + 8 * (n as u64) * (n as u64);
+    if file_len != expected_len {
+        return Err(SensitivityIoError::BadFormat(format!(
+            "file length mismatch: I={num_layers}, |B|={k} (version {version}) implies \
+             {expected_len} bytes, found {file_len} — truncated or corrupt"
+        )));
+    }
+
+    let mut raw_bits = vec![0u8; k];
+    read_section(&mut file, &mut raw_bits, "bit-width list")?;
     let bits = BitWidthSet::new(&raw_bits);
     if bits.len() != k {
         return Err(SensitivityIoError::BadFormat(
             "duplicate bit-widths in file".into(),
         ));
     }
-    let base_loss = f64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes"));
-    let evaluations = u64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes")) as usize;
-    let seconds = f64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes"));
+
+    let mut stats_raw = vec![0u8; 8 * (3 + stat_counters(version) as usize)];
+    read_section(&mut file, &mut stats_raw, "measurement stats")?;
+    let f64_at = |o: usize| f64::from_le_bytes(stats_raw[o..o + 8].try_into().expect("8 bytes"));
+    let u64_at =
+        |o: usize| u64::from_le_bytes(stats_raw[o..o + 8].try_into().expect("8 bytes")) as usize;
+    let base_loss = f64_at(0);
+    let evaluations = u64_at(8);
+    let seconds = f64_at(16);
     let (threads_used, prefix_cache_builds, prefix_cache_hits, full_evals) = if version >= 2 {
-        let mut counter = || -> Result<usize, SensitivityIoError> {
-            Ok(u64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes")) as usize)
-        };
-        (counter()?, counter()?, counter()?, counter()?)
+        (u64_at(24), u64_at(32), u64_at(40), u64_at(48))
     } else {
         (0, 0, 0, evaluations)
     };
-    let n = num_layers * k;
+    let (resumed, retried, quarantined) = if version >= 3 {
+        (u64_at(56), u64_at(64), u64_at(72))
+    } else {
+        (0, 0, 0)
+    };
+
+    let mut matrix_raw = vec![0u8; 8 * n * n];
+    read_section(&mut file, &mut matrix_raw, "matrix payload")?;
     let mut g = SymMatrix::zeros(n);
     for i in 0..n {
-        for j in 0..n {
-            let v = f64::from_le_bytes(take(&mut cur, 8)?.try_into().expect("8 bytes"));
-            if j >= i {
-                g.set(i, j, v);
-            }
+        for j in i..n {
+            let o = 8 * (i * n + j);
+            g.set(
+                i,
+                j,
+                f64::from_le_bytes(matrix_raw[o..o + 8].try_into().expect("8 bytes")),
+            );
         }
     }
-    if cur != bytes.len() {
-        return Err(SensitivityIoError::BadFormat("trailing bytes".into()));
-    }
+
     Ok(SensitivityMatrix::from_parts(
         g,
         num_layers,
@@ -169,6 +251,9 @@ pub fn load_sensitivities(path: &Path) -> Result<SensitivityMatrix, SensitivityI
             prefix_cache_builds,
             prefix_cache_hits,
             full_evals,
+            resumed,
+            retried,
+            quarantined,
         },
     ))
 }
@@ -217,6 +302,26 @@ mod tests {
             &BitWidthSet::standard(),
             &SensitivityOptions::default(),
         )
+        .expect("measurement succeeds")
+    }
+
+    /// A minimal hand-built valid v3 file (1 layer, 1 bit-width).
+    fn tiny_v3_bytes() -> Vec<u8> {
+        let mut bytes: Vec<u8> = Vec::new();
+        bytes.extend_from_slice(b"CLSM");
+        bytes.extend_from_slice(&3u32.to_le_bytes()); // version
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // I
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // |B|
+        bytes.push(8u8); // the bit-width
+        bytes.extend_from_slice(&0.5f64.to_le_bytes()); // base loss
+        bytes.extend_from_slice(&7u64.to_le_bytes()); // evaluations
+        bytes.extend_from_slice(&0.25f64.to_le_bytes()); // seconds
+        for c in [4u64, 1, 3, 4, 2, 1, 0] {
+            // threads, builds, hits, full, resumed, retried, quarantined
+            bytes.extend_from_slice(&c.to_le_bytes());
+        }
+        bytes.extend_from_slice(&1.5f64.to_le_bytes()); // the 1×1 matrix
+        bytes
     }
 
     #[test]
@@ -236,6 +341,9 @@ mod tests {
         );
         assert_eq!(loaded.stats.prefix_cache_hits, sens.stats.prefix_cache_hits);
         assert_eq!(loaded.stats.full_evals, sens.stats.full_evals);
+        assert_eq!(loaded.stats.resumed, sens.stats.resumed);
+        assert_eq!(loaded.stats.retried, sens.stats.retried);
+        assert_eq!(loaded.stats.quarantined, sens.stats.quarantined);
         let n = sens.matrix().dim();
         for i in 0..n {
             for j in 0..n {
@@ -285,7 +393,40 @@ mod tests {
         assert_eq!(loaded.stats.prefix_cache_builds, 0);
         assert_eq!(loaded.stats.prefix_cache_hits, 0);
         assert_eq!(loaded.stats.full_evals, 7, "v1 evals were all full");
+        assert_eq!(loaded.stats.resumed, 0);
+        assert_eq!(loaded.stats.retried, 0);
+        assert_eq!(loaded.stats.quarantined, 0);
         assert_eq!(loaded.matrix().get(0, 0), 1.5);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn version2_files_still_load() {
+        // A v2 file carries the four engine counters but none of the
+        // fault-tolerance counters.
+        let mut bytes: Vec<u8> = Vec::new();
+        bytes.extend_from_slice(b"CLSM");
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // version
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // I
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // |B|
+        bytes.push(4u8);
+        bytes.extend_from_slice(&0.5f64.to_le_bytes()); // base loss
+        bytes.extend_from_slice(&9u64.to_le_bytes()); // evaluations
+        bytes.extend_from_slice(&0.25f64.to_le_bytes()); // seconds
+        for c in [2u64, 1, 3, 6] {
+            bytes.extend_from_slice(&c.to_le_bytes());
+        }
+        bytes.extend_from_slice(&2.5f64.to_le_bytes());
+        let path = temp("v2");
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = load_sensitivities(&path).unwrap();
+        assert_eq!(loaded.stats.threads_used, 2);
+        assert_eq!(loaded.stats.prefix_cache_builds, 1);
+        assert_eq!(loaded.stats.prefix_cache_hits, 3);
+        assert_eq!(loaded.stats.full_evals, 6);
+        assert_eq!(loaded.stats.resumed, 0);
+        assert_eq!(loaded.stats.retried, 0);
+        assert_eq!(loaded.stats.quarantined, 0);
         std::fs::remove_file(path).ok();
     }
 
@@ -293,17 +434,18 @@ mod tests {
         #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(24))]
 
         /// Every `SensitivityStats` field and every matrix entry must
-        /// survive a v2 save→load round trip *bit-exactly* — including
+        /// survive a v3 save→load round trip *bit-exactly* — including
         /// pathological payloads (NaN, ±0.0, subnormals) drawn straight
         /// from the f64 bit space.
         #[test]
-        fn v2_roundtrip_is_bit_exact(
+        fn v3_roundtrip_is_bit_exact(
             layers in 1usize..=3,
             raw in proptest::collection::vec((0u32..=u32::MAX, 0u32..=u32::MAX), 0..=45),
             base in (0u32..=u32::MAX, 0u32..=u32::MAX),
             (evaluations, full_evals) in (0usize..10_000, 0usize..10_000),
             (threads_used, prefix_cache_builds) in (0usize..64, 0usize..10_000),
             prefix_cache_hits in 0usize..10_000,
+            (resumed, retried, quarantined) in (0usize..10_000, 0usize..100, 0usize..100),
             seconds in 0.0f64..1.0e6,
         ) {
             let f64_of = |(hi, lo): (u32, u32)| f64::from_bits(((hi as u64) << 32) | lo as u64);
@@ -328,6 +470,9 @@ mod tests {
                     prefix_cache_builds,
                     prefix_cache_hits,
                     full_evals,
+                    resumed,
+                    retried,
+                    quarantined,
                 },
             );
             let path = temp("proptest");
@@ -347,6 +492,9 @@ mod tests {
             );
             proptest::prop_assert_eq!(loaded.stats.prefix_cache_hits, sens.stats.prefix_cache_hits);
             proptest::prop_assert_eq!(loaded.stats.full_evals, sens.stats.full_evals);
+            proptest::prop_assert_eq!(loaded.stats.resumed, sens.stats.resumed);
+            proptest::prop_assert_eq!(loaded.stats.retried, sens.stats.retried);
+            proptest::prop_assert_eq!(loaded.stats.quarantined, sens.stats.quarantined);
             for i in 0..n {
                 for j in 0..n {
                     proptest::prop_assert_eq!(
@@ -357,6 +505,84 @@ mod tests {
                 }
             }
         }
+
+        /// Truncating a valid file at ANY byte boundary — which covers
+        /// every section boundary (mid-magic, mid-header, mid-bit-list,
+        /// mid-stats, mid-matrix) — must yield `BadFormat`, never a panic
+        /// or a spurious success.
+        #[test]
+        fn truncation_at_any_boundary_is_bad_format(cut_ratio in 0.0f64..1.0) {
+            let bytes = tiny_v3_bytes();
+            // Map the ratio to [0, len): strictly shorter than the file.
+            let cut = ((bytes.len() as f64) * cut_ratio) as usize;
+            let path = temp(&format!("trunc-{cut}"));
+            std::fs::write(&path, &bytes[..cut]).expect("write");
+            let got = load_sensitivities(&path);
+            std::fs::remove_file(&path).ok();
+            proptest::prop_assert!(
+                matches!(got, Err(SensitivityIoError::BadFormat(_))),
+                "truncation at byte {} must be BadFormat, got {:?}", cut,
+                got.map(|_| "Ok")
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_magic_and_version_bytes_are_bad_format() {
+        let good = tiny_v3_bytes();
+        // Sanity: the untampered bytes load.
+        let path = temp("tamper");
+        std::fs::write(&path, &good).unwrap();
+        assert!(load_sensitivities(&path).is_ok());
+
+        // Flip each magic byte and each version byte in turn.
+        for flip in 0..8 {
+            let mut bad = good.clone();
+            bad[flip] ^= 0xFF;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                matches!(
+                    load_sensitivities(&path),
+                    Err(SensitivityIoError::BadFormat(_))
+                ),
+                "flipped byte {flip} must be rejected"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn payload_length_mismatch_is_bad_format() {
+        let good = tiny_v3_bytes();
+        let path = temp("lenmismatch");
+
+        // Trailing garbage after a valid payload.
+        let mut long = good.clone();
+        long.extend_from_slice(&[0u8; 5]);
+        std::fs::write(&path, &long).unwrap();
+        let err = load_sensitivities(&path).expect_err("trailing bytes rejected");
+        assert!(matches!(err, SensitivityIoError::BadFormat(_)), "{err}");
+
+        // A header claiming more layers than the payload provides.
+        let mut inflated = good.clone();
+        inflated[8..12].copy_from_slice(&2u32.to_le_bytes()); // I: 1 → 2
+        std::fs::write(&path, &inflated).unwrap();
+        let err = load_sensitivities(&path).expect_err("inflated dimensions rejected");
+        assert!(matches!(err, SensitivityIoError::BadFormat(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn implausible_dimensions_are_rejected_without_allocating() {
+        let mut bytes = tiny_v3_bytes();
+        // Claim ~4 billion layers; the loader must refuse before sizing
+        // any buffer from the header.
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let path = temp("hugedims");
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_sensitivities(&path).expect_err("huge dims rejected");
+        assert!(matches!(err, SensitivityIoError::BadFormat(_)), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -376,10 +602,50 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_is_io_error() {
-        assert!(matches!(
-            load_sensitivities(Path::new("/nonexistent/x.clsm")),
-            Err(SensitivityIoError::Io(_))
-        ));
+    fn zero_length_file_gets_a_targeted_error() {
+        let path = temp("empty");
+        std::fs::write(&path, b"").unwrap();
+        match load_sensitivities(&path) {
+            Err(SensitivityIoError::BadFormat(msg)) => {
+                assert!(msg.contains("empty"), "{msg}");
+            }
+            other => panic!("expected BadFormat for empty file, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error_naming_the_path() {
+        match load_sensitivities(Path::new("/nonexistent/x.clsm")) {
+            Err(SensitivityIoError::Io(e)) => {
+                assert!(e.to_string().contains("/nonexistent/x.clsm"), "{e}");
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn permission_denied_is_io_error_naming_the_path() {
+        use std::os::unix::fs::PermissionsExt;
+        let path = temp("noperm");
+        std::fs::write(&path, tiny_v3_bytes()).unwrap();
+        std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o000)).unwrap();
+        let got = load_sensitivities(&path);
+        std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o644)).ok();
+        std::fs::remove_file(&path).ok();
+        // Root bypasses permission bits; only assert when the open failed.
+        if let Err(SensitivityIoError::Io(e)) = got {
+            assert_eq!(e.kind(), io::ErrorKind::PermissionDenied);
+            assert!(e.to_string().contains("noperm"), "{e}");
+        }
+    }
+
+    #[test]
+    fn matrix_debug_output_is_not_needed_for_errors() {
+        // SensitivityIoError must be displayable without touching the
+        // filesystem again (error paths are used in CLI output).
+        let e = SensitivityIoError::BadFormat("x".into());
+        assert!(format!("{e}").contains("bad sensitivity file"));
     }
 }

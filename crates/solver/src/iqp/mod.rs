@@ -66,6 +66,16 @@ pub enum IqpError {
         /// instance is separable but too large for the DP table.
         defect: f64,
     },
+    /// The objective matrix contains a NaN or infinite entry; every solver
+    /// would silently mis-rank assignments, so construction refuses it.
+    NonFiniteObjective {
+        /// Row of the first offending entry.
+        row: usize,
+        /// Column of the first offending entry.
+        col: usize,
+        /// The offending value (NaN or ±∞).
+        value: f64,
+    },
 }
 
 impl fmt::Display for IqpError {
@@ -96,6 +106,11 @@ impl fmt::Display for IqpError {
                 f,
                 "instance has cross-layer terms (max |off-diagonal| = {defect:.3e}); \
                  the DP solver handles separable objectives only"
+            ),
+            Self::NonFiniteObjective { row, col, value } => write!(
+                f,
+                "objective matrix entry ({row}, {col}) is non-finite ({value}); \
+                 quarantine or re-measure the sensitivity before solving"
             ),
         }
     }
@@ -230,6 +245,9 @@ impl IqpProblem {
                 costs: costs.len(),
                 variables: total,
             });
+        }
+        if let Some((row, col, value)) = g.first_non_finite() {
+            return Err(IqpError::NonFiniteObjective { row, col, value });
         }
         let problem = Self {
             g,
@@ -411,12 +429,23 @@ mod tests {
             Err(IqpError::EmptyGroup { group: 1 })
         ));
         assert!(matches!(
-            IqpProblem::new(g, &[2, 2], vec![5, 9, 7, 9], 10),
+            IqpProblem::new(g.clone(), &[2, 2], vec![5, 9, 7, 9], 10),
             Err(IqpError::Infeasible {
                 min_cost: 12,
                 budget: 10
             })
         ));
+        let mut poisoned = g;
+        poisoned.set(1, 3, f64::NAN);
+        let err = IqpProblem::new(poisoned, &[2, 2], vec![0; 4], 10).unwrap_err();
+        match err {
+            IqpError::NonFiniteObjective { row, col, value } => {
+                assert_eq!((row, col), (1, 3));
+                assert!(value.is_nan());
+                assert!(err.to_string().contains("non-finite"));
+            }
+            other => panic!("expected NonFiniteObjective, got {other:?}"),
+        }
     }
 
     #[test]

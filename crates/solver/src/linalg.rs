@@ -227,9 +227,11 @@ impl SymMatrix {
     pub fn psd_project_stats(&self) -> PsdProjection {
         let eig = self.eigen();
         let clipped = eig.values.iter().filter(|&&e| e < 0.0).count();
+        let clipped_mass: f64 = eig.values.iter().filter(|&&e| e < 0.0).map(|e| -e).sum();
         PsdProjection {
             matrix: eig.reassemble_with(|e| e.max(0.0)),
             clipped,
+            clipped_mass,
             sweeps: eig.sweeps,
         }
     }
@@ -237,6 +239,17 @@ impl SymMatrix {
     /// Smallest eigenvalue (convexity diagnostic).
     pub fn min_eigenvalue(&self) -> f64 {
         self.eigen().values[0]
+    }
+
+    /// The first non-finite entry `(i, j, value)` in row-major order, if
+    /// any. Used as a pre-solve validation: a NaN/Inf that slips into the
+    /// IQP objective would silently poison every node bound, so callers
+    /// reject the matrix up front instead.
+    pub fn first_non_finite(&self) -> Option<(usize, usize, f64)> {
+        self.data
+            .iter()
+            .enumerate()
+            .find_map(|(idx, &v)| (!v.is_finite()).then_some((idx / self.n, idx % self.n, v)))
     }
 }
 
@@ -273,6 +286,11 @@ pub struct PsdProjection {
     pub matrix: SymMatrix,
     /// Number of negative eigenvalues clamped to zero.
     pub clipped: usize,
+    /// Total magnitude `Σ|λ|` of the clamped negative eigenvalues — how
+    /// much of the measured matrix the projection discarded. A large
+    /// value relative to `‖Ĝ‖F` means the sensitivity measurement was
+    /// noisy (or poisoned) and the IQP objective is a poor surrogate.
+    pub clipped_mass: f64,
     /// Jacobi sweeps the eigendecomposition took.
     pub sweeps: usize,
 }
@@ -443,6 +461,11 @@ mod tests {
         a.set(0, 1, 2.0); // eigenvalues -1 and 3
         let proj = a.psd_project_stats();
         assert_eq!(proj.clipped, 1);
+        assert!(
+            (proj.clipped_mass - 1.0).abs() < 1e-9,
+            "the clamped eigenvalue −1 carries mass 1, got {}",
+            proj.clipped_mass
+        );
         assert!(proj.sweeps >= 1);
         assert_eq!(proj.matrix, a.psd_project());
         // An already-diagonal matrix converges without any sweep and clips
@@ -451,6 +474,25 @@ mod tests {
         let proj = d.psd_project_stats();
         assert_eq!(proj.sweeps, 0);
         assert_eq!(proj.clipped, 0);
+        assert_eq!(proj.clipped_mass, 0.0);
+    }
+
+    #[test]
+    fn first_non_finite_locates_the_poisoned_entry() {
+        let mut a = SymMatrix::zeros(3);
+        a.set(0, 0, 1.0);
+        a.set(1, 2, 0.5);
+        assert_eq!(a.first_non_finite(), None);
+        a.set(1, 2, f64::NAN);
+        let (i, j, v) = a.first_non_finite().expect("NaN present");
+        // set() mirrors, so row-major order finds (1,2) first.
+        assert_eq!((i, j), (1, 2));
+        assert!(v.is_nan());
+        let mut b = SymMatrix::zeros(2);
+        b.set(1, 1, f64::INFINITY);
+        let (i, j, v) = b.first_non_finite().expect("Inf present");
+        assert_eq!((i, j), (1, 1));
+        assert!(v.is_infinite());
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! Deterministic fail-point facility for fault-injection testing.
+//!
+//! A *fail point* is a named hook compiled into cold paths of the pipeline
+//! (worker dispatch, journal commits, loss evaluation). In release builds
+//! every hook is a no-op that the optimizer removes entirely; in debug
+//! builds a hook consults a process-global registry and — when armed —
+//! panics, aborts the process, or asks the calling code to inject a fault
+//! of its own (a NaN loss, an I/O error).
+//!
+//! Points are armed either programmatically ([`arm`]) or through the
+//! `CLADO_FAULTPOINTS` environment variable, parsed once on first use:
+//!
+//! ```text
+//! CLADO_FAULTPOINTS="journal.commit=abort,skip=10;measure.probe_nan=trigger,times=2"
+//! ```
+//!
+//! Each entry is `name=action[,skip=N][,times=M]`: the point stays silent
+//! for its first `N` hits, then fires on every hit (or only the next `M`
+//! hits when `times` is given). Actions:
+//!
+//! * `panic` — unwind with a tagged panic (exercises per-item isolation),
+//! * `abort` — `std::process::abort()`, simulating a SIGKILL/OOM kill
+//!   with no unwinding and no buffered-state flushing,
+//! * `trigger` — [`fire`] returns `true` and the call site injects its
+//!   own fault (see the two-argument form of [`faultpoint!`]).
+//!
+//! Because hits are counted deterministically (a mutex-serialized counter
+//! per point), a given spec reproduces the same failure at the same
+//! point of the sweep on every run.
+//!
+//! [`faultpoint!`]: crate::faultpoint
+
+use std::fmt;
+
+/// What an armed fail point does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic with a message naming the point (unwinds).
+    Panic,
+    /// Abort the process immediately (no unwinding, no flushing).
+    Abort,
+    /// Make [`fire`] return `true`; the call site injects the fault.
+    Trigger,
+}
+
+/// A parsed fail-point specification: action plus hit window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The action taken when the point fires.
+    pub action: FaultAction,
+    /// Number of initial hits that pass through silently.
+    pub skip: u64,
+    /// How many hits fire after the skip window (`None` = all of them).
+    pub times: Option<u64>,
+}
+
+impl FaultSpec {
+    /// A spec that panics on every hit after `skip`.
+    pub fn panic() -> Self {
+        Self {
+            action: FaultAction::Panic,
+            skip: 0,
+            times: None,
+        }
+    }
+
+    /// A spec that aborts the process on the first hit after `skip`.
+    pub fn abort() -> Self {
+        Self {
+            action: FaultAction::Abort,
+            skip: 0,
+            times: None,
+        }
+    }
+
+    /// A spec that asks the call site to inject its own fault.
+    pub fn trigger() -> Self {
+        Self {
+            action: FaultAction::Trigger,
+            skip: 0,
+            times: None,
+        }
+    }
+
+    /// Sets the silent-hit window.
+    pub fn skip(mut self, n: u64) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Limits how many hits fire.
+    pub fn times(mut self, n: u64) -> Self {
+        self.times = Some(n);
+        self
+    }
+}
+
+/// Error produced by [`parse_specs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError(pub String);
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault-point spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// Parses a `CLADO_FAULTPOINTS`-style string
+/// (`name=action[,skip=N][,times=M];…`) into `(name, spec)` pairs.
+///
+/// # Errors
+///
+/// Returns [`FaultSpecError`] on unknown actions, malformed options, or
+/// missing `=`.
+pub fn parse_specs(raw: &str) -> Result<Vec<(String, FaultSpec)>, FaultSpecError> {
+    let mut out = Vec::new();
+    for entry in raw.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+        let (name, rest) = entry
+            .split_once('=')
+            .ok_or_else(|| FaultSpecError(format!("`{entry}` is missing `=action`")))?;
+        let mut parts = rest.split(',').map(str::trim);
+        let action = match parts.next() {
+            Some("panic") => FaultAction::Panic,
+            Some("abort") => FaultAction::Abort,
+            Some("trigger") => FaultAction::Trigger,
+            other => {
+                return Err(FaultSpecError(format!(
+                    "unknown action `{}` for `{name}` (panic|abort|trigger)",
+                    other.unwrap_or("")
+                )))
+            }
+        };
+        let mut spec = FaultSpec {
+            action,
+            skip: 0,
+            times: None,
+        };
+        for opt in parts {
+            let (key, value) = opt
+                .split_once('=')
+                .ok_or_else(|| FaultSpecError(format!("option `{opt}` is not `key=value`")))?;
+            let n: u64 = value
+                .parse()
+                .map_err(|_| FaultSpecError(format!("`{value}` is not a number in `{opt}`")))?;
+            match key {
+                "skip" => spec.skip = n,
+                "times" => spec.times = Some(n),
+                other => {
+                    return Err(FaultSpecError(format!(
+                        "unknown option `{other}` (skip|times)"
+                    )))
+                }
+            }
+        }
+        out.push((name.trim().to_string(), spec));
+    }
+    Ok(out)
+}
+
+#[cfg(debug_assertions)]
+mod active {
+    use super::{FaultAction, FaultSpec};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    struct Armed {
+        spec: FaultSpec,
+        hits: u64,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Armed>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Armed>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            let mut map = HashMap::new();
+            if let Ok(raw) = std::env::var("CLADO_FAULTPOINTS") {
+                match super::parse_specs(&raw) {
+                    Ok(specs) => {
+                        for (name, spec) in specs {
+                            map.insert(name, Armed { spec, hits: 0 });
+                        }
+                    }
+                    Err(e) => eprintln!("warning: ignoring CLADO_FAULTPOINTS: {e}"),
+                }
+            }
+            Mutex::new(map)
+        })
+    }
+
+    fn lock() -> MutexGuard<'static, HashMap<String, Armed>> {
+        // A panic action poisons the mutex by design; the map itself is
+        // always left consistent, so poisoning is safe to ignore.
+        match registry().lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub fn fire(name: &str) -> bool {
+        let action = {
+            let mut map = lock();
+            let Some(armed) = map.get_mut(name) else {
+                return false;
+            };
+            armed.hits += 1;
+            let n = armed.hits;
+            if n <= armed.spec.skip {
+                return false;
+            }
+            if let Some(times) = armed.spec.times {
+                if n > armed.spec.skip + times {
+                    return false;
+                }
+            }
+            armed.spec.action
+        };
+        match action {
+            FaultAction::Panic => panic!("fault injected at `{name}`"),
+            FaultAction::Abort => {
+                eprintln!("fault injected at `{name}`: aborting process");
+                std::process::abort();
+            }
+            FaultAction::Trigger => true,
+        }
+    }
+
+    pub fn arm(name: &str, spec: FaultSpec) {
+        lock().insert(name.to_string(), Armed { spec, hits: 0 });
+    }
+
+    pub fn disarm(name: &str) {
+        lock().remove(name);
+    }
+
+    pub fn disarm_all() {
+        lock().clear();
+    }
+
+    pub fn hits(name: &str) -> u64 {
+        lock().get(name).map_or(0, |a| a.hits)
+    }
+}
+
+#[cfg(debug_assertions)]
+pub use active::{arm, disarm, disarm_all, fire, hits};
+
+#[cfg(not(debug_assertions))]
+mod inert {
+    use super::FaultSpec;
+
+    /// Release builds: never fires (the hook compiles to nothing).
+    #[inline(always)]
+    pub fn fire(_name: &str) -> bool {
+        false
+    }
+
+    /// Release builds: arming has no effect.
+    #[inline(always)]
+    pub fn arm(_name: &str, _spec: FaultSpec) {}
+
+    /// Release builds: no-op.
+    #[inline(always)]
+    pub fn disarm(_name: &str) {}
+
+    /// Release builds: no-op.
+    #[inline(always)]
+    pub fn disarm_all() {}
+
+    /// Release builds: always zero.
+    #[inline(always)]
+    pub fn hits(_name: &str) -> u64 {
+        0
+    }
+}
+
+#[cfg(not(debug_assertions))]
+pub use inert::{arm, disarm, disarm_all, fire, hits};
+
+/// Serializes fault-injection tests and disarms every point on both
+/// acquisition and release, so tests arming global points cannot
+/// interfere with each other when the test harness runs them in parallel.
+pub struct FaultGuard {
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        disarm_all();
+    }
+}
+
+/// Acquires the global fault-injection test lock. Hold the guard for the
+/// whole test; all points are disarmed when it is acquired and again when
+/// it drops.
+pub fn test_guard() -> FaultGuard {
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let lock = match TEST_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    disarm_all();
+    FaultGuard { _lock: lock }
+}
+
+/// Declares a named fail point.
+///
+/// `faultpoint!("name")` — a hook for `panic`/`abort` specs; a `trigger`
+/// spec is ignored here.
+///
+/// `faultpoint!("name", expr)` — additionally evaluates `expr` when a
+/// `trigger` spec fires, letting the call site inject its own fault
+/// (assign a NaN, return an error, …).
+///
+/// Both forms compile to nothing in release builds.
+#[macro_export]
+macro_rules! faultpoint {
+    ($name:expr) => {
+        let _ = $crate::faultinject::fire($name);
+    };
+    ($name:expr, $on_trigger:expr) => {
+        if $crate::faultinject::fire($name) {
+            $on_trigger
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_specs_accepts_full_grammar() {
+        let specs =
+            parse_specs("journal.commit=abort,skip=10; measure.probe_nan=trigger,times=2").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].0, "journal.commit");
+        assert_eq!(specs[0].1, FaultSpec::abort().skip(10));
+        assert_eq!(specs[1].1, FaultSpec::trigger().times(2));
+        assert!(parse_specs("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_specs_rejects_garbage() {
+        assert!(parse_specs("noequals").is_err());
+        assert!(parse_specs("x=explode").is_err());
+        assert!(parse_specs("x=panic,skip=abc").is_err());
+        assert!(parse_specs("x=panic,frobnicate=1").is_err());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn trigger_respects_skip_and_times_windows() {
+        let _guard = test_guard();
+        arm("test.point", FaultSpec::trigger().skip(2).times(2));
+        let fired: Vec<bool> = (0..6).map(|_| fire("test.point")).collect();
+        assert_eq!(fired, [false, false, true, true, false, false]);
+        assert_eq!(hits("test.point"), 6);
+        disarm("test.point");
+        assert!(!fire("test.point"));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn panic_action_unwinds_with_point_name() {
+        let _guard = test_guard();
+        arm("test.panic", FaultSpec::panic().times(1));
+        let caught = std::panic::catch_unwind(|| fire("test.panic"));
+        let msg = crate::panic_message(&*caught.expect_err("must panic"));
+        assert!(msg.contains("test.panic"), "{msg}");
+        // The window is exhausted: the next hit passes through.
+        assert!(!fire("test.panic"));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn macro_forms_compile_and_inject() {
+        let _guard = test_guard();
+        arm("test.macro", FaultSpec::trigger().times(1));
+        let mut loss = 1.0f64;
+        crate::faultpoint!("test.macro", {
+            loss = f64::NAN;
+        });
+        assert!(loss.is_nan());
+        crate::faultpoint!("test.macro", {
+            loss = 2.0;
+        });
+        assert!(loss.is_nan(), "window exhausted; must not fire again");
+        crate::faultpoint!("test.unarmed");
+    }
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        assert!(!fire("nonexistent.point"));
+        assert_eq!(hits("nonexistent.point"), 0);
+    }
+}

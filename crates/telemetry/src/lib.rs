@@ -37,7 +37,13 @@
 //! span tree with total/self times, counters, gauges, caller-supplied
 //! config, and version/git info — as JSON with a stable schema
 //! (`clado-telemetry-manifest/v1`; see DESIGN.md §Telemetry).
+//!
+//! **Fail points** ([`faultinject`], [`faultpoint!`]) are deterministic
+//! fault-injection hooks compiled to no-ops in release builds; the
+//! fault-tolerance test suites use them to kill workers, abort commits,
+//! and poison losses at reproducible points of a run.
 
+pub mod faultinject;
 mod json;
 mod manifest;
 mod progress;

@@ -65,7 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             scheme,
             ..Default::default()
         },
-    );
+    )
+    .expect("sensitivity measurement");
     println!(
         "sensitivities measured: {} network evaluations in {:.1}s",
         sm.stats.evaluations, sm.stats.seconds

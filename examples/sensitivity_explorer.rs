@@ -23,7 +23,8 @@ fn main() {
         &sens_set,
         &bits,
         &SensitivityOptions::default(),
-    );
+    )
+    .expect("sensitivity measurement");
 
     let names: Vec<String> = p
         .network

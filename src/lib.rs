@@ -25,7 +25,8 @@
 //!     &sens_set,
 //!     &BitWidthSet::standard(),
 //!     &SensitivityOptions::default(),
-//! );
+//! )
+//! .expect("sensitivity measurement");
 //! let sizes = LayerSizes::new(p.network.layer_param_counts());
 //! let a = assign_bits(&sm, &sizes, sizes.budget_from_avg_bits(3.0), &AssignOptions::default())?;
 //! println!("{}", a.bitmap());

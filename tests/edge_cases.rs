@@ -125,7 +125,8 @@ fn block_mask_length_is_validated() {
         &set,
         &BitWidthSet::new(&[2, 8]),
         &SensitivityOptions::default(),
-    );
+    )
+    .expect("sensitivity measurement");
     let _ = sm.block_masked(&[0]); // wrong length: 1 id for 2 layers
 }
 

@@ -70,7 +70,8 @@ fn full_pipeline_is_deterministic() {
         let (mut net, data) = trained_cnn();
         let sens = data.train.sample_subset(32, 7);
         let bits = BitWidthSet::standard();
-        let sm = measure_sensitivities(&mut net, &sens, &bits, &SensitivityOptions::default());
+        let sm = measure_sensitivities(&mut net, &sens, &bits, &SensitivityOptions::default())
+            .expect("sensitivity measurement");
         let sizes = LayerSizes::new(net.layer_param_counts());
         let budget = sizes.budget_from_avg_bits(3.0);
         let a = assign_bits(&sm, &sizes, budget, &AssignOptions::default()).expect("feasible");
@@ -96,7 +97,8 @@ fn clado_beats_worst_case_assignment_and_respects_budget() {
     let (mut net, data) = trained_cnn();
     let sens = data.train.sample_subset(48, 3);
     let bits = BitWidthSet::standard();
-    let sm = measure_sensitivities(&mut net, &sens, &bits, &SensitivityOptions::default());
+    let sm = measure_sensitivities(&mut net, &sens, &bits, &SensitivityOptions::default())
+        .expect("sensitivity measurement");
     let sizes = LayerSizes::new(net.layer_param_counts());
     let budget = sizes.budget_from_avg_bits(3.0);
     let a = assign_bits(&sm, &sizes, budget, &AssignOptions::default()).expect("feasible");
@@ -170,7 +172,8 @@ fn variant_masks_change_only_off_diagonal_structure() {
     let (mut net, data) = trained_cnn();
     let sens = data.train.sample_subset(24, 11);
     let bits = BitWidthSet::standard();
-    let sm = measure_sensitivities(&mut net, &sens, &bits, &SensitivityOptions::default());
+    let sm = measure_sensitivities(&mut net, &sens, &bits, &SensitivityOptions::default())
+        .expect("sensitivity measurement");
     let sizes = LayerSizes::new(net.layer_param_counts());
     let budget = sizes.budget_from_avg_bits(4.0);
 
