@@ -1,16 +1,17 @@
 //! Measurement-engine benchmark — serial/full-forward vs parallel/
 //! prefix-cached sensitivity measurement on a ResNet-style model.
 //!
-//! Runs Algorithm 1 five times on the same (untrained) ResNet-20 analogue
+//! Runs Algorithm 1 six times on the same (untrained) ResNet-20 analogue
 //! and sensitivity set — (a) one thread with the prefix cache disabled
 //! (the pre-engine baseline), (b) one thread with the cache, (c) all cores
 //! with the cache, (d) configuration (b) again with telemetry enabled,
-//! (e) configuration (b) with probe journaling to a checkpoint directory —
-//! checks all five matrices are bitwise identical, and records the
-//! timings (including the telemetry overhead ratio (d)/(b) and the
-//! fault-free checkpointing overhead ratio (e)/(b)) to
-//! `BENCH_sensitivity.json` at the repo root, as a
-//! `clado-telemetry-manifest/v1` document.
+//! (e) configuration (b) with probe journaling to a checkpoint directory,
+//! (f) a distributed sweep: a loopback-TCP coordinator sharding the probe
+//! grid across three worker threads — checks all six matrices are bitwise
+//! identical, and records the timings (including the telemetry overhead
+//! ratio (d)/(b), the fault-free checkpointing overhead ratio (e)/(b),
+//! and `distributed.speedup_ratio` (b)/(f)) to `BENCH_sensitivity.json`
+//! at the repo root, as a `clado-telemetry-manifest/v1` document.
 //!
 //! The overhead ratios compare configurations whose true difference is a
 //! few percent, far below single-shot wall-time noise on a busy machine,
@@ -21,9 +22,13 @@
 //! cargo bench -p clado-bench --bench sensitivity_engine
 //! ```
 
-use clado_core::{measure_sensitivities, SensitivityMatrix, SensitivityOptions};
-use clado_models::{build_resnet, ResNetConfig, SynthVision, SynthVisionConfig};
-use clado_quant::BitWidthSet;
+use clado_core::{measure_sensitivities, SensitivityMatrix, SensitivityOptions, ShardContext};
+use clado_dist::{
+    run_worker, scheme_to_u8, Coordinator, CoordinatorOptions, JobSpec, WorkerOptions,
+};
+use clado_models::{build_resnet, DataSplit, ResNetConfig, SynthVision, SynthVisionConfig};
+use clado_nn::Network;
+use clado_quant::{BitWidthSet, QuantScheme};
 use clado_telemetry::Telemetry;
 use std::path::Path;
 
@@ -75,6 +80,73 @@ fn measure(
         sm.stats.seconds, sm.stats.threads_used, sm.stats.full_evals, sm.stats.prefix_cache_hits
     );
     sm
+}
+
+/// The same model + sensitivity set the serial configurations use;
+/// distributed workers rebuild it independently from the job spec.
+fn bench_setup() -> (Network, DataSplit) {
+    let network = build_resnet(&ResNetConfig::resnet20_mini(10, 41));
+    let data = SynthVision::generate(SynthVisionConfig {
+        train: 128,
+        val: 32,
+        ..Default::default()
+    });
+    let set = data.train.subset(&(0..96).collect::<Vec<_>>());
+    (network, set)
+}
+
+/// Configuration (f): a loopback-TCP coordinator sharding the sweep
+/// across `workers` in-process worker threads. Returns the assembled
+/// matrix and its wall time.
+fn measure_distributed(workers: usize) -> (SensitivityMatrix, f64) {
+    let (network, set) = bench_setup();
+    let bits = BitWidthSet::new(&[2, 8]);
+    let scheme = QuantScheme::PerTensorSymmetric;
+    let batch_size = SensitivityOptions::default().batch_size;
+    let ctx = ShardContext::new(&network, set.len(), &bits, scheme, batch_size, true);
+    let job = JobSpec {
+        model: "resnet20-mini".into(),
+        set_size: set.len() as u64,
+        set_seed: 0,
+        batch_size: batch_size as u64,
+        bits: bits.iter().map(|b| b.bits()).collect(),
+        scheme: scheme_to_u8(scheme),
+        use_prefix_cache: true,
+        fingerprint: ctx.fingerprint(),
+    };
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        ctx,
+        job,
+        CoordinatorOptions {
+            idle_timeout: Some(std::time::Duration::from_secs(120)),
+            ..Default::default()
+        },
+    )
+    .expect("bind coordinator");
+    let addr = coordinator.local_addr().to_string();
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                run_worker(&addr, |_job| Ok(bench_setup()), &WorkerOptions::default())
+            })
+        })
+        .collect();
+    let start = std::time::Instant::now();
+    let outcome = coordinator.run().expect("distributed sweep");
+    let secs = start.elapsed().as_secs_f64();
+    for h in handles {
+        h.join().expect("worker thread").expect("worker run");
+    }
+    println!(
+        "  {:<28} {secs:>7.2}s   {} workers, {} evictions, straggler {:.2}s",
+        "distributed, 3 workers",
+        outcome.workers.len(),
+        outcome.evictions,
+        outcome.straggler_seconds
+    );
+    (outcome.matrix, secs)
 }
 
 fn assert_bitwise_equal(a: &SensitivityMatrix, b: &SensitivityMatrix, label: &str) {
@@ -131,10 +203,12 @@ fn main() {
         )
     });
     let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let (distributed, distributed_secs) = measure_distributed(3);
     assert_bitwise_equal(&naive, &cached, "prefix cache changed the matrix");
     assert_bitwise_equal(&naive, &parallel, "parallelism changed the matrix");
     assert_bitwise_equal(&naive, &timed, "telemetry changed the matrix");
     assert_bitwise_equal(&naive, &journaled, "journaling changed the matrix");
+    assert_bitwise_equal(&naive, &distributed, "distribution changed the matrix");
     assert_eq!(
         journaled.stats.resumed + journaled.stats.retried + journaled.stats.quarantined,
         0,
@@ -145,10 +219,12 @@ fn main() {
     let total_speedup = naive.stats.seconds / parallel.stats.seconds;
     let overhead_ratio = timed_secs / cached_secs;
     let checkpoint_overhead = journaled_secs / cached_secs;
+    let distributed_speedup = cached_secs / distributed_secs;
     println!("  prefix-cache speedup  {cache_speedup:>6.2}×");
     println!("  combined speedup      {total_speedup:>6.2}×   (matrices bitwise identical)");
     println!("  telemetry overhead    {overhead_ratio:>6.3}×   (enabled / disabled wall time)");
     println!("  checkpoint overhead   {checkpoint_overhead:>6.3}×   (journaled / plain wall time)");
+    println!("  distributed speedup   {distributed_speedup:>6.2}×   (serial-prefix / 3-worker wall time)");
 
     // The bench record *is* a telemetry manifest: timings land in gauges,
     // the instrumented run's counters and span tree come along for free.
@@ -160,6 +236,8 @@ fn main() {
     registry.set_gauge("telemetry.overhead_ratio", overhead_ratio);
     registry.set_gauge("bench.serial_journal_seconds", journaled_secs);
     registry.set_gauge("bench.checkpoint_overhead_ratio", checkpoint_overhead);
+    registry.set_gauge("bench.distributed_seconds", distributed_secs);
+    registry.set_gauge("distributed.speedup_ratio", distributed_speedup);
     let json = registry.manifest(
         "bench.sensitivity_engine",
         &[

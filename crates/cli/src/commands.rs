@@ -7,14 +7,19 @@
 use crate::args::{Args, ArgsError};
 use clado_core::{
     assign_bits, load_sensitivities, measure_sensitivities, quantized_accuracy, save_sensitivities,
-    Algorithm, AssignOptions, CladoVariant, ExperimentContext, SensitivityOptions,
+    Algorithm, AssignOptions, CladoVariant, ExperimentContext, SensitivityOptions, ShardContext,
+};
+use clado_dist::{
+    run_worker, scheme_to_u8, Coordinator, CoordinatorOptions, JobSpec, WorkerOptions,
 };
 use clado_models::{pretrained, ModelKind};
 use clado_quant::{bits_to_mb, BitWidth, BitWidthSet, LayerSizes, QuantScheme};
 use clado_solver::SolverConfig;
 use clado_telemetry::{ManifestValue, Telemetry};
 use std::error::Error;
+use std::io::Write;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Usage text for `clado --help` / unknown commands.
 pub const USAGE: &str = "\
@@ -33,6 +38,14 @@ COMMANDS:
                [--checkpoint-dir <dir>   journal each probe for crash-safe resume]
                [--resume                 restore completed probes from the journal]
                [--retries N (default 1)  per-probe retry budget on worker panics]
+               [--workers N              shard the sweep across N local worker processes]
+               [--listen <addr>          accept remote `clado worker` processes
+                                         (default 127.0.0.1:0; prints the bound address)]
+               [--heartbeat-timeout-ms 3000   evict a silent worker after this long]
+               [--idle-timeout-secs 180       fail if no worker connects (0 = wait forever)]
+  worker       --connect <addr>          join a distributed sensitivity sweep; the
+                                         coordinator sends the job spec and shards
+               [--heartbeat-ms 500] [--connect-timeout-secs 10] [--verbose]
   assign       --model <id> --avg-bits <f>
                                   solve eq. (11) and report the bit map + PTQ accuracy
                [--sens <file.clsm>] [--algorithm clado|clado-star|block|hawq|mpqco]
@@ -193,6 +206,23 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
         )));
     }
 
+    let workers: usize = args.get_or("workers", 0)?;
+    if workers > 0 || args.get("listen").is_some() {
+        return cmd_sensitivity_distributed(
+            args,
+            &run,
+            kind,
+            &out,
+            set_size,
+            set_seed,
+            &bits,
+            scheme,
+            checkpoint_dir,
+            resume,
+            workers,
+        );
+    }
+
     let (mut p, sens_set) = {
         let _s = run.telemetry.span("load");
         let p = pretrained(kind);
@@ -249,6 +279,184 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
             ("resumed", sm.stats.resumed.into()),
             ("retried", sm.stats.retried.into()),
             ("quarantined", sm.stats.quarantined.into()),
+        ],
+    )
+}
+
+/// The distributed arm of `clado sensitivity`: bind a coordinator,
+/// optionally spawn `--workers` local worker subprocesses, lease shards
+/// until the sweep completes, then persist the (bitwise-identical) Ĝ.
+#[allow(clippy::too_many_arguments)]
+fn cmd_sensitivity_distributed(
+    args: &Args,
+    run: &RunContext,
+    kind: ModelKind,
+    out: &std::path::Path,
+    set_size: usize,
+    set_seed: u64,
+    bits: &BitWidthSet,
+    scheme: QuantScheme,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    workers: usize,
+) -> Result<(), Box<dyn Error>> {
+    let verbose = args.switch("verbose");
+    let use_prefix_cache = !args.switch("no-prefix-cache");
+    let batch_size = SensitivityOptions::default().batch_size;
+    let (p, sens_set) = {
+        let _s = run.telemetry.span("load");
+        let p = pretrained(kind);
+        let sens_set = p
+            .data
+            .train
+            .sample_subset(set_size.min(p.data.train.len()), set_seed);
+        (p, sens_set)
+    };
+    let ctx = ShardContext::new(
+        &p.network,
+        sens_set.len(),
+        bits,
+        scheme,
+        batch_size,
+        use_prefix_cache,
+    );
+    let job = JobSpec {
+        model: kind.id().to_string(),
+        set_size: set_size as u64,
+        set_seed,
+        batch_size: batch_size as u64,
+        bits: bits.iter().map(|b| b.bits()).collect(),
+        scheme: scheme_to_u8(scheme),
+        use_prefix_cache,
+        fingerprint: ctx.fingerprint(),
+    };
+    let idle_secs: u64 = args.get_or("idle-timeout-secs", 180)?;
+    let coordinator = Coordinator::bind(
+        args.get("listen").unwrap_or("127.0.0.1:0"),
+        ctx,
+        job,
+        CoordinatorOptions {
+            heartbeat_timeout: Duration::from_millis(args.get_or("heartbeat-timeout-ms", 3000)?),
+            checkpoint_dir,
+            resume,
+            telemetry: run.telemetry.clone(),
+            verbose,
+            idle_timeout: (idle_secs > 0).then(|| Duration::from_secs(idle_secs)),
+        },
+    )?;
+    let addr = coordinator.local_addr();
+    // Always printed (even under --quiet): with `--listen 127.0.0.1:0`
+    // this line is the only way to learn the bound port, and scripts
+    // parse it to start remote workers.
+    println!("coordinator listening on {addr}");
+    std::io::stdout().flush()?;
+
+    let mut children = Vec::new();
+    for _ in 0..workers {
+        let mut cmd = std::process::Command::new(std::env::current_exe()?);
+        cmd.arg("worker")
+            .arg("--connect")
+            .arg(addr.to_string())
+            .arg("--quiet")
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null());
+        if verbose {
+            cmd.arg("--verbose");
+        }
+        children.push(cmd.spawn()?);
+    }
+    let outcome = coordinator.run();
+    // Reap the subprocess fleet whether the sweep succeeded or not.
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let outcome = outcome?;
+    let sm = outcome.matrix;
+    {
+        let _s = run.telemetry.span("save");
+        save_sensitivities(&sm, out)?;
+    }
+    println!(
+        "measured Ĝ for {} (𝔹 = {bits}, {} samples): {} evaluations in {:.1}s → {}",
+        kind.display_name(),
+        set_size,
+        sm.stats.evaluations,
+        sm.stats.seconds,
+        out.display()
+    );
+    run.info(&format!(
+        "distributed: {} worker(s), {} eviction(s), {} rejected, straggler {:.1}s",
+        outcome.workers.len(),
+        outcome.evictions,
+        outcome.rejected,
+        outcome.straggler_seconds
+    ));
+    for w in &outcome.workers {
+        run.info(&format!(
+            "  worker {} (pid {}): {} shards, {} probes, {:.1}s busy",
+            w.id, w.pid, w.shards, w.probes, w.seconds
+        ));
+    }
+    if sm.stats.resumed + sm.stats.retried + sm.stats.quarantined > 0 {
+        run.info(&format!(
+            "fault recovery: {} probes resumed from journal, {} retried, {} quarantined",
+            sm.stats.resumed, sm.stats.retried, sm.stats.quarantined
+        ));
+    }
+    run.finish(
+        "sensitivity",
+        &[
+            ("model", kind.id().into()),
+            ("bits", bits.to_string().into()),
+            ("scheme", format!("{scheme:?}").into()),
+            ("set_size", set_size.into()),
+            ("seed", set_seed.into()),
+            ("resume", resume.into()),
+            ("resumed", sm.stats.resumed.into()),
+            ("retried", sm.stats.retried.into()),
+            ("quarantined", sm.stats.quarantined.into()),
+            ("workers", outcome.workers.len().into()),
+            ("evictions", outcome.evictions.into()),
+            ("rejected_workers", outcome.rejected.into()),
+            ("straggler_seconds", outcome.straggler_seconds.into()),
+        ],
+    )
+}
+
+/// `clado worker --connect <addr>`
+pub fn cmd_worker(args: &Args) -> Result<(), Box<dyn Error>> {
+    let run = RunContext::from_args(args)?;
+    let addr: String = args.require("connect")?;
+    let report = run_worker(
+        &addr,
+        |job| {
+            // Mirror the coordinator's job setup exactly: same model
+            // loader, same subset sampling. Any drift shows up as a
+            // fingerprint mismatch and the coordinator rejects us.
+            let kind = model_kind(&job.model).map_err(|e| e.to_string())?;
+            let p = pretrained(kind);
+            let n = (job.set_size as usize).min(p.data.train.len());
+            Ok((p.network, p.data.train.sample_subset(n, job.set_seed)))
+        },
+        &WorkerOptions {
+            heartbeat_interval: Duration::from_millis(args.get_or("heartbeat-ms", 500)?),
+            connect_timeout: Duration::from_secs(args.get_or("connect-timeout-secs", 10)?),
+            telemetry: run.telemetry.clone(),
+            verbose: args.switch("verbose"),
+        },
+    )?;
+    println!(
+        "worker finished: {} shards, {} probes, {:.1}s busy",
+        report.shards, report.probes, report.seconds
+    );
+    run.finish(
+        "worker",
+        &[
+            ("connect", addr.as_str().into()),
+            ("shards", report.shards.into()),
+            ("probes", report.probes.into()),
+            ("busy_seconds", report.seconds.into()),
         ],
     )
 }
@@ -495,7 +703,15 @@ mod tests {
 
     #[test]
     fn usage_covers_every_command() {
-        for cmd in ["models", "train", "sensitivity", "assign", "sweep", "eval"] {
+        for cmd in [
+            "models",
+            "train",
+            "sensitivity",
+            "worker",
+            "assign",
+            "sweep",
+            "eval",
+        ] {
             assert!(USAGE.contains(cmd), "usage missing `{cmd}`");
         }
     }

@@ -26,6 +26,7 @@ fn main() -> ExitCode {
         "models" => commands::cmd_models(&parsed),
         "train" => commands::cmd_train(&parsed),
         "sensitivity" | "measure" => commands::cmd_sensitivity(&parsed),
+        "worker" => commands::cmd_worker(&parsed),
         "assign" => commands::cmd_assign(&parsed),
         "sweep" => commands::cmd_sweep(&parsed),
         "eval" => commands::cmd_eval(&parsed),

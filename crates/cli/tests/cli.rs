@@ -260,6 +260,217 @@ fn sensitivity_killed_mid_sweep_resumes_bitwise_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn assert_clsm_bitwise_equal(reference: &std::path::Path, candidate: &std::path::Path) {
+    use clado_core::load_sensitivities;
+    let a = load_sensitivities(reference).expect("reference .clsm loads");
+    let b = load_sensitivities(candidate).expect("candidate .clsm loads");
+    assert_eq!(a.base_loss.to_bits(), b.base_loss.to_bits(), "base loss");
+    let dim = a.matrix().dim();
+    assert_eq!(dim, b.matrix().dim(), "matrix dimension");
+    for u in 0..dim {
+        for v in u..dim {
+            assert_eq!(
+                a.matrix().get(u, v).to_bits(),
+                b.matrix().get(u, v).to_bits(),
+                "entry ({u},{v}) differs"
+            );
+        }
+    }
+}
+
+fn measure_args(out: &std::path::Path) -> Vec<String> {
+    vec![
+        "measure".to_string(),
+        "--model".into(),
+        "resnet20".into(),
+        "--out".into(),
+        out.to_str().expect("utf8 path").into(),
+        "--set-size".into(),
+        "8".into(),
+        "--bits".into(),
+        "4,8".into(),
+        "--quiet".into(),
+    ]
+}
+
+fn count_shards(ckpt: &std::path::Path) -> usize {
+    std::fs::read_dir(ckpt).map_or(0, |it| {
+        it.filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "clsj")
+        })
+        .count()
+    })
+}
+
+/// The acceptance scenario for the distributed sweep: a coordinator with
+/// three worker processes, one of which is SIGKILLed at roughly 50% of
+/// the sweep. The coordinator must evict the dead worker's lease,
+/// reassign it, and produce a `.clsm` bitwise-identical to a serial run.
+#[test]
+fn distributed_sweep_with_sigkilled_worker_is_bitwise_identical_to_serial() {
+    use std::io::BufRead;
+
+    let dir = std::env::temp_dir().join(format!("clado-cli-dist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let reference = dir.join("reference.clsm");
+    let distributed = dir.join("distributed.clsm");
+    let ckpt = dir.join("ckpt");
+
+    // Serial reference run.
+    let out = clado()
+        .args(measure_args(&reference))
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Coordinator in listen mode with journaling (the journal doubles as
+    // our progress probe for timing the SIGKILL).
+    let mut coord_args = measure_args(&distributed);
+    coord_args.extend([
+        "--listen".into(),
+        "127.0.0.1:0".into(),
+        "--checkpoint-dir".into(),
+        ckpt.to_str().expect("utf8 path").to_string(),
+        "--idle-timeout-secs".into(),
+        "120".into(),
+    ]);
+    let mut coordinator = clado()
+        .args(&coord_args)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("coordinator spawns");
+    let mut stdout = std::io::BufReader::new(coordinator.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("coordinator listening on ")
+        .unwrap_or_else(|| panic!("unexpected first line: {line:?}"))
+        .to_string();
+
+    // Three worker processes.
+    let mut workers: Vec<_> = (0..3)
+        .map(|_| {
+            clado()
+                .args(["worker", "--connect", &addr, "--quiet"])
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("worker spawns")
+        })
+        .collect();
+
+    // SIGKILL one worker once ~half the 30 shards are committed. Workers
+    // spend nearly all their time mid-lease, so the kill lands mid-shard.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    while count_shards(&ckpt) < 15 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sweep never reached 50% ({} shards committed)",
+            count_shards(&ckpt)
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let mut victim = workers.remove(0);
+    victim.kill().expect("SIGKILL the worker");
+    victim.wait().expect("reap the victim");
+
+    let status = coordinator.wait().expect("coordinator exits");
+    for mut w in workers {
+        let _ = w.wait();
+    }
+    assert!(status.success(), "coordinator failed after worker SIGKILL");
+    assert_clsm_bitwise_equal(&reference, &distributed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Coordinator crash + resume: a distributed sweep with spawned workers
+/// is aborted (SIGKILL-style, via the `journal.commit` fail point) at
+/// its 15th shard commit, then resumed distributed. The resumed run must
+/// restore the journaled shards and produce a bitwise-identical `.clsm`.
+///
+/// Fail points only exist in debug builds.
+#[cfg(debug_assertions)]
+#[test]
+fn distributed_coordinator_abort_and_resume_is_bitwise_identical() {
+    use clado_core::load_sensitivities;
+
+    let dir = std::env::temp_dir().join(format!("clado-cli-dist-abort-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let reference = dir.join("reference.clsm");
+    let recovered = dir.join("recovered.clsm");
+    let ckpt = dir.join("ckpt");
+
+    let out = clado()
+        .args(measure_args(&reference))
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Coordinator (with 2 spawned workers) dies at its 15th journal
+    // commit — no unwinding, no flushing, exactly like a SIGKILL.
+    let mut args = measure_args(&recovered);
+    args.extend([
+        "--workers".into(),
+        "2".into(),
+        "--checkpoint-dir".into(),
+        ckpt.to_str().expect("utf8 path").to_string(),
+        "--idle-timeout-secs".into(),
+        "120".into(),
+    ]);
+    let out = clado()
+        .args(&args)
+        .env("CLADO_FAULTPOINTS", "journal.commit=abort,skip=14")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "the armed abort must kill the sweep");
+    assert!(!recovered.exists(), "no .clsm may appear from a dead sweep");
+    assert_eq!(
+        count_shards(&ckpt),
+        14,
+        "commits before the abort are durable"
+    );
+
+    // Resume distributed: journaled shards restore, the rest re-measure.
+    args.push("--resume".into());
+    let out = clado().args(&args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_clsm_bitwise_equal(&reference, &recovered);
+    let b = load_sensitivities(&recovered).expect("recovered .clsm loads");
+    assert!(b.stats.resumed > 0, "resumed run restored journaled probes");
+    let a = load_sensitivities(&reference).expect("reference .clsm loads");
+    assert_eq!(
+        b.stats.resumed + b.stats.evaluations,
+        a.stats.evaluations,
+        "every probe was either resumed or re-measured exactly once"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn worker_requires_connect() {
+    let out = clado().arg("worker").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--connect"));
+}
+
 #[test]
 fn sensitivity_resume_requires_checkpoint_dir() {
     let out = clado()

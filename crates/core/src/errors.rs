@@ -37,6 +37,14 @@ pub enum MeasureError {
         /// The offending value (NaN or ±Inf).
         loss: f64,
     },
+    /// Ω assembly found probes of the grid with no record — the sweep
+    /// ended (or a journal was loaded) before every shard completed.
+    MissingProbes {
+        /// Probes of the grid without a record.
+        missing: usize,
+        /// Total probes the configuration requires.
+        total: usize,
+    },
 }
 
 impl fmt::Display for MeasureError {
@@ -60,6 +68,11 @@ impl fmt::Display for MeasureError {
                 f,
                 "base loss L(w) is non-finite ({loss}) after retry; \
                  the sensitivity set or model is unusable"
+            ),
+            Self::MissingProbes { missing, total } => write!(
+                f,
+                "sensitivity assembly is missing {missing} of {total} probe records; \
+                 the sweep did not complete"
             ),
         }
     }

@@ -55,6 +55,7 @@ mod qat;
 mod search;
 mod sensitivity;
 mod sensitivity_io;
+mod shard;
 
 pub use assign::{assign_bits, solve_with_matrix, AssignOptions, BitAssignment, CladoVariant};
 pub use baselines::{
@@ -74,3 +75,4 @@ pub use sensitivity::{
     measure_sensitivities, SensitivityMatrix, SensitivityOptions, SensitivityStats,
 };
 pub use sensitivity_io::{load_sensitivities, save_sensitivities, SensitivityIoError};
+pub use shard::{config_fingerprint, ShardContext, ShardRunStats, ShardSpec};

@@ -30,7 +30,7 @@
 
 use crate::engine::{replica_map_checked, resolve_threads};
 use crate::errors::MeasureError;
-use crate::journal::{self, fingerprint, JournalError, JournalWriter, ProbeId, ProbeRecord};
+use crate::journal::{self, JournalError, JournalWriter, ProbeId, ProbeRecord};
 use crate::probe::{
     build_prefix_cache, eval_loss, eval_loss_from, quant_error_table, PrefixCache, PROBE_BATCH,
 };
@@ -480,15 +480,15 @@ pub fn measure_sensitivities(
     // The journal fingerprint binds a checkpoint directory to one
     // measurement configuration; resuming under different bits, scheme,
     // data, or batch size is a hard error rather than a silent mix.
-    let mut fp_fields: Vec<u64> = vec![
-        num_layers as u64,
-        k as u64,
-        options.scheme as u64,
-        sens_set.len() as u64,
-        batch_size as u64,
-    ];
-    fp_fields.extend((0..k).map(|m| u64::from(bits.get(m).bits())));
-    let fp = fingerprint(&fp_fields);
+    // Shared with the distributed coordinator/worker handshake, so a
+    // journal written here is resumable there and vice versa.
+    let fp = crate::shard::config_fingerprint(
+        num_layers,
+        bits,
+        options.scheme,
+        sens_set.len(),
+        batch_size,
+    );
 
     let mut resume_records: HashMap<ProbeId, ProbeRecord> = HashMap::new();
     let mut writer: Option<JournalWriter> = None;

@@ -1,0 +1,644 @@
+//! Canonical shard decomposition of the sensitivity probe grid.
+//!
+//! [`crate::measure_sensitivities`] evaluates the probe grid in-process;
+//! `clado-dist` fans the same grid out across worker processes. Both
+//! views agree on one canonical decomposition into *shards* — the unit
+//! of leasing, journaling, and reassignment:
+//!
+//! * [`ShardSpec::Base`] — the single unperturbed evaluation `L(w)`;
+//! * [`ShardSpec::Diag`]`{ layer: i }` — all `|𝔹|` diagonal probes of
+//!   layer `i` (eq. 12);
+//! * [`ShardSpec::Pair`]`{ outer: i }` — all `|𝔹|²(I−1−i)` cross-layer
+//!   probes whose outer layer is `i` (eq. 13).
+//!
+//! These are exactly the work items of the in-process engine, so CLSJ
+//! journals written by either path resume interchangeably: a sweep
+//! checkpointed by a single process can be finished by a distributed
+//! coordinator and vice versa, bit for bit.
+//!
+//! # Determinism
+//!
+//! [`ShardContext::run_shard`] replays the in-process engine's exact
+//! perturb → evaluate → restore order per shard, the evaluation-mode
+//! forward is pure, and the prefix-cached path is bitwise equal to a
+//! full forward (all test-enforced). Because every probe is keyed by its
+//! [`ProbeId`], [`ShardContext::assemble`] rebuilds Ω from any execution
+//! order — whichever worker evaluated whichever shard, however many
+//! times leases were evicted and reassigned — and the result is bitwise
+//! identical to a single-process run.
+
+use crate::errors::MeasureError;
+use crate::journal::{fingerprint, ProbeId, ProbeRecord};
+use crate::probe::{build_prefix_cache, eval_loss, eval_loss_from, quant_error_table, PrefixCache};
+use clado_models::DataSplit;
+use clado_nn::Network;
+use clado_quant::{BitWidthSet, QuantScheme};
+use clado_solver::SymMatrix;
+use clado_telemetry::Telemetry;
+use clado_tensor::Tensor;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+/// One leasable unit of the probe grid (see the module docs for the
+/// canonical decomposition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardSpec {
+    /// The unperturbed base evaluation `L(w)`.
+    Base,
+    /// All diagonal probes of one layer.
+    Diag {
+        /// The probed layer index.
+        layer: u32,
+    },
+    /// All cross-layer probes with one fixed outer layer.
+    Pair {
+        /// The outer layer index `i` (inner layers are `i+1..I`).
+        outer: u32,
+    },
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Base => write!(f, "base"),
+            Self::Diag { layer } => write!(f, "diag({layer})"),
+            Self::Pair { outer } => write!(f, "pair({outer})"),
+        }
+    }
+}
+
+/// The journal/handshake fingerprint of one measurement configuration.
+///
+/// Binds a CLSJ checkpoint directory — and, in distributed runs, a
+/// worker's locally-reconstructed job — to one measurement
+/// configuration, so probes measured under different bits, scheme, data,
+/// or batch size can never silently mix. The field order is part of the
+/// on-disk CLSJ format; do not reorder.
+pub fn config_fingerprint(
+    num_layers: usize,
+    bits: &BitWidthSet,
+    scheme: QuantScheme,
+    set_len: usize,
+    batch_size: usize,
+) -> u64 {
+    let mut fields: Vec<u64> = vec![
+        num_layers as u64,
+        bits.len() as u64,
+        scheme as u64,
+        set_len as u64,
+        batch_size as u64,
+    ];
+    fields.extend((0..bits.len()).map(|m| u64::from(bits.get(m).bits())));
+    fingerprint(&fields)
+}
+
+/// Per-shard evaluation statistics, reported by workers and aggregated
+/// by the coordinator into [`crate::SensitivityStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShardRunStats {
+    /// Evaluations that ran the full forward pass.
+    pub full_evals: u64,
+    /// Evaluations that ran only the suffix on cached activations.
+    pub cache_hits: u64,
+    /// Prefix-activation caches built.
+    pub cache_builds: u64,
+    /// Non-finite losses re-evaluated once.
+    pub retried: u64,
+    /// Probes whose loss stayed non-finite after the retry.
+    pub quarantined: u64,
+    /// Wall-clock time spent evaluating this shard.
+    pub seconds: f64,
+}
+
+/// Everything needed to evaluate any shard of one measurement
+/// configuration: the Δw perturbation table, the pristine weight
+/// snapshot, and the probe-evaluation options.
+///
+/// Construction is deterministic, so a coordinator and its workers —
+/// each building a `ShardContext` from its own copy of the model —
+/// arrive at identical perturbations and identical
+/// [`ShardContext::fingerprint`]s.
+pub struct ShardContext {
+    deltas: Vec<Vec<Tensor>>,
+    stages: Vec<usize>,
+    originals: Vec<Tensor>,
+    bits: BitWidthSet,
+    scheme: QuantScheme,
+    batch_size: usize,
+    use_prefix_cache: bool,
+    set_len: usize,
+}
+
+impl ShardContext {
+    /// Builds the context from a network positioned at the weights to be
+    /// probed. The network is only read; probing happens later on a
+    /// replica passed to [`ShardContext::run_shard`].
+    pub fn new(
+        network: &Network,
+        set_len: usize,
+        bits: &BitWidthSet,
+        scheme: QuantScheme,
+        batch_size: usize,
+        use_prefix_cache: bool,
+    ) -> Self {
+        let num_layers = network.quantizable_layers().len();
+        Self {
+            deltas: quant_error_table(network, bits, scheme),
+            stages: (0..num_layers).map(|i| network.stage_of(i)).collect(),
+            originals: network.snapshot_weights(),
+            bits: bits.clone(),
+            scheme,
+            batch_size,
+            use_prefix_cache,
+            set_len,
+        }
+    }
+
+    /// Number of quantizable layers `I`.
+    pub fn num_layers(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The bit-width candidate set 𝔹.
+    pub fn bits(&self) -> &BitWidthSet {
+        &self.bits
+    }
+
+    /// The configuration fingerprint (see [`config_fingerprint`]); equal
+    /// to the fingerprint [`crate::measure_sensitivities`] stamps on its
+    /// CLSJ journal for the same configuration.
+    pub fn fingerprint(&self) -> u64 {
+        config_fingerprint(
+            self.num_layers(),
+            &self.bits,
+            self.scheme,
+            self.set_len,
+            self.batch_size,
+        )
+    }
+
+    /// All shards of the grid in canonical order:
+    /// `base, diag(0..I), pair(0..I−1)`.
+    pub fn shards(&self) -> Vec<ShardSpec> {
+        let i_n = self.num_layers() as u32;
+        let mut out = Vec::with_capacity(2 * i_n as usize);
+        out.push(ShardSpec::Base);
+        out.extend((0..i_n).map(|layer| ShardSpec::Diag { layer }));
+        out.extend((0..i_n.saturating_sub(1)).map(|outer| ShardSpec::Pair { outer }));
+        out
+    }
+
+    /// The probe ids a shard evaluates, in evaluation order.
+    pub fn shard_probes(&self, spec: ShardSpec) -> Vec<ProbeId> {
+        let k = self.bits.len() as u32;
+        let i_n = self.num_layers() as u32;
+        match spec {
+            ShardSpec::Base => vec![ProbeId::Base],
+            ShardSpec::Diag { layer } => (0..k).map(|bit| ProbeId::Diag { layer, bit }).collect(),
+            ShardSpec::Pair { outer } => {
+                let mut out = Vec::new();
+                for bit_m in 0..k {
+                    for layer_j in (outer + 1)..i_n {
+                        for bit_n in 0..k {
+                            out.push(ProbeId::Pair {
+                                layer_i: outer,
+                                bit_m,
+                                layer_j,
+                                bit_n,
+                            });
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Total probe count across all shards:
+    /// `1 + |𝔹|I + ½|𝔹|²I(I−1)`.
+    pub fn total_probes(&self) -> usize {
+        let k = self.bits.len();
+        let i_n = self.num_layers();
+        1 + k * i_n + k * k * i_n * i_n.saturating_sub(1) / 2
+    }
+
+    /// Evaluates one shard on `net` (a replica at the pristine weights;
+    /// restored before returning), replaying the in-process engine's
+    /// exact probe order and non-finite quarantine policy.
+    pub fn run_shard(
+        &self,
+        net: &mut Network,
+        set: &DataSplit,
+        spec: ShardSpec,
+        telemetry: &Telemetry,
+    ) -> (Vec<ProbeRecord>, ShardRunStats) {
+        let start = Instant::now();
+        let mut stats = ShardRunStats::default();
+        let mut out = Vec::new();
+        match spec {
+            ShardSpec::Base => {
+                let (loss, quarantined) =
+                    self.probe(net, &mut None, None, set, telemetry, &mut stats);
+                out.push(ProbeRecord {
+                    id: ProbeId::Base,
+                    loss,
+                    quarantined,
+                });
+            }
+            ShardSpec::Diag { layer } => {
+                let i = layer as usize;
+                let mut cache: Option<PrefixCache> = None;
+                let cache_stage =
+                    (self.use_prefix_cache && self.stages[i] > 0).then_some(self.stages[i]);
+                for (m, delta) in self.deltas[i].iter().enumerate() {
+                    net.perturb_weight(i, delta);
+                    let (loss, quarantined) =
+                        self.probe(net, &mut cache, cache_stage, set, telemetry, &mut stats);
+                    net.set_weight(i, &self.originals[i]);
+                    out.push(ProbeRecord {
+                        id: ProbeId::Diag {
+                            layer,
+                            bit: m as u32,
+                        },
+                        loss,
+                        quarantined,
+                    });
+                }
+            }
+            ShardSpec::Pair { outer } => {
+                let i = outer as usize;
+                let mut cache: Option<PrefixCache> = None;
+                let cache_stage =
+                    (self.use_prefix_cache && self.stages[i] > 0).then_some(self.stages[i]);
+                for (m, delta_i) in self.deltas[i].iter().enumerate() {
+                    net.perturb_weight(i, delta_i);
+                    for j in (i + 1)..self.num_layers() {
+                        for (n, delta_j) in self.deltas[j].iter().enumerate() {
+                            net.perturb_weight(j, delta_j);
+                            let (loss, quarantined) = self.probe(
+                                net,
+                                &mut cache,
+                                cache_stage,
+                                set,
+                                telemetry,
+                                &mut stats,
+                            );
+                            net.set_weight(j, &self.originals[j]);
+                            out.push(ProbeRecord {
+                                id: ProbeId::Pair {
+                                    layer_i: outer,
+                                    bit_m: m as u32,
+                                    layer_j: j as u32,
+                                    bit_n: n as u32,
+                                },
+                                loss,
+                                quarantined,
+                            });
+                        }
+                    }
+                    net.set_weight(i, &self.originals[i]);
+                }
+            }
+        }
+        stats.seconds = start.elapsed().as_secs_f64();
+        (out, stats)
+    }
+
+    /// One forward evaluation, building the prefix cache lazily on first
+    /// use (mirrors the in-process engine's `probe_loss`).
+    fn probe_once(
+        &self,
+        net: &mut Network,
+        cache: &mut Option<PrefixCache>,
+        cache_stage: Option<usize>,
+        set: &DataSplit,
+        telemetry: &Telemetry,
+        stats: &mut ShardRunStats,
+    ) -> f64 {
+        match cache_stage {
+            Some(stage) => {
+                if cache.is_none() {
+                    let _s = telemetry.span("shard.prefix_build");
+                    stats.cache_builds += 1;
+                    *cache = Some(build_prefix_cache(net, set, self.batch_size, stage));
+                }
+                let _s = telemetry.span("shard.suffix_eval");
+                stats.cache_hits += 1;
+                eval_loss_from(net, cache.as_ref().expect("cache built above"))
+            }
+            None => {
+                let _s = telemetry.span("shard.full_eval");
+                stats.full_evals += 1;
+                eval_loss(net, set, self.batch_size)
+            }
+        }
+    }
+
+    /// Probe with the non-finite quarantine policy: a NaN/Inf loss is
+    /// re-evaluated once; if still non-finite the probe is quarantined
+    /// (canonical NaN stored, Ω assembly degrades the entry to zero).
+    fn probe(
+        &self,
+        net: &mut Network,
+        cache: &mut Option<PrefixCache>,
+        cache_stage: Option<usize>,
+        set: &DataSplit,
+        telemetry: &Telemetry,
+        stats: &mut ShardRunStats,
+    ) -> (f64, bool) {
+        let mut loss = self.probe_once(net, cache, cache_stage, set, telemetry, stats);
+        if !loss.is_finite() {
+            stats.retried += 1;
+            loss = self.probe_once(net, cache, cache_stage, set, telemetry, stats);
+        }
+        if loss.is_finite() {
+            (loss, false)
+        } else {
+            stats.quarantined += 1;
+            (f64::NAN, true)
+        }
+    }
+
+    /// Assembles the Ω matrix from a complete probe-record map, using the
+    /// identical arithmetic (and quarantine degradation) of
+    /// [`crate::measure_sensitivities`]. Returns the matrix, the base
+    /// loss `L(w)`, and the number of quarantined records.
+    ///
+    /// # Errors
+    ///
+    /// [`MeasureError::MissingProbes`] when any probe of the grid has no
+    /// record; [`MeasureError::NonFiniteBaseLoss`] when the base record
+    /// is quarantined.
+    pub fn assemble(
+        &self,
+        records: &HashMap<ProbeId, ProbeRecord>,
+    ) -> Result<(SymMatrix, f64, usize), MeasureError> {
+        let i_n = self.num_layers();
+        let k = self.bits.len();
+        let mut missing = 0usize;
+        let mut quarantined = 0usize;
+        let base_loss = match records.get(&ProbeId::Base) {
+            Some(r) => {
+                if r.quarantined {
+                    quarantined += 1;
+                }
+                r.loss
+            }
+            None => {
+                missing += 1;
+                f64::NAN
+            }
+        };
+        let mut single_loss = vec![vec![f64::NAN; k]; i_n];
+        for (i, row) in single_loss.iter_mut().enumerate() {
+            for (m, slot) in row.iter_mut().enumerate() {
+                let id = ProbeId::Diag {
+                    layer: i as u32,
+                    bit: m as u32,
+                };
+                match records.get(&id) {
+                    Some(r) => {
+                        if r.quarantined {
+                            quarantined += 1;
+                        }
+                        *slot = r.loss;
+                    }
+                    None => missing += 1,
+                }
+            }
+        }
+        let mut g = SymMatrix::zeros(i_n * k);
+        for i in 0..i_n.saturating_sub(1) {
+            for m in 0..k {
+                for j in (i + 1)..i_n {
+                    for n in 0..k {
+                        let id = ProbeId::Pair {
+                            layer_i: i as u32,
+                            bit_m: m as u32,
+                            layer_j: j as u32,
+                            bit_n: n as u32,
+                        };
+                        let Some(r) = records.get(&id) else {
+                            missing += 1;
+                            continue;
+                        };
+                        if r.quarantined {
+                            quarantined += 1;
+                        }
+                        let (si, sj) = (single_loss[i][m], single_loss[j][n]);
+                        let omega = if r.quarantined || !si.is_finite() || !sj.is_finite() {
+                            0.0
+                        } else {
+                            r.loss + base_loss - si - sj
+                        };
+                        g.set(i * k + m, j * k + n, omega);
+                    }
+                }
+            }
+        }
+        if missing > 0 {
+            return Err(MeasureError::MissingProbes {
+                missing,
+                total: self.total_probes(),
+            });
+        }
+        if !base_loss.is_finite() {
+            return Err(MeasureError::NonFiniteBaseLoss { loss: base_loss });
+        }
+        for (i, row) in single_loss.iter().enumerate() {
+            for (m, &loss) in row.iter().enumerate() {
+                let v = i * k + m;
+                let omega = if loss.is_finite() {
+                    2.0 * (loss - base_loss)
+                } else {
+                    0.0
+                };
+                g.set(v, v, omega);
+            }
+        }
+        Ok((g, base_loss, quarantined))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::load_journal;
+    use crate::sensitivity::{measure_sensitivities, SensitivityOptions};
+    use clado_models::{SynthVision, SynthVisionConfig};
+    use clado_nn::{Conv2d, GlobalAvgPool, Linear, Sequential};
+    use clado_tensor::Conv2dSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn setup() -> (Network, SynthVision) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Network::new(
+            Sequential::new()
+                .push(
+                    "conv1",
+                    Conv2d::new(Conv2dSpec::new(3, 6, 3, 1, 1), true, &mut rng),
+                )
+                .push("relu1", clado_nn::Activation::new(clado_nn::ActKind::Relu))
+                .push(
+                    "conv2",
+                    Conv2d::new(Conv2dSpec::new(6, 6, 3, 1, 1), true, &mut rng),
+                )
+                .push("relu2", clado_nn::Activation::new(clado_nn::ActKind::Relu))
+                .push("pool", GlobalAvgPool::new())
+                .push("fc", Linear::new(6, 4, &mut rng)),
+            4,
+        );
+        let data = SynthVision::generate(SynthVisionConfig {
+            classes: 4,
+            img: 8,
+            train: 48,
+            val: 32,
+            seed: 9,
+            noise: 0.2,
+            label_noise: 0.0,
+        });
+        (net, data)
+    }
+
+    fn assert_matrix_bitwise(a: &SymMatrix, b: &SymMatrix, label: &str) {
+        assert_eq!(a.dim(), b.dim(), "{label}: dimension");
+        for u in 0..a.dim() {
+            for v in u..a.dim() {
+                assert_eq!(
+                    a.get(u, v).to_bits(),
+                    b.get(u, v).to_bits(),
+                    "{label}: entry ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_probe_grid_exactly() {
+        let (net, data) = setup();
+        let bits = BitWidthSet::new(&[2, 8]);
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let ctx = ShardContext::new(
+            &net,
+            set.len(),
+            &bits,
+            QuantScheme::PerTensorSymmetric,
+            64,
+            true,
+        );
+        let mut seen = HashSet::new();
+        for shard in ctx.shards() {
+            for id in ctx.shard_probes(shard) {
+                assert!(seen.insert(id), "probe {id:?} appears in two shards");
+            }
+        }
+        assert_eq!(seen.len(), ctx.total_probes());
+        // I = 3, |B| = 2: 1 + 2·3 + ½·4·3·2 = 19 probes in 2I = 6 shards.
+        assert_eq!(ctx.total_probes(), 19);
+        assert_eq!(ctx.shards().len(), 6);
+    }
+
+    #[test]
+    fn shard_runs_reproduce_measure_sensitivities_bitwise() {
+        let (mut net, data) = setup();
+        let bits = BitWidthSet::new(&[2, 8]);
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let opts = SensitivityOptions::default();
+        let reference =
+            measure_sensitivities(&mut net, &set, &bits, &opts).expect("reference measurement");
+
+        for use_cache in [true, false] {
+            let ctx = ShardContext::new(
+                &net,
+                set.len(),
+                &bits,
+                opts.scheme,
+                opts.batch_size,
+                use_cache,
+            );
+            let mut replica = net.clone();
+            let mut records = HashMap::new();
+            let telemetry = Telemetry::disabled();
+            for shard in ctx.shards() {
+                let (recs, _stats) = ctx.run_shard(&mut replica, &set, shard, &telemetry);
+                for r in recs {
+                    records.insert(r.id, r);
+                }
+            }
+            let (g, base_loss, quarantined) = ctx.assemble(&records).expect("assembly");
+            assert_eq!(
+                base_loss.to_bits(),
+                reference.base_loss.to_bits(),
+                "cache={use_cache}: base loss"
+            );
+            assert_eq!(quarantined, 0);
+            assert_matrix_bitwise(&g, reference.matrix(), "shard-evaluated grid");
+            // The replica's weights were restored after every shard.
+            for (a, b) in replica
+                .snapshot_weights()
+                .iter()
+                .zip(net.snapshot_weights())
+            {
+                assert_eq!(a.data(), b.data(), "cache={use_cache}: weights drifted");
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_from_single_process_journal_is_bitwise_identical() {
+        let (mut net, data) = setup();
+        let bits = BitWidthSet::new(&[2, 8]);
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let dir = std::env::temp_dir().join(format!(
+            "clado-shard-journal-interop-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = SensitivityOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let reference =
+            measure_sensitivities(&mut net, &set, &bits, &opts).expect("journaled measurement");
+
+        // The shard fingerprint opens the journal the in-process engine
+        // wrote, and assembly over its records reproduces Ω bit for bit —
+        // the interop a distributed resume of a single-process checkpoint
+        // relies on.
+        let ctx = ShardContext::new(&net, set.len(), &bits, opts.scheme, opts.batch_size, true);
+        let state = load_journal(&dir, ctx.fingerprint()).expect("journal opens under shard fp");
+        assert_eq!(state.records.len(), ctx.total_probes());
+        let (g, base_loss, _q) = ctx.assemble(&state.records).expect("assembly from journal");
+        assert_eq!(base_loss.to_bits(), reference.base_loss.to_bits());
+        assert_matrix_bitwise(&g, reference.matrix(), "journal-assembled grid");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn assemble_rejects_incomplete_record_maps() {
+        let (net, data) = setup();
+        let bits = BitWidthSet::new(&[2, 8]);
+        let set = data.train.subset(&(0..8).collect::<Vec<_>>());
+        let ctx = ShardContext::new(
+            &net,
+            set.len(),
+            &bits,
+            QuantScheme::PerTensorSymmetric,
+            64,
+            true,
+        );
+        let err = ctx
+            .assemble(&HashMap::new())
+            .expect_err("empty record map must not assemble");
+        match err {
+            MeasureError::MissingProbes { missing, total } => {
+                assert_eq!(missing, ctx.total_probes());
+                assert_eq!(total, ctx.total_probes());
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! The sweep coordinator: leases shards to workers over TCP, evicts
+//! dead or hung leases, journals completed shards, and assembles Ω.
+//!
+//! # Lease/heartbeat state machine
+//!
+//! Each accepted connection gets its own thread with a read timeout of
+//! [`CoordinatorOptions::heartbeat_timeout`]. *Any* frame from the
+//! worker resets the deadline; workers send `Heartbeat` from a side
+//! thread while the main thread evaluates, so a healthy worker on an
+//! arbitrarily slow shard never times out. A read timeout, a closed
+//! socket, or a malformed frame all end the connection the same way:
+//! every lease held by that worker is requeued at the *front* of the
+//! pending queue (so reassignment is prompt) and the eviction is
+//! counted. A shard is only marked complete when its `ShardDone` frame
+//! arrives and its records are committed to the CLSJ journal, so
+//! leases can be evicted and reassigned any number of times without
+//! losing or double-counting work.
+//!
+//! # Crash safety
+//!
+//! Completed shards flow through the same atomic CLSJ commit path the
+//! in-process engine uses (write-tmp → fsync → rename → fsync-dir), one
+//! commit per shard. A SIGKILLed coordinator therefore leaves a journal
+//! a later `--resume` run loads losslessly — whether that run is
+//! distributed again or a plain single-process `measure_sensitivities`.
+
+use crate::error::DistError;
+use crate::frame::FrameError;
+use crate::protocol::{self, JobSpec, Message};
+use clado_core::journal::load_journal;
+use clado_core::{
+    JournalError, JournalWriter, ProbeId, ProbeRecord, SensitivityMatrix, SensitivityStats,
+    ShardContext, ShardRunStats, ShardSpec,
+};
+use clado_telemetry::Telemetry;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Milliseconds a worker is told to wait when no shard is leasable.
+const IDLE_RETRY_MS: u32 = 50;
+
+/// Options controlling a coordinator run.
+#[derive(Debug, Clone)]
+pub struct CoordinatorOptions {
+    /// A worker that sends no frame for this long loses its leases.
+    pub heartbeat_timeout: Duration,
+    /// Directory for the crash-safe CLSJ shard journal; `None` disables
+    /// checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from an existing journal in the checkpoint directory.
+    pub resume: bool,
+    /// Telemetry sink for spans, counters, and per-worker gauges.
+    pub telemetry: Telemetry,
+    /// Print coarse progress to stderr.
+    pub verbose: bool,
+    /// Fail with [`DistError::NoWorkers`] when work remains but no
+    /// worker has been connected for this long; `None` waits forever.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> Self {
+        Self {
+            heartbeat_timeout: Duration::from_secs(3),
+            checkpoint_dir: None,
+            resume: false,
+            telemetry: Telemetry::disabled(),
+            verbose: false,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// Per-worker accounting, reported in the outcome and the run manifest.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerSummary {
+    /// Coordinator-assigned worker id (connection order).
+    pub id: u64,
+    /// The worker's OS process id from its `Hello`.
+    pub pid: u32,
+    /// Shards this worker completed.
+    pub shards: u64,
+    /// Probe records this worker contributed.
+    pub probes: u64,
+    /// Busy time: summed shard-evaluation wall time.
+    pub seconds: f64,
+}
+
+/// The result of a completed distributed sweep.
+#[derive(Debug, Clone)]
+pub struct DistOutcome {
+    /// The assembled sensitivity matrix — bitwise identical to a
+    /// single-process [`clado_core::measure_sensitivities`] run of the
+    /// same configuration.
+    pub matrix: SensitivityMatrix,
+    /// Per-worker accounting, ordered by worker id.
+    pub workers: Vec<WorkerSummary>,
+    /// Leases evicted (and their shards requeued) from dead or hung
+    /// workers.
+    pub evictions: u64,
+    /// Workers refused during the handshake (version or fingerprint
+    /// mismatch).
+    pub rejected: u64,
+    /// Probe records restored from the journal instead of re-measured.
+    pub resumed: usize,
+    /// Busy seconds of the slowest worker (the straggler).
+    pub straggler_seconds: f64,
+}
+
+#[derive(Default)]
+struct AggStats {
+    full_evals: u64,
+    cache_hits: u64,
+    cache_builds: u64,
+    retried: u64,
+}
+
+struct Scheduler {
+    pending: VecDeque<ShardSpec>,
+    leases: HashMap<u64, (ShardSpec, u64)>, // lease id → (shard, worker id)
+    next_lease: u64,
+    done: HashSet<ShardSpec>,
+    total_shards: usize,
+    records: HashMap<ProbeId, ProbeRecord>,
+    writer: Option<JournalWriter>,
+    fatal: Option<DistError>,
+    evictions: u64,
+    rejected: u64,
+    protocol_errors: u64,
+    connected: usize,
+    workers: BTreeMap<u64, WorkerSummary>,
+    agg: AggStats,
+}
+
+impl Scheduler {
+    fn complete(&self) -> bool {
+        self.fatal.is_some() || self.done.len() == self.total_shards
+    }
+
+    /// Requeues every lease held by `worker` (front of the queue, so a
+    /// reassignment happens before fresh work).
+    fn evict_worker(&mut self, worker: u64) -> u64 {
+        let held: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, (_, w))| *w == worker)
+            .map(|(&l, _)| l)
+            .collect();
+        for lease in &held {
+            if let Some((shard, _)) = self.leases.remove(lease) {
+                if !self.done.contains(&shard) {
+                    self.pending.push_front(shard);
+                }
+                self.evictions += 1;
+            }
+        }
+        held.len() as u64
+    }
+}
+
+/// A sensitivity-sweep coordinator bound to a TCP address.
+///
+/// Construct with [`Coordinator::bind`], learn the bound address via
+/// [`Coordinator::local_addr`] (to hand to workers), then
+/// [`Coordinator::run`] to drive the sweep to completion.
+pub struct Coordinator {
+    listener: TcpListener,
+    ctx: ShardContext,
+    job: JobSpec,
+    opts: CoordinatorOptions,
+}
+
+impl Coordinator {
+    /// Binds the coordinator socket. Use address `127.0.0.1:0` to let
+    /// the OS pick a free port.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Io`] when the address cannot be bound.
+    pub fn bind(
+        addr: &str,
+        ctx: ShardContext,
+        job: JobSpec,
+        opts: CoordinatorOptions,
+    ) -> Result<Self, DistError> {
+        let listener = TcpListener::bind(addr).map_err(DistError::Io)?;
+        Ok(Self {
+            listener,
+            ctx,
+            job,
+            opts,
+        })
+    }
+
+    /// The address workers should connect to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the socket has no local address (cannot happen for a
+    /// successfully bound listener).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Drives the sweep: accepts workers, leases shards, journals
+    /// completions, and assembles the final matrix once every shard is
+    /// done. Returns when the sweep completes or fails.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Journal`] for checkpoint failures (completed shards
+    /// stay on disk), [`DistError::Measure`] for assembly failures, and
+    /// [`DistError::NoWorkers`] when the idle timeout expires with work
+    /// remaining.
+    pub fn run(self) -> Result<DistOutcome, DistError> {
+        let start = Instant::now();
+        let telemetry = self.opts.telemetry.clone();
+        let _root = telemetry.span("dist.coordinate");
+        let fp = self.ctx.fingerprint();
+
+        // Load (or refuse) the checkpoint journal exactly like the
+        // in-process engine: same fingerprint, same not-empty guard.
+        let mut records: HashMap<ProbeId, ProbeRecord> = HashMap::new();
+        let mut writer = None;
+        let mut resumed = 0usize;
+        if let Some(dir) = &self.opts.checkpoint_dir {
+            let state = load_journal(dir, fp)?;
+            if !self.opts.resume && (state.shards + state.corrupt_shards) > 0 {
+                return Err(JournalError::NotEmpty { dir: dir.clone() }.into());
+            }
+            if self.opts.resume {
+                resumed = state.records.len();
+                records = state.records;
+            }
+            writer = Some(JournalWriter::open(dir, fp, state.next_seq)?);
+        }
+
+        let shards = self.ctx.shards();
+        let total_shards = shards.len();
+        let mut pending = VecDeque::new();
+        let mut done = HashSet::new();
+        for shard in shards {
+            let complete = self
+                .ctx
+                .shard_probes(shard)
+                .iter()
+                .all(|id| records.contains_key(id));
+            if complete {
+                done.insert(shard);
+            } else {
+                pending.push_back(shard);
+            }
+        }
+        if self.opts.verbose {
+            eprintln!(
+                "dist: {} shards ({} resumed complete), {} journaled probes",
+                total_shards,
+                done.len(),
+                resumed
+            );
+        }
+        telemetry.counter("dist.resumed_probes").add(resumed as u64);
+
+        let sched = Mutex::new(Scheduler {
+            pending,
+            leases: HashMap::new(),
+            next_lease: 1,
+            done,
+            total_shards,
+            records,
+            writer,
+            fatal: None,
+            evictions: 0,
+            rejected: 0,
+            protocol_errors: 0,
+            connected: 0,
+            workers: BTreeMap::new(),
+            agg: AggStats::default(),
+        });
+
+        self.listener.set_nonblocking(true).map_err(DistError::Io)?;
+        std::thread::scope(|scope| {
+            let mut next_worker = 0u64;
+            let mut idle_since = Instant::now();
+            loop {
+                {
+                    let g = sched.lock().expect("scheduler lock");
+                    if g.complete() {
+                        break;
+                    }
+                    if g.connected > 0 {
+                        idle_since = Instant::now();
+                    }
+                }
+                if let Some(limit) = self.opts.idle_timeout {
+                    if idle_since.elapsed() > limit {
+                        sched.lock().expect("scheduler lock").fatal =
+                            Some(DistError::NoWorkers { waited: limit });
+                        break;
+                    }
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let id = next_worker;
+                        next_worker += 1;
+                        let sched = &sched;
+                        let job = &self.job;
+                        let telemetry = telemetry.clone();
+                        let hb = self.opts.heartbeat_timeout;
+                        let verbose = self.opts.verbose;
+                        scope.spawn(move || {
+                            serve_worker(stream, id, sched, job, fp, hb, telemetry, verbose);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => {
+                        sched.lock().expect("scheduler lock").fatal = Some(DistError::Io(e));
+                        break;
+                    }
+                }
+            }
+            // Connection threads drain on their own: idle workers get a
+            // Shutdown at their next lease request; silent ones hit the
+            // heartbeat deadline. The scope joins them all.
+        });
+
+        let mut g = sched.into_inner().expect("scheduler mutex");
+        if let Some(e) = g.fatal.take() {
+            return Err(e);
+        }
+        let (matrix, base_loss, quarantined) = self.ctx.assemble(&g.records)?;
+        let workers: Vec<WorkerSummary> = g.workers.into_values().collect();
+        let straggler_seconds = workers.iter().map(|w| w.seconds).fold(0.0f64, f64::max);
+        telemetry.counter("dist.evictions").add(g.evictions);
+        telemetry.counter("dist.rejected_workers").add(g.rejected);
+        telemetry
+            .counter("dist.protocol_errors")
+            .add(g.protocol_errors);
+        telemetry.set_gauge("dist.straggler_seconds", straggler_seconds);
+        for w in &workers {
+            telemetry.set_gauge(&format!("dist.worker.{}.probes", w.id), w.probes as f64);
+            telemetry.set_gauge(&format!("dist.worker.{}.shards", w.id), w.shards as f64);
+            telemetry.set_gauge(&format!("dist.worker.{}.busy_seconds", w.id), w.seconds);
+        }
+        let stats = SensitivityStats {
+            evaluations: (g.agg.full_evals + g.agg.cache_hits) as usize,
+            seconds: start.elapsed().as_secs_f64(),
+            threads_used: workers.len().max(1),
+            prefix_cache_builds: g.agg.cache_builds as usize,
+            prefix_cache_hits: g.agg.cache_hits as usize,
+            full_evals: g.agg.full_evals as usize,
+            resumed,
+            retried: g.agg.retried as usize,
+            quarantined,
+        };
+        let matrix = SensitivityMatrix::from_parts(
+            matrix,
+            self.ctx.num_layers(),
+            self.ctx.bits().clone(),
+            base_loss,
+            stats,
+        );
+        Ok(DistOutcome {
+            matrix,
+            workers,
+            evictions: g.evictions,
+            rejected: g.rejected,
+            resumed,
+            straggler_seconds,
+        })
+    }
+}
+
+/// Runs the handshake: `Hello` → `Job` → `Ready`, rejecting version and
+/// fingerprint mismatches. Returns the worker's pid.
+fn handshake(stream: &mut &TcpStream, job: &JobSpec, fp: u64) -> Result<u32, (FrameError, bool)> {
+    let pid = match protocol::recv(stream) {
+        Ok(Message::Hello { protocol, pid }) => {
+            if protocol != crate::frame::PROTOCOL_VERSION {
+                let _ = protocol::send(
+                    stream,
+                    &Message::Reject {
+                        reason: format!(
+                            "protocol version {protocol} unsupported (want {})",
+                            crate::frame::PROTOCOL_VERSION
+                        ),
+                    },
+                );
+                return Err((FrameError::UnsupportedVersion(protocol), true));
+            }
+            pid
+        }
+        Ok(_) => return Err((FrameError::Malformed("expected Hello".into()), false)),
+        Err(e) => return Err((e, false)),
+    };
+    if let Err(e) = protocol::send(stream, &Message::Job(job.clone())) {
+        return Err((e, false));
+    }
+    // Workers heartbeat while reconstructing the job (model loading can
+    // be slow), so liveness frames are expected before Ready.
+    let ready = loop {
+        match protocol::recv(stream) {
+            Ok(Message::Heartbeat { .. }) => {}
+            other => break other,
+        }
+    };
+    match ready {
+        Ok(Message::Ready { fingerprint }) if fingerprint == fp => Ok(pid),
+        Ok(Message::Ready { fingerprint }) => {
+            let _ = protocol::send(
+                stream,
+                &Message::Reject {
+                    reason: format!(
+                        "config fingerprint mismatch (worker {fingerprint:#018x}, \
+                         coordinator {fp:#018x})"
+                    ),
+                },
+            );
+            Err((
+                FrameError::Malformed("worker fingerprint mismatch".into()),
+                true,
+            ))
+        }
+        Ok(_) => Err((FrameError::Malformed("expected Ready".into()), false)),
+        Err(e) => Err((e, false)),
+    }
+}
+
+/// Serves one worker connection to completion. Never panics on worker
+/// input; every exit path evicts whatever the worker still held.
+#[allow(clippy::too_many_arguments)]
+fn serve_worker(
+    stream: TcpStream,
+    id: u64,
+    sched: &Mutex<Scheduler>,
+    job: &JobSpec,
+    fp: u64,
+    heartbeat_timeout: Duration,
+    telemetry: Telemetry,
+    verbose: bool,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(heartbeat_timeout));
+    let mut stream_ref = &stream;
+    let pid = {
+        let _s = telemetry.span("dist.handshake");
+        match handshake(&mut stream_ref, job, fp) {
+            Ok(pid) => pid,
+            Err((err, was_reject)) => {
+                let mut g = sched.lock().expect("scheduler lock");
+                if was_reject {
+                    g.rejected += 1;
+                } else if !err.is_disconnect() {
+                    g.protocol_errors += 1;
+                }
+                if verbose {
+                    eprintln!("dist: worker {id} failed handshake: {err}");
+                }
+                return;
+            }
+        }
+    };
+    {
+        let mut g = sched.lock().expect("scheduler lock");
+        g.connected += 1;
+        g.workers.insert(
+            id,
+            WorkerSummary {
+                id,
+                pid,
+                shards: 0,
+                probes: 0,
+                seconds: 0.0,
+            },
+        );
+    }
+    telemetry.counter("dist.workers_connected").incr();
+    if verbose {
+        eprintln!("dist: worker {id} (pid {pid}) connected");
+    }
+
+    loop {
+        match protocol::recv(&mut stream_ref) {
+            Ok(Message::LeaseRequest) => {
+                let reply = {
+                    let mut g = sched.lock().expect("scheduler lock");
+                    if g.complete() {
+                        Message::Shutdown
+                    } else if let Some(shard) = g.pending.pop_front() {
+                        let lease = g.next_lease;
+                        g.next_lease += 1;
+                        g.leases.insert(lease, (shard, id));
+                        Message::Lease { lease, shard }
+                    } else {
+                        Message::Idle {
+                            retry_ms: IDLE_RETRY_MS,
+                        }
+                    }
+                };
+                let is_shutdown = matches!(reply, Message::Shutdown);
+                if protocol::send(&mut stream_ref, &reply).is_err() || is_shutdown {
+                    break;
+                }
+            }
+            Ok(Message::Heartbeat { .. }) => {}
+            Ok(Message::ShardDone {
+                lease,
+                shard,
+                records,
+                stats,
+            }) => {
+                let mut g = sched.lock().expect("scheduler lock");
+                handle_done(&mut g, id, lease, shard, &records, &stats, &telemetry);
+                if verbose {
+                    eprintln!(
+                        "dist: worker {id} finished {shard} ({}/{} shards)",
+                        g.done.len(),
+                        g.total_shards
+                    );
+                }
+            }
+            Ok(other) => {
+                // Protocol violation: drop the connection, requeue.
+                let mut g = sched.lock().expect("scheduler lock");
+                g.protocol_errors += 1;
+                if verbose {
+                    eprintln!(
+                        "dist: worker {id} sent unexpected {:?}; dropping connection",
+                        other.kind()
+                    );
+                }
+                break;
+            }
+            Err(e) => {
+                if !e.is_disconnect() {
+                    let mut g = sched.lock().expect("scheduler lock");
+                    g.protocol_errors += 1;
+                }
+                if verbose {
+                    eprintln!("dist: worker {id} connection ended: {e}");
+                }
+                break;
+            }
+        }
+    }
+
+    let mut g = sched.lock().expect("scheduler lock");
+    g.connected -= 1;
+    let evicted = g.evict_worker(id);
+    drop(g);
+    if evicted > 0 {
+        telemetry.counter("dist.lease_evictions").add(evicted);
+        if verbose {
+            eprintln!("dist: worker {id} lost; requeued {evicted} leased shard(s)");
+        }
+    }
+}
+
+/// Integrates one completed shard: journals fresh records atomically,
+/// marks the shard done, and updates per-worker accounting. Duplicate
+/// completions (a shard finished by a re-leased worker after an earlier
+/// eviction) are ignored record-by-record, so commits stay idempotent.
+fn handle_done(
+    g: &mut Scheduler,
+    worker: u64,
+    lease: u64,
+    shard: ShardSpec,
+    records: &[ProbeRecord],
+    stats: &ShardRunStats,
+    telemetry: &Telemetry,
+) {
+    g.leases.remove(&lease);
+    if g.done.contains(&shard) {
+        return;
+    }
+    let mut fresh = 0u64;
+    for rec in records {
+        if !g.records.contains_key(&rec.id) {
+            if let Some(w) = g.writer.as_mut() {
+                w.append(*rec);
+            }
+            g.records.insert(rec.id, *rec);
+            fresh += 1;
+        }
+    }
+    if let Some(w) = g.writer.as_mut() {
+        if let Err(e) = w.commit() {
+            g.fatal = Some(DistError::Journal(e));
+            return;
+        }
+    }
+    g.done.insert(shard);
+    g.agg.full_evals += stats.full_evals;
+    g.agg.cache_hits += stats.cache_hits;
+    g.agg.cache_builds += stats.cache_builds;
+    g.agg.retried += stats.retried;
+    if let Some(w) = g.workers.get_mut(&worker) {
+        w.shards += 1;
+        w.probes += records.len() as u64;
+        w.seconds += stats.seconds;
+    }
+    telemetry.counter("dist.shards_completed").incr();
+    telemetry.counter("dist.probes").add(fresh);
+}

@@ -1,0 +1,613 @@
+//! Wire messages of the coordinator/worker protocol.
+//!
+//! The conversation is worker-driven after the handshake:
+//!
+//! ```text
+//! worker → Hello { protocol, pid }
+//! coord  → Job(JobSpec)                (or Reject on a version mismatch)
+//! worker → Ready { fingerprint }
+//! coord  →                             (Reject + close on fingerprint mismatch)
+//! loop:
+//!   worker → LeaseRequest
+//!   coord  → Lease { lease, shard } | Idle { retry_ms } | Shutdown
+//!   worker → Heartbeat { lease }        (from a side thread, any time)
+//!   worker → ShardDone { lease, shard, records, stats }
+//! ```
+//!
+//! Every decode failure is a typed [`FrameError`]; unknown kinds, short
+//! payloads, trailing bytes, and out-of-range enum tags are all rejected
+//! without panicking.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use clado_core::{ProbeId, ProbeRecord, ShardRunStats, ShardSpec};
+use clado_quant::QuantScheme;
+use std::io::{Read, Write};
+
+/// The measurement job a coordinator hands each worker: everything a
+/// worker needs to reconstruct the coordinator's model, sensitivity set,
+/// and probe grid locally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Model identifier (a `clado` model kind, e.g. `resnet20`).
+    pub model: String,
+    /// Sensitivity-set size requested (clamped to the train split).
+    pub set_size: u64,
+    /// Sensitivity-set sampling seed.
+    pub set_seed: u64,
+    /// Probe batch size.
+    pub batch_size: u64,
+    /// Bit-width candidates, low to high.
+    pub bits: Vec<u8>,
+    /// Quantization scheme (see [`scheme_to_u8`]).
+    pub scheme: u8,
+    /// Whether workers reuse cached prefix activations.
+    pub use_prefix_cache: bool,
+    /// The coordinator's config fingerprint; workers echo their own in
+    /// `Ready` and mismatches are rejected.
+    pub fingerprint: u64,
+}
+
+/// One message of the protocol. See the module docs for the exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker greeting: protocol version and OS process id.
+    Hello {
+        /// The worker's [`crate::PROTOCOL_VERSION`].
+        protocol: u16,
+        /// The worker's OS process id (for operator-facing summaries).
+        pid: u32,
+    },
+    /// The measurement job (coordinator → worker).
+    Job(JobSpec),
+    /// Worker's post-reconstruction report with its own fingerprint.
+    Ready {
+        /// Fingerprint of the worker's locally-built configuration.
+        fingerprint: u64,
+    },
+    /// The coordinator refuses this worker and will close the connection.
+    Reject {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// Worker asks for a shard lease.
+    LeaseRequest,
+    /// A leased shard (coordinator → worker).
+    Lease {
+        /// Lease id to echo in `Heartbeat` and `ShardDone`.
+        lease: u64,
+        /// The shard to evaluate.
+        shard: ShardSpec,
+    },
+    /// Nothing to lease right now; ask again after `retry_ms`.
+    Idle {
+        /// Suggested retry delay in milliseconds.
+        retry_ms: u32,
+    },
+    /// The sweep is complete (or aborted); the worker should exit.
+    Shutdown,
+    /// Worker liveness signal while evaluating (any frame resets the
+    /// coordinator's heartbeat deadline; this one exists to flow while
+    /// the main worker thread is busy measuring).
+    Heartbeat {
+        /// The lease being worked on (0 when idle).
+        lease: u64,
+    },
+    /// A completed shard: every probe record plus evaluation stats.
+    ShardDone {
+        /// The lease this shard was evaluated under.
+        lease: u64,
+        /// The shard that was evaluated.
+        shard: ShardSpec,
+        /// All probe records of the shard, in evaluation order.
+        records: Vec<ProbeRecord>,
+        /// Evaluation statistics for the shard.
+        stats: ShardRunStats,
+    },
+}
+
+const KIND_HELLO: u16 = 1;
+const KIND_JOB: u16 = 2;
+const KIND_READY: u16 = 3;
+const KIND_REJECT: u16 = 4;
+const KIND_LEASE_REQUEST: u16 = 5;
+const KIND_LEASE: u16 = 6;
+const KIND_IDLE: u16 = 7;
+const KIND_SHUTDOWN: u16 = 8;
+const KIND_HEARTBEAT: u16 = 9;
+const KIND_SHARD_DONE: u16 = 10;
+
+/// Maps a [`QuantScheme`] to its wire byte.
+pub fn scheme_to_u8(scheme: QuantScheme) -> u8 {
+    match scheme {
+        QuantScheme::PerTensorSymmetric => 0,
+        QuantScheme::PerChannelSymmetric => 1,
+        QuantScheme::PerChannelAffine => 2,
+    }
+}
+
+/// Maps a wire byte back to its [`QuantScheme`].
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] on an unknown byte.
+pub fn scheme_from_u8(byte: u8) -> Result<QuantScheme, FrameError> {
+    match byte {
+        0 => Ok(QuantScheme::PerTensorSymmetric),
+        1 => Ok(QuantScheme::PerChannelSymmetric),
+        2 => Ok(QuantScheme::PerChannelAffine),
+        other => Err(FrameError::Malformed(format!(
+            "unknown quantization scheme byte {other}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding primitives
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_u32(out, v.len() as u32);
+    out.extend_from_slice(v);
+}
+
+fn put_shard(out: &mut Vec<u8>, s: ShardSpec) {
+    match s {
+        ShardSpec::Base => {
+            out.push(0);
+            put_u32(out, 0);
+        }
+        ShardSpec::Diag { layer } => {
+            out.push(1);
+            put_u32(out, layer);
+        }
+        ShardSpec::Pair { outer } => {
+            out.push(2);
+            put_u32(out, outer);
+        }
+    }
+}
+
+/// 26-byte probe-record layout, identical to the CLSJ on-disk record.
+fn put_record(out: &mut Vec<u8>, rec: &ProbeRecord) {
+    let (kind, a, b, c, d) = match rec.id {
+        ProbeId::Base => (0u8, 0u32, 0u32, 0u32, 0u32),
+        ProbeId::Diag { layer, bit } => (1, layer, bit, 0, 0),
+        ProbeId::Pair {
+            layer_i,
+            bit_m,
+            layer_j,
+            bit_n,
+        } => (2, layer_i, bit_m, layer_j, bit_n),
+    };
+    out.push(kind);
+    for v in [a, b, c, d] {
+        put_u32(out, v);
+    }
+    put_u64(out, rec.loss.to_bits());
+    out.push(u8::from(rec.quarantined));
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &ShardRunStats) {
+    for v in [
+        s.full_evals,
+        s.cache_hits,
+        s.cache_builds,
+        s.retried,
+        s.quarantined,
+        s.seconds.to_bits(),
+    ] {
+        put_u64(out, v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding primitives — every read is bounds-checked and typed.
+
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], FrameError> {
+        if self.buf.len() - self.pos < n {
+            return Err(FrameError::Malformed(format!(
+                "truncated payload reading {what}"
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self, what: &str) -> Result<u8, FrameError> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u16(&mut self, what: &str) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+    fn u32(&mut self, what: &str) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn u64(&mut self, what: &str) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn bool(&mut self, what: &str) -> Result<bool, FrameError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(FrameError::Malformed(format!(
+                "{what}: boolean byte {other} out of range"
+            ))),
+        }
+    }
+    fn bytes(&mut self, what: &str) -> Result<&'a [u8], FrameError> {
+        let len = self.u32(what)? as usize;
+        self.take(len, what)
+    }
+    fn string(&mut self, what: &str) -> Result<String, FrameError> {
+        String::from_utf8(self.bytes(what)?.to_vec())
+            .map_err(|_| FrameError::Malformed(format!("{what}: invalid UTF-8")))
+    }
+    fn shard(&mut self, what: &str) -> Result<ShardSpec, FrameError> {
+        let tag = self.u8(what)?;
+        let arg = self.u32(what)?;
+        match tag {
+            0 => Ok(ShardSpec::Base),
+            1 => Ok(ShardSpec::Diag { layer: arg }),
+            2 => Ok(ShardSpec::Pair { outer: arg }),
+            other => Err(FrameError::Malformed(format!(
+                "{what}: shard tag {other} out of range"
+            ))),
+        }
+    }
+    fn record(&mut self) -> Result<ProbeRecord, FrameError> {
+        let kind = self.u8("record kind")?;
+        let a = self.u32("record field")?;
+        let b = self.u32("record field")?;
+        let c = self.u32("record field")?;
+        let d = self.u32("record field")?;
+        let id = match kind {
+            0 => ProbeId::Base,
+            1 => ProbeId::Diag { layer: a, bit: b },
+            2 => ProbeId::Pair {
+                layer_i: a,
+                bit_m: b,
+                layer_j: c,
+                bit_n: d,
+            },
+            other => {
+                return Err(FrameError::Malformed(format!(
+                    "record kind {other} out of range"
+                )))
+            }
+        };
+        let loss = f64::from_bits(self.u64("record loss")?);
+        let quarantined = self.bool("record quarantine flag")?;
+        Ok(ProbeRecord {
+            id,
+            loss,
+            quarantined,
+        })
+    }
+    fn stats(&mut self) -> Result<ShardRunStats, FrameError> {
+        Ok(ShardRunStats {
+            full_evals: self.u64("stats.full_evals")?,
+            cache_hits: self.u64("stats.cache_hits")?,
+            cache_builds: self.u64("stats.cache_builds")?,
+            retried: self.u64("stats.retried")?,
+            quarantined: self.u64("stats.quarantined")?,
+            seconds: f64::from_bits(self.u64("stats.seconds")?),
+        })
+    }
+    fn finish(self, what: &str) -> Result<(), FrameError> {
+        if self.pos != self.buf.len() {
+            return Err(FrameError::Malformed(format!(
+                "{what}: {} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Message {
+    /// The frame kind of this message.
+    pub fn kind(&self) -> u16 {
+        match self {
+            Self::Hello { .. } => KIND_HELLO,
+            Self::Job(_) => KIND_JOB,
+            Self::Ready { .. } => KIND_READY,
+            Self::Reject { .. } => KIND_REJECT,
+            Self::LeaseRequest => KIND_LEASE_REQUEST,
+            Self::Lease { .. } => KIND_LEASE,
+            Self::Idle { .. } => KIND_IDLE,
+            Self::Shutdown => KIND_SHUTDOWN,
+            Self::Heartbeat { .. } => KIND_HEARTBEAT,
+            Self::ShardDone { .. } => KIND_SHARD_DONE,
+        }
+    }
+
+    /// Encodes the message payload (the frame layer adds the envelope).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Self::Hello { protocol, pid } => {
+                put_u16(&mut out, *protocol);
+                put_u32(&mut out, *pid);
+            }
+            Self::Job(job) => {
+                put_bytes(&mut out, job.model.as_bytes());
+                put_u64(&mut out, job.set_size);
+                put_u64(&mut out, job.set_seed);
+                put_u64(&mut out, job.batch_size);
+                put_bytes(&mut out, &job.bits);
+                out.push(job.scheme);
+                out.push(u8::from(job.use_prefix_cache));
+                put_u64(&mut out, job.fingerprint);
+            }
+            Self::Ready { fingerprint } => put_u64(&mut out, *fingerprint),
+            Self::Reject { reason } => put_bytes(&mut out, reason.as_bytes()),
+            Self::LeaseRequest | Self::Shutdown => {}
+            Self::Lease { lease, shard } => {
+                put_u64(&mut out, *lease);
+                put_shard(&mut out, *shard);
+            }
+            Self::Idle { retry_ms } => put_u32(&mut out, *retry_ms),
+            Self::Heartbeat { lease } => put_u64(&mut out, *lease),
+            Self::ShardDone {
+                lease,
+                shard,
+                records,
+                stats,
+            } => {
+                put_u64(&mut out, *lease);
+                put_shard(&mut out, *shard);
+                put_u32(&mut out, records.len() as u32);
+                for rec in records {
+                    put_record(&mut out, rec);
+                }
+                put_stats(&mut out, stats);
+            }
+        }
+        out
+    }
+
+    /// Decodes a frame payload of the given kind.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::UnknownKind`] for an unrecognized kind;
+    /// [`FrameError::Malformed`] for any payload that is short, has
+    /// trailing bytes, or carries out-of-range tags.
+    pub fn decode(kind: u16, payload: &[u8]) -> Result<Self, FrameError> {
+        let mut c = Cur::new(payload);
+        let msg = match kind {
+            KIND_HELLO => Self::Hello {
+                protocol: c.u16("hello.protocol")?,
+                pid: c.u32("hello.pid")?,
+            },
+            KIND_JOB => Self::Job(JobSpec {
+                model: c.string("job.model")?,
+                set_size: c.u64("job.set_size")?,
+                set_seed: c.u64("job.set_seed")?,
+                batch_size: c.u64("job.batch_size")?,
+                bits: c.bytes("job.bits")?.to_vec(),
+                scheme: c.u8("job.scheme")?,
+                use_prefix_cache: c.bool("job.use_prefix_cache")?,
+                fingerprint: c.u64("job.fingerprint")?,
+            }),
+            KIND_READY => Self::Ready {
+                fingerprint: c.u64("ready.fingerprint")?,
+            },
+            KIND_REJECT => Self::Reject {
+                reason: c.string("reject.reason")?,
+            },
+            KIND_LEASE_REQUEST => Self::LeaseRequest,
+            KIND_LEASE => Self::Lease {
+                lease: c.u64("lease.id")?,
+                shard: c.shard("lease.shard")?,
+            },
+            KIND_IDLE => Self::Idle {
+                retry_ms: c.u32("idle.retry_ms")?,
+            },
+            KIND_SHUTDOWN => Self::Shutdown,
+            KIND_HEARTBEAT => Self::Heartbeat {
+                lease: c.u64("heartbeat.lease")?,
+            },
+            KIND_SHARD_DONE => {
+                let lease = c.u64("done.lease")?;
+                let shard = c.shard("done.shard")?;
+                let count = c.u32("done.record_count")? as usize;
+                // 26 bytes per record: an absurd count is caught here
+                // rather than via a giant allocation.
+                if count > payload.len() {
+                    return Err(FrameError::Malformed(format!(
+                        "done.record_count {count} exceeds payload size"
+                    )));
+                }
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    records.push(c.record()?);
+                }
+                let stats = c.stats()?;
+                Self::ShardDone {
+                    lease,
+                    shard,
+                    records,
+                    stats,
+                }
+            }
+            other => return Err(FrameError::UnknownKind(other)),
+        };
+        c.finish("message")?;
+        Ok(msg)
+    }
+}
+
+/// Sends one message as a frame.
+pub fn send(w: &mut impl Write, msg: &Message) -> Result<(), FrameError> {
+    write_frame(w, msg.kind(), &msg.encode())
+}
+
+/// Receives and decodes one message.
+pub fn recv(r: &mut impl Read) -> Result<Message, FrameError> {
+    let (kind, payload) = read_frame(r)?;
+    Message::decode(kind, &payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: &Message) -> Message {
+        Message::decode(msg.kind(), &msg.encode()).expect("decode")
+    }
+
+    #[test]
+    fn every_message_kind_round_trips() {
+        let msgs = vec![
+            Message::Hello {
+                protocol: 1,
+                pid: 4242,
+            },
+            Message::Job(JobSpec {
+                model: "resnet20".into(),
+                set_size: 64,
+                set_seed: 7,
+                batch_size: 64,
+                bits: vec![2, 4, 8],
+                scheme: 0,
+                use_prefix_cache: true,
+                fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            }),
+            Message::Ready {
+                fingerprint: u64::MAX,
+            },
+            Message::Reject {
+                reason: "config fingerprint mismatch".into(),
+            },
+            Message::LeaseRequest,
+            Message::Lease {
+                lease: 3,
+                shard: ShardSpec::Pair { outer: 11 },
+            },
+            Message::Idle { retry_ms: 50 },
+            Message::Shutdown,
+            Message::Heartbeat { lease: 9 },
+            Message::ShardDone {
+                lease: 3,
+                shard: ShardSpec::Diag { layer: 2 },
+                records: vec![
+                    ProbeRecord {
+                        id: ProbeId::Diag { layer: 2, bit: 0 },
+                        loss: 1.25,
+                        quarantined: false,
+                    },
+                    ProbeRecord {
+                        id: ProbeId::Diag { layer: 2, bit: 1 },
+                        loss: f64::NAN,
+                        quarantined: true,
+                    },
+                ],
+                stats: ShardRunStats {
+                    full_evals: 1,
+                    cache_hits: 1,
+                    cache_builds: 1,
+                    retried: 1,
+                    quarantined: 1,
+                    seconds: 0.25,
+                },
+            },
+        ];
+        for msg in &msgs {
+            let back = round_trip(msg);
+            // NaN losses make direct equality unusable; compare the
+            // re-encoded bytes, which are bit-exact.
+            assert_eq!(back.encode(), msg.encode(), "{msg:?}");
+            assert_eq!(back.kind(), msg.kind());
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_typed() {
+        let err = Message::decode(999, &[]).unwrap_err();
+        assert!(matches!(err, FrameError::UnknownKind(999)), "{err}");
+    }
+
+    #[test]
+    fn short_and_trailing_payloads_are_malformed() {
+        let good = Message::Heartbeat { lease: 1 }.encode();
+        let err = Message::decode(KIND_HEARTBEAT, &good[..4]).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+        let mut long = good.clone();
+        long.push(0);
+        let err = Message::decode(KIND_HEARTBEAT, &long).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_tags_are_malformed() {
+        // Shard tag 3 in a Lease.
+        let mut lease = Vec::new();
+        put_u64(&mut lease, 1);
+        lease.push(3);
+        put_u32(&mut lease, 0);
+        let err = Message::decode(KIND_LEASE, &lease).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+        // Boolean byte 2 in a Job.
+        let mut job = Message::Job(JobSpec {
+            model: "m".into(),
+            set_size: 1,
+            set_seed: 1,
+            batch_size: 1,
+            bits: vec![8],
+            scheme: 0,
+            use_prefix_cache: false,
+            fingerprint: 0,
+        })
+        .encode();
+        let flag_at = job.len() - 9;
+        job[flag_at] = 2;
+        let err = Message::decode(KIND_JOB, &job).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn absurd_record_counts_are_rejected() {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1);
+        put_shard(&mut payload, ShardSpec::Base);
+        put_u32(&mut payload, u32::MAX);
+        let err = Message::decode(KIND_SHARD_DONE, &payload).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn scheme_bytes_round_trip_and_reject_unknowns() {
+        for scheme in [
+            QuantScheme::PerTensorSymmetric,
+            QuantScheme::PerChannelSymmetric,
+            QuantScheme::PerChannelAffine,
+        ] {
+            assert_eq!(scheme_from_u8(scheme_to_u8(scheme)).unwrap(), scheme);
+        }
+        assert!(scheme_from_u8(3).is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! The sweep worker: connects to a coordinator, reconstructs the job
+//! locally, and evaluates leased shards until told to shut down.
+//!
+//! The worker's main thread is synchronous — request a lease, evaluate
+//! it, report it — while a side thread sends `Heartbeat` frames every
+//! [`WorkerOptions::heartbeat_interval`] so the coordinator can tell a
+//! slow shard from a dead worker. Writes from the two threads are
+//! serialized through a mutex; the main thread is the only reader.
+
+use crate::error::DistError;
+use crate::frame::{FrameError, PROTOCOL_VERSION};
+use crate::protocol::{self, scheme_from_u8, JobSpec, Message};
+use clado_core::ShardContext;
+use clado_models::DataSplit;
+use clado_nn::Network;
+use clado_quant::BitWidthSet;
+use clado_telemetry::{faultpoint, Telemetry};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the worker waits for a coordinator reply before giving up
+/// (replies are immediate in a healthy exchange; this only bounds a
+/// wedged coordinator).
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Options controlling a worker run.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Interval between liveness frames while the main thread measures.
+    /// Must be comfortably below the coordinator's heartbeat timeout.
+    pub heartbeat_interval: Duration,
+    /// Total window for connecting (with retries) to the coordinator —
+    /// workers often start before the coordinator finishes binding.
+    pub connect_timeout: Duration,
+    /// Telemetry sink for spans and counters.
+    pub telemetry: Telemetry,
+    /// Print coarse progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(10),
+            telemetry: Telemetry::disabled(),
+            verbose: false,
+        }
+    }
+}
+
+/// What a worker accomplished before shutdown.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerReport {
+    /// Shards evaluated and reported.
+    pub shards: u64,
+    /// Probe records contributed.
+    pub probes: u64,
+    /// Busy time: summed shard-evaluation wall time.
+    pub seconds: f64,
+}
+
+/// A connection whose writes are serialized across threads (main loop +
+/// heartbeat). Reads stay single-threaded on the main loop.
+struct Conn {
+    stream: TcpStream,
+    write: Mutex<()>,
+}
+
+impl Conn {
+    fn send(&self, msg: &Message) -> Result<(), FrameError> {
+        let _guard = self.write.lock().unwrap_or_else(|p| p.into_inner());
+        let mut w: &TcpStream = &self.stream;
+        protocol::send(&mut w, msg)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Message, FrameError> {
+        let mut r: &TcpStream = &self.stream;
+        protocol::recv(&mut r)
+    }
+}
+
+/// Stops and joins the heartbeat thread on every exit path — including
+/// a panic unwinding out of the lease loop, where leaving the thread
+/// running would hold the socket open and stall the coordinator's
+/// eviction until its heartbeat deadline.
+struct HeartbeatGuard {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for HeartbeatGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn connect_with_retry(addr: &str, window: Duration) -> Result<TcpStream, DistError> {
+    let deadline = Instant::now() + window;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(DistError::Io(e));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+/// Runs a worker against the coordinator at `addr` until the sweep
+/// completes (or fails). `provider` reconstructs the model and
+/// sensitivity set from the received [`JobSpec`] — the CLI passes the
+/// pretrained-model loader; tests and benches pass synthetic builders.
+///
+/// # Errors
+///
+/// [`DistError::Rejected`] when the coordinator refuses the handshake
+/// (version or fingerprint mismatch), [`DistError::Provider`] when the
+/// job cannot be reconstructed, and [`DistError::Frame`]/[`DistError::Io`]
+/// when the coordinator link drops mid-sweep.
+pub fn run_worker<F>(
+    addr: &str,
+    provider: F,
+    opts: &WorkerOptions,
+) -> Result<WorkerReport, DistError>
+where
+    F: FnOnce(&JobSpec) -> Result<(Network, DataSplit), String>,
+{
+    let telemetry = opts.telemetry.clone();
+    let _root = telemetry.span("dist.work");
+    let stream = connect_with_retry(addr, opts.connect_timeout)?;
+    stream.set_nodelay(true).map_err(DistError::Io)?;
+    stream
+        .set_read_timeout(Some(REPLY_TIMEOUT))
+        .map_err(DistError::Io)?;
+    let conn = Arc::new(Conn {
+        stream,
+        write: Mutex::new(()),
+    });
+
+    conn.send(&Message::Hello {
+        protocol: PROTOCOL_VERSION,
+        pid: std::process::id(),
+    })?;
+    let job = match conn.recv()? {
+        Message::Job(job) => job,
+        Message::Reject { reason } => return Err(DistError::Rejected(reason)),
+        other => {
+            return Err(
+                FrameError::Malformed(format!("expected Job, got kind {}", other.kind())).into(),
+            )
+        }
+    };
+    if job.bits.is_empty() {
+        return Err(FrameError::Malformed("job carries no bit-widths".into()).into());
+    }
+    let scheme = scheme_from_u8(job.scheme)?;
+
+    // Liveness side channel, started *before* the (potentially slow)
+    // model reconstruction: any frame resets the coordinator's
+    // heartbeat deadline, so neither a long model load nor a long shard
+    // looks like a dead worker.
+    let stop = Arc::new(AtomicBool::new(false));
+    let current_lease = Arc::new(AtomicU64::new(0));
+    let _heartbeat = {
+        let conn = Arc::clone(&conn);
+        let stop_flag = Arc::clone(&stop);
+        let lease = Arc::clone(&current_lease);
+        let interval = opts.heartbeat_interval;
+        HeartbeatGuard {
+            stop: Arc::clone(&stop),
+            handle: Some(std::thread::spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let msg = Message::Heartbeat {
+                        lease: lease.load(Ordering::Relaxed),
+                    };
+                    if conn.send(&msg).is_err() {
+                        break;
+                    }
+                }
+            })),
+        }
+    };
+
+    let (mut network, set) = {
+        let _s = telemetry.span("dist.work.load");
+        provider(&job).map_err(DistError::Provider)?
+    };
+    let bits = BitWidthSet::new(&job.bits);
+    let ctx = ShardContext::new(
+        &network,
+        set.len(),
+        &bits,
+        scheme,
+        job.batch_size as usize,
+        job.use_prefix_cache,
+    );
+    let fingerprint = ctx.fingerprint();
+    if opts.verbose && fingerprint != job.fingerprint {
+        eprintln!(
+            "dist: local fingerprint {fingerprint:#018x} differs from job \
+             {:#018x}; expecting rejection",
+            job.fingerprint
+        );
+    }
+    conn.send(&Message::Ready { fingerprint })?;
+
+    let mut report = WorkerReport::default();
+    let result = (|| -> Result<(), DistError> {
+        loop {
+            conn.send(&Message::LeaseRequest)?;
+            match conn.recv()? {
+                Message::Lease { lease, shard } => {
+                    current_lease.store(lease, Ordering::Relaxed);
+                    // Debug-build fail point: a worker process armed with
+                    // `dist.worker.shard=abort` dies here, mid-lease,
+                    // exactly like a SIGKILL.
+                    faultpoint!("dist.worker.shard", { std::process::abort() });
+                    let _s = telemetry.span("dist.work.shard");
+                    let (records, stats) = ctx.run_shard(&mut network, &set, shard, &telemetry);
+                    current_lease.store(0, Ordering::Relaxed);
+                    report.shards += 1;
+                    report.probes += records.len() as u64;
+                    report.seconds += stats.seconds;
+                    telemetry.counter("dist.shards_evaluated").incr();
+                    if opts.verbose {
+                        eprintln!(
+                            "dist: evaluated {shard} ({} probes, {:.2}s)",
+                            records.len(),
+                            stats.seconds
+                        );
+                    }
+                    conn.send(&Message::ShardDone {
+                        lease,
+                        shard,
+                        records,
+                        stats,
+                    })?;
+                }
+                Message::Idle { retry_ms } => {
+                    std::thread::sleep(Duration::from_millis(u64::from(retry_ms)));
+                }
+                Message::Shutdown => return Ok(()),
+                Message::Reject { reason } => return Err(DistError::Rejected(reason)),
+                other => {
+                    return Err(FrameError::Malformed(format!(
+                        "unexpected coordinator message kind {}",
+                        other.kind()
+                    ))
+                    .into())
+                }
+            }
+        }
+    })();
+
+    result.map(|()| report)
+}

@@ -1,0 +1,607 @@
+//! End-to-end tests of the distributed sweep over loopback TCP:
+//! bitwise parity with the single-process engine, lease eviction for
+//! dead and hung workers, fingerprint/version rejection, malformed-frame
+//! robustness, and crash-safe resume (including journal interop with
+//! the single-process engine).
+//!
+//! Every test takes the fault-injection `test_guard`, which serializes
+//! the suite: the fault registry is process-global, so a fault armed
+//! for one test must never fire inside another's workers.
+
+use clado_core::{
+    load_sensitivities, measure_sensitivities, save_sensitivities, MeasureError, SensitivityMatrix,
+    SensitivityOptions, ShardContext,
+};
+use clado_dist::{
+    protocol, run_worker, Coordinator, CoordinatorOptions, DistError, JobSpec, Message,
+    WorkerOptions,
+};
+use clado_models::{DataSplit, SynthVision, SynthVisionConfig};
+use clado_nn::Network;
+use clado_quant::{BitWidthSet, QuantScheme};
+use clado_telemetry::faultinject::{self, test_guard, FaultSpec};
+use clado_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn setup() -> (Network, DataSplit) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = Network::new(
+        clado_nn::Sequential::new()
+            .push(
+                "conv1",
+                clado_nn::Conv2d::new(clado_tensor::Conv2dSpec::new(3, 6, 3, 1, 1), true, &mut rng),
+            )
+            .push("relu1", clado_nn::Activation::new(clado_nn::ActKind::Relu))
+            .push(
+                "conv2",
+                clado_nn::Conv2d::new(clado_tensor::Conv2dSpec::new(6, 6, 3, 1, 1), true, &mut rng),
+            )
+            .push("relu2", clado_nn::Activation::new(clado_nn::ActKind::Relu))
+            .push("pool", clado_nn::GlobalAvgPool::new())
+            .push("fc", clado_nn::Linear::new(6, 4, &mut rng)),
+        4,
+    );
+    let data = SynthVision::generate(SynthVisionConfig {
+        classes: 4,
+        img: 8,
+        train: 48,
+        val: 32,
+        seed: 9,
+        noise: 0.2,
+        label_noise: 0.0,
+    });
+    let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+    (net, set)
+}
+
+fn bits() -> BitWidthSet {
+    BitWidthSet::new(&[2, 8])
+}
+
+fn context(net: &Network, set: &DataSplit) -> ShardContext {
+    ShardContext::new(
+        net,
+        set.len(),
+        &bits(),
+        QuantScheme::PerTensorSymmetric,
+        64,
+        true,
+    )
+}
+
+fn job(fingerprint: u64) -> JobSpec {
+    JobSpec {
+        model: "synthetic".into(),
+        set_size: 16,
+        set_seed: 0,
+        batch_size: 64,
+        bits: vec![2, 8],
+        scheme: 0,
+        use_prefix_cache: true,
+        fingerprint,
+    }
+}
+
+fn coordinator_options() -> CoordinatorOptions {
+    CoordinatorOptions {
+        idle_timeout: Some(Duration::from_secs(60)),
+        ..Default::default()
+    }
+}
+
+/// Spawns `n` worker threads against `addr`, each reconstructing the
+/// synthetic job from clones. Returns their join handles.
+fn spawn_workers(
+    addr: &str,
+    n: usize,
+    net: &Network,
+    set: &DataSplit,
+    opts: &WorkerOptions,
+) -> Vec<std::thread::JoinHandle<Result<clado_dist::WorkerReport, DistError>>> {
+    (0..n)
+        .map(|_| {
+            let addr = addr.to_string();
+            let net = net.clone();
+            let set = set.clone();
+            let opts = opts.clone();
+            std::thread::spawn(move || run_worker(&addr, move |_job| Ok((net, set)), &opts))
+        })
+        .collect()
+}
+
+fn reference_matrix(net: &Network, set: &DataSplit) -> SensitivityMatrix {
+    let mut net = net.clone();
+    measure_sensitivities(&mut net, set, &bits(), &SensitivityOptions::default())
+        .expect("single-process reference")
+}
+
+fn assert_bitwise_equal(a: &SensitivityMatrix, b: &SensitivityMatrix, label: &str) {
+    assert_eq!(
+        a.base_loss.to_bits(),
+        b.base_loss.to_bits(),
+        "{label}: base loss"
+    );
+    let dim = a.matrix().dim();
+    assert_eq!(dim, b.matrix().dim(), "{label}: dimension");
+    for u in 0..dim {
+        for v in u..dim {
+            assert_eq!(
+                a.matrix().get(u, v).to_bits(),
+                b.matrix().get(u, v).to_bits(),
+                "{label}: entry ({u},{v})"
+            );
+        }
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("clado-dist-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn distributed_sweep_matches_single_process_bitwise() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let reference = reference_matrix(&net, &set);
+    let ctx = context(&net, &set);
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        ctx,
+        job(context(&net, &set).fingerprint()),
+        coordinator_options(),
+    )
+    .expect("bind");
+    let addr = coordinator.local_addr().to_string();
+    let workers = spawn_workers(&addr, 3, &net, &set, &WorkerOptions::default());
+    let outcome = coordinator.run().expect("distributed sweep");
+    for handle in workers {
+        handle.join().expect("worker thread").expect("worker run");
+    }
+    assert_bitwise_equal(&outcome.matrix, &reference, "3 workers");
+    assert_eq!(
+        outcome.matrix.stats.evaluations,
+        reference.stats.evaluations
+    );
+    assert_eq!(outcome.evictions, 0);
+    assert_eq!(outcome.rejected, 0);
+    assert_eq!(outcome.resumed, 0);
+    assert!(!outcome.workers.is_empty());
+    let shard_total: u64 = outcome.workers.iter().map(|w| w.shards).sum();
+    assert_eq!(shard_total, 6, "every shard reported by exactly one worker");
+    assert!(outcome.straggler_seconds >= 0.0);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn dead_worker_mid_lease_is_evicted_and_sweep_still_matches() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let reference = reference_matrix(&net, &set);
+    let ctx = context(&net, &set);
+    // Exactly one worker thread dies the moment it takes its second
+    // lease (skip 1 so the sweep is mid-flight), with the lease held.
+    faultinject::arm("dist.worker.shard", FaultSpec::panic().skip(1).times(1));
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        ctx,
+        job(context(&net, &set).fingerprint()),
+        CoordinatorOptions {
+            heartbeat_timeout: Duration::from_millis(500),
+            ..coordinator_options()
+        },
+    )
+    .expect("bind");
+    let addr = coordinator.local_addr().to_string();
+    let workers = spawn_workers(
+        &addr,
+        3,
+        &net,
+        &set,
+        &WorkerOptions {
+            heartbeat_interval: Duration::from_millis(50),
+            ..Default::default()
+        },
+    );
+    let outcome = coordinator.run().expect("sweep survives a dead worker");
+    let results: Vec<_> = workers.into_iter().map(|h| h.join()).collect();
+    let panicked = results.iter().filter(|r| r.is_err()).count();
+    assert_eq!(panicked, 1, "exactly one worker thread died");
+    assert!(
+        faultinject::hits("dist.worker.shard") >= 2,
+        "skip=1 + fire=1"
+    );
+    assert!(
+        outcome.evictions >= 1,
+        "the dead worker's lease was evicted and requeued"
+    );
+    assert_bitwise_equal(&outcome.matrix, &reference, "after worker death");
+    assert_eq!(
+        outcome.matrix.stats.evaluations,
+        reference.stats.evaluations
+    );
+}
+
+#[test]
+fn hung_worker_is_evicted_by_heartbeat_deadline() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let reference = reference_matrix(&net, &set);
+    let ctx = context(&net, &set);
+    let fp = ctx.fingerprint();
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        ctx,
+        job(fp),
+        CoordinatorOptions {
+            heartbeat_timeout: Duration::from_millis(300),
+            ..coordinator_options()
+        },
+    )
+    .expect("bind");
+    let addr = coordinator.local_addr().to_string();
+
+    // A "hung" worker: completes the handshake, takes a lease, then
+    // goes silent — no heartbeats, no result. The coordinator must
+    // evict it at the deadline and reassign the shard.
+    let hung = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let stream = TcpStream::connect(&addr).expect("connect");
+            let mut s = &stream;
+            protocol::send(
+                &mut s,
+                &Message::Hello {
+                    protocol: clado_dist::PROTOCOL_VERSION,
+                    pid: 0,
+                },
+            )
+            .expect("hello");
+            let Message::Job(_) = protocol::recv(&mut s).expect("job") else {
+                panic!("expected job");
+            };
+            protocol::send(&mut s, &Message::Ready { fingerprint: fp }).expect("ready");
+            protocol::send(&mut s, &Message::LeaseRequest).expect("lease request");
+            match protocol::recv(&mut s).expect("lease reply") {
+                Message::Lease { .. } => {}
+                other => panic!("expected a lease, got kind {}", other.kind()),
+            }
+            // Hold the lease silently past the heartbeat deadline.
+            std::thread::sleep(Duration::from_millis(1500));
+        })
+    };
+    // Give the hung worker a head start so it takes the first lease.
+    std::thread::sleep(Duration::from_millis(100));
+    let workers = spawn_workers(
+        &addr,
+        1,
+        &net,
+        &set,
+        &WorkerOptions {
+            heartbeat_interval: Duration::from_millis(50),
+            ..Default::default()
+        },
+    );
+    let outcome = coordinator.run().expect("sweep survives a hung worker");
+    hung.join().expect("hung worker thread");
+    for handle in workers {
+        handle.join().expect("worker thread").expect("worker run");
+    }
+    assert!(outcome.evictions >= 1, "the hung lease was evicted");
+    assert_bitwise_equal(&outcome.matrix, &reference, "after hung-worker eviction");
+}
+
+#[test]
+fn fingerprint_mismatch_worker_is_rejected() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let ctx = context(&net, &set);
+    let fp = ctx.fingerprint();
+    let coordinator =
+        Coordinator::bind("127.0.0.1:0", ctx, job(fp), coordinator_options()).expect("bind");
+    let addr = coordinator.local_addr().to_string();
+
+    // An impostor with a different configuration fingerprint must be
+    // refused with a Reject frame naming both fingerprints.
+    let impostor = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let stream = TcpStream::connect(&addr).expect("connect");
+            let mut s = &stream;
+            protocol::send(
+                &mut s,
+                &Message::Hello {
+                    protocol: clado_dist::PROTOCOL_VERSION,
+                    pid: 1,
+                },
+            )
+            .expect("hello");
+            let Message::Job(_) = protocol::recv(&mut s).expect("job") else {
+                panic!("expected job");
+            };
+            protocol::send(
+                &mut s,
+                &Message::Ready {
+                    fingerprint: fp ^ 0xFFFF,
+                },
+            )
+            .expect("ready");
+            match protocol::recv(&mut s).expect("reject reply") {
+                Message::Reject { reason } => {
+                    assert!(
+                        reason.contains("fingerprint mismatch"),
+                        "reject reason: {reason}"
+                    );
+                }
+                other => panic!("expected Reject, got kind {}", other.kind()),
+            }
+        })
+    };
+    // A worker announcing an incompatible protocol version is also
+    // turned away before any job state is exchanged.
+    let old_version = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let stream = TcpStream::connect(&addr).expect("connect");
+            let mut s = &stream;
+            protocol::send(
+                &mut s,
+                &Message::Hello {
+                    protocol: 99,
+                    pid: 2,
+                },
+            )
+            .expect("hello");
+            match protocol::recv(&mut s).expect("reject reply") {
+                Message::Reject { reason } => {
+                    assert!(reason.contains("version"), "reject reason: {reason}");
+                }
+                other => panic!("expected Reject, got kind {}", other.kind()),
+            }
+        })
+    };
+    let workers = spawn_workers(&addr, 1, &net, &set, &WorkerOptions::default());
+    let outcome = coordinator.run().expect("sweep completes");
+    impostor.join().expect("impostor thread");
+    old_version.join().expect("old-version thread");
+    for handle in workers {
+        handle.join().expect("worker thread").expect("worker run");
+    }
+    assert_eq!(outcome.rejected, 2, "both impostors were rejected");
+    let reference = reference_matrix(&net, &set);
+    assert_bitwise_equal(&outcome.matrix, &reference, "after rejected impostors");
+}
+
+#[test]
+fn malformed_frames_never_disturb_the_sweep() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let reference = reference_matrix(&net, &set);
+    let ctx = context(&net, &set);
+    let telemetry = Telemetry::new();
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        ctx,
+        job(context(&net, &set).fingerprint()),
+        CoordinatorOptions {
+            telemetry: telemetry.clone(),
+            ..coordinator_options()
+        },
+    )
+    .expect("bind");
+    let addr = coordinator.local_addr().to_string();
+
+    // A rogue's gallery of malformed clients: garbage bytes, a
+    // truncated frame, an oversized length header, and a corrupted
+    // version field. Each must be dropped without panicking the
+    // coordinator or corrupting the sweep.
+    let mut good_frame = Vec::new();
+    clado_dist::frame::write_frame(
+        &mut good_frame,
+        Message::LeaseRequest.kind(),
+        &Message::LeaseRequest.encode(),
+    )
+    .expect("encode");
+    let mut oversized = good_frame.clone();
+    oversized[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    let mut bad_version = good_frame.clone();
+    bad_version[4] = 0xFF;
+    let payloads: Vec<Vec<u8>> = vec![
+        b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+        good_frame[..7].to_vec(),
+        oversized,
+        bad_version,
+    ];
+    let rogues: Vec<_> = payloads
+        .into_iter()
+        .map(|bytes| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                use std::io::Write;
+                let mut stream = TcpStream::connect(&addr).expect("connect");
+                stream.write_all(&bytes).expect("write garbage");
+                // Close immediately; the coordinator should classify and
+                // drop without waiting for its heartbeat deadline.
+            })
+        })
+        .collect();
+    let workers = spawn_workers(&addr, 2, &net, &set, &WorkerOptions::default());
+    let outcome = coordinator.run().expect("sweep completes despite rogues");
+    for rogue in rogues {
+        rogue.join().expect("rogue thread");
+    }
+    for handle in workers {
+        handle.join().expect("worker thread").expect("worker run");
+    }
+    assert_bitwise_equal(&outcome.matrix, &reference, "after malformed frames");
+    assert!(
+        telemetry.counter_value("dist.protocol_errors") >= 3,
+        "malformed clients were counted: {}",
+        telemetry.counter_value("dist.protocol_errors")
+    );
+}
+
+#[test]
+fn killed_coordinator_resumes_losslessly_from_partial_journal() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let reference = reference_matrix(&net, &set);
+    let dir = temp_dir("resume");
+
+    // First pass: full distributed run with journaling.
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        context(&net, &set),
+        job(context(&net, &set).fingerprint()),
+        CoordinatorOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..coordinator_options()
+        },
+    )
+    .expect("bind");
+    let addr = coordinator.local_addr().to_string();
+    let workers = spawn_workers(&addr, 2, &net, &set, &WorkerOptions::default());
+    let first = coordinator.run().expect("journaled sweep");
+    for handle in workers {
+        handle.join().expect("worker thread").expect("worker run");
+    }
+    assert_bitwise_equal(&first.matrix, &reference, "journaled distributed run");
+
+    // Simulate the coordinator dying mid-sweep by deleting half the
+    // committed shard files, then resume.
+    let mut shards: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read checkpoint dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "clsj"))
+        .collect();
+    shards.sort();
+    assert_eq!(shards.len(), 6, "one committed shard file per shard");
+    for lost in shards.iter().rev().take(3) {
+        std::fs::remove_file(lost).expect("delete shard");
+    }
+
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        context(&net, &set),
+        job(context(&net, &set).fingerprint()),
+        CoordinatorOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..coordinator_options()
+        },
+    )
+    .expect("bind for resume");
+    let addr = coordinator.local_addr().to_string();
+    let workers = spawn_workers(&addr, 2, &net, &set, &WorkerOptions::default());
+    let resumed = coordinator.run().expect("resumed sweep");
+    for handle in workers {
+        handle.join().expect("worker thread").expect("worker run");
+    }
+    assert!(resumed.resumed > 0, "some probes came from the journal");
+    assert!(
+        resumed.matrix.stats.evaluations < reference.stats.evaluations,
+        "resume re-evaluated only the lost shards"
+    );
+    assert_bitwise_equal(&resumed.matrix, &reference, "resumed distributed run");
+
+    // A non-empty journal without resume stays a hard error, exactly
+    // like the single-process engine.
+    let err = Coordinator::bind(
+        "127.0.0.1:0",
+        context(&net, &set),
+        job(context(&net, &set).fingerprint()),
+        CoordinatorOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: false,
+            ..coordinator_options()
+        },
+    )
+    .expect("bind")
+    .run()
+    .expect_err("non-empty journal without resume must be refused");
+    assert!(matches!(err, DistError::Journal(_)), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn distributed_resume_finishes_a_single_process_checkpoint() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let dir = temp_dir("interop");
+
+    // A *single-process* run journals the full sweep...
+    let mut net1 = net.clone();
+    let reference = measure_sensitivities(
+        &mut net1,
+        &set,
+        &bits(),
+        &SensitivityOptions {
+            checkpoint_dir: Some(dir.clone()),
+            ..Default::default()
+        },
+    )
+    .expect("single-process journaled run");
+
+    // ...and a distributed coordinator resumes it: zero re-evaluation,
+    // bitwise-identical matrix. CLSJ journals are interchangeable
+    // between the two engines.
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        context(&net, &set),
+        job(context(&net, &set).fingerprint()),
+        CoordinatorOptions {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..coordinator_options()
+        },
+    )
+    .expect("bind");
+    let outcome = coordinator
+        .run()
+        .expect("fully-journaled sweep completes with no workers at all");
+    assert_eq!(outcome.matrix.stats.evaluations, 0, "nothing re-evaluated");
+    assert_eq!(outcome.resumed, reference.stats.evaluations);
+    assert_bitwise_equal(&outcome.matrix, &reference, "single-process → distributed");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn save_load_round_trip_preserves_distributed_matrix() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let ctx = context(&net, &set);
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        ctx,
+        job(context(&net, &set).fingerprint()),
+        coordinator_options(),
+    )
+    .expect("bind");
+    let addr = coordinator.local_addr().to_string();
+    let workers = spawn_workers(&addr, 2, &net, &set, &WorkerOptions::default());
+    let outcome = coordinator.run().expect("sweep");
+    for handle in workers {
+        handle.join().expect("worker thread").expect("worker run");
+    }
+    let path = std::env::temp_dir().join(format!("clado-dist-io-{}.clsm", std::process::id()));
+    save_sensitivities(&outcome.matrix, &path).expect("save");
+    let loaded = load_sensitivities(&path).expect("load");
+    assert_bitwise_equal(&loaded, &outcome.matrix, "clsm round trip");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn assembly_reports_missing_probes_when_sweep_is_incomplete() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let ctx = context(&net, &set);
+    let err = ctx
+        .assemble(&std::collections::HashMap::new())
+        .expect_err("no records");
+    assert!(matches!(err, MeasureError::MissingProbes { .. }), "{err}");
+}
