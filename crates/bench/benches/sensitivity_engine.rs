@@ -11,7 +11,10 @@
 //! identical, and records the timings (including the telemetry overhead
 //! ratio (d)/(b), the fault-free checkpointing overhead ratio (e)/(b),
 //! and `distributed.speedup_ratio` (b)/(f)) to `BENCH_sensitivity.json`
-//! at the repo root, as a `clado-telemetry-manifest/v1` document.
+//! at the repo root, as a `clado-telemetry-manifest/v1` document. A final
+//! solver phase times a dense cross-term IQP with and without an armed
+//! deadline and records `solver.anytime_overhead_ratio` — the cost of the
+//! cooperative cancellation checks when nothing fires.
 //!
 //! The overhead ratios compare configurations whose true difference is a
 //! few percent, far below single-shot wall-time noise on a busy machine,
@@ -149,6 +152,84 @@ fn measure_distributed(workers: usize) -> (SensitivityMatrix, f64) {
     (outcome.matrix, secs)
 }
 
+/// Anytime-solver overhead: the cooperative deadline/cancel checks ride on
+/// every branch-and-bound node, DP cell, and exhaustive enumeration step.
+/// This phase solves the same planted dense cross-term IQP with the default
+/// config and with an armed-but-unreachable deadline, in interleaved
+/// rounds, and returns min(armed)/min(plain) — the price of anytime
+/// solving when nothing fires (expected under 1.02×).
+fn solver_anytime_overhead() -> f64 {
+    use clado_solver::{IqpProblem, SolverConfig, SymMatrix};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::time::{Duration, Instant};
+
+    let layers = 12;
+    let choices = 3;
+    let n = layers * choices;
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut g = SymMatrix::zeros(n);
+    for i in 0..n {
+        for j in i..n {
+            let v = rng.gen_range(-1.0f64..1.0);
+            g.set(i, j, if i == j { v.abs() } else { 0.2 * v });
+        }
+    }
+    let params: Vec<u64> = (0..layers).map(|_| 64 * rng.gen_range(1u64..=64)).collect();
+    let costs: Vec<u64> = params
+        .iter()
+        .flat_map(|&p| [2, 4, 8].iter().map(move |&b| p * b))
+        .collect();
+    let budget = params.iter().sum::<u64>() * 4;
+    let problem =
+        IqpProblem::new(g, &vec![choices; layers], costs, budget).expect("valid instance");
+
+    // One solve is under a millisecond, so each timing sample loops the
+    // solve, and plain/armed samples interleave round-robin so slow drift
+    // on the host (frequency scaling, background load) hits both sides
+    // equally instead of biasing whichever phase ran second.
+    let solves_per_sample = 40;
+    let rounds = 7;
+    let plain = SolverConfig::default();
+    let armed = SolverConfig {
+        deadline: Some(Instant::now() + Duration::from_secs(3600)),
+        ..Default::default()
+    };
+    let sample = |config: &SolverConfig| {
+        let mut choices = None;
+        let start = Instant::now();
+        for _ in 0..solves_per_sample {
+            let solution = problem.solve(config).expect("solves");
+            choices.get_or_insert(solution.choices);
+        }
+        (
+            choices.expect("solves_per_sample >= 1"),
+            start.elapsed().as_secs_f64(),
+        )
+    };
+    sample(&plain); // warm caches before the measured rounds
+    let (mut plain_secs, mut armed_secs) = (f64::INFINITY, f64::INFINITY);
+    let (mut plain_choices, mut armed_choices) = (None, None);
+    for _ in 0..rounds {
+        let (c, s) = sample(&plain);
+        plain_secs = plain_secs.min(s);
+        plain_choices.get_or_insert(c);
+        let (c, s) = sample(&armed);
+        armed_secs = armed_secs.min(s);
+        armed_choices.get_or_insert(c);
+    }
+    assert_eq!(
+        plain_choices, armed_choices,
+        "an unreachable deadline changed the solution"
+    );
+    let ratio = armed_secs / plain_secs;
+    println!(
+        "  {:<28} {plain_secs:>7.3}s   armed deadline {armed_secs:.3}s → {ratio:.3}× overhead \
+         ({solves_per_sample} solves/sample)",
+        "anytime solver, 12 layers"
+    );
+    ratio
+}
+
 fn assert_bitwise_equal(a: &SensitivityMatrix, b: &SensitivityMatrix, label: &str) {
     assert_eq!(a.base_loss.to_bits(), b.base_loss.to_bits(), "{label}");
     let dim = a.matrix().dim();
@@ -204,6 +285,7 @@ fn main() {
     });
     let _ = std::fs::remove_dir_all(&ckpt_dir);
     let (distributed, distributed_secs) = measure_distributed(3);
+    let anytime_overhead = solver_anytime_overhead();
     assert_bitwise_equal(&naive, &cached, "prefix cache changed the matrix");
     assert_bitwise_equal(&naive, &parallel, "parallelism changed the matrix");
     assert_bitwise_equal(&naive, &timed, "telemetry changed the matrix");
@@ -225,6 +307,9 @@ fn main() {
     println!("  telemetry overhead    {overhead_ratio:>6.3}×   (enabled / disabled wall time)");
     println!("  checkpoint overhead   {checkpoint_overhead:>6.3}×   (journaled / plain wall time)");
     println!("  distributed speedup   {distributed_speedup:>6.2}×   (serial-prefix / 3-worker wall time)");
+    println!(
+        "  anytime overhead      {anytime_overhead:>6.3}×   (armed deadline / plain solve wall time)"
+    );
 
     // The bench record *is* a telemetry manifest: timings land in gauges,
     // the instrumented run's counters and span tree come along for free.
@@ -238,6 +323,7 @@ fn main() {
     registry.set_gauge("bench.checkpoint_overhead_ratio", checkpoint_overhead);
     registry.set_gauge("bench.distributed_seconds", distributed_secs);
     registry.set_gauge("distributed.speedup_ratio", distributed_speedup);
+    registry.set_gauge("solver.anytime_overhead_ratio", anytime_overhead);
     let json = registry.manifest(
         "bench.sensitivity_engine",
         &[

@@ -106,6 +106,24 @@ impl Args {
             .map_err(|_| ArgsError(format!("invalid value `{v}` for --{key}")))
     }
 
+    /// Duration value of `--key` (e.g. `--solver-timeout 10s`), accepting
+    /// the suffixes `ms`, `s`, `m`, and `h` (a bare number means seconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] if the value does not parse as a duration.
+    pub fn duration(&self, key: &str) -> Result<Option<std::time::Duration>, ArgsError> {
+        self.get(key)
+            .map(|v| {
+                parse_duration(v).ok_or_else(|| {
+                    ArgsError(format!(
+                        "invalid duration `{v}` for --{key} (use e.g. 500ms, 10s, 2m, 1h)"
+                    ))
+                })
+            })
+            .transpose()
+    }
+
     /// Comma-separated `u8` list (e.g. `--bits 2,4,8`).
     ///
     /// # Errors
@@ -126,9 +144,35 @@ impl Args {
     }
 }
 
+/// Parses a human-readable duration: `500ms`, `10s`, `2m`, `1h`, or a bare
+/// number of seconds. Fractions are accepted (`1.5s`). Returns `None` on
+/// anything else (including negatives and non-finite values).
+pub fn parse_duration(s: &str) -> Option<std::time::Duration> {
+    let s = s.trim();
+    let (number, scale_ms) = if let Some(n) = s.strip_suffix("ms") {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000.0)
+    } else if let Some(n) = s.strip_suffix('m') {
+        (n, 60_000.0)
+    } else if let Some(n) = s.strip_suffix('h') {
+        (n, 3_600_000.0)
+    } else {
+        (s, 1_000.0)
+    };
+    let value: f64 = number.trim().parse().ok()?;
+    if !value.is_finite() || value < 0.0 {
+        return None;
+    }
+    Some(std::time::Duration::from_secs_f64(
+        value * scale_ms / 1_000.0,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn parse(parts: &[&str]) -> Result<Args, ArgsError> {
         Args::parse(parts.iter().map(|s| s.to_string()))
@@ -169,6 +213,26 @@ mod tests {
         assert!(a.require::<u64>("seed").is_err());
         let b = parse(&["x", "--seed", "abc"]).unwrap();
         assert!(b.require::<u64>("seed").is_err());
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(parse_duration("500ms"), Some(Duration::from_millis(500)));
+        assert_eq!(parse_duration("10s"), Some(Duration::from_secs(10)));
+        assert_eq!(parse_duration("2m"), Some(Duration::from_secs(120)));
+        assert_eq!(parse_duration("1h"), Some(Duration::from_secs(3600)));
+        assert_eq!(parse_duration("3"), Some(Duration::from_secs(3)));
+        assert_eq!(parse_duration("1.5s"), Some(Duration::from_millis(1500)));
+        assert_eq!(parse_duration("-1s"), None);
+        assert_eq!(parse_duration("fast"), None);
+        let a = parse(&["x", "--solver-timeout", "10s"]).unwrap();
+        assert_eq!(
+            a.duration("solver-timeout").unwrap(),
+            Some(Duration::from_secs(10))
+        );
+        assert_eq!(a.duration("other").unwrap(), None);
+        let bad = parse(&["x", "--solver-timeout", "soon"]).unwrap();
+        assert!(bad.duration("solver-timeout").is_err());
     }
 
     #[test]

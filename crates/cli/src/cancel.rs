@@ -1,0 +1,88 @@
+//! Ctrl-C → cooperative solver cancellation.
+//!
+//! The first SIGINT raises the shared cancel flag that [`install`] returned;
+//! the anytime solver notices it at its next deterministic check point and
+//! degrades to the best incumbent instead of dying mid-solve. A second
+//! SIGINT exits immediately with the conventional 128+SIGINT status, so an
+//! impatient user is never trapped.
+//!
+//! The handler is registered through a raw `signal(2)` FFI call (the build
+//! environment has no `libc`/`ctrlc` crates) and does only
+//! async-signal-safe work: an atomic swap, `write(2)`, and `_exit(2)`.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    const SIGINT: i32 = 2;
+    const STDERR: i32 = 2;
+
+    /// The flag shared between the handler and every `SolverConfig`.
+    static CANCEL: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn _exit(status: i32) -> !;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // First interrupt: raise the cooperative flag and keep running.
+        // Second interrupt (flag already raised): hard-exit with 130.
+        if let Some(flag) = CANCEL.get() {
+            if !flag.swap(true, Ordering::SeqCst) {
+                let msg =
+                    b"\ninterrupted: finishing with the best incumbent (Ctrl-C again to abort)\n";
+                unsafe {
+                    write(STDERR, msg.as_ptr(), msg.len());
+                }
+                return;
+            }
+        }
+        unsafe { _exit(128 + SIGINT) }
+    }
+
+    pub fn install() -> Arc<AtomicBool> {
+        let flag = CANCEL
+            .get_or_init(|| Arc::new(AtomicBool::new(false)))
+            .clone();
+        unsafe {
+            signal(SIGINT, on_sigint as *const () as usize);
+        }
+        flag
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    pub fn install() -> Arc<AtomicBool> {
+        // No signal support: solves are simply not Ctrl-C-cancellable.
+        Arc::new(AtomicBool::new(false))
+    }
+}
+
+/// Installs the SIGINT handler (idempotent) and returns the shared cancel
+/// flag to pass to `SolverConfig::cancel`.
+pub fn install() -> Arc<AtomicBool> {
+    imp::install()
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn install_is_idempotent_and_shares_one_flag() {
+        let a = super::install();
+        let b = super::install();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert!(!a.load(Ordering::Relaxed));
+    }
+}

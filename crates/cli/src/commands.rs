@@ -14,8 +14,9 @@ use clado_dist::{
 };
 use clado_models::{pretrained, ModelKind};
 use clado_quant::{bits_to_mb, BitWidth, BitWidthSet, LayerSizes, QuantScheme};
-use clado_solver::SolverConfig;
+use clado_solver::{IqpProblem, Solution, SolverConfig, SymMatrix};
 use clado_telemetry::{ManifestValue, Telemetry};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::error::Error;
 use std::io::Write;
 use std::path::PathBuf;
@@ -55,6 +56,20 @@ COMMANDS:
   eval         --model <id> --map 8,4,4,2,...
                                   PTQ accuracy of an explicit bit map
                [--layer-times     record per-stage forward spans]
+  stress       solve a planted dense cross-term IQP (worst case for eq. (11))
+               under the anytime flags; prints a deterministic result line
+               [--layers 32] [--seed 7] [--avg-bits 4] [--bits 2,4,8]
+
+SOLVER (assign / sweep / stress):
+  --solver-timeout <dur>          wall-clock budget per solve (500ms, 10s, 2m, 1h);
+                                  on expiry the solver degrades to the best
+                                  incumbent and reports an optimality gap
+  --solver-nodes <N>              branch-and-bound node cap (deterministic stop)
+  --solver-strict                 reject damaged Ĝ matrices (non-finite,
+                                  asymmetric, or mostly clipped by the PSD
+                                  projection) instead of repairing leniently
+  Ctrl-C                          first press cancels the solve cooperatively
+                                  (best incumbent is returned); second aborts
 
 TELEMETRY (any command):
   --metrics-out <file.json>       write a machine-readable run manifest
@@ -115,6 +130,46 @@ impl RunContext {
         }
         Ok(())
     }
+}
+
+/// Shared anytime-solver flags (`assign`, `sweep`, `stress`): wall-clock
+/// budget, node cap, and the Ctrl-C cancel flag.
+fn solver_config_of(args: &Args, run: &RunContext) -> Result<SolverConfig, ArgsError> {
+    let defaults = SolverConfig::default();
+    Ok(SolverConfig {
+        max_wall: args.duration("solver-timeout")?,
+        max_nodes: args.get_or("solver-nodes", defaults.max_nodes)?,
+        cancel: crate::cancel::install(),
+        telemetry: run.telemetry.clone(),
+        ..defaults
+    })
+}
+
+/// Manifest entries describing how a solve terminated, appended to the
+/// command's config block so scripts can assert on degradation behavior.
+fn solver_manifest(solution: &Solution) -> Vec<(&'static str, ManifestValue)> {
+    vec![
+        ("solver_method", solution.method_used.label().into()),
+        ("solver_termination", solution.termination.label().into()),
+        ("solver_gap", solution.gap.into()),
+        ("solver_downgrades", solution.downgrades.len().into()),
+    ]
+}
+
+/// Prints the solver outcome when it is worth a line: any downgrade, or a
+/// termination other than a completed proof/heuristic run.
+fn report_solver_outcome(run: &RunContext, solution: &Solution) {
+    if solution.downgrades.is_empty() {
+        return;
+    }
+    let trail: Vec<String> = solution.downgrades.iter().map(|d| d.to_string()).collect();
+    run.info(&format!(
+        "solver: {} via {}, gap {:.3e} ({})",
+        solution.termination.label(),
+        solution.method_used.label(),
+        solution.gap,
+        trail.join("; ")
+    ));
 }
 
 fn model_kind(id: &str) -> Result<ModelKind, ArgsError> {
@@ -468,7 +523,9 @@ pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
     let avg_bits: f64 = args.require("avg-bits")?;
     let scheme = scheme_of(args)?;
     let algorithm = algorithm_of(args)?;
-    let config = [
+    let solver = solver_config_of(args, &run)?;
+    let strict = args.switch("solver-strict");
+    let mut config = vec![
         ("model", ManifestValue::from(kind.id())),
         ("algorithm", algorithm.label().into()),
         ("avg_bits", avg_bits.into()),
@@ -501,10 +558,6 @@ pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
                 ))))
             }
         };
-        let solver = SolverConfig {
-            telemetry: run.telemetry.clone(),
-            ..Default::default()
-        };
         assign_bits(
             &sm,
             &sizes,
@@ -513,6 +566,7 @@ pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
                 variant,
                 skip_psd: args.switch("no-psd"),
                 solver,
+                strict,
                 telemetry: run.telemetry.clone(),
             },
         )?
@@ -525,7 +579,10 @@ pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
             .sample_subset(set_size.min(p.data.train.len()), 0);
         let mut ctx = ExperimentContext::new(p.network, sens_set, p.data.val.clone(), bits, scheme);
         ctx.telemetry = run.telemetry.clone();
+        ctx.solver = solver;
+        ctx.solver_strict = strict;
         let (assignment, acc) = ctx.run(algorithm, budget)?;
+        report_solver_outcome(&run, &assignment.solution);
         println!(
             "{:<10} {:>7.4} MB  acc {:>6.2}%  {}",
             algorithm.label(),
@@ -533,8 +590,11 @@ pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
             acc * 100.0,
             assignment.bitmap()
         );
+        config.extend(solver_manifest(&assignment.solution));
         return run.finish("assign", &config);
     };
+    report_solver_outcome(&run, &assignment.solution);
+    config.extend(solver_manifest(&assignment.solution));
     let acc = {
         let _s = run.telemetry.span("eval");
         quantized_accuracy(&mut p.network, &assignment.bits, scheme, &p.data.val)
@@ -580,6 +640,8 @@ pub fn cmd_sweep(args: &Args) -> Result<(), Box<dyn Error>> {
         .sample_subset(set_size.min(p.data.train.len()), 0);
     let mut ctx = ExperimentContext::new(p.network, sens_set, p.data.val.clone(), bits, scheme);
     ctx.telemetry = run.telemetry.clone();
+    ctx.solver = solver_config_of(args, &run)?;
+    ctx.solver_strict = args.switch("solver-strict");
     run.info(&format!(
         "{:>9} {:>11} {:>9}",
         "avg bits", "size (MB)", "accuracy"
@@ -658,6 +720,81 @@ pub fn cmd_eval(args: &Args) -> Result<(), Box<dyn Error>> {
     )
 }
 
+/// `clado stress [--layers 32] [--seed 7] [--avg-bits 4]`
+///
+/// Solves a planted dense cross-term IQP — the worst case for eq. (11)'s
+/// branch and bound — under the anytime flags. This is the robustness
+/// testbed for `--solver-timeout` and Ctrl-C: the instance is seeded, the
+/// degraded result is deterministic, and the result line is stable across
+/// runs, so CI can diff two invocations byte for byte.
+pub fn cmd_stress(args: &Args) -> Result<(), Box<dyn Error>> {
+    let run = RunContext::from_args(args)?;
+    let layers: usize = args.get_or("layers", 32)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let avg_bits: f64 = args.get_or("avg-bits", 4.0)?;
+    let bits = args.u8_list_or("bits", &[2, 4, 8])?;
+    if layers == 0 || bits.is_empty() {
+        return Err(Box::new(ArgsError(
+            "stress needs at least one layer and one bit-width".into(),
+        )));
+    }
+    let mut solver = solver_config_of(args, &run)?;
+    // The planted instance must outlive any practical node cap so that the
+    // wall-clock deadline (or Ctrl-C) is what stops it; an explicit
+    // --solver-nodes still wins.
+    if args.get("solver-nodes").is_none() {
+        solver.max_nodes = u64::MAX;
+    }
+
+    let choices_per_layer = bits.len();
+    let n = layers * choices_per_layer;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = SymMatrix::zeros(n);
+    for i in 0..n {
+        for j in i..n {
+            let v = rng.gen_range(-1.0f64..1.0);
+            // Dense cross terms at a quarter of the diagonal scale: enough
+            // coupling to defeat bound pruning, per the paper's observation
+            // that Ĝ is far from separable.
+            g.set(i, j, if i == j { v.abs() } else { 0.25 * v });
+        }
+    }
+    // Parameter counts in multiples of 64 keep candidate costs and the
+    // budget in whole bits.
+    let params: Vec<u64> = (0..layers).map(|_| 64 * rng.gen_range(1u64..=64)).collect();
+    let costs: Vec<u64> = params
+        .iter()
+        .flat_map(|&p| bits.iter().map(move |&b| p * b as u64))
+        .collect();
+    let budget = (params.iter().sum::<u64>() as f64 * avg_bits) as u64;
+
+    let problem = IqpProblem::new(g, &vec![choices_per_layer; layers], costs, budget)?;
+    let solution = problem.solve(&solver)?;
+    assert!(
+        problem.is_feasible(&solution.choices),
+        "stress solve returned an infeasible assignment"
+    );
+    for d in &solution.downgrades {
+        run.info(&format!("downgrade: {d}"));
+    }
+    println!(
+        "termination={} method={} gap={:.6e} objective={:.6e} cost={}",
+        solution.termination.label(),
+        solution.method_used.label(),
+        solution.gap,
+        solution.objective,
+        solution.cost,
+    );
+    println!("choices={:?}", solution.choices);
+    let mut config: Vec<(&str, ManifestValue)> = vec![
+        ("layers", layers.into()),
+        ("seed", seed.into()),
+        ("avg_bits", avg_bits.into()),
+    ];
+    config.extend(solver_manifest(&solution));
+    run.finish("stress", &config)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -711,8 +848,47 @@ mod tests {
             "assign",
             "sweep",
             "eval",
+            "stress",
         ] {
             assert!(USAGE.contains(cmd), "usage missing `{cmd}`");
         }
+        for flag in ["--solver-timeout", "--solver-nodes", "--solver-strict"] {
+            assert!(USAGE.contains(flag), "usage missing `{flag}`");
+        }
+    }
+
+    #[test]
+    fn stress_is_deterministic_for_a_fixed_seed_under_a_zero_deadline() {
+        // `--solver-timeout 0s` expires immediately: the ladder must fall
+        // to its deterministic floor, and two runs must agree exactly.
+        let a = args(&[
+            "stress",
+            "--layers",
+            "12",
+            "--solver-timeout",
+            "0s",
+            "--quiet",
+        ]);
+        cmd_stress(&a).expect("stress degrades, never errors");
+        cmd_stress(&a).expect("stress degrades, never errors");
+    }
+
+    #[test]
+    fn stress_solves_tiny_instances_to_proof() {
+        let a = args(&["stress", "--layers", "2", "--quiet"]);
+        cmd_stress(&a).expect("tiny stress instance solves");
+    }
+
+    #[test]
+    fn solver_flags_parse_into_the_config() {
+        let run = RunContext::from_args(&args(&["assign", "--quiet"])).unwrap();
+        let config = solver_config_of(
+            &args(&["assign", "--solver-timeout", "10s", "--solver-nodes", "99"]),
+            &run,
+        )
+        .unwrap();
+        assert_eq!(config.max_wall, Some(Duration::from_secs(10)));
+        assert_eq!(config.max_nodes, 99);
+        assert!(solver_config_of(&args(&["assign", "--solver-timeout", "x"]), &run).is_err());
     }
 }

@@ -3,6 +3,7 @@
 //! Run `clado --help` (or any unknown command) for usage.
 
 mod args;
+mod cancel;
 mod commands;
 
 use args::Args;
@@ -30,6 +31,7 @@ fn main() -> ExitCode {
         "assign" => commands::cmd_assign(&parsed),
         "sweep" => commands::cmd_sweep(&parsed),
         "eval" => commands::cmd_eval(&parsed),
+        "stress" => commands::cmd_stress(&parsed),
         other => {
             eprintln!("error: unknown command `{other}`\n\n{USAGE}");
             return ExitCode::FAILURE;

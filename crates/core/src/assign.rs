@@ -7,6 +7,12 @@ use clado_solver::{IqpError, IqpProblem, Solution, SolverConfig, SymMatrix};
 use clado_telemetry::Telemetry;
 use std::fmt;
 
+/// Strict-mode ceiling on `clipped_mass / total_mass` of the PSD
+/// projection: beyond this, most of the measured spectrum was projection
+/// artefact and the objective is rejected as
+/// [`IqpError::DegenerateObjective`].
+const MAX_CLIP_MASS_RATIO: f64 = 0.5;
+
 /// Which sensitivity structure to optimize over — the paper's method and
 /// its two structural ablations.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -32,6 +38,10 @@ pub struct AssignOptions {
     /// IQP solver configuration. Set its `telemetry` field too to record
     /// solver node/prune counters.
     pub solver: SolverConfig,
+    /// Strict Ω hardening (`--solver-strict`): reject non-finite entries
+    /// and spectra the PSD projection would mostly discard, instead of the
+    /// default repair-and-continue (zero unusable cross terms).
+    pub strict: bool,
     /// Telemetry sink for the assignment phase (PSD projection span and
     /// eigenvalue-clip counters).
     pub telemetry: Telemetry,
@@ -95,12 +105,15 @@ pub fn assign_bits(
         CladoVariant::DiagonalOnly => sens.diagonal_only(),
         CladoVariant::BlockOnly(blocks) => sens.block_masked(blocks),
     };
-    // Validate before the eigendecomposition: a NaN that slipped past the
+    // Harden before the eigendecomposition: a NaN that slipped past the
     // measurement-time quarantine would otherwise corrupt every eigenvalue
-    // sweep instead of being reported at its source entry.
-    if let Some((row, col, value)) = matrix.first_non_finite() {
-        return Err(IqpError::NonFiniteObjective { row, col, value });
-    }
+    // sweep. Lenient mode zeroes unusable cross terms (rejecting only a
+    // non-finite diagonal); strict mode rejects every defect typed.
+    let (matrix, report) = clado_solver::harden(&matrix, options.strict)?;
+    options.telemetry.add(
+        "assign.omega.repaired_non_finite",
+        report.repaired_non_finite as u64,
+    );
     let matrix = if options.skip_psd {
         matrix
     } else {
@@ -115,6 +128,23 @@ pub fn assign_bits(
         options
             .telemetry
             .set_gauge("assign.psd_clip_mass", proj.clipped_mass);
+        let clip_mass_ratio = if proj.total_mass > 0.0 {
+            proj.clipped_mass / proj.total_mass
+        } else {
+            0.0
+        };
+        options
+            .telemetry
+            .set_gauge("assign.psd_clip_mass_ratio", clip_mass_ratio);
+        options
+            .telemetry
+            .set_gauge("assign.psd_min_eigenvalue", proj.min_eigenvalue);
+        options
+            .telemetry
+            .set_gauge("assign.psd_condition", proj.condition);
+        if options.strict && clip_mass_ratio > MAX_CLIP_MASS_RATIO {
+            return Err(IqpError::DegenerateObjective { clip_mass_ratio });
+        }
         proj.matrix
     };
     solve_with_matrix(&matrix, sens.bits(), sizes, budget_bits, &options.solver)
@@ -144,17 +174,10 @@ pub fn solve_with_matrix(
         }
     }
     let problem = IqpProblem::new(matrix.clone(), &group_sizes, costs, budget_bits)?;
-    // Separable (diagonal) objectives — the HAWQ/MPQCO/CLADO* path — admit
-    // the exact multiple-choice-knapsack DP; fall back to the configured
-    // solver for quadratic instances.
-    let solution = match problem.solve(&SolverConfig {
-        method: clado_solver::SolveMethod::DynamicProgramming,
-        ..solver.clone()
-    }) {
-        Ok(sol) => sol,
-        Err(IqpError::NotSeparable { .. }) => problem.solve(solver)?,
-        Err(e) => return Err(e),
-    };
+    // `SolveMethod::Auto` already routes separable (diagonal) objectives —
+    // the HAWQ/MPQCO/CLADO* path — to the exact multiple-choice-knapsack
+    // DP, and everything else to the anytime degradation ladder.
+    let solution = problem.solve(solver)?;
     let chosen: Vec<BitWidth> = solution.choices.iter().map(|&m| bits.get(m)).collect();
     Ok(BitAssignment {
         cost_bits: solution.cost,
@@ -318,7 +341,7 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_matrix_is_rejected_before_the_eigensolver() {
+    fn poisoned_cross_term_is_repaired_leniently_and_rejected_strictly() {
         let bits = BitWidthSet::standard();
         let n = 2 * bits.len();
         let mut g = SymMatrix::zeros(n);
@@ -329,11 +352,71 @@ mod tests {
         let sm =
             crate::sensitivity::SensitivityMatrix::from_parts(g, 2, bits, 0.5, Default::default());
         let sizes = LayerSizes::new(vec![10, 10]);
-        let err = assign_bits(&sm, &sizes, u64::MAX, &AssignOptions::default()).unwrap_err();
+
+        // Default (lenient) hardening zeroes the unusable cross term and
+        // records the repair, so assignment still succeeds.
+        let telemetry = Telemetry::new();
+        let a = assign_bits(
+            &sm,
+            &sizes,
+            u64::MAX,
+            &AssignOptions {
+                telemetry: telemetry.clone(),
+                ..Default::default()
+            },
+        )
+        .expect("lenient hardening repairs the poisoned cross term");
+        assert!(a.predicted_delta_loss.is_finite());
+        assert_eq!(
+            telemetry.counter_value("assign.omega.repaired_non_finite"),
+            2, // both mirrored triangles of the SymMatrix entry
+        );
+
+        // Strict hardening rejects it typed, before the eigensolver.
+        let err = assign_bits(
+            &sm,
+            &sizes,
+            u64::MAX,
+            &AssignOptions {
+                strict: true,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
         assert!(
             matches!(err, IqpError::NonFiniteObjective { row: 1, col: 4, .. }),
             "got {err:?}"
         );
+    }
+
+    #[test]
+    fn poisoned_diagonal_is_rejected_in_both_modes() {
+        let bits = BitWidthSet::standard();
+        let n = 2 * bits.len();
+        let mut g = SymMatrix::zeros(n);
+        for i in 0..n {
+            g.set(i, i, 0.1);
+        }
+        g.set(3, 3, f64::INFINITY);
+        let sm =
+            crate::sensitivity::SensitivityMatrix::from_parts(g, 2, bits, 0.5, Default::default());
+        let sizes = LayerSizes::new(vec![10, 10]);
+        for strict in [false, true] {
+            let err = assign_bits(
+                &sm,
+                &sizes,
+                u64::MAX,
+                &AssignOptions {
+                    strict,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, IqpError::NonFiniteObjective { row: 3, col: 3, .. }),
+                "strict={strict}: got {err:?}"
+            );
+        }
     }
 
     #[test]
@@ -374,6 +457,10 @@ mod tests {
                 cost: 10,
                 proved_optimal: true,
                 nodes_explored: 0,
+                gap: 0.0,
+                method_used: clado_solver::MethodUsed::DynamicProgramming,
+                termination: clado_solver::Termination::Proved,
+                downgrades: vec![],
             },
         };
         assert_eq!(a.bitmap(), "[8 2]");

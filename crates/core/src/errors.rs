@@ -6,6 +6,14 @@
 //! silently poisoned the Ω matrix. [`MeasureError`] replaces all of those
 //! with structured errors that the journal layer can flush before
 //! surfacing, so completed probes survive any failure.
+//!
+//! [`MeasureError`] covers the *measurement* stage only. Failures of the
+//! *solve* stage — damaged Ω matrices caught by hardening
+//! (`NonFiniteObjective`, `AsymmetricObjective`, `DegenerateObjective`),
+//! infeasible budgets, and cost overflow — are typed as
+//! [`clado_solver::IqpError`] and surface from [`crate::assign_bits`];
+//! deadline expiry and cancellation are *not* errors there, they degrade
+//! to a feasible incumbent with a reported optimality gap.
 
 use crate::journal::JournalError;
 use std::fmt;

@@ -68,6 +68,9 @@ pub struct ExperimentContext {
     mpqco: Option<SymMatrix>,
     /// Solver configuration used for every assignment.
     pub solver: SolverConfig,
+    /// Strict Ω hardening for every assignment (`--solver-strict`): typed
+    /// rejection of damaged sensitivity matrices instead of lenient repair.
+    pub solver_strict: bool,
     /// Probe batch size.
     pub batch_size: usize,
     /// Telemetry registry shared by every measurement and solve in this
@@ -102,6 +105,7 @@ impl ExperimentContext {
             hawq: None,
             mpqco: None,
             solver: SolverConfig::default(),
+            solver_strict: false,
             batch_size: crate::probe::PROBE_BATCH,
             telemetry: Telemetry::disabled(),
         }
@@ -195,6 +199,7 @@ impl ExperimentContext {
                         variant,
                         skip_psd,
                         solver,
+                        strict: self.solver_strict,
                         telemetry: self.telemetry.clone(),
                     },
                 )

@@ -124,6 +124,12 @@ fn into_report(
                 cost: cost_bits,
                 proved_optimal: false,
                 nodes_explored: 0,
+                // A sampled baseline carries no bound: the gap to the true
+                // optimum is unknown.
+                gap: f64::INFINITY,
+                method_used: clado_solver::MethodUsed::Greedy,
+                termination: clado_solver::Termination::Heuristic,
+                downgrades: vec![],
             },
             bits: assignment,
         },

@@ -230,7 +230,7 @@ where
                     // Debug-build fail point: a worker process armed with
                     // `dist.worker.shard=abort` dies here, mid-lease,
                     // exactly like a SIGKILL.
-                    faultpoint!("dist.worker.shard", { std::process::abort() });
+                    faultpoint!("dist.worker.shard", std::process::abort());
                     let _s = telemetry.span("dist.work.shard");
                     let (records, stats) = ctx.run_shard(&mut network, &set, shard, &telemetry);
                     current_lease.store(0, Ordering::Relaxed);

@@ -9,7 +9,6 @@
 use clado_core::{ProbeId, ProbeRecord, ShardRunStats, ShardSpec};
 use clado_dist::protocol::{self, JobSpec, Message};
 use proptest::prelude::*;
-use proptest::strategy::Strategy as _;
 
 /// Round-trips `msg` through a full frame write + read + decode and
 /// checks the decoded message re-encodes to identical bytes.
@@ -91,8 +90,7 @@ proptest! {
         model_byte in 0u8..=255,
     ) {
         // Model names exercise multi-byte UTF-8, not just ASCII.
-        let model: String = std::iter::repeat('λ')
-            .take(model_len % 8)
+        let model: String = std::iter::repeat_n('λ', model_len % 8)
             .chain(std::iter::once(char::from(model_byte % 26 + b'a')))
             .collect();
         round_trip(&Message::Job(JobSpec {
@@ -114,9 +112,8 @@ proptest! {
         reason_byte in 0u8..=25,
     ) {
         round_trip(&Message::Ready { fingerprint })?;
-        let reason: String = std::iter::repeat(char::from(reason_byte + b'a'))
-            .take(reason_len)
-            .collect();
+        let reason: String =
+            std::iter::repeat_n(char::from(reason_byte + b'a'), reason_len).collect();
         round_trip(&Message::Reject { reason })?;
     }
 

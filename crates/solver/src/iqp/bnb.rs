@@ -10,15 +10,30 @@
 //! 3. a Dantzig LP relaxation of the multiple-choice knapsack over the
 //!    linearized coefficients, which accounts for the budget.
 //!
-//! When the node cap is hit the incumbent is returned with
-//! `proved_optimal = false` — the same contract as a MIP solver with a
-//! node limit.
+//! The search is anytime: every [`TICK_MASK`]+1 nodes it consults the
+//! [`Anytime`] control block, and it stops deterministically when the node
+//! cap is exhausted. The stop check never influences pruning or child
+//! ordering, so two runs visit identical nodes until one is stopped.
 
 use super::bounds::{mckp_lp_bound, McKpItem};
-use super::{IqpError, IqpProblem, Solution, SolverConfig};
+use super::deadline::{Anytime, Stop, TICK_MASK};
+use super::{Candidate, IqpProblem, SolverConfig};
+
+/// Outcome of one branch-and-bound run.
+pub(super) struct BnbRun {
+    /// Best incumbent found (always feasible; at least as good as the warm
+    /// start). On a wall-clock stop the caller must discard this in favour
+    /// of a deterministically obtained solution.
+    pub(super) choices: Vec<usize>,
+    /// Nodes explored.
+    pub(super) nodes: u64,
+    /// `None` if the search completed (optimality proved).
+    pub(super) stop: Option<Stop>,
+}
 
 struct Search<'p> {
     problem: &'p IqpProblem,
+    ctl: &'p Anytime,
     /// Group visit order (group indices).
     order: Vec<usize>,
     /// `rowmin[v][pos]`: min over candidates of the group at `order[pos]`
@@ -46,11 +61,11 @@ struct Search<'p> {
     /// Nodes (and children) cut by budget infeasibility.
     feasibility_prunes: u64,
     max_nodes: u64,
-    aborted: bool,
+    aborted: Option<Stop>,
 }
 
 impl<'p> Search<'p> {
-    fn new(problem: &'p IqpProblem, warm: &Solution, max_nodes: u64) -> Self {
+    fn new(problem: &'p IqpProblem, warm: &Candidate, max_nodes: u64, ctl: &'p Anytime) -> Self {
         let k = problem.num_groups();
         let n = problem.matrix().dim();
         // Visit groups with the widest cost spread first: their budget
@@ -91,6 +106,7 @@ impl<'p> Search<'p> {
 
         Self {
             problem,
+            ctl,
             order,
             rowmin,
             suffix_rowmin,
@@ -105,7 +121,7 @@ impl<'p> Search<'p> {
             bound_prunes: 0,
             feasibility_prunes: 0,
             max_nodes,
-            aborted: false,
+            aborted: None,
         }
     }
 
@@ -119,13 +135,21 @@ impl<'p> Search<'p> {
     }
 
     fn dfs(&mut self, depth: usize) {
-        if self.aborted {
+        if self.aborted.is_some() {
             return;
         }
         self.nodes += 1;
         if self.nodes > self.max_nodes {
-            self.aborted = true;
+            self.aborted = Some(Stop::NodeCap);
             return;
+        }
+        // Cooperative stop check on node-count boundaries only, so the set
+        // of visited nodes up to any stop is identical across runs.
+        if self.nodes & TICK_MASK == 0 {
+            if let Some(stop) = self.ctl.check_now() {
+                self.aborted = Some(stop);
+                return;
+            }
         }
         let k = self.problem.num_groups();
         if depth == k {
@@ -194,7 +218,7 @@ impl<'p> Search<'p> {
             }
             self.assigned_cost -= cost;
             self.assigned_obj -= obj_add;
-            if self.aborted {
+            if self.aborted.is_some() {
                 return;
             }
         }
@@ -202,38 +226,39 @@ impl<'p> Search<'p> {
 }
 
 /// Runs branch and bound, warm-started by `warm` (typically a local-search
-/// solution).
-pub(super) fn solve(
+/// solution), under the anytime controls in `ctl`.
+pub(super) fn run(
     problem: &IqpProblem,
     config: &SolverConfig,
-    warm: Solution,
-) -> Result<Solution, IqpError> {
-    let mut search = Search::new(problem, &warm, config.max_nodes);
+    warm: &Candidate,
+    ctl: &Anytime,
+) -> BnbRun {
+    let mut search = Search::new(problem, warm, config.max_nodes, ctl);
     search.dfs(0);
     let telemetry = &config.telemetry;
     telemetry.add("solver.iqp.nodes", search.nodes);
     telemetry.add("solver.iqp.bound_prunes", search.bound_prunes);
     telemetry.add("solver.iqp.feasibility_prunes", search.feasibility_prunes);
-    let choices = search.best_choices;
-    let objective = problem.assignment_objective(&choices);
-    let cost = problem.assignment_cost(&choices);
-    Ok(Solution {
-        choices,
-        objective,
-        cost,
-        proved_optimal: !search.aborted,
-        nodes_explored: search.nodes,
-    })
+    BnbRun {
+        choices: search.best_choices,
+        nodes: search.nodes,
+        stop: search.aborted,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::super::tests::cross_term_instance;
-    use super::super::{SolveMethod, SolverConfig};
+    use super::super::{SolveMethod, SolverConfig, Termination};
     use super::*;
     use crate::SymMatrix;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    fn unconstrained() -> Anytime {
+        let config = SolverConfig::default();
+        Anytime::resolve(None, None, config.cancel)
+    }
 
     #[test]
     fn bnb_matches_exhaustive_on_random_instances() {
@@ -286,18 +311,35 @@ mod tests {
     #[test]
     fn bnb_respects_node_cap() {
         let p = cross_term_instance();
-        let warm = super::super::local::solve(&p, &SolverConfig::default()).unwrap();
-        let sol = solve(
+        let ctl = unconstrained();
+        let warm = match super::super::local::run(&p, &SolverConfig::default(), &ctl) {
+            super::super::local::LocalRun::Done(c) => c,
+            other => panic!("unconstrained local search must complete: {other:?}"),
+        };
+        let bb = run(
             &p,
             &SolverConfig {
                 max_nodes: 0,
                 ..Default::default()
             },
-            warm,
-        )
-        .unwrap();
+            &warm,
+            &ctl,
+        );
+        assert_eq!(bb.stop, Some(Stop::NodeCap));
+        assert!(p.is_feasible(&bb.choices));
+        // Through the public API the node-cap stop degrades to the ladder
+        // and surfaces as a typed termination with a feasible solution.
+        let sol = p
+            .solve(&SolverConfig {
+                method: SolveMethod::BranchAndBound,
+                max_nodes: 0,
+                ..Default::default()
+            })
+            .unwrap();
         assert!(!sol.proved_optimal);
+        assert_eq!(sol.termination, Termination::NodeCapExhausted);
         assert!(p.is_feasible(&sol.choices));
+        assert!(!sol.downgrades.is_empty());
     }
 
     #[test]

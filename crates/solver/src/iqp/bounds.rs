@@ -5,6 +5,8 @@
 //! coefficients and costs, it returns a value no larger than any feasible
 //! integer completion.
 
+use super::IqpProblem;
+
 /// One candidate inside an MCKP class.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct McKpItem {
@@ -92,12 +94,72 @@ pub(crate) fn mckp_lp_bound(classes: &[Vec<McKpItem>], budget: u64) -> f64 {
     value
 }
 
+/// Deterministic admissible lower bound on the optimal objective of the
+/// whole problem — the root-node version of the B&B bound: each variable's
+/// quadratic interactions are under-approximated by per-row minima over
+/// every other group, then the Dantzig LP relaxation of the resulting
+/// multiple-choice knapsack accounts for the budget. Used to report
+/// [`super::Solution::gap`] for heuristic terminations.
+///
+/// Always finite for problems that passed construction (the all-cheapest
+/// assignment fits the budget).
+pub(crate) fn root_lower_bound(problem: &IqpProblem) -> f64 {
+    let g = problem.matrix();
+    let k = problem.num_groups();
+    let classes: Vec<Vec<McKpItem>> = (0..k)
+        .map(|i| {
+            (0..problem.group_size(i))
+                .map(|m| {
+                    let v = problem.var(i, m);
+                    // coef(v) = g(v,v) + Σ_{j≠i} min_u∈j g(v,u) ≤ the true
+                    // contribution of v in any full assignment containing it
+                    // (cross terms are split symmetrically across rows).
+                    let mut coef = g.get(v, v);
+                    for j in 0..k {
+                        if j == i {
+                            continue;
+                        }
+                        coef += (0..problem.group_size(j))
+                            .map(|u| g.get(v, problem.var(j, u)))
+                            .fold(f64::INFINITY, f64::min);
+                    }
+                    McKpItem {
+                        value: coef,
+                        cost: problem.cost(i, m),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    mckp_lp_bound(&classes, problem.budget())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn item(value: f64, cost: u64) -> McKpItem {
         McKpItem { value, cost }
+    }
+
+    #[test]
+    fn root_lower_bound_is_admissible_and_finite() {
+        let p = super::super::tests::cross_term_instance();
+        let lb = root_lower_bound(&p);
+        assert!(lb.is_finite());
+        // Scan all assignments: the bound must not exceed any feasible
+        // objective.
+        for a in 0..2 {
+            for b in 0..2 {
+                for c in 0..2 {
+                    let ch = [a, b, c];
+                    if p.is_feasible(&ch) {
+                        let obj = p.assignment_objective(&ch);
+                        assert!(lb <= obj + 1e-9, "bound {lb} > objective {obj} of {ch:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

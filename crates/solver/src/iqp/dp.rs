@@ -1,17 +1,25 @@
-//! Exact dynamic programming for *separable* instances (diagonal G).
+//! Exact dynamic programming over the diagonal of G.
 //!
 //! The multiple-choice knapsack DP is the classic solver behind
 //! HAWQ-style ILP bit allocation: when no cross-layer terms exist, the
 //! objective decomposes per layer and `dp[c] = min objective within cost c`
 //! solves the problem exactly in `O(I · |𝔹| · C/gcd)` time.
+//!
+//! [`knapsack`] itself never inspects the off-diagonal blocks — it always
+//! optimizes the diagonal relaxation. The caller (the degradation ladder in
+//! `mod.rs`) decides what that means: on a separable instance the result is
+//! the proved optimum ([`super::MethodUsed::DynamicProgramming`]); on a
+//! non-separable one it is a heuristic whose choices are re-scored on the
+//! true quadratic objective ([`super::MethodUsed::DiagonalDp`]).
 
 // Index loops mirror the DP recurrences directly.
 #![allow(clippy::needless_range_loop)]
 
-use super::{IqpError, IqpProblem, Solution};
+use super::deadline::{Anytime, Stop, Ticker};
+use super::IqpProblem;
 
 /// Maximum DP table width (budget units after gcd scaling); larger
-/// instances should use branch and bound instead.
+/// instances fall through to local search.
 const MAX_CAPACITY: u64 = 4_000_000;
 
 fn gcd(a: u64, b: u64) -> u64 {
@@ -42,21 +50,19 @@ pub(super) fn separability_defect(problem: &IqpProblem) -> f64 {
     defect
 }
 
-/// Solves a separable instance exactly by multiple-choice knapsack DP.
-///
-/// # Errors
-///
-/// [`IqpError::NotSeparable`] if the instance has cross-layer terms, or
-/// [`IqpError::Infeasible`] if no assignment fits (checked at problem
-/// construction, so not expected in practice). Instances whose scaled
-/// budget exceeds an internal capacity limit also report `NotSeparable`
-/// semantics via branch-and-bound being the right tool; they return an
-/// error describing the limit.
-pub(super) fn solve(problem: &IqpProblem) -> Result<Solution, IqpError> {
-    let defect = separability_defect(problem);
-    if defect > 0.0 {
-        return Err(IqpError::NotSeparable { defect });
-    }
+/// Outcome of the knapsack DP.
+pub(super) enum DpOutcome {
+    /// The diagonal-optimal choices (one candidate index per group).
+    Solved(Vec<usize>),
+    /// The gcd-scaled budget exceeds [`MAX_CAPACITY`].
+    TooLarge,
+    /// Stopped by the anytime controls mid-table.
+    Stopped(Stop),
+}
+
+/// Multiple-choice knapsack DP over the diagonal of G, under the anytime
+/// controls in `ctl` (checked on deterministic cell-count boundaries).
+pub(super) fn knapsack(problem: &IqpProblem, ctl: &Anytime) -> DpOutcome {
     let k = problem.num_groups();
     // Scale costs by their gcd to shrink the table.
     let mut g = problem.budget();
@@ -68,11 +74,10 @@ pub(super) fn solve(problem: &IqpProblem) -> Result<Solution, IqpError> {
     let g = g.max(1);
     let capacity = problem.budget() / g;
     if capacity > MAX_CAPACITY {
-        return Err(IqpError::NotSeparable {
-            defect: -1.0, // sentinel: table too large; documented in Display
-        });
+        return DpOutcome::TooLarge;
     }
     let cap = capacity as usize;
+    let mut ticker = Ticker::new(ctl);
 
     const UNREACHED: f64 = f64::INFINITY;
     let mut dp = vec![UNREACHED; cap + 1];
@@ -92,6 +97,9 @@ pub(super) fn solve(problem: &IqpProblem) -> Result<Solution, IqpError> {
                 continue;
             }
             for c in 0..=reached_cost.min(cap - cost) {
+                if let Some(stop) = ticker.tick() {
+                    return DpOutcome::Stopped(stop);
+                }
                 if dp[c] == UNREACHED {
                     continue;
                 }
@@ -108,16 +116,15 @@ pub(super) fn solve(problem: &IqpProblem) -> Result<Solution, IqpError> {
         reached_cost = next_reached;
     }
 
-    // Best objective over all affordable costs.
-    let (best_cost, best_val) = dp
+    // Best objective over all affordable costs. Construction guarantees
+    // `min_total_cost ≤ budget`, and the gcd divides every cost exactly, so
+    // at least one cell is reached.
+    let (best_cost, _) = dp
         .iter()
         .enumerate()
         .filter(|(_, &v)| v != UNREACHED)
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-        .ok_or(IqpError::Infeasible {
-            min_cost: problem.min_total_cost(),
-            budget: problem.budget(),
-        })?;
+        .expect("a feasible assignment exists after construction");
 
     // Reconstruct choices backwards.
     let mut choices = vec![0usize; k];
@@ -129,23 +136,22 @@ pub(super) fn solve(problem: &IqpProblem) -> Result<Solution, IqpError> {
         c -= (problem.cost(i, m as usize) / g) as usize;
     }
     debug_assert_eq!(c, 0);
-
-    Ok(Solution {
-        objective: *best_val,
-        cost: problem.assignment_cost(&choices),
-        choices,
-        proved_optimal: true,
-        nodes_explored: 0,
-    })
+    DpOutcome::Solved(choices)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::super::{IqpProblem, SolveMethod, SolverConfig};
+    use super::super::{DowngradeReason, IqpProblem, MethodUsed, SolveMethod, SolverConfig};
     use super::*;
     use crate::SymMatrix;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn unconstrained() -> Anytime {
+        Anytime::resolve(None, None, Arc::new(AtomicBool::new(false)))
+    }
 
     fn random_separable(seed: u64, k: usize) -> IqpProblem {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -171,7 +177,11 @@ mod tests {
     fn dp_matches_exhaustive_on_random_separable_instances() {
         for seed in 0..15 {
             let p = random_separable(seed, 5);
-            let dp = solve(&p).unwrap();
+            let choices = match knapsack(&p, &unconstrained()) {
+                DpOutcome::Solved(c) => c,
+                _ => panic!("seed {seed}: unconstrained DP must solve"),
+            };
+            let objective = p.assignment_objective(&choices);
             let ex = p
                 .solve(&SolverConfig {
                     method: SolveMethod::Exhaustive,
@@ -179,28 +189,34 @@ mod tests {
                 })
                 .unwrap();
             assert!(
-                (dp.objective - ex.objective).abs() < 1e-9,
-                "seed {seed}: dp {} vs exhaustive {}",
-                dp.objective,
+                (objective - ex.objective).abs() < 1e-9,
+                "seed {seed}: dp {objective} vs exhaustive {}",
                 ex.objective
             );
-            assert!(dp.cost <= p.budget());
-            assert!(dp.proved_optimal);
-            assert!((p.assignment_objective(&dp.choices) - dp.objective).abs() < 1e-9);
+            assert!(p.assignment_cost(&choices) <= p.budget());
         }
     }
 
     #[test]
-    fn dp_rejects_cross_terms() {
+    fn dp_on_cross_terms_degrades_to_the_diagonal_relaxation() {
         let mut g = SymMatrix::zeros(4);
         g.set(0, 0, 1.0);
         g.set(2, 2, 1.0);
         g.set(0, 2, -0.5); // cross-layer entry
         let p = IqpProblem::new(g, &[2, 2], vec![2, 4, 2, 4], 8).unwrap();
-        match solve(&p) {
-            Err(IqpError::NotSeparable { defect }) => assert!((defect - 0.5).abs() < 1e-12),
-            other => panic!("expected NotSeparable, got {other:?}"),
-        }
+        assert!((separability_defect(&p) - 0.5).abs() < 1e-12);
+        let sol = p
+            .solve(&SolverConfig {
+                method: SolveMethod::DynamicProgramming,
+                ..Default::default()
+            })
+            .unwrap();
+        assert_eq!(sol.method_used, MethodUsed::DiagonalDp);
+        assert!(!sol.proved_optimal);
+        assert!(matches!(
+            sol.downgrades[0].reason,
+            DowngradeReason::NotSeparable { defect } if (defect - 0.5).abs() < 1e-12
+        ));
     }
 
     #[test]
@@ -212,6 +228,8 @@ mod tests {
                 ..Default::default()
             })
             .unwrap();
+        assert!(sol.proved_optimal);
+        assert_eq!(sol.method_used, MethodUsed::DynamicProgramming);
         let bb = p
             .solve(&SolverConfig {
                 method: SolveMethod::BranchAndBound,
@@ -230,11 +248,32 @@ mod tests {
             g.set(v, v, -1.0 - v as f64);
         }
         let p = IqpProblem::new(g, &[2, 2], vec![2, 10, 2, 10], 12).unwrap();
-        let sol = solve(&p).unwrap();
-        assert!(sol.cost <= 12);
+        let choices = match knapsack(&p, &unconstrained()) {
+            DpOutcome::Solved(c) => c,
+            _ => panic!("unconstrained DP must solve"),
+        };
+        let cost = p.assignment_cost(&choices);
+        assert!(cost <= 12);
         // Best affordable: exactly one expensive choice. Two optima tie at
         // objective −5 ([1,0] and [0,1]); accept either.
-        assert!((sol.objective - (-5.0)).abs() < 1e-12, "{}", sol.objective);
-        assert_eq!(sol.cost, 12);
+        let objective = p.assignment_objective(&choices);
+        assert!((objective - (-5.0)).abs() < 1e-12, "{objective}");
+        assert_eq!(cost, 12);
+    }
+
+    #[test]
+    fn preset_cancel_stops_the_table_fill() {
+        // gcd 1 and a wide budget force a table with far more than one
+        // check-tick's worth of cells, so the first boundary check fires
+        // inside the fill.
+        let g = SymMatrix::zeros(4);
+        let p = IqpProblem::new(g, &[2, 2], vec![1, 3000, 1, 3000], 6000).unwrap();
+        let cancel = Arc::new(AtomicBool::new(true));
+        let ctl = Anytime::resolve(None, None, cancel);
+        match knapsack(&p, &ctl) {
+            DpOutcome::Stopped(Stop::Cancelled) => {}
+            DpOutcome::Solved(_) => panic!("cancel flag ignored"),
+            _ => panic!("unexpected outcome"),
+        }
     }
 }

@@ -1,14 +1,22 @@
 //! Brute-force enumeration, for small instances and as a test oracle.
 
-use super::{IqpError, IqpProblem, Solution};
+use super::deadline::{Anytime, Stop, Ticker};
+use super::{Candidate, IqpProblem, MethodUsed};
 
-/// Enumerates every feasible assignment. Exponential: intended for
-/// `Π group_size ≲ 10⁶`.
-pub(super) fn solve(problem: &IqpProblem) -> Result<Solution, IqpError> {
+/// Enumerates every feasible assignment under the anytime controls in
+/// `ctl`. Exponential: intended for `Π group_size ≲ 10⁶`.
+///
+/// On a stop the partial incumbent is discarded (the point reached depends
+/// on wall clock) and the caller degrades to the next ladder rung.
+pub(super) fn run(problem: &IqpProblem, ctl: &Anytime) -> Result<Candidate, Stop> {
     let k = problem.num_groups();
     let mut choices = vec![0usize; k];
+    let mut ticker = Ticker::new(ctl);
     let mut best: Option<(Vec<usize>, f64, u64)> = None;
     loop {
+        if let Some(stop) = ticker.tick() {
+            return Err(stop);
+        }
         if problem.is_feasible(&choices) {
             let obj = problem.assignment_objective(&choices);
             if best.as_ref().is_none_or(|(_, b, _)| obj < *b) {
@@ -19,16 +27,16 @@ pub(super) fn solve(problem: &IqpProblem) -> Result<Solution, IqpError> {
         let mut pos = 0;
         loop {
             if pos == k {
-                let (choices, objective, cost) = best.ok_or(IqpError::Infeasible {
-                    min_cost: problem.min_total_cost(),
-                    budget: problem.budget(),
-                })?;
-                return Ok(Solution {
+                // Construction guarantees feasibility, so the scan found
+                // at least the all-cheapest assignment.
+                let (choices, objective, cost) =
+                    best.expect("a feasible assignment exists after construction");
+                return Ok(Candidate {
                     choices,
                     objective,
                     cost,
-                    proved_optimal: true,
-                    nodes_explored: 0,
+                    method: MethodUsed::Exhaustive,
+                    proved: true,
                 });
             }
             choices[pos] += 1;
@@ -44,12 +52,16 @@ pub(super) fn solve(problem: &IqpProblem) -> Result<Solution, IqpError> {
 #[cfg(test)]
 mod tests {
     use super::super::tests::cross_term_instance;
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
 
     #[test]
     fn exhaustive_finds_global_optimum() {
         let p = cross_term_instance();
-        let sol = super::solve(&p).unwrap();
-        assert!(sol.proved_optimal);
+        let ctl = Anytime::resolve(None, None, Arc::new(AtomicBool::new(false)));
+        let sol = run(&p, &ctl).expect("unconstrained enumeration completes");
+        assert!(sol.proved);
         // Verify against a manual scan of all 8 assignments.
         let mut best = f64::INFINITY;
         for a in 0..2 {

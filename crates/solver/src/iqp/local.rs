@@ -1,8 +1,30 @@
 //! Multi-start local search: greedy construction plus coordinate descent.
+//!
+//! Cost arithmetic note: construction guarantees the worst-case total cost
+//! fits in `u64` ([`super::IqpError::CostOverflow`] otherwise), so every
+//! switched-assignment cost is computed subtract-first in `u64`
+//! (`cost − old + new`) — no signed casts, no wraparound near `u64::MAX`.
 
-use super::{IqpError, IqpProblem, Solution, SolverConfig};
+use super::deadline::{Anytime, Stop};
+use super::{Candidate, IqpProblem, MethodUsed, SolverConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Outcome of a local-search run.
+#[derive(Debug)]
+pub(super) enum LocalRun {
+    /// All restarts completed; the best local minimum found.
+    Done(Candidate),
+    /// Stopped between restarts. The incumbent at that point depends on how
+    /// many restarts completed — a wall-clock artefact — so only the
+    /// deterministic greedy construction is surfaced.
+    Aborted {
+        /// Why the run stopped.
+        stop: Stop,
+        /// The greedy budget-filling construction (always feasible).
+        greedy: Candidate,
+    },
+}
 
 /// Incremental objective/cost state for a full assignment.
 struct State<'p> {
@@ -48,9 +70,11 @@ impl<'p> State<'p> {
         2.0 * self.t[b] - 2.0 * g.get(b, a) + g.get(b, b) - 2.0 * self.t[a] + g.get(a, a)
     }
 
-    /// Cost change if group `i` switches to candidate `m`.
-    fn cost_delta(&self, i: usize, m: usize) -> i64 {
-        self.problem.cost(i, m) as i64 - self.problem.cost(i, self.choices[i]) as i64
+    /// Total cost after switching group `i` to candidate `m`. Subtracting
+    /// the old candidate first keeps the intermediate ≤ `cost`, and the
+    /// construction-time worst-case bound keeps the result in `u64`.
+    fn switched_cost(&self, i: usize, m: usize) -> u64 {
+        self.cost - self.problem.cost(i, self.choices[i]) + self.problem.cost(i, m)
     }
 
     /// Applies the switch of group `i` to candidate `m`.
@@ -61,7 +85,7 @@ impl<'p> State<'p> {
             return;
         }
         self.objective += self.delta(i, m);
-        self.cost = (self.cost as i64 + self.cost_delta(i, m)) as u64;
+        self.cost = self.switched_cost(i, m);
         let g = self.problem.matrix();
         for v in 0..self.t.len() {
             self.t[v] += g.get(v, b) - g.get(v, a);
@@ -77,8 +101,7 @@ impl<'p> State<'p> {
                 if m == self.choices[i] {
                     continue;
                 }
-                let dc = self.cost_delta(i, m);
-                if self.cost as i64 + dc > self.problem.budget() as i64 {
+                if self.switched_cost(i, m) > self.problem.budget() {
                     continue;
                 }
                 let d = self.delta(i, m);
@@ -106,6 +129,16 @@ impl<'p> State<'p> {
             }
         }
     }
+
+    fn candidate(&self, method: MethodUsed) -> Candidate {
+        Candidate {
+            choices: self.choices.clone(),
+            objective: self.objective,
+            cost: self.cost,
+            method,
+            proved: false,
+        }
+    }
 }
 
 /// Cheapest-choice starting assignment (always feasible for problems that
@@ -131,8 +164,7 @@ fn greedy_assignment(problem: &IqpProblem) -> Vec<usize> {
                 if m == state.choices[i] {
                     continue;
                 }
-                let dc = state.cost_delta(i, m);
-                if state.cost as i64 + dc > problem.budget() as i64 {
+                if state.switched_cost(i, m) > problem.budget() {
                     continue;
                 }
                 let d = state.delta(i, m);
@@ -140,6 +172,8 @@ fn greedy_assignment(problem: &IqpProblem) -> Vec<usize> {
                     continue;
                 }
                 // Rate: objective gain per extra bit (upgrades cost more).
+                // i128 holds any u64 difference exactly.
+                let dc = problem.cost(i, m) as i128 - problem.cost(i, state.choices[i]) as i128;
                 let rate = if dc > 0 {
                     d / dc as f64
                 } else {
@@ -158,10 +192,19 @@ fn greedy_assignment(problem: &IqpProblem) -> Vec<usize> {
     state.choices
 }
 
-/// Multi-start local search.
-pub(super) fn solve(problem: &IqpProblem, config: &SolverConfig) -> Result<Solution, IqpError> {
+/// The deterministic greedy budget-filling construction as a [`Candidate`]
+/// — the ladder's floor and the warm start every heuristic begins from.
+pub(super) fn greedy_candidate(problem: &IqpProblem) -> Candidate {
+    State::new(problem, greedy_assignment(problem)).candidate(MethodUsed::Greedy)
+}
+
+/// Multi-start local search under the anytime controls in `ctl`; the stop
+/// check runs once per restart, so restarts are atomic.
+pub(super) fn run(problem: &IqpProblem, config: &SolverConfig, ctl: &Anytime) -> LocalRun {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut best_state = State::new(problem, greedy_assignment(problem));
+    let greedy_choices = greedy_assignment(problem);
+    let greedy = State::new(problem, greedy_choices.clone()).candidate(MethodUsed::Greedy);
+    let mut best_state = State::new(problem, greedy_choices);
     best_state.descend();
     let mut best = (
         best_state.choices.clone(),
@@ -170,6 +213,9 @@ pub(super) fn solve(problem: &IqpProblem, config: &SolverConfig) -> Result<Solut
     );
 
     for _ in 0..config.restarts {
+        if let Some(stop) = ctl.check_now() {
+            return LocalRun::Aborted { stop, greedy };
+        }
         // Perturb the incumbent: re-randomize a handful of groups, repair
         // feasibility by downgrading to cheapest where needed, then descend.
         let mut choices = best.0.clone();
@@ -183,8 +229,8 @@ pub(super) fn solve(problem: &IqpProblem, config: &SolverConfig) -> Result<Solut
         while state.cost > problem.budget() {
             let (i, m) = (0..problem.num_groups())
                 .flat_map(|i| (0..problem.group_size(i)).map(move |m| (i, m)))
-                .filter(|&(i, m)| state.cost_delta(i, m) < 0)
-                .min_by_key(|&(i, m)| state.cost as i64 + state.cost_delta(i, m))
+                .filter(|&(i, m)| problem.cost(i, m) < problem.cost(i, state.choices[i]))
+                .min_by_key(|&(i, m)| state.switched_cost(i, m))
                 .expect("problem is feasible, so a downgrade exists");
             state.apply(i, m);
         }
@@ -194,12 +240,12 @@ pub(super) fn solve(problem: &IqpProblem, config: &SolverConfig) -> Result<Solut
         }
     }
 
-    Ok(Solution {
+    LocalRun::Done(Candidate {
         choices: best.0,
         objective: best.1,
         cost: best.2,
-        proved_optimal: false,
-        nodes_explored: 0,
+        method: MethodUsed::LocalSearch,
+        proved: false,
     })
 }
 
@@ -207,21 +253,48 @@ pub(super) fn solve(problem: &IqpProblem, config: &SolverConfig) -> Result<Solut
 mod tests {
     use super::super::tests::cross_term_instance;
     use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn unconstrained() -> Anytime {
+        Anytime::resolve(None, None, Arc::new(AtomicBool::new(false)))
+    }
 
     #[test]
     fn greedy_start_is_feasible() {
         let p = cross_term_instance();
         let g = greedy_assignment(&p);
         assert!(p.is_feasible(&g));
+        let cand = greedy_candidate(&p);
+        assert_eq!(cand.choices, g);
+        assert!((cand.objective - p.assignment_objective(&g)).abs() < 1e-12);
     }
 
     #[test]
     fn local_search_finds_the_planted_optimum() {
         let p = cross_term_instance();
-        let sol = solve(&p, &SolverConfig::default()).unwrap();
+        let sol = match run(&p, &SolverConfig::default(), &unconstrained()) {
+            LocalRun::Done(c) => c,
+            other => panic!("unconstrained run must complete: {other:?}"),
+        };
         assert!(p.is_feasible(&sol.choices));
         // Known optimum: groups 0 and 2 cheap together (negative coupling).
         assert!((sol.objective - p.assignment_objective(&sol.choices)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preset_cancel_aborts_with_the_greedy_milestone() {
+        let p = cross_term_instance();
+        let cancel = Arc::new(AtomicBool::new(true));
+        let ctl = Anytime::resolve(None, None, cancel);
+        match run(&p, &SolverConfig::default(), &ctl) {
+            LocalRun::Aborted { stop, greedy } => {
+                assert_eq!(stop, Stop::Cancelled);
+                assert_eq!(greedy.choices, greedy_candidate(&p).choices);
+                assert!(p.is_feasible(&greedy.choices));
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
     }
 
     #[test]

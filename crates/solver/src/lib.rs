@@ -27,6 +27,11 @@
 
 mod iqp;
 mod linalg;
+mod validate;
 
-pub use iqp::{IqpError, IqpProblem, Solution, SolveMethod, SolverConfig};
+pub use iqp::{
+    Downgrade, DowngradeReason, IqpError, IqpProblem, MethodUsed, Solution, SolveMethod,
+    SolverConfig, Termination,
+};
 pub use linalg::{EigenDecomposition, PsdProjection, SymMatrix};
+pub use validate::{diagnose, diagnose_raw, harden, harden_raw, OmegaDiagnostics, OmegaReport};

@@ -228,11 +228,23 @@ impl SymMatrix {
         let eig = self.eigen();
         let clipped = eig.values.iter().filter(|&&e| e < 0.0).count();
         let clipped_mass: f64 = eig.values.iter().filter(|&&e| e < 0.0).map(|e| -e).sum();
+        let min_eigenvalue = *eig.values.first().expect("n > 0");
+        let max_eigenvalue = *eig.values.last().expect("n > 0");
+        let total_mass: f64 = eig.values.iter().map(|e| e.abs()).sum();
+        let min_positive = eig.values.iter().copied().find(|&e| e > 0.0);
+        let condition = match min_positive {
+            Some(mp) if max_eigenvalue > 0.0 => max_eigenvalue / mp,
+            _ => 1.0,
+        };
         PsdProjection {
             matrix: eig.reassemble_with(|e| e.max(0.0)),
             clipped,
             clipped_mass,
             sweeps: eig.sweeps,
+            min_eigenvalue,
+            max_eigenvalue,
+            total_mass,
+            condition,
         }
     }
 
@@ -293,6 +305,18 @@ pub struct PsdProjection {
     pub clipped_mass: f64,
     /// Jacobi sweeps the eigendecomposition took.
     pub sweeps: usize,
+    /// Smallest eigenvalue of the *measured* (pre-projection) matrix.
+    pub min_eigenvalue: f64,
+    /// Largest eigenvalue of the measured matrix.
+    pub max_eigenvalue: f64,
+    /// Nuclear norm `Σ|λ|` of the measured spectrum. `clipped_mass /
+    /// total_mass` is the fraction of the measurement the projection
+    /// discarded — the Ω-hardening clip-mass ratio.
+    pub total_mass: f64,
+    /// Condition number of the *projected* matrix over its strictly
+    /// positive eigenvalues (`λ_max / λ_min⁺`; 1.0 when no positive
+    /// eigenvalue remains).
+    pub condition: f64,
 }
 
 impl EigenDecomposition {
@@ -468,6 +492,12 @@ mod tests {
         );
         assert!(proj.sweeps >= 1);
         assert_eq!(proj.matrix, a.psd_project());
+        approx(proj.min_eigenvalue, -1.0, 1e-9);
+        approx(proj.max_eigenvalue, 3.0, 1e-9);
+        approx(proj.total_mass, 4.0, 1e-9);
+        // Only one positive eigenvalue survives: condition collapses to
+        // λmax/λmin⁺ = 3/3 = 1.
+        approx(proj.condition, 1.0, 1e-9);
         // An already-diagonal matrix converges without any sweep and clips
         // nothing.
         let d = SymMatrix::identity(3);

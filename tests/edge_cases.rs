@@ -145,6 +145,46 @@ fn iqp_error_displays() {
     assert!(not_sep.to_string().contains("cross-layer"), "{not_sep}");
     let too_big = IqpError::NotSeparable { defect: -1.0 };
     assert!(too_big.to_string().contains("too large"), "{too_big}");
+
+    let overflow = IqpError::CostOverflow { group: 3 };
+    assert!(overflow.to_string().contains("overflow"), "{overflow}");
+    let asym = IqpError::AsymmetricObjective { defect: 0.5 };
+    assert!(asym.to_string().contains("symmetr"), "{asym}");
+    let degenerate = IqpError::DegenerateObjective {
+        clip_mass_ratio: 0.9,
+    };
+    let msg = degenerate.to_string();
+    assert!(msg.contains("0.9") || msg.contains("90"), "{msg}");
+}
+
+/// Ω hardening repairs a poisoned cross term leniently and rejects it (with
+/// coordinates) under strict mode; the hardened matrix still solves.
+#[test]
+fn omega_hardening_edge_cases() {
+    use clado_solver::{diagnose, harden, SolverConfig};
+
+    let mut g = SymMatrix::zeros(4);
+    for i in 0..4 {
+        g.set(i, i, 0.5 + i as f64 * 0.1);
+    }
+    g.set(0, 3, f64::NAN);
+    let diag = diagnose(&g);
+    assert_eq!(diag.off_diagonal_non_finite, 2); // both triangles
+    assert!(!diag.is_clean());
+
+    let (repaired, report) = harden(&g, false).expect("lenient repair");
+    assert_eq!(report.repaired_non_finite, 2);
+    assert_eq!(repaired.get(0, 3), 0.0);
+    let problem = IqpProblem::new(repaired, &[2, 2], vec![1, 2, 1, 2], 4).expect("valid instance");
+    let solution = problem.solve(&SolverConfig::default()).expect("solves");
+    assert!(problem.is_feasible(&solution.choices));
+
+    match harden(&g, true) {
+        Err(IqpError::NonFiniteObjective { row, col, .. }) => {
+            assert_eq!((row.min(col), row.max(col)), (0, 3))
+        }
+        other => panic!("strict hardening should reject, got {other:?}"),
+    }
 }
 
 /// BatchNorm running statistics serialize with the model and affect
