@@ -11,10 +11,23 @@
 //! identical, and records the timings (including the telemetry overhead
 //! ratio (d)/(b), the fault-free checkpointing overhead ratio (e)/(b),
 //! and `distributed.speedup_ratio` (b)/(f)) to `BENCH_sensitivity.json`
-//! at the repo root, as a `clado-telemetry-manifest/v1` document. A final
+//! at the repo root, as a `clado-telemetry-manifest/v1` document. A
 //! solver phase times a dense cross-term IQP with and without an armed
 //! deadline and records `solver.anytime_overhead_ratio` — the cost of the
 //! cooperative cancellation checks when nothing fires.
+//!
+//! Three kernel phases follow: sustained single-threaded GEMM throughput
+//! of the dispatched kernel (`bench.gemm_gflops`), the measured
+//! quantized-execution speedup curve — float forward time over integer
+//! forward time at uniform 8/4/2-bit assignments (`bench.int_speedup.b8`
+//! /`b4`/`b2`, with the 8-bit point doubling as
+//! `bench.int8_speedup_ratio`) — and an eq. (11) IQP solve on the measured
+//! matrix whose bit choices land in the manifest (`bench.assignment_hash`
+//! and the `bit_assignment` config entry), so scalar and SIMD runs can be
+//! checked for identical assignments. The manifest `config` also records
+//! the dispatched kernel backend and detected CPU features. Every phase
+//! runs under a root telemetry span so the manifest's `span_coverage`
+//! reflects the whole benchmark wall time.
 //!
 //! The overhead ratios compare configurations whose true difference is a
 //! few percent, far below single-shot wall-time noise on a busy machine,
@@ -25,13 +38,16 @@
 //! cargo bench -p clado-bench --bench sensitivity_engine
 //! ```
 
-use clado_core::{measure_sensitivities, SensitivityMatrix, SensitivityOptions, ShardContext};
+use clado_core::{
+    assign_bits, eval_loss, measure_sensitivities, AssignOptions, SensitivityMatrix,
+    SensitivityOptions, ShardContext,
+};
 use clado_dist::{
     run_worker, scheme_to_u8, Coordinator, CoordinatorOptions, JobSpec, WorkerOptions,
 };
 use clado_models::{build_resnet, DataSplit, ResNetConfig, SynthVision, SynthVisionConfig};
 use clado_nn::Network;
-use clado_quant::{BitWidthSet, QuantScheme};
+use clado_quant::{BitWidth, BitWidthSet, LayerSizes, QuantScheme};
 use clado_telemetry::Telemetry;
 use std::path::Path;
 
@@ -59,6 +75,10 @@ fn measure(
     checkpoint_dir: Option<std::path::PathBuf>,
 ) -> SensitivityMatrix {
     let mut network = build_resnet(&ResNetConfig::resnet20_mini(10, 41));
+    // Per-stage `forward.<stage>` spans attribute the kernel hot path in
+    // the manifest (the handle is disabled for every configuration but
+    // the telemetry one, so the other timings stay span-free).
+    network.set_telemetry(telemetry.clone());
     let data = SynthVision::generate(SynthVisionConfig {
         train: 128,
         val: 32,
@@ -230,6 +250,113 @@ fn solver_anytime_overhead() -> f64 {
     ratio
 }
 
+/// Sustained single-threaded GEMM throughput of the dispatched kernel:
+/// square 256³ multiplies, best rate over a few samples.
+fn gemm_gflops() -> f64 {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let n = 256usize;
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = clado_tensor::Tensor::from_vec(
+        [n, n],
+        (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    )
+    .expect("shape matches");
+    let b = clado_tensor::Tensor::from_vec(
+        [n, n],
+        (0..n * n).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+    )
+    .expect("shape matches");
+    let flops_per = 2.0 * (n as f64).powi(3);
+    let mut best = 0.0f64;
+    let mut sink = 0.0f32;
+    for _ in 0..4 {
+        let start = std::time::Instant::now();
+        let mut iters = 0u32;
+        while start.elapsed().as_secs_f64() < 0.25 {
+            let c = clado_tensor::matmul(&a, &b);
+            sink += c.data()[0];
+            iters += 1;
+        }
+        best = best.max(flops_per * f64::from(iters) / start.elapsed().as_secs_f64() / 1e9);
+    }
+    assert!(sink.is_finite());
+    println!(
+        "  {:<28} {best:>7.2} GFLOP/s ({} kernel)",
+        "sgemm 256x256x256",
+        clado_tensor::kernel_name()
+    );
+    best
+}
+
+/// Times one evaluation-mode loss pass over the sensitivity set; returns
+/// the minimum wall time of `REPS` passes (the forward work of a probe).
+fn eval_pass_seconds(network: &mut Network, set: &DataSplit) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut sink = 0.0f64;
+    for _ in 0..REPS {
+        let start = std::time::Instant::now();
+        sink += eval_loss(network, set, 64);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    assert!(sink.is_finite());
+    best
+}
+
+/// Measured quantized-execution speedup curve: float forward time over
+/// integer-execution forward time for uniform 8/4/2-bit assignments.
+/// Returns `(bits, speedup)` pairs, 8-bit first.
+fn integer_speedup_curve() -> Vec<(u8, f64)> {
+    let (mut network, set) = bench_setup();
+    let layers = network.quantizable_layers().len();
+    let float_secs = eval_pass_seconds(&mut network, &set);
+    let mut curve = Vec::new();
+    for bits in [8u8, 4, 2] {
+        let installed = network.set_integer_assignment(
+            &vec![BitWidth::of(bits); layers],
+            QuantScheme::PerTensorSymmetric,
+        );
+        assert_eq!(installed, layers, "uniform {bits}-bit assignment installs");
+        let int_secs = eval_pass_seconds(&mut network, &set);
+        let speedup = float_secs / int_secs;
+        println!(
+            "  {:<28} {int_secs:>7.2}s   vs float {float_secs:.2}s → {speedup:.2}× at {bits} bits",
+            format!("int{bits} forward, eval set")
+        );
+        curve.push((bits, speedup));
+    }
+    network.clear_integer_assignment();
+    curve
+}
+
+/// Solves the eq. (11) IQP on the measured matrix at a 4-bit average
+/// budget and returns the assignment (for the manifest's backend-identity
+/// check: scalar and SIMD runs must pick the same bits).
+fn solve_assignment(sens: &SensitivityMatrix) -> clado_core::BitAssignment {
+    let (network, _) = bench_setup();
+    let sizes = LayerSizes::new(network.layer_param_counts());
+    let budget = sizes.total_params() as u64 * 4;
+    let assignment =
+        assign_bits(sens, &sizes, budget, &AssignOptions::default()).expect("IQP solves");
+    println!(
+        "  {:<28} {}   avg {:.2} bits",
+        "IQP assignment, 4-bit budget",
+        assignment.bitmap(),
+        assignment.avg_bits(&sizes)
+    );
+    assignment
+}
+
+/// FNV-1a over the per-layer bit choices — a compact manifest gauge that
+/// changes iff the assignment changes.
+fn assignment_hash(assignment: &clado_core::BitAssignment) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for b in &assignment.bits {
+        h ^= u32::from(b.bits());
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
 fn assert_bitwise_equal(a: &SensitivityMatrix, b: &SensitivityMatrix, label: &str) {
     assert_eq!(a.base_loss.to_bits(), b.base_loss.to_bits(), "{label}");
     let dim = a.matrix().dim();
@@ -246,23 +373,35 @@ fn assert_bitwise_equal(a: &SensitivityMatrix, b: &SensitivityMatrix, label: &st
 
 fn main() {
     println!("=== Sensitivity-measurement engine: serial/full vs parallel/prefix ===");
-    let naive = measure(
-        "serial, full forward",
-        1,
-        false,
-        Telemetry::disabled(),
-        None,
-    );
-    let (cached, cached_secs) =
-        best_of(|| measure("serial, prefix cache", 1, true, Telemetry::disabled(), None));
-    let parallel = measure(
-        "all cores, prefix cache",
-        0,
-        true,
-        Telemetry::disabled(),
-        None,
-    );
     let registry = Telemetry::new();
+    let phase = |name: &str| registry.span(name);
+
+    let naive = {
+        let _s = phase("serial_full");
+        measure(
+            "serial, full forward",
+            1,
+            false,
+            Telemetry::disabled(),
+            None,
+        )
+    };
+    let (cached, cached_secs) = {
+        let _s = phase("serial_prefix");
+        best_of(|| measure("serial, prefix cache", 1, true, Telemetry::disabled(), None))
+    };
+    let parallel = {
+        let _s = phase("parallel_prefix");
+        measure(
+            "all cores, prefix cache",
+            0,
+            true,
+            Telemetry::disabled(),
+            None,
+        )
+    };
+    // No phase span here: this configuration records its own `measure`
+    // (and `forward`) root spans on the registry.
     let (timed, timed_secs) = best_of(|| {
         measure(
             "serial, prefix + telemetry",
@@ -273,19 +412,40 @@ fn main() {
         )
     });
     let ckpt_dir = std::env::temp_dir().join(format!("clado-bench-ckpt-{}", std::process::id()));
-    let (journaled, journaled_secs) = best_of(|| {
-        let _ = std::fs::remove_dir_all(&ckpt_dir);
-        measure(
-            "serial, prefix + journal",
-            1,
-            true,
-            Telemetry::disabled(),
-            Some(ckpt_dir.clone()),
-        )
-    });
+    let (journaled, journaled_secs) = {
+        let _s = phase("serial_journal");
+        best_of(|| {
+            let _ = std::fs::remove_dir_all(&ckpt_dir);
+            measure(
+                "serial, prefix + journal",
+                1,
+                true,
+                Telemetry::disabled(),
+                Some(ckpt_dir.clone()),
+            )
+        })
+    };
     let _ = std::fs::remove_dir_all(&ckpt_dir);
-    let (distributed, distributed_secs) = measure_distributed(3);
-    let anytime_overhead = solver_anytime_overhead();
+    let (distributed, distributed_secs) = {
+        let _s = phase("distributed");
+        measure_distributed(3)
+    };
+    let anytime_overhead = {
+        let _s = phase("solver_anytime");
+        solver_anytime_overhead()
+    };
+    let gflops = {
+        let _s = phase("gemm_throughput");
+        gemm_gflops()
+    };
+    let int_curve = {
+        let _s = phase("integer_forward");
+        integer_speedup_curve()
+    };
+    let assignment = {
+        let _s = phase("assignment");
+        solve_assignment(&cached)
+    };
     assert_bitwise_equal(&naive, &cached, "prefix cache changed the matrix");
     assert_bitwise_equal(&naive, &parallel, "parallelism changed the matrix");
     assert_bitwise_equal(&naive, &timed, "telemetry changed the matrix");
@@ -324,6 +484,20 @@ fn main() {
     registry.set_gauge("bench.distributed_seconds", distributed_secs);
     registry.set_gauge("distributed.speedup_ratio", distributed_speedup);
     registry.set_gauge("solver.anytime_overhead_ratio", anytime_overhead);
+    registry.set_gauge("bench.gemm_gflops", gflops);
+    for &(bits, speedup) in &int_curve {
+        registry.set_gauge(&format!("bench.int_speedup.b{bits}"), speedup);
+    }
+    let int8_speedup = int_curve
+        .iter()
+        .find(|&&(bits, _)| bits == 8)
+        .map(|&(_, s)| s)
+        .expect("curve includes 8 bits");
+    registry.set_gauge("bench.int8_speedup_ratio", int8_speedup);
+    registry.set_gauge(
+        "bench.assignment_hash",
+        f64::from(assignment_hash(&assignment)),
+    );
     let json = registry.manifest(
         "bench.sensitivity_engine",
         &[
@@ -334,6 +508,9 @@ fn main() {
             ("resumed", journaled.stats.resumed.into()),
             ("retried", journaled.stats.retried.into()),
             ("quarantined", journaled.stats.quarantined.into()),
+            ("kernel", clado_tensor::kernel_name().into()),
+            ("cpu_features", clado_tensor::cpu_features().into()),
+            ("bit_assignment", assignment.bitmap().into()),
         ],
     );
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sensitivity.json");

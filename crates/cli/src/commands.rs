@@ -36,6 +36,8 @@ COMMANDS:
                                   run Algorithm 1 and persist Ĝ
                [--set-size 128] [--set-seed 0] [--bits 2,4,8] [--scheme symmetric|affine]
                [--threads N (0 = all cores)] [--no-prefix-cache] [--verbose]
+               [--no-batched-probes      probe each pair from the outer stage instead
+                                         of advancing the prefix cache (exact either way)]
                [--checkpoint-dir <dir>   journal each probe for crash-safe resume]
                [--resume                 restore completed probes from the journal]
                [--retries N (default 1)  per-probe retry budget on worker panics]
@@ -56,6 +58,8 @@ COMMANDS:
   eval         --model <id> --map 8,4,4,2,...
                                   PTQ accuracy of an explicit bit map
                [--layer-times     record per-stage forward spans]
+               [--integer         also run the map on real int8/int4 kernels and
+                                  report the measured speedup over the float path]
   stress       solve a planted dense cross-term IQP (worst case for eq. (11))
                under the anytime flags; prints a deterministic result line
                [--layers 32] [--seed 7] [--avg-bits 4] [--bits 2,4,8]
@@ -126,7 +130,15 @@ impl RunContext {
             }
         }
         if let Some(path) = &self.metrics_out {
-            std::fs::write(path, self.telemetry.manifest(command, config))?;
+            // Every manifest records the compute-kernel identity so runs
+            // on different hosts (or CLADO_FORCE_SCALAR runs) are
+            // distinguishable when diffing results.
+            let mut full: Vec<(&str, ManifestValue)> = vec![
+                ("kernel", clado_tensor::kernel_name().into()),
+                ("cpu_features", clado_tensor::cpu_features().into()),
+            ];
+            full.extend(config.iter().cloned());
+            std::fs::write(path, self.telemetry.manifest(command, &full))?;
         }
         Ok(())
     }
@@ -296,6 +308,7 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
             verbose: args.switch("verbose"),
             threads: args.get_or("threads", 0)?,
             use_prefix_cache: !args.switch("no-prefix-cache"),
+            batched_probes: !args.switch("no-batched-probes"),
             telemetry: run.telemetry.clone(),
             checkpoint_dir,
             resume,
@@ -707,17 +720,46 @@ pub fn cmd_eval(args: &Args) -> Result<(), Box<dyn Error>> {
         clado_quant::avg_bits(cost, sizes.total_params()),
         acc * 100.0
     );
-    run.finish(
-        "eval",
-        &[
-            ("model", kind.id().into()),
-            ("scheme", format!("{scheme:?}").into()),
-            (
-                "avg_bits",
-                clado_quant::avg_bits(cost, sizes.total_params()).into(),
-            ),
-        ],
-    )
+    let mut config: Vec<(&str, ManifestValue)> = vec![
+        ("model", kind.id().into()),
+        ("scheme", format!("{scheme:?}").into()),
+        (
+            "avg_bits",
+            clado_quant::avg_bits(cost, sizes.total_params()).into(),
+        ),
+    ];
+    if args.switch("integer") {
+        let _s = run.telemetry.span("integer_eval");
+        // Float baseline on the restored fp32 weights, then the same pass
+        // with real int8 / packed-int4 kernels installed. Best of two
+        // passes each, so one scheduler hiccup cannot invert the ratio.
+        let timed = |network: &mut clado_nn::Network, split| {
+            let mut acc = 0.0;
+            let mut best = f64::INFINITY;
+            for _ in 0..2 {
+                let start = std::time::Instant::now();
+                acc = clado_models::evaluate(network, split);
+                best = best.min(start.elapsed().as_secs_f64());
+            }
+            (acc, best)
+        };
+        let (_, float_secs) = timed(&mut p.network, &p.data.val);
+        let installed = p.network.set_integer_assignment(&assignment, scheme);
+        let (int_acc, int_secs) = timed(&mut p.network, &p.data.val);
+        p.network.clear_integer_assignment();
+        let speedup = float_secs / int_secs;
+        println!(
+            "integer execution: accuracy {:.2}% ({installed}/{layers} layers on int kernels), \
+             {:.1} ms vs float {:.1} ms → {speedup:.2}×",
+            int_acc * 100.0,
+            int_secs * 1e3,
+            float_secs * 1e3,
+        );
+        config.push(("int_accuracy", int_acc.into()));
+        config.push(("int_speedup", speedup.into()));
+        config.push(("int_layers", installed.into()));
+    }
+    run.finish("eval", &config)
 }
 
 /// `clado stress [--layers 32] [--seed 7] [--avg-bits 4]`

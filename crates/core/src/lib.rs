@@ -66,8 +66,9 @@ pub use experiments::{quartiles, Algorithm, ExperimentContext, Quartiles};
 pub use hessian::{exact_cross_vhv, exact_vhv, exact_vhv_direction, fast_cross_vhv, fast_vhv};
 pub use journal::{JournalError, JournalState, JournalWriter, ProbeId, ProbeRecord};
 pub use probe::{
-    apply_quantization, build_prefix_cache, eval_loss, eval_loss_from, quant_error_table,
-    quantizable_gradients, quantized_accuracy, train_mode_loss, PrefixCache, PROBE_BATCH,
+    advance_prefix_cache, apply_quantization, build_prefix_cache, eval_loss, eval_loss_from,
+    quant_error_table, quantizable_gradients, quantized_accuracy, train_mode_loss, PrefixCache,
+    PROBE_BATCH,
 };
 pub use qat::{qat_finetune, QatConfig, QatReport};
 pub use search::{annealing_search, random_search, SearchOptions, SearchReport};

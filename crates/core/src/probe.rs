@@ -66,6 +66,48 @@ pub fn build_prefix_cache(
     }
 }
 
+/// Advances a prefix cache to a later stage boundary by running stages
+/// `cache.stage()..to_stage` once per batch with the network's *current*
+/// weights.
+///
+/// This is the batched-probe primitive: with an outer perturbation applied
+/// to a layer in stage `s_i`, advancing the cache past `s_i` bakes that
+/// perturbation into the boundary activations, so every inner probe at a
+/// later stage `s_j` re-runs only `s_j..` instead of `s_i..`. Because the
+/// stage fold composes bitwise-identically (see
+/// `Network::forward_range`), losses computed from the advanced cache are
+/// bit-for-bit equal to losses from the original cache.
+///
+/// # Panics
+///
+/// Panics if `to_stage < cache.stage()`.
+pub fn advance_prefix_cache(
+    network: &mut Network,
+    cache: &PrefixCache,
+    to_stage: usize,
+) -> PrefixCache {
+    assert!(
+        to_stage >= cache.stage,
+        "cannot rewind a prefix cache ({} -> {to_stage})",
+        cache.stage
+    );
+    let batches = cache
+        .batches
+        .iter()
+        .map(|(x, labels)| {
+            (
+                network.forward_range(cache.stage, to_stage, x.clone(), false),
+                labels.clone(),
+            )
+        })
+        .collect();
+    PrefixCache {
+        stage: to_stage,
+        batches,
+        total: cache.total,
+    }
+}
+
 /// Evaluation-mode mean cross-entropy loss computed by running only the
 /// suffix `cache.stage()..` on the cached boundary activations.
 ///

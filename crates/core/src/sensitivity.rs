@@ -32,7 +32,8 @@ use crate::engine::{replica_map_checked, resolve_threads};
 use crate::errors::MeasureError;
 use crate::journal::{self, JournalError, JournalWriter, ProbeId, ProbeRecord};
 use crate::probe::{
-    build_prefix_cache, eval_loss, eval_loss_from, quant_error_table, PrefixCache, PROBE_BATCH,
+    advance_prefix_cache, build_prefix_cache, eval_loss, eval_loss_from, quant_error_table,
+    PrefixCache, PROBE_BATCH,
 };
 use clado_models::DataSplit;
 use clado_nn::Network;
@@ -59,6 +60,13 @@ pub struct SensitivityOptions {
     /// Reuse cached prefix activations for probes sharing an outer
     /// perturbation (exact; disable only for measurement A/B testing).
     pub use_prefix_cache: bool,
+    /// Batch pairwise probes: once the outer perturbation `(i, m)` is
+    /// applied, advance the prefix cache past layer `i`'s stage so every
+    /// inner probe at layer `j` re-runs only the suffix from `j`'s own
+    /// stage instead of from `i`'s (exact — see
+    /// [`crate::advance_prefix_cache`]; requires
+    /// [`SensitivityOptions::use_prefix_cache`]).
+    pub batched_probes: bool,
     /// Telemetry sink for spans, counters, and progress. The default
     /// (disabled) handle records nothing; measured values are bitwise
     /// identical either way (test-enforced).
@@ -85,6 +93,7 @@ impl Default for SensitivityOptions {
             verbose: false,
             threads: 0,
             use_prefix_cache: true,
+            batched_probes: true,
             telemetry: Telemetry::disabled(),
             checkpoint_dir: None,
             resume: false,
@@ -271,6 +280,8 @@ const PAIR_SPANS: PassSpans = PassSpans {
     suffix: "measure.pairwise.suffix_eval",
     full: "measure.pairwise.full_eval",
 };
+/// Span covering one batched-probe cache advance (pairwise pass only).
+const PAIR_ADVANCE_SPAN: &str = "measure.pairwise.prefix_advance";
 
 /// Shared probe accounting: telemetry counter handles (fetched once,
 /// bumped live from worker threads) plus local atomics that stay
@@ -281,6 +292,7 @@ struct ProbeCounters {
     full: Counter,
     hits: Counter,
     builds: Counter,
+    advances: Counter,
     resumed: Counter,
     retries: Counter,
     quarantined: Counter,
@@ -299,6 +311,7 @@ impl ProbeCounters {
             full: telemetry.counter("measure.full_evals"),
             hits: telemetry.counter("measure.prefix_cache_hits"),
             builds: telemetry.counter("measure.prefix_cache_builds"),
+            advances: telemetry.counter("measure.prefix_cache_advances"),
             resumed: telemetry.counter("measure.resumed"),
             retries: telemetry.counter("measure.retries"),
             quarantined: telemetry.counter("measure.quarantined"),
@@ -435,7 +448,12 @@ fn journal_item(writer: &mut Option<JournalWriter>, outs: &[ProbeOut]) -> Result
 /// order lets every worker cache the unperturbed prefix activations up to
 /// the stage holding layer `i` and re-run only the suffix for each inner
 /// probe; evaluation-mode forward is pure, so the cached path is bitwise
-/// equal to a full forward. Work is sharded per outer layer `i` across
+/// equal to a full forward. With [`SensitivityOptions::batched_probes`]
+/// (the default) the pairwise pass goes further: after applying the outer
+/// perturbation `(i, m)` it advances the cache to each inner layer's
+/// stage, amortizing one boundary forward over all `|𝔹|` probes of that
+/// inner layer — still bitwise exact, because the stage fold composes
+/// identically however it is split. Work is sharded per outer layer `i` across
 /// [`SensitivityOptions::threads`] workers and merged in deterministic
 /// order, so the result is bitwise identical for any thread count — and,
 /// because the journal stores losses bit-exactly, identical whether the
@@ -472,6 +490,7 @@ pub fn measure_sensitivities(
     let originals = network.snapshot_weights();
     let threads = resolve_threads(options.threads);
     let use_cache = options.use_prefix_cache;
+    let batched = use_cache && options.batched_probes;
     let batch_size = options.batch_size;
 
     let counters = ProbeCounters::new(telemetry);
@@ -659,6 +678,14 @@ pub fn measure_sensitivities(
                 // The outer perturbation is applied lazily: an m-block
                 // whose probes were all resumed never touches the replica.
                 let mut outer_applied = false;
+                // Batched probes: boundary activations with Δw_m⁽ⁱ⁾ baked
+                // in, advanced to the stage of the current inner layer.
+                // Valid only within this m-block (it depends on the outer
+                // perturbation), and only ever advanced forward — `j`
+                // ascends and layers follow stage order, so each stage
+                // range between consecutive inner layers is traversed
+                // exactly once per block instead of once per probe.
+                let mut adv: Option<PrefixCache> = None;
                 for j in (i + 1)..num_layers {
                     for (n, delta_j) in deltas[j].iter().enumerate() {
                         let id = ProbeId::Pair {
@@ -680,6 +707,29 @@ pub fn measure_sensitivities(
                             net.perturb_weight(i, delta_i);
                             outer_applied = true;
                         }
+                        let batch_here = batched && stages[j] > stages[i];
+                        if batch_here && adv.as_ref().is_none_or(|c| c.stage() < stages[j]) {
+                            // The base cache excludes layer i's stage, so
+                            // building it with the outer perturbation
+                            // already applied is still the unperturbed
+                            // prefix; the advance then runs stage[i]..
+                            // stage[j] with Δw_m⁽ⁱ⁾ in place (and layer j
+                            // not yet perturbed), baking the outer
+                            // perturbation into the boundary activations.
+                            if cache.is_none() {
+                                let _s = telemetry.span(PAIR_SPANS.build);
+                                counters.builds.incr();
+                                counters.l_builds.fetch_add(1, Ordering::Relaxed);
+                                cache =
+                                    Some(build_prefix_cache(net, sens_set, batch_size, stages[i]));
+                            }
+                            let _s = telemetry.span(PAIR_ADVANCE_SPAN);
+                            counters.advances.incr();
+                            let from = adv
+                                .as_ref()
+                                .unwrap_or_else(|| cache.as_ref().expect("base cache built above"));
+                            adv = Some(advance_prefix_cache(net, from, stages[j]));
+                        }
                         net.perturb_weight(j, delta_j);
                         let (loss, quarantined) = with_panic_context(
                             || {
@@ -690,10 +740,15 @@ pub fn measure_sensitivities(
                                 )
                             },
                             || {
+                                let (probe_cache, probe_stage) = if batch_here {
+                                    (&mut adv, Some(stages[j]))
+                                } else {
+                                    (&mut cache, cache_stage)
+                                };
                                 let out = measure_probe(
                                     net,
-                                    &mut cache,
-                                    cache_stage,
+                                    probe_cache,
+                                    probe_stage,
                                     sens_set,
                                     batch_size,
                                     telemetry,
@@ -1087,17 +1142,32 @@ mod tests {
         let sm = measure(&mut net, &set, &bits, &SensitivityOptions::default());
         let s = sm.stats;
         assert_eq!(s.evaluations, s.prefix_cache_hits + s.full_evals);
-        // Layers sit at stages 0 (conv1), 2 (conv2), 5 (fc): conv1 has no
-        // cacheable prefix, so its 2 diagonal + 8 pairwise probes plus the
-        // base eval run in full; the remaining 8 probes are suffix-only.
-        assert_eq!(s.full_evals, 11);
-        assert_eq!(s.prefix_cache_hits, 8);
-        assert_eq!(s.prefix_cache_builds, 3);
+        // Layers sit at stages 0 (conv1), 2 (conv2), 5 (fc). With batched
+        // probes (the default), only the base eval and conv1's 2 diagonal
+        // probes run in full: every pairwise probe — including conv1's,
+        // whose stage-0 "prefix" is just the raw inputs — evaluates the
+        // suffix from its *inner* layer's stage on an advanced cache.
+        // Builds: conv2 + fc diagonal caches plus one pairwise base cache
+        // per outer layer (conv1, conv2).
+        assert_eq!(s.full_evals, 3);
+        assert_eq!(s.prefix_cache_hits, 16);
+        assert_eq!(s.prefix_cache_builds, 4);
         assert!(s.threads_used >= 1);
         // No checkpoint, no faults: fault-tolerance stats stay zero.
         assert_eq!(s.resumed, 0);
         assert_eq!(s.retried, 0);
         assert_eq!(s.quarantined, 0);
+
+        // Without batching, probes evaluate from the outer layer's stage:
+        // conv1's 8 pairwise probes join the full-eval count.
+        let unbatched = SensitivityOptions {
+            batched_probes: false,
+            ..Default::default()
+        };
+        let sm = measure(&mut net, &set, &bits, &unbatched);
+        assert_eq!(sm.stats.full_evals, 11);
+        assert_eq!(sm.stats.prefix_cache_hits, 8);
+        assert_eq!(sm.stats.prefix_cache_builds, 3);
 
         let naive = SensitivityOptions {
             use_prefix_cache: false,
@@ -1107,6 +1177,54 @@ mod tests {
         assert_eq!(sm.stats.prefix_cache_hits, 0);
         assert_eq!(sm.stats.prefix_cache_builds, 0);
         assert_eq!(sm.stats.full_evals, sm.stats.evaluations);
+    }
+
+    #[test]
+    fn batched_probes_match_unbatched_bitwise() {
+        let (mut net, data) = setup();
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let bits = BitWidthSet::new(&[2, 8]);
+        let unbatched = SensitivityOptions {
+            batched_probes: false,
+            ..Default::default()
+        };
+        let reference = measure(&mut net, &set, &bits, &unbatched);
+
+        let telemetry = Telemetry::new();
+        let batched = SensitivityOptions {
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        };
+        let sm = measure(&mut net, &set, &bits, &batched);
+        assert_eq!(sm.base_loss.to_bits(), reference.base_loss.to_bits());
+        assert_eq!(sm.stats.evaluations, reference.stats.evaluations);
+        let dim = sm.matrix().dim();
+        for u in 0..dim {
+            for v in u..dim {
+                assert_eq!(
+                    sm.matrix().get(u, v).to_bits(),
+                    reference.matrix().get(u, v).to_bits(),
+                    "entry ({u},{v}) differs under batched probes"
+                );
+            }
+        }
+        // Advances per outer layer and m-block: conv1 crosses two stage
+        // boundaries (→conv2, →fc), conv2 one (→fc); ×2 bit-widths.
+        assert_eq!(telemetry.counter_value("measure.prefix_cache_advances"), 6);
+        assert!(telemetry
+            .span_stats("measure.pairwise.prefix_advance")
+            .is_some());
+
+        // Disabling the prefix cache disables batching with it.
+        let telemetry = Telemetry::new();
+        let naive = SensitivityOptions {
+            use_prefix_cache: false,
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        };
+        let sm = measure(&mut net, &set, &bits, &naive);
+        assert_eq!(sm.base_loss.to_bits(), reference.base_loss.to_bits());
+        assert_eq!(telemetry.counter_value("measure.prefix_cache_advances"), 0);
     }
 
     #[test]

@@ -327,6 +327,25 @@ impl Coordinator {
                     }
                 }
             }
+            // A worker that connected while the last shard was finishing
+            // can still sit un-accepted in the listener backlog; dropping
+            // the listener would reset it mid-handshake. Accept whatever
+            // is queued so each such worker gets a handshake and a
+            // graceful Shutdown at its first lease request.
+            if sched.lock().expect("scheduler lock").fatal.is_none() {
+                while let Ok((stream, _peer)) = self.listener.accept() {
+                    let id = next_worker;
+                    next_worker += 1;
+                    let sched = &sched;
+                    let job = &self.job;
+                    let telemetry = telemetry.clone();
+                    let hb = self.opts.heartbeat_timeout;
+                    let verbose = self.opts.verbose;
+                    scope.spawn(move || {
+                        serve_worker(stream, id, sched, job, fp, hb, telemetry, verbose);
+                    });
+                }
+            }
             // Connection threads drain on their own: idle workers get a
             // Shutdown at their next lease request; silent ones hit the
             // heartbeat deadline. The scope joins them all.

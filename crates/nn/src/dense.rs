@@ -1,5 +1,6 @@
 //! Fully-connected (linear) layer.
 
+use crate::int_exec::quantize_activations;
 use crate::layer::{join, Layer};
 use crate::param::{Param, ParamRole, ParamVisitor, ParamVisitorRef};
 use clado_tensor::{init, matmul, matmul_a_bt, matmul_at_b, Shape, Tensor};
@@ -72,7 +73,20 @@ impl Linear {
 impl Layer for Linear {
     fn forward(&mut self, x: Tensor, training: bool) -> Tensor {
         let x2 = self.to_2d(&x);
-        let mut y = matmul_a_bt(&x2, &self.weight.value);
+        let mut y = match (&self.weight.int_exec, training) {
+            // Integer execution: dynamic int8 activations against the
+            // pre-quantized weight, exact i32 accumulation, requantize.
+            (Some(ie), false) => {
+                let rows = x2.shape().dim(0);
+                let (qx, a_scale) = quantize_activations(x2.data());
+                let mut acc = vec![0i32; rows * self.out_features];
+                ie.matmul_a_bt(&qx, rows, 0, self.out_features, &mut acc);
+                let mut y = Tensor::zeros([rows, self.out_features]);
+                ie.requantize_into(&acc, self.out_features, 0, a_scale, y.data_mut());
+                y
+            }
+            _ => matmul_a_bt(&x2, &self.weight.value),
+        };
         let rows = y.shape().dim(0);
         let bd = self.bias.value.data();
         for r in 0..rows {
@@ -82,7 +96,6 @@ impl Layer for Linear {
             }
         }
         let orig = x.shape();
-        let _ = training;
         self.cache = Some((x2, orig));
         self.restore_leading_dims(y, orig, self.out_features)
     }

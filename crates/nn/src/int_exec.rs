@@ -1,0 +1,303 @@
+//! Integer execution mode: pre-quantized weights that dense/conv layers
+//! run through the real int8 / packed-int4 GEMM instead of float.
+//!
+//! The rest of the MPQ machinery *plans* bit-assignments by probing
+//! fake-quantized float weights. Installing an [`IntExecWeight`] on a
+//! layer's weight [`crate::Param`] switches that layer's eval-mode forward
+//! to genuine integer arithmetic:
+//!
+//! 1. Weights are quantized **once** with the same MSE-calibrated scales
+//!    as `clado_quant::quantize_weights`, so the stored levels dequantize
+//!    bit-for-bit to the fake-quant reference (`q·s == Q(w)`).
+//! 2. Activations are quantized dynamically per tensor (symmetric absmax)
+//!    at each forward.
+//! 3. Products accumulate exactly in `i32` and requantize back to f32 at
+//!    the layer boundary; biases and everything downstream stay float.
+//!
+//! Bit-widths of 5–8 run as int8; 1–4 pack two levels per byte (int4
+//! storage). Widths above 8 and affine schemes fall back to float
+//! execution (the layer simply keeps `int_exec = None`).
+
+use clado_quant::{calibrate_symmetric, BitWidth, QuantScheme};
+use clado_tensor::igemm::{igemm_i4_a_bt, igemm_i8_a_bt, pack_i4, quantize_i8, requantize, Scales};
+use clado_tensor::Tensor;
+
+/// Quantized level storage for one weight tensor.
+#[derive(Debug, Clone)]
+enum IntWeightData {
+    /// One signed level per element, row-major `[rows, cols]`.
+    I8(Vec<i8>),
+    /// Rows packed two nibbles per byte; each row occupies
+    /// `cols.div_ceil(2)` bytes.
+    I4(Vec<u8>),
+}
+
+/// Per-tensor or per-output-channel weight scales.
+#[derive(Debug, Clone)]
+enum WeightScales {
+    PerTensor(f32),
+    PerChannel(Vec<f32>),
+}
+
+/// A weight tensor prepared for integer execution: quantized levels plus
+/// the scales needed to requantize i32 accumulators back to f32.
+///
+/// Rows are output channels (dimension 0 of the weight tensor); columns
+/// are the flattened reduction axis. In every integer GEMM the weight is
+/// the `Bᵀ` operand, so output channel = output column, which is what
+/// [`IntExecWeight::requantize_into`] assumes.
+#[derive(Debug, Clone)]
+pub struct IntExecWeight {
+    bits: u8,
+    rows: usize,
+    cols: usize,
+    data: IntWeightData,
+    scales: WeightScales,
+}
+
+impl IntExecWeight {
+    /// Quantizes `value` to `bits` for integer execution, calibrating
+    /// scales exactly like `clado_quant::quantize_weights` (same MSE grid,
+    /// same rounding), so the stored levels dequantize to the fake-quant
+    /// reference bit-for-bit.
+    ///
+    /// Returns `None` when integer execution cannot represent the
+    /// configuration: more than 8 bits, or an affine (zero-point) scheme.
+    pub fn prepare(value: &Tensor, bits: BitWidth, scheme: QuantScheme) -> Option<Self> {
+        if bits.bits() > 8 || scheme == QuantScheme::PerChannelAffine {
+            return None;
+        }
+        let rows = value.shape().dim(0);
+        let cols = value.numel() / rows;
+        let (qmin, qmax) = bits.signed_levels();
+        let w = value.data();
+        let (q, scales) = match scheme {
+            QuantScheme::PerTensorSymmetric => {
+                let params = calibrate_symmetric(w, bits);
+                (
+                    quantize_i8(w, params.scale, qmin, qmax),
+                    WeightScales::PerTensor(params.scale),
+                )
+            }
+            QuantScheme::PerChannelSymmetric => {
+                let mut q = Vec::with_capacity(w.len());
+                let mut per_channel = Vec::with_capacity(rows);
+                for c in 0..rows {
+                    let slice = &w[c * cols..(c + 1) * cols];
+                    let params = calibrate_symmetric(slice, bits);
+                    q.extend(quantize_i8(slice, params.scale, qmin, qmax));
+                    per_channel.push(params.scale);
+                }
+                (q, WeightScales::PerChannel(per_channel))
+            }
+            QuantScheme::PerChannelAffine => unreachable!("filtered above"),
+        };
+        let data = if bits.bits() <= 4 {
+            let mut packed = Vec::with_capacity(rows * cols.div_ceil(2));
+            for row in q.chunks(cols) {
+                packed.extend(pack_i4(row));
+            }
+            IntWeightData::I4(packed)
+        } else {
+            IntWeightData::I8(q)
+        };
+        Some(Self {
+            bits: bits.bits(),
+            rows,
+            cols,
+            data,
+            scales,
+        })
+    }
+
+    /// The bit-width this weight executes at.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Output channels (weight rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Flattened reduction length (weight columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `acc[m × nrows] = qa[m × cols] · Wq[row0..row0+nrows]ᵀ` with exact
+    /// i32 accumulation, over a contiguous row range of the weight (conv
+    /// groups pass their slice; dense layers pass the full range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range or buffer lengths are inconsistent.
+    pub fn matmul_a_bt(&self, qa: &[i8], m: usize, row0: usize, nrows: usize, acc: &mut [i32]) {
+        assert!(row0 + nrows <= self.rows, "weight row range out of bounds");
+        match &self.data {
+            IntWeightData::I8(q) => {
+                let b = &q[row0 * self.cols..(row0 + nrows) * self.cols];
+                igemm_i8_a_bt(qa, b, acc, m, self.cols, nrows);
+            }
+            IntWeightData::I4(packed) => {
+                let row_bytes = self.cols.div_ceil(2);
+                let b = &packed[row0 * row_bytes..(row0 + nrows) * row_bytes];
+                igemm_i4_a_bt(qa, b, acc, m, self.cols, nrows);
+            }
+        }
+    }
+
+    /// Requantizes an accumulator produced by [`IntExecWeight::matmul_a_bt`]
+    /// over the same row range: `out[i][j] = acc[i][j] · a_scale · s_{row0+j}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on buffer length mismatches.
+    pub fn requantize_into(
+        &self,
+        acc: &[i32],
+        nrows: usize,
+        row0: usize,
+        a_scale: f32,
+        out: &mut [f32],
+    ) {
+        match &self.scales {
+            WeightScales::PerTensor(s) => {
+                requantize(acc, nrows, a_scale, Scales::PerTensor(*s), out)
+            }
+            WeightScales::PerChannel(s) => requantize(
+                acc,
+                nrows,
+                a_scale,
+                Scales::PerChannel(&s[row0..row0 + nrows]),
+                out,
+            ),
+        }
+    }
+
+    /// Dequantizes the stored levels back to f32 — bit-for-bit equal to
+    /// `clado_quant::quantize_weights` on the source tensor (up to the
+    /// sign of zero, which the integer domain normalizes to `+0.0`).
+    pub fn dequantize(&self) -> Vec<f32> {
+        let levels: Vec<i8> = match &self.data {
+            IntWeightData::I8(q) => q.clone(),
+            IntWeightData::I4(packed) => {
+                let row_bytes = self.cols.div_ceil(2);
+                let mut out = Vec::with_capacity(self.rows * self.cols);
+                for r in 0..self.rows {
+                    out.extend(clado_tensor::igemm::unpack_i4(
+                        &packed[r * row_bytes..(r + 1) * row_bytes],
+                        self.cols,
+                    ));
+                }
+                out
+            }
+        };
+        levels
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let s = match &self.scales {
+                    WeightScales::PerTensor(s) => *s,
+                    WeightScales::PerChannel(s) => s[i / self.cols],
+                };
+                q as f32 * s
+            })
+            .collect()
+    }
+}
+
+/// Dynamic per-tensor activation scale: symmetric absmax over 127 levels.
+/// Returns `0.0` for an all-zero tensor (quantizes to all-zero levels).
+pub fn dynamic_act_scale(x: &[f32]) -> f32 {
+    let absmax = x.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    absmax / 127.0
+}
+
+/// Quantizes activations with a dynamic per-tensor scale, returning the
+/// levels and the scale.
+pub fn quantize_activations(x: &[f32]) -> (Vec<i8>, f32) {
+    let scale = dynamic_act_scale(x);
+    (quantize_i8(x, scale, -127, 127), scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clado_quant::quantize_weights;
+
+    fn weight(shape: [usize; 2], seed: u64) -> Tensor {
+        let mut s = seed | 1;
+        let data: Vec<f32> = (0..shape[0] * shape[1])
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect();
+        Tensor::from_vec(shape, data).unwrap()
+    }
+
+    #[test]
+    fn dequantize_matches_fake_quant_reference() {
+        let w = weight([6, 17], 11);
+        for bits in [2u8, 4, 8] {
+            for scheme in [
+                QuantScheme::PerTensorSymmetric,
+                QuantScheme::PerChannelSymmetric,
+            ] {
+                let ie = IntExecWeight::prepare(&w, BitWidth::of(bits), scheme).unwrap();
+                let reference = quantize_weights(&w, BitWidth::of(bits), scheme);
+                for (i, (&got, &want)) in ie.dequantize().iter().zip(reference.data()).enumerate() {
+                    if want == 0.0 {
+                        assert_eq!(got, 0.0, "{bits}b {scheme:?} idx {i}");
+                    } else {
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "{bits}b {scheme:?} idx {i}: {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_configs_fall_back_to_float() {
+        let w = weight([2, 4], 3);
+        assert!(
+            IntExecWeight::prepare(&w, BitWidth::of(16), QuantScheme::PerTensorSymmetric).is_none()
+        );
+        assert!(
+            IntExecWeight::prepare(&w, BitWidth::of(8), QuantScheme::PerChannelAffine).is_none()
+        );
+    }
+
+    #[test]
+    fn low_bits_pack_to_nibbles() {
+        let w = weight([4, 5], 7);
+        let ie =
+            IntExecWeight::prepare(&w, BitWidth::of(2), QuantScheme::PerTensorSymmetric).unwrap();
+        assert!(matches!(ie.data, IntWeightData::I4(_)));
+        assert_eq!(ie.bits(), 2);
+        // Dequantized int4 storage still matches the reference.
+        let reference = quantize_weights(&w, BitWidth::of(2), QuantScheme::PerTensorSymmetric);
+        for (&got, &want) in ie.dequantize().iter().zip(reference.data()) {
+            assert!(got == want, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn activation_quantization_is_symmetric() {
+        let x = vec![1.0f32, -2.0, 0.5, 2.0];
+        let (q, s) = quantize_activations(&x);
+        assert_eq!(s, 2.0 / 127.0);
+        assert_eq!(q[1], -127);
+        assert_eq!(q[3], 127);
+        let (qz, sz) = quantize_activations(&[0.0; 4]);
+        assert_eq!(sz, 0.0);
+        assert_eq!(qz, vec![0; 4]);
+    }
+}

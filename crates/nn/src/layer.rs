@@ -346,6 +346,20 @@ impl Sequential {
             .fold(x, |acc, (_, l)| l.forward(acc, training))
     }
 
+    /// Runs the children at positions `from..to` (a contiguous slice of
+    /// the stage fold). `forward_range(0, s, ..)` equals
+    /// `forward_prefix(s, ..)`; chaining ranges that tile `0..len()`
+    /// performs exactly the same operation sequence as a plain `forward`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to` or `to > self.len()`.
+    pub fn forward_range(&mut self, from: usize, to: usize, x: Tensor, training: bool) -> Tensor {
+        self.children[from..to]
+            .iter_mut()
+            .fold(x, |acc, (_, l)| l.forward(acc, training))
+    }
+
     /// Name of the child at position `stage`.
     ///
     /// # Panics

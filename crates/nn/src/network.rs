@@ -2,8 +2,10 @@
 //! the MPQ machinery needs (enumerate / read / substitute quantizable
 //! weights).
 
+use crate::int_exec::IntExecWeight;
 use crate::layer::{Layer, Sequential};
 use crate::param::{Param, ParamRole};
+use clado_quant::{BitWidth, QuantScheme};
 use clado_telemetry::Telemetry;
 use clado_tensor::Tensor;
 use std::fmt;
@@ -47,6 +49,9 @@ pub struct Network {
     /// default) the forward path is exactly the plain fold with no timing
     /// code in the loop.
     telemetry: Telemetry,
+    /// `forward.<stage-name>` span paths, built once when telemetry
+    /// attaches so the timed forward loops never format strings.
+    span_paths: Vec<String>,
 }
 
 impl Network {
@@ -63,6 +68,7 @@ impl Network {
             quantizable: Vec::new(),
             slots: Vec::new(),
             telemetry: Telemetry::disabled(),
+            span_paths: Vec::new(),
         };
         net.reindex();
         net
@@ -144,6 +150,11 @@ impl Network {
     /// [`Network::forward`] records one span per root stage
     /// (`forward.<stage-name>`); pass [`Telemetry::disabled`] to detach.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if telemetry.is_enabled() && self.span_paths.is_empty() {
+            self.span_paths = (0..self.root.len())
+                .map(|s| format!("forward.{}", self.root.stage_name(s)))
+                .collect();
+        }
         self.telemetry = telemetry;
     }
 
@@ -161,26 +172,87 @@ impl Network {
         // `Sequential::forward`, so timed and untimed passes produce
         // bitwise-equal activations.
         let _span = self.telemetry.span("forward");
-        let mut acc = x;
-        for stage in 0..self.root.len() {
-            let path = format!("forward.{}", self.root.stage_name(stage));
-            let _s = self.telemetry.span(&path);
-            acc = self.root.forward_stage(stage, acc, training);
-        }
-        acc
+        self.forward_range_timed(0, self.root.len(), x, training)
     }
 
     /// Runs only the stages before `stage` and returns the boundary
     /// activation (see [`Sequential::forward_prefix`]).
     pub fn forward_prefix(&mut self, stage: usize, x: Tensor, training: bool) -> Tensor {
-        self.root.forward_prefix(stage, x, training)
+        if !self.telemetry.is_enabled() {
+            return self.root.forward_prefix(stage, x, training);
+        }
+        self.forward_range_timed(0, stage, x, training)
     }
 
     /// Resumes a forward pass at `stage` from a boundary activation
     /// produced by [`Network::forward_prefix`] at the same split (see
     /// [`Sequential::forward_from`]).
     pub fn forward_from(&mut self, stage: usize, x: Tensor, training: bool) -> Tensor {
-        self.root.forward_from(stage, x, training)
+        if !self.telemetry.is_enabled() {
+            return self.root.forward_from(stage, x, training);
+        }
+        self.forward_range_timed(stage, self.root.len(), x, training)
+    }
+
+    /// Runs the contiguous stage slice `from..to` (see
+    /// [`Sequential::forward_range`]). Ranges that tile `0..num_stages()`
+    /// compose bitwise-identically to one full forward; the batched probe
+    /// evaluator uses this to advance a prefix cache stage by stage.
+    pub fn forward_range(&mut self, from: usize, to: usize, x: Tensor, training: bool) -> Tensor {
+        if !self.telemetry.is_enabled() {
+            return self.root.forward_range(from, to, x, training);
+        }
+        self.forward_range_timed(from, to, x, training)
+    }
+
+    /// Stage fold with one `forward.<stage>` span per stage. Performs the
+    /// identical operation sequence as the untimed fold.
+    fn forward_range_timed(&mut self, from: usize, to: usize, x: Tensor, training: bool) -> Tensor {
+        let mut acc = x;
+        for stage in from..to {
+            let _s = self.telemetry.span(&self.span_paths[stage]);
+            acc = self.root.forward_stage(stage, acc, training);
+        }
+        acc
+    }
+
+    /// Installs integer execution for every quantizable layer from a
+    /// per-layer bit assignment: weights are quantized once (same MSE
+    /// calibration as `clado_quant::quantize_weights`) and eval-mode
+    /// forwards of dense/conv layers switch to real int8 / packed-int4
+    /// GEMM. Layers whose configuration integer execution cannot represent
+    /// (bits > 8, affine schemes) keep float execution.
+    ///
+    /// Returns the number of layers now running integer kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len()` differs from the quantizable layer
+    /// count.
+    pub fn set_integer_assignment(
+        &mut self,
+        assignment: &[BitWidth],
+        scheme: QuantScheme,
+    ) -> usize {
+        assert_eq!(
+            assignment.len(),
+            self.quantizable.len(),
+            "assignment length mismatch"
+        );
+        let mut installed = 0usize;
+        self.visit_quantizable_weights(&mut |i, p| {
+            p.int_exec = IntExecWeight::prepare(&p.value, assignment[i], scheme);
+            if p.int_exec.is_some() {
+                installed += 1;
+            }
+        });
+        installed
+    }
+
+    /// Removes integer execution from every parameter; all layers run
+    /// float forwards again.
+    pub fn clear_integer_assignment(&mut self) {
+        self.root.visit_params_fast(&mut |p| p.int_exec = None);
     }
 
     /// Backward pass from logit gradients (after a training forward).
@@ -549,6 +621,58 @@ mod tests {
         assert!(spans.iter().any(|(p, _)| p == "forward"));
         assert!(spans.iter().any(|(p, _)| p == "forward.layer1"));
         assert!(spans.iter().any(|(p, _)| p == "forward.fc"));
+    }
+
+    #[test]
+    fn integer_assignment_switches_eval_forward_and_clears_cleanly() {
+        let mut net = tiny_net();
+        let mut rng = StdRng::seed_from_u64(9);
+        let x = clado_tensor::init::normal([2, 1, 6, 6], 0.0, 1.0, &mut rng);
+        let float_y = net.forward(x.clone(), false);
+        let n = net.quantizable_layers().len();
+        let installed =
+            net.set_integer_assignment(&vec![BitWidth::of(8); n], QuantScheme::PerTensorSymmetric);
+        assert_eq!(installed, n, "all layers run integer kernels at 8 bits");
+        let int_y = net.forward(x.clone(), false);
+        // 8-bit weights + dynamic 8-bit activations track the float
+        // forward closely on this tiny net.
+        for (a, b) in int_y.data().iter().zip(float_y.data()) {
+            assert!((a - b).abs() < 0.1, "int {a} vs float {b}");
+        }
+        // Training forwards ignore integer execution entirely.
+        let train_y = net.forward(x.clone(), true);
+        assert_eq!(train_y.data(), float_y.data());
+        net.clear_integer_assignment();
+        let restored = net.forward(x, false);
+        assert_eq!(restored.data(), float_y.data(), "float path untouched");
+    }
+
+    #[test]
+    fn int4_assignment_installs_packed_weights() {
+        let mut net = tiny_net();
+        let n = net.quantizable_layers().len();
+        let installed =
+            net.set_integer_assignment(&vec![BitWidth::of(4); n], QuantScheme::PerChannelSymmetric);
+        assert_eq!(installed, n);
+        let y = net.forward(Tensor::full([1, 1, 6, 6], 0.3), false);
+        assert_eq!(y.shape().dims(), &[1, 3]);
+        // Bits above 8 cannot execute as integers: nothing installs.
+        let none =
+            net.set_integer_assignment(&vec![BitWidth::of(16); n], QuantScheme::PerTensorSymmetric);
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn forward_range_tiles_compose_to_full_forward() {
+        let mut net = tiny_net();
+        let x = Tensor::full([2, 1, 6, 6], 0.4);
+        let full = net.forward(x.clone(), false);
+        let stages = net.num_stages();
+        for split in 0..=stages {
+            let mid = net.forward_range(0, split, x.clone(), false);
+            let y = net.forward_range(split, stages, mid, false);
+            assert_eq!(y.data(), full.data(), "tiling at {split}");
+        }
     }
 
     #[test]

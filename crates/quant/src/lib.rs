@@ -30,7 +30,8 @@ mod scheme;
 pub use bitwidth::{BitWidth, BitWidthSet, ParseBitWidthError};
 pub use cost::{avg_bits, bits_to_mb, LayerSizes};
 pub use quantize::{
-    calibrate_affine, calibrate_symmetric, fake_quant_affine, fake_quant_symmetric, mse,
-    AffineParams, SymmetricParams,
+    calibrate_affine, calibrate_symmetric, fake_quant_affine, fake_quant_affine_into,
+    fake_quant_affine_mse, fake_quant_symmetric, fake_quant_symmetric_into,
+    fake_quant_symmetric_mse, mse, AffineParams, SymmetricParams,
 };
-pub use scheme::{quant_error, quantize_weights, QuantScheme};
+pub use scheme::{quant_error, quant_error_into, quantize_weights, QuantScheme};

@@ -38,37 +38,115 @@ pub struct AffineParams {
 /// Quantizes `w` symmetrically with the given scale, returning dequantized
 /// values (fake quantization).
 pub fn fake_quant_symmetric(w: &[f32], bits: BitWidth, params: SymmetricParams) -> Vec<f32> {
+    let mut out = vec![0.0f32; w.len()];
+    fake_quant_symmetric_into(w, bits, params, &mut out);
+    out
+}
+
+/// Fused quantize→dequantize into a caller-provided buffer: identical
+/// values to [`fake_quant_symmetric`] without the allocation.
+///
+/// # Panics
+///
+/// Panics if `out.len() != w.len()`.
+pub fn fake_quant_symmetric_into(
+    w: &[f32],
+    bits: BitWidth,
+    params: SymmetricParams,
+    out: &mut [f32],
+) {
+    assert_eq!(out.len(), w.len(), "output buffer length mismatch");
     let (qmin, qmax) = bits.signed_levels();
     let s = params.scale;
     if s == 0.0 {
-        return vec![0.0; w.len()];
+        out.fill(0.0);
+        return;
     }
     let inv = 1.0 / s;
-    w.iter()
-        .map(|&x| {
-            let q = (x * inv).round().clamp(qmin as f32, qmax as f32);
-            q * s
-        })
-        .collect()
+    for (o, &x) in out.iter_mut().zip(w) {
+        let q = (x * inv).round().clamp(qmin as f32, qmax as f32);
+        *o = q * s;
+    }
+}
+
+/// Fused quantize→dequantize→MSE: bitwise-identical to
+/// `mse(w, &fake_quant_symmetric(w, bits, params))` without materializing
+/// the dequantized vector. This is the calibration-grid hot path.
+pub fn fake_quant_symmetric_mse(w: &[f32], bits: BitWidth, params: SymmetricParams) -> f64 {
+    if w.is_empty() {
+        return 0.0;
+    }
+    let (qmin, qmax) = bits.signed_levels();
+    let s = params.scale;
+    let mut sum = 0.0f64;
+    if s == 0.0 {
+        for &x in w {
+            let d = x as f64;
+            sum += d * d;
+        }
+        return sum / w.len() as f64;
+    }
+    let inv = 1.0 / s;
+    for &x in w {
+        let q = (x * inv).round().clamp(qmin as f32, qmax as f32);
+        let d = (x - q * s) as f64;
+        sum += d * d;
+    }
+    sum / w.len() as f64
 }
 
 /// Quantizes `w` with an affine quantizer, returning dequantized values.
 pub fn fake_quant_affine(w: &[f32], bits: BitWidth, params: AffineParams) -> Vec<f32> {
+    let mut out = vec![0.0f32; w.len()];
+    fake_quant_affine_into(w, bits, params, &mut out);
+    out
+}
+
+/// Fused affine quantize→dequantize into a caller-provided buffer:
+/// identical values to [`fake_quant_affine`] without the allocation.
+///
+/// # Panics
+///
+/// Panics if `out.len() != w.len()`.
+pub fn fake_quant_affine_into(w: &[f32], bits: BitWidth, params: AffineParams, out: &mut [f32]) {
+    assert_eq!(out.len(), w.len(), "output buffer length mismatch");
     let (qmin, qmax) = bits.unsigned_levels();
     let s = params.scale;
     if s == 0.0 {
         // Constant tensor: affine quantization represents it exactly via the
         // zero point; dequantized error is zero.
-        return w.to_vec();
+        out.copy_from_slice(w);
+        return;
     }
     let inv = 1.0 / s;
     let z = params.zero_point as f32;
-    w.iter()
-        .map(|&x| {
-            let q = ((x * inv).round() + z).clamp(qmin as f32, qmax as f32);
-            (q - z) * s
-        })
-        .collect()
+    for (o, &x) in out.iter_mut().zip(w) {
+        let q = ((x * inv).round() + z).clamp(qmin as f32, qmax as f32);
+        *o = (q - z) * s;
+    }
+}
+
+/// Fused affine quantize→dequantize→MSE: bitwise-identical to
+/// `mse(w, &fake_quant_affine(w, bits, params))` without materializing the
+/// dequantized vector.
+pub fn fake_quant_affine_mse(w: &[f32], bits: BitWidth, params: AffineParams) -> f64 {
+    if w.is_empty() {
+        return 0.0;
+    }
+    let (qmin, qmax) = bits.unsigned_levels();
+    let s = params.scale;
+    if s == 0.0 {
+        return 0.0;
+    }
+    let inv = 1.0 / s;
+    let z = params.zero_point as f32;
+    let mut sum = 0.0f64;
+    for &x in w {
+        let q = ((x * inv).round() + z).clamp(qmin as f32, qmax as f32);
+        let d = (x - (q - z) * s) as f64;
+        sum += d * d;
+    }
+    sum / w.len() as f64
 }
 
 /// Mean squared error between two slices (f64 accumulation).
@@ -112,8 +190,7 @@ pub fn calibrate_symmetric(w: &[f32], bits: BitWidth) -> SymmetricParams {
             + (1.0 - CALIBRATION_MIN_RATIO) * (k as f64 / CALIBRATION_GRID as f64);
         let s = (full * ratio) as f32;
         let params = SymmetricParams { scale: s };
-        let dq = fake_quant_symmetric(w, bits, params);
-        let err = mse(w, &dq);
+        let err = fake_quant_symmetric_mse(w, bits, params);
         if err < best_err {
             best_err = err;
             best = params;
@@ -156,8 +233,7 @@ pub fn calibrate_affine(w: &[f32], bits: BitWidth) -> AffineParams {
         // excludes zero; only the quantized level q is clamped to [qmin, qmax].
         let zero_point = (-(rlo / scale as f64)).round() as i32;
         let params = AffineParams { scale, zero_point };
-        let dq = fake_quant_affine(w, bits, params);
-        let err = mse(w, &dq);
+        let err = fake_quant_affine_mse(w, bits, params);
         if err < best_err {
             best_err = err;
             best = params;

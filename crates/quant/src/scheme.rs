@@ -95,8 +95,48 @@ pub fn quantize_weights(w: &Tensor, bits: BitWidth, scheme: QuantScheme) -> Tens
 /// Computes the quantization error `Δw = Q(w, b) − w` used throughout the
 /// CLADO sensitivity machinery.
 pub fn quant_error(w: &Tensor, bits: BitWidth, scheme: QuantScheme) -> Tensor {
-    let q = quantize_weights(w, bits, scheme);
-    &q - w
+    let mut out = vec![0.0f32; w.numel()];
+    quant_error_into(w, bits, scheme, &mut out);
+    Tensor::from_vec(w.shape(), out).expect("length preserved")
+}
+
+/// Fused `Δw = Q(w, b) − w` into a caller buffer: identical values to
+/// [`quant_error`] without materializing the intermediate quantized tensor
+/// (one fewer full-tensor allocation per (layer, bit-width) probe).
+///
+/// # Panics
+///
+/// Panics if `out.len() != w.numel()`.
+pub fn quant_error_into(w: &Tensor, bits: BitWidth, scheme: QuantScheme, out: &mut [f32]) {
+    assert_eq!(out.len(), w.numel(), "output buffer length mismatch");
+    use crate::quantize::{fake_quant_affine_into, fake_quant_symmetric_into};
+    match scheme {
+        QuantScheme::PerTensorSymmetric => {
+            let params = calibrate_symmetric(w.data(), bits);
+            fake_quant_symmetric_into(w.data(), bits, params, out);
+        }
+        QuantScheme::PerChannelSymmetric => {
+            let channels = w.shape().dim(0);
+            let per = w.numel() / channels;
+            for c in 0..channels {
+                let slice = &w.data()[c * per..(c + 1) * per];
+                let params = calibrate_symmetric(slice, bits);
+                fake_quant_symmetric_into(slice, bits, params, &mut out[c * per..(c + 1) * per]);
+            }
+        }
+        QuantScheme::PerChannelAffine => {
+            let channels = w.shape().dim(0);
+            let per = w.numel() / channels;
+            for c in 0..channels {
+                let slice = &w.data()[c * per..(c + 1) * per];
+                let params = calibrate_affine(slice, bits);
+                fake_quant_affine_into(slice, bits, params, &mut out[c * per..(c + 1) * per]);
+            }
+        }
+    }
+    for (o, &x) in out.iter_mut().zip(w.data()) {
+        *o -= x;
+    }
 }
 
 #[cfg(test)]

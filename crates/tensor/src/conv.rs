@@ -3,7 +3,89 @@
 //! Supports strides, symmetric zero padding, and grouped/depthwise
 //! convolution — everything the mini model zoo needs.
 
+use crate::kernel;
 use crate::Tensor;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Forward-pass scratch (column matrix + GEMM output) reused across
+    /// calls: the suffix-forward hot path runs thousands of convolutions
+    /// per second, and allocating + zeroing a fresh multi-hundred-KB
+    /// column matrix each call costs more than the GEMM for the small
+    /// shapes in the mini model zoo. Both buffers are fully overwritten
+    /// before being read, so reuse never leaks data between calls.
+    static FWD_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Grows `buf` if needed and hands back exactly `len` elements. Contents
+/// are unspecified — callers must fully overwrite before reading.
+fn scratch_slice(buf: &mut Vec<f32>, len: usize) -> &mut [f32] {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    &mut buf[..len]
+}
+
+/// Widest padded input row the stride-1 im2col fast path stages on the
+/// stack; wider inputs fall back to the general segmented loop.
+const PADDED_ROW_MAX: usize = 256;
+
+/// Rounds the shared column-matrix row stride up to an odd number of
+/// 64-byte cache lines. A batch-of-16 stride like `16·16·16` floats is
+/// 16 KiB — a power-of-two stride maps every GEMM B-panel row onto the
+/// same L1 set-group, so the strip the skinny kernel wants resident
+/// thrashes on conflict misses. An odd line stride cycles the rows
+/// through all sets. Padding columns are never read back (the scatter
+/// only copies each sample's real `ho·wo` segment), and the GEMM just
+/// computes a few throwaway columns over whatever finite values the
+/// scratch held.
+fn pad_stride(len: usize) -> usize {
+    let lines = len.div_ceil(16);
+    (lines | 1) * 16
+}
+
+/// Copy of `len` f32s that turns the common small widths into straight
+/// register moves instead of a runtime-length `memcpy` call — the im2col
+/// inner loop issues four such copies per staged row, so the dispatch
+/// overhead of the libc call dominates at `wo ∈ {4, 8, 16}`.
+///
+/// # Safety
+///
+/// `src` and `dst` must be valid for `len` reads/writes and disjoint.
+#[inline(always)]
+unsafe fn copy_floats(src: *const f32, dst: *mut f32, len: usize) {
+    match len {
+        4 => dst
+            .cast::<[f32; 4]>()
+            .write_unaligned(src.cast::<[f32; 4]>().read_unaligned()),
+        8 => dst
+            .cast::<[f32; 8]>()
+            .write_unaligned(src.cast::<[f32; 8]>().read_unaligned()),
+        16 => dst
+            .cast::<[f32; 16]>()
+            .write_unaligned(src.cast::<[f32; 16]>().read_unaligned()),
+        32 => dst
+            .cast::<[f32; 32]>()
+            .write_unaligned(src.cast::<[f32; 32]>().read_unaligned()),
+        _ => std::ptr::copy_nonoverlapping(src, dst, len),
+    }
+}
+
+/// Zero-fill counterpart of [`copy_floats`].
+///
+/// # Safety
+///
+/// `dst` must be valid for `len` writes.
+#[inline(always)]
+unsafe fn zero_floats(dst: *mut f32, len: usize) {
+    match len {
+        4 => dst.cast::<[f32; 4]>().write_unaligned([0.0; 4]),
+        8 => dst.cast::<[f32; 8]>().write_unaligned([0.0; 8]),
+        16 => dst.cast::<[f32; 16]>().write_unaligned([0.0; 16]),
+        32 => dst.cast::<[f32; 32]>().write_unaligned([0.0; 32]),
+        _ => std::ptr::write_bytes(dst, 0, len),
+    }
+}
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,8 +173,11 @@ impl Conv2dSpec {
 }
 
 /// Unfolds one sample's group-slice into a `[cg·k·k, ho·wo]` column matrix.
+///
+/// Public so higher crates can build their own GEMM-form convolutions
+/// (the integer execution path quantizes this matrix and runs int8 GEMM).
 #[allow(clippy::too_many_arguments)]
-fn im2col(
+pub fn im2col(
     input: &[f32],
     cg: usize,
     h: usize,
@@ -102,28 +187,109 @@ fn im2col(
     wo: usize,
     col: &mut [f32],
 ) {
+    debug_assert_eq!(col.len(), cg * spec.kernel * spec.kernel * ho * wo);
+    im2col_ld(input, cg, h, w, spec, ho, wo, col, ho * wo);
+}
+
+/// [`im2col`] into a wider matrix: writes the `[cg·k·k, ho·wo]` columns of
+/// one sample starting at `col[0]` with row stride `ld`, so a batch of
+/// samples can share one `[cg·k·k, n·ho·wo]` matrix (sample `s` passes
+/// `&mut wide[s*ho*wo..]`) and the convolution becomes a single wide GEMM
+/// per group instead of one skinny GEMM per sample.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_ld(
+    input: &[f32],
+    cg: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    ho: usize,
+    wo: usize,
+    col: &mut [f32],
+    ld: usize,
+) {
     let k = spec.kernel;
-    debug_assert_eq!(col.len(), cg * k * k * ho * wo);
+    let stride = spec.stride;
+    let pad = spec.padding;
+    debug_assert!(ld >= ho * wo, "row stride shorter than one sample");
+    debug_assert!(col.len() >= (cg * k * k - 1) * ld + ho * wo);
+    // Stride-1 fast path: stage each input row once into a zero-padded
+    // buffer, then every kx-row of the column matrix is one full-width
+    // copy (`dst[ox] = prow[ox + kx]`) — no per-segment edge fills. Pure
+    // copies, so output is bitwise identical to the general path.
+    if stride == 1 && w + 2 * pad <= PADDED_ROW_MAX {
+        assert!(input.len() >= cg * h * w, "input slice too short");
+        assert!(
+            col.len() >= (cg * k * k - 1) * ld + ho * wo,
+            "column slice too short"
+        );
+        let mut prow = [0.0f32; PADDED_ROW_MAX];
+        // SAFETY: every pointer offset below is within the bounds the two
+        // asserts establish: source rows are `iy < h`, destination rows
+        // are `row0 + kx < cg·k·k` at column `oy·wo + wo <= ld`, and
+        // `kx + wo <= w + 2·pad` inside the staging buffer.
+        unsafe {
+            let cp = col.as_mut_ptr();
+            for c in 0..cg {
+                let src_c = input.as_ptr().add(c * h * w);
+                for ky in 0..k {
+                    let row0 = (c * k + ky) * k;
+                    for oy in 0..ho {
+                        let iy = (oy + ky) as isize - pad as isize;
+                        let dbase = cp.add(row0 * ld + oy * wo);
+                        if iy < 0 || iy >= h as isize {
+                            for kx in 0..k {
+                                zero_floats(dbase.add(kx * ld), wo);
+                            }
+                            continue;
+                        }
+                        copy_floats(src_c.add(iy as usize * w), prow.as_mut_ptr().add(pad), w);
+                        for kx in 0..k {
+                            copy_floats(prow.as_ptr().add(kx), dbase.add(kx * ld), wo);
+                        }
+                    }
+                }
+            }
+        }
+        return;
+    }
     let mut row = 0usize;
     for c in 0..cg {
         for ky in 0..k {
             for kx in 0..k {
-                let base = row * ho * wo;
+                let base = row * ld;
                 row += 1;
+                // `ix = ox·stride + off`; the in-bounds ox range
+                // [lo, hi) is computed once so the inner loop is
+                // branch-free (and a straight memcpy when stride = 1).
+                let off = kx as isize - spec.padding as isize;
+                let lo = if off >= 0 {
+                    0
+                } else {
+                    ((-off) as usize).div_ceil(stride).min(wo)
+                };
+                let hi = if (w as isize) <= off {
+                    lo
+                } else {
+                    ((w as isize - off) as usize).div_ceil(stride).clamp(lo, wo)
+                };
                 for oy in 0..ho {
-                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    let iy = (oy * stride + ky) as isize - spec.padding as isize;
+                    let dst = &mut col[base + oy * wo..base + oy * wo + wo];
                     if iy < 0 || iy >= h as isize {
-                        col[base + oy * wo..base + (oy + 1) * wo].fill(0.0);
+                        dst.fill(0.0);
                         continue;
                     }
-                    let iy = iy as usize;
-                    for ox in 0..wo {
-                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                        col[base + oy * wo + ox] = if ix < 0 || ix >= w as isize {
-                            0.0
-                        } else {
-                            input[c * h * w + iy * w + ix as usize]
-                        };
+                    let src = &input[c * h * w + iy as usize * w..][..w];
+                    dst[..lo].fill(0.0);
+                    dst[hi..].fill(0.0);
+                    if stride == 1 {
+                        let s0 = (lo as isize + off) as usize;
+                        dst[lo..hi].copy_from_slice(&src[s0..s0 + (hi - lo)]);
+                    } else {
+                        for ox in lo..hi {
+                            dst[ox] = src[((ox * stride) as isize + off) as usize];
+                        }
                     }
                 }
             }
@@ -170,6 +336,260 @@ fn col2im(
     }
 }
 
+/// Fused implicit-im2col convolution for the AVX2 backend: stages each
+/// sample's group-slice into a small zero-padded image and runs the GEMM
+/// microkernel straight out of it through a precomputed offsets table —
+/// the 9×-inflated column matrix is never materialized. Stride-1 only;
+/// each output element accumulates its `cg·k·k` terms in ascending order
+/// (the same order as the scalar reference, with FMA rounding).
+#[cfg(target_arch = "x86_64")]
+mod fused {
+    use super::{copy_floats, Conv2dSpec, Tensor};
+    use std::arch::x86_64::*;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Padded-image staging + offsets table, reused across calls.
+        static STAGE: RefCell<(Vec<f32>, Vec<usize>)> =
+            const { RefCell::new((Vec::new(), Vec::new())) };
+    }
+
+    /// Whether [`run`] supports this geometry (caller has already checked
+    /// that the AVX2 backend is active).
+    pub(super) fn supported(spec: &Conv2dSpec, wo: usize, ho: usize) -> bool {
+        spec.stride == 1 && matches!(wo, 4 | 8 | 16) && (wo == 16 || ho.is_multiple_of(2))
+    }
+
+    /// Runs the fused convolution. Output tensor must be zero-filled;
+    /// every output element is written exactly once.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn run(
+        input: &Tensor,
+        weight: &Tensor,
+        out: &mut Tensor,
+        spec: &Conv2dSpec,
+        n: usize,
+        cin: usize,
+        h: usize,
+        w: usize,
+        ho: usize,
+        wo: usize,
+    ) {
+        let pad = spec.padding;
+        let k = spec.kernel;
+        let g = spec.groups;
+        let (cg, cg_out) = (cin / g, spec.out_channels / g);
+        let (hp, wp) = (h + 2 * pad, w + 2 * pad);
+        let kk = cg * k * k;
+        let howo = ho * wo;
+        STAGE.with(|stage| {
+            let mut stage = stage.borrow_mut();
+            let (padded, off) = &mut *stage;
+            padded.clear();
+            padded.resize(cg * hp * wp, 0.0);
+            off.clear();
+            off.reserve(kk);
+            for c in 0..cg {
+                for ky in 0..k {
+                    for kx in 0..k {
+                        off.push(c * hp * wp + ky * wp + kx);
+                    }
+                }
+            }
+            let wdat = weight.data();
+            let indat = input.data();
+            let od = out.data_mut();
+            for s in 0..n {
+                for gi in 0..g {
+                    // Stage the group-slice; borders stay zero because
+                    // only interior rows are ever written.
+                    let src = &indat[(s * cin + gi * cg) * h * w..];
+                    for c in 0..cg {
+                        for iy in 0..h {
+                            // SAFETY: destination row `(iy+pad)` at column
+                            // `pad` leaves `pad` zeros on each side.
+                            unsafe {
+                                copy_floats(
+                                    src.as_ptr().add((c * h + iy) * w),
+                                    padded.as_mut_ptr().add(c * hp * wp + (iy + pad) * wp + pad),
+                                    w,
+                                );
+                            }
+                        }
+                    }
+                    let out_base = (s * spec.out_channels + gi * cg_out) * howo;
+                    let mut oc = 0;
+                    // SAFETY: AVX2+FMA availability is the caller's
+                    // dispatch condition; offsets stay within the staged
+                    // image (max term `off[kk-1] + (ho-1)·wp + wo` equals
+                    // the buffer length for stride 1).
+                    unsafe {
+                        while oc + 4 <= cg_out {
+                            let wrow = wdat.as_ptr().add((gi * cg_out + oc) * kk);
+                            let dst = od.as_mut_ptr().add(out_base + oc * howo);
+                            rows4(wrow, kk, padded, off, wp, ho, wo, dst, howo);
+                            oc += 4;
+                        }
+                        while oc < cg_out {
+                            let wrow = wdat.as_ptr().add((gi * cg_out + oc) * kk);
+                            let dst = od.as_mut_ptr().add(out_base + oc * howo);
+                            rows1(wrow, kk, padded, off, wp, ho, wo, dst);
+                            oc += 1;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Four output channels at once over the staged image.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; `w` valid for 4 rows of `kk`, `dst` for 4 rows
+    /// of `ho·wo` at stride `dstride`; offsets in bounds per [`run`].
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn rows4(
+        w: *const f32,
+        kk: usize,
+        padded: &[f32],
+        off: &[usize],
+        wp: usize,
+        ho: usize,
+        wo: usize,
+        dst: *mut f32,
+        dstride: usize,
+    ) {
+        let pd = padded.as_ptr();
+        let z = _mm256_setzero_ps();
+        let zx = _mm_setzero_ps();
+        match wo {
+            16 => {
+                for oy in 0..ho {
+                    let oyw = oy * wp;
+                    let mut acc = [z; 8];
+                    for (p, &o) in off.iter().enumerate().take(kk) {
+                        let bp = pd.add(o + oyw);
+                        let b0 = _mm256_loadu_ps(bp);
+                        let b1 = _mm256_loadu_ps(bp.add(8));
+                        for r in 0..4 {
+                            let av = _mm256_broadcast_ss(&*w.add(r * kk + p));
+                            acc[2 * r] = _mm256_fmadd_ps(av, b0, acc[2 * r]);
+                            acc[2 * r + 1] = _mm256_fmadd_ps(av, b1, acc[2 * r + 1]);
+                        }
+                    }
+                    for r in 0..4 {
+                        let d = dst.add(r * dstride + oy * wo);
+                        _mm256_storeu_ps(d, acc[2 * r]);
+                        _mm256_storeu_ps(d.add(8), acc[2 * r + 1]);
+                    }
+                }
+            }
+            8 => {
+                let mut oy = 0;
+                while oy < ho {
+                    let oyw = oy * wp;
+                    let mut acc = [z; 8];
+                    for (p, &o) in off.iter().enumerate().take(kk) {
+                        let bp = pd.add(o + oyw);
+                        let b0 = _mm256_loadu_ps(bp);
+                        let b1 = _mm256_loadu_ps(bp.add(wp));
+                        for r in 0..4 {
+                            let av = _mm256_broadcast_ss(&*w.add(r * kk + p));
+                            acc[2 * r] = _mm256_fmadd_ps(av, b0, acc[2 * r]);
+                            acc[2 * r + 1] = _mm256_fmadd_ps(av, b1, acc[2 * r + 1]);
+                        }
+                    }
+                    for r in 0..4 {
+                        let d = dst.add(r * dstride + oy * wo);
+                        _mm256_storeu_ps(d, acc[2 * r]);
+                        _mm256_storeu_ps(d.add(wo), acc[2 * r + 1]);
+                    }
+                    oy += 2;
+                }
+            }
+            _ => {
+                let mut oy = 0;
+                while oy < ho {
+                    let oyw = oy * wp;
+                    let mut acc = [zx; 8];
+                    for (p, &o) in off.iter().enumerate().take(kk) {
+                        let bp = pd.add(o + oyw);
+                        let b0 = _mm_loadu_ps(bp);
+                        let b1 = _mm_loadu_ps(bp.add(wp));
+                        for r in 0..4 {
+                            let av = _mm_set1_ps(*w.add(r * kk + p));
+                            acc[2 * r] = _mm_add_ps(acc[2 * r], _mm_mul_ps(av, b0));
+                            acc[2 * r + 1] = _mm_add_ps(acc[2 * r + 1], _mm_mul_ps(av, b1));
+                        }
+                    }
+                    for r in 0..4 {
+                        let d = dst.add(r * dstride + oy * wo);
+                        _mm_storeu_ps(d, acc[2 * r]);
+                        _mm_storeu_ps(d.add(wo), acc[2 * r + 1]);
+                    }
+                    oy += 2;
+                }
+            }
+        }
+    }
+
+    /// Single-channel remainder of [`rows4`].
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`rows4`] with one weight/output row.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn rows1(
+        w: *const f32,
+        kk: usize,
+        padded: &[f32],
+        off: &[usize],
+        wp: usize,
+        ho: usize,
+        wo: usize,
+        dst: *mut f32,
+    ) {
+        let pd = padded.as_ptr();
+        for oy in 0..ho {
+            let oyw = oy * wp;
+            match wo {
+                16 => {
+                    let mut a0 = _mm256_setzero_ps();
+                    let mut a1 = _mm256_setzero_ps();
+                    for (p, &o) in off.iter().enumerate().take(kk) {
+                        let bp = pd.add(o + oyw);
+                        let av = _mm256_broadcast_ss(&*w.add(p));
+                        a0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp), a0);
+                        a1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(8)), a1);
+                    }
+                    let d = dst.add(oy * wo);
+                    _mm256_storeu_ps(d, a0);
+                    _mm256_storeu_ps(d.add(8), a1);
+                }
+                8 => {
+                    let mut a0 = _mm256_setzero_ps();
+                    for (p, &o) in off.iter().enumerate().take(kk) {
+                        let av = _mm256_broadcast_ss(&*w.add(p));
+                        a0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(pd.add(o + oyw)), a0);
+                    }
+                    _mm256_storeu_ps(dst.add(oy * wo), a0);
+                }
+                _ => {
+                    let mut a0 = _mm_setzero_ps();
+                    for (p, &o) in off.iter().enumerate().take(kk) {
+                        let av = _mm_set1_ps(*w.add(p));
+                        a0 = _mm_add_ps(a0, _mm_mul_ps(av, _mm_loadu_ps(pd.add(o + oyw))));
+                    }
+                    _mm_storeu_ps(dst.add(oy * wo), a0);
+                }
+            }
+        }
+    }
+}
+
 /// Convolution forward pass.
 ///
 /// `input` is `[N, Cin, H, W]`, `weight` is `[Cout, Cin/g, k, k]`, `bias` is
@@ -203,54 +623,85 @@ pub fn conv2d_forward(
     let (cg_in, cg_out) = (cin / g, spec.out_channels / g);
     let k = spec.kernel;
     let col_rows = cg_in * k * k;
-    let mut col = vec![0.0f32; col_rows * ho * wo];
+    let howo = ho * wo;
+    // All samples share one wide column matrix (`ld = n·ho·wo`), so each
+    // group runs a single wide GEMM instead of one skinny GEMM per sample.
+    // Every output element's reduction order over `col_rows` is unchanged,
+    // so results are bitwise identical to the per-sample formulation on
+    // the scalar path.
+    #[cfg(target_arch = "x86_64")]
+    if matches!(kernel::active_backend(), crate::Backend::Avx2Fma) && fused::supported(spec, wo, ho)
+    {
+        let mut out = Tensor::zeros([n, spec.out_channels, ho, wo]);
+        fused::run(input, weight, &mut out, spec, n, cin, h, w, ho, wo);
+        add_bias(&mut out, bias, spec, n, ho * wo);
+        return out;
+    }
+    // Samples are processed in chunks sized so the shared column matrix
+    // stays L2-resident (≈96 KiB): im2col writes it and the GEMM reads it
+    // straight back while hot. One wide GEMM per (group, chunk) instead
+    // of one skinny GEMM per sample.
+    let chunk = (96 * 1024 / (col_rows * howo * 4)).clamp(1, n.max(1));
+    let ld = pad_stride(chunk * howo);
     let mut out = Tensor::zeros([n, spec.out_channels, ho, wo]);
     let wdat = weight.data();
-    for s in 0..n {
-        let in_s = &input.data()[s * cin * h * w..(s + 1) * cin * h * w];
-        for gi in 0..g {
-            im2col(
-                &in_s[gi * cg_in * h * w..],
-                cg_in,
-                h,
-                w,
-                spec,
-                ho,
-                wo,
-                &mut col,
-            );
-            let w_g = &wdat[gi * cg_out * col_rows..(gi + 1) * cg_out * col_rows];
-            let out_base = s * spec.out_channels * ho * wo + gi * cg_out * ho * wo;
-            let out_g = &mut out.data_mut()[out_base..out_base + cg_out * ho * wo];
-            // out_g[oc][p] = Σ_r w_g[oc][r] * col[r][p]
-            for oc in 0..cg_out {
-                let w_row = &w_g[oc * col_rows..(oc + 1) * col_rows];
-                let o_row = &mut out_g[oc * ho * wo..(oc + 1) * ho * wo];
-                for (r, &wv) in w_row.iter().enumerate() {
-                    if wv == 0.0 {
-                        continue;
-                    }
-                    let c_row = &col[r * ho * wo..(r + 1) * ho * wo];
-                    for (o, &cv) in o_row.iter_mut().zip(c_row) {
-                        *o += wv * cv;
+    FWD_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let (col_buf, gemm_buf) = &mut *scratch;
+        let col = scratch_slice(col_buf, col_rows * ld);
+        let gemm_out = scratch_slice(gemm_buf, cg_out * ld);
+        let mut s0 = 0usize;
+        while s0 < n {
+            let sc = chunk.min(n - s0);
+            for gi in 0..g {
+                for si in 0..sc {
+                    let s = s0 + si;
+                    let in_s = &input.data()[s * cin * h * w..(s + 1) * cin * h * w];
+                    im2col_ld(
+                        &in_s[gi * cg_in * h * w..],
+                        cg_in,
+                        h,
+                        w,
+                        spec,
+                        ho,
+                        wo,
+                        &mut col[si * howo..],
+                        ld,
+                    );
+                }
+                let w_g = &wdat[gi * cg_out * col_rows..(gi + 1) * cg_out * col_rows];
+                // gemm_out[oc][si·howo + p] = Σ_r w_g[oc][r] * col[r][si·howo + p]
+                kernel::sgemm_overwrite(w_g, col, gemm_out, cg_out, col_rows, ld, false, false);
+                let od = out.data_mut();
+                for si in 0..sc {
+                    for oc in 0..cg_out {
+                        let dst = ((s0 + si) * spec.out_channels + gi * cg_out + oc) * howo;
+                        let src = oc * ld + si * howo;
+                        od[dst..dst + howo].copy_from_slice(&gemm_out[src..src + howo]);
                     }
                 }
             }
+            s0 += sc;
         }
-    }
+    });
+    add_bias(&mut out, bias, spec, n, ho * wo);
+    out
+}
+
+/// Adds the per-channel bias over all spatial positions.
+fn add_bias(out: &mut Tensor, bias: Option<&Tensor>, spec: &Conv2dSpec, n: usize, howo: usize) {
     if let Some(b) = bias {
         let bd = b.data();
         let od = out.data_mut();
         for s in 0..n {
             for (oc, &bv) in bd.iter().enumerate() {
-                let base = (s * spec.out_channels + oc) * ho * wo;
-                for o in &mut od[base..base + ho * wo] {
+                let base = (s * spec.out_channels + oc) * howo;
+                for o in &mut od[base..base + howo] {
                     *o += bv;
                 }
             }
         }
     }
-    out
 }
 
 /// Gradients produced by [`conv2d_backward`].
@@ -315,33 +766,19 @@ pub fn conv2d_backward(
             let dw_g =
                 &mut d_weight.data_mut()[gi * cg_out * col_rows..(gi + 1) * cg_out * col_rows];
             // dW[oc][r] += Σ_p d_out[oc][p] * col[r][p]
-            for oc in 0..cg_out {
-                let dout_row = &d_out_g[oc * ho * wo..(oc + 1) * ho * wo];
-                let dw_row = &mut dw_g[oc * col_rows..(oc + 1) * col_rows];
-                for (r, dw) in dw_row.iter_mut().enumerate() {
-                    let c_row = &col[r * ho * wo..(r + 1) * ho * wo];
-                    let mut acc = 0.0f32;
-                    for (&d, &c) in dout_row.iter().zip(c_row) {
-                        acc += d * c;
-                    }
-                    *dw += acc;
-                }
-            }
+            kernel::sgemm(d_out_g, &col, dw_g, cg_out, ho * wo, col_rows, false, true);
             // dcol[r][p] = Σ_oc w[oc][r] * d_out[oc][p]
             dcol.fill(0.0);
-            for oc in 0..cg_out {
-                let w_row = &w_g[oc * col_rows..(oc + 1) * col_rows];
-                let dout_row = &d_out_g[oc * ho * wo..(oc + 1) * ho * wo];
-                for (r, &wv) in w_row.iter().enumerate() {
-                    if wv == 0.0 {
-                        continue;
-                    }
-                    let dc_row = &mut dcol[r * ho * wo..(r + 1) * ho * wo];
-                    for (dc, &d) in dc_row.iter_mut().zip(dout_row) {
-                        *dc += wv * d;
-                    }
-                }
-            }
+            kernel::sgemm(
+                w_g,
+                d_out_g,
+                &mut dcol,
+                col_rows,
+                cg_out,
+                ho * wo,
+                true,
+                false,
+            );
             let din_base = s * cin * h * w + gi * cg_in * h * w;
             col2im(
                 &dcol,

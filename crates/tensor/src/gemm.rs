@@ -1,9 +1,11 @@
-//! Dense matrix multiplication kernels.
+//! Dense matrix multiplication entry points.
 //!
-//! A single cache-friendly `ikj`-ordered GEMM backs the linear layers, the
-//! im2col convolution path, and attention. Matrices are the first two
-//! dimensions of row-major [`Tensor`]s.
+//! A single GEMM backs the linear layers, the im2col convolution path, and
+//! attention; it dispatches to the blocked SIMD kernels in
+//! [`crate::kernel`] (scalar reference under `CLADO_FORCE_SCALAR=1`).
+//! Matrices are the first two dimensions of row-major [`Tensor`]s.
 
+use crate::kernel;
 use crate::Tensor;
 
 /// Computes `C = A · B` for row-major 2-D tensors.
@@ -89,6 +91,7 @@ fn mat_dims(t: &Tensor, what: &str) -> (usize, usize) {
 
 /// Raw GEMM on slices: `c[m×n] = op(a) · op(b)` with optional transposes.
 /// `a` is `m×k` (or `k×m` when `ta`), `b` is `k×n` (or `n×k` when `tb`).
+/// Dispatches to the backend chosen by [`kernel::active_backend`].
 #[allow(clippy::too_many_arguments)]
 fn gemm_into(
     a: &[f32],
@@ -100,68 +103,7 @@ fn gemm_into(
     ta: bool,
     tb: bool,
 ) {
-    debug_assert_eq!(c.len(), m * n);
-    match (ta, tb) {
-        (false, false) => {
-            // ikj order: streams through rows of B, accumulating into rows of C.
-            for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for (p, &aip) in a_row.iter().enumerate() {
-                    if aip == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b[p * n..(p + 1) * n];
-                    for (cij, &bpj) in c_row.iter_mut().zip(b_row) {
-                        *cij += aip * bpj;
-                    }
-                }
-            }
-        }
-        (true, false) => {
-            // a is k×m: c[i][j] += a[p][i] * b[p][j]
-            for p in 0..k {
-                let a_row = &a[p * m..(p + 1) * m];
-                let b_row = &b[p * n..(p + 1) * n];
-                for (i, &api) in a_row.iter().enumerate() {
-                    if api == 0.0 {
-                        continue;
-                    }
-                    let c_row = &mut c[i * n..(i + 1) * n];
-                    for (cij, &bpj) in c_row.iter_mut().zip(b_row) {
-                        *cij += api * bpj;
-                    }
-                }
-            }
-        }
-        (false, true) => {
-            // b is n×k: c[i][j] = dot(a_row_i, b_row_j)
-            for i in 0..m {
-                let a_row = &a[i * k..(i + 1) * k];
-                let c_row = &mut c[i * n..(i + 1) * n];
-                for (j, cij) in c_row.iter_mut().enumerate() {
-                    let b_row = &b[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&x, &y) in a_row.iter().zip(b_row) {
-                        acc += x * y;
-                    }
-                    *cij += acc;
-                }
-            }
-        }
-        (true, true) => {
-            // Rarely needed; fall back to two-step via explicit loops.
-            for i in 0..m {
-                for j in 0..n {
-                    let mut acc = 0.0f32;
-                    for p in 0..k {
-                        acc += a[p * m + i] * b[j * k + p];
-                    }
-                    c[i * n + j] += acc;
-                }
-            }
-        }
-    }
+    kernel::sgemm(a, b, c, m, k, n, ta, tb);
 }
 
 #[cfg(test)]

@@ -1,0 +1,346 @@
+//! Real integer GEMM: int8 (and packed int4) matrix multiply with i32
+//! accumulation and per-tensor / per-channel requantization.
+//!
+//! This is the execution half of mixed-precision quantization: the rest of
+//! the repo *plans* bit-assignments by probing fake-quantized f32 weights;
+//! these kernels actually *run* the quantized network on integer data.
+//!
+//! # Semantics
+//!
+//! [`quantize_i8`] applies exactly the same operation sequence as
+//! `clado-quant`'s `fake_quant_symmetric` — `round(x / s)` clamped to the
+//! signed level range — so `q[i] as f32 * s` is **bit-for-bit equal** to
+//! the fake-quantized value. Products are accumulated in `i32`, which is
+//! exact (no rounding ever happens inside the GEMM), so the scalar and
+//! SIMD integer kernels return identical results on every input. The only
+//! approximation relative to a fake-quant float forward is the final
+//! requantization multiply and the float GEMM's own accumulation rounding.
+//!
+//! # Layout
+//!
+//! All integer GEMMs here are the dot-product (`A · Bᵀ`) form: `a` is
+//! `m×k`, `b` is `n×k`, both row-major, so every output element is a dot
+//! of two contiguous rows. Dense layers already store weights `[out, in]`
+//! (this form directly); the conv integer path transposes the im2col
+//! column matrix once per group, which is cheap next to the multiply.
+
+use crate::kernel::{active_backend, Backend};
+
+/// Signed level range of int8 (`BitWidth::of(8).signed_levels()`).
+pub const I8_LEVELS: (i32, i32) = (-128, 127);
+/// Signed level range of int4 (`BitWidth::of(4).signed_levels()`).
+pub const I4_LEVELS: (i32, i32) = (-8, 7);
+
+/// Quantizes `src` to signed integer levels with the same op sequence as
+/// symmetric fake quantization: `round(x / scale)` clamped to
+/// `[qmin, qmax]`. With `scale == 0.0` (all-zero tensor) every level is 0.
+///
+/// `q as f32 * scale` reproduces the fake-quantized value bit-for-bit,
+/// with one caveat: a value that fake-quantizes to `-0.0` comes back as
+/// `+0.0` (the integer domain has a single zero). The two compare equal
+/// under every arithmetic operation.
+///
+/// # Panics
+///
+/// Panics unless `qmin` and `qmax` fit in `i8`.
+pub fn quantize_i8(src: &[f32], scale: f32, qmin: i32, qmax: i32) -> Vec<i8> {
+    assert!(
+        (i8::MIN as i32..=i8::MAX as i32).contains(&qmin)
+            && (i8::MIN as i32..=i8::MAX as i32).contains(&qmax),
+        "levels [{qmin}, {qmax}] do not fit in i8"
+    );
+    if scale == 0.0 {
+        return vec![0; src.len()];
+    }
+    let inv = 1.0 / scale;
+    src.iter()
+        .map(|&x| (x * inv).round().clamp(qmin as f32, qmax as f32) as i8)
+        .collect()
+}
+
+/// Packs int4 levels (each in `[-8, 7]`) two to a byte: element `2i` in
+/// the low nibble, `2i+1` in the high nibble. Odd lengths pad with 0.
+///
+/// # Panics
+///
+/// Panics if any level is outside the int4 range.
+pub fn pack_i4(q: &[i8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(q.len().div_ceil(2));
+    for pair in q.chunks(2) {
+        let lo = pair[0];
+        let hi = *pair.get(1).unwrap_or(&0);
+        assert!(
+            (-8..=7).contains(&lo) && (-8..=7).contains(&hi),
+            "int4 level out of range: {lo}/{hi}"
+        );
+        out.push(((lo as u8) & 0x0F) | (((hi as u8) & 0x0F) << 4));
+    }
+    out
+}
+
+/// Unpacks [`pack_i4`] output back to `len` sign-extended int8 levels.
+pub fn unpack_i4(packed: &[u8], len: usize) -> Vec<i8> {
+    assert!(packed.len() * 2 >= len, "packed buffer too short for {len}");
+    let mut out = Vec::with_capacity(len);
+    for (i, &byte) in packed.iter().enumerate() {
+        // Shift to the top of the byte, then arithmetic-shift back down to
+        // sign-extend the nibble.
+        out.push(((byte << 4) as i8) >> 4);
+        if 2 * i + 1 < len {
+            out.push((byte as i8) >> 4);
+        }
+        if out.len() >= len {
+            break;
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// Weight-scale layout for requantization.
+#[derive(Debug, Clone, Copy)]
+pub enum Scales<'a> {
+    /// One scale for the whole weight tensor.
+    PerTensor(f32),
+    /// One scale per output channel (length `n` of the GEMM).
+    PerChannel(&'a [f32]),
+}
+
+impl Scales<'_> {
+    fn at(&self, j: usize) -> f32 {
+        match self {
+            Scales::PerTensor(s) => *s,
+            Scales::PerChannel(s) => s[j],
+        }
+    }
+}
+
+/// `C[m×n] = A[m×k] · B[n×k]ᵀ` over int8 with exact i32 accumulation.
+///
+/// Dispatches to the AVX2 dot kernel when available; scalar and SIMD paths
+/// are bit-identical because integer accumulation never rounds.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+pub fn igemm_i8_a_bt(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    assert_eq!(b.len(), n * k, "rhs length");
+    assert_eq!(c.len(), m * n, "output length");
+    let use_avx2 = matches!(active_backend(), Backend::Avx2Fma);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (j, cij) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            *cij = if use_avx2 {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: Avx2Fma backend implies AVX2 is present.
+                unsafe {
+                    dot_i8_avx2(a_row, b_row)
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                dot_i8_scalar(a_row, b_row)
+            } else {
+                dot_i8_scalar(a_row, b_row)
+            };
+        }
+    }
+}
+
+/// [`igemm_i8_a_bt`] with `b` stored as packed int4 rows: row `j` occupies
+/// `ceil(k/2)` bytes starting at `j * ceil(k/2)`.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions.
+pub fn igemm_i4_a_bt(a: &[i8], b_packed: &[u8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs length");
+    let row_bytes = k.div_ceil(2);
+    assert_eq!(b_packed.len(), n * row_bytes, "packed rhs length");
+    assert_eq!(c.len(), m * n, "output length");
+    // Unpack each weight row once and reuse it across all m activation
+    // rows: unpacking is O(nk) total instead of O(mnk).
+    let mut row = vec![0i8; k];
+    let use_avx2 = matches!(active_backend(), Backend::Avx2Fma);
+    for j in 0..n {
+        let packed_row = &b_packed[j * row_bytes..(j + 1) * row_bytes];
+        for (idx, slot) in row.iter_mut().enumerate() {
+            let byte = packed_row[idx / 2];
+            *slot = if idx % 2 == 0 {
+                ((byte << 4) as i8) >> 4
+            } else {
+                (byte as i8) >> 4
+            };
+        }
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            c[i * n + j] = if use_avx2 {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: Avx2Fma backend implies AVX2 is present.
+                unsafe {
+                    dot_i8_avx2(a_row, &row)
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                dot_i8_scalar(a_row, &row)
+            } else {
+                dot_i8_scalar(a_row, &row)
+            };
+        }
+    }
+}
+
+/// Converts an i32 accumulator matrix back to f32: `out[i][j] = acc[i][j]
+/// · a_scale · w_scale(j)`, where column `j` is output channel `j`.
+///
+/// # Panics
+///
+/// Panics on length mismatches (including per-channel scale length ≠ `n`).
+pub fn requantize(acc: &[i32], n: usize, a_scale: f32, w_scales: Scales<'_>, out: &mut [f32]) {
+    assert_eq!(acc.len(), out.len(), "requantize length mismatch");
+    assert!(n > 0 && acc.len().is_multiple_of(n), "bad column count");
+    if let Scales::PerChannel(s) = w_scales {
+        assert_eq!(s.len(), n, "per-channel scale length");
+    }
+    for (row_acc, row_out) in acc.chunks_exact(n).zip(out.chunks_exact_mut(n)) {
+        for j in 0..n {
+            row_out[j] = row_acc[j] as f32 * (a_scale * w_scales.at(j));
+        }
+    }
+}
+
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum()
+}
+
+/// Int8 dot product: 16 lanes sign-extended to i16, pair-summed into i32
+/// by `madd`. Exact — identical to the scalar path on every input.
+///
+/// # Safety
+///
+/// Requires AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    let k = a.len().min(b.len());
+    let mut acc = _mm256_setzero_si256();
+    let mut p = 0;
+    while p + 16 <= k {
+        let va = _mm_loadu_si128(a.as_ptr().add(p).cast());
+        let vb = _mm_loadu_si128(b.as_ptr().add(p).cast());
+        let wa = _mm256_cvtepi8_epi16(va);
+        let wb = _mm256_cvtepi8_epi16(vb);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wa, wb));
+        p += 16;
+    }
+    let lo = _mm256_castsi256_si128(acc);
+    let hi = _mm256_extracti128_si256(acc, 1);
+    let sum4 = _mm_add_epi32(lo, hi);
+    let sum2 = _mm_add_epi32(sum4, _mm_shuffle_epi32(sum4, 0b01_00_11_10));
+    let sum1 = _mm_add_epi32(sum2, _mm_shuffle_epi32(sum2, 0b00_00_00_01));
+    let mut total = _mm_cvtsi128_si32(sum1);
+    while p < k {
+        total += *a.get_unchecked(p) as i32 * *b.get_unchecked(p) as i32;
+        p += 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantize_matches_fake_quant_op_order() {
+        let w = fill(257, 9);
+        let scale = 0.0123f32;
+        let q = quantize_i8(&w, scale, I8_LEVELS.0, I8_LEVELS.1);
+        for (&x, &qv) in w.iter().zip(&q) {
+            // Reproduce fake_quant_symmetric exactly.
+            let inv = 1.0 / scale;
+            let expect = (x * inv).round().clamp(-128.0, 127.0);
+            assert_eq!(qv as f32, expect);
+            // Bit-for-bit, except -0.0 normalizes to +0.0 through i8.
+            let dq = qv as f32 * scale;
+            let reference = expect * scale;
+            if reference == 0.0 {
+                assert_eq!(dq, 0.0);
+            } else {
+                assert_eq!(dq.to_bits(), reference.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_scale_quantizes_to_zero() {
+        assert_eq!(quantize_i8(&[1.0, -2.0], 0.0, -128, 127), vec![0, 0]);
+    }
+
+    #[test]
+    fn int4_pack_roundtrip() {
+        let q: Vec<i8> = (-8..=7).chain([-8, 7, 0]).collect();
+        let packed = pack_i4(&q);
+        assert_eq!(unpack_i4(&packed, q.len()), q);
+        // Odd length.
+        let odd = vec![-8i8, 7, 3];
+        assert_eq!(unpack_i4(&pack_i4(&odd), 3), odd);
+    }
+
+    #[test]
+    fn i8_gemm_matches_wide_reference() {
+        let (m, k, n) = (5, 67, 9);
+        let a = quantize_i8(&fill(m * k, 1), 0.01, -128, 127);
+        let b = quantize_i8(&fill(n * k, 2), 0.01, -128, 127);
+        let mut c = vec![0i32; m * n];
+        igemm_i8_a_bt(&a, &b, &mut c, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let expect: i64 = (0..k)
+                    .map(|p| a[i * k + p] as i64 * b[j * k + p] as i64)
+                    .sum();
+                assert_eq!(c[i * n + j] as i64, expect, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn i4_gemm_matches_unpacked_i8() {
+        for k in [1usize, 2, 15, 16, 33] {
+            let (m, n) = (3, 4);
+            let a = quantize_i8(&fill(m * k, 3), 0.05, -128, 127);
+            let q4 = quantize_i8(&fill(n * k, 4), 0.1, I4_LEVELS.0, I4_LEVELS.1);
+            let mut packed = Vec::new();
+            for row in q4.chunks(k) {
+                packed.extend(pack_i4(row));
+            }
+            let mut c4 = vec![0i32; m * n];
+            igemm_i4_a_bt(&a, &packed, &mut c4, m, k, n);
+            let mut c8 = vec![0i32; m * n];
+            igemm_i8_a_bt(&a, &q4, &mut c8, m, k, n);
+            assert_eq!(c4, c8, "k={k}");
+        }
+    }
+
+    #[test]
+    fn requantize_per_tensor_and_per_channel() {
+        let acc = vec![10i32, -20, 30, -40];
+        let mut out = vec![0.0f32; 4];
+        requantize(&acc, 2, 0.5, Scales::PerTensor(0.1), &mut out);
+        assert_eq!(out, vec![0.5, -1.0, 1.5, -2.0]);
+        requantize(&acc, 2, 0.5, Scales::PerChannel(&[0.1, 0.2]), &mut out);
+        assert_eq!(out, vec![0.5, -2.0, 1.5, -4.0]);
+    }
+}
