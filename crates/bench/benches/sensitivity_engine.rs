@@ -10,7 +10,10 @@
 //! grid across three worker threads — checks all six matrices are bitwise
 //! identical, and records the timings (including the telemetry overhead
 //! ratio (d)/(b), the fault-free checkpointing overhead ratio (e)/(b),
-//! and `distributed.speedup_ratio` (b)/(f)) to `BENCH_sensitivity.json`
+//! and `distributed.speedup_ratio` (b)/(f) with its
+//! `distributed.startup_seconds`/`distributed.steady_seconds` split —
+//! how much of (f) is handshake + model rebuild rather than shard
+//! service) to `BENCH_sensitivity.json`
 //! at the repo root, as a `clado-telemetry-manifest/v1` document. A
 //! solver phase times a dense cross-term IQP with and without an armed
 //! deadline and records `solver.anytime_overhead_ratio` — the cost of the
@@ -18,10 +21,13 @@
 //!
 //! Three kernel phases follow: sustained single-threaded GEMM throughput
 //! of the dispatched kernel (`bench.gemm_gflops`), the measured
-//! quantized-execution speedup curve — float forward time over integer
-//! forward time at uniform 8/4/2-bit assignments (`bench.int_speedup.b8`
-//! /`b4`/`b2`, with the 8-bit point doubling as
-//! `bench.int8_speedup_ratio`) — and an eq. (11) IQP solve on the measured
+//! quantized-execution ratio curve — float forward time over integer
+//! forward time at uniform 8/4/2-bit assignments, against both the
+//! dispatched SIMD float baseline and a pinned scalar float baseline
+//! (`bench.int_speedup.b{8,4,2}.vs_simd_float` / `.vs_scalar_float`,
+//! with the 8-bit SIMD-relative point doubling as
+//! `bench.int8_speedup_ratio`; any ratio below 1 is called out as a
+//! slowdown in the summary) — and an eq. (11) IQP solve on the measured
 //! matrix whose bit choices land in the manifest (`bench.assignment_hash`
 //! and the `bit_assignment` config entry), so scalar and SIMD runs can be
 //! checked for identical assignments. The manifest `config` also records
@@ -120,8 +126,11 @@ fn bench_setup() -> (Network, DataSplit) {
 
 /// Configuration (f): a loopback-TCP coordinator sharding the sweep
 /// across `workers` in-process worker threads. Returns the assembled
-/// matrix and its wall time.
-fn measure_distributed(workers: usize) -> (SensitivityMatrix, f64) {
+/// matrix, its wall time, and the coordinator's startup/steady-state
+/// split (time to first lease grant vs shard-service time after it) —
+/// the split explains how much of `distributed.speedup_ratio` is fixed
+/// setup cost rather than per-shard overhead.
+fn measure_distributed(workers: usize) -> (SensitivityMatrix, f64, f64, f64) {
     let (network, set) = bench_setup();
     let bits = BitWidthSet::new(&[2, 8]);
     let scheme = QuantScheme::PerTensorSymmetric;
@@ -136,13 +145,16 @@ fn measure_distributed(workers: usize) -> (SensitivityMatrix, f64) {
         scheme: scheme_to_u8(scheme),
         use_prefix_cache: true,
         fingerprint: ctx.fingerprint(),
+        trace_id: 0,
     };
+    let dist_registry = Telemetry::new();
     let coordinator = Coordinator::bind(
         "127.0.0.1:0",
         ctx,
         job,
         CoordinatorOptions {
             idle_timeout: Some(std::time::Duration::from_secs(120)),
+            telemetry: dist_registry.clone(),
             ..Default::default()
         },
     )
@@ -162,14 +174,21 @@ fn measure_distributed(workers: usize) -> (SensitivityMatrix, f64) {
     for h in handles {
         h.join().expect("worker thread").expect("worker run");
     }
+    let startup = dist_registry
+        .gauge_value("dist.startup_seconds")
+        .unwrap_or(0.0);
+    let steady = dist_registry
+        .gauge_value("dist.steady_seconds")
+        .unwrap_or(0.0);
     println!(
-        "  {:<28} {secs:>7.2}s   {} workers, {} evictions, straggler {:.2}s",
+        "  {:<28} {secs:>7.2}s   {} workers, {} evictions, straggler {:.2}s, \
+         startup {startup:.2}s + steady {steady:.2}s",
         "distributed, 3 workers",
         outcome.workers.len(),
         outcome.evictions,
         outcome.straggler_seconds
     );
-    (outcome.matrix, secs)
+    (outcome.matrix, secs, startup, steady)
 }
 
 /// Anytime-solver overhead: the cooperative deadline/cancel checks ride on
@@ -302,13 +321,26 @@ fn eval_pass_seconds(network: &mut Network, set: &DataSplit) -> f64 {
     best
 }
 
-/// Measured quantized-execution speedup curve: float forward time over
-/// integer-execution forward time for uniform 8/4/2-bit assignments.
-/// Returns `(bits, speedup)` pairs, 8-bit first.
-fn integer_speedup_curve() -> Vec<(u8, f64)> {
+/// Measured quantized-execution ratio curve for uniform 8/4/2-bit
+/// assignments, against *two* float baselines: the dispatched (usually
+/// SIMD) float forward, and the scalar float forward with the kernel
+/// backend pinned to the reference path. The integer kernels are scalar,
+/// so the SIMD-relative ratio is expected to be well below 1 on AVX2
+/// hosts — the scalar-relative ratio is the like-for-like comparison.
+/// Returns `(bits, vs_simd_float, vs_scalar_float)` triples, 8-bit first.
+fn integer_speedup_curve() -> Vec<(u8, f64, f64)> {
     let (mut network, set) = bench_setup();
     let layers = network.quantizable_layers().len();
-    let float_secs = eval_pass_seconds(&mut network, &set);
+    let simd_float_secs = eval_pass_seconds(&mut network, &set);
+    clado_tensor::force_backend(Some(clado_tensor::Backend::Scalar));
+    let scalar_float_secs = eval_pass_seconds(&mut network, &set);
+    clado_tensor::force_backend(None);
+    println!(
+        "  {:<28} {simd_float_secs:>7.2}s   scalar float {scalar_float_secs:.2}s \
+         ({} kernel)",
+        "float forward, eval set",
+        clado_tensor::kernel_name()
+    );
     let mut curve = Vec::new();
     for bits in [8u8, 4, 2] {
         let installed = network.set_integer_assignment(
@@ -317,12 +349,14 @@ fn integer_speedup_curve() -> Vec<(u8, f64)> {
         );
         assert_eq!(installed, layers, "uniform {bits}-bit assignment installs");
         let int_secs = eval_pass_seconds(&mut network, &set);
-        let speedup = float_secs / int_secs;
+        let vs_simd = simd_float_secs / int_secs;
+        let vs_scalar = scalar_float_secs / int_secs;
         println!(
-            "  {:<28} {int_secs:>7.2}s   vs float {float_secs:.2}s → {speedup:.2}× at {bits} bits",
+            "  {:<28} {int_secs:>7.2}s   {vs_simd:.2}× vs SIMD float, \
+             {vs_scalar:.2}× vs scalar float",
             format!("int{bits} forward, eval set")
         );
-        curve.push((bits, speedup));
+        curve.push((bits, vs_simd, vs_scalar));
     }
     network.clear_integer_assignment();
     curve
@@ -426,7 +460,7 @@ fn main() {
         })
     };
     let _ = std::fs::remove_dir_all(&ckpt_dir);
-    let (distributed, distributed_secs) = {
+    let (distributed, distributed_secs, dist_startup_secs, dist_steady_secs) = {
         let _s = phase("distributed");
         measure_distributed(3)
     };
@@ -468,6 +502,28 @@ fn main() {
     println!("  checkpoint overhead   {checkpoint_overhead:>6.3}×   (journaled / plain wall time)");
     println!("  distributed speedup   {distributed_speedup:>6.2}×   (serial-prefix / 3-worker wall time)");
     println!(
+        "  distributed split     {dist_startup_secs:>6.2}s   startup (bind → first lease) \
+         + {dist_steady_secs:.2}s steady-state"
+    );
+    if distributed_speedup < 1.0 {
+        let (secs, phase) = if dist_startup_secs >= dist_steady_secs {
+            (
+                dist_startup_secs,
+                "startup (handshake + per-worker model rebuild)",
+            )
+        } else {
+            (
+                dist_steady_secs,
+                "steady-state shard service (per-shard work too small to amortize \
+                 frame round-trips and duplicated prefix builds)",
+            )
+        };
+        println!(
+            "  NOTE: distributed ratio < 1 — {secs:.2}s of the {distributed_secs:.2}s \
+             wall time is {phase}"
+        );
+    }
+    println!(
         "  anytime overhead      {anytime_overhead:>6.3}×   (armed deadline / plain solve wall time)"
     );
 
@@ -483,15 +539,32 @@ fn main() {
     registry.set_gauge("bench.checkpoint_overhead_ratio", checkpoint_overhead);
     registry.set_gauge("bench.distributed_seconds", distributed_secs);
     registry.set_gauge("distributed.speedup_ratio", distributed_speedup);
+    registry.set_gauge("distributed.startup_seconds", dist_startup_secs);
+    registry.set_gauge("distributed.steady_seconds", dist_steady_secs);
     registry.set_gauge("solver.anytime_overhead_ratio", anytime_overhead);
     registry.set_gauge("bench.gemm_gflops", gflops);
-    for &(bits, speedup) in &int_curve {
-        registry.set_gauge(&format!("bench.int_speedup.b{bits}"), speedup);
+    for &(bits, vs_simd, vs_scalar) in &int_curve {
+        registry.set_gauge(&format!("bench.int_speedup.b{bits}.vs_simd_float"), vs_simd);
+        registry.set_gauge(
+            &format!("bench.int_speedup.b{bits}.vs_scalar_float"),
+            vs_scalar,
+        );
+        // A "speedup" below 1 is a slowdown — say so instead of letting
+        // the gauge name imply the integer path won.
+        for (ratio, baseline) in [(vs_simd, "SIMD"), (vs_scalar, "scalar")] {
+            if ratio < 1.0 {
+                println!(
+                    "  NOTE: int{bits} forward is {:.1}× SLOWER than the {baseline} \
+                     float forward ({ratio:.3}× ratio)",
+                    1.0 / ratio
+                );
+            }
+        }
     }
     let int8_speedup = int_curve
         .iter()
-        .find(|&&(bits, _)| bits == 8)
-        .map(|&(_, s)| s)
+        .find(|&&(bits, _, _)| bits == 8)
+        .map(|&(_, vs_simd, _)| vs_simd)
         .expect("curve includes 8 bits");
     registry.set_gauge("bench.int8_speedup_ratio", int8_speedup);
     registry.set_gauge(

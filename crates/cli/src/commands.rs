@@ -63,6 +63,10 @@ COMMANDS:
   stress       solve a planted dense cross-term IQP (worst case for eq. (11))
                under the anytime flags; prints a deterministic result line
                [--layers 32] [--seed 7] [--avg-bits 4] [--bits 2,4,8]
+  trace        --file <trace.json>     summarize a --trace-out file: top
+                                       self-time spans, per-process utilization
+                                       and straggler report, incumbent curve
+               [--top 10               how many spans to list]
 
 SOLVER (assign / sweep / stress):
   --solver-timeout <dur>          wall-clock budget per solve (500ms, 10s, 2m, 1h);
@@ -78,6 +82,9 @@ SOLVER (assign / sweep / stress):
 TELEMETRY (any command):
   --metrics-out <file.json>       write a machine-readable run manifest
                                   (schema clado-telemetry-manifest/v1)
+  --trace-out <file.json>         record a Chrome Trace Format timeline (open in
+                                  Perfetto / chrome://tracing; distributed runs
+                                  merge worker events under one trace id)
   --progress | --no-progress      rate-limited stderr progress lines (default: on)
   --quiet                         only the final result line; implies --no-progress
 
@@ -89,6 +96,7 @@ Set CLADO_CACHE_DIR to relocate the trained-weight cache.";
 struct RunContext {
     telemetry: Telemetry,
     metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -102,9 +110,22 @@ impl RunContext {
         let quiet = args.switch("quiet");
         let telemetry = Telemetry::new();
         telemetry.set_progress_enabled(!quiet && !args.switch("no-progress"));
+        let trace_out = args.get("trace-out").map(PathBuf::from);
+        if trace_out.is_some() {
+            // Mint a nonzero correlation id; distributed runs carry it to
+            // every worker in the job spec so the merged timeline shares
+            // one trace id across processes.
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            telemetry.set_trace_id((nanos ^ (u64::from(std::process::id()) << 32)) | 1);
+            telemetry.set_trace_enabled(true);
+        }
         Ok(Self {
             telemetry,
             metrics_out: args.get("metrics-out").map(PathBuf::from),
+            trace_out,
             quiet,
         })
     }
@@ -139,6 +160,17 @@ impl RunContext {
             ];
             full.extend(config.iter().cloned());
             std::fs::write(path, self.telemetry.manifest(command, &full))?;
+        }
+        if let Some(path) = &self.trace_out {
+            clado_telemetry::flush_thread_local();
+            let events = self.telemetry.write_chrome_trace(path)?;
+            let dropped = self.telemetry.trace_dropped();
+            if dropped > 0 {
+                self.info(&format!(
+                    "trace: {dropped} events dropped at the buffer cap"
+                ));
+            }
+            self.info(&format!("trace: {events} events → {}", path.display()));
         }
         Ok(())
     }
@@ -397,6 +429,7 @@ fn cmd_sensitivity_distributed(
         scheme: scheme_to_u8(scheme),
         use_prefix_cache,
         fingerprint: ctx.fingerprint(),
+        trace_id: run.telemetry.trace_id(),
     };
     let idle_secs: u64 = args.get_or("idle-timeout-secs", 180)?;
     let coordinator = Coordinator::bind(
@@ -837,6 +870,297 @@ pub fn cmd_stress(args: &Args) -> Result<(), Box<dyn Error>> {
     run.finish("stress", &config)
 }
 
+/// One "X" (complete) event pulled out of a trace file.
+struct SpanEvent {
+    name: String,
+    pid: u32,
+    tid: u32,
+    ts_us: u64,
+    dur_us: u64,
+}
+
+/// Everything `clado trace` needs from a Chrome Trace Format file:
+/// complete spans, instant events, and the per-process metadata records.
+struct TraceFile {
+    spans: Vec<SpanEvent>,
+    instants: Vec<(String, u64, Option<f64>, Option<String>)>,
+    process_names: Vec<(u32, String)>,
+    trace_ids: Vec<String>,
+}
+
+fn load_trace_file(path: &std::path::Path) -> Result<TraceFile, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let json = clado_telemetry::parse_json(&text)
+        .map_err(|e| ArgsError(format!("{}: not a JSON trace: {e}", path.display())))?;
+    let events = json
+        .as_arr()
+        .ok_or_else(|| ArgsError(format!("{}: expected a JSON array", path.display())))?;
+    let mut out = TraceFile {
+        spans: Vec::new(),
+        instants: Vec::new(),
+        process_names: Vec::new(),
+        trace_ids: Vec::new(),
+    };
+    use clado_telemetry::Json;
+    let num = |e: &Json, key: &str| e.get(key).and_then(Json::as_num).unwrap_or(0.0);
+    for e in events {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        let pid = num(e, "pid") as u32;
+        match e.get("ph").and_then(Json::as_str) {
+            Some("M") => {
+                if let Some(args) = e.get("args") {
+                    if name == "process_name" {
+                        if let Some(label) = args.get("name").and_then(Json::as_str) {
+                            out.process_names.push((pid, label.to_string()));
+                        }
+                    } else if name == "trace_id" {
+                        if let Some(id) = args.get("trace_id").and_then(Json::as_str) {
+                            if !out.trace_ids.contains(&id.to_string()) {
+                                out.trace_ids.push(id.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+            Some("X") => out.spans.push(SpanEvent {
+                name,
+                pid,
+                tid: num(e, "tid") as u32,
+                ts_us: num(e, "ts") as u64,
+                dur_us: num(e, "dur") as u64,
+            }),
+            Some("i") => {
+                let (value, label) = match e.get("args") {
+                    Some(args) => (
+                        args.get("value").and_then(Json::as_num),
+                        args.get("label").and_then(Json::as_str).map(str::to_string),
+                    ),
+                    None => (None, None),
+                };
+                out.instants.push((name, num(e, "ts") as u64, value, label));
+            }
+            _ => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Per-name self-time aggregation: each span's duration minus its direct
+/// children's durations, computed per (pid, tid) thread lane.
+fn self_time_by_name(spans: &[SpanEvent]) -> Vec<(String, u64, u64, u64)> {
+    use std::collections::HashMap;
+    let mut lanes: HashMap<(u32, u32), Vec<&SpanEvent>> = HashMap::new();
+    for s in spans {
+        lanes.entry((s.pid, s.tid)).or_default().push(s);
+    }
+    // name → (self_us, total_us, count)
+    let mut agg: HashMap<&str, (u64, u64, u64)> = HashMap::new();
+    for lane in lanes.values_mut() {
+        // Parents start no later than their children; ties (same ts) put
+        // the longer span first so it becomes the enclosing frame.
+        lane.sort_by_key(|s| (s.ts_us, std::cmp::Reverse(s.dur_us)));
+        // (end_us, name, dur_us, child_us)
+        let mut stack: Vec<(u64, &str, u64, u64)> = Vec::new();
+        fn finalize<'a>(
+            frame: (u64, &'a str, u64, u64),
+            agg: &mut HashMap<&'a str, (u64, u64, u64)>,
+        ) {
+            let (_, name, dur, child) = frame;
+            let entry = agg.entry(name).or_insert((0u64, 0u64, 0u64));
+            entry.0 += dur.saturating_sub(child);
+            entry.1 += dur;
+            entry.2 += 1;
+        }
+        for s in lane.iter() {
+            while stack.last().is_some_and(|&(end, ..)| end <= s.ts_us) {
+                let frame = stack.pop().expect("checked non-empty");
+                finalize(frame, &mut agg);
+            }
+            if let Some(top) = stack.last_mut() {
+                top.3 += s.dur_us;
+            }
+            stack.push((s.ts_us + s.dur_us, &s.name, s.dur_us, 0));
+        }
+        while let Some(frame) = stack.pop() {
+            finalize(frame, &mut agg);
+        }
+    }
+    let mut rows: Vec<(String, u64, u64, u64)> = agg
+        .into_iter()
+        .map(|(name, (self_us, total_us, count))| (name.to_string(), self_us, total_us, count))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+/// `clado trace --file <trace.json>`
+///
+/// Summarizes a `--trace-out` file: where the time went (top self-time
+/// spans), how evenly the processes were loaded (utilization/straggler
+/// report), and how the solver objective improved over time (incumbent
+/// curve from the `solver.incumbents` instants).
+pub fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
+    let path = PathBuf::from(args.require::<String>("file")?);
+    let top: usize = args.get_or("top", 10)?;
+    let trace = load_trace_file(&path)?;
+    if trace.spans.is_empty() && trace.instants.is_empty() {
+        println!("{}: no events", path.display());
+        return Ok(());
+    }
+    let first_ts = trace.spans.iter().map(|s| s.ts_us).min().unwrap_or(0);
+    let last_end = trace
+        .spans
+        .iter()
+        .map(|s| s.ts_us + s.dur_us)
+        .chain(trace.instants.iter().map(|&(_, ts, _, _)| ts))
+        .max()
+        .unwrap_or(0);
+    let wall_us = last_end.saturating_sub(first_ts).max(1);
+    match trace.trace_ids.as_slice() {
+        [] => println!(
+            "{}: untagged trace, {:.2}s wall",
+            path.display(),
+            wall_us as f64 / 1e6
+        ),
+        [id] => println!(
+            "{}: trace {id}, {:.2}s wall",
+            path.display(),
+            wall_us as f64 / 1e6
+        ),
+        ids => println!(
+            "{}: WARNING: {} distinct trace ids ({}) — mixed runs?",
+            path.display(),
+            ids.len(),
+            ids.join(", ")
+        ),
+    }
+
+    let rows = self_time_by_name(&trace.spans);
+    if !rows.is_empty() {
+        println!("\ntop self-time spans:");
+        println!(
+            "  {:<32} {:>9} {:>9} {:>7} {:>6}",
+            "span", "self", "total", "count", "self%"
+        );
+        for (name, self_us, total_us, count) in rows.iter().take(top) {
+            println!(
+                "  {:<32} {:>9} {:>9} {:>7} {:>5.1}%",
+                name,
+                fmt_us(*self_us),
+                fmt_us(*total_us),
+                count,
+                100.0 * *self_us as f64 / wall_us as f64
+            );
+        }
+    }
+
+    // Per-process utilization: busy = per-lane top-level span time (the
+    // self-time pass already de-nests; here top-level totals suffice
+    // because lanes serialize their spans).
+    let mut pids: Vec<u32> = trace.spans.iter().map(|s| s.pid).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    if pids.len() > 1 {
+        println!("\nper-process report:");
+        println!(
+            "  {:<16} {:>9} {:>9} {:>7} {:>6}",
+            "process", "busy", "last-end", "spans", "util%"
+        );
+        let mut straggler: (u32, u64) = (0, 0);
+        for &pid in &pids {
+            let name = trace
+                .process_names
+                .iter()
+                .find(|(p, _)| *p == pid)
+                .map(|(_, n)| n.clone())
+                .unwrap_or_else(|| format!("pid {pid}"));
+            let lane_spans: Vec<&SpanEvent> = trace.spans.iter().filter(|s| s.pid == pid).collect();
+            // Top-level busy time per (tid) lane: sum spans not nested in
+            // an earlier span of the same lane.
+            use std::collections::HashMap;
+            let mut by_tid: HashMap<u32, Vec<&SpanEvent>> = HashMap::new();
+            for s in &lane_spans {
+                by_tid.entry(s.tid).or_default().push(s);
+            }
+            let mut busy = 0u64;
+            for lane in by_tid.values_mut() {
+                lane.sort_by_key(|s| (s.ts_us, std::cmp::Reverse(s.dur_us)));
+                let mut covered_until = 0u64;
+                for s in lane {
+                    let end = s.ts_us + s.dur_us;
+                    if end > covered_until {
+                        busy += end - s.ts_us.max(covered_until);
+                        covered_until = end;
+                    }
+                }
+            }
+            let end = lane_spans
+                .iter()
+                .map(|s| s.ts_us + s.dur_us)
+                .max()
+                .unwrap_or(0);
+            if end > straggler.1 {
+                straggler = (pid, end);
+            }
+            println!(
+                "  {:<16} {:>9} {:>9} {:>7} {:>5.1}%",
+                name,
+                fmt_us(busy),
+                fmt_us(end.saturating_sub(first_ts)),
+                lane_spans.len(),
+                100.0 * busy as f64 / wall_us as f64
+            );
+        }
+        let name = trace
+            .process_names
+            .iter()
+            .find(|(p, _)| *p == straggler.0)
+            .map(|(_, n)| n.as_str())
+            .unwrap_or("?");
+        println!(
+            "  straggler: {name} (finished last, at {})",
+            fmt_us(straggler.1.saturating_sub(first_ts))
+        );
+    }
+
+    let incumbents: Vec<_> = trace
+        .instants
+        .iter()
+        .filter(|(name, _, value, _)| name == "solver.incumbents" && value.is_some())
+        .collect();
+    if !incumbents.is_empty() {
+        println!("\nincumbent curve (objective vs time):");
+        for (_, ts, value, label) in &incumbents {
+            println!(
+                "  {:>9}  {:>14.6e}  {}",
+                fmt_us(ts.saturating_sub(first_ts)),
+                value.expect("filtered Some"),
+                label.as_deref().unwrap_or("")
+            );
+        }
+    }
+
+    let other_instants = trace.instants.len() - incumbents.len();
+    if other_instants > 0 {
+        println!("\n{other_instants} other instant events (lease grants, heartbeats, ...)");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -891,12 +1215,82 @@ mod tests {
             "sweep",
             "eval",
             "stress",
+            "trace",
         ] {
             assert!(USAGE.contains(cmd), "usage missing `{cmd}`");
         }
-        for flag in ["--solver-timeout", "--solver-nodes", "--solver-strict"] {
+        for flag in [
+            "--solver-timeout",
+            "--solver-nodes",
+            "--solver-strict",
+            "--trace-out",
+        ] {
             assert!(USAGE.contains(flag), "usage missing `{flag}`");
         }
+    }
+
+    #[test]
+    fn quiet_suppresses_progress_and_trace_stderr_entirely() {
+        let run = RunContext::from_args(&args(&["models", "--quiet"])).unwrap();
+        assert!(run.quiet);
+        let p = run.telemetry.progress("probes", 100);
+        for _ in 0..100 {
+            p.tick();
+        }
+        p.finish();
+        assert_eq!(
+            p.lines_printed(),
+            0,
+            "--quiet must suppress progress output entirely"
+        );
+    }
+
+    #[test]
+    fn trace_out_writes_a_file_that_cmd_trace_can_summarize() {
+        let dir = std::env::temp_dir().join(format!("clado-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let path_str = path.to_str().unwrap();
+        let run =
+            RunContext::from_args(&args(&["models", "--quiet", "--trace-out", path_str])).unwrap();
+        assert!(run.telemetry.trace_enabled());
+        assert_ne!(run.telemetry.trace_id(), 0);
+        {
+            let _outer = run.telemetry.span("load");
+            {
+                let _inner = run.telemetry.span("load.weights");
+                run.telemetry
+                    .series_push("solver.incumbents", 1.25, "warm_start");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            // Keep the outer span strictly longer than the inner one: at µs
+            // granularity two spans with identical (ts, dur) cannot be
+            // oriented as parent/child by the summarizer.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        run.finish("models", &[]).unwrap();
+
+        let trace = load_trace_file(&path).expect("trace file parses");
+        assert_eq!(trace.spans.len(), 2, "both spans recorded");
+        assert_eq!(trace.trace_ids.len(), 1, "one trace id");
+        assert!(trace
+            .instants
+            .iter()
+            .any(|(name, _, value, label)| name == "solver.incumbents"
+                && *value == Some(1.25)
+                && label.as_deref() == Some("warm_start")));
+        // The nested span's time is attributed to it, not its parent.
+        let rows = self_time_by_name(&trace.spans);
+        let parent = rows.iter().find(|r| r.0 == "load").expect("parent row");
+        let child = rows
+            .iter()
+            .find(|r| r.0 == "load.weights")
+            .expect("child row");
+        assert!(parent.1 <= parent.2, "self <= total");
+        assert_eq!(child.1, child.2, "leaf span is all self time");
+
+        cmd_trace(&args(&["trace", "--file", path_str])).expect("summary renders");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         "sweep" => commands::cmd_sweep(&parsed),
         "eval" => commands::cmd_eval(&parsed),
         "stress" => commands::cmd_stress(&parsed),
+        "trace" => commands::cmd_trace(&parsed),
         other => {
             eprintln!("error: unknown command `{other}`\n\n{USAGE}");
             return ExitCode::FAILURE;

@@ -39,7 +39,7 @@ use clado_models::DataSplit;
 use clado_nn::Network;
 use clado_quant::{BitWidthSet, QuantScheme};
 use clado_solver::SymMatrix;
-use clado_telemetry::{faultpoint, with_panic_context, Counter, Telemetry};
+use clado_telemetry::{faultpoint, with_panic_context, Counter, Hist, Telemetry};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -296,6 +296,10 @@ struct ProbeCounters {
     resumed: Counter,
     retries: Counter,
     quarantined: Counter,
+    /// Latency histogram over every probe forward pass (suffix or full).
+    h_eval: Hist,
+    /// Latency histogram over prefix-cache builds.
+    h_build: Hist,
     l_full: AtomicU64,
     l_hits: AtomicU64,
     l_builds: AtomicU64,
@@ -315,6 +319,8 @@ impl ProbeCounters {
             resumed: telemetry.counter("measure.resumed"),
             retries: telemetry.counter("measure.retries"),
             quarantined: telemetry.counter("measure.quarantined"),
+            h_eval: telemetry.histogram("probe.eval"),
+            h_build: telemetry.histogram("probe.prefix_build"),
             l_full: AtomicU64::new(0),
             l_hits: AtomicU64::new(0),
             l_builds: AtomicU64::new(0),
@@ -357,18 +363,18 @@ fn probe_loss(
     let mut loss = match cache_stage {
         Some(stage) => {
             if cache.is_none() {
-                let _s = telemetry.span(spans.build);
+                let _s = telemetry.span_timed(spans.build, &c.h_build);
                 c.builds.incr();
                 c.l_builds.fetch_add(1, Ordering::Relaxed);
                 *cache = Some(build_prefix_cache(net, sens_set, batch_size, stage));
             }
-            let _s = telemetry.span(spans.suffix);
+            let _s = telemetry.span_timed(spans.suffix, &c.h_eval);
             c.hits.incr();
             c.l_hits.fetch_add(1, Ordering::Relaxed);
             eval_loss_from(net, cache.as_ref().expect("cache built above"))
         }
         None => {
-            let _s = telemetry.span(spans.full);
+            let _s = telemetry.span_timed(spans.full, &c.h_eval);
             c.full.incr();
             c.l_full.fetch_add(1, Ordering::Relaxed);
             eval_loss(net, sens_set, batch_size)

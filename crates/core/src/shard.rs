@@ -319,16 +319,19 @@ impl ShardContext {
         match cache_stage {
             Some(stage) => {
                 if cache.is_none() {
-                    let _s = telemetry.span("shard.prefix_build");
+                    let h = telemetry.histogram("probe.prefix_build");
+                    let _s = telemetry.span_timed("shard.prefix_build", &h);
                     stats.cache_builds += 1;
                     *cache = Some(build_prefix_cache(net, set, self.batch_size, stage));
                 }
-                let _s = telemetry.span("shard.suffix_eval");
+                let h = telemetry.histogram("probe.eval");
+                let _s = telemetry.span_timed("shard.suffix_eval", &h);
                 stats.cache_hits += 1;
                 eval_loss_from(net, cache.as_ref().expect("cache built above"))
             }
             None => {
-                let _s = telemetry.span("shard.full_eval");
+                let h = telemetry.histogram("probe.eval");
+                let _s = telemetry.span_timed("shard.full_eval", &h);
                 stats.full_evals += 1;
                 eval_loss(net, set, self.batch_size)
             }

@@ -32,7 +32,7 @@ use clado_core::{
     JournalError, JournalWriter, ProbeId, ProbeRecord, SensitivityMatrix, SensitivityStats,
     ShardContext, ShardRunStats, ShardSpec,
 };
-use clado_telemetry::Telemetry;
+use clado_telemetry::{ManifestValue, Telemetry, TraceEvent};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -123,6 +123,10 @@ struct Scheduler {
     pending: VecDeque<ShardSpec>,
     leases: HashMap<u64, (ShardSpec, u64)>, // lease id → (shard, worker id)
     next_lease: u64,
+    next_span_id: u64,
+    /// When the first shard lease was granted (run start → this is the
+    /// fleet spin-up / handshake phase; this → end is steady state).
+    first_lease_at: Option<Instant>,
     done: HashSet<ShardSpec>,
     total_shards: usize,
     records: HashMap<ProbeId, ProbeRecord>,
@@ -221,6 +225,12 @@ impl Coordinator {
     pub fn run(self) -> Result<DistOutcome, DistError> {
         let start = Instant::now();
         let telemetry = self.opts.telemetry.clone();
+        // Adopt the job's trace id so events from this run and the
+        // workers' shipped events correlate under one id.
+        if self.job.trace_id != 0 {
+            telemetry.set_trace_id(self.job.trace_id);
+            telemetry.set_trace_enabled(true);
+        }
         let _root = telemetry.span("dist.coordinate");
         let fp = self.ctx.fingerprint();
 
@@ -271,6 +281,8 @@ impl Coordinator {
             pending,
             leases: HashMap::new(),
             next_lease: 1,
+            next_span_id: 1,
+            first_lease_at: None,
             done,
             total_shards,
             records,
@@ -364,6 +376,20 @@ impl Coordinator {
             .counter("dist.protocol_errors")
             .add(g.protocol_errors);
         telemetry.set_gauge("dist.straggler_seconds", straggler_seconds);
+        // Split wall time into fleet spin-up (bind → first lease grant,
+        // dominated by connects, handshakes, and worker model builds)
+        // vs. steady-state shard service, so operators do not read
+        // startup cost as a sharding regression.
+        let total_seconds = start.elapsed().as_secs_f64();
+        let startup_seconds = g
+            .first_lease_at
+            .map(|t| t.duration_since(start).as_secs_f64())
+            .unwrap_or(total_seconds);
+        telemetry.set_gauge("dist.startup_seconds", startup_seconds);
+        telemetry.set_gauge(
+            "dist.steady_seconds",
+            (total_seconds - startup_seconds).max(0.0),
+        );
         for w in &workers {
             telemetry.set_gauge(&format!("dist.worker.{}.probes", w.id), w.probes as f64);
             telemetry.set_gauge(&format!("dist.worker.{}.shards", w.id), w.shards as f64);
@@ -399,8 +425,13 @@ impl Coordinator {
 }
 
 /// Runs the handshake: `Hello` → `Job` → `Ready`, rejecting version and
-/// fingerprint mismatches. Returns the worker's pid.
-fn handshake(stream: &mut &TcpStream, job: &JobSpec, fp: u64) -> Result<u32, (FrameError, bool)> {
+/// fingerprint mismatches. Returns the worker's pid and the worker's
+/// trace clock at `Ready` (for re-basing shipped trace events).
+fn handshake(
+    stream: &mut &TcpStream,
+    job: &JobSpec,
+    fp: u64,
+) -> Result<(u32, u64), (FrameError, bool)> {
     let pid = match protocol::recv(stream) {
         Ok(Message::Hello { protocol, pid }) => {
             if protocol != crate::frame::PROTOCOL_VERSION {
@@ -432,8 +463,11 @@ fn handshake(stream: &mut &TcpStream, job: &JobSpec, fp: u64) -> Result<u32, (Fr
         }
     };
     match ready {
-        Ok(Message::Ready { fingerprint }) if fingerprint == fp => Ok(pid),
-        Ok(Message::Ready { fingerprint }) => {
+        Ok(Message::Ready {
+            fingerprint,
+            clock_us,
+        }) if fingerprint == fp => Ok((pid, clock_us)),
+        Ok(Message::Ready { fingerprint, .. }) => {
             let _ = protocol::send(
                 stream,
                 &Message::Reject {
@@ -469,10 +503,10 @@ fn serve_worker(
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(heartbeat_timeout));
     let mut stream_ref = &stream;
-    let pid = {
+    let (pid, worker_clock_us) = {
         let _s = telemetry.span("dist.handshake");
         match handshake(&mut stream_ref, job, fp) {
-            Ok(pid) => pid,
+            Ok(done) => done,
             Err((err, was_reject)) => {
                 let mut g = sched.lock().expect("scheduler lock");
                 if was_reject {
@@ -502,6 +536,12 @@ fn serve_worker(
         );
     }
     telemetry.counter("dist.workers_connected").incr();
+    // Per-worker clock offset: the worker reports its trace clock at
+    // Ready; adding this offset re-bases its event timestamps onto the
+    // coordinator's timeline (network latency errs the offset late by
+    // at most one frame round-trip).
+    let clock_offset_us = telemetry.now_us() as i64 - worker_clock_us as i64;
+    telemetry.set_process_label(pid, &format!("worker-{id}"));
     if verbose {
         eprintln!("dist: worker {id} (pid {pid}) connected");
     }
@@ -516,26 +556,75 @@ fn serve_worker(
                     } else if let Some(shard) = g.pending.pop_front() {
                         let lease = g.next_lease;
                         g.next_lease += 1;
+                        let span_id = if telemetry.trace_enabled() {
+                            let s = g.next_span_id;
+                            g.next_span_id += 1;
+                            s
+                        } else {
+                            0
+                        };
                         g.leases.insert(lease, (shard, id));
-                        Message::Lease { lease, shard }
+                        if g.first_lease_at.is_none() {
+                            g.first_lease_at = Some(Instant::now());
+                        }
+                        Message::Lease {
+                            lease,
+                            span_id,
+                            shard,
+                        }
                     } else {
                         Message::Idle {
                             retry_ms: IDLE_RETRY_MS,
                         }
                     }
                 };
+                if let Message::Lease {
+                    lease,
+                    span_id,
+                    shard,
+                } = &reply
+                {
+                    telemetry.instant(
+                        "dist.lease_grant",
+                        &[
+                            ("worker", ManifestValue::Int(id as i64)),
+                            ("lease", ManifestValue::Int(*lease as i64)),
+                            ("span_id", ManifestValue::Int(*span_id as i64)),
+                            ("shard", ManifestValue::Str(shard.to_string())),
+                        ],
+                    );
+                }
                 let is_shutdown = matches!(reply, Message::Shutdown);
                 if protocol::send(&mut stream_ref, &reply).is_err() || is_shutdown {
                     break;
                 }
             }
-            Ok(Message::Heartbeat { .. }) => {}
+            Ok(Message::Heartbeat { lease }) => {
+                telemetry.instant(
+                    "dist.heartbeat",
+                    &[
+                        ("worker", ManifestValue::Int(id as i64)),
+                        ("lease", ManifestValue::Int(lease as i64)),
+                    ],
+                );
+            }
             Ok(Message::ShardDone {
                 lease,
                 shard,
                 records,
                 stats,
+                events,
             }) => {
+                ingest_worker_events(&telemetry, events, pid, clock_offset_us);
+                telemetry.instant(
+                    "dist.shard_done",
+                    &[
+                        ("worker", ManifestValue::Int(id as i64)),
+                        ("lease", ManifestValue::Int(lease as i64)),
+                        ("shard", ManifestValue::Str(shard.to_string())),
+                        ("probes", ManifestValue::Int(records.len() as i64)),
+                    ],
+                );
                 let mut g = sched.lock().expect("scheduler lock");
                 handle_done(&mut g, id, lease, shard, &records, &stats, &telemetry);
                 if verbose {
@@ -577,10 +666,35 @@ fn serve_worker(
     drop(g);
     if evicted > 0 {
         telemetry.counter("dist.lease_evictions").add(evicted);
+        telemetry.instant(
+            "dist.eviction",
+            &[
+                ("worker", ManifestValue::Int(id as i64)),
+                ("requeued", ManifestValue::Int(evicted as i64)),
+            ],
+        );
         if verbose {
             eprintln!("dist: worker {id} lost; requeued {evicted} leased shard(s)");
         }
     }
+}
+
+/// Re-bases worker trace events onto the coordinator's clock, stamps
+/// the originating pid, and merges them into the coordinator's buffer.
+fn ingest_worker_events(
+    telemetry: &Telemetry,
+    mut events: Vec<TraceEvent>,
+    pid: u32,
+    clock_offset_us: i64,
+) {
+    if events.is_empty() {
+        return;
+    }
+    for e in &mut events {
+        e.pid = pid;
+        e.ts_us = e.ts_us.saturating_add_signed(clock_offset_us);
+    }
+    telemetry.ingest_trace_events(events);
 }
 
 /// Integrates one completed shard: journals fresh records atomically,
@@ -628,4 +742,7 @@ fn handle_done(
     }
     telemetry.counter("dist.shards_completed").incr();
     telemetry.counter("dist.probes").add(fresh);
+    telemetry
+        .histogram("dist.shard_service")
+        .record_us((stats.seconds * 1e6) as u64);
 }

@@ -19,7 +19,10 @@ use std::io::{self, Read, Write};
 /// Wire-protocol version carried in every frame header and in the
 /// `Hello` handshake. Bump on any incompatible change to the framing or
 /// message encodings.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2: trace-context propagation — `Job.trace_id`, `Ready.clock_us`,
+/// `Lease.span_id`, and trace events appended to `ShardDone`.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a frame payload. The largest legitimate message is a
 /// `ShardDone` for one pairwise shard (26 bytes per probe); 4 MiB leaves
@@ -271,6 +274,17 @@ mod tests {
             matches!(err, FrameError::UnsupportedVersion(0xFFFF)),
             "{err}"
         );
+    }
+
+    #[test]
+    fn pre_trace_v1_frames_are_rejected() {
+        // v1 peers (no trace context) must be refused at the frame
+        // layer before any payload decoding is attempted.
+        let mut bytes = frame(1, b"payload");
+        bytes[4] = 1;
+        bytes[5] = 0;
+        let err = read_frame(&mut Cursor::new(&bytes)).unwrap_err();
+        assert!(matches!(err, FrameError::UnsupportedVersion(1)), "{err}");
     }
 
     #[test]

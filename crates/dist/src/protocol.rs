@@ -5,14 +5,20 @@
 //! ```text
 //! worker → Hello { protocol, pid }
 //! coord  → Job(JobSpec)                (or Reject on a version mismatch)
-//! worker → Ready { fingerprint }
+//! worker → Ready { fingerprint, clock_us }
 //! coord  →                             (Reject + close on fingerprint mismatch)
 //! loop:
 //!   worker → LeaseRequest
-//!   coord  → Lease { lease, shard } | Idle { retry_ms } | Shutdown
+//!   coord  → Lease { lease, span_id, shard } | Idle { retry_ms } | Shutdown
 //!   worker → Heartbeat { lease }        (from a side thread, any time)
-//!   worker → ShardDone { lease, shard, records, stats }
+//!   worker → ShardDone { lease, shard, records, stats, events }
 //! ```
+//!
+//! Protocol v2 carries trace context end to end: the coordinator mints
+//! a `trace_id` in the `JobSpec`, hands a per-shard `span_id` with each
+//! lease, and workers ship their local trace events (timestamps on the
+//! worker clock; `clock_us` from `Ready` lets the coordinator re-base
+//! them) back inside `ShardDone`.
 //!
 //! Every decode failure is a typed [`FrameError`]; unknown kinds, short
 //! payloads, trailing bytes, and out-of-range enum tags are all rejected
@@ -21,6 +27,7 @@
 use crate::frame::{read_frame, write_frame, FrameError};
 use clado_core::{ProbeId, ProbeRecord, ShardRunStats, ShardSpec};
 use clado_quant::QuantScheme;
+use clado_telemetry::{ManifestValue, TraceEvent};
 use std::io::{Read, Write};
 
 /// The measurement job a coordinator hands each worker: everything a
@@ -45,6 +52,9 @@ pub struct JobSpec {
     /// The coordinator's config fingerprint; workers echo their own in
     /// `Ready` and mismatches are rejected.
     pub fingerprint: u64,
+    /// Trace correlation id minted by the coordinator (0 = tracing
+    /// off). Workers tag their local trace events with it.
+    pub trace_id: u64,
 }
 
 /// One message of the protocol. See the module docs for the exchange.
@@ -63,6 +73,10 @@ pub enum Message {
     Ready {
         /// Fingerprint of the worker's locally-built configuration.
         fingerprint: u64,
+        /// The worker's trace clock (µs since its telemetry epoch) at
+        /// send time; the coordinator derives a per-worker clock offset
+        /// from it to re-base shipped trace events.
+        clock_us: u64,
     },
     /// The coordinator refuses this worker and will close the connection.
     Reject {
@@ -75,6 +89,9 @@ pub enum Message {
     Lease {
         /// Lease id to echo in `Heartbeat` and `ShardDone`.
         lease: u64,
+        /// Trace span id for this shard's execution (0 = tracing off);
+        /// the worker tags its shard span with it.
+        span_id: u64,
         /// The shard to evaluate.
         shard: ShardSpec,
     },
@@ -102,6 +119,10 @@ pub enum Message {
         records: Vec<ProbeRecord>,
         /// Evaluation statistics for the shard.
         stats: ShardRunStats,
+        /// The worker's trace events accumulated since the last
+        /// `ShardDone` (empty when tracing is off). Timestamps are on
+        /// the worker's clock; the coordinator re-bases them.
+        events: Vec<TraceEvent>,
     },
 }
 
@@ -193,6 +214,41 @@ fn put_record(out: &mut Vec<u8>, rec: &ProbeRecord) {
     }
     put_u64(out, rec.loss.to_bits());
     out.push(u8::from(rec.quarantined));
+}
+
+const ARG_STR: u8 = 0;
+const ARG_INT: u8 = 1;
+const ARG_FLOAT: u8 = 2;
+const ARG_BOOL: u8 = 3;
+
+fn put_event(out: &mut Vec<u8>, e: &TraceEvent) {
+    put_bytes(out, e.name.as_bytes());
+    out.push(e.ph);
+    put_u64(out, e.ts_us);
+    put_u64(out, e.dur_us);
+    put_u32(out, e.tid);
+    out.push(e.args.len().min(u8::MAX as usize) as u8);
+    for (key, value) in e.args.iter().take(u8::MAX as usize) {
+        put_bytes(out, key.as_bytes());
+        match value {
+            ManifestValue::Str(s) => {
+                out.push(ARG_STR);
+                put_bytes(out, s.as_bytes());
+            }
+            ManifestValue::Int(i) => {
+                out.push(ARG_INT);
+                put_u64(out, *i as u64);
+            }
+            ManifestValue::Float(f) => {
+                out.push(ARG_FLOAT);
+                put_u64(out, f.to_bits());
+            }
+            ManifestValue::Bool(b) => {
+                out.push(ARG_BOOL);
+                out.push(u8::from(*b));
+            }
+        }
+    }
 }
 
 fn put_stats(out: &mut Vec<u8>, s: &ShardRunStats) {
@@ -306,6 +362,42 @@ impl<'a> Cur<'a> {
             quarantined,
         })
     }
+    fn event(&mut self) -> Result<TraceEvent, FrameError> {
+        let name = self.string("event.name")?;
+        let ph = self.u8("event.ph")?;
+        if ph != clado_telemetry::PH_COMPLETE && ph != clado_telemetry::PH_INSTANT {
+            return Err(FrameError::Malformed(format!("event.ph {ph} out of range")));
+        }
+        let ts_us = self.u64("event.ts_us")?;
+        let dur_us = self.u64("event.dur_us")?;
+        let tid = self.u32("event.tid")?;
+        let n_args = self.u8("event.arg_count")? as usize;
+        let mut args = Vec::with_capacity(n_args);
+        for _ in 0..n_args {
+            let key = self.string("event.arg_key")?;
+            let value = match self.u8("event.arg_tag")? {
+                ARG_STR => ManifestValue::Str(self.string("event.arg_str")?),
+                ARG_INT => ManifestValue::Int(self.u64("event.arg_int")? as i64),
+                ARG_FLOAT => ManifestValue::Float(f64::from_bits(self.u64("event.arg_float")?)),
+                ARG_BOOL => ManifestValue::Bool(self.bool("event.arg_bool")?),
+                other => {
+                    return Err(FrameError::Malformed(format!(
+                        "event arg tag {other} out of range"
+                    )))
+                }
+            };
+            args.push((key, value));
+        }
+        Ok(TraceEvent {
+            name,
+            ph,
+            ts_us,
+            dur_us,
+            pid: 0, // stamped by the coordinator on ingest
+            tid,
+            args,
+        })
+    }
     fn stats(&mut self) -> Result<ShardRunStats, FrameError> {
         Ok(ShardRunStats {
             full_evals: self.u64("stats.full_evals")?,
@@ -361,12 +453,24 @@ impl Message {
                 out.push(job.scheme);
                 out.push(u8::from(job.use_prefix_cache));
                 put_u64(&mut out, job.fingerprint);
+                put_u64(&mut out, job.trace_id);
             }
-            Self::Ready { fingerprint } => put_u64(&mut out, *fingerprint),
+            Self::Ready {
+                fingerprint,
+                clock_us,
+            } => {
+                put_u64(&mut out, *fingerprint);
+                put_u64(&mut out, *clock_us);
+            }
             Self::Reject { reason } => put_bytes(&mut out, reason.as_bytes()),
             Self::LeaseRequest | Self::Shutdown => {}
-            Self::Lease { lease, shard } => {
+            Self::Lease {
+                lease,
+                span_id,
+                shard,
+            } => {
                 put_u64(&mut out, *lease);
+                put_u64(&mut out, *span_id);
                 put_shard(&mut out, *shard);
             }
             Self::Idle { retry_ms } => put_u32(&mut out, *retry_ms),
@@ -376,6 +480,7 @@ impl Message {
                 shard,
                 records,
                 stats,
+                events,
             } => {
                 put_u64(&mut out, *lease);
                 put_shard(&mut out, *shard);
@@ -384,6 +489,10 @@ impl Message {
                     put_record(&mut out, rec);
                 }
                 put_stats(&mut out, stats);
+                put_u32(&mut out, events.len() as u32);
+                for e in events {
+                    put_event(&mut out, e);
+                }
             }
         }
         out
@@ -412,9 +521,11 @@ impl Message {
                 scheme: c.u8("job.scheme")?,
                 use_prefix_cache: c.bool("job.use_prefix_cache")?,
                 fingerprint: c.u64("job.fingerprint")?,
+                trace_id: c.u64("job.trace_id")?,
             }),
             KIND_READY => Self::Ready {
                 fingerprint: c.u64("ready.fingerprint")?,
+                clock_us: c.u64("ready.clock_us")?,
             },
             KIND_REJECT => Self::Reject {
                 reason: c.string("reject.reason")?,
@@ -422,6 +533,7 @@ impl Message {
             KIND_LEASE_REQUEST => Self::LeaseRequest,
             KIND_LEASE => Self::Lease {
                 lease: c.u64("lease.id")?,
+                span_id: c.u64("lease.span_id")?,
                 shard: c.shard("lease.shard")?,
             },
             KIND_IDLE => Self::Idle {
@@ -447,11 +559,24 @@ impl Message {
                     records.push(c.record()?);
                 }
                 let stats = c.stats()?;
+                let event_count = c.u32("done.event_count")? as usize;
+                // Each event is at least ~30 bytes; reject absurd
+                // counts before allocating.
+                if event_count > payload.len() {
+                    return Err(FrameError::Malformed(format!(
+                        "done.event_count {event_count} exceeds payload size"
+                    )));
+                }
+                let mut events = Vec::with_capacity(event_count);
+                for _ in 0..event_count {
+                    events.push(c.event()?);
+                }
                 Self::ShardDone {
                     lease,
                     shard,
                     records,
                     stats,
+                    events,
                 }
             }
             other => return Err(FrameError::UnknownKind(other)),
@@ -496,9 +621,11 @@ mod tests {
                 scheme: 0,
                 use_prefix_cache: true,
                 fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+                trace_id: 0x1234_5678_9ABC_DEF0,
             }),
             Message::Ready {
                 fingerprint: u64::MAX,
+                clock_us: 123_456,
             },
             Message::Reject {
                 reason: "config fingerprint mismatch".into(),
@@ -506,6 +633,7 @@ mod tests {
             Message::LeaseRequest,
             Message::Lease {
                 lease: 3,
+                span_id: 77,
                 shard: ShardSpec::Pair { outer: 11 },
             },
             Message::Idle { retry_ms: 50 },
@@ -534,6 +662,31 @@ mod tests {
                     quarantined: 1,
                     seconds: 0.25,
                 },
+                events: vec![
+                    TraceEvent {
+                        name: "dist.work.shard".into(),
+                        ph: clado_telemetry::PH_COMPLETE,
+                        ts_us: 1000,
+                        dur_us: 250,
+                        pid: 0,
+                        tid: 2,
+                        args: vec![
+                            ("lease".into(), ManifestValue::Int(3)),
+                            ("label".into(), ManifestValue::Str("diag λ".into())),
+                            ("cached".into(), ManifestValue::Bool(true)),
+                            ("loss".into(), ManifestValue::Float(-0.5)),
+                        ],
+                    },
+                    TraceEvent {
+                        name: "tick".into(),
+                        ph: clado_telemetry::PH_INSTANT,
+                        ts_us: 1100,
+                        dur_us: 0,
+                        pid: 0,
+                        tid: 2,
+                        args: Vec::new(),
+                    },
+                ],
             },
         ];
         for msg in &msgs {
@@ -581,11 +734,63 @@ mod tests {
             scheme: 0,
             use_prefix_cache: false,
             fingerprint: 0,
+            trace_id: 0,
         })
         .encode();
-        let flag_at = job.len() - 9;
+        // The flag sits before fingerprint (8) and trace_id (8).
+        let flag_at = job.len() - 17;
         job[flag_at] = 2;
         let err = Message::decode(KIND_JOB, &job).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_event_fields_are_malformed() {
+        let base = Message::ShardDone {
+            lease: 1,
+            shard: ShardSpec::Base,
+            records: Vec::new(),
+            stats: ShardRunStats::default(),
+            events: vec![TraceEvent {
+                name: "e".into(),
+                ph: clado_telemetry::PH_INSTANT,
+                ts_us: 0,
+                dur_us: 0,
+                pid: 0,
+                tid: 0,
+                args: vec![("k".into(), ManifestValue::Bool(false))],
+            }],
+        };
+        let good = base.encode();
+        assert!(Message::decode(KIND_SHARD_DONE, &good).is_ok());
+        // Corrupt the phase byte (follows the 1-byte name "e" with its
+        // 4-byte length prefix).
+        let name_at = good
+            .windows(5)
+            .position(|w| w == [1, 0, 0, 0, b'e'])
+            .expect("event name");
+        let mut bad_ph = good.clone();
+        bad_ph[name_at + 5] = b'Z';
+        let err = Message::decode(KIND_SHARD_DONE, &bad_ph).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+        // Corrupt the trailing arg tag (last two bytes are tag + bool).
+        let mut bad_tag = good.clone();
+        let tag_at = good.len() - 2;
+        bad_tag[tag_at] = 9;
+        let err = Message::decode(KIND_SHARD_DONE, &bad_tag).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+        // Absurd event counts are rejected without allocation.
+        let mut huge = Message::ShardDone {
+            lease: 1,
+            shard: ShardSpec::Base,
+            records: Vec::new(),
+            stats: ShardRunStats::default(),
+            events: Vec::new(),
+        }
+        .encode();
+        let count_at = huge.len() - 4;
+        huge[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Message::decode(KIND_SHARD_DONE, &huge).unwrap_err();
         assert!(matches!(err, FrameError::Malformed(_)), "{err}");
     }
 

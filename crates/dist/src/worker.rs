@@ -166,6 +166,12 @@ where
         return Err(FrameError::Malformed("job carries no bit-widths".into()).into());
     }
     let scheme = scheme_from_u8(job.scheme)?;
+    // A nonzero trace id means the coordinator is tracing: record local
+    // events (tagged with the shared id) and ship them in ShardDone.
+    if job.trace_id != 0 {
+        telemetry.set_trace_id(job.trace_id);
+        telemetry.set_trace_enabled(true);
+    }
 
     // Liveness side channel, started *before* the (potentially slow)
     // model reconstruction: any frame resets the coordinator's
@@ -218,21 +224,41 @@ where
             job.fingerprint
         );
     }
-    conn.send(&Message::Ready { fingerprint })?;
+    conn.send(&Message::Ready {
+        fingerprint,
+        clock_us: telemetry.now_us(),
+    })?;
 
+    let roundtrip = telemetry.histogram("dist.roundtrip");
     let mut report = WorkerReport::default();
     let result = (|| -> Result<(), DistError> {
         loop {
+            let rt_start = Instant::now();
             conn.send(&Message::LeaseRequest)?;
-            match conn.recv()? {
-                Message::Lease { lease, shard } => {
+            let reply = conn.recv()?;
+            roundtrip.record(rt_start.elapsed());
+            match reply {
+                Message::Lease {
+                    lease,
+                    span_id,
+                    shard,
+                } => {
                     current_lease.store(lease, Ordering::Relaxed);
                     // Debug-build fail point: a worker process armed with
                     // `dist.worker.shard=abort` dies here, mid-lease,
                     // exactly like a SIGKILL.
                     faultpoint!("dist.worker.shard", std::process::abort());
-                    let _s = telemetry.span("dist.work.shard");
-                    let (records, stats) = ctx.run_shard(&mut network, &set, shard, &telemetry);
+                    let (records, stats) = {
+                        let _s = telemetry.span_with_args(
+                            "dist.work.shard",
+                            vec![
+                                ("lease".to_string(), (lease as i64).into()),
+                                ("span_id".to_string(), (span_id as i64).into()),
+                                ("shard".to_string(), shard.to_string().into()),
+                            ],
+                        );
+                        ctx.run_shard(&mut network, &set, shard, &telemetry)
+                    };
                     current_lease.store(0, Ordering::Relaxed);
                     report.shards += 1;
                     report.probes += records.len() as u64;
@@ -245,11 +271,16 @@ where
                             stats.seconds
                         );
                     }
+                    // Ship the trace events accumulated while this shard
+                    // ran (the buffer is empty when tracing is off).
+                    clado_telemetry::flush_thread_local();
+                    let events = telemetry.take_trace_events();
                     conn.send(&Message::ShardDone {
                         lease,
                         shard,
                         records,
                         stats,
+                        events,
                     })?;
                 }
                 Message::Idle { retry_ms } => {

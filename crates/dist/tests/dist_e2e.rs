@@ -83,6 +83,7 @@ fn job(fingerprint: u64) -> JobSpec {
         scheme: 0,
         use_prefix_cache: true,
         fingerprint,
+        trace_id: 0,
     }
 }
 
@@ -265,7 +266,14 @@ fn hung_worker_is_evicted_by_heartbeat_deadline() {
             let Message::Job(_) = protocol::recv(&mut s).expect("job") else {
                 panic!("expected job");
             };
-            protocol::send(&mut s, &Message::Ready { fingerprint: fp }).expect("ready");
+            protocol::send(
+                &mut s,
+                &Message::Ready {
+                    fingerprint: fp,
+                    clock_us: 0,
+                },
+            )
+            .expect("ready");
             protocol::send(&mut s, &Message::LeaseRequest).expect("lease request");
             match protocol::recv(&mut s).expect("lease reply") {
                 Message::Lease { .. } => {}
@@ -328,6 +336,7 @@ fn fingerprint_mismatch_worker_is_rejected() {
                 &mut s,
                 &Message::Ready {
                     fingerprint: fp ^ 0xFFFF,
+                    clock_us: 0,
                 },
             )
             .expect("ready");

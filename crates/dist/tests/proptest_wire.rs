@@ -8,6 +8,7 @@
 
 use clado_core::{ProbeId, ProbeRecord, ShardRunStats, ShardSpec};
 use clado_dist::protocol::{self, JobSpec, Message};
+use clado_telemetry::{ManifestValue, TraceEvent, PH_COMPLETE, PH_INSTANT};
 use proptest::prelude::*;
 
 /// Round-trips `msg` through a full frame write + read + decode and
@@ -64,6 +65,35 @@ fn loss_from(selector: u8, raw: u64) -> f64 {
     }
 }
 
+fn trace_event(
+    tag: u8,
+    ts_us: u64,
+    dur_us: u64,
+    tid: u32,
+    arg_sel: u8,
+    arg_raw: u64,
+) -> TraceEvent {
+    let value = match arg_sel % 4 {
+        0 => ManifestValue::Str(format!("λ-{arg_raw:x}")),
+        1 => ManifestValue::Int(arg_raw as i64),
+        2 => ManifestValue::Float(loss_from(arg_sel, arg_raw)),
+        _ => ManifestValue::Bool(arg_raw % 2 == 1),
+    };
+    TraceEvent {
+        name: format!("span.{}", tag % 4),
+        ph: if tag.is_multiple_of(2) {
+            PH_COMPLETE
+        } else {
+            PH_INSTANT
+        },
+        ts_us,
+        dur_us,
+        pid: 0,
+        tid,
+        args: vec![("k".to_string(), value)],
+    }
+}
+
 fn record(tag: u8, idx: (u32, u32, u32, u32), sel: u8, raw: u64, q: u8) -> ProbeRecord {
     ProbeRecord {
         id: probe_id(tag, idx.0, idx.1, idx.2, idx.3),
@@ -88,6 +118,7 @@ proptest! {
         scheme in 0u8..=2,
         cache_flag in 0u8..=1,
         model_byte in 0u8..=255,
+        trace_id in 0u64..u64::MAX,
     ) {
         // Model names exercise multi-byte UTF-8, not just ASCII.
         let model: String = std::iter::repeat_n('λ', model_len % 8)
@@ -102,16 +133,18 @@ proptest! {
             scheme,
             use_prefix_cache: cache_flag == 1,
             fingerprint,
+            trace_id,
         }))?;
     }
 
     #[test]
     fn ready_and_reject_round_trip(
         fingerprint in 0u64..u64::MAX,
+        clock_us in 0u64..u64::MAX,
         reason_len in 0usize..=128,
         reason_byte in 0u8..=25,
     ) {
-        round_trip(&Message::Ready { fingerprint })?;
+        round_trip(&Message::Ready { fingerprint, clock_us })?;
         let reason: String =
             std::iter::repeat_n(char::from(reason_byte + b'a'), reason_len).collect();
         round_trip(&Message::Reject { reason })?;
@@ -126,8 +159,13 @@ proptest! {
     }
 
     #[test]
-    fn lease_round_trips(lease in 0u64..u64::MAX, tag in 0u8..=2, index in 0u32..=u32::MAX) {
-        round_trip(&Message::Lease { lease, shard: shard_spec(tag, index) })?;
+    fn lease_round_trips(
+        lease in 0u64..u64::MAX,
+        span_id in 0u64..u64::MAX,
+        tag in 0u8..=2,
+        index in 0u32..=u32::MAX,
+    ) {
+        round_trip(&Message::Lease { lease, span_id, shard: shard_spec(tag, index) })?;
     }
 
     #[test]
@@ -146,10 +184,21 @@ proptest! {
             (0u64..u64::MAX, 0u64..u64::MAX),
             (0u8..=7, 0u64..u64::MAX),
         ),
+        events in prop::collection::vec(
+            (
+                (0u8..=254, 0u64..u64::MAX, 0u64..u64::MAX),
+                (0u32..u32::MAX, 0u8..=254, 0u64..u64::MAX),
+            ),
+            0..=8,
+        ),
     ) {
         let records: Vec<ProbeRecord> = records
             .into_iter()
             .map(|((tag, a, b), (c, d), (sel, raw, q))| record(tag, (a, b, c, d), sel, raw, q))
+            .collect();
+        let events: Vec<TraceEvent> = events
+            .into_iter()
+            .map(|((tag, ts, dur), (tid, sel, raw))| trace_event(tag, ts, dur, tid, sel, raw))
             .collect();
         let ((full_evals, cache_hits, cache_builds), (retried, quarantined), (sel, raw)) = stats;
         round_trip(&Message::ShardDone {
@@ -164,6 +213,7 @@ proptest! {
                 quarantined,
                 seconds: loss_from(sel, raw),
             },
+            events,
         })?;
     }
 

@@ -18,6 +18,7 @@
 use super::bounds::{mckp_lp_bound, McKpItem};
 use super::deadline::{Anytime, Stop, TICK_MASK};
 use super::{Candidate, IqpProblem, SolverConfig};
+use clado_telemetry::Telemetry;
 
 /// Outcome of one branch-and-bound run.
 pub(super) struct BnbRun {
@@ -34,6 +35,9 @@ pub(super) struct BnbRun {
 struct Search<'p> {
     problem: &'p IqpProblem,
     ctl: &'p Anytime,
+    /// Incumbent-timeline sink: every strict improvement is pushed to the
+    /// `solver.incumbents` series (no-op on a disabled handle).
+    telemetry: &'p Telemetry,
     /// Group visit order (group indices).
     order: Vec<usize>,
     /// `rowmin[v][pos]`: min over candidates of the group at `order[pos]`
@@ -65,7 +69,13 @@ struct Search<'p> {
 }
 
 impl<'p> Search<'p> {
-    fn new(problem: &'p IqpProblem, warm: &Candidate, max_nodes: u64, ctl: &'p Anytime) -> Self {
+    fn new(
+        problem: &'p IqpProblem,
+        warm: &Candidate,
+        max_nodes: u64,
+        ctl: &'p Anytime,
+        telemetry: &'p Telemetry,
+    ) -> Self {
         let k = problem.num_groups();
         let n = problem.matrix().dim();
         // Visit groups with the widest cost spread first: their budget
@@ -107,6 +117,7 @@ impl<'p> Search<'p> {
         Self {
             problem,
             ctl,
+            telemetry,
             order,
             rowmin,
             suffix_rowmin,
@@ -160,6 +171,8 @@ impl<'p> Search<'p> {
                     by_group[self.order[pos]] = m;
                 }
                 self.best_choices = by_group;
+                self.telemetry
+                    .series_push("solver.incumbents", self.best_obj, "bnb");
             }
             return;
         }
@@ -233,9 +246,9 @@ pub(super) fn run(
     warm: &Candidate,
     ctl: &Anytime,
 ) -> BnbRun {
-    let mut search = Search::new(problem, warm, config.max_nodes, ctl);
-    search.dfs(0);
     let telemetry = &config.telemetry;
+    let mut search = Search::new(problem, warm, config.max_nodes, ctl, telemetry);
+    search.dfs(0);
     telemetry.add("solver.iqp.nodes", search.nodes);
     telemetry.add("solver.iqp.bound_prunes", search.bound_prunes);
     telemetry.add("solver.iqp.feasibility_prunes", search.feasibility_prunes);

@@ -577,6 +577,20 @@ impl IqpProblem {
         let note = |slot: &mut Option<Stop>, stop: Stop| {
             slot.get_or_insert(stop);
         };
+        // Every ladder step lands both in the typed trail and, when tracing
+        // is on, as an instant on the trace timeline so downgrades line up
+        // with the incumbent curve.
+        let step = |trail: &mut Vec<Downgrade>, d: Downgrade| {
+            telemetry.instant(
+                "solver.downgrade",
+                &[
+                    ("from", d.from.label().into()),
+                    ("to", d.to.label().into()),
+                    ("reason", d.reason.slug().into()),
+                ],
+            );
+            trail.push(d);
+        };
         let finish = |carried: Option<Candidate>, last: Candidate| match carried {
             Some(c) => better(c, last),
             None => last,
@@ -589,11 +603,14 @@ impl IqpProblem {
                 if let Some(stop) = ctl.check_now() {
                     note(&mut first_stop, stop);
                     let to = next_rung(rung);
-                    trail.push(Downgrade {
-                        from: rung,
-                        to,
-                        reason: stop.into(),
-                    });
+                    step(
+                        trail,
+                        Downgrade {
+                            from: rung,
+                            to,
+                            reason: stop.into(),
+                        },
+                    );
                     rung = to;
                     continue;
                 }
@@ -602,14 +619,24 @@ impl IqpProblem {
                 MethodUsed::Exhaustive => {
                     let _s = telemetry.span("solver.iqp.exhaustive");
                     match exhaustive::run(self, ctl) {
-                        Ok(cand) => return (finish(carried, cand), nodes, first_stop),
+                        Ok(cand) => {
+                            telemetry.series_push(
+                                "solver.incumbents",
+                                cand.objective,
+                                "exhaustive",
+                            );
+                            return (finish(carried, cand), nodes, first_stop);
+                        }
                         Err(stop) => {
                             note(&mut first_stop, stop);
-                            trail.push(Downgrade {
-                                from: rung,
-                                to: MethodUsed::BranchAndBound,
-                                reason: stop.into(),
-                            });
+                            step(
+                                trail,
+                                Downgrade {
+                                    from: rung,
+                                    to: MethodUsed::BranchAndBound,
+                                    reason: stop.into(),
+                                },
+                            );
                             rung = MethodUsed::BranchAndBound;
                         }
                     }
@@ -617,11 +644,14 @@ impl IqpProblem {
                 MethodUsed::DynamicProgramming => {
                     let defect = dp::separability_defect(self);
                     if defect > 0.0 {
-                        trail.push(Downgrade {
-                            from: rung,
-                            to: MethodUsed::DiagonalDp,
-                            reason: DowngradeReason::NotSeparable { defect },
-                        });
+                        step(
+                            trail,
+                            Downgrade {
+                                from: rung,
+                                to: MethodUsed::DiagonalDp,
+                                reason: DowngradeReason::NotSeparable { defect },
+                            },
+                        );
                         rung = MethodUsed::DiagonalDp;
                         continue;
                     }
@@ -630,25 +660,32 @@ impl IqpProblem {
                         dp::DpOutcome::Solved(choices) => {
                             let mut cand = Candidate::evaluated(self, choices, rung);
                             cand.proved = true;
+                            telemetry.series_push("solver.incumbents", cand.objective, "dp");
                             return (finish(carried, cand), nodes, first_stop);
                         }
                         dp::DpOutcome::TooLarge => {
                             // The diagonal rung would hit the same table
                             // limit; skip straight to local search.
-                            trail.push(Downgrade {
-                                from: rung,
-                                to: MethodUsed::LocalSearch,
-                                reason: DowngradeReason::TableTooLarge,
-                            });
+                            step(
+                                trail,
+                                Downgrade {
+                                    from: rung,
+                                    to: MethodUsed::LocalSearch,
+                                    reason: DowngradeReason::TableTooLarge,
+                                },
+                            );
                             rung = MethodUsed::LocalSearch;
                         }
                         dp::DpOutcome::Stopped(stop) => {
                             note(&mut first_stop, stop);
-                            trail.push(Downgrade {
-                                from: rung,
-                                to: MethodUsed::LocalSearch,
-                                reason: stop.into(),
-                            });
+                            step(
+                                trail,
+                                Downgrade {
+                                    from: rung,
+                                    to: MethodUsed::LocalSearch,
+                                    reason: stop.into(),
+                                },
+                            );
                             rung = MethodUsed::LocalSearch;
                         }
                     }
@@ -660,6 +697,11 @@ impl IqpProblem {
                     };
                     match warm {
                         local::LocalRun::Done(warm) => {
+                            telemetry.series_push(
+                                "solver.incumbents",
+                                warm.objective,
+                                "warm_start",
+                            );
                             let _s = telemetry.span("solver.iqp.branch");
                             let bb = bnb::run(self, config, &warm, ctl);
                             nodes += bb.nodes;
@@ -681,11 +723,14 @@ impl IqpProblem {
                                         Some(c) => better(c, cand),
                                         None => cand,
                                     });
-                                    trail.push(Downgrade {
-                                        from: rung,
-                                        to: MethodUsed::DiagonalDp,
-                                        reason: stop.into(),
-                                    });
+                                    step(
+                                        trail,
+                                        Downgrade {
+                                            from: rung,
+                                            to: MethodUsed::DiagonalDp,
+                                            reason: stop.into(),
+                                        },
+                                    );
                                     rung = MethodUsed::DiagonalDp;
                                 }
                                 Some(stop) => {
@@ -697,11 +742,14 @@ impl IqpProblem {
                                         Some(c) => better(c, warm),
                                         None => warm,
                                     });
-                                    trail.push(Downgrade {
-                                        from: rung,
-                                        to: MethodUsed::DiagonalDp,
-                                        reason: stop.into(),
-                                    });
+                                    step(
+                                        trail,
+                                        Downgrade {
+                                            from: rung,
+                                            to: MethodUsed::DiagonalDp,
+                                            reason: stop.into(),
+                                        },
+                                    );
                                     rung = MethodUsed::DiagonalDp;
                                 }
                             }
@@ -712,11 +760,14 @@ impl IqpProblem {
                                 Some(c) => better(c, greedy),
                                 None => greedy,
                             });
-                            trail.push(Downgrade {
-                                from: rung,
-                                to: MethodUsed::DiagonalDp,
-                                reason: stop.into(),
-                            });
+                            step(
+                                trail,
+                                Downgrade {
+                                    from: rung,
+                                    to: MethodUsed::DiagonalDp,
+                                    reason: stop.into(),
+                                },
+                            );
                             rung = MethodUsed::DiagonalDp;
                         }
                     }
@@ -732,23 +783,34 @@ impl IqpProblem {
                             if cand.proved {
                                 cand.method = MethodUsed::DynamicProgramming;
                             }
+                            telemetry.series_push(
+                                "solver.incumbents",
+                                cand.objective,
+                                "diagonal_dp",
+                            );
                             return (finish(carried, cand), nodes, first_stop);
                         }
                         dp::DpOutcome::TooLarge => {
-                            trail.push(Downgrade {
-                                from: rung,
-                                to: MethodUsed::LocalSearch,
-                                reason: DowngradeReason::TableTooLarge,
-                            });
+                            step(
+                                trail,
+                                Downgrade {
+                                    from: rung,
+                                    to: MethodUsed::LocalSearch,
+                                    reason: DowngradeReason::TableTooLarge,
+                                },
+                            );
                             rung = MethodUsed::LocalSearch;
                         }
                         dp::DpOutcome::Stopped(stop) => {
                             note(&mut first_stop, stop);
-                            trail.push(Downgrade {
-                                from: rung,
-                                to: MethodUsed::LocalSearch,
-                                reason: stop.into(),
-                            });
+                            step(
+                                trail,
+                                Downgrade {
+                                    from: rung,
+                                    to: MethodUsed::LocalSearch,
+                                    reason: stop.into(),
+                                },
+                            );
                             rung = MethodUsed::LocalSearch;
                         }
                     }
@@ -757,7 +819,12 @@ impl IqpProblem {
                     let _s = telemetry.span("solver.iqp.local");
                     match local::run(self, config, ctl) {
                         local::LocalRun::Done(cand) => {
-                            return (finish(carried, cand), nodes, first_stop)
+                            telemetry.series_push(
+                                "solver.incumbents",
+                                cand.objective,
+                                "local_search",
+                            );
+                            return (finish(carried, cand), nodes, first_stop);
                         }
                         local::LocalRun::Aborted { stop, greedy } => {
                             note(&mut first_stop, stop);
@@ -765,11 +832,14 @@ impl IqpProblem {
                                 Some(c) => better(c, greedy),
                                 None => greedy,
                             });
-                            trail.push(Downgrade {
-                                from: rung,
-                                to: MethodUsed::Greedy,
-                                reason: stop.into(),
-                            });
+                            step(
+                                trail,
+                                Downgrade {
+                                    from: rung,
+                                    to: MethodUsed::Greedy,
+                                    reason: stop.into(),
+                                },
+                            );
                             rung = MethodUsed::Greedy;
                         }
                     }
@@ -778,6 +848,7 @@ impl IqpProblem {
                     // The floor: pure deterministic construction, runs even
                     // with the cancel flag raised.
                     let cand = local::greedy_candidate(self);
+                    telemetry.series_push("solver.incumbents", cand.objective, "greedy");
                     return (finish(carried, cand), nodes, first_stop);
                 }
             }
@@ -1041,6 +1112,72 @@ mod tests {
         assert!(prunes > 0, "no prunes recorded");
         // A completed solve records no downgrades.
         assert_eq!(telemetry.counter_value("solver.downgrades"), 0);
+    }
+
+    #[test]
+    fn solve_records_an_incumbent_timeline() {
+        let p = cross_term_instance();
+        let telemetry = Telemetry::new();
+        let sol = p
+            .solve(&SolverConfig {
+                method: SolveMethod::BranchAndBound,
+                telemetry: telemetry.clone(),
+                ..Default::default()
+            })
+            .unwrap();
+        let series = telemetry.series();
+        let incumbents = series
+            .iter()
+            .find(|(name, _)| name == "solver.incumbents")
+            .map(|(_, points)| points.as_slice())
+            .expect("solver.incumbents series recorded");
+        // The warm start always lands first; B&B improvements (if any)
+        // follow, monotonically decreasing in objective.
+        assert_eq!(incumbents[0].label, "warm_start");
+        for pair in incumbents.windows(2) {
+            assert!(pair[1].t_us >= pair[0].t_us, "timeline not ordered");
+            assert!(
+                pair[1].value <= pair[0].value + 1e-12,
+                "incumbent objective increased along the timeline"
+            );
+        }
+        let last = incumbents.last().expect("at least the warm start");
+        assert!(
+            (last.value - sol.objective).abs() < 1e-9,
+            "final incumbent {} != returned objective {}",
+            last.value,
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn downgrades_emit_timeline_instants_when_tracing() {
+        let p = cross_term_instance();
+        let telemetry = Telemetry::new();
+        telemetry.set_trace_enabled(true);
+        let config = SolverConfig {
+            method: SolveMethod::DynamicProgramming,
+            telemetry: telemetry.clone(),
+            ..Default::default()
+        };
+        p.solve(&config).expect("DP degrades instead of erroring");
+        clado_telemetry::flush_thread_local();
+        let events = telemetry.take_trace_events();
+        let downgrade = events
+            .iter()
+            .find(|e| e.name == "solver.downgrade")
+            .expect("downgrade instant on the trace timeline");
+        let reason = downgrade
+            .args
+            .iter()
+            .find(|(k, _)| k == "reason")
+            .map(|(_, v)| v.clone());
+        assert_eq!(
+            reason,
+            Some(clado_telemetry::ManifestValue::Str(
+                "not_separable".to_string()
+            ))
+        );
     }
 
     #[test]

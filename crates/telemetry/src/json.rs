@@ -294,4 +294,64 @@ mod tests {
         assert_eq!(number(f64::INFINITY), "null");
         assert_eq!(number(2.5), "2.5");
     }
+
+    #[test]
+    fn escape_every_control_character() {
+        for code in 0u32..0x20 {
+            let ch = char::from_u32(code).expect("control char");
+            let escaped = escape(&ch.to_string());
+            assert!(
+                escaped.starts_with('\\'),
+                "U+{code:04X} must be escaped, got {escaped:?}"
+            );
+            let doc = format!("\"{escaped}\"");
+            let j = parse(&doc).unwrap_or_else(|e| panic!("U+{code:04X}: {e}"));
+            assert_eq!(j.as_str(), Some(ch.to_string().as_str()));
+        }
+    }
+
+    #[test]
+    fn escape_quotes_and_backslashes_exhaustively() {
+        let cases = [
+            (r#"""#, r#"\""#),
+            (r"\", r"\\"),
+            (r#"\""#, r#"\\\""#),
+            ("a\"b\\c", "a\\\"b\\\\c"),
+            ("\\\\\\", "\\\\\\\\\\\\"),
+            ("trailing\\", "trailing\\\\"),
+        ];
+        for (input, want) in cases {
+            assert_eq!(escape(input), want, "input {input:?}");
+            let j = parse(&format!("\"{}\"", escape(input))).expect("round trip");
+            assert_eq!(j.as_str(), Some(input));
+        }
+    }
+
+    #[test]
+    fn escape_passes_non_ascii_through_unescaped() {
+        for s in [
+            "µs and λ",
+            "日本語テスト",
+            "emoji \u{1F680} rocket",
+            "mixed: ü\tö\nß",
+            "\u{7f}", // DEL is not a JSON control char; must pass through
+        ] {
+            let doc = format!("\"{}\"", escape(s));
+            let j = parse(&doc).unwrap_or_else(|e| panic!("{s:?}: {e}"));
+            assert_eq!(j.as_str(), Some(s));
+        }
+        // Non-ASCII itself is not escaped (UTF-8 passthrough).
+        assert_eq!(escape("日本"), "日本");
+        assert_eq!(escape("\u{1F680}"), "\u{1F680}");
+    }
+
+    #[test]
+    fn escape_handles_embedded_nul_and_boundaries() {
+        assert_eq!(escape("\u{0}"), "\\u0000");
+        assert_eq!(escape("\u{1f}"), "\\u001f");
+        assert_eq!(escape("\u{20}"), " ");
+        let tricky = "a\u{0}b\u{1f}c d";
+        let j = parse(&format!("\"{}\"", escape(tricky))).expect("valid");
+        assert_eq!(j.as_str(), Some(tricky));
+    }
 }

@@ -240,6 +240,52 @@ pub(crate) fn render(t: &Telemetry, command: &str, config: &[(&str, ManifestValu
         "\n  },\n"
     });
 
+    let hists = t.histograms();
+    out.push_str("  \"histograms\": {");
+    for (i, (name, s)) in hists.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{}\": {{\"count\": {}, \"p50_us\": {}, \"p90_us\": {}, \
+             \"p99_us\": {}, \"max_us\": {}, \"mean_us\": {}}}",
+            escape(name),
+            s.count,
+            s.p50_us,
+            s.p90_us,
+            s.p99_us,
+            s.max_us,
+            number(s.mean_us)
+        ));
+    }
+    out.push_str(if hists.is_empty() { "},\n" } else { "\n  },\n" });
+
+    let series = t.series();
+    out.push_str("  \"series\": {");
+    for (i, (name, points)) in series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{}\": [", escape(name)));
+        for (j, p) in points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n      {{\"t_us\": {}, \"value\": {}, \"label\": \"{}\"}}",
+                p.t_us,
+                number(p.value),
+                escape(&p.label)
+            ));
+        }
+        out.push_str(if points.is_empty() { "]" } else { "\n    ]" });
+    }
+    out.push_str(if series.is_empty() {
+        "},\n"
+    } else {
+        "\n  },\n"
+    });
+
     let tree = build_tree(&t.spans());
     out.push_str("  \"spans\": [");
     if !tree.is_empty() {
@@ -296,7 +342,50 @@ pub(crate) fn render_summary(t: &Telemetry) -> String {
             out.push_str(&format!("    {name:<40} {value:.6}\n"));
         }
     }
+    let hists = t.histograms();
+    if hists.iter().any(|(_, s)| s.count > 0) {
+        out.push_str(&format!(
+            "  {:<30} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        ));
+        for (name, s) in &hists {
+            if s.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<30} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+                name,
+                s.count,
+                fmt_us(s.p50_us),
+                fmt_us(s.p90_us),
+                fmt_us(s.p99_us),
+                fmt_us(s.max_us),
+            ));
+        }
+    }
+    for (name, points) in &t.series() {
+        if let Some(last) = points.last() {
+            out.push_str(&format!(
+                "  series {name}: {} points, last {} ({}) at {:.3}s\n",
+                points.len(),
+                last.value,
+                last.label,
+                last.t_us as f64 / 1e6,
+            ));
+        }
+    }
     out
+}
+
+/// Formats a µs latency with an adaptive unit (`17µs`, `4.2ms`, `1.8s`).
+pub(crate) fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
+    }
 }
 
 #[cfg(test)]
@@ -447,5 +536,134 @@ mod tests {
         assert!(summary.contains("suffix_eval"), "{summary}");
         assert!(summary.contains("measure.evaluations"), "{summary}");
         assert!(summary.contains("telemetry.overhead_ratio"), "{summary}");
+    }
+
+    #[test]
+    fn manifest_includes_histograms_and_series() {
+        let t = Telemetry::new();
+        let h = t.histogram("probe.eval");
+        for us in [120u64, 340, 950, 4200] {
+            h.record_us(us);
+        }
+        t.series_push("solver.incumbents", 0.75, "warm_start");
+        t.series_push("solver.incumbents", 0.31, "bnb");
+        let doc = t.manifest("sensitivity", &[]);
+        let j = parse_json(&doc).expect("valid");
+        let hist = j
+            .get("histograms")
+            .and_then(|h| h.get("probe.eval"))
+            .expect("histogram entry");
+        assert_eq!(hist.get("count").and_then(Json::as_num), Some(4.0));
+        assert_eq!(hist.get("max_us").and_then(Json::as_num), Some(4200.0));
+        assert!(hist.get("p50_us").and_then(Json::as_num).unwrap() > 0.0);
+        let series = j
+            .get("series")
+            .and_then(|s| s.get("solver.incumbents"))
+            .and_then(Json::as_arr)
+            .expect("series");
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[1].get("label").and_then(Json::as_str), Some("bnb"));
+        assert_eq!(series[1].get("value").and_then(Json::as_num), Some(0.31));
+
+        let summary = t.render_summary();
+        assert!(summary.contains("probe.eval"), "{summary}");
+        assert!(summary.contains("solver.incumbents"), "{summary}");
+    }
+
+    /// Seeded-random manifest round-trip: arbitrary config values,
+    /// counters, gauges, histogram samples, and series points (with
+    /// hostile strings) must all survive serialize → parse.
+    #[test]
+    fn manifest_round_trip_property() {
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let hostile = [
+            "plain",
+            "with \"quotes\"",
+            "back\\slash",
+            "newline\nand\ttab",
+            "ctrl\u{1}\u{1f}",
+            "unicode λΩ→µ",
+        ];
+        for round in 0..25 {
+            let t = Telemetry::new();
+            let n_counters = (next() % 5) as usize;
+            let mut expect_counters = Vec::new();
+            for i in 0..n_counters {
+                let v = next() % 1_000_000;
+                let name = format!("c{round}.{i}.{}", hostile[i % hostile.len()]);
+                t.add(&name, v);
+                expect_counters.push((name, v));
+            }
+            let n_gauges = (next() % 4) as usize;
+            let mut expect_gauges = Vec::new();
+            for i in 0..n_gauges {
+                let v = (next() % 10_000) as f64 / 7.0 - 500.0;
+                let name = format!("g{i}");
+                t.set_gauge(&name, v);
+                expect_gauges.push((name, v));
+            }
+            let h = t.histogram("h.latency");
+            let n_samples = next() % 50;
+            for _ in 0..n_samples {
+                h.record_us(next() % 10_000_000);
+            }
+            let n_points = (next() % 6) as usize;
+            for i in 0..n_points {
+                t.series_push(
+                    "s.curve",
+                    (next() % 1000) as f64 / 3.0,
+                    hostile[i % hostile.len()],
+                );
+            }
+            let doc = t.manifest("prop", &[("s", hostile[round % hostile.len()].into())]);
+            let j = parse_json(&doc).unwrap_or_else(|e| panic!("round {round}: {e}\n{doc}"));
+            for (name, v) in &expect_counters {
+                assert_eq!(
+                    j.get("counters")
+                        .and_then(|c| c.get(name))
+                        .and_then(Json::as_num),
+                    Some(*v as f64),
+                    "round {round} counter {name}"
+                );
+            }
+            for (name, v) in &expect_gauges {
+                let got = j
+                    .get("gauges")
+                    .and_then(|g| g.get(name))
+                    .and_then(Json::as_num)
+                    .expect("gauge");
+                assert!((got - v).abs() < 1e-9, "round {round} gauge {name}");
+            }
+            assert_eq!(
+                j.get("histograms")
+                    .and_then(|h| h.get("h.latency"))
+                    .and_then(|h| h.get("count"))
+                    .and_then(Json::as_num),
+                Some(n_samples as f64),
+                "round {round} hist count"
+            );
+            assert_eq!(
+                j.get("series")
+                    .and_then(|s| s.get("s.curve"))
+                    .and_then(Json::as_arr)
+                    .map(<[Json]>::len)
+                    .unwrap_or(0),
+                n_points,
+                "round {round} series len"
+            );
+            assert_eq!(
+                j.get("config")
+                    .and_then(|c| c.get("s"))
+                    .and_then(Json::as_str),
+                Some(hostile[round % hostile.len()]),
+                "round {round} config string"
+            );
+        }
     }
 }

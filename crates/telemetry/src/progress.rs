@@ -15,6 +15,8 @@ struct Inner {
     start: Instant,
     /// Milliseconds since `start` of the last printed line.
     last_print: AtomicU64,
+    /// How many lines have been printed (rate-limit observability).
+    lines: AtomicU64,
 }
 
 /// Progress reporter handed out by `Telemetry::progress`. Cloneable;
@@ -34,6 +36,7 @@ impl Progress {
                     done: AtomicU64::new(0),
                     start: Instant::now(),
                     last_print: AtomicU64::new(0),
+                    lines: AtomicU64::new(0),
                 })
             }),
         }
@@ -62,6 +65,7 @@ impl Progress {
             .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
         {
+            inner.lines.fetch_add(1, Ordering::Relaxed);
             eprintln!("{}", render(inner, done, now_ms));
         }
     }
@@ -72,6 +76,7 @@ impl Progress {
         if let Some(inner) = &self.inner {
             let done = inner.done.load(Ordering::Relaxed);
             let now_ms = inner.start.elapsed().as_millis() as u64;
+            inner.lines.fetch_add(1, Ordering::Relaxed);
             eprintln!("{}", render(inner, done, now_ms));
         }
     }
@@ -81,6 +86,15 @@ impl Progress {
         self.inner
             .as_ref()
             .map(|i| i.done.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Lines printed so far (zero when disabled). Exposed so tests can
+    /// assert the rate limit holds under bursts.
+    pub fn lines_printed(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.lines.load(Ordering::Relaxed))
             .unwrap_or(0)
     }
 }
@@ -136,6 +150,7 @@ mod tests {
             done: AtomicU64::new(50),
             start: Instant::now(),
             last_print: AtomicU64::new(0),
+            lines: AtomicU64::new(0),
         };
         let line = render(&inner, 50, 5000);
         assert!(line.contains("pairwise: 50/100"), "{line}");
@@ -144,5 +159,45 @@ mod tests {
         // Completed: no ETA.
         let done_line = render(&inner, 100, 5000);
         assert!(!done_line.contains("ETA"), "{done_line}");
+    }
+
+    #[test]
+    fn burst_of_updates_is_rate_limited_to_two_lines_per_second() {
+        let p = Progress::new("burst", 1_000_000, true);
+        let start = Instant::now();
+        // Hammer the reporter from several threads for a bit over one
+        // second of wall time.
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = p.clone();
+                s.spawn(move || {
+                    while start.elapsed().as_millis() < 1100 {
+                        for _ in 0..100 {
+                            p.tick();
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed_s = start.elapsed().as_secs_f64();
+        let lines = p.lines_printed();
+        // The 500ms minimum interval allows at most ~2 lines/sec (+1
+        // for scheduling slop at the window edges).
+        let allowed = (2.0 * elapsed_s).ceil() as u64 + 1;
+        assert!(
+            lines <= allowed,
+            "{lines} lines in {elapsed_s:.2}s exceeds rate limit (allowed {allowed})"
+        );
+        assert!(p.done() > 0);
+        // An instantaneous burst on a fresh reporter prints nothing at
+        // all: the first window has not elapsed yet.
+        let q = Progress::new("instant-burst", 1000, true);
+        for _ in 0..1000 {
+            q.tick();
+        }
+        assert_eq!(q.lines_printed(), 0);
+        // `finish` always prints exactly one closing line.
+        q.finish();
+        assert_eq!(q.lines_printed(), 1);
     }
 }

@@ -1,0 +1,421 @@
+//! Trace events, streaming latency histograms, and time series.
+//!
+//! **Trace events** are Chrome Trace Format records: complete spans
+//! (`ph: "X"`, with a duration) and instants (`ph: "i"`). Span guards
+//! emit them automatically when tracing is enabled on the registry;
+//! the events ride the same thread-local buffer as span aggregation,
+//! so the hot path stays lock-free. [`write_chrome_trace`] serializes
+//! one event per line inside a JSON array — loadable directly in
+//! Perfetto or `chrome://tracing`, and line-parseable by CI.
+//!
+//! **Histograms** are log-bucketed (4 sub-buckets per power-of-two
+//! octave over microseconds) with lock-free atomic recording; p50/p90/
+//! p99/max are computed at render time from the bucket counts.
+//!
+//! **Series** are append-only `(t_us, value, label)` timelines, used by
+//! the solver to expose its anytime incumbent trajectory.
+
+use crate::json::{escape, number};
+use crate::ManifestValue;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Chrome Trace phase for a complete (duration) event.
+pub const PH_COMPLETE: u8 = b'X';
+/// Chrome Trace phase for an instant event.
+pub const PH_INSTANT: u8 = b'i';
+
+/// One trace event. `ts_us`/`dur_us` are microseconds relative to the
+/// owning registry's start (re-based onto the coordinator's clock when
+/// shipped across processes). `pid == 0` means "this process"; the
+/// writer substitutes the real OS pid. Ingested remote events carry
+/// the originating worker's pid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Span or instant name (dotted path for spans).
+    pub name: String,
+    /// Phase: [`PH_COMPLETE`] or [`PH_INSTANT`].
+    pub ph: u8,
+    /// Start time in µs since the trace epoch.
+    pub ts_us: u64,
+    /// Duration in µs (zero for instants).
+    pub dur_us: u64,
+    /// Originating process id (0 = local; stamped at write time).
+    pub pid: u32,
+    /// Small per-process thread id (not the OS tid).
+    pub tid: u32,
+    /// Typed key/value annotations.
+    pub args: Vec<(String, ManifestValue)>,
+}
+
+// ---------------------------------------------------------------------------
+// Log-bucketed streaming histogram
+// ---------------------------------------------------------------------------
+
+/// Sub-bucket resolution: 2^SUB_BITS sub-buckets per octave (~12%
+/// relative error on reported percentiles).
+const SUB_BITS: u32 = 2;
+const SUB_MASK: u64 = (1 << SUB_BITS) - 1;
+/// Enough buckets for the full u64 µs range (max index is 251).
+pub(crate) const BUCKETS: usize = 256;
+
+/// Lock-free log-bucketed histogram over µs values.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Rendered percentile summary of one histogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Median, µs (bucket midpoint).
+    pub p50_us: u64,
+    /// 90th percentile, µs.
+    pub p90_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+    /// Exact maximum recorded value, µs.
+    pub max_us: u64,
+    /// Exact mean, µs.
+    pub mean_us: f64,
+}
+
+pub(crate) fn bucket_index(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) & SUB_MASK) as usize;
+    let idx = (((msb - SUB_BITS + 1) as usize) << SUB_BITS) + sub;
+    idx.min(BUCKETS - 1)
+}
+
+/// Midpoint of the value range covered by `idx` (inverse of
+/// [`bucket_index`] up to sub-bucket width).
+pub(crate) fn bucket_value(idx: usize) -> u64 {
+    if idx < (1 << SUB_BITS) {
+        return idx as u64;
+    }
+    let group = (idx >> SUB_BITS) as u32; // >= 1
+    let sub = (idx as u128) & SUB_MASK as u128;
+    let lower = ((1u128 << SUB_BITS) + sub) << (group - 1);
+    let width = 1u128 << (group - 1);
+    u64::try_from(lower + width / 2).unwrap_or(u64::MAX)
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (µs). Lock-free; safe from any thread.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(us, Ordering::Relaxed);
+        self.max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Computes the percentile summary from the current bucket counts.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let pct = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut cum = 0u64;
+            for (idx, &c) in counts.iter().enumerate() {
+                cum += c;
+                if cum >= target {
+                    return bucket_value(idx).min(max);
+                }
+            }
+            max
+        };
+        HistSnapshot {
+            count,
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+            max_us: max,
+            mean_us: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+        }
+    }
+}
+
+/// Shared handle to one named histogram (like [`crate::Counter`]):
+/// fetch once by name, record lock-free in hot loops. Inert when the
+/// telemetry handle is disabled.
+#[derive(Clone, Default)]
+pub struct Hist {
+    pub(crate) cell: Option<std::sync::Arc<Histogram>>,
+}
+
+impl Hist {
+    /// Records one latency value in microseconds.
+    pub fn record_us(&self, us: u64) {
+        if let Some(cell) = &self.cell {
+            cell.record_us(us);
+        }
+    }
+
+    /// Records a [`std::time::Duration`].
+    pub fn record(&self, d: std::time::Duration) {
+        self.record_us(d.as_micros() as u64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Series
+// ---------------------------------------------------------------------------
+
+/// One point of a named time series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesPoint {
+    /// Time in µs since the registry start.
+    pub t_us: u64,
+    /// The measured value (e.g. incumbent objective).
+    pub value: f64,
+    /// Short provenance label ("warm_start", "bnb", ...).
+    pub label: String,
+}
+
+// ---------------------------------------------------------------------------
+// Chrome Trace writer
+// ---------------------------------------------------------------------------
+
+fn args_json(args: &[(String, ManifestValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape(k), value_json(v)));
+    }
+    out.push('}');
+    out
+}
+
+fn value_json(v: &ManifestValue) -> String {
+    match v {
+        ManifestValue::Str(s) => format!("\"{}\"", escape(s)),
+        ManifestValue::Int(i) => i.to_string(),
+        ManifestValue::Float(f) => number(*f),
+        ManifestValue::Bool(b) => b.to_string(),
+    }
+}
+
+/// Serializes events as a Chrome Trace Format JSON array, one event
+/// per line. Emits `process_name` and `trace_id` metadata records for
+/// every distinct pid so multi-process traces are labelled and
+/// correlated in Perfetto. Events with `pid == 0` are stamped with
+/// `local_pid`.
+pub(crate) fn write_chrome_trace(
+    events: &[TraceEvent],
+    labels: &[(u32, String)],
+    trace_id: u64,
+    local_pid: u32,
+    out: &mut dyn Write,
+) -> std::io::Result<()> {
+    let mut pids: Vec<u32> = events
+        .iter()
+        .map(|e| if e.pid == 0 { local_pid } else { e.pid })
+        .collect();
+    pids.sort_unstable();
+    pids.dedup();
+
+    let mut lines: Vec<String> = Vec::with_capacity(events.len() + 2 * pids.len());
+    for pid in &pids {
+        let label = labels
+            .iter()
+            .find(|(p, _)| p == pid)
+            .map(|(_, l)| l.as_str())
+            .unwrap_or(if *pid == local_pid {
+                "coordinator"
+            } else {
+                "worker"
+            });
+        lines.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(label)
+        ));
+        lines.push(format!(
+            "{{\"name\":\"trace_id\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"trace_id\":\"{trace_id:#018x}\"}}}}"
+        ));
+    }
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.ts_us);
+    for e in ordered {
+        let pid = if e.pid == 0 { local_pid } else { e.pid };
+        let mut line = format!(
+            "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{},",
+            escape(&e.name),
+            e.ph as char,
+            e.ts_us
+        );
+        if e.ph == PH_COMPLETE {
+            line.push_str(&format!("\"dur\":{},", e.dur_us));
+        } else if e.ph == PH_INSTANT {
+            // Thread-scoped instant.
+            line.push_str("\"s\":\"t\",");
+        }
+        line.push_str(&format!(
+            "\"pid\":{pid},\"tid\":{},\"args\":{}}}",
+            e.tid,
+            args_json(&e.args)
+        ));
+        lines.push(line);
+    }
+
+    writeln!(out, "[")?;
+    for (i, line) in lines.iter().enumerate() {
+        if i + 1 < lines.len() {
+            writeln!(out, "{line},")?;
+        } else {
+            writeln!(out, "{line}")?;
+        }
+    }
+    writeln!(out, "]")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_json, Json};
+
+    #[test]
+    fn bucket_index_is_monotone_and_inverse_is_consistent() {
+        let mut prev = 0usize;
+        for v in 0..100_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "non-monotone at {v}");
+            prev = idx;
+        }
+        // The bucket midpoint must land back in the same bucket, for
+        // every index reachable from a u64 value.
+        for idx in 0..=bucket_index(u64::MAX) {
+            assert_eq!(bucket_index(bucket_value(idx)), idx, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_are_close_for_uniform_data() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record_us(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max_us, 1000);
+        // Log buckets give ~12% relative resolution.
+        assert!((s.p50_us as f64 - 500.0).abs() < 100.0, "p50 {}", s.p50_us);
+        assert!((s.p90_us as f64 - 900.0).abs() < 150.0, "p90 {}", s.p90_us);
+        assert!(s.p99_us <= 1000 && s.p99_us > 900, "p99 {}", s.p99_us);
+        assert!((s.mean_us - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_extremes() {
+        let h = Histogram::new();
+        let empty = h.snapshot();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99_us, 0);
+        h.record_us(0);
+        h.record_us(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_us, u64::MAX);
+        assert_eq!(s.p50_us, 0);
+    }
+
+    #[test]
+    fn disabled_hist_handle_is_inert() {
+        let h = Hist::default();
+        h.record_us(5);
+        h.record(std::time::Duration::from_millis(1));
+        assert!(h.cell.is_none());
+    }
+
+    #[test]
+    fn chrome_trace_output_is_valid_json_with_metadata() {
+        let events = vec![
+            TraceEvent {
+                name: "measure".into(),
+                ph: PH_COMPLETE,
+                ts_us: 10,
+                dur_us: 90,
+                pid: 0,
+                tid: 1,
+                args: vec![("shards".into(), ManifestValue::Int(4))],
+            },
+            TraceEvent {
+                name: "solver.incumbent".into(),
+                ph: PH_INSTANT,
+                ts_us: 55,
+                dur_us: 0,
+                pid: 4242,
+                tid: 2,
+                args: vec![("objective".into(), ManifestValue::Float(0.25))],
+            },
+        ];
+        let labels = vec![(4242u32, "worker-1".to_string())];
+        let mut buf = Vec::new();
+        write_chrome_trace(&events, &labels, 0xdead_beef, 77, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let j = parse_json(&text).expect("valid JSON array");
+        let arr = j.as_arr().expect("array");
+        // 2 pids × 2 metadata + 2 events.
+        assert_eq!(arr.len(), 6);
+        let ids: Vec<&str> = arr
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("trace_id"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("trace_id"))
+                    .and_then(Json::as_str)
+            })
+            .collect();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.iter().all(|i| *i == ids[0]));
+        // pid 0 was stamped with the local pid.
+        assert!(arr.iter().any(|e| {
+            e.get("name").and_then(Json::as_str) == Some("measure")
+                && e.get("pid").and_then(Json::as_num) == Some(77.0)
+        }));
+        // The worker label made it into a process_name record.
+        assert!(text.contains("worker-1"));
+        // One event per line: every non-bracket line parses alone.
+        for line in text.lines() {
+            let trimmed = line.trim().trim_end_matches(',');
+            if trimmed == "[" || trimmed == "]" || trimmed.is_empty() {
+                continue;
+            }
+            parse_json(trimmed).expect("each line is one JSON event");
+        }
+    }
+}

@@ -29,6 +29,7 @@
 //! scalar path even when SIMD is available: packing two operand panels
 //! costs more than the multiply saves.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 /// Row-block size: panel of `op(A)` rows kept hot in L2 while it streams
@@ -78,6 +79,11 @@ impl Backend {
 
 static BACKEND: OnceLock<Backend> = OnceLock::new();
 
+/// Process-wide backend override: 0 = none, otherwise `discriminant + 1`.
+/// Benchmarks pin the scalar path through this to time a scalar-float
+/// baseline in the same process as the SIMD run.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
 fn detect_backend() -> Backend {
     if std::env::var("CLADO_FORCE_SCALAR").is_ok_and(|v| v == "1") {
         return Backend::Scalar;
@@ -99,9 +105,29 @@ fn detect_backend() -> Backend {
 
 /// The backend every dispatched GEMM in this process uses, selected once
 /// on first use. `CLADO_FORCE_SCALAR=1` (read at selection time) pins the
-/// scalar reference path.
+/// scalar reference path. A live [`force_backend`] override (bench-only)
+/// takes precedence over the cached selection.
 pub fn active_backend() -> Backend {
-    *BACKEND.get_or_init(detect_backend)
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => Backend::Scalar,
+        2 => Backend::Sse2,
+        3 => Backend::Avx2Fma,
+        _ => *BACKEND.get_or_init(detect_backend),
+    }
+}
+
+/// Overrides the dispatched backend process-wide until called again with
+/// `None`. Bench-only: lets one process time both the SIMD and scalar
+/// float paths. Callers must not request a backend the host lacks.
+#[doc(hidden)]
+pub fn force_backend(backend: Option<Backend>) {
+    let code = match backend {
+        None => 0,
+        Some(Backend::Scalar) => 1,
+        Some(Backend::Sse2) => 2,
+        Some(Backend::Avx2Fma) => 3,
+    };
+    OVERRIDE.store(code, Ordering::Relaxed);
 }
 
 /// The active kernel's stable name (for run manifests and bench configs).

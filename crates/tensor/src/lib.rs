@@ -33,7 +33,7 @@ mod tensor;
 
 pub use conv::{conv2d_backward, conv2d_forward, im2col, im2col_ld, Conv2dGrads, Conv2dSpec};
 pub use gemm::{matmul, matmul_a_bt, matmul_at_b, transpose};
-pub use kernel::{active_backend, cpu_features, kernel_name, Backend};
+pub use kernel::{active_backend, cpu_features, force_backend, kernel_name, Backend};
 pub use pool::{
     avg_pool2d_backward, avg_pool2d_forward, global_avg_pool_backward, global_avg_pool_forward,
     max_pool2d_backward, max_pool2d_forward, MaxPoolOutput,
