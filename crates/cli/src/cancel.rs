@@ -19,10 +19,15 @@ mod imp {
     use std::sync::{Arc, OnceLock};
 
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
     const STDERR: i32 = 2;
 
     /// The flag shared between the handler and every `SolverConfig`.
     static CANCEL: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    /// The drain flag shared with `clado serve`: SIGTERM or Ctrl-C
+    /// raises it once; a second signal hard-exits.
+    static DRAIN: OnceLock<Arc<AtomicBool>> = OnceLock::new();
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -46,12 +51,39 @@ mod imp {
         unsafe { _exit(128 + SIGINT) }
     }
 
+    extern "C" fn on_drain(signum: i32) {
+        // First SIGTERM/SIGINT: raise the drain flag; the daemon stops
+        // admitting, finishes in-flight requests, and exits 0. A second
+        // signal aborts immediately with the conventional status.
+        if let Some(flag) = DRAIN.get() {
+            if !flag.swap(true, Ordering::SeqCst) {
+                let msg = b"\ndraining: finishing in-flight requests (signal again to abort)\n";
+                unsafe {
+                    write(STDERR, msg.as_ptr(), msg.len());
+                }
+                return;
+            }
+        }
+        unsafe { _exit(128 + signum) }
+    }
+
     pub fn install() -> Arc<AtomicBool> {
         let flag = CANCEL
             .get_or_init(|| Arc::new(AtomicBool::new(false)))
             .clone();
         unsafe {
             signal(SIGINT, on_sigint as *const () as usize);
+        }
+        flag
+    }
+
+    pub fn install_drain() -> Arc<AtomicBool> {
+        let flag = DRAIN
+            .get_or_init(|| Arc::new(AtomicBool::new(false)))
+            .clone();
+        unsafe {
+            signal(SIGTERM, on_drain as *const () as usize);
+            signal(SIGINT, on_drain as *const () as usize);
         }
         flag
     }
@@ -66,12 +98,26 @@ mod imp {
         // No signal support: solves are simply not Ctrl-C-cancellable.
         Arc::new(AtomicBool::new(false))
     }
+
+    pub fn install_drain() -> Arc<AtomicBool> {
+        // No signal support: the daemon runs until killed.
+        Arc::new(AtomicBool::new(false))
+    }
 }
 
 /// Installs the SIGINT handler (idempotent) and returns the shared cancel
 /// flag to pass to `SolverConfig::cancel`.
 pub fn install() -> Arc<AtomicBool> {
     imp::install()
+}
+
+/// Installs the SIGTERM + SIGINT drain handler for `clado serve`
+/// (idempotent) and returns the shared drain flag: the first signal
+/// raises it (graceful drain), the second aborts with `128 + signum`.
+/// Takes over SIGINT from [`install`] — the daemon drains on Ctrl-C
+/// rather than cancelling a single solve.
+pub fn install_drain() -> Arc<AtomicBool> {
+    imp::install_drain()
 }
 
 #[cfg(all(test, unix))]
@@ -83,6 +129,16 @@ mod tests {
         let a = super::install();
         let b = super::install();
         assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert!(!a.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn install_drain_is_idempotent_and_distinct_from_cancel() {
+        let cancel = super::install();
+        let a = super::install_drain();
+        let b = super::install_drain();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        assert!(!std::sync::Arc::ptr_eq(&a, &cancel));
         assert!(!a.load(Ordering::Relaxed));
     }
 }

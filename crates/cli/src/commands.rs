@@ -10,16 +10,22 @@ use clado_core::{
     Algorithm, AssignOptions, CladoVariant, ExperimentContext, SensitivityOptions, ShardContext,
 };
 use clado_dist::{
-    run_worker, scheme_to_u8, Coordinator, CoordinatorOptions, JobSpec, WorkerOptions,
+    run_pool_worker, run_worker, scheme_to_u8, Coordinator, CoordinatorOptions, JobSpec,
+    WorkerOptions,
 };
 use clado_models::{pretrained, ModelKind};
 use clado_quant::{bits_to_mb, BitWidth, BitWidthSet, LayerSizes, QuantScheme};
+use clado_serve::{
+    submit, AssignRow, MeasureSpec, Op, ServeMessage, ServeOptions, Server, SubmitRequest,
+};
 use clado_solver::{IqpProblem, Solution, SolverConfig, SymMatrix};
 use clado_telemetry::{ManifestValue, Telemetry};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::error::Error;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Usage text for `clado --help` / unknown commands.
@@ -49,6 +55,25 @@ COMMANDS:
   worker       --connect <addr>          join a distributed sensitivity sweep; the
                                          coordinator sends the job spec and shards
                [--heartbeat-ms 500] [--connect-timeout-secs 10] [--verbose]
+               [--connect-retries 5      capped-exponential-backoff connect attempts]
+               [--pool                   stay connected across jobs (for `clado serve`);
+                                         repeat job specs reuse the warm model]
+  serve        run the quantization-planning daemon: bounded admission with
+               typed shedding (overloaded / deadline-infeasible), an Ω result
+               cache (repeat configs pay zero probes), pooled crash-resilient
+               workers, graceful drain on SIGTERM / Ctrl-C (exit 0)
+               [--listen 127.0.0.1:4750     client-facing address (0 port → OS-picked,
+                                            printed as `serve listening on <addr>`)]
+               [--worker-listen 127.0.0.1:0] [--workers N    spawn N pooled workers]
+               [--queue-depth 16] [--executors 2] [--cache-capacity 8]
+               [--heartbeat-timeout-ms 3000] [--shard-retries 5]
+  submit       --connect <addr> --model <id>    send one request to a daemon
+               [--op measure|assign|sweep (default assign)]
+               [--avg-bits 4.0 (assign)] [--from 2.5 --to 4.0 --step 0.5 (sweep)]
+               [--deadline-ms N (0 = none; infeasible deadlines are refused)]
+               [--set-size 128] [--set-seed 0] [--batch-size 64] [--bits 2,4,8]
+               [--scheme symmetric|affine] [--no-prefix-cache]
+               [--out <file.clsm>   persist the measured Ĝ (measure op)]
   assign       --model <id> --avg-bits <f>
                                   solve eq. (11) and report the bit map + PTQ accuracy
                [--sens <file.clsm>] [--algorithm clado|clado-star|block|hawq|mpqco]
@@ -139,11 +164,30 @@ impl RunContext {
 
     /// Renders the registry summary (unless quiet) and writes the manifest
     /// if `--metrics-out` was given. Call after the final result line.
+    ///
+    /// The trace is flushed *first* so a buffer overflow surfaces as an
+    /// explicit end-of-run warning (stderr, even under `--quiet`) and as
+    /// a `trace_dropped` note in the manifest — an incomplete timeline
+    /// must never be mistaken for a complete one.
     fn finish(
         &self,
         command: &str,
         config: &[(&str, ManifestValue)],
     ) -> Result<(), Box<dyn Error>> {
+        let mut trace_events = None;
+        let mut trace_dropped = 0u64;
+        if let Some(path) = &self.trace_out {
+            clado_telemetry::flush_thread_local();
+            trace_events = Some(self.telemetry.write_chrome_trace(path)?);
+            trace_dropped = self.telemetry.trace_dropped();
+            if trace_dropped > 0 {
+                eprintln!(
+                    "warning: {trace_dropped} trace events dropped at the buffer cap — \
+                     the timeline in {} is incomplete",
+                    path.display()
+                );
+            }
+        }
         if !self.quiet {
             let summary = self.telemetry.render_summary();
             if !summary.is_empty() {
@@ -158,18 +202,13 @@ impl RunContext {
                 ("kernel", clado_tensor::kernel_name().into()),
                 ("cpu_features", clado_tensor::cpu_features().into()),
             ];
+            if trace_dropped > 0 {
+                full.push(("trace_dropped", trace_dropped.into()));
+            }
             full.extend(config.iter().cloned());
             std::fs::write(path, self.telemetry.manifest(command, &full))?;
         }
-        if let Some(path) = &self.trace_out {
-            clado_telemetry::flush_thread_local();
-            let events = self.telemetry.write_chrome_trace(path)?;
-            let dropped = self.telemetry.trace_dropped();
-            if dropped > 0 {
-                self.info(&format!(
-                    "trace: {dropped} events dropped at the buffer cap"
-                ));
-            }
+        if let (Some(events), Some(path)) = (trace_events, &self.trace_out) {
             self.info(&format!("trace: {events} events → {}", path.display()));
         }
         Ok(())
@@ -525,28 +564,31 @@ fn cmd_sensitivity_distributed(
     )
 }
 
-/// `clado worker --connect <addr>`
+/// `clado worker --connect <addr> [--pool]`
 pub fn cmd_worker(args: &Args) -> Result<(), Box<dyn Error>> {
     let run = RunContext::from_args(args)?;
     let addr: String = args.require("connect")?;
-    let report = run_worker(
-        &addr,
-        |job| {
-            // Mirror the coordinator's job setup exactly: same model
-            // loader, same subset sampling. Any drift shows up as a
-            // fingerprint mismatch and the coordinator rejects us.
-            let kind = model_kind(&job.model).map_err(|e| e.to_string())?;
-            let p = pretrained(kind);
-            let n = (job.set_size as usize).min(p.data.train.len());
-            Ok((p.network, p.data.train.sample_subset(n, job.set_seed)))
-        },
-        &WorkerOptions {
-            heartbeat_interval: Duration::from_millis(args.get_or("heartbeat-ms", 500)?),
-            connect_timeout: Duration::from_secs(args.get_or("connect-timeout-secs", 10)?),
-            telemetry: run.telemetry.clone(),
-            verbose: args.switch("verbose"),
-        },
-    )?;
+    // Mirror the coordinator's job setup exactly: same model loader,
+    // same subset sampling. Any drift shows up as a fingerprint
+    // mismatch and the coordinator rejects us.
+    let provider = |job: &JobSpec| {
+        let kind = model_kind(&job.model).map_err(|e| e.to_string())?;
+        let p = pretrained(kind);
+        let n = (job.set_size as usize).min(p.data.train.len());
+        Ok((p.network, p.data.train.sample_subset(n, job.set_seed)))
+    };
+    let opts = WorkerOptions {
+        heartbeat_interval: Duration::from_millis(args.get_or("heartbeat-ms", 500)?),
+        connect_timeout: Duration::from_secs(args.get_or("connect-timeout-secs", 10)?),
+        connect_retries: args.get_or("connect-retries", 5)?,
+        telemetry: run.telemetry.clone(),
+        verbose: args.switch("verbose"),
+    };
+    let report = if args.switch("pool") {
+        run_pool_worker(&addr, provider, &opts)?
+    } else {
+        run_worker(&addr, provider, &opts)?
+    };
     println!(
         "worker finished: {} shards, {} probes, {:.1}s busy",
         report.shards, report.probes, report.seconds
@@ -555,9 +597,254 @@ pub fn cmd_worker(args: &Args) -> Result<(), Box<dyn Error>> {
         "worker",
         &[
             ("connect", addr.as_str().into()),
+            ("pool", args.switch("pool").into()),
             ("shards", report.shards.into()),
             ("probes", report.probes.into()),
             ("busy_seconds", report.seconds.into()),
+        ],
+    )
+}
+
+/// `clado serve [--listen <addr>] [--workers N]`
+///
+/// The quantization-planning daemon: bounded admission with typed
+/// shedding, per-request deadlines, a content-addressed Ω cache, and a
+/// pool of crash-resilient workers. SIGTERM / Ctrl-C drains gracefully
+/// and exits 0.
+pub fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
+    let run = RunContext::from_args(args)?;
+    let verbose = args.switch("verbose");
+    let workers: usize = args.get_or("workers", 0)?;
+    let opts = ServeOptions {
+        queue_depth: args.get_or("queue-depth", 16)?,
+        executors: args.get_or("executors", 2)?,
+        cache_capacity: args.get_or("cache-capacity", 8)?,
+        heartbeat_timeout: Duration::from_millis(args.get_or("heartbeat-timeout-ms", 3000)?),
+        shard_retries: args.get_or("shard-retries", 5)?,
+        telemetry: run.telemetry.clone(),
+        verbose,
+    };
+    let provider: clado_serve::ModelProvider = Arc::new(|spec: &MeasureSpec| {
+        let kind = model_kind(&spec.model).map_err(|e| e.to_string())?;
+        let p = pretrained(kind);
+        let n = (spec.set_size as usize).min(p.data.train.len());
+        Ok((p.network, p.data.train.sample_subset(n, spec.set_seed)))
+    });
+    let server = Server::bind(
+        args.get("listen").unwrap_or("127.0.0.1:4750"),
+        args.get("worker-listen").unwrap_or("127.0.0.1:0"),
+        provider,
+        opts,
+    )?;
+    let client_addr = server.client_addr();
+    let worker_addr = server.worker_addr();
+    // Always printed (even under --quiet): with a :0 listen address
+    // these lines are the only way to learn the bound ports, and
+    // scripts parse them to point `submit` / workers at the daemon.
+    println!("serve listening on {client_addr}");
+    println!("serve worker port {worker_addr}");
+    std::io::stdout().flush()?;
+
+    // Bridge the signal handler's static drain flag to this server's:
+    // a handler can only touch statics, and the server's flag is born
+    // with the server.
+    let drain = server.drain_flag();
+    let sig = crate::cancel::install_drain();
+    {
+        let drain = Arc::clone(&drain);
+        std::thread::spawn(move || loop {
+            if sig.load(Ordering::SeqCst) {
+                drain.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+
+    let mut children = Vec::new();
+    for _ in 0..workers {
+        let mut cmd = std::process::Command::new(std::env::current_exe()?);
+        cmd.arg("worker")
+            .arg("--connect")
+            .arg(worker_addr.to_string())
+            .arg("--pool")
+            .arg("--quiet")
+            .stdin(std::process::Stdio::null())
+            .stdout(std::process::Stdio::null());
+        if verbose {
+            cmd.arg("--verbose");
+        }
+        children.push(cmd.spawn()?);
+    }
+
+    let outcome = server.run();
+    // Reap the worker fleet whether the daemon drained cleanly or not.
+    for mut child in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let report = outcome?;
+    let shed =
+        report.shed_overload + report.shed_deadline + report.shed_draining + report.shed_malformed;
+    println!(
+        "serve drained: {} request(s) — {} completed, {} failed, {} shed \
+         (overload {}, deadline {}, draining {}, malformed {}), \
+         cache {} hit(s) / {} miss(es)",
+        report.requests,
+        report.completed,
+        report.failed,
+        shed,
+        report.shed_overload,
+        report.shed_deadline,
+        report.shed_draining,
+        report.shed_malformed,
+        report.cache_hits,
+        report.cache_misses,
+    );
+    run.finish(
+        "serve",
+        &[
+            ("listen", client_addr.to_string().into()),
+            ("workers", workers.into()),
+            ("requests", report.requests.into()),
+            ("completed", report.completed.into()),
+            ("failed", report.failed.into()),
+            ("shed_overload", report.shed_overload.into()),
+            ("shed_deadline", report.shed_deadline.into()),
+            ("shed_draining", report.shed_draining.into()),
+            ("shed_malformed", report.shed_malformed.into()),
+            ("cache_hits", report.cache_hits.into()),
+            ("cache_misses", report.cache_misses.into()),
+        ],
+    )
+}
+
+/// One `AssignRow` rendered in the `assign`/`sweep` result style.
+fn print_assign_row(row: &AssignRow) {
+    let map: Vec<String> = row.bits.iter().map(|b| b.to_string()).collect();
+    println!(
+        "{:>9.2} {:>11.4} {:>12.4e}  {}/{}  [{}]",
+        row.avg_bits,
+        bits_to_mb(row.cost_bits),
+        row.predicted_delta_loss,
+        row.method,
+        row.termination,
+        map.join(","),
+    );
+}
+
+/// `clado submit --connect <addr> --model <id> [--op assign]`
+pub fn cmd_submit(args: &Args) -> Result<(), Box<dyn Error>> {
+    let run = RunContext::from_args(args)?;
+    let addr: String = args.require("connect")?;
+    let op = match args.get("op").unwrap_or("assign") {
+        "measure" => Op::Measure,
+        "assign" => Op::Assign {
+            avg_bits: args.get_or("avg-bits", 4.0)?,
+        },
+        "sweep" => Op::Sweep {
+            from: args.get_or("from", 2.5)?,
+            to: args.get_or("to", 4.0)?,
+            step: args.get_or("step", 0.5)?,
+        },
+        other => {
+            return Err(Box::new(ArgsError(format!(
+                "unknown op `{other}` (measure|assign|sweep)"
+            ))))
+        }
+    };
+    let spec = MeasureSpec {
+        model: args.require("model")?,
+        set_size: args.get_or("set-size", 128)?,
+        set_seed: args.get_or("set-seed", 0)?,
+        batch_size: args.get_or("batch-size", 64)?,
+        bits: args.u8_list_or("bits", &[2, 4, 8])?,
+        scheme: scheme_to_u8(scheme_of(args)?),
+        use_prefix_cache: !args.switch("no-prefix-cache"),
+    };
+    let req = SubmitRequest {
+        spec,
+        op,
+        deadline_ms: args.get_or("deadline-ms", 0)?,
+    };
+    let outcome = submit(&addr, &req, None)?;
+    let hit_label = |hit: bool| if hit { "cache hit" } else { "cache miss" };
+    match outcome.response {
+        ServeMessage::MeasureDone {
+            request_id,
+            cache_hit,
+            evaluations,
+            clsm,
+        } => {
+            println!(
+                "request {request_id}: measured Ĝ ({}, {evaluations} evaluations, {} bytes)",
+                hit_label(cache_hit),
+                clsm.len()
+            );
+            if let Some(out) = args.get("out") {
+                std::fs::write(out, &clsm)?;
+                run.info(&format!("wrote {out}"));
+            }
+        }
+        ServeMessage::AssignDone {
+            request_id,
+            cache_hit,
+            evaluations,
+            row,
+        } => {
+            println!(
+                "request {request_id}: assigned ({}, {evaluations} evaluations)",
+                hit_label(cache_hit)
+            );
+            println!(
+                "{:>9} {:>11} {:>12}  outcome  bit map",
+                "avg bits", "size (MB)", "pred ΔL"
+            );
+            print_assign_row(&row);
+        }
+        ServeMessage::SweepDone {
+            request_id,
+            cache_hit,
+            evaluations,
+            rows,
+        } => {
+            println!(
+                "request {request_id}: swept {} budget(s) ({}, {evaluations} evaluations)",
+                rows.len(),
+                hit_label(cache_hit)
+            );
+            println!(
+                "{:>9} {:>11} {:>12}  outcome  bit map",
+                "avg bits", "size (MB)", "pred ΔL"
+            );
+            for row in &rows {
+                print_assign_row(row);
+            }
+        }
+        ServeMessage::Failed {
+            request_id,
+            kind,
+            detail,
+        } => {
+            return Err(Box::new(ArgsError(format!(
+                "request {request_id} failed ({kind}): {detail}"
+            ))))
+        }
+        // `submit` only returns the four final kinds above.
+        other => {
+            return Err(Box::new(ArgsError(format!(
+                "unexpected response kind {}",
+                other.kind()
+            ))))
+        }
+    }
+    run.finish(
+        "submit",
+        &[
+            ("connect", addr.as_str().into()),
+            ("op", args.get("op").unwrap_or("assign").into()),
+            ("request_id", outcome.request_id.into()),
+            ("queue_depth", outcome.queue_depth.into()),
         ],
     )
 }
@@ -1211,6 +1498,8 @@ mod tests {
             "train",
             "sensitivity",
             "worker",
+            "serve",
+            "submit",
             "assign",
             "sweep",
             "eval",

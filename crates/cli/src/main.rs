@@ -28,6 +28,8 @@ fn main() -> ExitCode {
         "train" => commands::cmd_train(&parsed),
         "sensitivity" | "measure" => commands::cmd_sensitivity(&parsed),
         "worker" => commands::cmd_worker(&parsed),
+        "serve" => commands::cmd_serve(&parsed),
+        "submit" => commands::cmd_submit(&parsed),
         "assign" => commands::cmd_assign(&parsed),
         "sweep" => commands::cmd_sweep(&parsed),
         "eval" => commands::cmd_eval(&parsed),

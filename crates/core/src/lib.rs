@@ -75,5 +75,8 @@ pub use search::{annealing_search, random_search, SearchOptions, SearchReport};
 pub use sensitivity::{
     measure_sensitivities, SensitivityMatrix, SensitivityOptions, SensitivityStats,
 };
-pub use sensitivity_io::{load_sensitivities, save_sensitivities, SensitivityIoError};
+pub use sensitivity_io::{
+    load_sensitivities, save_sensitivities, sensitivities_from_bytes, sensitivities_to_bytes,
+    SensitivityIoError,
+};
 pub use shard::{config_fingerprint, ShardContext, ShardRunStats, ShardSpec};

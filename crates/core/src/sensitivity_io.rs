@@ -76,15 +76,11 @@ fn io_at(path: &Path, e: io::Error) -> SensitivityIoError {
     SensitivityIoError::Io(io::Error::new(e.kind(), format!("{}: {e}", path.display())))
 }
 
-/// Serializes a measured sensitivity matrix to `path`.
-///
-/// # Errors
-///
-/// Returns [`SensitivityIoError::Io`] on filesystem failures.
-pub fn save_sensitivities(sens: &SensitivityMatrix, path: &Path) -> Result<(), SensitivityIoError> {
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent)?;
-    }
+/// Serializes a measured sensitivity matrix to its CLSM (current
+/// version) byte image — exactly the bytes [`save_sensitivities`]
+/// writes to disk. The serve daemon ships this image over the wire so a
+/// client-side save is bitwise identical to a local one.
+pub fn sensitivities_to_bytes(sens: &SensitivityMatrix) -> Vec<u8> {
     let mut buf: Vec<u8> = Vec::new();
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
@@ -109,6 +105,19 @@ pub fn save_sensitivities(sens: &SensitivityMatrix, path: &Path) -> Result<(), S
             buf.extend_from_slice(&sens.matrix().get(i, j).to_le_bytes());
         }
     }
+    buf
+}
+
+/// Serializes a measured sensitivity matrix to `path`.
+///
+/// # Errors
+///
+/// Returns [`SensitivityIoError::Io`] on filesystem failures.
+pub fn save_sensitivities(sens: &SensitivityMatrix, path: &Path) -> Result<(), SensitivityIoError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let buf = sensitivities_to_bytes(sens);
     let tmp = path.with_extension("tmp");
     fs::File::create(&tmp)?.write_all(&buf)?;
     fs::rename(&tmp, path)?;
@@ -125,51 +134,36 @@ fn stat_counters(version: u32) -> u64 {
     }
 }
 
-fn read_section(file: &mut fs::File, buf: &mut [u8], what: &str) -> Result<(), SensitivityIoError> {
-    file.read_exact(buf).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            SensitivityIoError::BadFormat(format!("truncated file (while reading {what})"))
-        } else {
-            SensitivityIoError::Io(e)
-        }
-    })
-}
-
-/// Loads a sensitivity matrix saved by [`save_sensitivities`].
+/// Deserializes a CLSM byte image (any supported version) — the inverse
+/// of [`sensitivities_to_bytes`], and the parser behind
+/// [`load_sensitivities`].
 ///
-/// The header is read and validated with bounded reads before the matrix
-/// payload is touched, so a corrupt dimension field cannot trigger a
-/// large allocation and a zero-length or permission-denied file yields a
-/// targeted error instead of a generic one.
+/// The header is validated first and the image's total length is checked
+/// against the exact size the dimensions imply before any
+/// dimension-sized allocation happens, so a corrupt header cannot
+/// provoke an OOM.
 ///
 /// # Errors
 ///
-/// Returns [`SensitivityIoError::BadFormat`] for malformed, truncated, or
-/// length-mismatched files and [`SensitivityIoError::Io`] (with the path
-/// in the message) for filesystem failures such as permission denial.
-pub fn load_sensitivities(path: &Path) -> Result<SensitivityMatrix, SensitivityIoError> {
-    let mut file = fs::File::open(path).map_err(|e| io_at(path, e))?;
-    let file_len = file.metadata().map_err(|e| io_at(path, e))?.len();
-    if file_len == 0 {
-        return Err(SensitivityIoError::BadFormat(format!(
-            "{}: file is empty (zero bytes — not a CLSM file; was the save interrupted?)",
-            path.display()
-        )));
+/// Returns [`SensitivityIoError::BadFormat`] for malformed, truncated,
+/// or length-mismatched images.
+pub fn sensitivities_from_bytes(bytes: &[u8]) -> Result<SensitivityMatrix, SensitivityIoError> {
+    if bytes.len() < PRELUDE_BYTES {
+        return Err(SensitivityIoError::BadFormat(
+            "truncated file (while reading header prelude)".into(),
+        ));
     }
-
-    let mut prelude = [0u8; PRELUDE_BYTES];
-    read_section(&mut file, &mut prelude, "header prelude")?;
-    if &prelude[0..4] != MAGIC {
+    if &bytes[0..4] != MAGIC {
         return Err(SensitivityIoError::BadFormat("missing CLSM magic".into()));
     }
-    let version = u32::from_le_bytes(prelude[4..8].try_into().expect("4 bytes"));
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
     if !(1..=VERSION).contains(&version) {
         return Err(SensitivityIoError::BadFormat(format!(
             "unsupported version {version}"
         )));
     }
-    let num_layers = u32::from_le_bytes(prelude[8..12].try_into().expect("4 bytes")) as usize;
-    let k = u32::from_le_bytes(prelude[12..16].try_into().expect("4 bytes")) as usize;
+    let num_layers = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    let k = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
     if num_layers == 0 || k == 0 {
         return Err(SensitivityIoError::BadFormat(
             "degenerate dimensions".into(),
@@ -181,33 +175,32 @@ pub fn load_sensitivities(path: &Path) -> Result<SensitivityMatrix, SensitivityI
         )));
     }
 
-    // With the dimensions known, the exact file size is implied; check it
-    // *before* allocating or reading the payload. This catches truncation
-    // anywhere after the prelude as well as trailing garbage.
+    // With the dimensions known, the exact image size is implied; check
+    // it *before* allocating. This catches truncation anywhere after the
+    // prelude as well as trailing garbage.
     let n = num_layers * k;
     let expected_len = PRELUDE_BYTES as u64
         + k as u64
         + 8 * 3 // base loss, evaluations, seconds
         + 8 * stat_counters(version)
         + 8 * (n as u64) * (n as u64);
-    if file_len != expected_len {
+    if bytes.len() as u64 != expected_len {
         return Err(SensitivityIoError::BadFormat(format!(
             "file length mismatch: I={num_layers}, |B|={k} (version {version}) implies \
-             {expected_len} bytes, found {file_len} — truncated or corrupt"
+             {expected_len} bytes, found {} — truncated or corrupt",
+            bytes.len()
         )));
     }
 
-    let mut raw_bits = vec![0u8; k];
-    read_section(&mut file, &mut raw_bits, "bit-width list")?;
-    let bits = BitWidthSet::new(&raw_bits);
+    let raw_bits = &bytes[PRELUDE_BYTES..PRELUDE_BYTES + k];
+    let bits = BitWidthSet::new(raw_bits);
     if bits.len() != k {
         return Err(SensitivityIoError::BadFormat(
             "duplicate bit-widths in file".into(),
         ));
     }
 
-    let mut stats_raw = vec![0u8; 8 * (3 + stat_counters(version) as usize)];
-    read_section(&mut file, &mut stats_raw, "measurement stats")?;
+    let stats_raw = &bytes[PRELUDE_BYTES + k..];
     let f64_at = |o: usize| f64::from_le_bytes(stats_raw[o..o + 8].try_into().expect("8 bytes"));
     let u64_at =
         |o: usize| u64::from_le_bytes(stats_raw[o..o + 8].try_into().expect("8 bytes")) as usize;
@@ -225,8 +218,7 @@ pub fn load_sensitivities(path: &Path) -> Result<SensitivityMatrix, SensitivityI
         (0, 0, 0)
     };
 
-    let mut matrix_raw = vec![0u8; 8 * n * n];
-    read_section(&mut file, &mut matrix_raw, "matrix payload")?;
+    let matrix_raw = &stats_raw[8 * (3 + stat_counters(version) as usize)..];
     let mut g = SymMatrix::zeros(n);
     for i in 0..n {
         for j in i..n {
@@ -256,6 +248,31 @@ pub fn load_sensitivities(path: &Path) -> Result<SensitivityMatrix, SensitivityI
             quarantined,
         },
     ))
+}
+
+/// Loads a sensitivity matrix saved by [`save_sensitivities`].
+///
+/// A zero-length or permission-denied file yields a targeted error
+/// instead of a generic one; everything else defers to
+/// [`sensitivities_from_bytes`].
+///
+/// # Errors
+///
+/// Returns [`SensitivityIoError::BadFormat`] for malformed, truncated, or
+/// length-mismatched files and [`SensitivityIoError::Io`] (with the path
+/// in the message) for filesystem failures such as permission denial.
+pub fn load_sensitivities(path: &Path) -> Result<SensitivityMatrix, SensitivityIoError> {
+    let mut file = fs::File::open(path).map_err(|e| io_at(path, e))?;
+    let file_len = file.metadata().map_err(|e| io_at(path, e))?.len();
+    if file_len == 0 {
+        return Err(SensitivityIoError::BadFormat(format!(
+            "{}: file is empty (zero bytes — not a CLSM file; was the save interrupted?)",
+            path.display()
+        )));
+    }
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(|e| io_at(path, e))?;
+    sensitivities_from_bytes(&bytes)
 }
 
 #[cfg(test)]

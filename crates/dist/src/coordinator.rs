@@ -502,15 +502,23 @@ fn serve_worker(
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(heartbeat_timeout));
+    // Both directions are bounded during the handshake so a peer that
+    // connects but never sends (or never drains) a frame cannot pin
+    // this thread; the expired wait surfaces as the typed
+    // `HandshakeTimeout` rather than a silent disconnect.
+    let _ = stream.set_write_timeout(Some(heartbeat_timeout));
     let mut stream_ref = &stream;
     let (pid, worker_clock_us) = {
         let _s = telemetry.span("dist.handshake");
         match handshake(&mut stream_ref, job, fp) {
             Ok(done) => done,
             Err((err, was_reject)) => {
+                let err = err.or_handshake_timeout();
                 let mut g = sched.lock().expect("scheduler lock");
                 if was_reject {
                     g.rejected += 1;
+                } else if matches!(err, FrameError::HandshakeTimeout) {
+                    telemetry.counter("dist.handshake_timeouts").incr();
                 } else if !err.is_disconnect() {
                     g.protocol_errors += 1;
                 }
@@ -521,6 +529,9 @@ fn serve_worker(
             }
         }
     };
+    // Post-handshake writes (leases, shutdowns) go back to blocking:
+    // slow-reading workers are policed by the heartbeat deadline.
+    let _ = stream.set_write_timeout(None);
     {
         let mut g = sched.lock().expect("scheduler lock");
         g.connected += 1;

@@ -22,7 +22,12 @@ use std::io::{self, Read, Write};
 ///
 /// v2: trace-context propagation — `Job.trace_id`, `Ready.clock_us`,
 /// `Lease.span_id`, and trace events appended to `ShardDone`.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// v3: serving — pooled workers that outlive a single job (`JobDone`
+/// keeps the connection open between jobs), typed handshake timeouts,
+/// and the `clado serve` request/response frames layered on the same
+/// envelope.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound on a frame payload. The largest legitimate message is a
 /// `ShardDone` for one pairwise shard (26 bytes per probe); 4 MiB leaves
@@ -57,6 +62,10 @@ pub enum FrameError {
     UnknownKind(u16),
     /// The payload failed to decode as its declared message type.
     Malformed(String),
+    /// The peer connected but sent no complete handshake frame within
+    /// the handshake window (a silent or wedged peer must not occupy an
+    /// accept slot indefinitely).
+    HandshakeTimeout,
     /// An I/O error (including read timeouts) on the underlying stream.
     Io(io::Error),
 }
@@ -82,6 +91,9 @@ impl fmt::Display for FrameError {
             Self::BadChecksum => write!(f, "frame checksum mismatch"),
             Self::UnknownKind(k) => write!(f, "unknown message kind {k}"),
             Self::Malformed(why) => write!(f, "malformed message payload: {why}"),
+            Self::HandshakeTimeout => {
+                write!(f, "peer sent no handshake frame within the timeout")
+            }
             Self::Io(e) => write!(f, "wire i/o error: {e}"),
         }
     }
@@ -118,6 +130,26 @@ impl FrameError {
                     | io::ErrorKind::UnexpectedEof
             ),
             _ => false,
+        }
+    }
+
+    /// Whether the error is a read/write timeout on the underlying
+    /// stream (the peer is silent, not gone). The handshake paths remap
+    /// these to the typed [`FrameError::HandshakeTimeout`].
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            Self::Io(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+        )
+    }
+
+    /// Converts stream timeouts into the typed handshake rejection,
+    /// leaving every other error untouched.
+    pub fn or_handshake_timeout(self) -> Self {
+        if self.is_timeout() {
+            Self::HandshakeTimeout
+        } else {
+            self
         }
     }
 }
@@ -277,14 +309,38 @@ mod tests {
     }
 
     #[test]
-    fn pre_trace_v1_frames_are_rejected() {
-        // v1 peers (no trace context) must be refused at the frame
-        // layer before any payload decoding is attempted.
-        let mut bytes = frame(1, b"payload");
-        bytes[4] = 1;
-        bytes[5] = 0;
-        let err = read_frame(&mut Cursor::new(&bytes)).unwrap_err();
-        assert!(matches!(err, FrameError::UnsupportedVersion(1)), "{err}");
+    fn pre_serve_v1_and_v2_frames_are_rejected() {
+        // v1 (no trace context) and v2 (no pooling/serve frames) peers
+        // must be refused at the frame layer before any payload
+        // decoding is attempted.
+        for old in [1u16, 2] {
+            let mut bytes = frame(1, b"payload");
+            bytes[4..6].copy_from_slice(&old.to_le_bytes());
+            let err = read_frame(&mut Cursor::new(&bytes)).unwrap_err();
+            assert!(
+                matches!(err, FrameError::UnsupportedVersion(v) if v == old),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn timeouts_map_to_the_typed_handshake_rejection() {
+        let timeout = FrameError::Io(io::Error::from(io::ErrorKind::WouldBlock));
+        assert!(timeout.is_timeout());
+        assert!(matches!(
+            timeout.or_handshake_timeout(),
+            FrameError::HandshakeTimeout
+        ));
+        let garbage = FrameError::BadChecksum;
+        assert!(!garbage.is_timeout());
+        assert!(matches!(
+            garbage.or_handshake_timeout(),
+            FrameError::BadChecksum
+        ));
+        // A silent peer is not a disconnected one: the typed rejection
+        // must be surfaced (and counted), not swallowed.
+        assert!(!FrameError::HandshakeTimeout.is_disconnect());
     }
 
     #[test]

@@ -47,10 +47,11 @@ mod coordinator;
 mod error;
 pub mod frame;
 pub mod protocol;
+pub mod wire;
 mod worker;
 
 pub use coordinator::{Coordinator, CoordinatorOptions, DistOutcome, WorkerSummary};
 pub use error::DistError;
 pub use frame::{FrameError, MAX_PAYLOAD, PROTOCOL_VERSION};
 pub use protocol::{scheme_from_u8, scheme_to_u8, JobSpec, Message};
-pub use worker::{run_worker, WorkerOptions, WorkerReport};
+pub use worker::{run_pool_worker, run_worker, WorkerOptions, WorkerReport};

@@ -20,11 +20,17 @@
 //! worker clock; `clock_us` from `Ready` lets the coordinator re-base
 //! them) back inside `ShardDone`.
 //!
+//! Protocol v3 adds `JobDone`: a coordinator that pools warm workers
+//! across jobs (the `clado serve` daemon) ends one job without ending
+//! the connection — the worker returns to awaiting the next `Job`
+//! instead of exiting. `Shutdown` still means "disconnect and exit".
+//!
 //! Every decode failure is a typed [`FrameError`]; unknown kinds, short
 //! payloads, trailing bytes, and out-of-range enum tags are all rejected
 //! without panicking.
 
 use crate::frame::{read_frame, write_frame, FrameError};
+use crate::wire::{put_bytes, put_u16, put_u32, put_u64, Reader};
 use clado_core::{ProbeId, ProbeRecord, ShardRunStats, ShardSpec};
 use clado_quant::QuantScheme;
 use clado_telemetry::{ManifestValue, TraceEvent};
@@ -124,6 +130,11 @@ pub enum Message {
         /// the worker's clock; the coordinator re-bases them.
         events: Vec<TraceEvent>,
     },
+    /// The current job is over but the connection is not (v3, pooled
+    /// workers): the worker should await the next `Job` instead of
+    /// exiting. Sent in reply to a `LeaseRequest` once every shard of
+    /// the job is accounted for.
+    JobDone,
 }
 
 const KIND_HELLO: u16 = 1;
@@ -136,6 +147,7 @@ const KIND_IDLE: u16 = 7;
 const KIND_SHUTDOWN: u16 = 8;
 const KIND_HEARTBEAT: u16 = 9;
 const KIND_SHARD_DONE: u16 = 10;
+const KIND_JOB_DONE: u16 = 11;
 
 /// Maps a [`QuantScheme`] to its wire byte.
 pub fn scheme_to_u8(scheme: QuantScheme) -> u8 {
@@ -163,21 +175,7 @@ pub fn scheme_from_u8(byte: u8) -> Result<QuantScheme, FrameError> {
 }
 
 // ---------------------------------------------------------------------
-// Encoding primitives
-
-fn put_u16(out: &mut Vec<u8>, v: u16) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
-    put_u32(out, v.len() as u32);
-    out.extend_from_slice(v);
-}
+// Domain encoders on top of the shared wire primitives.
 
 fn put_shard(out: &mut Vec<u8>, s: ShardSpec) {
     match s {
@@ -265,158 +263,98 @@ fn put_stats(out: &mut Vec<u8>, s: &ShardRunStats) {
 }
 
 // ---------------------------------------------------------------------
-// Decoding primitives — every read is bounds-checked and typed.
+// Domain decoders on top of [`Reader`] — every read is bounds-checked
+// and typed.
 
-struct Cur<'a> {
-    buf: &'a [u8],
-    pos: usize,
+fn read_shard(c: &mut Reader<'_>, what: &str) -> Result<ShardSpec, FrameError> {
+    let tag = c.u8(what)?;
+    let arg = c.u32(what)?;
+    match tag {
+        0 => Ok(ShardSpec::Base),
+        1 => Ok(ShardSpec::Diag { layer: arg }),
+        2 => Ok(ShardSpec::Pair { outer: arg }),
+        other => Err(FrameError::Malformed(format!(
+            "{what}: shard tag {other} out of range"
+        ))),
+    }
 }
 
-impl<'a> Cur<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
-    }
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], FrameError> {
-        if self.buf.len() - self.pos < n {
+fn read_record(c: &mut Reader<'_>) -> Result<ProbeRecord, FrameError> {
+    let kind = c.u8("record kind")?;
+    let a = c.u32("record field")?;
+    let b = c.u32("record field")?;
+    let cc = c.u32("record field")?;
+    let d = c.u32("record field")?;
+    let id = match kind {
+        0 => ProbeId::Base,
+        1 => ProbeId::Diag { layer: a, bit: b },
+        2 => ProbeId::Pair {
+            layer_i: a,
+            bit_m: b,
+            layer_j: cc,
+            bit_n: d,
+        },
+        other => {
             return Err(FrameError::Malformed(format!(
-                "truncated payload reading {what}"
-            )));
+                "record kind {other} out of range"
+            )))
         }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
+    };
+    let loss = f64::from_bits(c.u64("record loss")?);
+    let quarantined = c.bool("record quarantine flag")?;
+    Ok(ProbeRecord {
+        id,
+        loss,
+        quarantined,
+    })
+}
+
+fn read_event(c: &mut Reader<'_>) -> Result<TraceEvent, FrameError> {
+    let name = c.string("event.name")?;
+    let ph = c.u8("event.ph")?;
+    if ph != clado_telemetry::PH_COMPLETE && ph != clado_telemetry::PH_INSTANT {
+        return Err(FrameError::Malformed(format!("event.ph {ph} out of range")));
     }
-    fn u8(&mut self, what: &str) -> Result<u8, FrameError> {
-        Ok(self.take(1, what)?[0])
-    }
-    fn u16(&mut self, what: &str) -> Result<u16, FrameError> {
-        Ok(u16::from_le_bytes(
-            self.take(2, what)?.try_into().expect("2 bytes"),
-        ))
-    }
-    fn u32(&mut self, what: &str) -> Result<u32, FrameError> {
-        Ok(u32::from_le_bytes(
-            self.take(4, what)?.try_into().expect("4 bytes"),
-        ))
-    }
-    fn u64(&mut self, what: &str) -> Result<u64, FrameError> {
-        Ok(u64::from_le_bytes(
-            self.take(8, what)?.try_into().expect("8 bytes"),
-        ))
-    }
-    fn bool(&mut self, what: &str) -> Result<bool, FrameError> {
-        match self.u8(what)? {
-            0 => Ok(false),
-            1 => Ok(true),
-            other => Err(FrameError::Malformed(format!(
-                "{what}: boolean byte {other} out of range"
-            ))),
-        }
-    }
-    fn bytes(&mut self, what: &str) -> Result<&'a [u8], FrameError> {
-        let len = self.u32(what)? as usize;
-        self.take(len, what)
-    }
-    fn string(&mut self, what: &str) -> Result<String, FrameError> {
-        String::from_utf8(self.bytes(what)?.to_vec())
-            .map_err(|_| FrameError::Malformed(format!("{what}: invalid UTF-8")))
-    }
-    fn shard(&mut self, what: &str) -> Result<ShardSpec, FrameError> {
-        let tag = self.u8(what)?;
-        let arg = self.u32(what)?;
-        match tag {
-            0 => Ok(ShardSpec::Base),
-            1 => Ok(ShardSpec::Diag { layer: arg }),
-            2 => Ok(ShardSpec::Pair { outer: arg }),
-            other => Err(FrameError::Malformed(format!(
-                "{what}: shard tag {other} out of range"
-            ))),
-        }
-    }
-    fn record(&mut self) -> Result<ProbeRecord, FrameError> {
-        let kind = self.u8("record kind")?;
-        let a = self.u32("record field")?;
-        let b = self.u32("record field")?;
-        let c = self.u32("record field")?;
-        let d = self.u32("record field")?;
-        let id = match kind {
-            0 => ProbeId::Base,
-            1 => ProbeId::Diag { layer: a, bit: b },
-            2 => ProbeId::Pair {
-                layer_i: a,
-                bit_m: b,
-                layer_j: c,
-                bit_n: d,
-            },
+    let ts_us = c.u64("event.ts_us")?;
+    let dur_us = c.u64("event.dur_us")?;
+    let tid = c.u32("event.tid")?;
+    let n_args = c.u8("event.arg_count")? as usize;
+    let mut args = Vec::with_capacity(n_args);
+    for _ in 0..n_args {
+        let key = c.string("event.arg_key")?;
+        let value = match c.u8("event.arg_tag")? {
+            ARG_STR => ManifestValue::Str(c.string("event.arg_str")?),
+            ARG_INT => ManifestValue::Int(c.u64("event.arg_int")? as i64),
+            ARG_FLOAT => ManifestValue::Float(f64::from_bits(c.u64("event.arg_float")?)),
+            ARG_BOOL => ManifestValue::Bool(c.bool("event.arg_bool")?),
             other => {
                 return Err(FrameError::Malformed(format!(
-                    "record kind {other} out of range"
+                    "event arg tag {other} out of range"
                 )))
             }
         };
-        let loss = f64::from_bits(self.u64("record loss")?);
-        let quarantined = self.bool("record quarantine flag")?;
-        Ok(ProbeRecord {
-            id,
-            loss,
-            quarantined,
-        })
+        args.push((key, value));
     }
-    fn event(&mut self) -> Result<TraceEvent, FrameError> {
-        let name = self.string("event.name")?;
-        let ph = self.u8("event.ph")?;
-        if ph != clado_telemetry::PH_COMPLETE && ph != clado_telemetry::PH_INSTANT {
-            return Err(FrameError::Malformed(format!("event.ph {ph} out of range")));
-        }
-        let ts_us = self.u64("event.ts_us")?;
-        let dur_us = self.u64("event.dur_us")?;
-        let tid = self.u32("event.tid")?;
-        let n_args = self.u8("event.arg_count")? as usize;
-        let mut args = Vec::with_capacity(n_args);
-        for _ in 0..n_args {
-            let key = self.string("event.arg_key")?;
-            let value = match self.u8("event.arg_tag")? {
-                ARG_STR => ManifestValue::Str(self.string("event.arg_str")?),
-                ARG_INT => ManifestValue::Int(self.u64("event.arg_int")? as i64),
-                ARG_FLOAT => ManifestValue::Float(f64::from_bits(self.u64("event.arg_float")?)),
-                ARG_BOOL => ManifestValue::Bool(self.bool("event.arg_bool")?),
-                other => {
-                    return Err(FrameError::Malformed(format!(
-                        "event arg tag {other} out of range"
-                    )))
-                }
-            };
-            args.push((key, value));
-        }
-        Ok(TraceEvent {
-            name,
-            ph,
-            ts_us,
-            dur_us,
-            pid: 0, // stamped by the coordinator on ingest
-            tid,
-            args,
-        })
-    }
-    fn stats(&mut self) -> Result<ShardRunStats, FrameError> {
-        Ok(ShardRunStats {
-            full_evals: self.u64("stats.full_evals")?,
-            cache_hits: self.u64("stats.cache_hits")?,
-            cache_builds: self.u64("stats.cache_builds")?,
-            retried: self.u64("stats.retried")?,
-            quarantined: self.u64("stats.quarantined")?,
-            seconds: f64::from_bits(self.u64("stats.seconds")?),
-        })
-    }
-    fn finish(self, what: &str) -> Result<(), FrameError> {
-        if self.pos != self.buf.len() {
-            return Err(FrameError::Malformed(format!(
-                "{what}: {} trailing bytes",
-                self.buf.len() - self.pos
-            )));
-        }
-        Ok(())
-    }
+    Ok(TraceEvent {
+        name,
+        ph,
+        ts_us,
+        dur_us,
+        pid: 0, // stamped by the coordinator on ingest
+        tid,
+        args,
+    })
+}
+
+fn read_stats(c: &mut Reader<'_>) -> Result<ShardRunStats, FrameError> {
+    Ok(ShardRunStats {
+        full_evals: c.u64("stats.full_evals")?,
+        cache_hits: c.u64("stats.cache_hits")?,
+        cache_builds: c.u64("stats.cache_builds")?,
+        retried: c.u64("stats.retried")?,
+        quarantined: c.u64("stats.quarantined")?,
+        seconds: f64::from_bits(c.u64("stats.seconds")?),
+    })
 }
 
 impl Message {
@@ -433,6 +371,7 @@ impl Message {
             Self::Shutdown => KIND_SHUTDOWN,
             Self::Heartbeat { .. } => KIND_HEARTBEAT,
             Self::ShardDone { .. } => KIND_SHARD_DONE,
+            Self::JobDone => KIND_JOB_DONE,
         }
     }
 
@@ -463,7 +402,7 @@ impl Message {
                 put_u64(&mut out, *clock_us);
             }
             Self::Reject { reason } => put_bytes(&mut out, reason.as_bytes()),
-            Self::LeaseRequest | Self::Shutdown => {}
+            Self::LeaseRequest | Self::Shutdown | Self::JobDone => {}
             Self::Lease {
                 lease,
                 span_id,
@@ -506,7 +445,7 @@ impl Message {
     /// [`FrameError::Malformed`] for any payload that is short, has
     /// trailing bytes, or carries out-of-range tags.
     pub fn decode(kind: u16, payload: &[u8]) -> Result<Self, FrameError> {
-        let mut c = Cur::new(payload);
+        let mut c = Reader::new(payload);
         let msg = match kind {
             KIND_HELLO => Self::Hello {
                 protocol: c.u16("hello.protocol")?,
@@ -534,7 +473,7 @@ impl Message {
             KIND_LEASE => Self::Lease {
                 lease: c.u64("lease.id")?,
                 span_id: c.u64("lease.span_id")?,
-                shard: c.shard("lease.shard")?,
+                shard: read_shard(&mut c, "lease.shard")?,
             },
             KIND_IDLE => Self::Idle {
                 retry_ms: c.u32("idle.retry_ms")?,
@@ -545,7 +484,7 @@ impl Message {
             },
             KIND_SHARD_DONE => {
                 let lease = c.u64("done.lease")?;
-                let shard = c.shard("done.shard")?;
+                let shard = read_shard(&mut c, "done.shard")?;
                 let count = c.u32("done.record_count")? as usize;
                 // 26 bytes per record: an absurd count is caught here
                 // rather than via a giant allocation.
@@ -556,9 +495,9 @@ impl Message {
                 }
                 let mut records = Vec::with_capacity(count);
                 for _ in 0..count {
-                    records.push(c.record()?);
+                    records.push(read_record(&mut c)?);
                 }
-                let stats = c.stats()?;
+                let stats = read_stats(&mut c)?;
                 let event_count = c.u32("done.event_count")? as usize;
                 // Each event is at least ~30 bytes; reject absurd
                 // counts before allocating.
@@ -569,7 +508,7 @@ impl Message {
                 }
                 let mut events = Vec::with_capacity(event_count);
                 for _ in 0..event_count {
-                    events.push(c.event()?);
+                    events.push(read_event(&mut c)?);
                 }
                 Self::ShardDone {
                     lease,
@@ -579,6 +518,7 @@ impl Message {
                     events,
                 }
             }
+            KIND_JOB_DONE => Self::JobDone,
             other => return Err(FrameError::UnknownKind(other)),
         };
         c.finish("message")?;
@@ -638,6 +578,7 @@ mod tests {
             },
             Message::Idle { retry_ms: 50 },
             Message::Shutdown,
+            Message::JobDone,
             Message::Heartbeat { lease: 9 },
             Message::ShardDone {
                 lease: 3,

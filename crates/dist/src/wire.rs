@@ -1,0 +1,227 @@
+//! Shared little-endian wire-encoding primitives.
+//!
+//! The coordinator/worker messages ([`crate::protocol`]) and the serve
+//! daemon's request/response frames (`clado-serve`) ride the same
+//! [`crate::frame`] envelope and encode their payloads with these
+//! helpers: length-prefixed byte strings, fixed-width integers, and a
+//! bounds-checked [`Reader`] whose every failure is a typed
+//! [`FrameError::Malformed`] — decoding untrusted bytes never panics.
+
+use crate::frame::FrameError;
+
+/// Appends a `u16` in little-endian order.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern (NaN-safe round trips).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a boolean as a single `0`/`1` byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(u8::from(v));
+}
+
+/// Appends a `u32` length prefix followed by the raw bytes.
+pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_u32(out, v.len() as u32);
+    out.extend_from_slice(v);
+}
+
+/// A bounds-checked payload reader. Every accessor names what it was
+/// reading so a short payload yields a targeted [`FrameError::Malformed`].
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Total length of the payload being decoded.
+    pub fn payload_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the next `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], FrameError> {
+        if self.buf.len() - self.pos < n {
+            return Err(FrameError::Malformed(format!(
+                "truncated payload reading {what}"
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on a short payload.
+    pub fn u8(&mut self, what: &str) -> Result<u8, FrameError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on a short payload.
+    pub fn u16(&mut self, what: &str) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(
+            self.take(2, what)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on a short payload.
+    pub fn u32(&mut self, what: &str) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on a short payload.
+    pub fn u64(&mut self, what: &str) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` stored as its IEEE-754 bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on a short payload.
+    pub fn f64(&mut self, what: &str) -> Result<f64, FrameError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads a strict boolean byte.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on a short payload or a byte other
+    /// than `0`/`1`.
+    pub fn bool(&mut self, what: &str) -> Result<bool, FrameError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(FrameError::Malformed(format!(
+                "{what}: boolean byte {other} out of range"
+            ))),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] when the declared length overruns the
+    /// payload.
+    pub fn bytes(&mut self, what: &str) -> Result<&'a [u8], FrameError> {
+        let len = self.u32(what)? as usize;
+        self.take(len, what)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] on overrun or invalid UTF-8.
+    pub fn string(&mut self, what: &str) -> Result<String, FrameError> {
+        String::from_utf8(self.bytes(what)?.to_vec())
+            .map_err(|_| FrameError::Malformed(format!("{what}: invalid UTF-8")))
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Malformed`] when trailing bytes remain.
+    pub fn finish(self, what: &str) -> Result<(), FrameError> {
+        if self.pos != self.buf.len() {
+            return Err(FrameError::Malformed(format!(
+                "{what}: {} trailing bytes",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut out = Vec::new();
+        put_u16(&mut out, 7);
+        put_u32(&mut out, 42);
+        put_u64(&mut out, u64::MAX);
+        put_f64(&mut out, f64::NAN);
+        put_bool(&mut out, true);
+        put_bytes(&mut out, b"abc");
+        let mut r = Reader::new(&out);
+        assert_eq!(r.u16("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 42);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX);
+        assert_eq!(r.f64("d").unwrap().to_bits(), f64::NAN.to_bits());
+        assert!(r.bool("e").unwrap());
+        assert_eq!(r.bytes("f").unwrap(), b"abc");
+        r.finish("msg").unwrap();
+    }
+
+    #[test]
+    fn short_reads_and_trailing_bytes_are_malformed() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 9);
+        let mut r = Reader::new(&out);
+        assert!(r.u64("needs 8").is_err());
+        let mut r = Reader::new(&out);
+        r.u16("first half").unwrap();
+        assert!(matches!(
+            r.finish("msg"),
+            Err(FrameError::Malformed(m)) if m.contains("trailing")
+        ));
+        // A length prefix that overruns the payload is typed, too.
+        let mut over = Vec::new();
+        put_u32(&mut over, 100);
+        assert!(Reader::new(&over).bytes("blob").is_err());
+    }
+
+    #[test]
+    fn non_boolean_bytes_are_rejected() {
+        let mut r = Reader::new(&[2u8]);
+        assert!(matches!(r.bool("flag"), Err(FrameError::Malformed(_))));
+    }
+}

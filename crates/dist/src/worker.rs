@@ -35,6 +35,12 @@ pub struct WorkerOptions {
     /// Total window for connecting (with retries) to the coordinator —
     /// workers often start before the coordinator finishes binding.
     pub connect_timeout: Duration,
+    /// Maximum connection retries after the first failed attempt.
+    /// Delays grow 100 ms → 1.6 s (capped, ±25% jitter), so the default
+    /// of 5 spans roughly three seconds — fleet startup order doesn't
+    /// matter. Whichever of the retry budget and [`Self::connect_timeout`]
+    /// runs out first ends the attempt.
+    pub connect_retries: u32,
     /// Telemetry sink for spans and counters.
     pub telemetry: Telemetry,
     /// Print coarse progress to stderr.
@@ -46,6 +52,7 @@ impl Default for WorkerOptions {
         Self {
             heartbeat_interval: Duration::from_millis(500),
             connect_timeout: Duration::from_secs(10),
+            connect_retries: 5,
             telemetry: Telemetry::disabled(),
             verbose: false,
         }
@@ -103,16 +110,38 @@ impl Drop for HeartbeatGuard {
     }
 }
 
-fn connect_with_retry(addr: &str, window: Duration) -> Result<TcpStream, DistError> {
+/// Backoff before retry `attempt` (0-based): 100 ms doubling to a
+/// 1.6 s cap, with ±25% jitter derived deterministically from
+/// (pid, attempt) so a restarted fleet doesn't reconnect in lockstep.
+fn backoff_delay(attempt: u32) -> Duration {
+    const BASE_MS: u64 = 100;
+    const CAP_MS: u64 = 1_600;
+    let nominal = (BASE_MS << attempt.min(10)).min(CAP_MS);
+    let mut seed = [0u8; 8];
+    seed[..4].copy_from_slice(&std::process::id().to_le_bytes());
+    seed[4..].copy_from_slice(&attempt.to_le_bytes());
+    let jitter_span = nominal / 2; // ±25% around the nominal delay
+    let jitter = crate::frame::fnv1a(&seed) % (jitter_span + 1);
+    Duration::from_millis(nominal - jitter_span / 2 + jitter)
+}
+
+fn connect_with_retry(addr: &str, window: Duration, retries: u32) -> Result<TcpStream, DistError> {
     let deadline = Instant::now() + window;
+    let mut attempt = 0u32;
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),
             Err(e) => {
-                if Instant::now() >= deadline {
+                if attempt >= retries {
                     return Err(DistError::Io(e));
                 }
-                std::thread::sleep(Duration::from_millis(50));
+                let delay = backoff_delay(attempt);
+                attempt += 1;
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(DistError::Io(e));
+                }
+                std::thread::sleep(delay.min(deadline - now));
             }
         }
     }
@@ -139,7 +168,7 @@ where
 {
     let telemetry = opts.telemetry.clone();
     let _root = telemetry.span("dist.work");
-    let stream = connect_with_retry(addr, opts.connect_timeout)?;
+    let stream = connect_with_retry(addr, opts.connect_timeout, opts.connect_retries)?;
     stream.set_nodelay(true).map_err(DistError::Io)?;
     stream
         .set_read_timeout(Some(REPLY_TIMEOUT))
@@ -229,75 +258,250 @@ where
         clock_us: telemetry.now_us(),
     })?;
 
-    let roundtrip = telemetry.histogram("dist.roundtrip");
     let mut report = WorkerReport::default();
-    let result = (|| -> Result<(), DistError> {
-        loop {
-            let rt_start = Instant::now();
-            conn.send(&Message::LeaseRequest)?;
-            let reply = conn.recv()?;
-            roundtrip.record(rt_start.elapsed());
-            match reply {
-                Message::Lease {
+    lease_loop(
+        &conn,
+        &ctx,
+        &mut network,
+        &set,
+        &telemetry,
+        &current_lease,
+        &mut report,
+        opts.verbose,
+    )
+    .map(|_| report)
+}
+
+/// Why the lease loop handed control back to the caller.
+enum JobEnd {
+    /// `JobDone` (v3): the job is over, the connection is not.
+    JobOver,
+    /// `Shutdown`: disconnect and exit.
+    Shutdown,
+}
+
+/// The worker-driven lease/evaluate/report cycle shared by
+/// [`run_worker`] (one job per connection) and [`run_pool_worker`]
+/// (many jobs per connection).
+#[allow(clippy::too_many_arguments)]
+fn lease_loop(
+    conn: &Conn,
+    ctx: &ShardContext,
+    network: &mut Network,
+    set: &DataSplit,
+    telemetry: &Telemetry,
+    current_lease: &AtomicU64,
+    report: &mut WorkerReport,
+    verbose: bool,
+) -> Result<JobEnd, DistError> {
+    let roundtrip = telemetry.histogram("dist.roundtrip");
+    loop {
+        let rt_start = Instant::now();
+        conn.send(&Message::LeaseRequest)?;
+        let reply = conn.recv()?;
+        roundtrip.record(rt_start.elapsed());
+        match reply {
+            Message::Lease {
+                lease,
+                span_id,
+                shard,
+            } => {
+                current_lease.store(lease, Ordering::Relaxed);
+                // Debug-build fail point: a worker process armed with
+                // `dist.worker.shard=abort` dies here, mid-lease,
+                // exactly like a SIGKILL.
+                faultpoint!("dist.worker.shard", std::process::abort());
+                let (records, stats) = {
+                    let _s = telemetry.span_with_args(
+                        "dist.work.shard",
+                        vec![
+                            ("lease".to_string(), (lease as i64).into()),
+                            ("span_id".to_string(), (span_id as i64).into()),
+                            ("shard".to_string(), shard.to_string().into()),
+                        ],
+                    );
+                    ctx.run_shard(network, set, shard, telemetry)
+                };
+                current_lease.store(0, Ordering::Relaxed);
+                report.shards += 1;
+                report.probes += records.len() as u64;
+                report.seconds += stats.seconds;
+                telemetry.counter("dist.shards_evaluated").incr();
+                if verbose {
+                    eprintln!(
+                        "dist: evaluated {shard} ({} probes, {:.2}s)",
+                        records.len(),
+                        stats.seconds
+                    );
+                }
+                // Ship the trace events accumulated while this shard
+                // ran (the buffer is empty when tracing is off).
+                clado_telemetry::flush_thread_local();
+                let events = telemetry.take_trace_events();
+                conn.send(&Message::ShardDone {
                     lease,
-                    span_id,
                     shard,
-                } => {
-                    current_lease.store(lease, Ordering::Relaxed);
-                    // Debug-build fail point: a worker process armed with
-                    // `dist.worker.shard=abort` dies here, mid-lease,
-                    // exactly like a SIGKILL.
-                    faultpoint!("dist.worker.shard", std::process::abort());
-                    let (records, stats) = {
-                        let _s = telemetry.span_with_args(
-                            "dist.work.shard",
-                            vec![
-                                ("lease".to_string(), (lease as i64).into()),
-                                ("span_id".to_string(), (span_id as i64).into()),
-                                ("shard".to_string(), shard.to_string().into()),
-                            ],
-                        );
-                        ctx.run_shard(&mut network, &set, shard, &telemetry)
-                    };
-                    current_lease.store(0, Ordering::Relaxed);
-                    report.shards += 1;
-                    report.probes += records.len() as u64;
-                    report.seconds += stats.seconds;
-                    telemetry.counter("dist.shards_evaluated").incr();
-                    if opts.verbose {
-                        eprintln!(
-                            "dist: evaluated {shard} ({} probes, {:.2}s)",
-                            records.len(),
-                            stats.seconds
-                        );
-                    }
-                    // Ship the trace events accumulated while this shard
-                    // ran (the buffer is empty when tracing is off).
-                    clado_telemetry::flush_thread_local();
-                    let events = telemetry.take_trace_events();
-                    conn.send(&Message::ShardDone {
-                        lease,
-                        shard,
-                        records,
-                        stats,
-                        events,
-                    })?;
-                }
-                Message::Idle { retry_ms } => {
-                    std::thread::sleep(Duration::from_millis(u64::from(retry_ms)));
-                }
-                Message::Shutdown => return Ok(()),
-                Message::Reject { reason } => return Err(DistError::Rejected(reason)),
-                other => {
-                    return Err(FrameError::Malformed(format!(
-                        "unexpected coordinator message kind {}",
-                        other.kind()
-                    ))
-                    .into())
-                }
+                    records,
+                    stats,
+                    events,
+                })?;
+            }
+            Message::Idle { retry_ms } => {
+                std::thread::sleep(Duration::from_millis(u64::from(retry_ms)));
+            }
+            Message::JobDone => return Ok(JobEnd::JobOver),
+            Message::Shutdown => return Ok(JobEnd::Shutdown),
+            Message::Reject { reason } => return Err(DistError::Rejected(reason)),
+            other => {
+                return Err(FrameError::Malformed(format!(
+                    "unexpected coordinator message kind {}",
+                    other.kind()
+                ))
+                .into())
             }
         }
-    })();
+    }
+}
 
-    result.map(|()| report)
+/// Runs a pooled worker: like [`run_worker`], but the connection
+/// outlives a single job. When the coordinator (the `clado serve`
+/// daemon) ends one job with `JobDone`, the worker keeps the socket
+/// warm and awaits the next `Job`; `Shutdown` — or the daemon closing
+/// the socket while the worker is between jobs — ends the session
+/// cleanly. The provider is consulted once per distinct job spec:
+/// repeat specs (ignoring the per-request trace id) reuse the
+/// previously reconstructed model and sensitivity set, which is what
+/// makes a warm pool cheap to hit.
+///
+/// # Errors
+///
+/// Same taxonomy as [`run_worker`]; additionally, a mid-job disconnect
+/// is an error while a between-jobs disconnect is a clean exit.
+pub fn run_pool_worker<F>(
+    addr: &str,
+    mut provider: F,
+    opts: &WorkerOptions,
+) -> Result<WorkerReport, DistError>
+where
+    F: FnMut(&JobSpec) -> Result<(Network, DataSplit), String>,
+{
+    let telemetry = opts.telemetry.clone();
+    let _root = telemetry.span("dist.work.pool");
+    let stream = connect_with_retry(addr, opts.connect_timeout, opts.connect_retries)?;
+    stream.set_nodelay(true).map_err(DistError::Io)?;
+    stream
+        .set_read_timeout(Some(REPLY_TIMEOUT))
+        .map_err(DistError::Io)?;
+    let conn = Arc::new(Conn {
+        stream,
+        write: Mutex::new(()),
+    });
+    conn.send(&Message::Hello {
+        protocol: PROTOCOL_VERSION,
+        pid: std::process::id(),
+    })?;
+
+    // One heartbeat thread for the whole connection (lease 0 between
+    // jobs): the daemon's heartbeat machinery is what detects a dead
+    // pooled worker, so the liveness signal must not pause between jobs.
+    let stop = Arc::new(AtomicBool::new(false));
+    let current_lease = Arc::new(AtomicU64::new(0));
+    let _heartbeat = {
+        let conn = Arc::clone(&conn);
+        let stop_flag = Arc::clone(&stop);
+        let lease = Arc::clone(&current_lease);
+        let interval = opts.heartbeat_interval;
+        HeartbeatGuard {
+            stop: Arc::clone(&stop),
+            handle: Some(std::thread::spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let msg = Message::Heartbeat {
+                        lease: lease.load(Ordering::Relaxed),
+                    };
+                    if conn.send(&msg).is_err() {
+                        break;
+                    }
+                }
+            })),
+        }
+    };
+
+    let mut cached: Option<(JobSpec, Network, DataSplit)> = None;
+    let mut report = WorkerReport::default();
+    loop {
+        // Await the next job. Read timeouts are routine here — the pool
+        // may sit idle between requests — and the heartbeat thread keeps
+        // the link alive meanwhile.
+        let job = match conn.recv() {
+            Ok(Message::Job(job)) => job,
+            Ok(Message::Shutdown) => return Ok(report),
+            Ok(Message::Reject { reason }) => return Err(DistError::Rejected(reason)),
+            Ok(other) => {
+                return Err(FrameError::Malformed(format!(
+                    "expected Job, got kind {}",
+                    other.kind()
+                ))
+                .into())
+            }
+            Err(e) if e.is_timeout() => continue,
+            Err(e) if e.is_disconnect() => return Ok(report),
+            Err(e) => return Err(e.into()),
+        };
+        if job.bits.is_empty() {
+            return Err(FrameError::Malformed("job carries no bit-widths".into()).into());
+        }
+        let scheme = scheme_from_u8(job.scheme)?;
+        if job.trace_id != 0 {
+            telemetry.set_trace_id(job.trace_id);
+            telemetry.set_trace_enabled(true);
+        }
+
+        let key = JobSpec {
+            trace_id: 0,
+            ..job.clone()
+        };
+        let fresh = !matches!(&cached, Some((k, _, _)) if *k == key);
+        if fresh {
+            let _s = telemetry.span("dist.work.load");
+            let (network, set) = provider(&job).map_err(DistError::Provider)?;
+            cached = Some((key, network, set));
+        } else {
+            telemetry.counter("dist.pool.model_reuse").incr();
+        }
+        let Some((_, network, set)) = cached.as_mut() else {
+            unreachable!("cache populated above");
+        };
+        let bits = BitWidthSet::new(&job.bits);
+        let ctx = ShardContext::new(
+            network,
+            set.len(),
+            &bits,
+            scheme,
+            job.batch_size as usize,
+            job.use_prefix_cache,
+        );
+        conn.send(&Message::Ready {
+            fingerprint: ctx.fingerprint(),
+            clock_us: telemetry.now_us(),
+        })?;
+        match lease_loop(
+            &conn,
+            &ctx,
+            network,
+            set,
+            &telemetry,
+            &current_lease,
+            &mut report,
+            opts.verbose,
+        )? {
+            JobEnd::JobOver => {
+                telemetry.counter("dist.pool.jobs_completed").incr();
+            }
+            JobEnd::Shutdown => return Ok(report),
+        }
+    }
 }

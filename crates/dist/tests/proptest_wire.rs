@@ -156,6 +156,7 @@ proptest! {
         round_trip(&Message::Idle { retry_ms })?;
         round_trip(&Message::Shutdown)?;
         round_trip(&Message::Heartbeat { lease })?;
+        round_trip(&Message::JobDone)?;
     }
 
     #[test]
@@ -219,7 +220,7 @@ proptest! {
 
     #[test]
     fn decoding_is_total_over_arbitrary_payloads(
-        kind in 1u16..=10,
+        kind in 1u16..=11,
         payload in prop::collection::vec(0u8..=255, 0..=256),
     ) {
         // Decoding never panics; it either produces a message that

@@ -1,0 +1,138 @@
+//! The Ω result cache: content-addressed by the measurement-spec
+//! fingerprint, so a repeat client pays zero probe evaluations.
+//!
+//! The cached value holds the *first* response verbatim — the encoded
+//! CLSM image is stored alongside the decoded matrix — so a cache hit is
+//! bitwise identical to the measurement that populated the entry
+//! (`SensitivityStats` carries wall-clock seconds, which a re-measure
+//! would perturb; re-serving the stored image sidesteps that).
+
+use clado_core::SensitivityMatrix;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One cached measurement: the assembled Ω plus everything a solve
+/// needs without rebuilding the model.
+pub struct CachedOmega {
+    /// The assembled sensitivity matrix.
+    pub matrix: SensitivityMatrix,
+    /// The encoded CLSM image ([`clado_core::sensitivities_to_bytes`]),
+    /// re-served verbatim on every hit.
+    pub clsm: Vec<u8>,
+    /// Per-layer parameter counts of the measured model (the
+    /// [`clado_quant::LayerSizes`] input for budget solves).
+    pub param_counts: Vec<usize>,
+}
+
+/// A bounded LRU of measurement results keyed by
+/// [`crate::protocol::MeasureSpec::fingerprint`].
+pub struct OmegaCache {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    entries: HashMap<u64, Arc<CachedOmega>>,
+    /// Recency order, most recent last.
+    order: Vec<u64>,
+    capacity: usize,
+}
+
+impl OmegaCache {
+    /// Creates a cache holding at most `capacity` measurements
+    /// (capacity 0 disables caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                order: Vec::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// Looks up a measurement, refreshing its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<CachedOmega>> {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let hit = g.entries.get(&key).cloned();
+        if hit.is_some() {
+            g.order.retain(|&k| k != key);
+            g.order.push(key);
+        }
+        hit
+    }
+
+    /// Inserts a measurement, evicting the least recently used entry
+    /// when full. Inserting an existing key refreshes it.
+    pub fn insert(&self, key: u64, value: Arc<CachedOmega>) {
+        let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if g.capacity == 0 {
+            return;
+        }
+        g.order.retain(|&k| k != key);
+        if g.entries.len() >= g.capacity && !g.entries.contains_key(&key) && !g.order.is_empty() {
+            let evict = g.order.remove(0);
+            g.entries.remove(&evict);
+        }
+        g.entries.insert(key, value);
+        g.order.push(key);
+    }
+
+    /// Number of cached measurements.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entries
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clado_core::{SensitivityMatrix, SensitivityStats};
+    use clado_quant::BitWidthSet;
+    use clado_solver::SymMatrix;
+
+    fn entry() -> Arc<CachedOmega> {
+        let matrix = SensitivityMatrix::from_parts(
+            SymMatrix::zeros(2),
+            1,
+            BitWidthSet::new(&[4, 8]),
+            0.5,
+            SensitivityStats::default(),
+        );
+        Arc::new(CachedOmega {
+            clsm: clado_core::sensitivities_to_bytes(&matrix),
+            matrix,
+            param_counts: vec![10],
+        })
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let cache = OmegaCache::new(2);
+        cache.insert(1, entry());
+        cache.insert(2, entry());
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(1).is_some());
+        cache.insert(3, entry());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = OmegaCache::new(0);
+        cache.insert(1, entry());
+        assert!(cache.is_empty());
+        assert!(cache.get(1).is_none());
+    }
+}

@@ -1,0 +1,74 @@
+//! The client side of the serve protocol: one connection, one request.
+
+use crate::error::ServeError;
+use crate::protocol::{self, ServeMessage, SubmitRequest};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One accepted-and-answered submission.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// Server-assigned request id.
+    pub request_id: u64,
+    /// Queue depth the daemon observed at admission.
+    pub queue_depth: u32,
+    /// The final response: `MeasureDone`, `AssignDone`, `SweepDone`, or
+    /// `Failed` — never `Accepted`/`Rejected`/`Submit`.
+    pub response: ServeMessage,
+}
+
+/// Submits one request to a daemon and blocks for the final response.
+/// `response_timeout` bounds the wait for the *final* response (the
+/// admission reply is always bounded to 30 s); `None` waits forever —
+/// appropriate for measurements, which can be long.
+///
+/// # Errors
+///
+/// [`ServeError::Rejected`] when the daemon sheds the request at
+/// admission (overload, infeasible deadline, drain, malformed);
+/// [`ServeError::Io`]/[`ServeError::Frame`] for connection failures;
+/// [`ServeError::Protocol`] when the daemon replies out of order.
+pub fn submit(
+    addr: &str,
+    req: &SubmitRequest,
+    response_timeout: Option<Duration>,
+) -> Result<SubmitOutcome, ServeError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut s = &stream;
+    protocol::send(&mut s, &ServeMessage::Submit(req.clone()))?;
+    let (request_id, queue_depth) = match protocol::recv(&mut s)? {
+        ServeMessage::Accepted {
+            request_id,
+            queue_depth,
+        } => (request_id, queue_depth),
+        ServeMessage::Rejected { reason, detail } => {
+            return Err(ServeError::Rejected { reason, detail })
+        }
+        other => {
+            return Err(ServeError::Protocol(format!(
+                "expected Accepted/Rejected, got kind {}",
+                other.kind()
+            )))
+        }
+    };
+    stream.set_read_timeout(response_timeout)?;
+    let response = match protocol::recv(&mut s)? {
+        msg @ (ServeMessage::MeasureDone { .. }
+        | ServeMessage::AssignDone { .. }
+        | ServeMessage::SweepDone { .. }
+        | ServeMessage::Failed { .. }) => msg,
+        other => {
+            return Err(ServeError::Protocol(format!(
+                "expected a final response, got kind {}",
+                other.kind()
+            )))
+        }
+    };
+    Ok(SubmitOutcome {
+        request_id,
+        queue_depth,
+        response,
+    })
+}

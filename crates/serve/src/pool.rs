@@ -1,0 +1,776 @@
+//! The daemon's warm worker pool: a multi-job shard coordinator.
+//!
+//! The one-shot [`clado_dist::Coordinator`] binds a socket per sweep and
+//! shuts its workers down when the sweep ends. A daemon inverts that
+//! lifecycle: worker connections are *pooled* — they outlive any single
+//! request — and jobs come and go. This module keeps the lease /
+//! heartbeat / eviction state machine of the one-shot coordinator (any
+//! frame resets the deadline; every exit path requeues what the worker
+//! held) and adds what a long-running pool needs:
+//!
+//! * **Per-shard retry accounting with backoff.** A shard requeued by an
+//!   eviction carries an attempt count and a not-before instant (100 ms
+//!   doubling to 1.6 s); past [`PoolOptions::shard_retries`] attempts the
+//!   *job* fails with a retries-exhausted error — never the daemon.
+//! * **`JobDone` instead of `Shutdown`.** When a job's last shard lands,
+//!   workers leasing from it are told the job is over and return to the
+//!   idle pool, warm. `Shutdown` is reserved for daemon drain.
+//! * **Local takeover.** A job registered while zero workers are live is
+//!   evaluated in-process by the caller's closure, so a daemon with no
+//!   fleet still serves requests (slowly) instead of hanging.
+
+use crate::error::ServeError;
+use clado_core::{ProbeId, ProbeRecord, ShardRunStats, ShardSpec};
+use clado_dist::{protocol, JobSpec, Message, PROTOCOL_VERSION};
+use clado_telemetry::Telemetry;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Milliseconds a worker is told to wait when its job has nothing
+/// leasable right now (all shards leased, or requeued under backoff).
+const IDLE_RETRY_MS: u32 = 50;
+
+/// Read timeout while a worker idles between jobs: short, so the
+/// connection thread notices new jobs and drain promptly.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Options controlling the worker pool.
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// A worker that sends no frame for this long loses its leases.
+    pub heartbeat_timeout: Duration,
+    /// A shard evicted (worker death, hang, or protocol violation) more
+    /// than this many times fails its job with
+    /// [`JobFailure::WorkerRetriesExhausted`].
+    pub shard_retries: u32,
+    /// Telemetry sink for pool counters and gauges.
+    pub telemetry: Telemetry,
+    /// Print coarse progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        Self {
+            heartbeat_timeout: Duration::from_secs(3),
+            shard_retries: 5,
+            telemetry: Telemetry::disabled(),
+            verbose: false,
+        }
+    }
+}
+
+/// What one completed job produced.
+pub struct JobOutcome {
+    /// Every probe record of the job's grid, keyed by probe id.
+    pub records: HashMap<ProbeId, ProbeRecord>,
+    /// Evaluations that ran the full forward pass.
+    pub full_evals: u64,
+    /// Evaluations served from prefix-activation caches.
+    pub cache_hits: u64,
+    /// Prefix caches built.
+    pub cache_builds: u64,
+    /// Non-finite losses re-evaluated once.
+    pub retried: u64,
+    /// Summed shard-evaluation wall time across workers.
+    pub seconds: f64,
+    /// Distinct pooled workers that completed at least one shard.
+    pub workers_used: usize,
+    /// Shards evaluated in-process because no worker was live.
+    pub local_shards: u64,
+}
+
+/// Why a job (never the daemon) failed.
+#[derive(Debug)]
+pub enum JobFailure {
+    /// The caller's deadline expired before the grid completed.
+    DeadlineExceeded,
+    /// The caller's cancel flag was raised (client disconnect, drain).
+    Canceled,
+    /// Some shard was evicted past the retry cap.
+    WorkerRetriesExhausted(String),
+}
+
+#[derive(Default)]
+struct AggStats {
+    full_evals: u64,
+    cache_hits: u64,
+    cache_builds: u64,
+    retried: u64,
+}
+
+struct JobState {
+    spec: JobSpec,
+    pending: VecDeque<ShardSpec>,
+    /// Earliest re-lease instant for shards requeued by an eviction.
+    not_before: HashMap<ShardSpec, Instant>,
+    /// Evictions suffered per shard.
+    attempts: HashMap<ShardSpec, u32>,
+    /// lease id → (shard, worker id).
+    leases: HashMap<u64, (ShardSpec, u64)>,
+    done: HashSet<ShardSpec>,
+    total: usize,
+    records: HashMap<ProbeId, ProbeRecord>,
+    agg: AggStats,
+    workers_used: HashSet<u64>,
+    seconds: f64,
+    /// Retries-exhausted detail; set once, checked by the waiter.
+    failed: Option<String>,
+}
+
+struct PoolState {
+    jobs: BTreeMap<u64, JobState>,
+    next_job: u64,
+    next_lease: u64,
+    /// worker id → pid of currently connected, handshaken workers.
+    live_workers: HashMap<u64, u32>,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Live connection threads (accept-side guard for drain).
+    conns: AtomicUsize,
+    telemetry: Telemetry,
+    heartbeat_timeout: Duration,
+    shard_retries: u32,
+    verbose: bool,
+}
+
+/// Backoff before re-leasing a shard after its `attempt`-th eviction
+/// (1-based): 100 ms doubling to a 1.6 s cap. Deliberately jitter-free —
+/// re-leases are serialized through the scheduler lock, so there is no
+/// thundering herd to break up.
+fn retry_backoff(attempt: u32) -> Duration {
+    const BASE_MS: u64 = 100;
+    const CAP_MS: u64 = 1_600;
+    Duration::from_millis((BASE_MS << attempt.saturating_sub(1).min(10)).min(CAP_MS))
+}
+
+/// A pool of warm worker connections serving a stream of measurement
+/// jobs. Bind once ([`WorkerPool::bind`]), run any number of jobs
+/// ([`WorkerPool::run_job`]) from any number of threads, then
+/// [`WorkerPool::shutdown`].
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Binds the worker-facing socket and starts accepting pooled
+    /// workers. Use address `127.0.0.1:0` to let the OS pick a port.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the address cannot be bound.
+    pub fn bind(addr: &str, opts: PoolOptions) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                jobs: BTreeMap::new(),
+                next_job: 1,
+                next_lease: 1,
+                live_workers: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            conns: AtomicUsize::new(0),
+            telemetry: opts.telemetry.clone(),
+            heartbeat_timeout: opts.heartbeat_timeout,
+            shard_retries: opts.shard_retries,
+            verbose: opts.verbose,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            let mut next_worker = 1u64;
+            while !accept_shared.shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let id = next_worker;
+                        next_worker += 1;
+                        let shared = Arc::clone(&accept_shared);
+                        shared.conns.fetch_add(1, Ordering::SeqCst);
+                        std::thread::spawn(move || {
+                            serve_pool_conn(stream, id, &shared);
+                            shared.conns.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Self {
+            shared,
+            addr,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The address pooled workers should connect to.
+    pub fn worker_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently connected, handshaken workers.
+    pub fn live_workers(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .live_workers
+            .len()
+    }
+
+    /// Runs one measurement job to completion: registers the shard grid,
+    /// lets pooled workers lease from it, and blocks until every shard
+    /// is done (or the job fails). `local` evaluates one shard
+    /// in-process and is only consulted while zero workers are live.
+    ///
+    /// # Errors
+    ///
+    /// [`JobFailure::DeadlineExceeded`] / [`JobFailure::Canceled`] when
+    /// the caller's deadline or cancel flag fires first, and
+    /// [`JobFailure::WorkerRetriesExhausted`] when a shard was evicted
+    /// past the retry cap. Failures never tear down the pool.
+    pub fn run_job(
+        &self,
+        spec: JobSpec,
+        shards: Vec<ShardSpec>,
+        cancel: &AtomicBool,
+        deadline: Option<Instant>,
+        mut local: impl FnMut(ShardSpec) -> (Vec<ProbeRecord>, ShardRunStats),
+    ) -> Result<JobOutcome, JobFailure> {
+        let total = shards.len();
+        let job_id = {
+            let mut g = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            let id = g.next_job;
+            g.next_job += 1;
+            g.jobs.insert(
+                id,
+                JobState {
+                    spec,
+                    pending: shards.into(),
+                    not_before: HashMap::new(),
+                    attempts: HashMap::new(),
+                    leases: HashMap::new(),
+                    done: HashSet::new(),
+                    total,
+                    records: HashMap::new(),
+                    agg: AggStats::default(),
+                    workers_used: HashSet::new(),
+                    seconds: 0.0,
+                    failed: None,
+                },
+            );
+            id
+        };
+        self.shared.cv.notify_all();
+        self.shared.telemetry.counter("serve.pool.jobs").incr();
+
+        let mut local_shards = 0u64;
+        let mut g = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            let Some(job) = g.jobs.get_mut(&job_id) else {
+                unreachable!("job {job_id} only removed by this waiter");
+            };
+            if let Some(detail) = job.failed.take() {
+                g.jobs.remove(&job_id);
+                self.shared.cv.notify_all();
+                return Err(JobFailure::WorkerRetriesExhausted(detail));
+            }
+            if job.done.len() == job.total {
+                let job = g.jobs.remove(&job_id).expect("job present");
+                self.shared.cv.notify_all();
+                return Ok(JobOutcome {
+                    records: job.records,
+                    full_evals: job.agg.full_evals,
+                    cache_hits: job.agg.cache_hits,
+                    cache_builds: job.agg.cache_builds,
+                    retried: job.agg.retried,
+                    seconds: job.seconds,
+                    workers_used: job.workers_used.len(),
+                    local_shards,
+                });
+            }
+            if cancel.load(Ordering::Relaxed) {
+                g.jobs.remove(&job_id);
+                self.shared.cv.notify_all();
+                return Err(JobFailure::Canceled);
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                g.jobs.remove(&job_id);
+                self.shared.cv.notify_all();
+                return Err(JobFailure::DeadlineExceeded);
+            }
+            // Local takeover: with no live workers, the waiter itself
+            // evaluates pending shards (backoff ignored — there is no
+            // other worker to wait for).
+            if g.live_workers.is_empty() {
+                if let Some(shard) = g
+                    .jobs
+                    .get_mut(&job_id)
+                    .and_then(|job| job.pending.pop_front())
+                {
+                    drop(g);
+                    let (records, stats) = local(shard);
+                    local_shards += 1;
+                    self.shared
+                        .telemetry
+                        .counter("serve.pool.local_shards")
+                        .incr();
+                    g = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+                    if let Some(job) = g.jobs.get_mut(&job_id) {
+                        integrate_done(job, None, None, shard, &records, &stats);
+                    }
+                    continue;
+                }
+            }
+            let (guard, _timeout) = self
+                .shared
+                .cv
+                .wait_timeout(g, Duration::from_millis(50))
+                .unwrap_or_else(|p| p.into_inner());
+            g = guard;
+        }
+    }
+
+    /// Drains the pool: stops accepting, tells every idle worker to shut
+    /// down, and waits (bounded) for connection threads to finish.
+    /// Workers mid-lease finish naturally once their jobs are removed.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.accept.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            let _ = handle.join();
+        }
+        // Connection threads notice the flag within one idle poll and
+        // send Shutdown; bound the wait so a wedged socket cannot hold
+        // the daemon's exit hostage.
+        let deadline = Instant::now() + self.shared.heartbeat_timeout + Duration::from_secs(1);
+        while self.shared.conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// Integrates one completed shard (idempotently — duplicate completions
+/// after an eviction/re-lease race are ignored record-by-record).
+fn integrate_done(
+    job: &mut JobState,
+    worker: Option<u64>,
+    lease: Option<u64>,
+    shard: ShardSpec,
+    records: &[ProbeRecord],
+    stats: &ShardRunStats,
+) {
+    if let Some(lease) = lease {
+        job.leases.remove(&lease);
+    }
+    if job.done.contains(&shard) {
+        return;
+    }
+    for rec in records {
+        job.records.entry(rec.id).or_insert(*rec);
+    }
+    job.done.insert(shard);
+    job.agg.full_evals += stats.full_evals;
+    job.agg.cache_hits += stats.cache_hits;
+    job.agg.cache_builds += stats.cache_builds;
+    job.agg.retried += stats.retried;
+    job.seconds += stats.seconds;
+    if let Some(w) = worker {
+        job.workers_used.insert(w);
+    }
+}
+
+/// Requeues every lease `worker` held, bumping per-shard attempt counts
+/// and backoff. A shard past the retry cap fails its job. Returns how
+/// many leases were evicted.
+fn evict_worker(g: &mut PoolState, worker: u64, shard_retries: u32) -> u64 {
+    let now = Instant::now();
+    let mut evicted = 0u64;
+    for job in g.jobs.values_mut() {
+        let held: Vec<u64> = job
+            .leases
+            .iter()
+            .filter(|(_, (_, w))| *w == worker)
+            .map(|(&l, _)| l)
+            .collect();
+        for lease in held {
+            let Some((shard, _)) = job.leases.remove(&lease) else {
+                continue;
+            };
+            evicted += 1;
+            if job.done.contains(&shard) {
+                continue;
+            }
+            let attempts = job.attempts.entry(shard).or_insert(0);
+            *attempts += 1;
+            if *attempts > shard_retries {
+                job.failed.get_or_insert_with(|| {
+                    format!(
+                        "shard {shard} evicted {attempts} times across workers \
+                         (retry cap {shard_retries})"
+                    )
+                });
+                continue;
+            }
+            let attempts = *attempts;
+            job.not_before.insert(shard, now + retry_backoff(attempts));
+            job.pending.push_front(shard);
+        }
+    }
+    g.live_workers.remove(&worker);
+    evicted
+}
+
+/// Pops the first shard whose backoff (if any) has expired.
+fn pop_leasable(job: &mut JobState, now: Instant) -> Option<ShardSpec> {
+    let idx = job
+        .pending
+        .iter()
+        .position(|s| job.not_before.get(s).is_none_or(|&t| t <= now))?;
+    job.pending.remove(idx)
+}
+
+/// First job a newly idle worker should serve: prefer one with a shard
+/// leasable right now, else one with any outstanding work (so the worker
+/// is on station when a backoff expires or a re-lease is needed).
+fn pick_job(g: &mut PoolState) -> Option<(u64, JobSpec)> {
+    let now = Instant::now();
+    let leasable = g.jobs.iter().find_map(|(&id, job)| {
+        let open = job.failed.is_none() && job.done.len() < job.total;
+        (open
+            && job
+                .pending
+                .iter()
+                .any(|s| job.not_before.get(s).is_none_or(|&t| t <= now)))
+        .then(|| (id, job.spec.clone()))
+    });
+    leasable.or_else(|| {
+        g.jobs.iter().find_map(|(&id, job)| {
+            let open = job.failed.is_none() && job.done.len() < job.total;
+            (open && (!job.pending.is_empty() || !job.leases.is_empty()))
+                .then(|| (id, job.spec.clone()))
+        })
+    })
+}
+
+/// Why the per-connection state machine ended.
+enum ConnEnd {
+    /// Clean: drain shutdown sent, or worker disconnected while idle.
+    Clean,
+    /// The worker died, hung, or violated the protocol.
+    Lost,
+}
+
+/// Serves one pooled worker connection: handshake once, then cycle
+/// idle → job → lease loop → `JobDone` → idle until drain or death.
+/// Never panics on worker input; every exit path evicts whatever the
+/// worker still held.
+fn serve_pool_conn(stream: TcpStream, id: u64, shared: &Shared) {
+    let telemetry = &shared.telemetry;
+    let _ = stream.set_nodelay(true);
+    // Handshake is bounded in both directions so a silent peer cannot
+    // pin this thread (same policy as the one-shot coordinator).
+    let _ = stream.set_read_timeout(Some(shared.heartbeat_timeout));
+    let _ = stream.set_write_timeout(Some(shared.heartbeat_timeout));
+    let mut s = &stream;
+    let pid = match protocol::recv(&mut s) {
+        Ok(Message::Hello { protocol, pid }) => {
+            if protocol != PROTOCOL_VERSION {
+                let _ = crate::pool::send_reject(
+                    &mut s,
+                    format!("protocol version {protocol} unsupported (want {PROTOCOL_VERSION})"),
+                );
+                telemetry.counter("serve.pool.rejected_workers").incr();
+                return;
+            }
+            pid
+        }
+        Ok(_) => {
+            telemetry.counter("serve.pool.protocol_errors").incr();
+            return;
+        }
+        Err(e) => {
+            let e = e.or_handshake_timeout();
+            if matches!(e, clado_dist::FrameError::HandshakeTimeout) {
+                telemetry.counter("serve.handshake_timeouts").incr();
+            } else if !e.is_disconnect() {
+                telemetry.counter("serve.pool.protocol_errors").incr();
+            }
+            return;
+        }
+    };
+    let _ = stream.set_write_timeout(None);
+    {
+        let mut g = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+        g.live_workers.insert(id, pid);
+    }
+    shared.cv.notify_all();
+    telemetry.counter("serve.pool.workers_connected").incr();
+    if shared.verbose {
+        eprintln!("serve: worker {id} (pid {pid}) joined the pool");
+    }
+
+    let end = drive_worker(&stream, id, shared);
+    let mut g = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+    let evicted = evict_worker(&mut g, id, shared.shard_retries);
+    drop(g);
+    shared.cv.notify_all();
+    if evicted > 0 {
+        telemetry.counter("serve.pool.evictions").add(evicted);
+        if shared.verbose {
+            eprintln!("serve: worker {id} lost; requeued {evicted} leased shard(s)");
+        }
+    } else if matches!(end, ConnEnd::Lost) && shared.verbose {
+        eprintln!("serve: worker {id} left the pool");
+    }
+}
+
+fn send_reject(s: &mut &TcpStream, reason: String) -> Result<(), clado_dist::FrameError> {
+    protocol::send(s, &Message::Reject { reason })
+}
+
+/// The idle/job cycle for one handshaken pooled worker.
+fn drive_worker(stream: &TcpStream, id: u64, shared: &Shared) -> ConnEnd {
+    let mut s = stream;
+    let hb = shared.heartbeat_timeout;
+    loop {
+        // Idle phase: short poll so drain and new jobs are noticed fast.
+        // Only tiny heartbeat frames flow here, so the short timeout
+        // cannot bisect a large frame mid-read.
+        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+        let mut last_frame = Instant::now();
+        let picked = loop {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                let _ = protocol::send(&mut s, &Message::Shutdown);
+                return ConnEnd::Clean;
+            }
+            match protocol::recv(&mut s) {
+                Ok(Message::Heartbeat { .. }) => last_frame = Instant::now(),
+                Ok(_) => return ConnEnd::Lost,
+                Err(e) if e.is_timeout() => {
+                    if last_frame.elapsed() > hb {
+                        return ConnEnd::Lost;
+                    }
+                }
+                Err(_) => return ConnEnd::Clean,
+            }
+            // Look for work after *every* wakeup — heartbeat or poll
+            // timeout. A worker heartbeating faster than the idle poll
+            // would otherwise keep the read from ever timing out and
+            // starve job pickup entirely.
+            let mut g = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(picked) = pick_job(&mut g) {
+                break picked;
+            }
+        };
+        let (job_id, spec) = picked;
+        let expect_fp = spec.fingerprint;
+        if protocol::send(&mut s, &Message::Job(spec)).is_err() {
+            return ConnEnd::Lost;
+        }
+
+        // Await Ready (heartbeats flow while the worker builds a model
+        // it hasn't cached). Ready frames are small, so the short
+        // timeout stays safe here too.
+        let ready_fp = loop {
+            match protocol::recv(&mut s) {
+                Ok(Message::Heartbeat { .. }) => last_frame = Instant::now(),
+                Ok(Message::Ready { fingerprint, .. }) => break fingerprint,
+                Ok(_) => return ConnEnd::Lost,
+                Err(e) if e.is_timeout() => {
+                    if last_frame.elapsed() > hb {
+                        return ConnEnd::Lost;
+                    }
+                }
+                Err(_) => return ConnEnd::Lost,
+            }
+        };
+        if ready_fp != expect_fp {
+            // A worker that reconstructs a different configuration would
+            // poison the grid; the job fails (deterministic mismatch —
+            // another worker of the same build would mismatch too) and
+            // the worker is dropped.
+            let mut g = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(job) = g.jobs.get_mut(&job_id) {
+                job.failed.get_or_insert_with(|| {
+                    format!(
+                        "worker {id} config fingerprint {ready_fp:#018x} \
+                         differs from job {expect_fp:#018x}"
+                    )
+                });
+            }
+            drop(g);
+            shared.cv.notify_all();
+            let _ = send_reject(&mut s, "config fingerprint mismatch".into());
+            return ConnEnd::Lost;
+        }
+
+        // Lease loop: the long heartbeat timeout is the read timeout
+        // here, exactly like the one-shot coordinator — ShardDone frames
+        // can be large and must not be bisected by a short poll.
+        let _ = stream.set_read_timeout(Some(hb));
+        loop {
+            match protocol::recv(&mut s) {
+                Ok(Message::LeaseRequest) => {
+                    let reply = {
+                        let mut g = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+                        match g.jobs.get_mut(&job_id) {
+                            // Job gone (completed, failed, canceled):
+                            // back to the idle pool, warm.
+                            None => Message::JobDone,
+                            Some(job) if job.failed.is_some() || job.done.len() == job.total => {
+                                Message::JobDone
+                            }
+                            Some(_) => {
+                                let now = Instant::now();
+                                let lease_id = g.next_lease;
+                                let job = g.jobs.get_mut(&job_id).expect("job matched above");
+                                match pop_leasable(job, now) {
+                                    Some(shard) => {
+                                        g.next_lease += 1;
+                                        let job =
+                                            g.jobs.get_mut(&job_id).expect("job matched above");
+                                        job.leases.insert(lease_id, (shard, id));
+                                        Message::Lease {
+                                            lease: lease_id,
+                                            span_id: 0,
+                                            shard,
+                                        }
+                                    }
+                                    None => Message::Idle {
+                                        retry_ms: IDLE_RETRY_MS,
+                                    },
+                                }
+                            }
+                        }
+                    };
+                    let job_over = matches!(reply, Message::JobDone);
+                    if protocol::send(&mut s, &reply).is_err() {
+                        return ConnEnd::Lost;
+                    }
+                    if job_over {
+                        break; // back to the idle phase
+                    }
+                }
+                Ok(Message::Heartbeat { .. }) => {}
+                Ok(Message::ShardDone {
+                    lease,
+                    shard,
+                    records,
+                    stats,
+                    ..
+                }) => {
+                    let mut g = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+                    if let Some(job) = g.jobs.get_mut(&job_id) {
+                        integrate_done(job, Some(id), Some(lease), shard, &records, &stats);
+                    }
+                    drop(g);
+                    shared.cv.notify_all();
+                    shared
+                        .telemetry
+                        .counter("serve.pool.shards_completed")
+                        .incr();
+                    shared
+                        .telemetry
+                        .histogram("serve.pool.shard_service")
+                        .record_us((stats.seconds * 1e6) as u64);
+                }
+                Ok(_) => {
+                    shared
+                        .telemetry
+                        .counter("serve.pool.protocol_errors")
+                        .incr();
+                    return ConnEnd::Lost;
+                }
+                Err(_) => return ConnEnd::Lost,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_backoff_doubles_to_a_cap() {
+        assert_eq!(retry_backoff(1), Duration::from_millis(100));
+        assert_eq!(retry_backoff(2), Duration::from_millis(200));
+        assert_eq!(retry_backoff(5), Duration::from_millis(1_600));
+        assert_eq!(retry_backoff(40), Duration::from_millis(1_600));
+    }
+
+    #[test]
+    fn eviction_requeues_with_backoff_and_fails_past_the_cap() {
+        let spec = JobSpec {
+            model: "m".into(),
+            set_size: 1,
+            set_seed: 0,
+            batch_size: 1,
+            bits: vec![8],
+            scheme: 0,
+            use_prefix_cache: false,
+            fingerprint: 1,
+            trace_id: 0,
+        };
+        let mut g = PoolState {
+            jobs: BTreeMap::new(),
+            next_job: 2,
+            next_lease: 2,
+            live_workers: HashMap::from([(7, 100)]),
+        };
+        let shard = ShardSpec::Base;
+        g.jobs.insert(
+            1,
+            JobState {
+                spec,
+                pending: VecDeque::new(),
+                not_before: HashMap::new(),
+                attempts: HashMap::new(),
+                leases: HashMap::from([(1, (shard, 7))]),
+                done: HashSet::new(),
+                total: 1,
+                records: HashMap::new(),
+                agg: AggStats::default(),
+                workers_used: HashSet::new(),
+                seconds: 0.0,
+                failed: None,
+            },
+        );
+        assert_eq!(evict_worker(&mut g, 7, 1), 1);
+        let job = g.jobs.get_mut(&1).expect("job");
+        assert!(!g.live_workers.contains_key(&7));
+        assert_eq!(job.pending.len(), 1);
+        assert_eq!(job.attempts[&shard], 1);
+        assert!(job.failed.is_none());
+        // The backoff keeps the shard unleasable right now…
+        assert!(pop_leasable(job, Instant::now()).is_none());
+        // …but not after the backoff expires.
+        let later = Instant::now() + Duration::from_secs(2);
+        assert_eq!(pop_leasable(job, later), Some(shard));
+
+        // A second eviction crosses the cap (retries = 1) → job fails.
+        job.leases.insert(5, (shard, 9));
+        g.live_workers.insert(9, 101);
+        assert_eq!(evict_worker(&mut g, 9, 1), 1);
+        let job = &g.jobs[&1];
+        assert!(job
+            .failed
+            .as_deref()
+            .is_some_and(|d| d.contains("retry cap")));
+    }
+}

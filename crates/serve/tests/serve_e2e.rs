@@ -1,0 +1,644 @@
+//! End-to-end fault-injection tests of the `clado serve` daemon over
+//! loopback TCP: Ω-cache hits are bitwise identical with zero probe
+//! evaluations, overload and infeasible deadlines shed with *typed*
+//! rejections (never timeouts or crashes), a worker killed mid-request
+//! costs a retry but not the request, and a drain under load finishes
+//! in-flight work while refusing late submitters.
+//!
+//! Every test takes the fault-injection `test_guard`, which serializes
+//! the suite: the fault registry is process-global, so a fault armed
+//! for one test must never fire inside another's workers.
+
+use clado_core::{
+    measure_sensitivities, sensitivities_from_bytes, SensitivityMatrix, SensitivityOptions,
+};
+use clado_dist::{run_pool_worker, WorkerOptions};
+use clado_models::{DataSplit, SynthVision, SynthVisionConfig};
+use clado_nn::Network;
+use clado_quant::BitWidthSet;
+use clado_serve::protocol::FailKind;
+use clado_serve::{
+    submit, MeasureSpec, ModelProvider, Op, RejectReason, ServeError, ServeMessage, ServeOptions,
+    ServeReport, Server, SubmitRequest,
+};
+use clado_telemetry::faultinject::{self, test_guard, FaultSpec};
+use clado_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+fn setup() -> (Network, DataSplit) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = Network::new(
+        clado_nn::Sequential::new()
+            .push(
+                "conv1",
+                clado_nn::Conv2d::new(clado_tensor::Conv2dSpec::new(3, 6, 3, 1, 1), true, &mut rng),
+            )
+            .push("relu1", clado_nn::Activation::new(clado_nn::ActKind::Relu))
+            .push(
+                "conv2",
+                clado_nn::Conv2d::new(clado_tensor::Conv2dSpec::new(6, 6, 3, 1, 1), true, &mut rng),
+            )
+            .push("relu2", clado_nn::Activation::new(clado_nn::ActKind::Relu))
+            .push("pool", clado_nn::GlobalAvgPool::new())
+            .push("fc", clado_nn::Linear::new(6, 4, &mut rng)),
+        4,
+    );
+    let data = SynthVision::generate(SynthVisionConfig {
+        classes: 4,
+        img: 8,
+        train: 48,
+        val: 32,
+        seed: 9,
+        noise: 0.2,
+        label_noise: 0.0,
+    });
+    let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+    (net, set)
+}
+
+/// The canonical request spec matching [`setup`]'s model and set.
+fn spec() -> MeasureSpec {
+    MeasureSpec {
+        model: "synthetic".into(),
+        set_size: 16,
+        set_seed: 0,
+        batch_size: 64,
+        bits: vec![2, 8],
+        scheme: 0,
+        use_prefix_cache: true,
+    }
+}
+
+fn measure_request(spec: MeasureSpec) -> SubmitRequest {
+    SubmitRequest {
+        spec,
+        op: Op::Measure,
+        deadline_ms: 0,
+    }
+}
+
+/// A provider that always hands out clones of the synthetic model —
+/// server- and worker-side alike, so config fingerprints agree. The
+/// template network lives behind a mutex because `ModelProvider` must
+/// be `Sync` and `Network` is not.
+fn provider_of(net: &Network, set: &DataSplit) -> ModelProvider {
+    let net = Mutex::new(net.clone());
+    let set = set.clone();
+    Arc::new(move |_spec: &MeasureSpec| Ok((net.lock().unwrap().clone(), set.clone())))
+}
+
+fn reference_matrix(net: &Network, set: &DataSplit) -> SensitivityMatrix {
+    let mut net = net.clone();
+    measure_sensitivities(
+        &mut net,
+        set,
+        &BitWidthSet::new(&[2, 8]),
+        &SensitivityOptions::default(),
+    )
+    .expect("single-process reference")
+}
+
+fn assert_bitwise_equal(a: &SensitivityMatrix, b: &SensitivityMatrix, label: &str) {
+    assert_eq!(
+        a.base_loss.to_bits(),
+        b.base_loss.to_bits(),
+        "{label}: base loss"
+    );
+    let dim = a.matrix().dim();
+    assert_eq!(dim, b.matrix().dim(), "{label}: dimension");
+    for u in 0..dim {
+        for v in u..dim {
+            assert_eq!(
+                a.matrix().get(u, v).to_bits(),
+                b.matrix().get(u, v).to_bits(),
+                "{label}: entry ({u},{v})"
+            );
+        }
+    }
+}
+
+/// Binds a server, returns its client address, drain flag, and the
+/// join handle of the thread running it.
+fn start(
+    provider: ModelProvider,
+    opts: ServeOptions,
+) -> (
+    String,
+    String,
+    Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<Result<ServeReport, ServeError>>,
+) {
+    let server =
+        Server::bind("127.0.0.1:0", "127.0.0.1:0", provider, opts).expect("bind serve daemon");
+    let client = server.client_addr().to_string();
+    let worker = server.worker_addr().to_string();
+    let drain = server.drain_flag();
+    let handle = std::thread::spawn(move || server.run());
+    (client, worker, drain, handle)
+}
+
+fn drain_and_join(
+    drain: &std::sync::atomic::AtomicBool,
+    handle: std::thread::JoinHandle<Result<ServeReport, ServeError>>,
+) -> ServeReport {
+    drain.store(true, Ordering::SeqCst);
+    handle
+        .join()
+        .expect("server thread")
+        .expect("daemon drains cleanly")
+}
+
+#[test]
+fn repeat_config_is_served_from_cache_bitwise_identical_with_zero_evaluations() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let reference = reference_matrix(&net, &set);
+    let (addr, _w, drain, handle) = start(provider_of(&net, &set), ServeOptions::default());
+
+    // First request: a genuine measurement (cache miss).
+    let first = submit(&addr, &measure_request(spec()), None).expect("first submit");
+    let (first_clsm, first_evals) = match first.response {
+        ServeMessage::MeasureDone {
+            cache_hit,
+            evaluations,
+            clsm,
+            ..
+        } => {
+            assert!(!cache_hit, "first request cannot hit the cache");
+            assert!(evaluations > 0, "a fresh measure pays probe evaluations");
+            (clsm, evaluations)
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    };
+    assert_eq!(
+        first_evals, reference.stats.evaluations as u64,
+        "served measurement pays the same evaluations as single-process"
+    );
+    let served = sensitivities_from_bytes(&first_clsm).expect("served CLSM decodes");
+    assert_bitwise_equal(&served, &reference, "served measurement");
+
+    // Second request, identical config: a cache hit, zero probe
+    // evaluations, and a byte-for-byte identical CLSM image.
+    let second = submit(&addr, &measure_request(spec()), None).expect("second submit");
+    match second.response {
+        ServeMessage::MeasureDone {
+            cache_hit,
+            evaluations,
+            clsm,
+            ..
+        } => {
+            assert!(cache_hit, "repeat config must hit the Ω cache");
+            assert_eq!(evaluations, 0, "a cache hit pays zero probe evaluations");
+            assert_eq!(clsm, first_clsm, "cache hit is bitwise identical");
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    }
+
+    // Any config field change misses and re-measures.
+    let changed = MeasureSpec {
+        set_seed: 1,
+        ..spec()
+    };
+    let third = submit(&addr, &measure_request(changed), None).expect("third submit");
+    match third.response {
+        ServeMessage::MeasureDone {
+            cache_hit,
+            evaluations,
+            ..
+        } => {
+            assert!(!cache_hit, "a changed config field must miss");
+            assert!(evaluations > 0, "a miss re-measures");
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    }
+
+    let report = drain_and_join(&drain, handle);
+    assert_eq!(report.requests, 3);
+    assert_eq!(report.completed, 3);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.cache_hits, 1);
+    assert_eq!(report.cache_misses, 2);
+}
+
+#[test]
+fn assign_and_sweep_solve_against_the_cached_omega() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let layers = net.quantizable_layers().len();
+    let (addr, _w, drain, handle) = start(provider_of(&net, &set), ServeOptions::default());
+
+    let assign = submit(
+        &addr,
+        &SubmitRequest {
+            spec: spec(),
+            op: Op::Assign { avg_bits: 4.0 },
+            deadline_ms: 0,
+        },
+        None,
+    )
+    .expect("assign submit");
+    match assign.response {
+        ServeMessage::AssignDone { cache_hit, row, .. } => {
+            assert!(!cache_hit);
+            assert_eq!(row.bits.len(), layers, "one width per quantizable layer");
+            assert!(row.bits.iter().all(|b| [2u8, 8].contains(b)));
+            assert!(row.avg_bits <= 4.0 + 1e-9, "budget respected");
+            assert!(row.cost_bits > 0);
+            assert!(!row.method.is_empty() && !row.termination.is_empty());
+        }
+        other => panic!("expected AssignDone, got kind {}", other.kind()),
+    }
+
+    // The sweep reuses the Ω measured for the assign: same fingerprint,
+    // so the whole table costs zero additional probe evaluations.
+    let sweep = submit(
+        &addr,
+        &SubmitRequest {
+            spec: spec(),
+            op: Op::Sweep {
+                from: 2.0,
+                to: 8.0,
+                step: 2.0,
+            },
+            deadline_ms: 0,
+        },
+        None,
+    )
+    .expect("sweep submit");
+    match sweep.response {
+        ServeMessage::SweepDone {
+            cache_hit,
+            evaluations,
+            rows,
+            ..
+        } => {
+            assert!(cache_hit, "sweep reuses the assign's measurement");
+            assert_eq!(evaluations, 0);
+            assert_eq!(rows.len(), 4, "budgets 2, 4, 6, 8");
+            for pair in rows.windows(2) {
+                assert!(
+                    pair[0].cost_bits <= pair[1].cost_bits,
+                    "larger budgets never shrink the chosen model"
+                );
+            }
+        }
+        other => panic!("expected SweepDone, got kind {}", other.kind()),
+    }
+
+    let report = drain_and_join(&drain, handle);
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.cache_hits, 1);
+}
+
+/// A provider gate: the test waits for a measurement to enter the
+/// provider, then decides when to let it proceed.
+struct Gate {
+    state: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Called from the provider: announce entry, block until released.
+    fn enter(&self) {
+        let mut s = self.state.lock().unwrap();
+        *s = 1;
+        self.cv.notify_all();
+        while *s != 2 {
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    fn wait_entered(&self) {
+        let mut s = self.state.lock().unwrap();
+        while *s == 0 {
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock().unwrap();
+        *s = 2;
+        self.cv.notify_all();
+    }
+}
+
+#[test]
+fn flood_past_the_queue_depth_is_shed_with_typed_overload_rejections() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let gate = Gate::new();
+    let provider: ModelProvider = {
+        let net = Mutex::new(net.clone());
+        let set = set.clone();
+        let gate = Arc::clone(&gate);
+        Arc::new(move |_spec: &MeasureSpec| {
+            gate.enter();
+            Ok((net.lock().unwrap().clone(), set.clone()))
+        })
+    };
+    let (addr, _w, drain, handle) = start(
+        provider,
+        ServeOptions {
+            queue_depth: 1,
+            executors: 1,
+            ..ServeOptions::default()
+        },
+    );
+
+    // Request 1 occupies the single executor (blocked in the provider).
+    let first = {
+        let addr = addr.clone();
+        std::thread::spawn(move || submit(&addr, &measure_request(spec()), None))
+    };
+    gate.wait_entered();
+
+    // Flood the daemon. The executor is pinned and the queue holds one
+    // request, so the admission lock admits exactly one of these and
+    // sheds the other five with the typed Overloaded rejection — not a
+    // timeout, not a crash.
+    let flood: Vec<_> = (0..6)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || submit(&addr, &measure_request(spec()), None))
+        })
+        .collect();
+
+    // A malformed request sheds as Malformed even under load.
+    let malformed = SubmitRequest {
+        spec: MeasureSpec {
+            bits: vec![],
+            ..spec()
+        },
+        op: Op::Measure,
+        deadline_ms: 0,
+    };
+    match submit(&addr, &malformed, None) {
+        Err(ServeError::Rejected { reason, .. }) => {
+            assert_eq!(reason, RejectReason::Malformed)
+        }
+        other => panic!("expected Malformed rejection, got {other:?}"),
+    }
+
+    // Admitted work still completes once the gate opens.
+    gate.release();
+    let mut admitted = 0;
+    let mut shed = 0;
+    for handle in flood {
+        match handle.join().expect("flood thread") {
+            Ok(outcome) => {
+                assert!(matches!(outcome.response, ServeMessage::MeasureDone { .. }));
+                admitted += 1;
+            }
+            Err(ServeError::Rejected { reason, detail }) => {
+                assert_eq!(reason, RejectReason::Overloaded, "{detail}");
+                assert!(
+                    detail.contains("depth 1"),
+                    "detail names the bound: {detail}"
+                );
+                shed += 1;
+            }
+            Err(e) => panic!("typed rejection expected, got {e}"),
+        }
+    }
+    assert_eq!(admitted, 1, "exactly one flood request fit the queue");
+    assert_eq!(shed, 5, "the rest were shed");
+    let outcome = first
+        .join()
+        .expect("submit thread")
+        .expect("the in-flight request completes");
+    assert!(matches!(outcome.response, ServeMessage::MeasureDone { .. }));
+
+    let report = drain_and_join(&drain, handle);
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.shed_overload, 5, "{report:?}");
+    assert_eq!(report.shed_malformed, 1);
+}
+
+#[test]
+fn deadlines_are_enforced_and_infeasible_ones_shed_at_admission() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let provider: ModelProvider = {
+        let net = Mutex::new(net.clone());
+        let set = set.clone();
+        Arc::new(move |_spec: &MeasureSpec| {
+            // Guarantee an observable service time, so the EWMA-based
+            // feasibility check has something real to refuse against.
+            std::thread::sleep(Duration::from_millis(50));
+            Ok((net.lock().unwrap().clone(), set.clone()))
+        })
+    };
+    let (addr, _w, drain, handle) = start(
+        provider,
+        ServeOptions {
+            executors: 1,
+            ..ServeOptions::default()
+        },
+    );
+
+    // No service history yet: the 30 ms deadline is admitted — and then
+    // enforced mid-request with a typed failure, not a hang.
+    let doomed = submit(
+        &addr,
+        &SubmitRequest {
+            spec: spec(),
+            op: Op::Measure,
+            deadline_ms: 30,
+        },
+        None,
+    )
+    .expect("doomed request is admitted and answered");
+    match doomed.response {
+        ServeMessage::Failed { kind, detail, .. } => {
+            assert_eq!(kind, FailKind::DeadlineExceeded, "{detail}");
+        }
+        other => panic!("expected DeadlineExceeded, got kind {}", other.kind()),
+    }
+
+    // Service history now exists (≥ 50 ms): a 1 ms deadline is shed at
+    // admission as DeadlineInfeasible instead of being admitted to die.
+    match submit(
+        &addr,
+        &SubmitRequest {
+            spec: spec(),
+            op: Op::Measure,
+            deadline_ms: 1,
+        },
+        None,
+    ) {
+        Err(ServeError::Rejected { reason, detail }) => {
+            assert_eq!(reason, RejectReason::DeadlineInfeasible, "{detail}");
+            assert!(detail.contains("deadline 1 ms"), "{detail}");
+        }
+        other => panic!("expected DeadlineInfeasible rejection, got {other:?}"),
+    }
+
+    // Deadline-free requests are untouched by the history.
+    let relaxed = submit(&addr, &measure_request(spec()), None).expect("relaxed submit");
+    assert!(matches!(relaxed.response, ServeMessage::MeasureDone { .. }));
+
+    let report = drain_and_join(&drain, handle);
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 1);
+    assert_eq!(report.shed_deadline, 1);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn killed_worker_mid_request_is_retried_on_the_survivor_bitwise_identical() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let reference = reference_matrix(&net, &set);
+    let telemetry = Telemetry::new();
+    // Exactly one pooled worker dies the moment it starts its second
+    // shard (skip 1 so the request is mid-flight), lease held — the
+    // serve-side analogue of a SIGKILL.
+    faultinject::arm("dist.worker.shard", FaultSpec::panic().skip(1).times(1));
+    let (addr, worker_addr, drain, handle) = start(
+        provider_of(&net, &set),
+        ServeOptions {
+            heartbeat_timeout: Duration::from_millis(1000),
+            telemetry: telemetry.clone(),
+            ..ServeOptions::default()
+        },
+    );
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let worker_addr = worker_addr.clone();
+            let net = net.clone();
+            let set = set.clone();
+            std::thread::spawn(move || {
+                run_pool_worker(
+                    &worker_addr,
+                    move |_job| Ok((net.clone(), set.clone())),
+                    &WorkerOptions {
+                        heartbeat_interval: Duration::from_millis(50),
+                        ..Default::default()
+                    },
+                )
+            })
+        })
+        .collect();
+    // Let both workers finish the handshake before submitting, so the
+    // shards actually fan out across the pool.
+    let connect_deadline = Instant::now() + Duration::from_secs(10);
+    while telemetry.counter_value("serve.pool.workers_connected") < 2 {
+        assert!(Instant::now() < connect_deadline, "workers connect");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let outcome =
+        submit(&addr, &measure_request(spec()), None).expect("request survives a killed worker");
+    match outcome.response {
+        ServeMessage::MeasureDone {
+            cache_hit, clsm, ..
+        } => {
+            assert!(!cache_hit);
+            let served = sensitivities_from_bytes(&clsm).expect("served CLSM decodes");
+            assert_bitwise_equal(&served, &reference, "after worker death");
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    }
+    assert!(
+        faultinject::hits("dist.worker.shard") >= 2,
+        "skip=1 + fire=1"
+    );
+    assert!(
+        telemetry.counter_value("serve.pool.evictions") >= 1,
+        "the dead worker was evicted"
+    );
+
+    let report = drain_and_join(&drain, handle);
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 0);
+    let results: Vec<_> = workers.into_iter().map(|h| h.join()).collect();
+    let panicked = results.iter().filter(|r| r.is_err()).count();
+    assert_eq!(panicked, 1, "exactly one worker thread died");
+}
+
+#[test]
+fn drain_under_load_finishes_inflight_work_and_refuses_late_submitters() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let gate = Gate::new();
+    let provider: ModelProvider = {
+        let net = Mutex::new(net.clone());
+        let set = set.clone();
+        let gate = Arc::clone(&gate);
+        Arc::new(move |_spec: &MeasureSpec| {
+            gate.enter();
+            Ok((net.lock().unwrap().clone(), set.clone()))
+        })
+    };
+    let (addr, _w, drain, handle) = start(provider, ServeOptions::default());
+
+    let inflight = {
+        let addr = addr.clone();
+        std::thread::spawn(move || submit(&addr, &measure_request(spec()), None))
+    };
+    gate.wait_entered();
+
+    // Drain lands while the request is mid-measure.
+    drain.store(true, Ordering::SeqCst);
+    match submit(&addr, &measure_request(spec()), None) {
+        Err(ServeError::Rejected { reason, .. }) => {
+            assert_eq!(reason, RejectReason::Draining)
+        }
+        other => panic!("expected Draining rejection, got {other:?}"),
+    }
+
+    gate.release();
+    let outcome = inflight
+        .join()
+        .expect("submit thread")
+        .expect("in-flight request completes through the drain");
+    assert!(matches!(outcome.response, ServeMessage::MeasureDone { .. }));
+
+    let report = handle.join().expect("server thread").expect("clean drain");
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.shed_draining, 1);
+}
+
+#[test]
+fn silent_client_trips_the_handshake_timeout_not_a_hang() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let telemetry = Telemetry::new();
+    let (addr, _w, drain, handle) = start(
+        provider_of(&net, &set),
+        ServeOptions {
+            heartbeat_timeout: Duration::from_millis(200),
+            telemetry: telemetry.clone(),
+            ..ServeOptions::default()
+        },
+    );
+
+    // Connect and say nothing: the admission read must expire with the
+    // typed handshake timeout, freeing the thread.
+    let silent = std::net::TcpStream::connect(&addr).expect("connect");
+    let timeout_deadline = Instant::now() + Duration::from_secs(10);
+    while telemetry.counter_value("serve.handshake_timeouts") < 1 {
+        assert!(Instant::now() < timeout_deadline, "handshake timeout fires");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(silent);
+
+    // The daemon is unharmed: a real request still round-trips.
+    let outcome = submit(&addr, &measure_request(spec()), None).expect("real request");
+    assert!(matches!(outcome.response, ServeMessage::MeasureDone { .. }));
+
+    let report = drain_and_join(&drain, handle);
+    assert_eq!(report.completed, 1);
+}
