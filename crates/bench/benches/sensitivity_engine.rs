@@ -51,6 +51,9 @@ use clado_core::{
 use clado_dist::{
     run_worker, scheme_to_u8, Coordinator, CoordinatorOptions, JobSpec, WorkerOptions,
 };
+use clado_estim::{
+    assignment_regret, error_vs_exact, estimator_for, EstimatorKind, EstimatorOptions,
+};
 use clado_models::{build_resnet, DataSplit, ResNetConfig, SynthVision, SynthVisionConfig};
 use clado_nn::Network;
 use clado_quant::{BitWidth, BitWidthSet, LayerSizes, QuantScheme};
@@ -146,6 +149,9 @@ fn measure_distributed(workers: usize) -> (SensitivityMatrix, f64, f64, f64) {
         use_prefix_cache: true,
         fingerprint: ctx.fingerprint(),
         trace_id: 0,
+        estimator: 0,
+        probe_budget: 0,
+        estimator_seed: 0,
     };
     let dist_registry = Telemetry::new();
     let coordinator = Coordinator::bind(
@@ -391,6 +397,75 @@ fn assignment_hash(assignment: &clado_core::BitAssignment) -> u32 {
     h
 }
 
+/// Accuracy/cost frontier of the sub-quadratic Ω estimators: entry-wise
+/// error (relative Frobenius vs. the exact matrix) and IQP assignment
+/// regret (relative Δtask-loss at a 4-bit budget) at 10/25/50% probe
+/// budgets, recorded as
+/// `bench.estimator.{frontier,probe_fraction,regret}.<name>.f<pct>`
+/// gauges — the tracked figure for the estimation subsystem.
+fn estimator_frontier(exact: &SensitivityMatrix, registry: &Telemetry) {
+    let (mut network, set) = bench_setup();
+    let bits = BitWidthSet::new(&[2, 8]);
+    let scheme = QuantScheme::PerTensorSymmetric;
+    let batch_size = SensitivityOptions::default().batch_size;
+    let ctx = ShardContext::new(&network, set.len(), &bits, scheme, batch_size, true);
+    let full_sweep = ctx.total_probes();
+    let sizes = LayerSizes::new(network.layer_param_counts());
+    let budget_bits = sizes.total_params() as u64 * 4;
+    println!(
+        "  {:<12} {:>6} {:>11} {:>9} {:>9}",
+        "estimator", "budget", "probes", "error", "regret"
+    );
+    for kind in EstimatorKind::ALL {
+        for pct in [10usize, 25, 50] {
+            let est = estimator_for(kind)
+                .estimate(
+                    &mut network,
+                    &set,
+                    &bits,
+                    &EstimatorOptions {
+                        probe_budget: full_sweep * pct / 100,
+                        ..EstimatorOptions::new(kind)
+                    },
+                )
+                .expect("estimation");
+            let error = error_vs_exact(est.matrix.matrix(), exact.matrix(), &est.observed);
+            let regret = assignment_regret(
+                &mut network,
+                &set,
+                exact,
+                &est.matrix,
+                &sizes,
+                budget_bits,
+                &AssignOptions::default(),
+                scheme,
+                batch_size,
+            )
+            .expect("regret IQP solves");
+            println!(
+                "  {:<12} {pct:>5}% {:>5}/{:<5} {:>9.3} {:>+9.4}",
+                kind.to_string(),
+                est.probes_spent,
+                est.full_sweep_probes,
+                error.full_rel_frobenius,
+                regret.relative
+            );
+            registry.set_gauge(
+                &format!("bench.estimator.frontier.{kind}.f{pct}"),
+                error.full_rel_frobenius,
+            );
+            registry.set_gauge(
+                &format!("bench.estimator.probe_fraction.{kind}.f{pct}"),
+                est.probe_fraction(),
+            );
+            registry.set_gauge(
+                &format!("bench.estimator.regret.{kind}.f{pct}"),
+                regret.relative,
+            );
+        }
+    }
+}
+
 fn assert_bitwise_equal(a: &SensitivityMatrix, b: &SensitivityMatrix, label: &str) {
     assert_eq!(a.base_loss.to_bits(), b.base_loss.to_bits(), "{label}");
     let dim = a.matrix().dim();
@@ -480,6 +555,11 @@ fn main() {
         let _s = phase("assignment");
         solve_assignment(&cached)
     };
+    println!("=== Sub-quadratic Ω estimation: accuracy/cost frontier ===");
+    {
+        let _s = phase("estimators");
+        estimator_frontier(&cached, &registry);
+    }
     assert_bitwise_equal(&naive, &cached, "prefix cache changed the matrix");
     assert_bitwise_equal(&naive, &parallel, "parallelism changed the matrix");
     assert_bitwise_equal(&naive, &timed, "telemetry changed the matrix");

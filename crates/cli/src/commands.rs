@@ -13,6 +13,10 @@ use clado_dist::{
     run_pool_worker, run_worker, scheme_to_u8, Coordinator, CoordinatorOptions, JobSpec,
     WorkerOptions,
 };
+use clado_estim::{
+    assignment_regret, build_report, estimate_sensitivities, estimation_fingerprint, estimator_for,
+    EstimatorKind, EstimatorOptions, DEFAULT_ESTIMATOR_SEED,
+};
 use clado_models::{pretrained, ModelKind};
 use clado_quant::{bits_to_mb, BitWidth, BitWidthSet, LayerSizes, QuantScheme};
 use clado_serve::{
@@ -52,6 +56,19 @@ COMMANDS:
                                          (default 127.0.0.1:0; prints the bound address)]
                [--heartbeat-timeout-ms 3000   evict a silent worker after this long]
                [--idle-timeout-secs 180       fail if no worker connects (0 = wait forever)]
+               [--estimator sketched|adaptive|blocktopk|hutchinson
+                                         estimate Ω under a probe budget instead of
+                                         the full O(|𝔹|²I²) sweep (see `estimate`)]
+               [--probe-budget N (0 = 25% of the full sweep)]
+               [--estimator-seed 0xE571  probe-selection / ALS seed]
+  estimate     --model <id>       run the sub-quadratic Ω estimators against the
+                                  exact sweep and report probes spent, entry-wise
+                                  error, and IQP assignment regret
+               [--estimator <name>|all (default all)] [--probe-budget N]
+               [--estimator-seed 0xE571] [--avg-bits 4.0   regret budget]
+               [--set-size 128] [--set-seed 0] [--bits 2,4,8]
+               [--scheme symmetric|affine] [--threads N] [--no-prefix-cache]
+               [--out <file.clsm>   persist the estimated Ω̂ (single estimator only)]
   worker       --connect <addr>          join a distributed sensitivity sweep; the
                                          coordinator sends the job spec and shards
                [--heartbeat-ms 500] [--connect-timeout-secs 10] [--verbose]
@@ -73,6 +90,10 @@ COMMANDS:
                [--deadline-ms N (0 = none; infeasible deadlines are refused)]
                [--set-size 128] [--set-seed 0] [--batch-size 64] [--bits 2,4,8]
                [--scheme symmetric|affine] [--no-prefix-cache]
+               [--estimator <name> --probe-budget N --estimator-seed S
+                                    measure op: budgeted Ω estimation; the daemon's
+                                    Ω cache keys on the estimator, so estimated and
+                                    exact results never alias]
                [--out <file.clsm>   persist the measured Ĝ (measure op)]
   assign       --model <id> --avg-bits <f>
                                   solve eq. (11) and report the bit map + PTQ accuracy
@@ -92,6 +113,8 @@ COMMANDS:
                                        self-time spans, per-process utilization
                                        and straggler report, incumbent curve
                [--top 10               how many spans to list]
+               --file <file.clsm>      instead print a stored Ĝ's shape, stats,
+                                       and Ω provenance (exact vs. estimator)
 
 SOLVER (assign / sweep / stress):
   --solver-timeout <dur>          wall-clock budget per solve (500ms, 10s, 2m, 1h);
@@ -255,6 +278,14 @@ fn report_solver_outcome(run: &RunContext, solution: &Solution) {
     ));
 }
 
+/// Parses `--estimator` into an [`EstimatorKind`]; `None` when the flag
+/// is absent (exact measurement).
+fn estimator_of(args: &Args) -> Result<Option<EstimatorKind>, ArgsError> {
+    args.get("estimator")
+        .map(|name| name.parse::<EstimatorKind>().map_err(ArgsError))
+        .transpose()
+}
+
 fn model_kind(id: &str) -> Result<ModelKind, ArgsError> {
     match id {
         "resnet20" => Ok(ModelKind::ResNet20),
@@ -344,8 +375,16 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
         )));
     }
 
+    let estimator = estimator_of(args)?;
     let workers: usize = args.get_or("workers", 0)?;
     if workers > 0 || args.get("listen").is_some() {
+        if estimator == Some(EstimatorKind::Hutchinson) {
+            return Err(Box::new(ArgsError(
+                "--estimator hutchinson is diagonal-only and not grid-shardable; \
+                 drop --workers/--listen to run it single-process"
+                    .into(),
+            )));
+        }
         return cmd_sensitivity_distributed(
             args,
             &run,
@@ -358,6 +397,7 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
             checkpoint_dir,
             resume,
             workers,
+            estimator,
         );
     }
 
@@ -370,23 +410,46 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
             .sample_subset(set_size.min(p.data.train.len()), set_seed);
         (p, sens_set)
     };
-    let sm = measure_sensitivities(
-        &mut p.network,
-        &sens_set,
-        &bits,
-        &SensitivityOptions {
-            scheme,
-            verbose: args.switch("verbose"),
-            threads: args.get_or("threads", 0)?,
-            use_prefix_cache: !args.switch("no-prefix-cache"),
-            batched_probes: !args.switch("no-batched-probes"),
-            telemetry: run.telemetry.clone(),
-            checkpoint_dir,
-            resume,
-            retries: args.get_or("retries", 1)?,
-            ..Default::default()
-        },
-    )?;
+    let measure_options = SensitivityOptions {
+        scheme,
+        verbose: args.switch("verbose"),
+        threads: args.get_or("threads", 0)?,
+        use_prefix_cache: !args.switch("no-prefix-cache"),
+        batched_probes: !args.switch("no-batched-probes"),
+        telemetry: run.telemetry.clone(),
+        checkpoint_dir,
+        resume,
+        retries: args.get_or("retries", 1)?,
+        ..Default::default()
+    };
+    let (sm, budget_line) = match estimator {
+        Some(est_kind) => {
+            let est = estimate_sensitivities(
+                &mut p.network,
+                &sens_set,
+                &bits,
+                &EstimatorOptions {
+                    probe_budget: args.get_or("probe-budget", 0)?,
+                    seed: args.get_or("estimator-seed", DEFAULT_ESTIMATOR_SEED)?,
+                    measure: measure_options,
+                    ..EstimatorOptions::new(est_kind)
+                },
+            )?;
+            let line = format!(
+                "estimated via {est_kind}: {} / {} probes ({:.1}% of the full sweep), \
+                 {:.1}% of Ω entries observed",
+                est.probes_spent,
+                est.full_sweep_probes,
+                est.probe_fraction() * 100.0,
+                est.observed.fraction() * 100.0
+            );
+            (est.matrix, Some(line))
+        }
+        None => (
+            measure_sensitivities(&mut p.network, &sens_set, &bits, &measure_options)?,
+            None,
+        ),
+    };
     {
         let _s = run.telemetry.span("save");
         save_sensitivities(&sm, &out)?;
@@ -399,6 +462,9 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
         sm.stats.seconds,
         out.display()
     );
+    if let Some(line) = budget_line {
+        run.info(&line);
+    }
     if sm.stats.resumed + sm.stats.retried + sm.stats.quarantined > 0 {
         run.info(&format!(
             "fault recovery: {} probes resumed from journal, {} retried, {} quarantined",
@@ -418,6 +484,7 @@ pub fn cmd_sensitivity(args: &Args) -> Result<(), Box<dyn Error>> {
             ("resumed", sm.stats.resumed.into()),
             ("retried", sm.stats.retried.into()),
             ("quarantined", sm.stats.quarantined.into()),
+            ("omega_provenance", sm.stats.provenance.to_string().into()),
         ],
     )
 }
@@ -438,6 +505,7 @@ fn cmd_sensitivity_distributed(
     checkpoint_dir: Option<PathBuf>,
     resume: bool,
     workers: usize,
+    estimator: Option<EstimatorKind>,
 ) -> Result<(), Box<dyn Error>> {
     let verbose = args.switch("verbose");
     let use_prefix_cache = !args.switch("no-prefix-cache");
@@ -459,6 +527,13 @@ fn cmd_sensitivity_distributed(
         batch_size,
         use_prefix_cache,
     );
+    let (probe_budget, estimator_seed) = match estimator {
+        Some(_) => (
+            args.get_or::<u64>("probe-budget", 0)?,
+            args.get_or("estimator-seed", DEFAULT_ESTIMATOR_SEED)?,
+        ),
+        None => (0, 0),
+    };
     let job = JobSpec {
         model: kind.id().to_string(),
         set_size: set_size as u64,
@@ -467,8 +542,16 @@ fn cmd_sensitivity_distributed(
         bits: bits.iter().map(|b| b.bits()).collect(),
         scheme: scheme_to_u8(scheme),
         use_prefix_cache,
-        fingerprint: ctx.fingerprint(),
+        fingerprint: match estimator {
+            Some(est_kind) => {
+                estimation_fingerprint(&ctx, est_kind, probe_budget as usize, estimator_seed)
+            }
+            None => ctx.fingerprint(),
+        },
         trace_id: run.telemetry.trace_id(),
+        estimator: estimator.map_or(0, |k| k.tag()),
+        probe_budget,
+        estimator_seed,
     };
     let idle_secs: u64 = args.get_or("idle-timeout-secs", 180)?;
     let coordinator = Coordinator::bind(
@@ -525,6 +608,9 @@ fn cmd_sensitivity_distributed(
         sm.stats.seconds,
         out.display()
     );
+    if !sm.stats.provenance.is_exact() {
+        run.info(&format!("Ω provenance: {}", sm.stats.provenance));
+    }
     run.info(&format!(
         "distributed: {} worker(s), {} eviction(s), {} rejected, straggler {:.1}s",
         outcome.workers.len(),
@@ -560,8 +646,129 @@ fn cmd_sensitivity_distributed(
             ("evictions", outcome.evictions.into()),
             ("rejected_workers", outcome.rejected.into()),
             ("straggler_seconds", outcome.straggler_seconds.into()),
+            ("omega_provenance", sm.stats.provenance.to_string().into()),
         ],
     )
+}
+
+/// `clado estimate --model <id> [--estimator <name>|all]`
+///
+/// Runs the sub-quadratic Ω estimators against the exact full sweep and
+/// reports, per estimator: probes spent vs. the full-sweep count,
+/// entry-wise error of the completed Ω̂, and the metric that matters —
+/// the task-loss regret of the IQP assignment solved under Ω̂ instead
+/// of Ω at the same bit budget.
+pub fn cmd_estimate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let run = RunContext::from_args(args)?;
+    let kind = model_kind(args.require::<String>("model")?.as_str())?;
+    let set_size: usize = args.get_or("set-size", 128)?;
+    let set_seed: u64 = args.get_or("set-seed", 0)?;
+    let bits = BitWidthSet::new(&args.u8_list_or("bits", &[2, 4, 8])?);
+    let scheme = scheme_of(args)?;
+    let avg_bits: f64 = args.get_or("avg-bits", 4.0)?;
+    let probe_budget: usize = args.get_or("probe-budget", 0)?;
+    let seed: u64 = args.get_or("estimator-seed", DEFAULT_ESTIMATOR_SEED)?;
+    let selected: Vec<EstimatorKind> = match args.get("estimator").unwrap_or("all") {
+        "all" => EstimatorKind::ALL.to_vec(),
+        name => vec![name.parse().map_err(ArgsError)?],
+    };
+    let out = args.get("out").map(PathBuf::from);
+    if out.is_some() && selected.len() > 1 {
+        return Err(Box::new(ArgsError(
+            "--out needs a single --estimator (which Ω̂ would it store?)".into(),
+        )));
+    }
+
+    let (mut p, sens_set) = {
+        let _s = run.telemetry.span("load");
+        let p = pretrained(kind);
+        let sens_set = p
+            .data
+            .train
+            .sample_subset(set_size.min(p.data.train.len()), set_seed);
+        (p, sens_set)
+    };
+    let measure = SensitivityOptions {
+        scheme,
+        verbose: args.switch("verbose"),
+        threads: args.get_or("threads", 0)?,
+        use_prefix_cache: !args.switch("no-prefix-cache"),
+        telemetry: run.telemetry.clone(),
+        ..Default::default()
+    };
+    let exact = {
+        let _s = run.telemetry.span("estimate.exact_reference");
+        measure_sensitivities(&mut p.network, &sens_set, &bits, &measure)?
+    };
+    let sizes = LayerSizes::new(p.network.layer_param_counts());
+    let budget_bits = sizes.budget_from_avg_bits(avg_bits);
+    let assign_options = AssignOptions {
+        telemetry: run.telemetry.clone(),
+        ..Default::default()
+    };
+
+    println!(
+        "exact sweep: {} probes ({} evaluations); regret measured at {avg_bits} avg bits",
+        exact.stats.full_evals + exact.stats.prefix_cache_hits,
+        exact.stats.evaluations
+    );
+    let mut config: Vec<(&str, ManifestValue)> = vec![
+        ("model", kind.id().into()),
+        ("bits", bits.to_string().into()),
+        ("avg_bits", avg_bits.into()),
+        ("probe_budget", probe_budget.into()),
+    ];
+    for est_kind in selected {
+        let est = estimator_for(est_kind).estimate(
+            &mut p.network,
+            &sens_set,
+            &bits,
+            &EstimatorOptions {
+                probe_budget,
+                seed,
+                measure: measure.clone(),
+                ..EstimatorOptions::new(est_kind)
+            },
+        )?;
+        let regret = assignment_regret(
+            &mut p.network,
+            &sens_set,
+            &exact,
+            &est.matrix,
+            &sizes,
+            budget_bits,
+            &assign_options,
+            scheme,
+            measure.batch_size,
+        )?;
+        let report = build_report(est_kind, &est, Some(&exact), Some(regret));
+        println!("{report}");
+        run.telemetry.set_gauge(
+            &format!("estim.{est_kind}.probe_fraction"),
+            report.probe_fraction,
+        );
+        run.telemetry
+            .set_gauge(&format!("estim.{est_kind}.regret"), regret.relative);
+        config.push((
+            match est_kind {
+                EstimatorKind::Sketched => "regret_sketched",
+                EstimatorKind::Adaptive => "regret_adaptive",
+                EstimatorKind::BlockTopK => "regret_blocktopk",
+                EstimatorKind::Hutchinson => "regret_hutchinson",
+            },
+            regret.relative.into(),
+        ));
+        if let Some(path) = &out {
+            let _s = run.telemetry.span("save");
+            save_sensitivities(&est.matrix, path)?;
+            run.info(&format!(
+                "wrote Ω̂ ({}) → {}",
+                est.matrix.stats.provenance,
+                path.display()
+            ));
+        }
+    }
+    run.finish("estimate", &config)
 }
 
 /// `clado worker --connect <addr> [--pool]`
@@ -753,6 +960,16 @@ pub fn cmd_submit(args: &Args) -> Result<(), Box<dyn Error>> {
             ))))
         }
     };
+    // Exact requests keep the estimator fields at their zero defaults so
+    // equal exact specs keep hashing equal in the daemon's Ω cache.
+    let estimator = estimator_of(args)?;
+    let (probe_budget, estimator_seed) = match estimator {
+        Some(_) => (
+            args.get_or::<u64>("probe-budget", 0)?,
+            args.get_or("estimator-seed", DEFAULT_ESTIMATOR_SEED)?,
+        ),
+        None => (0, 0),
+    };
     let spec = MeasureSpec {
         model: args.require("model")?,
         set_size: args.get_or("set-size", 128)?,
@@ -761,6 +978,9 @@ pub fn cmd_submit(args: &Args) -> Result<(), Box<dyn Error>> {
         bits: args.u8_list_or("bits", &[2, 4, 8])?,
         scheme: scheme_to_u8(scheme_of(args)?),
         use_prefix_cache: !args.switch("no-prefix-cache"),
+        estimator: estimator.map_or(0, |k| k.tag()),
+        probe_budget,
+        estimator_seed,
     };
     let req = SubmitRequest {
         spec,
@@ -875,6 +1095,9 @@ pub fn cmd_assign(args: &Args) -> Result<(), Box<dyn Error>> {
     let assignment = if let Some(sens_path) = args.get("sens") {
         // Reuse persisted sensitivities (CLADO variants only).
         let sm = load_sensitivities(std::path::Path::new(sens_path))?;
+        if !sm.stats.provenance.is_exact() {
+            run.info(&format!("Ω provenance: {}", sm.stats.provenance));
+        }
         let variant = match algorithm {
             Algorithm::CladoStar => CladoVariant::DiagonalOnly,
             Algorithm::BlockClado => CladoVariant::BlockOnly(
@@ -1157,6 +1380,39 @@ pub fn cmd_stress(args: &Args) -> Result<(), Box<dyn Error>> {
     run.finish("stress", &config)
 }
 
+/// `clado trace --file <file.clsm>`: the stored matrix's shape, how it
+/// was measured, and — the v4 stats block — how the Ω was produced
+/// (exact full sweep vs. estimator name / budget / seed).
+fn print_clsm_summary(path: &std::path::Path) -> Result<(), Box<dyn Error>> {
+    let sm = load_sensitivities(path)?;
+    let dim = sm.num_layers() * sm.bits().len();
+    println!(
+        "{}: Ĝ {dim}×{dim} ({} layers × 𝔹 = {}), base loss {:.6}",
+        path.display(),
+        sm.num_layers(),
+        sm.bits(),
+        sm.base_loss
+    );
+    println!("  Ω provenance: {}", sm.stats.provenance);
+    println!(
+        "  {} evaluations in {:.1}s on {} thread(s) \
+         ({} full, {} prefix-cache hits, {} cache builds)",
+        sm.stats.evaluations,
+        sm.stats.seconds,
+        sm.stats.threads_used,
+        sm.stats.full_evals,
+        sm.stats.prefix_cache_hits,
+        sm.stats.prefix_cache_builds
+    );
+    if sm.stats.resumed + sm.stats.retried + sm.stats.quarantined > 0 {
+        println!(
+            "  fault recovery: {} resumed, {} retried, {} quarantined",
+            sm.stats.resumed, sm.stats.retried, sm.stats.quarantined
+        );
+    }
+    Ok(())
+}
+
 /// One "X" (complete) event pulled out of a trace file.
 struct SpanEvent {
     name: String,
@@ -1302,6 +1558,9 @@ fn fmt_us(us: u64) -> String {
 /// curve from the `solver.incumbents` instants).
 pub fn cmd_trace(args: &Args) -> Result<(), Box<dyn Error>> {
     let path = PathBuf::from(args.require::<String>("file")?);
+    if path.extension().is_some_and(|e| e == "clsm") {
+        return print_clsm_summary(&path);
+    }
     let top: usize = args.get_or("top", 10)?;
     let trace = load_trace_file(&path)?;
     if trace.spans.is_empty() && trace.instants.is_empty() {
@@ -1497,6 +1756,7 @@ mod tests {
             "models",
             "train",
             "sensitivity",
+            "estimate",
             "worker",
             "serve",
             "submit",

@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         "models" => commands::cmd_models(&parsed),
         "train" => commands::cmd_train(&parsed),
         "sensitivity" | "measure" => commands::cmd_sensitivity(&parsed),
+        "estimate" => commands::cmd_estimate(&parsed),
         "worker" => commands::cmd_worker(&parsed),
         "serve" => commands::cmd_serve(&parsed),
         "submit" => commands::cmd_submit(&parsed),

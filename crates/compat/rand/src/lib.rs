@@ -68,8 +68,12 @@ pub trait SampleRange<T> {
 /// the surrounding expression's type during inference.
 pub trait SampleUniform: Copy + PartialOrd {
     /// Draws from `[lo, hi)` when `inclusive` is false, `[lo, hi]` otherwise.
-    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
-        -> Self;
+    fn sample_uniform<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
 }
 
 impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {

@@ -27,7 +27,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
 /// Resolves a requested worker count: `0` means "all available cores".
-pub(crate) fn resolve_threads(requested: usize) -> usize {
+pub fn resolve_threads(requested: usize) -> usize {
     if requested == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -67,7 +67,7 @@ type ItemResult<R> = (usize, Result<(usize, R), (usize, String)>);
 ///   retries were exhausted.
 /// - [`MeasureError::WorkerLost`] if a worker thread died without
 ///   reporting a result.
-pub(crate) fn replica_map_checked<T, R, F, S>(
+pub fn replica_map_checked<T, R, F, S>(
     template: &Network,
     threads: usize,
     items: &[T],

@@ -61,6 +61,7 @@ pub use assign::{assign_bits, solve_with_matrix, AssignOptions, BitAssignment, C
 pub use baselines::{
     empirical_fisher, hawq_sensitivities, hessian_traces, mpqco_sensitivities, BaselineOptions,
 };
+pub use engine::{replica_map_checked, resolve_threads};
 pub use errors::MeasureError;
 pub use experiments::{quartiles, Algorithm, ExperimentContext, Quartiles};
 pub use hessian::{exact_cross_vhv, exact_vhv, exact_vhv_direction, fast_cross_vhv, fast_vhv};
@@ -73,10 +74,13 @@ pub use probe::{
 pub use qat::{qat_finetune, QatConfig, QatReport};
 pub use search::{annealing_search, random_search, SearchOptions, SearchReport};
 pub use sensitivity::{
-    measure_sensitivities, SensitivityMatrix, SensitivityOptions, SensitivityStats,
+    measure_sensitivities, OmegaProvenance, SensitivityMatrix, SensitivityOptions, SensitivityStats,
 };
 pub use sensitivity_io::{
     load_sensitivities, save_sensitivities, sensitivities_from_bytes, sensitivities_to_bytes,
     SensitivityIoError,
 };
-pub use shard::{config_fingerprint, ShardContext, ShardRunStats, ShardSpec};
+pub use shard::{
+    config_fingerprint, estimator_config_fingerprint, PartialAssembly, ShardContext, ShardRunStats,
+    ShardSpec,
+};

@@ -41,6 +41,7 @@ use clado_quant::{BitWidthSet, QuantScheme};
 use clado_solver::SymMatrix;
 use clado_telemetry::{faultpoint, with_panic_context, Counter, Hist, Telemetry};
 use std::collections::HashMap;
+use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -102,6 +103,82 @@ impl Default for SensitivityOptions {
     }
 }
 
+/// How an Ω matrix was produced: the exact full sweep (the default) or
+/// one of the `clado-estim` sub-quadratic estimators.
+///
+/// Stored in the CLSM v4 stats block and folded into the dist/serve wire
+/// formats, so the tag values are part of those formats; do not renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OmegaProvenance {
+    /// Estimator tag (see the `TAG_*` constants); `0` means the exact
+    /// full sweep.
+    pub estimator: u8,
+    /// Probe budget the estimator was given (`0` for exact).
+    pub probe_budget: u64,
+    /// Estimator RNG seed (`0` for exact).
+    pub seed: u64,
+}
+
+impl OmegaProvenance {
+    /// Tag of the exact full sweep.
+    pub const TAG_EXACT: u8 = 0;
+    /// Tag of the sketched low-rank recovery estimator.
+    pub const TAG_SKETCHED: u8 = 1;
+    /// Tag of the adaptive-sampling estimator.
+    pub const TAG_ADAPTIVE: u8 = 2;
+    /// Tag of the block-diagonal + top-k cross-term estimator.
+    pub const TAG_BLOCK_TOPK: u8 = 3;
+    /// Tag of the Hutchinson diagonal estimator.
+    pub const TAG_HUTCHINSON: u8 = 4;
+
+    /// Provenance of an exact full sweep.
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// Provenance of an estimated Ω.
+    pub fn estimated(estimator: u8, probe_budget: u64, seed: u64) -> Self {
+        Self {
+            estimator,
+            probe_budget,
+            seed,
+        }
+    }
+
+    /// Whether this Ω came from the exact full sweep.
+    pub fn is_exact(&self) -> bool {
+        self.estimator == Self::TAG_EXACT
+    }
+
+    /// Human-readable estimator name for the tag (the CLI spelling).
+    pub fn estimator_name(&self) -> &'static str {
+        match self.estimator {
+            Self::TAG_EXACT => "exact",
+            Self::TAG_SKETCHED => "sketched",
+            Self::TAG_ADAPTIVE => "adaptive",
+            Self::TAG_BLOCK_TOPK => "blocktopk",
+            Self::TAG_HUTCHINSON => "hutchinson",
+            _ => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for OmegaProvenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_exact() {
+            write!(f, "exact")
+        } else {
+            write!(
+                f,
+                "{} (budget {}, seed {})",
+                self.estimator_name(),
+                self.probe_budget,
+                self.seed
+            )
+        }
+    }
+}
+
 /// Measurement statistics (the paper's runtime discussion, §5.2).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SensitivityStats {
@@ -127,6 +204,8 @@ pub struct SensitivityStats {
     /// Probes whose loss stayed non-finite after retry; their Ω entries
     /// degrade to zero instead of poisoning the IQP objective.
     pub quarantined: usize,
+    /// How this Ω was produced (exact sweep or estimator name/budget/seed).
+    pub provenance: OmegaProvenance,
 }
 
 /// The measured sensitivity matrix Ĝ plus its provenance.
@@ -862,6 +941,7 @@ pub fn measure_sensitivities(
             resumed,
             retried,
             quarantined,
+            provenance: OmegaProvenance::exact(),
         },
     })
 }

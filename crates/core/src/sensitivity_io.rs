@@ -15,7 +15,7 @@
 //! flipped magic/version bytes, and length mismatches all surface as
 //! [`SensitivityIoError::BadFormat`], never as a panic or an OOM.
 
-use crate::sensitivity::{SensitivityMatrix, SensitivityStats};
+use crate::sensitivity::{OmegaProvenance, SensitivityMatrix, SensitivityStats};
 use clado_quant::BitWidthSet;
 use clado_solver::SymMatrix;
 use std::fmt;
@@ -24,13 +24,15 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"CLSM";
-/// Version 3 appends the fault-tolerance counters (resumed, retried,
-/// quarantined) after the engine counters version 2 introduced (threads,
-/// prefix-cache builds/hits, full evaluations). Older files still load:
-/// missing counters are reported as zero, except v1's `full_evals` which
-/// inherits `evaluations` (v1 measurements always ran the full forward
-/// pass).
-const VERSION: u32 = 3;
+/// Version 4 appends the Ω provenance words (estimator tag, probe budget,
+/// estimator seed) after the fault-tolerance counters version 3
+/// introduced (resumed, retried, quarantined), which in turn follow the
+/// engine counters of version 2 (threads, prefix-cache builds/hits, full
+/// evaluations). Older files still load: missing counters are reported as
+/// zero (provenance defaults to the exact sweep), except v1's
+/// `full_evals` which inherits `evaluations` (v1 measurements always ran
+/// the full forward pass).
+const VERSION: u32 = 4;
 
 /// Size of the fixed prelude: magic, version, `I`, |𝔹|.
 const PRELUDE_BYTES: usize = 4 + 4 + 4 + 4;
@@ -99,6 +101,9 @@ pub fn sensitivities_to_bytes(sens: &SensitivityMatrix) -> Vec<u8> {
     buf.extend_from_slice(&(sens.stats.resumed as u64).to_le_bytes());
     buf.extend_from_slice(&(sens.stats.retried as u64).to_le_bytes());
     buf.extend_from_slice(&(sens.stats.quarantined as u64).to_le_bytes());
+    buf.extend_from_slice(&u64::from(sens.stats.provenance.estimator).to_le_bytes());
+    buf.extend_from_slice(&sens.stats.provenance.probe_budget.to_le_bytes());
+    buf.extend_from_slice(&sens.stats.provenance.seed.to_le_bytes());
     let n = sens.matrix().dim();
     for i in 0..n {
         for j in 0..n {
@@ -130,7 +135,8 @@ fn stat_counters(version: u32) -> u64 {
     match version {
         1 => 0,
         2 => 4,
-        _ => 7,
+        3 => 7,
+        _ => 10,
     }
 }
 
@@ -217,6 +223,21 @@ pub fn sensitivities_from_bytes(bytes: &[u8]) -> Result<SensitivityMatrix, Sensi
     } else {
         (0, 0, 0)
     };
+    let provenance = if version >= 4 {
+        let raw_tag = u64_at(80);
+        if raw_tag > u64::from(u8::MAX) as usize {
+            return Err(SensitivityIoError::BadFormat(format!(
+                "estimator tag {raw_tag} out of range — corrupt stats block"
+            )));
+        }
+        OmegaProvenance {
+            estimator: raw_tag as u8,
+            probe_budget: u64_at(88) as u64,
+            seed: u64_at(96) as u64,
+        }
+    } else {
+        OmegaProvenance::exact()
+    };
 
     let matrix_raw = &stats_raw[8 * (3 + stat_counters(version) as usize)..];
     let mut g = SymMatrix::zeros(n);
@@ -246,6 +267,7 @@ pub fn sensitivities_from_bytes(bytes: &[u8]) -> Result<SensitivityMatrix, Sensi
             resumed,
             retried,
             quarantined,
+            provenance,
         },
     ))
 }
@@ -361,6 +383,8 @@ mod tests {
         assert_eq!(loaded.stats.resumed, sens.stats.resumed);
         assert_eq!(loaded.stats.retried, sens.stats.retried);
         assert_eq!(loaded.stats.quarantined, sens.stats.quarantined);
+        assert_eq!(loaded.stats.provenance, sens.stats.provenance);
+        assert!(loaded.stats.provenance.is_exact());
         let n = sens.matrix().dim();
         for i in 0..n {
             for j in 0..n {
@@ -447,15 +471,45 @@ mod tests {
         std::fs::remove_file(path).ok();
     }
 
+    #[test]
+    fn version3_files_still_load_with_exact_provenance() {
+        // The committed v3 fixture must keep loading after the v4 bump,
+        // with every counter intact and provenance defaulting to exact.
+        let path = temp("v3-fixture");
+        std::fs::write(&path, tiny_v3_bytes()).unwrap();
+        let loaded = load_sensitivities(&path).unwrap();
+        assert_eq!(loaded.stats.threads_used, 4);
+        assert_eq!(loaded.stats.resumed, 2);
+        assert_eq!(loaded.stats.retried, 1);
+        assert_eq!(loaded.stats.quarantined, 0);
+        assert!(loaded.stats.provenance.is_exact());
+        assert_eq!(loaded.stats.provenance.estimator_name(), "exact");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v4_provenance_survives_roundtrip() {
+        let mut sens = measured();
+        sens.stats.provenance =
+            OmegaProvenance::estimated(OmegaProvenance::TAG_BLOCK_TOPK, 123, 0xDEAD_BEEF);
+        let path = temp("provenance");
+        save_sensitivities(&sens, &path).unwrap();
+        let loaded = load_sensitivities(&path).unwrap();
+        assert_eq!(loaded.stats.provenance, sens.stats.provenance);
+        assert_eq!(loaded.stats.provenance.estimator_name(), "blocktopk");
+        assert!(!loaded.stats.provenance.is_exact());
+        std::fs::remove_file(path).ok();
+    }
+
     proptest::proptest! {
         #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(24))]
 
         /// Every `SensitivityStats` field and every matrix entry must
-        /// survive a v3 save→load round trip *bit-exactly* — including
+        /// survive a v4 save→load round trip *bit-exactly* — including
         /// pathological payloads (NaN, ±0.0, subnormals) drawn straight
         /// from the f64 bit space.
         #[test]
-        fn v3_roundtrip_is_bit_exact(
+        fn v4_roundtrip_is_bit_exact(
             layers in 1usize..=3,
             raw in proptest::collection::vec((0u32..=u32::MAX, 0u32..=u32::MAX), 0..=45),
             base in (0u32..=u32::MAX, 0u32..=u32::MAX),
@@ -464,6 +518,7 @@ mod tests {
             prefix_cache_hits in 0usize..10_000,
             (resumed, retried, quarantined) in (0usize..10_000, 0usize..100, 0usize..100),
             seconds in 0.0f64..1.0e6,
+            (estimator, probe_budget, seed) in (0u8..=8, 0u64..=1 << 48, 0u64..=1 << 48),
         ) {
             let f64_of = |(hi, lo): (u32, u32)| f64::from_bits(((hi as u64) << 32) | lo as u64);
             let bits = BitWidthSet::standard();
@@ -490,6 +545,7 @@ mod tests {
                     resumed,
                     retried,
                     quarantined,
+                    provenance: OmegaProvenance { estimator, probe_budget, seed },
                 },
             );
             let path = temp("proptest");
@@ -512,6 +568,7 @@ mod tests {
             proptest::prop_assert_eq!(loaded.stats.resumed, sens.stats.resumed);
             proptest::prop_assert_eq!(loaded.stats.retried, sens.stats.retried);
             proptest::prop_assert_eq!(loaded.stats.quarantined, sens.stats.quarantined);
+            proptest::prop_assert_eq!(loaded.stats.provenance, sens.stats.provenance);
             for i in 0..n {
                 for j in 0..n {
                     proptest::prop_assert_eq!(

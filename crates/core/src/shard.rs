@@ -33,7 +33,7 @@ use crate::probe::{build_prefix_cache, eval_loss, eval_loss_from, quant_error_ta
 use clado_models::DataSplit;
 use clado_nn::Network;
 use clado_quant::{BitWidthSet, QuantScheme};
-use clado_solver::SymMatrix;
+use clado_solver::{ObservedMask, SymMatrix};
 use clado_telemetry::Telemetry;
 use clado_tensor::Tensor;
 use std::collections::HashMap;
@@ -91,6 +91,35 @@ pub fn config_fingerprint(
     ];
     fields.extend((0..bits.len()).map(|m| u64::from(bits.get(m).bits())));
     fingerprint(&fields)
+}
+
+/// The journal/handshake fingerprint of one *estimation* configuration.
+///
+/// An estimated Ω journal must never resume an exact sweep's checkpoint
+/// (or vice versa), and two estimators — or the same estimator under a
+/// different budget or seed — must never share records either: the probe
+/// *selection* differs, so the journals describe different grids. The
+/// estimator tag, budget, and seed are therefore folded into the base
+/// [`config_fingerprint`]. Field order is part of the on-disk CLSJ
+/// format; do not reorder.
+pub fn estimator_config_fingerprint(base: u64, estimator: u8, probe_budget: u64, seed: u64) -> u64 {
+    fingerprint(&[base, u64::from(estimator), probe_budget, seed])
+}
+
+/// A partially-assembled Ω: the entries an estimator's probe subset
+/// covers, plus the mask saying which those are.
+#[derive(Debug, Clone)]
+pub struct PartialAssembly {
+    /// The assembled matrix; unobserved cross entries are zero.
+    pub g: SymMatrix,
+    /// Which entries carry a measurement (diagonal and same-layer
+    /// entries always do; cross-layer entries only when their pair probe
+    /// was evaluated).
+    pub observed: ObservedMask,
+    /// The unperturbed base loss `L(w)`.
+    pub base_loss: f64,
+    /// Probe records stored as quarantined (entry degraded to zero).
+    pub quarantined: usize,
 }
 
 /// Per-shard evaluation statistics, reported by workers and aggregated
@@ -221,6 +250,120 @@ impl ShardContext {
         let k = self.bits.len();
         let i_n = self.num_layers();
         1 + k * i_n + k * k * i_n * i_n.saturating_sub(1) / 2
+    }
+
+    /// Squared norms `‖Δw_m⁽ⁱ⁾‖²` of the perturbation table, indexed
+    /// `[layer][bit]`. These are the locality prior the structured
+    /// estimators rank cross terms by (`|Ω_ii · Ω_jj|` scales with the
+    /// diagonal probes, which scale with these norms), and they are a
+    /// pure function of the pristine weights — identical on every worker.
+    pub fn delta_norms(&self) -> Vec<Vec<f64>> {
+        self.deltas
+            .iter()
+            .map(|row| row.iter().map(|d| d.norm_sq()).collect())
+            .collect()
+    }
+
+    /// Evaluates an explicit probe subset on `net` (a replica at the
+    /// pristine weights; restored before returning), with the same
+    /// quarantine policy and bitwise-identical losses as
+    /// [`ShardContext::run_shard`].
+    ///
+    /// Consecutive probes sharing an outer layer reuse one prefix cache
+    /// and consecutive pair probes sharing an outer `(layer, bit)` reuse
+    /// one applied outer perturbation, so callers should pass ids in
+    /// canonical order (the order [`ShardContext::shard_probes`] emits)
+    /// for full-sweep-equivalent cache behavior. Any order is *correct*;
+    /// a scrambled order only costs extra cache builds.
+    pub fn run_probes(
+        &self,
+        net: &mut Network,
+        set: &DataSplit,
+        ids: &[ProbeId],
+        telemetry: &Telemetry,
+    ) -> (Vec<ProbeRecord>, ShardRunStats) {
+        let start = Instant::now();
+        let mut stats = ShardRunStats::default();
+        let mut out = Vec::with_capacity(ids.len());
+        // The prefix cache covers stages strictly before the probed
+        // layer's stage, which only pristine weights feed, so it stays
+        // valid across perturbation changes and is keyed by stage alone.
+        let mut cache: Option<PrefixCache> = None;
+        let mut cached_stage: Option<usize> = None;
+        let mut applied_outer: Option<(usize, usize)> = None;
+        for &id in ids {
+            match id {
+                ProbeId::Base => {
+                    if let Some((i, _)) = applied_outer.take() {
+                        net.set_weight(i, &self.originals[i]);
+                    }
+                    let (loss, quarantined) =
+                        self.probe(net, &mut None, None, set, telemetry, &mut stats);
+                    out.push(ProbeRecord {
+                        id,
+                        loss,
+                        quarantined,
+                    });
+                }
+                ProbeId::Diag { layer, bit } => {
+                    if let Some((i, _)) = applied_outer.take() {
+                        net.set_weight(i, &self.originals[i]);
+                    }
+                    let i = layer as usize;
+                    let stage =
+                        (self.use_prefix_cache && self.stages[i] > 0).then_some(self.stages[i]);
+                    if stage != cached_stage {
+                        cache = None;
+                        cached_stage = stage;
+                    }
+                    net.perturb_weight(i, &self.deltas[i][bit as usize]);
+                    let (loss, quarantined) =
+                        self.probe(net, &mut cache, stage, set, telemetry, &mut stats);
+                    net.set_weight(i, &self.originals[i]);
+                    out.push(ProbeRecord {
+                        id,
+                        loss,
+                        quarantined,
+                    });
+                }
+                ProbeId::Pair {
+                    layer_i,
+                    bit_m,
+                    layer_j,
+                    bit_n,
+                } => {
+                    let (i, m) = (layer_i as usize, bit_m as usize);
+                    if applied_outer != Some((i, m)) {
+                        if let Some((prev, _)) = applied_outer.take() {
+                            net.set_weight(prev, &self.originals[prev]);
+                        }
+                        net.perturb_weight(i, &self.deltas[i][m]);
+                        applied_outer = Some((i, m));
+                    }
+                    let stage =
+                        (self.use_prefix_cache && self.stages[i] > 0).then_some(self.stages[i]);
+                    if stage != cached_stage {
+                        cache = None;
+                        cached_stage = stage;
+                    }
+                    let j = layer_j as usize;
+                    net.perturb_weight(j, &self.deltas[j][bit_n as usize]);
+                    let (loss, quarantined) =
+                        self.probe(net, &mut cache, stage, set, telemetry, &mut stats);
+                    net.set_weight(j, &self.originals[j]);
+                    out.push(ProbeRecord {
+                        id,
+                        loss,
+                        quarantined,
+                    });
+                }
+            }
+        }
+        if let Some((i, _)) = applied_outer.take() {
+            net.set_weight(i, &self.originals[i]);
+        }
+        stats.seconds = start.elapsed().as_secs_f64();
+        (out, stats)
     }
 
     /// Evaluates one shard on `net` (a replica at the pristine weights;
@@ -462,6 +605,127 @@ impl ShardContext {
         }
         Ok((g, base_loss, quarantined))
     }
+
+    /// Assembles a partially-observed Ω from an estimator's probe subset.
+    ///
+    /// The base probe and every diagonal probe are mandatory — a
+    /// variable's own sensitivity cannot be defaulted, so every estimator
+    /// spends budget on all of them. Pair probes are optional: present
+    /// records produce cross entries with the exact-path arithmetic (and
+    /// quarantine degradation); absent records leave the entry zero and
+    /// unobserved in the mask. Same-layer off-diagonal entries are
+    /// structurally zero in the exact sweep too, so they count as
+    /// observed.
+    ///
+    /// # Errors
+    ///
+    /// [`MeasureError::MissingProbes`] when the base or a diagonal probe
+    /// has no record; [`MeasureError::NonFiniteBaseLoss`] when the base
+    /// record is quarantined.
+    pub fn assemble_partial(
+        &self,
+        records: &HashMap<ProbeId, ProbeRecord>,
+    ) -> Result<PartialAssembly, MeasureError> {
+        let i_n = self.num_layers();
+        let k = self.bits.len();
+        let mut missing = 0usize;
+        let mut quarantined = 0usize;
+        let base_loss = match records.get(&ProbeId::Base) {
+            Some(r) => {
+                if r.quarantined {
+                    quarantined += 1;
+                }
+                r.loss
+            }
+            None => {
+                missing += 1;
+                f64::NAN
+            }
+        };
+        let mut single_loss = vec![vec![f64::NAN; k]; i_n];
+        for (i, row) in single_loss.iter_mut().enumerate() {
+            for (m, slot) in row.iter_mut().enumerate() {
+                let id = ProbeId::Diag {
+                    layer: i as u32,
+                    bit: m as u32,
+                };
+                match records.get(&id) {
+                    Some(r) => {
+                        if r.quarantined {
+                            quarantined += 1;
+                        }
+                        *slot = r.loss;
+                    }
+                    None => missing += 1,
+                }
+            }
+        }
+        if missing > 0 {
+            return Err(MeasureError::MissingProbes {
+                missing,
+                total: 1 + i_n * k,
+            });
+        }
+        if !base_loss.is_finite() {
+            return Err(MeasureError::NonFiniteBaseLoss { loss: base_loss });
+        }
+        let mut g = SymMatrix::zeros(i_n * k);
+        let mut observed = ObservedMask::new(i_n * k);
+        // Diagonal and same-layer entries are always observed: the former
+        // are measured, the latter structurally zero in the exact sweep.
+        for i in 0..i_n {
+            for m in 0..k {
+                for n in m..k {
+                    observed.set(i * k + m, i * k + n);
+                }
+            }
+        }
+        for i in 0..i_n.saturating_sub(1) {
+            for m in 0..k {
+                for j in (i + 1)..i_n {
+                    for n in 0..k {
+                        let id = ProbeId::Pair {
+                            layer_i: i as u32,
+                            bit_m: m as u32,
+                            layer_j: j as u32,
+                            bit_n: n as u32,
+                        };
+                        let Some(r) = records.get(&id) else {
+                            continue;
+                        };
+                        if r.quarantined {
+                            quarantined += 1;
+                        }
+                        let (si, sj) = (single_loss[i][m], single_loss[j][n]);
+                        let omega = if r.quarantined || !si.is_finite() || !sj.is_finite() {
+                            0.0
+                        } else {
+                            r.loss + base_loss - si - sj
+                        };
+                        g.set(i * k + m, j * k + n, omega);
+                        observed.set(i * k + m, j * k + n);
+                    }
+                }
+            }
+        }
+        for (i, row) in single_loss.iter().enumerate() {
+            for (m, &loss) in row.iter().enumerate() {
+                let v = i * k + m;
+                let omega = if loss.is_finite() {
+                    2.0 * (loss - base_loss)
+                } else {
+                    0.0
+                };
+                g.set(v, v, omega);
+            }
+        }
+        Ok(PartialAssembly {
+            g,
+            observed,
+            base_loss,
+            quarantined,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -618,6 +882,110 @@ mod tests {
         assert_eq!(base_loss.to_bits(), reference.base_loss.to_bits());
         assert_matrix_bitwise(&g, reference.matrix(), "journal-assembled grid");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_probes_matches_run_shard_bitwise_on_any_subset() {
+        let (net, data) = setup();
+        let bits = BitWidthSet::new(&[2, 8]);
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let ctx = ShardContext::new(
+            &net,
+            set.len(),
+            &bits,
+            QuantScheme::PerTensorSymmetric,
+            64,
+            true,
+        );
+        let telemetry = Telemetry::disabled();
+        let mut replica = net.clone();
+        let mut reference = HashMap::new();
+        for shard in ctx.shards() {
+            let (recs, _stats) = ctx.run_shard(&mut replica, &set, shard, &telemetry);
+            for r in recs {
+                reference.insert(r.id, r);
+            }
+        }
+        // Full canonical order, and a sparse subset skipping every other
+        // pair probe, both reproduce the shard-path losses bit for bit.
+        let all: Vec<ProbeId> = ctx
+            .shards()
+            .into_iter()
+            .flat_map(|s| ctx.shard_probes(s))
+            .collect();
+        let sparse: Vec<ProbeId> = all
+            .iter()
+            .enumerate()
+            .filter(|(idx, id)| !matches!(id, ProbeId::Pair { .. }) || idx % 2 == 0)
+            .map(|(_, &id)| id)
+            .collect();
+        for ids in [&all, &sparse] {
+            let mut replica = net.clone();
+            let (recs, _stats) = ctx.run_probes(&mut replica, &set, ids, &telemetry);
+            assert_eq!(recs.len(), ids.len());
+            for r in &recs {
+                let want = reference.get(&r.id).expect("reference record");
+                assert_eq!(
+                    r.loss.to_bits(),
+                    want.loss.to_bits(),
+                    "probe {:?} loss drifted",
+                    r.id
+                );
+            }
+            for (a, b) in replica
+                .snapshot_weights()
+                .iter()
+                .zip(net.snapshot_weights())
+            {
+                assert_eq!(a.data(), b.data(), "weights drifted after run_probes");
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_partial_matches_assemble_on_full_records() {
+        let (net, data) = setup();
+        let bits = BitWidthSet::new(&[2, 8]);
+        let set = data.train.subset(&(0..16).collect::<Vec<_>>());
+        let ctx = ShardContext::new(
+            &net,
+            set.len(),
+            &bits,
+            QuantScheme::PerTensorSymmetric,
+            64,
+            true,
+        );
+        let telemetry = Telemetry::disabled();
+        let mut replica = net.clone();
+        let mut records = HashMap::new();
+        for shard in ctx.shards() {
+            let (recs, _stats) = ctx.run_shard(&mut replica, &set, shard, &telemetry);
+            for r in recs {
+                records.insert(r.id, r);
+            }
+        }
+        let (g, base_loss, _q) = ctx.assemble(&records).expect("full assembly");
+        let partial = ctx.assemble_partial(&records).expect("partial assembly");
+        assert_eq!(partial.base_loss.to_bits(), base_loss.to_bits());
+        assert_matrix_bitwise(&partial.g, &g, "fully-observed partial assembly");
+        assert_eq!(partial.observed.observed(), partial.observed.total());
+
+        // Dropping pair records leaves those entries unobserved (and the
+        // matrix zero there) but still assembles.
+        let mut sparse = records.clone();
+        sparse.retain(|id, _| !matches!(id, ProbeId::Pair { bit_m: 0, .. }));
+        let partial = ctx.assemble_partial(&sparse).expect("sparse assembly");
+        assert!(partial.observed.observed() < partial.observed.total());
+        assert_eq!(partial.observed.first_unobserved_diagonal(), None);
+
+        // Dropping a diagonal record is an error: every estimator must
+        // cover the diagonal.
+        let mut broken = records.clone();
+        broken.remove(&ProbeId::Diag { layer: 1, bit: 0 });
+        match ctx.assemble_partial(&broken) {
+            Err(MeasureError::MissingProbes { missing, .. }) => assert_eq!(missing, 1),
+            other => panic!("expected MissingProbes, got {other:?}"),
+        }
     }
 
     #[test]

@@ -29,8 +29,12 @@ use crate::frame::FrameError;
 use crate::protocol::{self, JobSpec, Message};
 use clado_core::journal::load_journal;
 use clado_core::{
-    JournalError, JournalWriter, ProbeId, ProbeRecord, SensitivityMatrix, SensitivityStats,
-    ShardContext, ShardRunStats, ShardSpec,
+    JournalError, JournalWriter, OmegaProvenance, ProbeId, ProbeRecord, SensitivityMatrix,
+    SensitivityStats, ShardContext, ShardRunStats, ShardSpec,
+};
+use clado_estim::{
+    complete_partial, estimation_fingerprint, resolved_probe_budget, EstimatorKind,
+    DEFAULT_ALS_ITERS, DEFAULT_ALS_RANK,
 };
 use clado_telemetry::{ManifestValue, Telemetry, TraceEvent};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -95,7 +99,9 @@ pub struct WorkerSummary {
 pub struct DistOutcome {
     /// The assembled sensitivity matrix — bitwise identical to a
     /// single-process [`clado_core::measure_sensitivities`] run of the
-    /// same configuration.
+    /// same configuration (or, for an estimation job, to
+    /// `clado_estim::estimate_sensitivities` under the same estimator,
+    /// budget, and seed).
     pub matrix: SensitivityMatrix,
     /// Per-worker accounting, ordered by worker id.
     pub workers: Vec<WorkerSummary>,
@@ -232,7 +238,34 @@ impl Coordinator {
             telemetry.set_trace_enabled(true);
         }
         let _root = telemetry.span("dist.coordinate");
-        let fp = self.ctx.fingerprint();
+        // Estimation jobs resolve their estimator once; the journal and
+        // the worker handshake both key on the estimator fingerprint
+        // (configuration ⊕ kind ⊕ resolved budget ⊕ seed), so an
+        // estimation sweep can never mix records with an exact one or
+        // with another estimator's.
+        let estimator = match self.job.estimator {
+            0 => None,
+            tag => match EstimatorKind::from_tag(tag) {
+                Some(EstimatorKind::Hutchinson) => {
+                    return Err(DistError::BadJob(
+                        "hutchinson estimation is diagonal-only and not grid-shardable; \
+                         run it single-process"
+                            .into(),
+                    ))
+                }
+                Some(kind) => Some(kind),
+                None => return Err(DistError::BadJob(format!("unknown estimator tag {tag}"))),
+            },
+        };
+        let fp = match estimator {
+            Some(kind) => estimation_fingerprint(
+                &self.ctx,
+                kind,
+                self.job.probe_budget as usize,
+                self.job.estimator_seed,
+            ),
+            None => self.ctx.fingerprint(),
+        };
 
         // Load (or refuse) the checkpoint journal exactly like the
         // in-process engine: same fingerprint, same not-empty guard.
@@ -256,11 +289,22 @@ impl Coordinator {
         let mut pending = VecDeque::new();
         let mut done = HashSet::new();
         for shard in shards {
-            let complete = self
-                .ctx
-                .shard_probes(shard)
-                .iter()
-                .all(|id| records.contains_key(id));
+            // In estimation mode a pair shard only carries its selected
+            // probes, so resume completeness is "any record present":
+            // CLSJ shard commits are atomic (a corrupt shard is dropped
+            // wholly) and workers ship each shard's whole selection in
+            // one ShardDone. A pair shard whose selection was empty is
+            // simply re-leased — workers return it instantly.
+            let complete = match (estimator, shard) {
+                (Some(_), ShardSpec::Pair { outer }) => records
+                    .keys()
+                    .any(|id| matches!(id, ProbeId::Pair { layer_i, .. } if *layer_i == outer)),
+                _ => self
+                    .ctx
+                    .shard_probes(shard)
+                    .iter()
+                    .all(|id| records.contains_key(id)),
+            };
             if complete {
                 done.insert(shard);
             } else {
@@ -367,7 +411,25 @@ impl Coordinator {
         if let Some(e) = g.fatal.take() {
             return Err(e);
         }
-        let (matrix, base_loss, quarantined) = self.ctx.assemble(&g.records)?;
+        // Estimation sweeps assemble the partial grid and complete it
+        // exactly like the single-process path (same kind, ALS
+        // defaults, and seed), so the distributed estimate is bitwise
+        // identical to `clado_estim::estimate_sensitivities`.
+        let (matrix, base_loss, quarantined) = match estimator {
+            Some(kind) => {
+                let assembly = self.ctx.assemble_partial(&g.records)?;
+                let completed = complete_partial(
+                    kind,
+                    &assembly.g,
+                    &assembly.observed,
+                    DEFAULT_ALS_RANK,
+                    DEFAULT_ALS_ITERS,
+                    self.job.estimator_seed,
+                );
+                (completed, assembly.base_loss, assembly.quarantined)
+            }
+            None => self.ctx.assemble(&g.records)?,
+        };
         let workers: Vec<WorkerSummary> = g.workers.into_values().collect();
         let straggler_seconds = workers.iter().map(|w| w.seconds).fold(0.0f64, f64::max);
         telemetry.counter("dist.evictions").add(g.evictions);
@@ -405,6 +467,14 @@ impl Coordinator {
             resumed,
             retried: g.agg.retried as usize,
             quarantined,
+            provenance: match estimator {
+                Some(kind) => OmegaProvenance::estimated(
+                    kind.tag(),
+                    resolved_probe_budget(&self.ctx, self.job.probe_budget as usize) as u64,
+                    self.job.estimator_seed,
+                ),
+                None => OmegaProvenance::exact(),
+            },
         };
         let matrix = SensitivityMatrix::from_parts(
             matrix,

@@ -27,7 +27,12 @@ use std::io::{self, Read, Write};
 /// keeps the connection open between jobs), typed handshake timeouts,
 /// and the `clado serve` request/response frames layered on the same
 /// envelope.
-pub const PROTOCOL_VERSION: u16 = 3;
+///
+/// v4: budgeted estimation — `Job.{estimator, probe_budget,
+/// estimator_seed}` let a coordinator shard a sub-quadratic Ω estimation
+/// sweep; workers rebuild the probe plan locally from those three
+/// fields.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Upper bound on a frame payload. The largest legitimate message is a
 /// `ShardDone` for one pairwise shard (26 bytes per probe); 4 MiB leaves

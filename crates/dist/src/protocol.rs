@@ -61,6 +61,18 @@ pub struct JobSpec {
     /// Trace correlation id minted by the coordinator (0 = tracing
     /// off). Workers tag their local trace events with it.
     pub trace_id: u64,
+    /// Estimator tag for a budgeted sweep (`0` = exact measurement; see
+    /// `clado_core::OmegaProvenance` for the tag space). Workers rebuild
+    /// the same probe plan locally from this tag plus the budget and
+    /// seed below.
+    pub estimator: u8,
+    /// Requested probe budget for an estimation job (`0` with a nonzero
+    /// estimator means the default 25% of the full sweep; must be `0`
+    /// for exact jobs).
+    pub probe_budget: u64,
+    /// Probe-selection seed for an estimation job (ignored for exact
+    /// jobs).
+    pub estimator_seed: u64,
 }
 
 /// One message of the protocol. See the module docs for the exchange.
@@ -393,6 +405,9 @@ impl Message {
                 out.push(u8::from(job.use_prefix_cache));
                 put_u64(&mut out, job.fingerprint);
                 put_u64(&mut out, job.trace_id);
+                out.push(job.estimator);
+                put_u64(&mut out, job.probe_budget);
+                put_u64(&mut out, job.estimator_seed);
             }
             Self::Ready {
                 fingerprint,
@@ -461,6 +476,9 @@ impl Message {
                 use_prefix_cache: c.bool("job.use_prefix_cache")?,
                 fingerprint: c.u64("job.fingerprint")?,
                 trace_id: c.u64("job.trace_id")?,
+                estimator: c.u8("job.estimator")?,
+                probe_budget: c.u64("job.probe_budget")?,
+                estimator_seed: c.u64("job.estimator_seed")?,
             }),
             KIND_READY => Self::Ready {
                 fingerprint: c.u64("ready.fingerprint")?,
@@ -562,6 +580,9 @@ mod tests {
                 use_prefix_cache: true,
                 fingerprint: 0xDEAD_BEEF_CAFE_F00D,
                 trace_id: 0x1234_5678_9ABC_DEF0,
+                estimator: 3,
+                probe_budget: 250,
+                estimator_seed: 0xE571,
             }),
             Message::Ready {
                 fingerprint: u64::MAX,
@@ -676,10 +697,14 @@ mod tests {
             use_prefix_cache: false,
             fingerprint: 0,
             trace_id: 0,
+            estimator: 0,
+            probe_budget: 0,
+            estimator_seed: 0,
         })
         .encode();
-        // The flag sits before fingerprint (8) and trace_id (8).
-        let flag_at = job.len() - 17;
+        // The flag sits before fingerprint (8), trace_id (8), estimator
+        // (1), probe_budget (8), and estimator_seed (8).
+        let flag_at = job.len() - 34;
         job[flag_at] = 2;
         let err = Message::decode(KIND_JOB, &job).unwrap_err();
         assert!(matches!(err, FrameError::Malformed(_)), "{err}");

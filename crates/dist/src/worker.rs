@@ -11,10 +11,12 @@ use crate::error::DistError;
 use crate::frame::{FrameError, PROTOCOL_VERSION};
 use crate::protocol::{self, scheme_from_u8, JobSpec, Message};
 use clado_core::ShardContext;
+use clado_estim::{estimation_fingerprint, resolved_probe_budget, EstimatorKind, ProbePlanner};
 use clado_models::DataSplit;
 use clado_nn::Network;
 use clado_quant::BitWidthSet;
 use clado_telemetry::{faultpoint, Telemetry};
+use std::collections::HashMap;
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -123,6 +125,55 @@ fn backoff_delay(attempt: u32) -> Duration {
     let jitter_span = nominal / 2; // ±25% around the nominal delay
     let jitter = crate::frame::fnv1a(&seed) % (jitter_span + 1);
     Duration::from_millis(nominal - jitter_span / 2 + jitter)
+}
+
+/// Prepares an estimation job (`job.estimator != 0`): resolves the
+/// estimator kind, rebuilds the deterministic probe plan locally (the
+/// base and diagonal probes it measures are bitwise identical on every
+/// node, so every worker derives the *same* plan from just the tag,
+/// budget, and seed in the job), and returns the estimator fingerprint
+/// this worker must echo in `Ready`. Exact jobs return no planner and
+/// the plain configuration fingerprint.
+fn prepare_estimation(
+    ctx: &ShardContext,
+    network: &mut Network,
+    set: &DataSplit,
+    telemetry: &Telemetry,
+    job: &JobSpec,
+) -> Result<(Option<ProbePlanner>, u64), DistError> {
+    if job.estimator == 0 {
+        return Ok((None, ctx.fingerprint()));
+    }
+    let kind = match EstimatorKind::from_tag(job.estimator) {
+        Some(EstimatorKind::Hutchinson) => {
+            return Err(DistError::BadJob(
+                "hutchinson estimation is diagonal-only and not grid-shardable; \
+                 run it single-process"
+                    .into(),
+            ))
+        }
+        Some(kind) => kind,
+        None => {
+            return Err(DistError::BadJob(format!(
+                "unknown estimator tag {}",
+                job.estimator
+            )))
+        }
+    };
+    let budget = resolved_probe_budget(ctx, job.probe_budget as usize);
+    let fp = estimation_fingerprint(ctx, kind, job.probe_budget as usize, job.estimator_seed);
+    let _s = telemetry.span("dist.work.plan");
+    let (planner, _fresh, _stats) = ProbePlanner::build(
+        ctx,
+        network,
+        set,
+        telemetry,
+        kind,
+        budget,
+        job.estimator_seed,
+        &HashMap::new(),
+    )?;
+    Ok((Some(planner), fp))
 }
 
 fn connect_with_retry(addr: &str, window: Duration, retries: u32) -> Result<TcpStream, DistError> {
@@ -245,7 +296,7 @@ where
         job.batch_size as usize,
         job.use_prefix_cache,
     );
-    let fingerprint = ctx.fingerprint();
+    let (planner, fingerprint) = prepare_estimation(&ctx, &mut network, &set, &telemetry, &job)?;
     if opts.verbose && fingerprint != job.fingerprint {
         eprintln!(
             "dist: local fingerprint {fingerprint:#018x} differs from job \
@@ -262,6 +313,7 @@ where
     lease_loop(
         &conn,
         &ctx,
+        planner.as_ref(),
         &mut network,
         &set,
         &telemetry,
@@ -287,6 +339,7 @@ enum JobEnd {
 fn lease_loop(
     conn: &Conn,
     ctx: &ShardContext,
+    planner: Option<&ProbePlanner>,
     network: &mut Network,
     set: &DataSplit,
     telemetry: &Telemetry,
@@ -320,7 +373,14 @@ fn lease_loop(
                             ("shard".to_string(), shard.to_string().into()),
                         ],
                     );
-                    ctx.run_shard(network, set, shard, telemetry)
+                    // Estimation jobs route every shard through the
+                    // probe plan: base/diag shards replay the records
+                    // the planner already measured, pair shards run
+                    // only their selected probes.
+                    match planner {
+                        Some(p) => p.run_shard(ctx, network, set, shard, telemetry),
+                        None => ctx.run_shard(network, set, shard, telemetry),
+                    }
                 };
                 current_lease.store(0, Ordering::Relaxed);
                 report.shards += 1;
@@ -484,13 +544,15 @@ where
             job.batch_size as usize,
             job.use_prefix_cache,
         );
+        let (planner, fingerprint) = prepare_estimation(&ctx, network, set, &telemetry, &job)?;
         conn.send(&Message::Ready {
-            fingerprint: ctx.fingerprint(),
+            fingerprint,
             clock_us: telemetry.now_us(),
         })?;
         match lease_loop(
             &conn,
             &ctx,
+            planner.as_ref(),
             network,
             set,
             &telemetry,

@@ -84,6 +84,9 @@ fn job(fingerprint: u64) -> JobSpec {
         use_prefix_cache: true,
         fingerprint,
         trace_id: 0,
+        estimator: 0,
+        probe_budget: 0,
+        estimator_seed: 0,
     }
 }
 
@@ -176,6 +179,92 @@ fn distributed_sweep_matches_single_process_bitwise() {
     let shard_total: u64 = outcome.workers.iter().map(|w| w.shards).sum();
     assert_eq!(shard_total, 6, "every shard reported by exactly one worker");
     assert!(outcome.straggler_seconds >= 0.0);
+}
+
+/// Same seed + budget ⇒ a 2-worker distributed estimation sweep is
+/// bitwise identical to the single-process estimator, for both a
+/// completion-based estimator (sketched: the coordinator runs the same
+/// ALS the single-process path does) and the adaptive two-round one
+/// (each pair shard's refinement is self-contained, so sharding cannot
+/// change it).
+#[test]
+fn distributed_estimation_matches_single_process_bitwise() {
+    use clado_estim::{
+        estimate_sensitivities, estimation_fingerprint, EstimatorKind, EstimatorOptions,
+        DEFAULT_ESTIMATOR_SEED,
+    };
+    let _guard = test_guard();
+    let (net, set) = setup();
+    // Mandatory base+diagonal is 1 + |𝔹|I = 7 probes here; 13 leaves
+    // six probes of pair headroom so selection genuinely happens.
+    let budget = 13usize;
+    for kind in [EstimatorKind::Sketched, EstimatorKind::Adaptive] {
+        let single = estimate_sensitivities(
+            &mut net.clone(),
+            &set,
+            &bits(),
+            &EstimatorOptions {
+                probe_budget: budget,
+                ..EstimatorOptions::new(kind)
+            },
+        )
+        .expect("single-process estimate");
+        let ctx = context(&net, &set);
+        let mut job = job(estimation_fingerprint(
+            &ctx,
+            kind,
+            budget,
+            DEFAULT_ESTIMATOR_SEED,
+        ));
+        job.estimator = kind.tag();
+        job.probe_budget = budget as u64;
+        job.estimator_seed = DEFAULT_ESTIMATOR_SEED;
+        let coordinator =
+            Coordinator::bind("127.0.0.1:0", ctx, job, coordinator_options()).expect("bind");
+        let addr = coordinator.local_addr().to_string();
+        let workers = spawn_workers(&addr, 2, &net, &set, &WorkerOptions::default());
+        let outcome = coordinator.run().expect("distributed estimation");
+        for handle in workers {
+            handle.join().expect("worker thread").expect("worker run");
+        }
+        assert_bitwise_equal(&outcome.matrix, &single.matrix, kind.name());
+        assert_eq!(
+            outcome.matrix.stats.provenance, single.matrix.stats.provenance,
+            "{kind}: distributed provenance matches single-process"
+        );
+        assert_eq!(outcome.evictions, 0, "{kind}");
+        assert_eq!(outcome.rejected, 0, "{kind}");
+    }
+}
+
+/// Hutchinson estimation is diagonal-only and cannot be grid-sharded:
+/// the coordinator refuses the job up front instead of producing a
+/// half-meaningful sweep.
+#[test]
+fn coordinator_rejects_hutchinson_and_unknown_estimators() {
+    use clado_estim::EstimatorKind;
+    let _guard = test_guard();
+    let (net, set) = setup();
+    for tag in [EstimatorKind::Hutchinson.tag(), 200u8] {
+        let mut bad = job(context(&net, &set).fingerprint());
+        bad.estimator = tag;
+        let coordinator = Coordinator::bind(
+            "127.0.0.1:0",
+            context(&net, &set),
+            bad,
+            coordinator_options(),
+        )
+        .expect("bind");
+        match coordinator.run() {
+            Err(DistError::BadJob(why)) => {
+                assert!(
+                    why.contains("hutchinson") || why.contains("unknown estimator"),
+                    "unexpected reason: {why}"
+                );
+            }
+            other => panic!("expected BadJob, got {other:?}"),
+        }
+    }
 }
 
 #[cfg(debug_assertions)]

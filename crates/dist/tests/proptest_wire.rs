@@ -119,6 +119,9 @@ proptest! {
         cache_flag in 0u8..=1,
         model_byte in 0u8..=255,
         trace_id in 0u64..u64::MAX,
+        estimator in 0u8..=4,
+        probe_budget in 0u64..u64::MAX,
+        estimator_seed in 0u64..u64::MAX,
     ) {
         // Model names exercise multi-byte UTF-8, not just ASCII.
         let model: String = std::iter::repeat_n('λ', model_len % 8)
@@ -134,6 +137,9 @@ proptest! {
             use_prefix_cache: cache_flag == 1,
             fingerprint,
             trace_id,
+            estimator,
+            probe_budget,
+            estimator_seed,
         }))?;
     }
 

@@ -1,0 +1,288 @@
+//! Matrix completion for partially-observed Ω.
+//!
+//! The sketched estimator observes a uniform subset of cross terms and
+//! recovers the rest through symmetric low-rank alternating least
+//! squares; the structured estimators treat unobserved cross terms as
+//! zero (the locality prior's whole claim). Either way the result goes
+//! through the solver's existing PSD projection so downstream IQP code
+//! sees the same invariants as an exact Ω.
+
+use crate::EstimatorKind;
+use clado_solver::{ObservedMask, SymMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ridge added to each ALS normal-equation system; keeps the r×r solves
+/// well-posed when a row has few observations.
+const ALS_RIDGE: f64 = 1e-8;
+
+/// Completes a partially-observed symmetric matrix by rank-`rank`
+/// symmetric ALS on the observed entries of `g` (per `mask`), returning
+/// a fully dense symmetric matrix in which **observed entries are kept
+/// verbatim** and only unobserved entries are replaced by the low-rank
+/// model `fᵤ·fᵥ`.
+///
+/// The factor is updated Jacobi-style — every row's new value is solved
+/// against the *previous* iteration's factor — so the result is
+/// independent of row-update order, and all randomness flows from
+/// `seed`, keeping the completion bitwise deterministic.
+///
+/// # Panics
+///
+/// Panics when `mask.dim() != g.dim()` or `rank == 0`.
+pub fn als_complete(
+    g: &SymMatrix,
+    mask: &ObservedMask,
+    rank: usize,
+    iters: usize,
+    seed: u64,
+) -> SymMatrix {
+    let n = g.dim();
+    assert_eq!(mask.dim(), n, "mask dimension must match the matrix");
+    assert!(rank > 0, "ALS rank must be positive");
+    let rank = rank.min(n);
+
+    // Observation lists per row (including the diagonal, which the
+    // planner always measures).
+    let obs: Vec<Vec<usize>> = (0..n)
+        .map(|u| (0..n).filter(|&v| mask.get(u, v)).collect())
+        .collect();
+
+    // Initialize F with seeded noise scaled so fᵤ·fᵤ starts near the
+    // mean observed diagonal magnitude.
+    let mean_diag = (0..n).map(|i| g.get(i, i).abs()).sum::<f64>() / n as f64;
+    let scale = (mean_diag.max(f64::MIN_POSITIVE) / rank as f64).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut f: Vec<f64> = (0..n * rank)
+        .map(|_| scale * (rng.gen_range(0.0f64..=1.0) * 2.0 - 1.0))
+        .collect();
+
+    let mut a = vec![0.0f64; rank * rank];
+    let mut b = vec![0.0f64; rank];
+    for _ in 0..iters {
+        // Gauss–Seidel sweep in fixed row order 0..n: each row's normal
+        // equations use the freshest factor rows. Serial with a fixed
+        // order, so still bitwise deterministic.
+        for u in 0..n {
+            // Normal equations (λI + Σ_v fᵥfᵥᵀ) fᵤ = Σ_v G_uv fᵥ over
+            // this row's observations.
+            a.iter_mut().for_each(|x| *x = 0.0);
+            b.iter_mut().for_each(|x| *x = 0.0);
+            for r in 0..rank {
+                a[r * rank + r] = ALS_RIDGE;
+            }
+            for &v in &obs[u] {
+                let fv = &f[v * rank..(v + 1) * rank];
+                let guv = g.get(u, v);
+                if !guv.is_finite() {
+                    continue;
+                }
+                for r in 0..rank {
+                    b[r] += guv * fv[r];
+                    for c in 0..rank {
+                        a[r * rank + c] += fv[r] * fv[c];
+                    }
+                }
+            }
+            // Near-singular system: keep the previous row rather than
+            // inject garbage.
+            if let Some(x) = solve_dense(&mut a.clone(), &mut b.clone()) {
+                f[u * rank..(u + 1) * rank].copy_from_slice(&x);
+            }
+        }
+    }
+
+    let mut out = SymMatrix::zeros(n);
+    for i in 0..n {
+        for j in i..n {
+            let v = if mask.get(i, j) {
+                g.get(i, j)
+            } else {
+                let (fi, fj) = (&f[i * rank..(i + 1) * rank], &f[j * rank..(j + 1) * rank]);
+                fi.iter().zip(fj).map(|(x, y)| x * y).sum()
+            };
+            out.set(i, j, v);
+        }
+    }
+    out
+}
+
+/// Solves the dense system `a · x = b` (row-major `r×r`) by Gaussian
+/// elimination with partial pivoting. Returns `None` when the pivot
+/// collapses (singular to working precision).
+fn solve_dense(a: &mut [f64], b: &mut [f64]) -> Option<Vec<f64>> {
+    let r = b.len();
+    for col in 0..r {
+        let mut pivot = col;
+        for row in (col + 1)..r {
+            if a[row * r + col].abs() > a[pivot * r + col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot * r + col].abs() < 1e-300 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..r {
+                a.swap(col * r + k, pivot * r + k);
+            }
+            b.swap(col, pivot);
+        }
+        let d = a[col * r + col];
+        for row in (col + 1)..r {
+            let m = a[row * r + col] / d;
+            if m == 0.0 {
+                continue;
+            }
+            for k in col..r {
+                a[row * r + k] -= m * a[col * r + k];
+            }
+            b[row] -= m * b[col];
+        }
+    }
+    let mut x = vec![0.0f64; r];
+    for col in (0..r).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..r {
+            acc -= a[col * r + k] * x[k];
+        }
+        x[col] = acc / a[col * r + col];
+    }
+    if x.iter().all(|v| v.is_finite()) {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+/// Turns a partially-observed Ω (`g` + `observed`, e.g. a
+/// [`clado_core::PartialAssembly`]) into a dense matrix ready for the
+/// solver: sketched runs ALS completion over the unobserved entries, the
+/// structured kinds keep them at zero (their locality prior), and every
+/// kind ends with the solver's PSD projection. Distributed coordinators
+/// call this on the assembled shard records to finish an estimation
+/// sweep bitwise-identically to the single-process path.
+pub fn complete_partial(
+    kind: EstimatorKind,
+    g: &SymMatrix,
+    observed: &ObservedMask,
+    rank: usize,
+    als_iters: usize,
+    seed: u64,
+) -> SymMatrix {
+    let dense = match kind {
+        EstimatorKind::Sketched => als_complete(g, observed, rank, als_iters, seed),
+        // Unobserved entries are already zero in the partial assembly.
+        EstimatorKind::Adaptive | EstimatorKind::BlockTopK | EstimatorKind::Hutchinson => g.clone(),
+    };
+    dense.psd_project()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank1_matrix(f: &[f64]) -> SymMatrix {
+        let n = f.len();
+        let mut m = SymMatrix::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                m.set(i, j, f[i] * f[j]);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn als_recovers_a_rank_one_matrix_from_half_the_entries() {
+        let f = [1.0, -0.5, 2.0, 0.75, -1.25, 0.4];
+        let truth = rank1_matrix(&f);
+        let n = f.len();
+        let mut g = SymMatrix::zeros(n);
+        let mut mask = ObservedMask::new(n);
+        // Observe the diagonal plus every other off-diagonal entry.
+        let mut toggle = false;
+        for i in 0..n {
+            mask.set(i, i);
+            g.set(i, i, truth.get(i, i));
+            for j in (i + 1)..n {
+                toggle = !toggle;
+                if toggle {
+                    mask.set(i, j);
+                    g.set(i, j, truth.get(i, j));
+                }
+            }
+        }
+        let done = als_complete(&g, &mask, 2, 64, 7);
+        for i in 0..n {
+            for j in 0..n {
+                let err = (done.get(i, j) - truth.get(i, j)).abs();
+                assert!(
+                    err < 1e-3,
+                    "entry ({i},{j}): got {} want {} (err {err})",
+                    done.get(i, j),
+                    truth.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn als_keeps_observed_entries_verbatim() {
+        let n = 4;
+        let mut g = SymMatrix::zeros(n);
+        let mut mask = ObservedMask::new(n);
+        for i in 0..n {
+            mask.set(i, i);
+            g.set(i, i, 1.0 + i as f64);
+        }
+        mask.set(0, 2);
+        g.set(0, 2, 0.125);
+        let done = als_complete(&g, &mask, 2, 16, 3);
+        assert_eq!(done.get(0, 2).to_bits(), 0.125f64.to_bits());
+        for i in 0..n {
+            assert_eq!(done.get(i, i).to_bits(), (1.0 + i as f64).to_bits());
+        }
+    }
+
+    #[test]
+    fn als_is_deterministic_for_a_seed() {
+        let n = 5;
+        let mut g = SymMatrix::zeros(n);
+        let mut mask = ObservedMask::new(n);
+        for i in 0..n {
+            mask.set(i, i);
+            g.set(i, i, (i + 1) as f64 * 0.5);
+        }
+        mask.set(1, 3);
+        g.set(1, 3, 0.25);
+        let a = als_complete(&g, &mask, 3, 24, 42);
+        let b = als_complete(&g, &mask, 3, 24, 42);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(a.get(i, j).to_bits(), b.get(i, j).to_bits());
+            }
+        }
+        let c = als_complete(&g, &mask, 3, 24, 43);
+        let differs = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .any(|(i, j)| !mask.get(i, j) && a.get(i, j).to_bits() != c.get(i, j).to_bits());
+        assert!(differs, "different seeds should change unobserved entries");
+    }
+
+    #[test]
+    fn solve_dense_matches_known_solution() {
+        let mut a = vec![4.0, 1.0, 1.0, 3.0];
+        let mut b = vec![1.0, 2.0];
+        let x = solve_dense(&mut a, &mut b).unwrap();
+        assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+        assert!((x[0] + 3.0 * x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_dense_rejects_singular_systems() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve_dense(&mut a, &mut b).is_none());
+    }
+}

@@ -1,0 +1,242 @@
+//! Estimator quality accounting: probe cost, entry-wise error against an
+//! exact Ω, and the metric that actually matters — the task-loss regret
+//! of the IQP assignment solved under the estimate.
+
+use crate::{EstimatedOmega, EstimatorKind};
+use clado_core::{apply_quantization, assign_bits, eval_loss, AssignOptions, SensitivityMatrix};
+use clado_models::DataSplit;
+use clado_nn::Network;
+use clado_quant::{LayerSizes, QuantScheme};
+use clado_solver::{IqpError, ObservedMask, SymMatrix};
+use std::fmt;
+
+/// Entry-wise error of an estimated Ω against the exact one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OmegaError {
+    /// RMSE over the observed upper-triangle entries — measures how well
+    /// the probes themselves reproduce (should be ~0 for grid
+    /// estimators, whose observed entries use the exact arithmetic).
+    pub observed_rmse: f64,
+    /// Relative Frobenius error of the full completed matrix,
+    /// `‖Ω̂ − Ω‖_F / ‖Ω‖_F` — measures completion quality.
+    pub full_rel_frobenius: f64,
+}
+
+/// Entry-wise error of `estimated` vs. `exact` under `mask` (see
+/// [`OmegaError`]).
+///
+/// # Panics
+///
+/// Panics when the three dimensions disagree.
+pub fn error_vs_exact(estimated: &SymMatrix, exact: &SymMatrix, mask: &ObservedMask) -> OmegaError {
+    let n = exact.dim();
+    assert_eq!(estimated.dim(), n, "matrix dimension mismatch");
+    assert_eq!(mask.dim(), n, "mask dimension mismatch");
+    let mut obs_sq = 0.0f64;
+    let mut obs_n = 0usize;
+    let mut diff_sq = 0.0f64;
+    let mut exact_sq = 0.0f64;
+    for i in 0..n {
+        for j in i..n {
+            let d = estimated.get(i, j) - exact.get(i, j);
+            // Off-diagonal entries appear twice in the Frobenius norm.
+            let w = if i == j { 1.0 } else { 2.0 };
+            diff_sq += w * d * d;
+            exact_sq += w * exact.get(i, j) * exact.get(i, j);
+            if mask.get(i, j) {
+                obs_sq += d * d;
+                obs_n += 1;
+            }
+        }
+    }
+    OmegaError {
+        observed_rmse: if obs_n > 0 {
+            (obs_sq / obs_n as f64).sqrt()
+        } else {
+            0.0
+        },
+        full_rel_frobenius: if exact_sq > 0.0 {
+            (diff_sq / exact_sq).sqrt()
+        } else {
+            diff_sq.sqrt()
+        },
+    }
+}
+
+/// Final-assignment regret: how much worse the quantized model's task
+/// loss gets when the IQP is solved under the estimated Ω instead of the
+/// exact one, at the same bit budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegretReport {
+    /// Task loss of the model quantized by the exact-Ω assignment.
+    pub exact_task_loss: f64,
+    /// Task loss of the model quantized by the estimated-Ω assignment.
+    pub estimated_task_loss: f64,
+    /// `estimated_task_loss − exact_task_loss` (≤ 0 means the estimate
+    /// found an assignment at least as good).
+    pub delta: f64,
+    /// `delta / exact_task_loss` — the gate metric (≤ 0.01 means the
+    /// estimated assignment costs at most 1% extra task loss).
+    pub relative: f64,
+    /// Average bits of the exact-Ω assignment.
+    pub exact_avg_bits: f64,
+    /// Average bits of the estimated-Ω assignment.
+    pub estimated_avg_bits: f64,
+}
+
+impl fmt::Display for RegretReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task loss {:.6} (exact) vs {:.6} (estimated); regret {:+.6} ({:+.3}%)",
+            self.exact_task_loss,
+            self.estimated_task_loss,
+            self.delta,
+            self.relative * 100.0
+        )
+    }
+}
+
+/// Solves the IQP under both matrices at `budget_bits`, quantizes the
+/// network under each assignment, and evaluates the task loss on
+/// `eval_set` — the regret an estimator's user actually pays. Weights
+/// are restored afterwards.
+///
+/// # Errors
+///
+/// Propagates [`IqpError`] from either solve.
+#[allow(clippy::too_many_arguments)]
+pub fn assignment_regret(
+    network: &mut Network,
+    eval_set: &DataSplit,
+    exact: &SensitivityMatrix,
+    estimated: &SensitivityMatrix,
+    sizes: &LayerSizes,
+    budget_bits: u64,
+    options: &AssignOptions,
+    scheme: QuantScheme,
+    batch_size: usize,
+) -> Result<RegretReport, IqpError> {
+    let exact_assign = assign_bits(exact, sizes, budget_bits, options)?;
+    let est_assign = assign_bits(estimated, sizes, budget_bits, options)?;
+
+    let snapshot = apply_quantization(network, &exact_assign.bits, scheme);
+    let exact_task_loss = eval_loss(network, eval_set, batch_size);
+    network.restore_weights(&snapshot);
+
+    let snapshot = apply_quantization(network, &est_assign.bits, scheme);
+    let estimated_task_loss = eval_loss(network, eval_set, batch_size);
+    network.restore_weights(&snapshot);
+
+    let delta = estimated_task_loss - exact_task_loss;
+    Ok(RegretReport {
+        exact_task_loss,
+        estimated_task_loss,
+        delta,
+        relative: delta / exact_task_loss.abs().max(f64::MIN_POSITIVE),
+        exact_avg_bits: exact_assign.avg_bits(sizes),
+        estimated_avg_bits: est_assign.avg_bits(sizes),
+    })
+}
+
+/// Everything an estimation run reports: budget accounting, entry-wise
+/// error when an exact Ω is available, and assignment regret when it was
+/// evaluated.
+#[derive(Debug, Clone)]
+pub struct EstimatorReport {
+    /// Which estimator produced the Ω.
+    pub kind: EstimatorKind,
+    /// Probes the plan spends (resume-independent).
+    pub probes_spent: usize,
+    /// Probe count of the exact full sweep.
+    pub full_sweep_probes: usize,
+    /// `probes_spent / full_sweep_probes`.
+    pub probe_fraction: f64,
+    /// Fraction of upper-triangle Ω entries backed by a measurement.
+    pub observed_fraction: f64,
+    /// Entry-wise error vs. an exact Ω (when one was available).
+    pub error: Option<OmegaError>,
+    /// Final-assignment regret vs. an exact Ω (when evaluated).
+    pub regret: Option<RegretReport>,
+}
+
+impl fmt::Display for EstimatorReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} / {} probes ({:.1}%), {:.1}% of entries observed",
+            self.kind,
+            self.probes_spent,
+            self.full_sweep_probes,
+            self.probe_fraction * 100.0,
+            self.observed_fraction * 100.0
+        )?;
+        if let Some(e) = &self.error {
+            write!(
+                f,
+                "; error: rmse(observed) {:.3e}, rel-Frobenius {:.3}",
+                e.observed_rmse, e.full_rel_frobenius
+            )?;
+        }
+        if let Some(r) = &self.regret {
+            write!(f, "; regret: {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Assembles an [`EstimatorReport`] from an estimation result, computing
+/// the entry-wise error when `exact` is supplied.
+pub fn build_report(
+    kind: EstimatorKind,
+    estimated: &EstimatedOmega,
+    exact: Option<&SensitivityMatrix>,
+    regret: Option<RegretReport>,
+) -> EstimatorReport {
+    EstimatorReport {
+        kind,
+        probes_spent: estimated.probes_spent,
+        full_sweep_probes: estimated.full_sweep_probes,
+        probe_fraction: estimated.probe_fraction(),
+        observed_fraction: estimated.observed.fraction(),
+        error: exact
+            .map(|e| error_vs_exact(estimated.matrix.matrix(), e.matrix(), &estimated.observed)),
+        regret,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_vs_exact_is_zero_for_identical_matrices() {
+        let mut m = SymMatrix::zeros(3);
+        m.set(0, 0, 1.0);
+        m.set(1, 2, -0.5);
+        let mut mask = ObservedMask::new(3);
+        for i in 0..3 {
+            mask.set(i, i);
+        }
+        let e = error_vs_exact(&m, &m, &mask);
+        assert_eq!(e.observed_rmse, 0.0);
+        assert_eq!(e.full_rel_frobenius, 0.0);
+    }
+
+    #[test]
+    fn error_vs_exact_measures_unobserved_divergence() {
+        let mut exact = SymMatrix::zeros(2);
+        exact.set(0, 0, 2.0);
+        exact.set(1, 1, 2.0);
+        exact.set(0, 1, 1.0);
+        let mut est = exact.clone();
+        est.set(0, 1, 0.0); // estimator zeroed the unobserved cross term
+        let mut mask = ObservedMask::new(2);
+        mask.set(0, 0);
+        mask.set(1, 1);
+        let e = error_vs_exact(&est, &exact, &mask);
+        assert_eq!(e.observed_rmse, 0.0, "observed entries agree");
+        // ‖diff‖² = 2·1², ‖exact‖² = 4+4+2·1 = 10.
+        assert!((e.full_rel_frobenius - (2.0f64 / 10.0).sqrt()).abs() < 1e-12);
+    }
+}

@@ -41,6 +41,7 @@
 //!     spec: MeasureSpec {
 //!         model: "resnet20".into(), set_size: 64, set_seed: 0, batch_size: 64,
 //!         bits: vec![2, 4, 8], scheme: 0, use_prefix_cache: true,
+//!         estimator: 0, probe_budget: 0, estimator_seed: 0,
 //!     },
 //!     op: Op::Assign { avg_bits: 4.0 },
 //!     deadline_ms: 0,

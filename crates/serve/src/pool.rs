@@ -726,6 +726,9 @@ mod tests {
             use_prefix_cache: false,
             fingerprint: 1,
             trace_id: 0,
+            estimator: 0,
+            probe_budget: 0,
+            estimator_seed: 0,
         };
         let mut g = PoolState {
             jobs: BTreeMap::new(),

@@ -47,6 +47,18 @@ pub struct MeasureSpec {
     pub scheme: u8,
     /// Whether prefix-activation caching is used during probes.
     pub use_prefix_cache: bool,
+    /// Estimator tag (`0` = exact measurement; 1–4 per
+    /// `clado_core::OmegaProvenance`). Part of the cache key: an
+    /// estimated Ω must never be served where an exact one was asked
+    /// for, or vice versa.
+    pub estimator: u8,
+    /// Requested probe budget for an estimation request (`0` with a
+    /// nonzero estimator means the default 25% of the full sweep; must
+    /// be `0` for exact requests).
+    pub probe_budget: u64,
+    /// Probe-selection seed for an estimation request (must be `0` for
+    /// exact requests, so equal exact specs keep equal fingerprints).
+    pub estimator_seed: u64,
 }
 
 impl MeasureSpec {
@@ -61,6 +73,9 @@ impl MeasureSpec {
         put_bytes(&mut out, &self.bits);
         out.push(self.scheme);
         put_bool(&mut out, self.use_prefix_cache);
+        out.push(self.estimator);
+        put_u64(&mut out, self.probe_budget);
+        put_u64(&mut out, self.estimator_seed);
         out
     }
 
@@ -438,6 +453,9 @@ impl ServeMessage {
                     bits: c.bytes("spec.bits")?.to_vec(),
                     scheme: c.u8("spec.scheme")?,
                     use_prefix_cache: c.bool("spec.use_prefix_cache")?,
+                    estimator: c.u8("spec.estimator")?,
+                    probe_budget: c.u64("spec.probe_budget")?,
+                    estimator_seed: c.u64("spec.estimator_seed")?,
                 };
                 let op = match c.u8("submit.op")? {
                     OP_MEASURE => Op::Measure,
@@ -544,6 +562,9 @@ mod tests {
             bits: vec![2, 4, 8],
             scheme: 0,
             use_prefix_cache: true,
+            estimator: 0,
+            probe_budget: 0,
+            estimator_seed: 0,
         }
     }
 
@@ -580,6 +601,16 @@ mod tests {
                     step: 0.5,
                 },
                 deadline_ms: 60_000,
+            }),
+            ServeMessage::Submit(SubmitRequest {
+                spec: MeasureSpec {
+                    estimator: 2,
+                    probe_budget: 128,
+                    estimator_seed: 0xE571,
+                    ..spec()
+                },
+                op: Op::Measure,
+                deadline_ms: 0,
             }),
             ServeMessage::Accepted {
                 request_id: 3,
@@ -703,6 +734,18 @@ mod tests {
             },
             MeasureSpec {
                 use_prefix_cache: false,
+                ..base.clone()
+            },
+            MeasureSpec {
+                estimator: 3,
+                ..base.clone()
+            },
+            MeasureSpec {
+                probe_budget: 200,
+                ..base.clone()
+            },
+            MeasureSpec {
+                estimator_seed: 1,
                 ..base.clone()
             },
         ];

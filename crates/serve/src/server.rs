@@ -35,15 +35,20 @@ use crate::protocol::{
     self, AssignRow, FailKind, MeasureSpec, Op, RejectReason, ServeMessage, SubmitRequest,
 };
 use clado_core::{
-    assign_bits, sensitivities_to_bytes, AssignOptions, SensitivityMatrix, SensitivityStats,
-    ShardContext,
+    assign_bits, sensitivities_to_bytes, AssignOptions, OmegaProvenance, SensitivityMatrix,
+    SensitivityStats, ShardContext,
 };
 use clado_dist::{scheme_from_u8, JobSpec};
+use clado_estim::{
+    complete_partial, estimation_fingerprint, resolved_probe_budget, EstimatorKind, ProbePlanner,
+    DEFAULT_ALS_ITERS, DEFAULT_ALS_RANK,
+};
 use clado_models::DataSplit;
 use clado_nn::Network;
 use clado_quant::{BitWidthSet, LayerSizes};
 use clado_solver::SolverConfig;
 use clado_telemetry::Telemetry;
+use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -335,6 +340,29 @@ fn validate(req: &SubmitRequest) -> Option<String> {
     }
     if spec.batch_size == 0 {
         return Some("batch size must be positive".into());
+    }
+    match spec.estimator {
+        0 => {
+            // Exact specs must keep the estimation fields zeroed so
+            // equal exact requests hash to equal cache keys.
+            if spec.probe_budget != 0 {
+                return Some("probe budget requires an estimator".into());
+            }
+            if spec.estimator_seed != 0 {
+                return Some("estimator seed requires an estimator".into());
+            }
+        }
+        tag => match EstimatorKind::from_tag(tag) {
+            Some(EstimatorKind::Hutchinson) => {
+                return Some(
+                    "hutchinson estimation is diagonal-only and not grid-shardable; \
+                     run it single-process"
+                        .into(),
+                )
+            }
+            Some(_) => {}
+            None => return Some(format!("unknown estimator tag {tag}")),
+        },
     }
     match req.op {
         Op::Measure => None,
@@ -679,6 +707,9 @@ fn process(inner: &Arc<Inner>, item: &Queued) -> ServeMessage {
 /// Measures Ω for a cache miss: model build, shard grid on the pool,
 /// assembly, cache population. Returns the cached entry plus the probe
 /// evaluations spent.
+// The Err is a ready-to-send `Failed` frame; this is a cold path, so
+// boxing it would only add noise at every `?` site.
+#[allow(clippy::result_large_err)]
 fn measure(
     inner: &Arc<Inner>,
     item: &Queued,
@@ -699,6 +730,38 @@ fn measure(
         spec.batch_size as usize,
         spec.use_prefix_cache,
     );
+    let started = Instant::now();
+    let telemetry = inner.telemetry.clone();
+    // Estimation requests (admission validated the tag: 1–3, never
+    // hutchinson) rebuild the same deterministic probe plan pooled
+    // workers derive from the job's estimator fields; the job
+    // fingerprint becomes the estimation fingerprint so only workers
+    // with the identical plan pass the Ready check.
+    let estimator = EstimatorKind::from_tag(spec.estimator);
+    let (planner, plan_stats) = match estimator {
+        Some(kind) => {
+            let budget = resolved_probe_budget(&ctx, spec.probe_budget as usize);
+            let (planner, _fresh, stats) = ProbePlanner::build(
+                &ctx,
+                &mut network,
+                &set,
+                &telemetry,
+                kind,
+                budget,
+                spec.estimator_seed,
+                &HashMap::new(),
+            )
+            .map_err(|e| failed(id, FailKind::Internal, format!("probe planning: {e}")))?;
+            (Some(planner), stats)
+        }
+        None => (None, Default::default()),
+    };
+    let job_fingerprint = match estimator {
+        Some(kind) => {
+            estimation_fingerprint(&ctx, kind, spec.probe_budget as usize, spec.estimator_seed)
+        }
+        None => ctx.fingerprint(),
+    };
     let job = JobSpec {
         model: spec.model.clone(),
         set_size: spec.set_size,
@@ -707,18 +770,26 @@ fn measure(
         bits: spec.bits.clone(),
         scheme: spec.scheme,
         use_prefix_cache: spec.use_prefix_cache,
-        fingerprint: ctx.fingerprint(),
+        fingerprint: job_fingerprint,
         // Pooled jobs do not ship worker trace events; request latency
         // is captured by the serve.request histogram instead.
         trace_id: 0,
+        estimator: spec.estimator,
+        probe_budget: spec.probe_budget,
+        estimator_seed: spec.estimator_seed,
     };
-    let started = Instant::now();
-    let telemetry = inner.telemetry.clone();
     let outcome = inner
         .pool
-        .run_job(job, ctx.shards(), &item.cancel, item.deadline, |shard| {
-            ctx.run_shard(&mut network, &set, shard, &telemetry)
-        })
+        .run_job(
+            job,
+            ctx.shards(),
+            &item.cancel,
+            item.deadline,
+            |shard| match planner.as_ref() {
+                Some(p) => p.run_shard(&ctx, &mut network, &set, shard, &telemetry),
+                None => ctx.run_shard(&mut network, &set, shard, &telemetry),
+            },
+        )
         .map_err(|f| match f {
             JobFailure::DeadlineExceeded => failed(
                 id,
@@ -730,20 +801,47 @@ fn measure(
                 failed(id, FailKind::WorkerRetriesExhausted, detail)
             }
         })?;
-    let (matrix, base_loss, quarantined) = ctx
-        .assemble(&outcome.records)
-        .map_err(|e| failed(id, FailKind::Internal, format!("assembly: {e}")))?;
-    let evaluations = outcome.full_evals + outcome.cache_hits;
+    let (matrix, base_loss, quarantined) = match estimator {
+        Some(kind) => {
+            let assembly = ctx
+                .assemble_partial(&outcome.records)
+                .map_err(|e| failed(id, FailKind::Internal, format!("assembly: {e}")))?;
+            let completed = complete_partial(
+                kind,
+                &assembly.g,
+                &assembly.observed,
+                DEFAULT_ALS_RANK,
+                DEFAULT_ALS_ITERS,
+                spec.estimator_seed,
+            );
+            (completed, assembly.base_loss, assembly.quarantined)
+        }
+        None => ctx
+            .assemble(&outcome.records)
+            .map_err(|e| failed(id, FailKind::Internal, format!("assembly: {e}")))?,
+    };
+    // The planner's local base+diagonal pass for an estimation request
+    // runs outside the pool, so its evaluations are added here.
+    let evaluations =
+        outcome.full_evals + outcome.cache_hits + plan_stats.full_evals + plan_stats.cache_hits;
     let stats = SensitivityStats {
         evaluations: evaluations as usize,
         seconds: started.elapsed().as_secs_f64(),
         threads_used: outcome.workers_used.max(1),
-        prefix_cache_builds: outcome.cache_builds as usize,
-        prefix_cache_hits: outcome.cache_hits as usize,
-        full_evals: outcome.full_evals as usize,
+        prefix_cache_builds: (outcome.cache_builds + plan_stats.cache_builds) as usize,
+        prefix_cache_hits: (outcome.cache_hits + plan_stats.cache_hits) as usize,
+        full_evals: (outcome.full_evals + plan_stats.full_evals) as usize,
         resumed: 0,
-        retried: outcome.retried as usize,
+        retried: (outcome.retried + plan_stats.retried) as usize,
         quarantined,
+        provenance: match estimator {
+            Some(kind) => OmegaProvenance::estimated(
+                kind.tag(),
+                resolved_probe_budget(&ctx, spec.probe_budget as usize) as u64,
+                spec.estimator_seed,
+            ),
+            None => OmegaProvenance::exact(),
+        },
     };
     let matrix = SensitivityMatrix::from_parts(
         matrix,
@@ -764,6 +862,7 @@ fn measure(
 /// Solves one budget row, threading the request deadline and cancel
 /// flag into the solver so the anytime ladder degrades instead of
 /// overrunning.
+#[allow(clippy::result_large_err)]
 fn solve_row(
     inner: &Arc<Inner>,
     item: &Queued,

@@ -70,6 +70,9 @@ fn spec() -> MeasureSpec {
         bits: vec![2, 8],
         scheme: 0,
         use_prefix_cache: true,
+        estimator: 0,
+        probe_budget: 0,
+        estimator_seed: 0,
     }
 }
 
@@ -222,6 +225,103 @@ fn repeat_config_is_served_from_cache_bitwise_identical_with_zero_evaluations() 
     assert_eq!(report.failed, 0);
     assert_eq!(report.cache_hits, 1);
     assert_eq!(report.cache_misses, 2);
+}
+
+#[test]
+fn estimated_measure_misses_the_exact_cache_and_matches_single_process() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let (addr, _w, drain, handle) = start(provider_of(&net, &set), ServeOptions::default());
+
+    // Exact measurement seeds the cache.
+    let exact = submit(&addr, &measure_request(spec()), None).expect("exact submit");
+    let exact_clsm = match exact.response {
+        ServeMessage::MeasureDone {
+            cache_hit, clsm, ..
+        } => {
+            assert!(!cache_hit, "first request cannot hit the cache");
+            clsm
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    };
+
+    // Same model, same config — but estimated. The estimator fields are
+    // part of the spec fingerprint, so this MUST miss the exact entry.
+    let est_spec = MeasureSpec {
+        estimator: 3, // blocktopk
+        probe_budget: 0,
+        estimator_seed: clado_estim::DEFAULT_ESTIMATOR_SEED,
+        ..spec()
+    };
+    let est = submit(&addr, &measure_request(est_spec.clone()), None).expect("estimated submit");
+    let est_clsm = match est.response {
+        ServeMessage::MeasureDone {
+            cache_hit,
+            evaluations,
+            clsm,
+            ..
+        } => {
+            assert!(
+                !cache_hit,
+                "an estimated request must never be served a cached exact Ω"
+            );
+            assert!(evaluations > 0, "estimation pays probe evaluations");
+            clsm
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    };
+    assert_ne!(est_clsm, exact_clsm, "estimated Ω differs from exact");
+    let served = sensitivities_from_bytes(&est_clsm).expect("served CLSM decodes");
+    assert_eq!(
+        served.stats.provenance.estimator, 3,
+        "served CLSM records the estimator provenance"
+    );
+
+    // The daemon's local estimation path is bitwise identical to the
+    // single-process estimator under the same kind/budget/seed.
+    let single = clado_estim::estimate_sensitivities(
+        &mut net.clone(),
+        &set,
+        &BitWidthSet::new(&[2, 8]),
+        &clado_estim::EstimatorOptions::new(clado_estim::EstimatorKind::BlockTopK),
+    )
+    .expect("single-process estimate");
+    assert_bitwise_equal(&served, &single.matrix, "served estimation");
+
+    // Repeating the estimated request hits its own cache entry.
+    let again = submit(&addr, &measure_request(est_spec.clone()), None).expect("repeat estimated");
+    match again.response {
+        ServeMessage::MeasureDone {
+            cache_hit,
+            evaluations,
+            clsm,
+            ..
+        } => {
+            assert!(cache_hit, "repeat estimated config must hit the Ω cache");
+            assert_eq!(evaluations, 0);
+            assert_eq!(clsm, est_clsm, "cache hit is bitwise identical");
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    }
+
+    // A different estimator for the same model misses again.
+    let sketched = MeasureSpec {
+        estimator: 1,
+        ..est_spec
+    };
+    let third = submit(&addr, &measure_request(sketched), None).expect("sketched submit");
+    match third.response {
+        ServeMessage::MeasureDone { cache_hit, .. } => {
+            assert!(!cache_hit, "a different estimator must miss");
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    }
+
+    let report = drain_and_join(&drain, handle);
+    assert_eq!(report.requests, 4);
+    assert_eq!(report.completed, 4);
+    assert_eq!(report.cache_hits, 1);
+    assert_eq!(report.cache_misses, 3);
 }
 
 #[test]

@@ -108,6 +108,14 @@ pub enum IqpError {
         /// The offending value (NaN or ±∞).
         value: f64,
     },
+    /// A partially-observed Ω (a `clado-estim` product) has a diagonal
+    /// entry without an observation; the objective cannot rank that
+    /// variable at all, so estimation must always spend budget on every
+    /// diagonal probe.
+    UnobservedDiagonal {
+        /// First diagonal index without an observation.
+        index: usize,
+    },
     /// The raw Ω buffer is materially asymmetric (strict hardening only;
     /// the lenient path symmetrizes instead).
     AsymmetricObjective {
@@ -161,6 +169,11 @@ impl fmt::Display for IqpError {
                 f,
                 "objective matrix entry ({row}, {col}) is non-finite ({value}); \
                  quarantine or re-measure the sensitivity before solving"
+            ),
+            Self::UnobservedDiagonal { index } => write!(
+                f,
+                "partially-observed objective has no observation for diagonal \
+                 entry {index}; the estimator budget must cover every diagonal probe"
             ),
             Self::AsymmetricObjective { defect } => write!(
                 f,

@@ -34,4 +34,7 @@ pub use iqp::{
     SolverConfig, Termination,
 };
 pub use linalg::{EigenDecomposition, PsdProjection, SymMatrix};
-pub use validate::{diagnose, diagnose_raw, harden, harden_raw, OmegaDiagnostics, OmegaReport};
+pub use validate::{
+    diagnose, diagnose_raw, harden, harden_partial, harden_raw, ObservedMask, OmegaDiagnostics,
+    OmegaReport, PartialOmegaReport,
+};

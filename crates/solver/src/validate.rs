@@ -195,6 +195,155 @@ pub fn harden(matrix: &SymMatrix, strict: bool) -> Result<(SymMatrix, OmegaRepor
     harden_raw(n, &data, strict)
 }
 
+/// Which entries of a partially-observed Ω were actually measured.
+///
+/// A sub-quadratic estimator spends its probe budget on a subset of the
+/// cross-term grid; entries it never probed are *unobserved* — zero in the
+/// matrix buffer but carrying no information, unlike a measured zero. The
+/// mask is symmetric (observing `(i, j)` observes `(j, i)`), mirroring
+/// [`SymMatrix`] storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedMask {
+    n: usize,
+    data: Vec<bool>,
+}
+
+impl ObservedMask {
+    /// Creates an all-unobserved mask for an `n×n` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "mask dimension must be positive");
+        Self {
+            n,
+            data: vec![false; n * n],
+        }
+    }
+
+    /// Mask dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Whether entry `(i, j)` was observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of range for n={}",
+            self.n
+        );
+        self.data[i * self.n + j]
+    }
+
+    /// Marks entries `(i, j)` and `(j, i)` as observed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn set(&mut self, i: usize, j: usize) {
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of range for n={}",
+            self.n
+        );
+        self.data[i * self.n + j] = true;
+        self.data[j * self.n + i] = true;
+    }
+
+    /// Observed entries of the upper triangle (diagonal included).
+    pub fn observed(&self) -> usize {
+        let mut count = 0;
+        for i in 0..self.n {
+            for j in i..self.n {
+                if self.data[i * self.n + j] {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Total upper-triangle entries `n(n+1)/2`.
+    pub fn total(&self) -> usize {
+        self.n * (self.n + 1) / 2
+    }
+
+    /// Observed fraction of the upper triangle in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.observed() as f64 / self.total() as f64
+    }
+
+    /// First diagonal index without an observation, if any.
+    pub fn first_unobserved_diagonal(&self) -> Option<usize> {
+        (0..self.n).find(|&i| !self.data[i * self.n + i])
+    }
+}
+
+/// What [`harden_partial`] found and did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialOmegaReport {
+    /// Observed upper-triangle entries (diagonal included).
+    pub observed: usize,
+    /// Total upper-triangle entries.
+    pub total: usize,
+    /// The ordinary hardening report over the observed buffer.
+    pub report: OmegaReport,
+}
+
+impl PartialOmegaReport {
+    /// Observed fraction of the upper triangle in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.observed as f64 / self.total as f64
+    }
+}
+
+/// Hardens a partially-observed Ω into a solver-ready matrix.
+///
+/// An unobserved *diagonal* entry is always rejected — estimation must
+/// spend budget on every diagonal probe, because a variable's own
+/// sensitivity cannot be defaulted. Unobserved off-diagonal entries are
+/// legitimate zeros of the estimate (the estimator's completion step has
+/// already filled in whatever it can infer), so the observed buffer then
+/// goes through the ordinary [`harden`] path.
+///
+/// # Errors
+///
+/// [`IqpError::UnobservedDiagonal`] for a diagonal entry without an
+/// observation; otherwise the same errors as [`harden`].
+///
+/// # Panics
+///
+/// Panics if the mask dimension differs from the matrix dimension.
+pub fn harden_partial(
+    matrix: &SymMatrix,
+    mask: &ObservedMask,
+    strict: bool,
+) -> Result<(SymMatrix, PartialOmegaReport), IqpError> {
+    assert_eq!(
+        matrix.dim(),
+        mask.dim(),
+        "mask dimension must match matrix dimension"
+    );
+    if let Some(index) = mask.first_unobserved_diagonal() {
+        return Err(IqpError::UnobservedDiagonal { index });
+    }
+    let (hardened, report) = harden(matrix, strict)?;
+    Ok((
+        hardened,
+        PartialOmegaReport {
+            observed: mask.observed(),
+            total: mask.total(),
+            report,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +412,49 @@ mod tests {
                 other => panic!("strict={strict}: expected NonFiniteObjective, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn observed_mask_counts_upper_triangle() {
+        let mut mask = ObservedMask::new(3);
+        assert_eq!(mask.total(), 6);
+        assert_eq!(mask.observed(), 0);
+        mask.set(0, 0);
+        mask.set(1, 1);
+        mask.set(2, 2);
+        mask.set(0, 2);
+        assert_eq!(mask.observed(), 4);
+        assert!(mask.get(2, 0), "observation is symmetric");
+        assert!((mask.fraction() - 4.0 / 6.0).abs() < 1e-12);
+        assert_eq!(mask.first_unobserved_diagonal(), None);
+    }
+
+    #[test]
+    fn harden_partial_rejects_unobserved_diagonal() {
+        let m = SymMatrix::identity(3);
+        let mut mask = ObservedMask::new(3);
+        mask.set(0, 0);
+        mask.set(2, 2);
+        match harden_partial(&m, &mask, false) {
+            Err(IqpError::UnobservedDiagonal { index }) => assert_eq!(index, 1),
+            other => panic!("expected UnobservedDiagonal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn harden_partial_passes_fully_diagonal_observed_matrices() {
+        let mut m = SymMatrix::identity(3);
+        m.set(0, 1, 0.25);
+        let mut mask = ObservedMask::new(3);
+        for i in 0..3 {
+            mask.set(i, i);
+        }
+        mask.set(0, 1);
+        let (hardened, report) = harden_partial(&m, &mask, true).expect("observed diagonal");
+        assert_eq!(hardened.get(0, 1), 0.25);
+        assert_eq!(report.observed, 4);
+        assert_eq!(report.total, 6);
+        assert!(!report.report.repaired());
     }
 
     #[test]
