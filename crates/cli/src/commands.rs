@@ -20,7 +20,8 @@ use clado_estim::{
 use clado_models::{pretrained, ModelKind};
 use clado_quant::{bits_to_mb, BitWidth, BitWidthSet, LayerSizes, QuantScheme};
 use clado_serve::{
-    submit, AssignRow, MeasureSpec, Op, ServeMessage, ServeOptions, Server, SubmitRequest,
+    submit_with_retries, AssignRow, MeasureSpec, Op, ServeMessage, ServeOptions, Server,
+    SubmitRequest,
 };
 use clado_solver::{IqpProblem, Solution, SolverConfig, SymMatrix};
 use clado_telemetry::{ManifestValue, Telemetry};
@@ -83,8 +84,18 @@ COMMANDS:
                                             printed as `serve listening on <addr>`)]
                [--worker-listen 127.0.0.1:0] [--workers N    spawn N pooled workers]
                [--queue-depth 16] [--executors 2] [--cache-capacity 8]
+               [--cache-bytes N        in-memory Ω cache byte budget (0 = entry
+                                       count only); evicts LRU when exceeded]
+               [--cache-dir <dir>      persist Ω results to disk (crash-consistent:
+                                       atomic tmp/fsync/rename, checksummed); a
+                                       restarted daemon warm-loads the cache and
+                                       answers repeat configs with zero probes]
+               [--cache-disk-bytes N   on-disk cache byte budget (0 = unbounded);
+                                       evicts least-recently-used entries]
                [--heartbeat-timeout-ms 3000] [--shard-retries 5]
   submit       --connect <addr> --model <id>    send one request to a daemon
+               [--connect-retries N (default 0)  capped-backoff-with-jitter connect
+                                    attempts; the request itself is never resent]
                [--op measure|assign|sweep (default assign)]
                [--avg-bits 4.0 (assign)] [--from 2.5 --to 4.0 --step 0.5 (sweep)]
                [--deadline-ms N (0 = none; infeasible deadlines are refused)]
@@ -95,6 +106,22 @@ COMMANDS:
                                     Ω cache keys on the estimator, so estimated and
                                     exact results never alias]
                [--out <file.clsm>   persist the measured Ĝ (measure op)]
+  chaos        soak a self-spawned daemon under fault churn: concurrent clients
+               submit a deterministic measure/assign/sweep mix (exact + estimated,
+               repeat configs), pooled workers are SIGKILLed and respawned, and
+               the daemon itself can be SIGKILLed mid-soak and relaunched over the
+               same --cache-dir; every reply is checked bitwise against the first
+               answer for its config, and a divergence (or an SLO breach) exits
+               nonzero
+               [--duration 30s] [--clients 4] [--workers 2] [--configs 4]
+               [--daemon-kills 0       SIGKILL + relaunch the daemon N times]
+               [--worker-churn-ms 0    kill/respawn one worker this often (0 = off)]
+               [--slo-p99-ms 0         fail if request p99 exceeds this (0 = off)]
+               [--cache-dir <dir>      persistent Ω cache shared across daemon
+                                       generations (default: a temp dir)]
+               [--seed 7] [--model resnet20] [--set-size 8] [--batch-size 16]
+               [--bits 4,8] [--connect-retries 2   per-request budget; failed
+                                       requests re-resolve the daemon address]
   assign       --model <id> --avg-bits <f>
                                   solve eq. (11) and report the bit map + PTQ accuracy
                [--sens <file.clsm>] [--algorithm clado|clado-star|block|hawq|mpqco]
@@ -826,6 +853,9 @@ pub fn cmd_serve(args: &Args) -> Result<(), Box<dyn Error>> {
         queue_depth: args.get_or("queue-depth", 16)?,
         executors: args.get_or("executors", 2)?,
         cache_capacity: args.get_or("cache-capacity", 8)?,
+        cache_bytes: args.get_or("cache-bytes", 0)?,
+        cache_dir: args.get("cache-dir").map(PathBuf::from),
+        cache_disk_bytes: args.get_or("cache-disk-bytes", 0)?,
         heartbeat_timeout: Duration::from_millis(args.get_or("heartbeat-timeout-ms", 3000)?),
         shard_retries: args.get_or("shard-retries", 5)?,
         telemetry: run.telemetry.clone(),
@@ -987,7 +1017,7 @@ pub fn cmd_submit(args: &Args) -> Result<(), Box<dyn Error>> {
         op,
         deadline_ms: args.get_or("deadline-ms", 0)?,
     };
-    let outcome = submit(&addr, &req, None)?;
+    let outcome = submit_with_retries(&addr, &req, None, args.get_or("connect-retries", 0)?)?;
     let hit_label = |hit: bool| if hit { "cache hit" } else { "cache miss" };
     match outcome.response {
         ServeMessage::MeasureDone {
@@ -1067,6 +1097,592 @@ pub fn cmd_submit(args: &Args) -> Result<(), Box<dyn Error>> {
             ("queue_depth", outcome.queue_depth.into()),
         ],
     )
+}
+
+/// A `clado serve` child process spawned by the chaos harness, with the
+/// addresses parsed from its startup lines.
+struct ChaosDaemon {
+    child: std::process::Child,
+    client_addr: String,
+    worker_addr: String,
+    metrics_path: PathBuf,
+}
+
+/// Spawns a daemon over `cache_dir` and blocks until it prints its bound
+/// addresses (the same lines the CI smoke scripts parse).
+fn spawn_chaos_daemon(
+    cache_dir: &std::path::Path,
+    metrics_path: PathBuf,
+) -> Result<ChaosDaemon, Box<dyn Error>> {
+    use std::io::BufRead;
+    let mut child = std::process::Command::new(std::env::current_exe()?)
+        .arg("serve")
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--worker-listen")
+        .arg("127.0.0.1:0")
+        .arg("--cache-dir")
+        .arg(cache_dir)
+        .arg("--metrics-out")
+        .arg(&metrics_path)
+        .arg("--quiet")
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("stdout piped above");
+    let mut reader = std::io::BufReader::new(stdout);
+    let (mut client_addr, mut worker_addr) = (None, None);
+    let mut line = String::new();
+    while client_addr.is_none() || worker_addr.is_none() {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            let _ = child.kill();
+            return Err(Box::new(ArgsError(
+                "chaos daemon exited before printing its addresses".into(),
+            )));
+        }
+        if let Some(rest) = line.trim().strip_prefix("serve listening on ") {
+            client_addr = Some(rest.to_string());
+        } else if let Some(rest) = line.trim().strip_prefix("serve worker port ") {
+            worker_addr = Some(rest.to_string());
+        }
+    }
+    // Keep draining so the daemon can never block on a full stdout pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = std::io::Read::read_to_string(&mut reader, &mut sink);
+    });
+    Ok(ChaosDaemon {
+        child,
+        client_addr: client_addr.expect("set above"),
+        worker_addr: worker_addr.expect("set above"),
+        metrics_path,
+    })
+}
+
+/// Spawns one pooled worker pointed at a daemon's worker port.
+fn spawn_chaos_worker(worker_addr: &str) -> Result<std::process::Child, Box<dyn Error>> {
+    Ok(std::process::Command::new(std::env::current_exe()?)
+        .arg("worker")
+        .arg("--connect")
+        .arg(worker_addr)
+        .arg("--pool")
+        .arg("--quiet")
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()?)
+}
+
+/// Percentile (nearest-rank) of an unsorted latency sample, µs.
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Pulls one `"key": N` integer out of the daemon manifest's
+/// `serve.request` histogram block (the manifest is our own fixed
+/// format; a full JSON parser would be a dependency for nothing).
+fn manifest_hist_value(manifest: &str, key: &str) -> Option<u64> {
+    let hist = manifest.find("\"serve.request\"")?;
+    let tail = &manifest[hist..];
+    let at = tail.find(&format!("\"{key}\":"))? + key.len() + 3;
+    let digits: String = tail[at..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// The response with identity fields (request id, cache provenance)
+/// zeroed, so a cache hit and the measurement that populated it encode
+/// byte-identically. `None` for non-comparable kinds (`Failed`).
+///
+/// `MeasureDone` replies additionally get their CLSM measurement-stats
+/// block (wall-clock seconds, threads used, retry counters, …) zeroed:
+/// two concurrent cache misses for the same config measure the same
+/// matrix but legitimately record different timings — only the semantic
+/// payload (Ĝ, base loss, bit-widths, Ω provenance) must be stable.
+fn comparable_reply(msg: &ServeMessage) -> Option<Vec<u8>> {
+    let mut m = msg.clone();
+    if let ServeMessage::MeasureDone { clsm, .. } = &mut m {
+        if let Ok(mut sens) = clado_core::sensitivities_from_bytes(clsm) {
+            sens.stats = clado_core::SensitivityStats {
+                provenance: sens.stats.provenance,
+                ..Default::default()
+            };
+            *clsm = clado_core::sensitivities_to_bytes(&sens);
+        }
+    }
+    match &mut m {
+        ServeMessage::MeasureDone {
+            request_id,
+            cache_hit,
+            evaluations,
+            ..
+        }
+        | ServeMessage::AssignDone {
+            request_id,
+            cache_hit,
+            evaluations,
+            ..
+        }
+        | ServeMessage::SweepDone {
+            request_id,
+            cache_hit,
+            evaluations,
+            ..
+        } => {
+            *request_id = 0;
+            *cache_hit = false;
+            *evaluations = 0;
+        }
+        _ => return None,
+    }
+    Some(m.encode())
+}
+
+/// `clado chaos --duration 30s [--daemon-kills 1] [--slo-p99-ms N]`
+///
+/// A soak harness against a live daemon it spawns itself: concurrent
+/// clients submit a deterministic mix of measure/assign/sweep requests
+/// (exact and estimated, with repeat configs), a churn thread SIGKILLs
+/// and respawns pooled workers, and the daemon itself can be SIGKILLed
+/// and relaunched over the same `--cache-dir` mid-soak. Every completed
+/// reply is checked bitwise against the first answer for its
+/// configuration; any divergence is a consistency violation and the run
+/// exits nonzero, as does a `--slo-p99-ms` breach.
+pub fn cmd_chaos(args: &Args) -> Result<(), Box<dyn Error>> {
+    use std::collections::HashMap;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    /// Golden first answer per config key: the daemon generation that
+    /// produced it and the normalized reply bytes every later completion
+    /// must match bitwise.
+    type GoldenAnswers = HashMap<u64, (u64, Vec<u8>)>;
+
+    let run = RunContext::from_args(args)?;
+    let duration = args
+        .duration("duration")?
+        .unwrap_or(Duration::from_secs(30));
+    let clients: usize = args.get_or("clients", 4)?;
+    let workers: usize = args.get_or("workers", 2)?;
+    let configs: u64 = args.get_or("configs", 4)?;
+    let daemon_kills: u32 = args.get_or("daemon-kills", 0)?;
+    let worker_churn_ms: u64 = args.get_or("worker-churn-ms", 0)?;
+    let slo_p99_ms: u64 = args.get_or("slo-p99-ms", 0)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let model: String = args.get_or("model", "resnet20".to_string())?;
+    let set_size: u64 = args.get_or("set-size", 8)?;
+    let batch_size: u64 = args.get_or("batch-size", 16)?;
+    // Small per-request budget: failed requests re-read the (possibly
+    // relaunched) daemon address from the outer loop, so long backoff
+    // against a dead endpoint would only stall the soak.
+    let connect_retries: u32 = args.get_or("connect-retries", 2)?;
+    let bits = args.u8_list_or("bits", &[4, 8])?;
+    if configs == 0 || clients == 0 {
+        return Err(Box::new(ArgsError(
+            "--configs and --clients must be positive".into(),
+        )));
+    }
+
+    let scratch = std::env::temp_dir().join(format!("clado-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch)?;
+    let cache_dir = args
+        .get("cache-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| scratch.join("omega-cache"));
+    std::fs::create_dir_all(&cache_dir)?;
+
+    // --- shared soak state ---------------------------------------------
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    // (client addr, worker addr) of the *current* daemon generation.
+    let daemon = spawn_chaos_daemon(&cache_dir, scratch.join("daemon-gen0.json"))?;
+    let endpoints = Arc::new(Mutex::new((
+        daemon.client_addr.clone(),
+        daemon.worker_addr.clone(),
+    )));
+    // Bumped on every daemon relaunch; a cache hit for a config first
+    // answered under an older generation is a cross-restart hit — the
+    // persistent store, not warm memory, must have served it.
+    let generation = Arc::new(AtomicU64::new(0));
+    let golden: Arc<Mutex<GoldenAnswers>> = Arc::new(Mutex::new(HashMap::new()));
+    let completed = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let interrupted = Arc::new(AtomicU64::new(0));
+    let cache_hits = Arc::new(AtomicU64::new(0));
+    let cross_restart_hits = Arc::new(AtomicU64::new(0));
+    let violations = Arc::new(AtomicU64::new(0));
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut worker_children = Vec::new();
+    {
+        let g = endpoints.lock().unwrap_or_else(|p| p.into_inner());
+        for _ in 0..workers {
+            worker_children.push(spawn_chaos_worker(&g.1)?);
+        }
+    }
+    let worker_children = Arc::new(Mutex::new(worker_children));
+    let worker_restarts = Arc::new(AtomicU64::new(0));
+
+    // --- traffic threads -----------------------------------------------
+    let mut traffic = Vec::new();
+    for client in 0..clients {
+        let stop = Arc::clone(&stop);
+        let endpoints = Arc::clone(&endpoints);
+        let generation = Arc::clone(&generation);
+        let golden = Arc::clone(&golden);
+        let completed = Arc::clone(&completed);
+        let failed = Arc::clone(&failed);
+        let rejected = Arc::clone(&rejected);
+        let interrupted = Arc::clone(&interrupted);
+        let cache_hits = Arc::clone(&cache_hits);
+        let cross_restart_hits = Arc::clone(&cross_restart_hits);
+        let violations = Arc::clone(&violations);
+        let latencies = Arc::clone(&latencies);
+        let (model, bits) = (model.clone(), bits.clone());
+        traffic.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ ((client as u64) << 32));
+            while !stop.load(Ordering::SeqCst) {
+                // Deterministic mix: config index picks the measurement
+                // identity (odd configs are estimated), the op roll the
+                // work done with it. Repeats are the norm by design —
+                // `configs` is small, so the cache is exercised hard.
+                let config = rng.gen_range(0..configs);
+                let estimated = config % 2 == 1;
+                let spec = MeasureSpec {
+                    model: model.clone(),
+                    set_size,
+                    set_seed: config,
+                    batch_size,
+                    bits: bits.clone(),
+                    scheme: 0,
+                    use_prefix_cache: true,
+                    estimator: if estimated {
+                        EstimatorKind::BlockTopK.tag()
+                    } else {
+                        0
+                    },
+                    probe_budget: 0,
+                    estimator_seed: if estimated { DEFAULT_ESTIMATOR_SEED } else { 0 },
+                };
+                let op = match rng.gen_range(0..3u8) {
+                    0 => Op::Measure,
+                    1 => Op::Assign { avg_bits: 6.0 },
+                    _ => Op::Sweep {
+                        from: 6.0,
+                        to: 7.0,
+                        step: 0.5,
+                    },
+                };
+                // The golden map keys on (fingerprint, op kind): same Ω,
+                // different op → different (but individually stable) reply.
+                let key = spec.fingerprint()
+                    ^ match op {
+                        Op::Measure => 0x1111_1111,
+                        Op::Assign { .. } => 0x2222_2222,
+                        Op::Sweep { .. } => 0x3333_3333,
+                    };
+                let addr = endpoints
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .0
+                    .clone();
+                let gen_now = generation.load(Ordering::SeqCst);
+                let started = Instant::now();
+                let req = SubmitRequest {
+                    spec,
+                    op,
+                    deadline_ms: 0,
+                };
+                match submit_with_retries(
+                    &addr,
+                    &req,
+                    Some(Duration::from_secs(120)),
+                    connect_retries,
+                ) {
+                    Ok(outcome) => {
+                        if let ServeMessage::Failed { .. } = outcome.response {
+                            failed.fetch_add(1, Ordering::SeqCst);
+                            continue;
+                        }
+                        completed.fetch_add(1, Ordering::SeqCst);
+                        latencies
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .push(started.elapsed().as_micros() as u64);
+                        let hit = matches!(
+                            outcome.response,
+                            ServeMessage::MeasureDone {
+                                cache_hit: true,
+                                ..
+                            } | ServeMessage::AssignDone {
+                                cache_hit: true,
+                                ..
+                            } | ServeMessage::SweepDone {
+                                cache_hit: true,
+                                ..
+                            }
+                        );
+                        if let Some(bytes) = comparable_reply(&outcome.response) {
+                            let mut g = golden.lock().unwrap_or_else(|p| p.into_inner());
+                            match g.get(&key) {
+                                None => {
+                                    g.insert(key, (gen_now, bytes));
+                                }
+                                Some((first_gen, first)) => {
+                                    if hit {
+                                        cache_hits.fetch_add(1, Ordering::SeqCst);
+                                        if gen_now > *first_gen {
+                                            cross_restart_hits.fetch_add(1, Ordering::SeqCst);
+                                        }
+                                    }
+                                    if first != &bytes {
+                                        violations.fetch_add(1, Ordering::SeqCst);
+                                        eprintln!(
+                                            "chaos: CONSISTENCY VIOLATION for config key \
+                                             {key:#018x}: reply differs from the golden answer"
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Err(clado_serve::ServeError::Rejected { .. }) => {
+                        rejected.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(_) => {
+                        // Connection torn mid-request — expected while the
+                        // daemon is being killed; the request is simply lost.
+                        interrupted.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+        }));
+    }
+
+    // --- worker churn thread -------------------------------------------
+    let churn = (worker_churn_ms > 0 && workers > 0).then(|| {
+        let stop = Arc::clone(&stop);
+        let endpoints = Arc::clone(&endpoints);
+        let worker_children = Arc::clone(&worker_children);
+        let worker_restarts = Arc::clone(&worker_restarts);
+        std::thread::spawn(move || {
+            let mut victim = 0usize;
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(worker_churn_ms));
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let waddr = endpoints
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .1
+                    .clone();
+                let mut kids = worker_children.lock().unwrap_or_else(|p| p.into_inner());
+                if kids.is_empty() {
+                    continue;
+                }
+                victim = (victim + 1) % kids.len();
+                let _ = kids[victim].kill();
+                let _ = kids[victim].wait();
+                if let Ok(fresh) = spawn_chaos_worker(&waddr) {
+                    kids[victim] = fresh;
+                    worker_restarts.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        })
+    });
+
+    // --- the soak itself: main thread schedules daemon kills -----------
+    let soak_started = Instant::now();
+    let mut daemon = daemon;
+    let mut kills_done = 0u32;
+    while soak_started.elapsed() < duration {
+        let next_kill = (kills_done < daemon_kills).then(|| {
+            duration
+                .mul_f64(f64::from(kills_done + 1) / f64::from(daemon_kills + 1))
+                .saturating_sub(soak_started.elapsed())
+        });
+        match next_kill {
+            Some(wait) => {
+                std::thread::sleep(wait.min(duration.saturating_sub(soak_started.elapsed())));
+                if soak_started.elapsed() >= duration {
+                    break;
+                }
+                run.info(&format!(
+                    "chaos: SIGKILL daemon generation {kills_done} at {:.1}s",
+                    soak_started.elapsed().as_secs_f64()
+                ));
+                let _ = daemon.child.kill();
+                let _ = daemon.child.wait();
+                kills_done += 1;
+                let fresh = spawn_chaos_daemon(
+                    &cache_dir,
+                    scratch.join(format!("daemon-gen{kills_done}.json")),
+                )?;
+                {
+                    let mut g = endpoints.lock().unwrap_or_else(|p| p.into_inner());
+                    *g = (fresh.client_addr.clone(), fresh.worker_addr.clone());
+                }
+                generation.fetch_add(1, Ordering::SeqCst);
+                daemon = fresh;
+                // The old generation's workers die with their sockets;
+                // point a fresh fleet at the relaunched daemon.
+                let mut kids = worker_children.lock().unwrap_or_else(|p| p.into_inner());
+                for kid in kids.iter_mut() {
+                    let _ = kid.kill();
+                    let _ = kid.wait();
+                }
+                kids.clear();
+                for _ in 0..workers {
+                    kids.push(spawn_chaos_worker(&daemon.worker_addr)?);
+                }
+            }
+            None => std::thread::sleep(
+                Duration::from_millis(50).min(
+                    duration
+                        .saturating_sub(soak_started.elapsed())
+                        .max(Duration::from_millis(1)),
+                ),
+            ),
+        }
+    }
+    stop.store(true, Ordering::SeqCst);
+    for t in traffic {
+        let _ = t.join();
+    }
+    if let Some(churn) = churn {
+        let _ = churn.join();
+    }
+
+    // Graceful drain of the final daemon generation (SIGTERM → exit 0),
+    // so its manifest — the serve.request histogram — lands on disk.
+    let pid = daemon.child.id().to_string();
+    let _ = std::process::Command::new("kill")
+        .arg("-TERM")
+        .arg(&pid)
+        .status();
+    let drain_deadline = Instant::now() + Duration::from_secs(30);
+    let drained = loop {
+        match daemon.child.try_wait()? {
+            Some(status) => break status.success(),
+            None if Instant::now() >= drain_deadline => {
+                let _ = daemon.child.kill();
+                let _ = daemon.child.wait();
+                break false;
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    for kid in worker_children
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .iter_mut()
+    {
+        let _ = kid.kill();
+        let _ = kid.wait();
+    }
+
+    // --- verdict --------------------------------------------------------
+    let mut lat = latencies.lock().unwrap_or_else(|p| p.into_inner()).clone();
+    lat.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile_us(&lat, 0.50),
+        percentile_us(&lat, 0.95),
+        percentile_us(&lat, 0.99),
+    );
+    let daemon_manifest = std::fs::read_to_string(&daemon.metrics_path).unwrap_or_default();
+    let serve_p50 = manifest_hist_value(&daemon_manifest, "p50_us");
+    let serve_p95 = manifest_hist_value(&daemon_manifest, "p95_us");
+    let serve_p99 = manifest_hist_value(&daemon_manifest, "p99_us");
+    let completed = completed.load(Ordering::SeqCst);
+    let failed = failed.load(Ordering::SeqCst);
+    let rejected = rejected.load(Ordering::SeqCst);
+    let interrupted = interrupted.load(Ordering::SeqCst);
+    let cache_hits = cache_hits.load(Ordering::SeqCst);
+    let cross_restart_hits = cross_restart_hits.load(Ordering::SeqCst);
+    let violations = violations.load(Ordering::SeqCst);
+    let worker_restarts = worker_restarts.load(Ordering::SeqCst);
+
+    println!(
+        "chaos: {completed} completed, {failed} failed, {rejected} rejected, \
+         {interrupted} interrupted over {:.1}s — cache {cache_hits} hit(s) \
+         ({cross_restart_hits} across restarts), {kills_done} daemon kill(s), \
+         {worker_restarts} worker restart(s), {violations} violation(s)",
+        soak_started.elapsed().as_secs_f64()
+    );
+    println!(
+        "chaos: client latency p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms{}",
+        p50 as f64 / 1_000.0,
+        p95 as f64 / 1_000.0,
+        p99 as f64 / 1_000.0,
+        match (serve_p50, serve_p95, serve_p99) {
+            (Some(a), Some(b), Some(c)) => format!(
+                "; serve.request p50 {:.1} ms, p95 {:.1} ms, p99 {:.1} ms (final generation)",
+                a as f64 / 1_000.0,
+                b as f64 / 1_000.0,
+                c as f64 / 1_000.0
+            ),
+            _ => String::new(),
+        }
+    );
+
+    let mut config: Vec<(&str, ManifestValue)> = vec![
+        ("model", model.as_str().into()),
+        ("duration_secs", duration.as_secs_f64().into()),
+        ("clients", clients.into()),
+        ("workers", workers.into()),
+        ("configs", configs.into()),
+        ("daemon_kills", u64::from(kills_done).into()),
+        ("worker_restarts", worker_restarts.into()),
+        ("completed", completed.into()),
+        ("failed", failed.into()),
+        ("rejected", rejected.into()),
+        ("interrupted", interrupted.into()),
+        ("cache_hits", cache_hits.into()),
+        ("cross_restart_cache_hits", cross_restart_hits.into()),
+        ("consistency_violations", violations.into()),
+        ("client_p50_us", p50.into()),
+        ("client_p95_us", p95.into()),
+        ("client_p99_us", p99.into()),
+        ("drained_clean", drained.into()),
+    ];
+    if let (Some(a), Some(b), Some(c)) = (serve_p50, serve_p95, serve_p99) {
+        config.push(("serve_p50_us", a.into()));
+        config.push(("serve_p95_us", b.into()));
+        config.push(("serve_p99_us", c.into()));
+    }
+    run.finish("chaos", &config)?;
+
+    if completed == 0 {
+        return Err(Box::new(ArgsError(
+            "chaos soak completed zero requests — the daemon never answered".into(),
+        )));
+    }
+    if violations > 0 {
+        return Err(Box::new(ArgsError(format!(
+            "chaos soak found {violations} consistency violation(s)"
+        ))));
+    }
+    // Gate on the daemon's own histogram when available (it excludes
+    // client-side reconnect backoff), else the client-observed tail.
+    let gate_p99_us = serve_p99.unwrap_or(p99);
+    if slo_p99_ms > 0 && gate_p99_us > slo_p99_ms * 1_000 {
+        return Err(Box::new(ArgsError(format!(
+            "p99 {:.1} ms breaches the {slo_p99_ms} ms SLO",
+            gate_p99_us as f64 / 1_000.0
+        ))));
+    }
+    Ok(())
 }
 
 /// `clado assign --model <id> --avg-bits <f> [--sens <file>]`
@@ -1760,6 +2376,7 @@ mod tests {
             "worker",
             "serve",
             "submit",
+            "chaos",
             "assign",
             "sweep",
             "eval",
@@ -1773,6 +2390,13 @@ mod tests {
             "--solver-nodes",
             "--solver-strict",
             "--trace-out",
+            "--cache-dir",
+            "--cache-disk-bytes",
+            "--cache-bytes",
+            "--connect-retries",
+            "--slo-p99-ms",
+            "--daemon-kills",
+            "--worker-churn-ms",
         ] {
             assert!(USAGE.contains(flag), "usage missing `{flag}`");
         }

@@ -31,6 +31,7 @@ fn main() -> ExitCode {
         "worker" => commands::cmd_worker(&parsed),
         "serve" => commands::cmd_serve(&parsed),
         "submit" => commands::cmd_submit(&parsed),
+        "chaos" => commands::cmd_chaos(&parsed),
         "assign" => commands::cmd_assign(&parsed),
         "sweep" => commands::cmd_sweep(&parsed),
         "eval" => commands::cmd_eval(&parsed),

@@ -13,6 +13,7 @@
 //! length, truncation mid-frame, checksum mismatch — maps to a typed
 //! [`FrameError`]; nothing in this module panics on untrusted bytes.
 
+use clado_telemetry::faultinject;
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -186,6 +187,40 @@ pub fn write_frame(w: &mut impl Write, kind: u16, payload: &[u8]) -> Result<(), 
     buf.extend_from_slice(payload);
     let sum = fnv1a(&buf);
     buf.extend_from_slice(&sum.to_le_bytes());
+    // Debug-build wire fault points (armed via `CLADO_FAULTPOINTS`, see
+    // `clado_telemetry::faultinject`): deterministic protocol-level
+    // failures injected at the single choke point every frame passes
+    // through. All four compile to nothing in release builds.
+    //
+    // * `wire.write.delay` (trigger, arg=ms) — stall the write, so the
+    //   peer's read timeout fires against a live but silent writer.
+    // * `wire.write.corrupt` (trigger) — flip one checksum bit; the
+    //   reader must surface `BadChecksum`, never a garbled decode.
+    // * `wire.write.truncate` (trigger) — ship half the frame and break
+    //   the pipe, as if the writer died mid-`write_all`.
+    // * `wire.write.drop` (trigger, skip=k) — reset the connection
+    //   without writing, dropping the link after k healthy frames.
+    if let Some(ms) = faultinject::fire_arg("wire.write.delay") {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    if faultinject::fire("wire.write.corrupt") {
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+    }
+    if faultinject::fire("wire.write.truncate") {
+        w.write_all(&buf[..buf.len() / 2])?;
+        w.flush()?;
+        return Err(FrameError::Io(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "fault injected at `wire.write.truncate`",
+        )));
+    }
+    if faultinject::fire("wire.write.drop") {
+        return Err(FrameError::Io(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "fault injected at `wire.write.drop`",
+        )));
+    }
     w.write_all(&buf)?;
     w.flush()?;
     Ok(())
@@ -386,6 +421,75 @@ mod tests {
         for len in 0..64usize {
             let junk: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
             let _ = read_frame(&mut Cursor::new(&junk));
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    mod wire_faults {
+        use super::*;
+        use clado_telemetry::faultinject::{arm, test_guard, FaultSpec};
+        use std::time::Instant;
+
+        #[test]
+        fn truncate_ships_half_the_frame_and_breaks_the_pipe() {
+            let _guard = test_guard();
+            arm("wire.write.truncate", FaultSpec::trigger().times(1));
+            let mut out = Vec::new();
+            let err = write_frame(&mut out, 5, b"truncate me").unwrap_err();
+            assert!(matches!(&err, FrameError::Io(e)
+                if e.kind() == io::ErrorKind::BrokenPipe));
+            assert!(err.is_disconnect());
+            assert!(!out.is_empty() && out.len() < frame(5, b"truncate me").len());
+            // The reader sees the typed mid-frame truncation…
+            let read = read_frame(&mut Cursor::new(&out)).unwrap_err();
+            assert!(matches!(read, FrameError::Truncated), "{read}");
+            // …and the window is spent: the next write recovers cleanly.
+            let healthy = frame(5, b"truncate me");
+            let (kind, payload) = read_frame(&mut Cursor::new(&healthy)).expect("recovered");
+            assert_eq!((kind, payload.as_slice()), (5, &b"truncate me"[..]));
+        }
+
+        #[test]
+        fn corrupt_flips_a_checksum_bit_that_the_reader_types() {
+            let _guard = test_guard();
+            arm("wire.write.corrupt", FaultSpec::trigger().times(1));
+            let mut out = Vec::new();
+            write_frame(&mut out, 6, b"corrupt me").expect("write succeeds");
+            let err = read_frame(&mut Cursor::new(&out)).unwrap_err();
+            assert!(matches!(err, FrameError::BadChecksum), "{err}");
+            // Window exhausted: the retransmitted frame decodes.
+            let healthy = frame(6, b"corrupt me");
+            assert!(read_frame(&mut Cursor::new(&healthy)).is_ok());
+        }
+
+        #[test]
+        fn delay_stalls_the_write_by_the_armed_milliseconds() {
+            let _guard = test_guard();
+            arm("wire.write.delay", FaultSpec::trigger().times(1).arg(60));
+            let start = Instant::now();
+            let mut out = Vec::new();
+            write_frame(&mut out, 7, b"slow").expect("stalled write still lands");
+            assert!(start.elapsed().as_millis() >= 60, "{:?}", start.elapsed());
+            assert!(read_frame(&mut Cursor::new(&out)).is_ok());
+        }
+
+        #[test]
+        fn drop_after_k_frames_resets_without_writing() {
+            let _guard = test_guard();
+            arm("wire.write.drop", FaultSpec::trigger().skip(2).times(1));
+            let mut out = Vec::new();
+            write_frame(&mut out, 8, b"one").expect("frame 1 passes");
+            write_frame(&mut out, 8, b"two").expect("frame 2 passes");
+            let before = out.len();
+            let err = write_frame(&mut out, 8, b"three").unwrap_err();
+            assert!(matches!(&err, FrameError::Io(e)
+                if e.kind() == io::ErrorKind::ConnectionReset));
+            assert!(err.is_disconnect());
+            assert_eq!(out.len(), before, "the dropped frame wrote nothing");
+            // The two healthy frames are intact on the wire.
+            let mut cursor = Cursor::new(&out);
+            assert_eq!(read_frame(&mut cursor).expect("frame 1").1, b"one");
+            assert_eq!(read_frame(&mut cursor).expect("frame 2").1, b"two");
         }
     }
 }

@@ -6,6 +6,12 @@
 //! bitwise identical to the measurement that populated the entry
 //! (`SensitivityStats` carries wall-clock seconds, which a re-measure
 //! would perturb; re-serving the stored image sidesteps that).
+//!
+//! Capacity is accounted in *bytes*, not entries: a resnet Ω image is
+//! three orders of magnitude larger than a toy conv net's, so an entry
+//! count says nothing about memory pressure. The same unit governs the
+//! on-disk spill store ([`crate::DiskCache`]), so `--cache-bytes` and
+//! `--cache-disk-bytes` budgets are directly comparable.
 
 use clado_core::SensitivityMatrix;
 use std::collections::HashMap;
@@ -24,7 +30,16 @@ pub struct CachedOmega {
     pub param_counts: Vec<usize>,
 }
 
-/// A bounded LRU of measurement results keyed by
+impl CachedOmega {
+    /// Approximate resident size of this entry: the serialized image,
+    /// the decoded upper-triangular matrix, and the layer-size vector.
+    pub fn approx_bytes(&self) -> u64 {
+        let dim = self.matrix.matrix().dim();
+        (self.clsm.len() + dim * (dim + 1) / 2 * 8 + self.param_counts.len() * 8) as u64
+    }
+}
+
+/// A byte-budgeted LRU of measurement results keyed by
 /// [`crate::protocol::MeasureSpec::fingerprint`].
 pub struct OmegaCache {
     inner: Mutex<Inner>,
@@ -34,18 +49,27 @@ struct Inner {
     entries: HashMap<u64, Arc<CachedOmega>>,
     /// Recency order, most recent last.
     order: Vec<u64>,
+    /// Maximum number of cached measurements (0 disables caching).
     capacity: usize,
+    /// Byte budget across all entries (0 = bounded by `capacity` only).
+    byte_budget: u64,
+    /// Current total of [`CachedOmega::approx_bytes`] across entries.
+    bytes: u64,
 }
 
 impl OmegaCache {
-    /// Creates a cache holding at most `capacity` measurements
-    /// (capacity 0 disables caching entirely).
-    pub fn new(capacity: usize) -> Self {
+    /// Creates a cache holding at most `capacity` measurements and (when
+    /// `byte_budget > 0`) at most `byte_budget` approximate bytes —
+    /// whichever bound bites first evicts in LRU order. Capacity 0
+    /// disables caching entirely.
+    pub fn new(capacity: usize, byte_budget: u64) -> Self {
         Self {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
                 order: Vec::new(),
                 capacity,
+                byte_budget,
+                bytes: 0,
             }),
         }
     }
@@ -61,20 +85,30 @@ impl OmegaCache {
         hit
     }
 
-    /// Inserts a measurement, evicting the least recently used entry
-    /// when full. Inserting an existing key refreshes it.
+    /// Inserts a measurement, evicting least-recently-used entries while
+    /// either budget is exceeded. Inserting an existing key refreshes it.
     pub fn insert(&self, key: u64, value: Arc<CachedOmega>) {
         let mut g = self.inner.lock().unwrap_or_else(|p| p.into_inner());
         if g.capacity == 0 {
             return;
         }
-        g.order.retain(|&k| k != key);
-        if g.entries.len() >= g.capacity && !g.entries.contains_key(&key) && !g.order.is_empty() {
-            let evict = g.order.remove(0);
-            g.entries.remove(&evict);
+        if let Some(old) = g.entries.remove(&key) {
+            g.bytes -= old.approx_bytes();
         }
+        g.order.retain(|&k| k != key);
+        g.bytes += value.approx_bytes();
         g.entries.insert(key, value);
         g.order.push(key);
+        // The newest entry is never its own victim: even one oversized
+        // Ω must be servable while it is the most recent measurement.
+        while g.order.len() > 1
+            && (g.entries.len() > g.capacity || (g.byte_budget > 0 && g.bytes > g.byte_budget))
+        {
+            let evict = g.order.remove(0);
+            if let Some(old) = g.entries.remove(&evict) {
+                g.bytes -= old.approx_bytes();
+            }
+        }
     }
 
     /// Number of cached measurements.
@@ -84,6 +118,11 @@ impl OmegaCache {
             .unwrap_or_else(|p| p.into_inner())
             .entries
             .len()
+    }
+
+    /// Approximate bytes currently held (the `serve.cache.bytes` gauge).
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).bytes
     }
 
     /// Whether the cache is empty.
@@ -116,7 +155,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_the_least_recently_used() {
-        let cache = OmegaCache::new(2);
+        let cache = OmegaCache::new(2, 0);
         cache.insert(1, entry());
         cache.insert(2, entry());
         // Touch 1 so 2 becomes the LRU victim.
@@ -130,9 +169,41 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables_caching() {
-        let cache = OmegaCache::new(0);
+        let cache = OmegaCache::new(0, 0);
         cache.insert(1, entry());
         assert!(cache.is_empty());
         assert!(cache.get(1).is_none());
+    }
+
+    #[test]
+    fn byte_budget_evicts_in_lru_order_and_tracks_totals() {
+        let per_entry = entry().approx_bytes();
+        // Room for exactly two entries; a third must evict the LRU one.
+        let cache = OmegaCache::new(100, per_entry * 2);
+        cache.insert(1, entry());
+        assert_eq!(cache.bytes(), per_entry);
+        cache.insert(2, entry());
+        assert!(cache.get(1).is_some());
+        cache.insert(3, entry());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes(), per_entry * 2);
+        assert!(cache.get(2).is_none(), "LRU victim under the byte budget");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        // Refreshing an existing key neither grows the total nor evicts.
+        cache.insert(3, entry());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes(), per_entry * 2);
+    }
+
+    #[test]
+    fn one_oversized_entry_is_still_servable() {
+        let per_entry = entry().approx_bytes();
+        let cache = OmegaCache::new(100, per_entry / 2);
+        cache.insert(1, entry());
+        assert!(cache.get(1).is_some(), "the sole entry survives");
+        cache.insert(2, entry());
+        assert_eq!(cache.len(), 1, "the older oversized entry is evicted");
+        assert!(cache.get(2).is_some());
     }
 }

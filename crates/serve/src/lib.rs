@@ -55,13 +55,15 @@
 
 mod cache;
 mod client;
+mod diskcache;
 mod error;
 mod pool;
 pub mod protocol;
 mod server;
 
 pub use cache::{CachedOmega, OmegaCache};
-pub use client::{submit, SubmitOutcome};
+pub use client::{submit, submit_with_retries, SubmitOutcome};
+pub use diskcache::DiskCache;
 pub use error::ServeError;
 pub use pool::{JobFailure, JobOutcome, PoolOptions, WorkerPool};
 pub use protocol::{

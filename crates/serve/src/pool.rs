@@ -236,6 +236,9 @@ impl WorkerPool {
     /// lets pooled workers lease from it, and blocks until every shard
     /// is done (or the job fails). `local` evaluates one shard
     /// in-process and is only consulted while zero workers are live.
+    /// `progress` is called (outside the pool lock) with the cumulative
+    /// probe-record count each time it grows — the feed for the interim
+    /// `Progress` frames streamed to a waiting client.
     ///
     /// # Errors
     ///
@@ -250,6 +253,7 @@ impl WorkerPool {
         cancel: &AtomicBool,
         deadline: Option<Instant>,
         mut local: impl FnMut(ShardSpec) -> (Vec<ProbeRecord>, ShardRunStats),
+        mut progress: impl FnMut(u64),
     ) -> Result<JobOutcome, JobFailure> {
         let total = shards.len();
         let job_id = {
@@ -279,8 +283,22 @@ impl WorkerPool {
         self.shared.telemetry.counter("serve.pool.jobs").incr();
 
         let mut local_shards = 0u64;
+        let mut reported = 0u64;
         let mut g = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
         loop {
+            let Some(job) = g.jobs.get_mut(&job_id) else {
+                unreachable!("job {job_id} only removed by this waiter");
+            };
+            // Report record growth outside the lock: the callback writes
+            // to a client socket, which must never stall the scheduler.
+            let integrated = job.records.len() as u64;
+            if integrated > reported && job.done.len() < job.total {
+                reported = integrated;
+                drop(g);
+                progress(reported);
+                g = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+                continue;
+            }
             let Some(job) = g.jobs.get_mut(&job_id) else {
                 unreachable!("job {job_id} only removed by this waiter");
             };

@@ -9,6 +9,7 @@
 //! ```text
 //! client → Submit { spec, op, deadline_ms }
 //! server → Accepted { request_id, queue_depth } | Rejected { reason }
+//! server → Progress { probes_done, probes_total }   (zero or more)
 //! server → MeasureDone | AssignDone | SweepDone | Failed
 //! ```
 //!
@@ -28,6 +29,7 @@ const KIND_MEASURE_DONE: u16 = 82;
 const KIND_ASSIGN_DONE: u16 = 83;
 const KIND_SWEEP_DONE: u16 = 84;
 const KIND_FAILED: u16 = 85;
+const KIND_PROGRESS: u16 = 86;
 
 /// Everything that identifies one sensitivity measurement — the Ω cache
 /// key is a fingerprint over every field.
@@ -315,6 +317,17 @@ pub enum ServeMessage {
         /// Human-readable elaboration.
         detail: String,
     },
+    /// Interim measurement progress, streamed to the waiting client
+    /// between `Accepted` and the final response (cache hits and solves
+    /// are too fast to bother). Clients may ignore these entirely.
+    Progress {
+        /// Echo of the accepted request id.
+        request_id: u64,
+        /// Probe evaluations integrated so far.
+        probes_done: u64,
+        /// Total probes the measurement plan will spend.
+        probes_total: u64,
+    },
 }
 
 fn put_row(out: &mut Vec<u8>, row: &AssignRow) {
@@ -350,6 +363,7 @@ impl ServeMessage {
             Self::AssignDone { .. } => KIND_ASSIGN_DONE,
             Self::SweepDone { .. } => KIND_SWEEP_DONE,
             Self::Failed { .. } => KIND_FAILED,
+            Self::Progress { .. } => KIND_PROGRESS,
         }
     }
 
@@ -429,6 +443,15 @@ impl ServeMessage {
                 put_u64(&mut out, *request_id);
                 out.push(kind.to_u8());
                 put_bytes(&mut out, detail.as_bytes());
+            }
+            Self::Progress {
+                request_id,
+                probes_done,
+                probes_total,
+            } => {
+                put_u64(&mut out, *request_id);
+                put_u64(&mut out, *probes_done);
+                put_u64(&mut out, *probes_total);
             }
         }
         out
@@ -522,6 +545,11 @@ impl ServeMessage {
                 request_id: c.u64("failed.request_id")?,
                 kind: FailKind::from_u8(c.u8("failed.kind")?)?,
                 detail: c.string("failed.detail")?,
+            },
+            KIND_PROGRESS => Self::Progress {
+                request_id: c.u64("progress.request_id")?,
+                probes_done: c.u64("progress.probes_done")?,
+                probes_total: c.u64("progress.probes_total")?,
             },
             other => return Err(FrameError::UnknownKind(other)),
         };
@@ -646,6 +674,11 @@ mod tests {
                 request_id: 6,
                 kind: FailKind::WorkerRetriesExhausted,
                 detail: "shard pair:3 failed 5 times".into(),
+            },
+            ServeMessage::Progress {
+                request_id: 7,
+                probes_done: 120,
+                probes_total: 861,
             },
         ];
         for msg in &msgs {

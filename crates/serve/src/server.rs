@@ -29,6 +29,7 @@
 //! [`ServeReport`].
 
 use crate::cache::{CachedOmega, OmegaCache};
+use crate::diskcache::DiskCache;
 use crate::error::ServeError;
 use crate::pool::{JobFailure, PoolOptions, WorkerPool};
 use crate::protocol::{
@@ -52,6 +53,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -71,6 +73,15 @@ pub struct ServeOptions {
     pub executors: usize,
     /// Ω cache capacity (distinct measurement configs; 0 disables).
     pub cache_capacity: usize,
+    /// In-memory Ω cache byte budget (0 = bounded by capacity only).
+    pub cache_bytes: u64,
+    /// Directory for the persistent Ω spill store; `None` keeps the
+    /// cache memory-only. With a directory, every measured Ω is
+    /// committed to disk and a restarted daemon warm-loads the store —
+    /// repeat configs survive even a SIGKILL with zero re-evaluations.
+    pub cache_dir: Option<PathBuf>,
+    /// On-disk byte budget for the spill store (0 = unbounded).
+    pub cache_disk_bytes: u64,
     /// Worker-pool heartbeat timeout (dead-worker detection).
     pub heartbeat_timeout: Duration,
     /// Per-shard eviction cap before a request fails with
@@ -88,6 +99,9 @@ impl Default for ServeOptions {
             queue_depth: 16,
             executors: 2,
             cache_capacity: 8,
+            cache_bytes: 0,
+            cache_dir: None,
+            cache_disk_bytes: 0,
             heartbeat_timeout: Duration::from_secs(3),
             shard_retries: 5,
             telemetry: Telemetry::disabled(),
@@ -147,6 +161,7 @@ struct Inner {
     /// EWMA of observed request service times, µs (admission estimator).
     ewma_us: Mutex<Option<f64>>,
     cache: OmegaCache,
+    disk: Option<DiskCache>,
     pool: WorkerPool,
     provider: ModelProvider,
     telemetry: Telemetry,
@@ -195,6 +210,39 @@ impl Server {
                 verbose: opts.verbose,
             },
         )?;
+        let cache = OmegaCache::new(opts.cache_capacity, opts.cache_bytes);
+        let disk = match &opts.cache_dir {
+            Some(dir) => Some(DiskCache::open(
+                dir,
+                opts.cache_disk_bytes,
+                opts.telemetry.clone(),
+            )?),
+            None => None,
+        };
+        if let Some(disk) = &disk {
+            // Warm the in-memory LRU from the spill store: the most
+            // recent `cache_capacity` entries, inserted oldest-first so
+            // memory recency agrees with disk recency. `peek` (not
+            // `load`) keeps the startup walk from inverting the on-disk
+            // LRU order or masquerading as client cache hits.
+            let mut keys = disk.keys_most_recent_first();
+            keys.truncate(opts.cache_capacity);
+            keys.reverse();
+            for key in keys {
+                if let Some(entry) = disk.peek(key) {
+                    cache.insert(key, Arc::new(entry));
+                }
+            }
+            if opts.verbose && !cache.is_empty() {
+                eprintln!(
+                    "serve: warm-loaded {} cached measurement(s) from {}",
+                    cache.len(),
+                    disk.dir().display()
+                );
+            }
+        }
+        opts.telemetry
+            .set_gauge("serve.cache.bytes", cache.bytes() as f64);
         let inner = Arc::new(Inner {
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
@@ -202,7 +250,8 @@ impl Server {
             busy: AtomicUsize::new(0),
             next_request: AtomicU64::new(1),
             ewma_us: Mutex::new(None),
-            cache: OmegaCache::new(opts.cache_capacity),
+            cache,
+            disk,
             pool,
             provider,
             telemetry: opts.telemetry.clone(),
@@ -647,7 +696,19 @@ fn process(inner: &Arc<Inner>, item: &Queued) -> ServeMessage {
     }
 
     let fingerprint = item.req.spec.fingerprint();
-    let (omega, cache_hit, evaluations) = match inner.cache.get(fingerprint) {
+    // Memory first, then the persistent spill store (a disk hit is
+    // promoted into memory and is every bit a cache hit: zero probe
+    // evaluations, byte-identical CLSM), then a real measurement.
+    let cached = inner.cache.get(fingerprint).or_else(|| {
+        inner.disk.as_ref().and_then(|d| {
+            d.load(fingerprint).map(|entry| {
+                let entry = Arc::new(entry);
+                inner.cache.insert(fingerprint, Arc::clone(&entry));
+                entry
+            })
+        })
+    });
+    let (omega, cache_hit, evaluations) = match cached {
         Some(entry) => {
             inner.cache_hits.fetch_add(1, Ordering::SeqCst);
             inner.telemetry.counter("serve.cache_hits").incr();
@@ -665,6 +726,9 @@ fn process(inner: &Arc<Inner>, item: &Queued) -> ServeMessage {
     inner
         .telemetry
         .set_gauge("serve.cache_entries", inner.cache.len() as f64);
+    inner
+        .telemetry
+        .set_gauge("serve.cache.bytes", inner.cache.bytes() as f64);
 
     match item.req.op {
         Op::Measure => ServeMessage::MeasureDone {
@@ -778,6 +842,15 @@ fn measure(
         probe_budget: spec.probe_budget,
         estimator_seed: spec.estimator_seed,
     };
+    // Interim progress: `planned_probes` already counts the memoized
+    // base+diagonal records an estimation plan replays, so both totals
+    // match what the pool integrates record by record.
+    let probes_total = match planner.as_ref() {
+        Some(p) => p.planned_probes() as u64,
+        None => ctx.total_probes() as u64,
+    };
+    let mut progress_writer = &item.stream;
+    let accepted_sent = Arc::clone(&item.accepted_sent);
     let outcome = inner
         .pool
         .run_job(
@@ -788,6 +861,22 @@ fn measure(
             |shard| match planner.as_ref() {
                 Some(p) => p.run_shard(&ctx, &mut network, &set, shard, &telemetry),
                 None => ctx.run_shard(&mut network, &set, shard, &telemetry),
+            },
+            |probes_done| {
+                // Never write before the admission thread's `Accepted`
+                // frame is on the wire — and never fail the request over
+                // a progress frame (a vanished client raises the cancel
+                // flag through the disconnect watcher anyway).
+                if accepted_sent.load(Ordering::SeqCst) {
+                    let _ = protocol::send(
+                        &mut progress_writer,
+                        &ServeMessage::Progress {
+                            request_id: id,
+                            probes_done: probes_done.min(probes_total),
+                            probes_total,
+                        },
+                    );
+                }
             },
         )
         .map_err(|f| match f {
@@ -856,6 +945,19 @@ fn measure(
         matrix,
     });
     inner.cache.insert(fingerprint, Arc::clone(&entry));
+    if let Some(disk) = &inner.disk {
+        // Spill-store commits are best-effort: a full or read-only disk
+        // costs persistence, never the request.
+        if let Err(e) = disk.store(fingerprint, &entry) {
+            inner
+                .telemetry
+                .counter("serve.disk_cache.store_errors")
+                .incr();
+            if inner.opts.verbose {
+                eprintln!("serve: disk-cache store failed for {fingerprint:#018x}: {e}");
+            }
+        }
+    }
     Ok((entry, evaluations))
 }
 

@@ -25,7 +25,7 @@ use clado_telemetry::faultinject::{self, test_guard, FaultSpec};
 use clado_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -467,10 +467,18 @@ fn flood_past_the_queue_depth_is_shed_with_typed_overload_rejections() {
     // request, so the admission lock admits exactly one of these and
     // sheds the other five with the typed Overloaded rejection — not a
     // timeout, not a crash.
+    let settled = Arc::new(AtomicUsize::new(0));
     let flood: Vec<_> = (0..6)
         .map(|_| {
             let addr = addr.clone();
-            std::thread::spawn(move || submit(&addr, &measure_request(spec()), None))
+            let settled = Arc::clone(&settled);
+            std::thread::spawn(move || {
+                let r = submit(&addr, &measure_request(spec()), None);
+                if r.is_err() {
+                    settled.fetch_add(1, Ordering::SeqCst);
+                }
+                r
+            })
         })
         .collect();
 
@@ -488,6 +496,13 @@ fn flood_past_the_queue_depth_is_shed_with_typed_overload_rejections() {
             assert_eq!(reason, RejectReason::Malformed)
         }
         other => panic!("expected Malformed rejection, got {other:?}"),
+    }
+
+    // Wait until all five rejections have settled — a straggler that
+    // reached admission only after the gate opened would find the queue
+    // slot free again and be admitted instead of shed.
+    while settled.load(Ordering::SeqCst) < 5 {
+        std::thread::sleep(Duration::from_millis(1));
     }
 
     // Admitted work still completes once the gate opens.
@@ -709,6 +724,385 @@ fn drain_under_load_finishes_inflight_work_and_refuses_late_submitters() {
     assert_eq!(report.completed, 1);
     assert_eq!(report.failed, 0);
     assert_eq!(report.shed_draining, 1);
+}
+
+/// A unique scratch directory for persistent-cache tests.
+fn temp_cache_dir(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::AtomicU64;
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "clado-serve-e2e-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_options(dir: &std::path::Path) -> ServeOptions {
+    ServeOptions {
+        cache_dir: Some(dir.to_path_buf()),
+        ..ServeOptions::default()
+    }
+}
+
+fn clso_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|e| e == "clso"))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+#[test]
+fn restarted_daemon_serves_the_persisted_omega_with_zero_evaluations() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let dir = temp_cache_dir("restart");
+
+    // Generation 0: a genuine measurement, spilled to disk.
+    let (addr, _w, drain, handle) = start(provider_of(&net, &set), durable_options(&dir));
+    let first = submit(&addr, &measure_request(spec()), None).expect("first submit");
+    let first_clsm = match first.response {
+        ServeMessage::MeasureDone {
+            cache_hit,
+            evaluations,
+            clsm,
+            ..
+        } => {
+            assert!(!cache_hit);
+            assert!(evaluations > 0);
+            clsm
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    };
+    // Progress frames are best-effort: a measure this small can finish
+    // before the pool waiter observes an interim state. When one did
+    // arrive it must be well-formed against the probe plan.
+    if let Some((done, total)) = first.progress {
+        assert!(total > 0 && done <= total, "progress {done}/{total}");
+    }
+    assert_eq!(
+        clso_files(&dir).len(),
+        1,
+        "the measurement was committed to the cache directory"
+    );
+    drain_and_join(&drain, handle);
+
+    // Generation 1: a fresh daemon over the same directory answers the
+    // repeat config from the warm-loaded persistent cache — zero probe
+    // evaluations, byte-identical CLSM — without ever re-measuring.
+    let (addr, _w, drain, handle) = start(provider_of(&net, &set), durable_options(&dir));
+    let second = submit(&addr, &measure_request(spec()), None).expect("post-restart submit");
+    match second.response {
+        ServeMessage::MeasureDone {
+            cache_hit,
+            evaluations,
+            clsm,
+            ..
+        } => {
+            assert!(cache_hit, "the persisted entry must be served as a hit");
+            assert_eq!(evaluations, 0, "a persistent hit pays zero evaluations");
+            assert_eq!(clsm, first_clsm, "bitwise identical across the restart");
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    }
+    assert!(second.progress.is_none(), "cache hits stream no progress");
+
+    let report = drain_and_join(&drain, handle);
+    assert_eq!(report.requests, 1);
+    assert_eq!(report.cache_hits, 1);
+    assert_eq!(report.cache_misses, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_persisted_entry_is_quarantined_and_remeasured_not_fatal() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let dir = temp_cache_dir("corrupt");
+
+    let (addr, _w, drain, handle) = start(provider_of(&net, &set), durable_options(&dir));
+    let first = submit(&addr, &measure_request(spec()), None).expect("first submit");
+    let first_clsm = match first.response {
+        ServeMessage::MeasureDone { clsm, .. } => clsm,
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    };
+    drain_and_join(&drain, handle);
+
+    // Bit-rot the committed entry.
+    let files = clso_files(&dir);
+    assert_eq!(files.len(), 1);
+    let mut data = std::fs::read(&files[0]).expect("read committed entry");
+    let mid = data.len() / 2;
+    data[mid] ^= 0x40;
+    std::fs::write(&files[0], &data).expect("corrupt committed entry");
+
+    // The restarted daemon quarantines the entry (at warm-load) and
+    // re-measures on request — same bytes as the original measurement,
+    // and the store is healthy again afterwards.
+    let telemetry = Telemetry::new();
+    let (addr, _w, drain, handle) = start(
+        provider_of(&net, &set),
+        ServeOptions {
+            telemetry: telemetry.clone(),
+            ..durable_options(&dir)
+        },
+    );
+    assert!(
+        telemetry.counter_value("serve.disk_cache.quarantined") >= 1,
+        "warm-load quarantined the corrupt entry"
+    );
+    let again = submit(&addr, &measure_request(spec()), None).expect("re-measure submit");
+    let remeasured_clsm = match again.response {
+        ServeMessage::MeasureDone {
+            cache_hit,
+            evaluations,
+            clsm,
+            ..
+        } => {
+            assert!(!cache_hit, "the quarantined entry must not be served");
+            assert!(evaluations > 0, "the config was re-measured");
+            clsm
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    };
+    // The semantic payload (Ĝ, base loss) matches the original
+    // measurement exactly; only the wall-clock stats block may differ.
+    assert_bitwise_equal(
+        &sensitivities_from_bytes(&remeasured_clsm).expect("re-measured CLSM decodes"),
+        &sensitivities_from_bytes(&first_clsm).expect("original CLSM decodes"),
+        "re-measurement",
+    );
+    assert_eq!(clso_files(&dir).len(), 1, "the entry was re-committed");
+    drain_and_join(&drain, handle);
+
+    // One more restart proves the re-committed entry is valid: a hit,
+    // bitwise identical to the reply that re-populated it.
+    let (addr, _w, drain, handle) = start(provider_of(&net, &set), durable_options(&dir));
+    let third = submit(&addr, &measure_request(spec()), None).expect("third submit");
+    match third.response {
+        ServeMessage::MeasureDone {
+            cache_hit, clsm, ..
+        } => {
+            assert!(cache_hit);
+            assert_eq!(clsm, remeasured_clsm);
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    }
+    drain_and_join(&drain, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exact_and_estimated_entries_survive_a_restart_without_colliding() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let dir = temp_cache_dir("provenance");
+    let est_spec = MeasureSpec {
+        estimator: 3, // blocktopk
+        probe_budget: 0,
+        estimator_seed: clado_estim::DEFAULT_ESTIMATOR_SEED,
+        ..spec()
+    };
+
+    let (addr, _w, drain, handle) = start(provider_of(&net, &set), durable_options(&dir));
+    let clsm_of = |outcome: clado_serve::SubmitOutcome, label: &str| match outcome.response {
+        ServeMessage::MeasureDone { clsm, .. } => clsm,
+        other => panic!("{label}: expected MeasureDone, got kind {}", other.kind()),
+    };
+    let exact_clsm = clsm_of(
+        submit(&addr, &measure_request(spec()), None).expect("exact submit"),
+        "exact",
+    );
+    let est_clsm = clsm_of(
+        submit(&addr, &measure_request(est_spec.clone()), None).expect("estimated submit"),
+        "estimated",
+    );
+    assert_ne!(exact_clsm, est_clsm);
+    assert_eq!(clso_files(&dir).len(), 2, "one committed entry each");
+    drain_and_join(&drain, handle);
+
+    // After the restart each request is served its own provenance —
+    // the estimated request must never receive the exact Ω or vice
+    // versa, across process death just as within one process.
+    let (addr, _w, drain, handle) = start(provider_of(&net, &set), durable_options(&dir));
+    for (req_spec, want, label) in [
+        (spec(), &exact_clsm, "exact"),
+        (est_spec.clone(), &est_clsm, "estimated"),
+    ] {
+        let outcome = submit(&addr, &measure_request(req_spec), None).expect("post-restart submit");
+        match outcome.response {
+            ServeMessage::MeasureDone {
+                cache_hit,
+                evaluations,
+                clsm,
+                ..
+            } => {
+                assert!(cache_hit, "{label}: persisted entry hits");
+                assert_eq!(evaluations, 0, "{label}");
+                assert_eq!(&clsm, want, "{label}: correct provenance served");
+            }
+            other => panic!("{label}: expected MeasureDone, got kind {}", other.kind()),
+        }
+    }
+    let report = drain_and_join(&drain, handle);
+    assert_eq!(report.cache_hits, 2);
+    assert_eq!(report.cache_misses, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A warmed daemon: client address, drain flag, server join handle, and
+/// the cached CLSM bytes its Ω cache will serve.
+type WarmDaemon = (
+    String,
+    Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<Result<ServeReport, ServeError>>,
+    Vec<u8>,
+);
+
+/// Populates a daemon's Ω cache so a follow-up submit round-trips in
+/// exactly three frames (client Submit, server Accepted, server
+/// response) — the deterministic frame count the wire-fault tests key
+/// their `skip` windows on.
+fn warm_daemon(net: &Network, set: &DataSplit) -> WarmDaemon {
+    let (addr, _w, drain, handle) = start(provider_of(net, set), ServeOptions::default());
+    let first = submit(&addr, &measure_request(spec()), None).expect("warm-up submit");
+    let clsm = match first.response {
+        ServeMessage::MeasureDone { clsm, .. } => clsm,
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    };
+    (addr, drain, handle, clsm)
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn corrupted_response_frame_surfaces_the_typed_checksum_error_and_the_daemon_recovers() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let (addr, drain, handle, clsm) = warm_daemon(&net, &set);
+
+    // Frames after arming: 1 = client Submit, 2 = server Accepted,
+    // 3 = server MeasureDone — the one the fault flips a checksum bit in.
+    faultinject::arm("wire.write.corrupt", FaultSpec::trigger().skip(2).times(1));
+    match submit(
+        &addr,
+        &measure_request(spec()),
+        Some(Duration::from_secs(10)),
+    ) {
+        Err(ServeError::Frame(clado_dist::FrameError::BadChecksum)) => {}
+        other => panic!("expected the typed BadChecksum error, got {other:?}"),
+    }
+
+    // The fault window is spent; the daemon recovers the very next
+    // request, still bitwise identical.
+    let retry = submit(&addr, &measure_request(spec()), None).expect("recovered request");
+    match retry.response {
+        ServeMessage::MeasureDone {
+            cache_hit, clsm: c, ..
+        } => {
+            assert!(cache_hit);
+            assert_eq!(c, clsm);
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    }
+    let report = drain_and_join(&drain, handle);
+    assert_eq!(report.failed, 0, "a garbled write is not a request failure");
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn truncated_response_frame_surfaces_a_typed_disconnect_and_the_daemon_recovers() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let (addr, drain, handle, clsm) = warm_daemon(&net, &set);
+
+    // The server's response write ships half the frame and breaks the
+    // pipe, as if the daemon died mid-`write_all`.
+    faultinject::arm("wire.write.truncate", FaultSpec::trigger().skip(2).times(1));
+    match submit(
+        &addr,
+        &measure_request(spec()),
+        Some(Duration::from_secs(10)),
+    ) {
+        Err(e @ (ServeError::Frame(_) | ServeError::Io(_))) => {
+            assert!(
+                !matches!(&e, ServeError::Frame(f) if !f.is_disconnect()),
+                "a mid-frame truncation reads as a disconnect: {e}"
+            );
+        }
+        other => panic!("expected a typed disconnect error, got {other:?}"),
+    }
+
+    let retry = submit(&addr, &measure_request(spec()), None).expect("recovered request");
+    match retry.response {
+        ServeMessage::MeasureDone {
+            cache_hit, clsm: c, ..
+        } => {
+            assert!(cache_hit);
+            assert_eq!(c, clsm);
+        }
+        other => panic!("expected MeasureDone, got kind {}", other.kind()),
+    }
+    drain_and_join(&drain, handle);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn dropped_connection_after_admission_is_typed_and_the_daemon_recovers() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let (addr, drain, handle, _clsm) = warm_daemon(&net, &set);
+
+    // The connection resets right as the server writes the response: the
+    // client saw `Accepted`, then a clean close — never a hang.
+    faultinject::arm("wire.write.drop", FaultSpec::trigger().skip(2).times(1));
+    match submit(
+        &addr,
+        &measure_request(spec()),
+        Some(Duration::from_secs(10)),
+    ) {
+        Err(ServeError::Frame(f)) => assert!(f.is_disconnect(), "typed disconnect: {f}"),
+        Err(ServeError::Io(_)) => {}
+        other => panic!("expected a typed disconnect error, got {other:?}"),
+    }
+
+    let retry = submit(&addr, &measure_request(spec()), None).expect("recovered request");
+    assert!(matches!(retry.response, ServeMessage::MeasureDone { .. }));
+    drain_and_join(&drain, handle);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+fn delayed_admission_write_is_tolerated_within_the_response_timeout() {
+    let _guard = test_guard();
+    let (net, set) = setup();
+    let (addr, drain, handle, _clsm) = warm_daemon(&net, &set);
+
+    // The server's `Accepted` write stalls 300 ms — a live but silent
+    // writer. The client's windows (30 s admission, 10 s response)
+    // absorb it; the request completes normally, just later.
+    faultinject::arm(
+        "wire.write.delay",
+        FaultSpec::trigger().skip(1).times(1).arg(300),
+    );
+    let started = Instant::now();
+    let outcome = submit(
+        &addr,
+        &measure_request(spec()),
+        Some(Duration::from_secs(10)),
+    )
+    .expect("delayed request still completes");
+    assert!(matches!(outcome.response, ServeMessage::MeasureDone { .. }));
+    assert!(
+        started.elapsed() >= Duration::from_millis(300),
+        "the injected stall was real: {:?}",
+        started.elapsed()
+    );
+    drain_and_join(&drain, handle);
 }
 
 #[test]

@@ -14,9 +14,11 @@
 //! CLADO_FAULTPOINTS="journal.commit=abort,skip=10;measure.probe_nan=trigger,times=2"
 //! ```
 //!
-//! Each entry is `name=action[,skip=N][,times=M]`: the point stays silent
-//! for its first `N` hits, then fires on every hit (or only the next `M`
-//! hits when `times` is given). Actions:
+//! Each entry is `name=action[,skip=N][,times=M][,arg=K]`: the point
+//! stays silent for its first `N` hits, then fires on every hit (or only
+//! the next `M` hits when `times` is given). `arg` carries a numeric
+//! payload to parameterized trigger points (a delay in milliseconds, a
+//! byte offset) read back through [`fire_arg`]. Actions:
 //!
 //! * `panic` — unwind with a tagged panic (exercises per-item isolation),
 //! * `abort` — `std::process::abort()`, simulating a SIGKILL/OOM kill
@@ -52,6 +54,9 @@ pub struct FaultSpec {
     pub skip: u64,
     /// How many hits fire after the skip window (`None` = all of them).
     pub times: Option<u64>,
+    /// Numeric payload handed to parameterized trigger points via
+    /// [`fire_arg`] (a delay in ms, a frame count, …). Zero by default.
+    pub arg: u64,
 }
 
 impl FaultSpec {
@@ -61,6 +66,7 @@ impl FaultSpec {
             action: FaultAction::Panic,
             skip: 0,
             times: None,
+            arg: 0,
         }
     }
 
@@ -70,6 +76,7 @@ impl FaultSpec {
             action: FaultAction::Abort,
             skip: 0,
             times: None,
+            arg: 0,
         }
     }
 
@@ -79,6 +86,7 @@ impl FaultSpec {
             action: FaultAction::Trigger,
             skip: 0,
             times: None,
+            arg: 0,
         }
     }
 
@@ -91,6 +99,12 @@ impl FaultSpec {
     /// Limits how many hits fire.
     pub fn times(mut self, n: u64) -> Self {
         self.times = Some(n);
+        self
+    }
+
+    /// Sets the numeric payload read back through [`fire_arg`].
+    pub fn arg(mut self, n: u64) -> Self {
+        self.arg = n;
         self
     }
 }
@@ -136,6 +150,7 @@ pub fn parse_specs(raw: &str) -> Result<Vec<(String, FaultSpec)>, FaultSpecError
             action,
             skip: 0,
             times: None,
+            arg: 0,
         };
         for opt in parts {
             let (key, value) = opt
@@ -147,9 +162,10 @@ pub fn parse_specs(raw: &str) -> Result<Vec<(String, FaultSpec)>, FaultSpecError
             match key {
                 "skip" => spec.skip = n,
                 "times" => spec.times = Some(n),
+                "arg" => spec.arg = n,
                 other => {
                     return Err(FaultSpecError(format!(
-                        "unknown option `{other}` (skip|times)"
+                        "unknown option `{other}` (skip|times|arg)"
                     )))
                 }
             }
@@ -198,22 +214,24 @@ mod active {
     }
 
     pub fn fire(name: &str) -> bool {
-        let action = {
+        fire_arg(name).is_some()
+    }
+
+    pub fn fire_arg(name: &str) -> Option<u64> {
+        let (action, arg) = {
             let mut map = lock();
-            let Some(armed) = map.get_mut(name) else {
-                return false;
-            };
+            let armed = map.get_mut(name)?;
             armed.hits += 1;
             let n = armed.hits;
             if n <= armed.spec.skip {
-                return false;
+                return None;
             }
             if let Some(times) = armed.spec.times {
                 if n > armed.spec.skip + times {
-                    return false;
+                    return None;
                 }
             }
-            armed.spec.action
+            (armed.spec.action, armed.spec.arg)
         };
         match action {
             FaultAction::Panic => panic!("fault injected at `{name}`"),
@@ -221,7 +239,7 @@ mod active {
                 eprintln!("fault injected at `{name}`: aborting process");
                 std::process::abort();
             }
-            FaultAction::Trigger => true,
+            FaultAction::Trigger => Some(arg),
         }
     }
 
@@ -243,7 +261,7 @@ mod active {
 }
 
 #[cfg(debug_assertions)]
-pub use active::{arm, disarm, disarm_all, fire, hits};
+pub use active::{arm, disarm, disarm_all, fire, fire_arg, hits};
 
 #[cfg(not(debug_assertions))]
 mod inert {
@@ -253,6 +271,12 @@ mod inert {
     #[inline(always)]
     pub fn fire(_name: &str) -> bool {
         false
+    }
+
+    /// Release builds: never fires, never yields a payload.
+    #[inline(always)]
+    pub fn fire_arg(_name: &str) -> Option<u64> {
+        None
     }
 
     /// Release builds: arming has no effect.
@@ -275,7 +299,7 @@ mod inert {
 }
 
 #[cfg(not(debug_assertions))]
-pub use inert::{arm, disarm, disarm_all, fire, hits};
+pub use inert::{arm, disarm, disarm_all, fire, fire_arg, hits};
 
 /// Serializes fault-injection tests and disarms every point on both
 /// acquisition and release, so tests arming global points cannot
@@ -331,12 +355,16 @@ mod tests {
 
     #[test]
     fn parse_specs_accepts_full_grammar() {
-        let specs =
-            parse_specs("journal.commit=abort,skip=10; measure.probe_nan=trigger,times=2").unwrap();
-        assert_eq!(specs.len(), 2);
+        let specs = parse_specs(
+            "journal.commit=abort,skip=10; measure.probe_nan=trigger,times=2; \
+             wire.write.delay=trigger,arg=250",
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 3);
         assert_eq!(specs[0].0, "journal.commit");
         assert_eq!(specs[0].1, FaultSpec::abort().skip(10));
         assert_eq!(specs[1].1, FaultSpec::trigger().times(2));
+        assert_eq!(specs[2].1, FaultSpec::trigger().arg(250));
         assert!(parse_specs("").unwrap().is_empty());
     }
 
@@ -346,6 +374,17 @@ mod tests {
         assert!(parse_specs("x=explode").is_err());
         assert!(parse_specs("x=panic,skip=abc").is_err());
         assert!(parse_specs("x=panic,frobnicate=1").is_err());
+        assert!(parse_specs("x=trigger,arg=").is_err());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn fire_arg_returns_the_numeric_payload() {
+        let _guard = test_guard();
+        arm("test.arg", FaultSpec::trigger().skip(1).arg(42));
+        assert_eq!(fire_arg("test.arg"), None, "skip window");
+        assert_eq!(fire_arg("test.arg"), Some(42));
+        assert_eq!(fire_arg("test.unarmed_arg"), None);
     }
 
     #[cfg(debug_assertions)]

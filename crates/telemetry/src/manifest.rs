@@ -248,11 +248,12 @@ pub(crate) fn render(t: &Telemetry, command: &str, config: &[(&str, ManifestValu
         }
         out.push_str(&format!(
             "\n    \"{}\": {{\"count\": {}, \"p50_us\": {}, \"p90_us\": {}, \
-             \"p99_us\": {}, \"max_us\": {}, \"mean_us\": {}}}",
+             \"p95_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"mean_us\": {}}}",
             escape(name),
             s.count,
             s.p50_us,
             s.p90_us,
+            s.p95_us,
             s.p99_us,
             s.max_us,
             number(s.mean_us)
@@ -345,19 +346,20 @@ pub(crate) fn render_summary(t: &Telemetry) -> String {
     let hists = t.histograms();
     if hists.iter().any(|(_, s)| s.count > 0) {
         out.push_str(&format!(
-            "  {:<30} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
-            "histogram", "count", "p50", "p90", "p99", "max"
+            "  {:<30} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "histogram", "count", "p50", "p90", "p95", "p99", "max"
         ));
         for (name, s) in &hists {
             if s.count == 0 {
                 continue;
             }
             out.push_str(&format!(
-                "  {:<30} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+                "  {:<30} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
                 name,
                 s.count,
                 fmt_us(s.p50_us),
                 fmt_us(s.p90_us),
+                fmt_us(s.p95_us),
                 fmt_us(s.p99_us),
                 fmt_us(s.max_us),
             ));

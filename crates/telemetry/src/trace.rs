@@ -76,6 +76,8 @@ pub struct HistSnapshot {
     pub p50_us: u64,
     /// 90th percentile, µs.
     pub p90_us: u64,
+    /// 95th percentile, µs.
+    pub p95_us: u64,
     /// 99th percentile, µs.
     pub p99_us: u64,
     /// Exact maximum recorded value, µs.
@@ -154,6 +156,7 @@ impl Histogram {
             count,
             p50_us: pct(0.50),
             p90_us: pct(0.90),
+            p95_us: pct(0.95),
             p99_us: pct(0.99),
             max_us: max,
             mean_us: if count == 0 {
